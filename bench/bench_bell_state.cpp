@@ -1,0 +1,79 @@
+// Regenerates Fig 5.7: the odd-Bell-state histograms over two SC17
+// logical qubits, measured through a control stack with and without a
+// Pauli frame layer (stack of Fig 5.5).
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "arch/chp_core.h"
+#include "arch/ninja_star_layer.h"
+#include "arch/pauli_frame_layer.h"
+
+namespace {
+
+using namespace qpf;
+using arch::BinaryValue;
+using arch::ChpCore;
+using arch::NinjaStarLayer;
+using arch::PauliFrameLayer;
+using qec::CheckType;
+
+std::map<std::string, std::size_t> run_histogram(bool with_pauli_frame,
+                                                 std::size_t shots) {
+  std::map<std::string, std::size_t> histogram;
+  for (std::size_t shot = 0; shot < shots; ++shot) {
+    ChpCore core(1000 + shot);
+    PauliFrameLayer frame(&core);
+    arch::Core* lower = with_pauli_frame
+                            ? static_cast<arch::Core*>(&frame)
+                            : static_cast<arch::Core*>(&core);
+    NinjaStarLayer ninja(lower);
+    ninja.create_qubits(2);
+    ninja.initialize(0, CheckType::kZ);
+    ninja.initialize(1, CheckType::kZ);
+    // Fig 5.6: H, CNOT, then X on q0 -> (|01> + |10>)/sqrt(2).
+    Circuit logical;
+    logical.append(GateType::kH, 0);
+    logical.append(GateType::kCnot, 0, 1);
+    logical.append(GateType::kX, 0);
+    logical.append(GateType::kMeasureZ, 0);
+    logical.append(GateType::kMeasureZ, 1);
+    ninja.add(logical);
+    ninja.execute();
+    const auto state = ninja.get_state();
+    std::string key{"|"};
+    key += arch::to_char(state[0]);
+    key += arch::to_char(state[1]);
+    key += ">";
+    ++histogram[key];
+  }
+  return histogram;
+}
+
+void print_histogram(const std::map<std::string, std::size_t>& histogram,
+                     std::size_t shots) {
+  for (const char* key : {"|00>", "|01>", "|10>", "|11>"}) {
+    const auto it = histogram.find(key);
+    const std::size_t count = it == histogram.end() ? 0 : it->second;
+    std::printf("  %s %4zu  ", key, count);
+    for (std::size_t i = 0; i < 40 * count / shots; ++i) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t shots = 100;
+  std::printf("bench_bell_state: logical odd Bell state (|01>+|10>)/sqrt(2) "
+              "over two ninja stars (thesis §5.2.3, Fig 5.7)\n");
+  std::printf("\nwith Pauli frame (%zu shots):\n", shots);
+  print_histogram(run_histogram(true, shots), shots);
+  std::printf("\nwithout Pauli frame (%zu shots):\n", shots);
+  print_histogram(run_histogram(false, shots), shots);
+  std::printf("\nexpected: only |01> and |10>, roughly equal frequencies, "
+              "identical with and without frame.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Regenerates Figs 5.11–5.16 (Physical Error Rate vs Logical Error Rate
+// with and without Pauli frame, X_L and Z_L experiments) and
+// Figs 5.25 / 5.26 (gates and time slots saved by the Pauli frame).
+//
+// Scale via QPF_LER_RUNS / QPF_LER_ERRORS / QPF_FULL=1 (see ler_common.h).
+#include <cstdio>
+
+#include "ler_common.h"
+
+namespace {
+
+using qpf::bench::BenchScale;
+using qpf::bench::LerConfig;
+using qpf::bench::LerPoint;
+using qpf::qec::CheckType;
+
+void run_series(const BenchScale& scale, CheckType basis) {
+  const char* basis_name = basis == CheckType::kZ ? "X_L" : "Z_L";
+  std::printf(
+      "\n=== Figs 5.11-5.16: LER vs PER, %s errors (%zu runs x %zu logical "
+      "errors per point) ===\n",
+      basis_name, scale.runs, scale.target_errors);
+  std::printf("%-10s %-12s %-12s %-12s %-12s %-10s %-10s %-10s\n", "PER",
+              "LER(noPF)", "sd(noPF)", "LER(PF)", "sd(PF)", "cvR(noPF)",
+              "cvR(PF)", "saved%PF");
+  double pseudo_threshold = 0.0;
+  double previous_per = 0.0;
+  double previous_ratio = 0.0;
+  for (double per : scale.per_grid) {
+    LerConfig config;
+    config.physical_error_rate = per;
+    config.basis = basis;
+    config.target_logical_errors = scale.target_errors;
+    config.seed = 0x5eed0 + static_cast<std::uint64_t>(per * 1e7);
+
+    config.with_pauli_frame = false;
+    const LerPoint without = qpf::bench::run_ler_point(config, scale.runs);
+    config.with_pauli_frame = true;
+    const LerPoint with = qpf::bench::run_ler_point(config, scale.runs);
+
+    std::printf("%-10.1e %-12.3e %-12.1e %-12.3e %-12.1e %-10.3f %-10.3f "
+                "%-10.3f\n",
+                per, without.mean_ler, without.stddev_ler, with.mean_ler,
+                with.stddev_ler, without.window_cv, with.window_cv,
+                100.0 * with.saved_slots);
+    // Pseudo-threshold: where LER crosses the y = x line (Fig 5.12).
+    const double ratio = without.mean_ler / per;
+    if (pseudo_threshold == 0.0 && previous_ratio > 0.0 &&
+        previous_ratio < 1.0 && ratio >= 1.0) {
+      // Linear interpolation in log space between grid neighbours.
+      pseudo_threshold = previous_per +
+                         (per - previous_per) * (1.0 - previous_ratio) /
+                             (ratio - previous_ratio);
+    }
+    previous_per = per;
+    previous_ratio = ratio;
+  }
+  if (pseudo_threshold > 0.0) {
+    std::printf("pseudo-threshold (LER = PER crossing): ~%.1e  "
+                "(paper: ~3e-4)\n",
+                pseudo_threshold);
+  }
+}
+
+void run_saved_series(const BenchScale& scale) {
+  std::printf(
+      "\n=== Figs 5.25/5.26: gates and time slots saved by the Pauli frame "
+      "(X-error runs) ===\n");
+  std::printf("%-10s %-14s %-14s\n", "PER", "saved gates %", "saved slots %");
+  for (double per : scale.per_grid) {
+    LerConfig config;
+    config.physical_error_rate = per;
+    config.basis = CheckType::kZ;
+    config.with_pauli_frame = true;
+    config.target_logical_errors = scale.target_errors;
+    config.seed = 0xabc + static_cast<std::uint64_t>(per * 1e7);
+    const LerPoint point = qpf::bench::run_ler_point(config, scale.runs);
+    std::printf("%-10.1e %-14.4f %-14.4f\n", per, 100.0 * point.saved_gates,
+                100.0 * point.saved_slots);
+  }
+  std::printf("ceiling: 1/17 = %.2f%% of slots (Eq 5.12, §5.3.2)\n",
+              100.0 / 17.0);
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = qpf::bench::bench_scale_from_env();
+  std::printf("bench_ler: SC17 logical error rate study (thesis §5.3)\n");
+  std::printf("grid of %zu PER points; set QPF_FULL=1 for the paper-scale "
+              "sweep\n",
+              scale.per_grid.size());
+  run_series(scale, CheckType::kZ);  // Figs 5.11a-5.16a: X_L errors
+  run_series(scale, CheckType::kX);  // Figs 5.11b-5.16b: Z_L errors
+  run_saved_series(scale);           // Figs 5.25 / 5.26
+  return 0;
+}

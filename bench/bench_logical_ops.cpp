@@ -1,0 +1,162 @@
+// Regenerates the §5.1 logical-operation verification experiments:
+//   Listing 5.1 — the nine-qubit |0>_L state after initialization,
+//   Listing 5.2 — the |1>_L state after X_L,
+//   H_L behaviour checks,
+//   Table 5.5  — CNOT_L truth table,
+//   Table 5.6  — CZ_L truth table,
+//   Table 5.8  — ESM circuit structure.
+#include <cstdio>
+#include <string>
+
+#include "arch/chp_core.h"
+#include "arch/ninja_star_layer.h"
+#include "arch/qx_core.h"
+#include "stabilizer/pauli_string.h"
+
+namespace {
+
+using namespace qpf;
+using arch::BinaryValue;
+using arch::ChpCore;
+using arch::NinjaStarLayer;
+using arch::QxCore;
+using qec::CheckType;
+using qec::Sc17Layout;
+
+// Render only the 9 data qubits of the 17-qubit state (Listing style).
+void print_data_state(const sv::StateVector& state) {
+  for (std::size_t basis = 0; basis < state.dimension(); ++basis) {
+    const auto amp = state.amplitude(basis);
+    if (std::abs(amp) < 1e-9) {
+      continue;
+    }
+    std::string bits;
+    for (int q = 8; q >= 0; --q) {
+      bits += (basis >> q) & 1 ? '1' : '0';
+    }
+    std::printf("(%.2f%+.0fj) |%s>\n", amp.real(), amp.imag(), bits.c_str());
+  }
+}
+
+void listing_states() {
+  std::printf("=== Listing 5.1: |0>_L after ninja-star initialization ===\n");
+  QxCore core(3);
+  NinjaStarLayer ninja(&core);
+  ninja.create_qubits(1);
+  ninja.initialize(0, CheckType::kZ);
+  print_data_state(*ninja.get_quantum_state());
+
+  std::printf("\n=== Listing 5.2: |1>_L after logical X ===\n");
+  Circuit logical;
+  logical.append(GateType::kX, 0);
+  ninja.add(logical);
+  ninja.execute();
+  print_data_state(*ninja.get_quantum_state());
+}
+
+void hadamard_checks() {
+  std::printf("\n=== H_L verification (§5.1.4) ===\n");
+  ChpCore core(7);
+  NinjaStarLayer ninja(&core);
+  ninja.create_qubits(1);
+  ninja.initialize(0, CheckType::kZ);
+  Circuit h;
+  h.append(GateType::kH, 0);
+  ninja.add(h);
+  ninja.execute();
+  const int xl = core.tableau()->expectation(
+      stab::PauliString::parse("X0X4X8", 17));
+  std::printf("H_L|0>_L stabilized by +X_L chain: %s\n",
+              xl == +1 ? "yes" : "NO");
+  // X_L |+>_L = |+>_L: the state is unchanged, Z_L-chain remains random.
+  Circuit x;
+  x.append(GateType::kX, 0);
+  ninja.add(x);
+  ninja.execute();
+  const int xl_after = core.tableau()->expectation(
+      stab::PauliString::parse("X0X4X8", 17));
+  std::printf("X_L fixes |+>_L: %s\n", xl_after == +1 ? "yes" : "NO");
+  // Z_L |+>_L = |->_L.
+  Circuit z;
+  z.append(GateType::kZ, 0);
+  ninja.add(z);
+  ninja.execute();
+  const int minus = core.tableau()->expectation(
+      stab::PauliString::parse("-X0X4X8", 17));
+  std::printf("Z_L|+>_L = |->_L: %s\n", minus == +1 ? "yes" : "NO");
+}
+
+const char* ket(bool c, bool t) {
+  static const char* kets[] = {"|0100>L", "|1100>L", "|0110>L", "|1110>L"};
+  return kets[(c ? 1 : 0) + (t ? 2 : 0)];
+}
+
+void truth_table(GateType gate, const char* table_name) {
+  std::printf("\n=== %s ===\n", table_name);
+  std::printf("%-12s %-12s %-12s\n", "Initial", "Expected", "Simulated");
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    const bool c_in = pattern & 1;
+    const bool t_in = pattern & 2;
+    bool c_expect = c_in;
+    bool t_expect = gate == GateType::kCnot ? (t_in != c_in) : t_in;
+    ChpCore core(static_cast<std::uint64_t>(31 + pattern));
+    NinjaStarLayer ninja(&core);
+    ninja.create_qubits(2);
+    ninja.initialize(0, CheckType::kZ);
+    ninja.initialize(1, CheckType::kZ);
+    Circuit logical;
+    if (c_in) {
+      logical.append(GateType::kX, 0);
+    }
+    if (t_in) {
+      logical.append(GateType::kX, 1);
+    }
+    logical.append(gate, 0, 1);
+    logical.append(GateType::kMeasureZ, 0);
+    logical.append(GateType::kMeasureZ, 1);
+    ninja.add(logical);
+    ninja.execute();
+    const auto state = ninja.get_state();
+    const bool c_out = state[0] == BinaryValue::kOne;
+    const bool t_out = state[1] == BinaryValue::kOne;
+    std::printf("%-12s %-12s %-12s %s\n", ket(c_in, t_in),
+                ket(c_expect, t_expect), ket(c_out, t_out),
+                (c_out == c_expect && t_out == t_expect) ? "ok" : "MISMATCH");
+  }
+}
+
+void esm_structure() {
+  std::printf("\n=== Table 5.8: ESM circuit structure ===\n");
+  const Sc17Layout layout;
+  const Circuit esm = layout.esm_circuit(0, qec::Orientation::kNormal);
+  std::printf("time slots: %zu (paper: 8)\n", esm.num_slots());
+  std::printf("gates:      %zu (paper: 48)\n", esm.num_operations());
+  std::size_t slot_index = 1;
+  for (const TimeSlot& slot : esm) {
+    std::printf("  slot %zu: %2zu ops  (", slot_index++, slot.size());
+    GateType last = slot.operations().front().gate();
+    std::size_t count = 0;
+    for (const Operation& op : slot) {
+      if (op.gate() != last) {
+        std::printf("%zux %s, ", count, std::string(name(last)).c_str());
+        last = op.gate();
+        count = 0;
+      }
+      ++count;
+    }
+    std::printf("%zux %s)\n", count, std::string(name(last)).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_logical_ops: SC17 logical operation verification "
+              "(thesis §5.1)\n\n");
+  listing_states();
+  hadamard_checks();
+  truth_table(GateType::kCnot, "Table 5.5: CNOT_L truth table");
+  truth_table(GateType::kCz, "Table 5.6: CZ_L truth table (Z-basis values)");
+  esm_structure();
+  return 0;
+}

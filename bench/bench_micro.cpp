@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives: tableau updates, state-vector gates, Pauli-frame stream
+// processing, LUT decoding and full QEC windows.
+#include <benchmark/benchmark.h>
+
+#include "arch/control_stack.h"
+#include "circuit/random.h"
+#include "core/pauli_frame.h"
+#include "qec/lut_decoder.h"
+#include "stabilizer/tableau.h"
+#include "statevector/simulator.h"
+
+namespace {
+
+using namespace qpf;
+
+void BM_TableauCnot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stab::Tableau tableau(n, 1);
+  Qubit a = 0;
+  for (auto _ : state) {
+    tableau.apply_cnot(a, (a + 1) % static_cast<Qubit>(n));
+    a = (a + 1) % static_cast<Qubit>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableauCnot)->Arg(17)->Arg(64)->Arg(256);
+
+void BM_TableauMeasure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stab::Tableau tableau(n, 1);
+  for (Qubit q = 0; q < n; ++q) {
+    tableau.apply_h(q);
+  }
+  Qubit q = 0;
+  for (auto _ : state) {
+    tableau.apply_h(q);  // keep outcomes random
+    benchmark::DoNotOptimize(tableau.measure(q));
+    q = (q + 1) % static_cast<Qubit>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableauMeasure)->Arg(17)->Arg(64);
+
+void BM_StateVectorGate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sv::Simulator sim(n, 1);
+  Qubit q = 0;
+  for (auto _ : state) {
+    sim.apply_unitary(Operation{GateType::kH, q});
+    q = (q + 1) % static_cast<Qubit>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateVectorGate)->Arg(10)->Arg(17)->Arg(20);
+
+void BM_PauliFrameProcess(benchmark::State& state) {
+  RandomCircuitGenerator gen(7);
+  RandomCircuitOptions options;
+  options.num_qubits = 17;
+  options.num_gates = 1000;
+  options.clifford_only = true;
+  const Circuit circuit = gen.generate(options);
+  pf::PauliFrame frame(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(frame.process(circuit));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(circuit.num_operations()));
+}
+BENCHMARK(BM_PauliFrameProcess);
+
+void BM_LutDecode(benchmark::State& state) {
+  const qec::LutDecoder lut(
+      {0b000001001, 0b000110110, 0b011011000, 0b100100000});
+  unsigned s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut.decode(s));
+    s = (s + 1) & 15;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LutDecode);
+
+void BM_QecWindow(benchmark::State& state) {
+  arch::LerStack::Config config;
+  config.physical_error_rate = 1e-3;
+  config.with_pauli_frame = state.range(0) != 0;
+  arch::LerStack stack(config);
+  stack.set_diagnostic_mode(true);
+  stack.ninja().initialize(0, qec::CheckType::kZ);
+  stack.set_diagnostic_mode(false);
+  for (auto _ : state) {
+    stack.ninja().run_window(0);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(config.with_pauli_frame ? "with-pauli-frame"
+                                         : "without-pauli-frame");
+}
+BENCHMARK(BM_QecWindow)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Regenerates Fig 5.27 (upper bound on the relative LER improvement a
+// Pauli frame can deliver, Eq 5.12) and the Fig 3.3 schedule comparison.
+#include <cstdio>
+#include <initializer_list>
+
+#include "core/schedule.h"
+
+int main() {
+  using namespace qpf::pf;
+
+  std::printf("bench_upper_bound: analytical Pauli-frame benefit model "
+              "(thesis §5.3.2, Eq 5.5-5.12)\n");
+
+  std::printf("\n=== Fig 5.27: upper bound on relative LER improvement, "
+              "tsESM = 8 ===\n");
+  std::printf("%-10s %-22s\n", "distance", "upper bound (%)");
+  for (std::size_t d = 3; d <= 11; ++d) {
+    const double bound = upper_bound_relative_improvement(d, 8);
+    std::printf("%-10zu %-22.3f", d, 100.0 * bound);
+    for (int i = 0; i < static_cast<int>(1000.0 * bound); ++i) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: ~5.9%% at d=3, below 3%% from d=5, converging to "
+              "0)\n");
+
+  std::printf("\n=== Fig 3.3: window schedules with and without Pauli frame "
+              "===\n");
+  std::printf("%-28s %-14s %-14s %-10s\n", "decoder latency (slots)",
+              "noPF latency", "PF latency", "saved");
+  std::printf("(noPF: ESM + decode + correction slot; PF: decode pipelined "
+              "with the next window's ESM)\n");
+  for (std::size_t decode : {0u, 8u, 16u, 24u, 32u, 64u}) {
+    ScheduleParams p;
+    p.decode_slots = decode;
+    const std::size_t without = window_latency(p, /*has_corrections=*/true);
+    p.pauli_frame = true;
+    const std::size_t with = window_latency(p, true);
+    std::printf("%-28zu %-14zu %-14zu %zu\n", decode, without, with,
+                without - with);
+  }
+  std::printf("(the Pauli frame removes the correction slot and takes "
+              "decoding off the critical path entirely)\n");
+
+  std::printf("\n=== Eq 5.5 LER estimate ratio (with/without PF) ===\n");
+  for (std::size_t d = 3; d <= 9; d += 2) {
+    ScheduleParams without;
+    without.distance = d;
+    without.esm_rounds = d - 1;
+    ScheduleParams with = without;
+    with.pauli_frame = true;
+    const double ratio =
+        ler_estimate(with, true) / ler_estimate(without, true);
+    std::printf("d=%zu: estimated LER ratio = %.4f (improvement %.2f%%)\n", d,
+                ratio, 100.0 * (1.0 - ratio));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared driver for the §5.3 Logical Error Rate experiments, used by
+// bench_ler, bench_ler_analysis and bench_esm_order.
+//
+// One "run" executes the Listing 5.7 loop on the Fig 5.8 stack:
+// initialize, then repeat { window; diagnostics; logical-stabilizer
+// probe } counting executed windows R and observed logical flips m
+// until m reaches a target (or a window cap, to bound runtime at very
+// low physical error rates).  LER = m / R (Eq 5.1).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "arch/control_stack.h"
+
+namespace qpf::bench {
+
+struct LerConfig {
+  double physical_error_rate = 1e-3;
+  bool with_pauli_frame = false;
+  /// kZ: |0>_L watching for X_L flips; kX: |+>_L watching for Z_L flips.
+  qec::CheckType basis = qec::CheckType::kZ;
+  std::size_t target_logical_errors = 10;
+  std::size_t max_windows = 2'000'000;
+  std::uint64_t seed = 1;
+  arch::NinjaStarLayer::Options ninja_options{};
+};
+
+struct LerRun {
+  std::size_t windows = 0;
+  std::size_t logical_errors = 0;
+  double saved_gates_fraction = 0.0;
+  double saved_slots_fraction = 0.0;
+
+  [[nodiscard]] double ler() const {
+    return windows == 0 ? 0.0
+                        : static_cast<double>(logical_errors) /
+                              static_cast<double>(windows);
+  }
+};
+
+/// Execute one LER run.
+[[nodiscard]] LerRun run_ler(const LerConfig& config);
+
+/// Aggregate of several runs at one physical error rate.
+struct LerPoint {
+  double physical_error_rate = 0.0;
+  std::vector<double> ler_samples;
+  std::vector<double> window_samples;
+  double mean_ler = 0.0;
+  double stddev_ler = 0.0;
+  double window_cv = 0.0;  ///< coefficient of variation of R (Eq 5.4)
+  double saved_gates = 0.0;
+  double saved_slots = 0.0;
+};
+
+/// Run `runs` independent repetitions at one physical error rate.
+[[nodiscard]] LerPoint run_ler_point(LerConfig config, std::size_t runs);
+
+/// Scale knobs shared by the LER benches, read from the environment:
+///   QPF_LER_ERRORS  target logical errors per run   (default 10)
+///   QPF_LER_RUNS    repetitions per PER point        (default 3)
+///   QPF_FULL=1      use the paper-scale grid and 10 runs x 50 errors
+struct BenchScale {
+  std::vector<double> per_grid;
+  std::size_t runs;
+  std::size_t target_errors;
+};
+
+[[nodiscard]] BenchScale bench_scale_from_env();
+
+/// Environment helper with default.
+[[nodiscard]] std::size_t env_size_t(const char* name, std::size_t fallback);
+
+}  // namespace qpf::bench

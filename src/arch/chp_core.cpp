@@ -1,0 +1,72 @@
+#include "arch/chp_core.h"
+
+#include <stdexcept>
+
+namespace qpf::arch {
+
+void ChpCore::create_qubits(std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("ChpCore: zero qubits requested");
+  }
+  binary_.assign(binary_.size() + count, BinaryValue::kUnknown);
+  tableau_ = std::make_unique<stab::Tableau>(binary_.size(), seed_);
+  // A fresh tableau is |0...0>.
+  for (auto& value : binary_) {
+    value = BinaryValue::kZero;
+  }
+  queue_.clear();
+}
+
+void ChpCore::remove_qubits() {
+  tableau_.reset();
+  binary_.clear();
+  queue_.clear();
+}
+
+void ChpCore::add(const Circuit& circuit) {
+  if (circuit.min_register_size() > binary_.size()) {
+    throw std::invalid_argument("ChpCore: circuit exceeds register");
+  }
+  queue_.push_back(circuit);
+}
+
+void ChpCore::execute() {
+  if (tableau_ == nullptr) {
+    throw std::logic_error("ChpCore: no qubits allocated");
+  }
+  std::vector<Circuit> pending;
+  pending.swap(queue_);  // cleared even if a gate below throws
+  for (const Circuit& circuit : pending) {
+    for (const TimeSlot& slot : circuit) {
+      for (const Operation& op : slot) {
+        switch (category(op.gate())) {
+          case GateCategory::kInitialization:
+            tableau_->reset(op.qubit(0));
+            binary_[op.qubit(0)] = BinaryValue::kZero;
+            break;
+          case GateCategory::kMeasurement:
+            binary_[op.qubit(0)] = tableau_->measure(op.qubit(0)).value
+                                       ? BinaryValue::kOne
+                                       : BinaryValue::kZero;
+            break;
+          default:
+            tableau_->apply_unitary(op);
+            for (int i = 0; i < op.arity(); ++i) {
+              if (op.gate() != GateType::kI) {
+                binary_[op.qubit(i)] = BinaryValue::kUnknown;
+              }
+            }
+            break;
+        }
+      }
+    }
+  }
+}
+
+BinaryState ChpCore::get_state() const { return binary_; }
+
+std::optional<sv::StateVector> ChpCore::get_quantum_state() const {
+  return std::nullopt;  // stabilizer backends expose no amplitudes
+}
+
+}  // namespace qpf::arch

@@ -1,0 +1,42 @@
+// ChpCore: the QPDO core backed by the stabilizer tableau simulator
+// (thesis §4.2.3).  Simulates Clifford circuits only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/core_interface.h"
+#include "stabilizer/tableau.h"
+
+namespace qpf::arch {
+
+class ChpCore final : public Core {
+ public:
+  explicit ChpCore(std::uint64_t seed = 1) : seed_(seed) {}
+
+  void create_qubits(std::size_t count) override;
+  void remove_qubits() override;
+  void add(const Circuit& circuit) override;
+  void execute() override;
+  [[nodiscard]] BinaryState get_state() const override;
+  [[nodiscard]] std::optional<sv::StateVector> get_quantum_state()
+      const override;
+  [[nodiscard]] std::size_t num_qubits() const override {
+    return binary_.size();
+  }
+
+  /// Direct tableau access for stabilizer assertions in tests.  Null
+  /// until qubits exist.
+  [[nodiscard]] const stab::Tableau* tableau() const noexcept {
+    return tableau_.get();
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::unique_ptr<stab::Tableau> tableau_;
+  BinaryState binary_;
+  std::vector<Circuit> queue_;
+};
+
+}  // namespace qpf::arch

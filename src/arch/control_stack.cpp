@@ -1,0 +1,55 @@
+#include "arch/control_stack.h"
+
+namespace qpf::arch {
+
+LerStack::LerStack(const Config& config) : core_(config.seed) {
+  counter_bottom_ = std::make_unique<CounterLayer>(&core_);
+  error_ = std::make_unique<ErrorLayer>(counter_bottom_.get(),
+                                        config.physical_error_rate,
+                                        config.seed ^ 0x9e3779b97f4a7c15ULL);
+  counter_below_ = std::make_unique<CounterLayer>(error_.get());
+  Core* below_frame = counter_below_.get();
+  if (config.with_pauli_frame) {
+    frame_ = std::make_unique<PauliFrameLayer>(below_frame);
+    below_frame = frame_.get();
+  }
+  counter_above_ = std::make_unique<CounterLayer>(below_frame);
+  ninja_ = std::make_unique<NinjaStarLayer>(counter_above_.get(),
+                                            config.ninja_options);
+  ninja_->create_qubits(config.logical_qubits);
+}
+
+void LerStack::set_diagnostic_mode(bool on) noexcept {
+  counter_bottom_->set_bypass(on);
+  error_->set_bypass(on);
+  counter_below_->set_bypass(on);
+  counter_above_->set_bypass(on);
+}
+
+void LerStack::reset_counters() noexcept {
+  counter_bottom_->reset_counters();
+  counter_below_->reset_counters();
+  counter_above_->reset_counters();
+}
+
+double LerStack::gates_saved_fraction() const noexcept {
+  const auto above = counters_above_frame().operations;
+  const auto below = counters_below_frame().operations;
+  if (above == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(above) - static_cast<double>(below)) /
+         static_cast<double>(above);
+}
+
+double LerStack::slots_saved_fraction() const noexcept {
+  const auto above = counters_above_frame().time_slots;
+  const auto below = counters_below_frame().time_slots;
+  if (above == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(above) - static_cast<double>(below)) /
+         static_cast<double>(above);
+}
+
+}  // namespace qpf::arch

@@ -1,0 +1,85 @@
+// Pre-assembled control stacks for the thesis' experiments.
+//
+// LerStack is the Fig 5.8 stack used by the §5.3 Logical Error Rate
+// study:
+//
+//     NinjaStarLayer            (logical operations + QEC control)
+//       CounterLayer  (above)   (stream before Pauli-frame filtering)
+//       [PauliFrameLayer]       (optional — the experiment variable)
+//       CounterLayer  (below)   (stream after filtering)
+//       ErrorLayer               (symmetric depolarizing noise)
+//       CounterLayer  (bottom)  (physical stream incl. injected faults)
+//       ChpCore                  (stabilizer simulation backend)
+//
+// diagnostic mode bypasses the error and counter layers (§5.3.1) so the
+// probe circuits are error-free and uncounted; the Pauli frame layer
+// stays active so its records remain consistent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/chp_core.h"
+#include "arch/counter_layer.h"
+#include "arch/error_layer.h"
+#include "arch/ninja_star_layer.h"
+#include "arch/pauli_frame_layer.h"
+
+namespace qpf::arch {
+
+class LerStack {
+ public:
+  struct Config {
+    double physical_error_rate = 1e-3;
+    bool with_pauli_frame = true;
+    std::uint64_t seed = 1;
+    std::size_t logical_qubits = 1;
+    NinjaStarLayer::Options ninja_options{};
+  };
+
+  explicit LerStack(const Config& config);
+
+  /// The top of the stack.
+  [[nodiscard]] NinjaStarLayer& ninja() noexcept { return *ninja_; }
+
+  /// Bypass (true) or re-arm (false) the error and counter layers.
+  void set_diagnostic_mode(bool on) noexcept;
+
+  [[nodiscard]] const Counters& counters_above_frame() const noexcept {
+    return counter_above_->counters();
+  }
+  [[nodiscard]] const Counters& counters_below_frame() const noexcept {
+    return counter_below_->counters();
+  }
+  [[nodiscard]] const Counters& counters_physical() const noexcept {
+    return counter_bottom_->counters();
+  }
+  void reset_counters() noexcept;
+
+  [[nodiscard]] const qec::ErrorTally& error_tally() const noexcept {
+    return error_->tally();
+  }
+
+  [[nodiscard]] bool has_pauli_frame() const noexcept {
+    return frame_ != nullptr;
+  }
+  [[nodiscard]] PauliFrameLayer* pauli_frame_layer() noexcept {
+    return frame_.get();
+  }
+
+  /// Fraction of gates / time slots the frame absorbed, from the two
+  /// counters around it (Figs 5.25 / 5.26).
+  [[nodiscard]] double gates_saved_fraction() const noexcept;
+  [[nodiscard]] double slots_saved_fraction() const noexcept;
+
+ private:
+  ChpCore core_;
+  std::unique_ptr<CounterLayer> counter_bottom_;
+  std::unique_ptr<ErrorLayer> error_;
+  std::unique_ptr<CounterLayer> counter_below_;
+  std::unique_ptr<PauliFrameLayer> frame_;  // may be null
+  std::unique_ptr<CounterLayer> counter_above_;
+  std::unique_ptr<NinjaStarLayer> ninja_;
+};
+
+}  // namespace qpf::arch

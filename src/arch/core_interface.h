@@ -1,0 +1,71 @@
+// The shared Core interface every QPDO layer implements (Table 4.1).
+//
+// A control stack is a chain of layers ending in a core; every element
+// speaks this interface, so layers can be recombined freely (Fig 4.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "statevector/state.h"
+
+namespace qpf::arch {
+
+/// Classical view of one qubit: 0 / 1 after reset or measurement,
+/// unknown after any other gate (thesis §4.2.2, the State structure).
+enum class BinaryValue : std::uint8_t { kZero, kOne, kUnknown };
+
+[[nodiscard]] constexpr char to_char(BinaryValue v) noexcept {
+  switch (v) {
+    case BinaryValue::kZero:
+      return '0';
+    case BinaryValue::kOne:
+      return '1';
+    case BinaryValue::kUnknown:
+      return 'x';
+  }
+  return '?';
+}
+
+/// Binary state of the whole register.
+using BinaryState = std::vector<BinaryValue>;
+
+/// Table 4.1 — the functions every layer and core supports.
+class Core {
+ public:
+  virtual ~Core() = default;
+
+  /// Allocate `count` additional qubits.  Reinitializes the register
+  /// (allocation happens during stack setup, before circuits run).
+  virtual void create_qubits(std::size_t count) = 0;
+
+  /// Deallocate every qubit.
+  virtual void remove_qubits() = 0;
+
+  /// Queue a circuit for execution.
+  virtual void add(const Circuit& circuit) = 0;
+
+  /// Execute every queued circuit in order.
+  virtual void execute() = 0;
+
+  /// Per-qubit binary state after the last execute().
+  [[nodiscard]] virtual BinaryState get_state() const = 0;
+
+  /// Full quantum state if the backend supports it (QX-style cores),
+  /// nullopt otherwise (CHP-style cores).
+  [[nodiscard]] virtual std::optional<sv::StateVector> get_quantum_state()
+      const = 0;
+
+  /// Current register size.
+  [[nodiscard]] virtual std::size_t num_qubits() const = 0;
+};
+
+/// Convenience: queue and run one circuit.
+inline void run(Core& core, const Circuit& circuit) {
+  core.add(circuit);
+  core.execute();
+}
+
+}  // namespace qpf::arch

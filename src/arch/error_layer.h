@@ -1,0 +1,38 @@
+// ErrorLayer: injects symmetric depolarizing noise into every circuit
+// passing through (thesis §4.2.3, §5.3.1).  Sits directly above the
+// core so that everything physical — including Pauli corrections that
+// were not absorbed by a Pauli frame, and idle slots — is noisy.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/layer.h"
+#include "qec/depolarizing.h"
+
+namespace qpf::arch {
+
+class ErrorLayer final : public Layer {
+ public:
+  ErrorLayer(Core* lower, double physical_error_rate, std::uint64_t seed)
+      : Layer(lower), model_(physical_error_rate, seed) {}
+
+  void add(const Circuit& circuit) override {
+    if (bypass_) {
+      lower().add(circuit);
+    } else {
+      lower().add(model_.inject(circuit, num_qubits()));
+    }
+  }
+
+  [[nodiscard]] const qec::DepolarizingModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const qec::ErrorTally& tally() const noexcept {
+    return model_.tally();
+  }
+
+ private:
+  qec::DepolarizingModel model_;
+};
+
+}  // namespace qpf::arch

@@ -1,0 +1,54 @@
+// Layer: base class for everything stacked on top of a core (Fig 4.3b).
+//
+// A layer implements the Core interface and owns nothing below it; by
+// default every call is forwarded verbatim.  The bypass flag (thesis
+// §5.3.1) routes traffic straight through a layer — used to run
+// diagnostics circuits without error injection or counting.
+#pragma once
+
+#include <stdexcept>
+
+#include "arch/core_interface.h"
+
+namespace qpf::arch {
+
+class Layer : public Core {
+ public:
+  explicit Layer(Core* lower) : lower_(lower) {
+    if (lower == nullptr) {
+      throw std::invalid_argument("Layer: null lower layer");
+    }
+  }
+
+  void create_qubits(std::size_t count) override {
+    lower_->create_qubits(count);
+  }
+  void remove_qubits() override { lower_->remove_qubits(); }
+  void add(const Circuit& circuit) override { lower_->add(circuit); }
+  void execute() override { lower_->execute(); }
+  [[nodiscard]] BinaryState get_state() const override {
+    return lower_->get_state();
+  }
+  [[nodiscard]] std::optional<sv::StateVector> get_quantum_state()
+      const override {
+    return lower_->get_quantum_state();
+  }
+  [[nodiscard]] std::size_t num_qubits() const override {
+    return lower_->num_qubits();
+  }
+
+  /// Diagnostic bypass: when set, the layer forwards traffic untouched.
+  void set_bypass(bool bypass) noexcept { bypass_ = bypass; }
+  [[nodiscard]] bool bypass() const noexcept { return bypass_; }
+
+ protected:
+  [[nodiscard]] Core& lower() noexcept { return *lower_; }
+  [[nodiscard]] const Core& lower() const noexcept { return *lower_; }
+
+  bool bypass_ = false;
+
+ private:
+  Core* lower_;
+};
+
+}  // namespace qpf::arch

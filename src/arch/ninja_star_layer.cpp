@@ -1,0 +1,358 @@
+#include "arch/ninja_star_layer.h"
+
+#include <stdexcept>
+
+namespace qpf::arch {
+
+using qec::CheckType;
+using qec::DanceMode;
+using qec::NinjaStar;
+using qec::Sc17Layout;
+using qec::StateValue;
+using qec::Syndrome;
+
+NinjaStarLayer::NinjaStarLayer(Core* lower)
+    : NinjaStarLayer(lower, Options{}) {}
+
+NinjaStarLayer::NinjaStarLayer(Core* lower, Options options)
+    : Layer(lower), options_(options), layout_(options.esm_pattern) {
+  if (options_.esm_rounds_per_window < 2) {
+    throw std::invalid_argument(
+        "NinjaStarLayer: a window needs at least two ESM rounds");
+  }
+}
+
+void NinjaStarLayer::create_qubits(std::size_t count) {
+  lower().create_qubits(count * Sc17Layout::kNumQubits);
+  stars_.clear();
+  const std::size_t stars = lower().num_qubits() / Sc17Layout::kNumQubits;
+  stars_.reserve(stars);
+  for (std::size_t i = 0; i < stars; ++i) {
+    stars_.emplace_back(static_cast<Qubit>(i * Sc17Layout::kNumQubits),
+                        &layout_);
+  }
+}
+
+void NinjaStarLayer::remove_qubits() {
+  lower().remove_qubits();
+  stars_.clear();
+  queue_.clear();
+}
+
+void NinjaStarLayer::add(const Circuit& logical_circuit) {
+  if (logical_circuit.min_register_size() > stars_.size()) {
+    throw std::invalid_argument("NinjaStarLayer: logical qubit out of range");
+  }
+  queue_.push_back(logical_circuit);
+}
+
+void NinjaStarLayer::execute() {
+  std::vector<Circuit> pending;
+  pending.swap(queue_);
+  for (const Circuit& circuit : pending) {
+    for (const TimeSlot& slot : circuit) {
+      for (const Operation& op : slot) {
+        apply_logical(op);
+      }
+    }
+  }
+}
+
+BinaryState NinjaStarLayer::get_state() const {
+  BinaryState state;
+  state.reserve(stars_.size());
+  for (const NinjaStar& star : stars_) {
+    switch (star.state()) {
+      case StateValue::kZero:
+        state.push_back(BinaryValue::kZero);
+        break;
+      case StateValue::kOne:
+        state.push_back(BinaryValue::kOne);
+        break;
+      case StateValue::kUnknown:
+        state.push_back(BinaryValue::kUnknown);
+        break;
+    }
+  }
+  return state;
+}
+
+NinjaStar& NinjaStarLayer::star(Qubit logical) {
+  if (logical >= stars_.size()) {
+    throw std::out_of_range("NinjaStarLayer: logical qubit out of range");
+  }
+  return stars_[logical];
+}
+
+const NinjaStar& NinjaStarLayer::star(Qubit logical) const {
+  if (logical >= stars_.size()) {
+    throw std::out_of_range("NinjaStarLayer: logical qubit out of range");
+  }
+  return stars_[logical];
+}
+
+void NinjaStarLayer::run_lower(const Circuit& circuit) {
+  lower().add(circuit);
+  lower().execute();
+}
+
+Syndrome NinjaStarLayer::run_esm_round(NinjaStar& star) {
+  run_lower(star.esm_circuit());
+  const BinaryState state = lower().get_state();
+  Syndrome syndrome = star.carried_syndrome();
+  for (int ancilla : star.esm_measurement_order()) {
+    const Qubit q = Sc17Layout::ancilla_qubit(star.base(), ancilla);
+    if (state.at(q) == BinaryValue::kUnknown) {
+      throw std::logic_error("NinjaStarLayer: ancilla not measured");
+    }
+    const Syndrome bit = static_cast<Syndrome>(1u << ancilla);
+    if (state.at(q) == BinaryValue::kOne) {
+      syndrome = static_cast<Syndrome>(syndrome | bit);
+    } else {
+      syndrome = static_cast<Syndrome>(syndrome & ~bit);
+    }
+  }
+  return syndrome;
+}
+
+void NinjaStarLayer::initialize(Qubit logical, CheckType basis) {
+  NinjaStar& s = star(logical);
+  run_lower(s.reset_circuit());
+  s.on_reset();
+  if (basis == CheckType::kX) {
+    // |+>_L: transversal H as *state preparation* (the lattice stays in
+    // the normal orientation, unlike a logical H gate).
+    Circuit prep{"plus-prep"};
+    TimeSlot slot;
+    for (int d = 0; d < static_cast<int>(Sc17Layout::kNumData); ++d) {
+      slot.add(Operation{GateType::kH, Sc17Layout::data_qubit(s.base(), d)});
+    }
+    prep.append_slot(std::move(slot));
+    run_lower(prep);
+    s.set_state(StateValue::kUnknown);
+  }
+  // The first ESM round projects the checks.  Gauge-fix only the
+  // randomly projected group; real errors (the other group) defer to
+  // the confirmation window below, whose agreement rule makes single
+  // faults harmless.
+  const Syndrome first = run_esm_round(s);
+  const std::vector<Operation> gauge = s.decode_gauge(
+      first, basis == CheckType::kZ ? CheckType::kX : CheckType::kZ);
+  if (!gauge.empty()) {
+    Circuit fix{"init-corrections"};
+    TimeSlot slot;
+    for (const Operation& op : gauge) {
+      slot.add(op);
+    }
+    fix.append_slot(std::move(slot));
+    run_lower(fix);
+  }
+  // Complete d rounds of ESM with a regular decoded window.
+  run_window(logical);
+}
+
+void NinjaStarLayer::initialize_injected(Qubit logical,
+                                         const Circuit& center_preparation) {
+  NinjaStar& s = star(logical);
+  run_lower(s.reset_circuit());
+  s.on_reset();
+  // |0>/|+> pattern: D0, D3, D5, D8 stay |0> (making Z0Z3 and Z5Z8
+  // deterministic), D1, D2, D6, D7 go to |+> (making X1X2 and X6X7
+  // deterministic); the injected state sits on D4.  All three logical
+  // operators then restrict onto D4, so the stabilizer projection
+  // preserves the full Bloch vector.
+  Circuit pattern{"injection-pattern"};
+  TimeSlot slot;
+  for (int d : {1, 2, 6, 7}) {
+    slot.add(Operation{GateType::kH, Sc17Layout::data_qubit(s.base(), d)});
+  }
+  pattern.append_slot(std::move(slot));
+  run_lower(pattern);
+  // Retarget the preparation gates onto the physical center qubit.
+  Circuit center{"injection-center"};
+  for (const TimeSlot& prep_slot : center_preparation) {
+    for (const Operation& op : prep_slot) {
+      if (op.arity() != 1 || op.qubit(0) != 0) {
+        throw std::invalid_argument(
+            "initialize_injected: preparation must be single-qubit gates "
+            "on qubit 0");
+      }
+      center.append(op.gate(), Sc17Layout::data_qubit(s.base(), 4));
+    }
+  }
+  run_lower(center);
+  // Project into the code space and gauge-fix with corrections that
+  // commute with the logical operators.
+  const Syndrome first = run_esm_round(s);
+  const std::vector<Operation> gauge = s.decode_injection(first);
+  if (!gauge.empty()) {
+    Circuit fix{"injection-corrections"};
+    TimeSlot fix_slot;
+    for (const Operation& op : gauge) {
+      fix_slot.add(op);
+    }
+    fix.append_slot(std::move(fix_slot));
+    run_lower(fix);
+  }
+  s.set_state(StateValue::kUnknown);
+  run_window(logical);
+}
+
+void NinjaStarLayer::run_window(Qubit logical) {
+  NinjaStar& s = star(logical);
+  Syndrome r1 = 0;
+  for (std::size_t round = 0; round + 1 < options_.esm_rounds_per_window;
+       ++round) {
+    r1 = run_esm_round(s);
+  }
+  const Syndrome r2 = run_esm_round(s);
+  if (!options_.decoding_enabled) {
+    (void)r1;
+    s.set_carried_syndrome(r2);
+    return;
+  }
+  const std::vector<Operation> corrections = s.decode_window(r1, r2);
+  if (!corrections.empty()) {
+    Circuit fix{"window-corrections"};
+    TimeSlot slot;
+    for (const Operation& op : corrections) {
+      slot.add(op);
+    }
+    fix.append_slot(std::move(slot));
+    run_lower(fix);
+  }
+}
+
+bool NinjaStarLayer::has_observable_errors(Qubit logical) {
+  return probe_syndrome(logical) != 0;
+}
+
+Syndrome NinjaStarLayer::probe_syndrome(Qubit logical) {
+  NinjaStar& s = star(logical);
+  const Syndrome carried = s.carried_syndrome();
+  const Syndrome probe = run_esm_round(s);
+  // The probe round must not perturb the decoder bookkeeping.
+  s.set_carried_syndrome(carried);
+  return probe;
+}
+
+int NinjaStarLayer::measure_logical_stabilizer(Qubit logical,
+                                               CheckType basis) {
+  NinjaStar& s = star(logical);
+  run_lower(s.logical_stabilizer_circuit(basis));
+  const BinaryState state = lower().get_state();
+  const Qubit ancilla = Sc17Layout::ancilla_qubit(s.base(), 0);
+  if (state.at(ancilla) == BinaryValue::kUnknown) {
+    throw std::logic_error("NinjaStarLayer: stabilizer ancilla not measured");
+  }
+  return state.at(ancilla) == BinaryValue::kOne ? -1 : +1;
+}
+
+int NinjaStarLayer::measure_logical(Qubit logical) {
+  NinjaStar& s = star(logical);
+  run_lower(s.measure_circuit());
+  const BinaryState raw = lower().get_state();
+  std::array<bool, Sc17Layout::kNumData> bits{};
+  for (int d = 0; d < static_cast<int>(Sc17Layout::kNumData); ++d) {
+    const Qubit q = Sc17Layout::data_qubit(s.base(), d);
+    if (raw.at(q) == BinaryValue::kUnknown) {
+      throw std::logic_error("NinjaStarLayer: data qubit not measured");
+    }
+    bits[static_cast<std::size_t>(d)] = raw.at(q) == BinaryValue::kOne;
+  }
+  // Partial (Z-ancilla only) ESM rounds accompany the measurement
+  // procedure (§5.1.2).  The classical fix, however, comes from the
+  // readout string itself: code states satisfy every Z-check parity, so
+  // parity violations of the measured bits pinpoint pre-readout X flips
+  // without being fooled by errors that strike after readout.
+  run_lower(layout_.esm_circuit(s.base(), s.orientation(), DanceMode::kZOnly));
+  std::vector<int> ones;
+  for (int d = 0; d < static_cast<int>(Sc17Layout::kNumData); ++d) {
+    if (bits[static_cast<std::size_t>(d)]) {
+      ones.push_back(d);
+    }
+  }
+  const Syndrome violations = s.signature(ones, CheckType::kX);
+  for (int d : s.decode_partial_round(violations)) {
+    bits[static_cast<std::size_t>(d)] = !bits[static_cast<std::size_t>(d)];
+  }
+  int sign = +1;
+  for (bool b : bits) {
+    sign = b ? -sign : sign;
+  }
+  s.on_measured(sign);
+  return sign;
+}
+
+void NinjaStarLayer::run_windows_after(Qubit logical) {
+  for (std::size_t i = 0; i < options_.windows_per_operation; ++i) {
+    run_window(logical);
+  }
+}
+
+void NinjaStarLayer::apply_logical(const Operation& op) {
+  switch (op.gate()) {
+    case GateType::kPrepZ:
+      initialize(op.qubit(0), CheckType::kZ);
+      return;
+    case GateType::kMeasureZ:
+      (void)measure_logical(op.qubit(0));
+      return;
+    case GateType::kI:
+      run_windows_after(op.qubit(0));
+      return;
+    case GateType::kX: {
+      NinjaStar& s = star(op.qubit(0));
+      run_lower(s.logical_x_circuit());
+      s.on_logical_x();
+      run_windows_after(op.qubit(0));
+      return;
+    }
+    case GateType::kZ: {
+      NinjaStar& s = star(op.qubit(0));
+      run_lower(s.logical_z_circuit());
+      s.on_logical_z();
+      run_windows_after(op.qubit(0));
+      return;
+    }
+    case GateType::kY: {
+      // Y_L ~ X_L Z_L up to global phase.
+      NinjaStar& s = star(op.qubit(0));
+      run_lower(s.logical_z_circuit());
+      run_lower(s.logical_x_circuit());
+      s.on_logical_x();
+      run_windows_after(op.qubit(0));
+      return;
+    }
+    case GateType::kH: {
+      NinjaStar& s = star(op.qubit(0));
+      run_lower(s.logical_h_circuit());
+      s.on_logical_h();
+      run_windows_after(op.qubit(0));
+      return;
+    }
+    case GateType::kCnot: {
+      NinjaStar& c = star(op.control());
+      NinjaStar& t = star(op.target());
+      run_lower(NinjaStar::logical_cnot_circuit(c, t));
+      NinjaStar::on_logical_cnot(c, t);
+      run_windows_after(op.control());
+      run_windows_after(op.target());
+      return;
+    }
+    case GateType::kCz: {
+      NinjaStar& a = star(op.control());
+      NinjaStar& b = star(op.target());
+      run_lower(NinjaStar::logical_cz_circuit(a, b));
+      NinjaStar::on_logical_cz(a, b);
+      run_windows_after(op.control());
+      run_windows_after(op.target());
+      return;
+    }
+    default:
+      throw std::invalid_argument(
+          "NinjaStarLayer: no fault-tolerant implementation for " + op.str());
+  }
+}
+
+}  // namespace qpf::arch

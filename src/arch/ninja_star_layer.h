@@ -1,0 +1,114 @@
+// NinjaStarLayer: the QEC layer controlling SC17 logical qubits
+// (thesis §5.1.3, Table 5.4).
+//
+// Upwards it speaks the Core interface at the *logical* level: qubit q
+// of an added circuit is logical qubit q, gates are logical operations
+// (Table 5.1), and get_state() reports logical binary values.  Each
+// logical qubit owns 17 consecutive physical qubits in the stack below
+// (a private ancilla set).
+//
+// Besides the transparent Core interface, the layer exposes the
+// experiment API used by the LER study of §5.3: explicit initialization,
+// windows (ESM rounds + decode + correct), and the diagnostics checks
+// (observable-error probe and Fig 5.10 logical-stabilizer readout).
+#pragma once
+
+#include <vector>
+
+#include "arch/layer.h"
+#include "qec/ninja_star.h"
+
+namespace qpf::arch {
+
+class NinjaStarLayer final : public Layer {
+ public:
+  struct Options {
+    /// ESM rounds per QEC window; the thesis uses d - 1 = 2 (§5.3.1).
+    std::size_t esm_rounds_per_window = 2;
+    /// Windows automatically run on the involved stars after each
+    /// logical gate executed through the Core interface (Fig 2.6).
+    std::size_t windows_per_operation = 1;
+    /// ESM CNOT ordering (ablation knob; kMixed is the paper's choice).
+    qec::CnotPattern esm_pattern = qec::CnotPattern::kMixed;
+    /// When false, windows measure syndromes but never decode or issue
+    /// corrections (decoder ablation).
+    bool decoding_enabled = true;
+  };
+
+  explicit NinjaStarLayer(Core* lower);
+  NinjaStarLayer(Core* lower, Options options);
+
+  // --- Core interface (logical level) ---------------------------------
+  void create_qubits(std::size_t count) override;
+  void remove_qubits() override;
+  void add(const Circuit& logical_circuit) override;
+  void execute() override;
+  [[nodiscard]] BinaryState get_state() const override;
+  [[nodiscard]] std::size_t num_qubits() const override {
+    return stars_.size();
+  }
+
+  // --- Experiment API --------------------------------------------------
+  [[nodiscard]] qec::NinjaStar& star(Qubit logical);
+  [[nodiscard]] const qec::NinjaStar& star(Qubit logical) const;
+
+  /// Initialize logical qubit q: |0>_L for CheckType::kZ, |+>_L for
+  /// CheckType::kX.  Runs reset + d rounds of ESM with decoding
+  /// (§2.6.1); works under noise.
+  void initialize(Qubit logical, qec::CheckType basis = qec::CheckType::kZ);
+
+  /// State injection (thesis future work, after [14]): encode an
+  /// arbitrary single-qubit state into the logical qubit.  The center
+  /// data qubit D4 is prepared with `center_preparation` (single-qubit
+  /// gates addressed to qubit 0, retargeted to D4), the remaining data
+  /// qubits in the |0>/|+> pattern that makes every boundary check
+  /// deterministic, and one decoded ESM round projects into the code
+  /// space.  Not fault-tolerant (like every d=3 injection scheme): a
+  /// single fault during injection can corrupt the encoded state.
+  void initialize_injected(Qubit logical, const Circuit& center_preparation);
+
+  /// One QEC window: esm_rounds_per_window rounds of ESM, decode with
+  /// the carried round (Fig 5.9), then issue the corrections.
+  void run_window(Qubit logical);
+
+  /// Diagnostic probe (§5.3.1): run one full ESM round and report
+  /// whether any check deviates from the code space.  Run it with the
+  /// error and counter layers bypassed.
+  [[nodiscard]] bool has_observable_errors(Qubit logical);
+
+  /// Diagnostic syndrome readout: one full ESM round, returning the raw
+  /// 8-bit syndrome without touching the decoder bookkeeping.  Run it
+  /// with the error and counter layers bypassed.
+  [[nodiscard]] qec::Syndrome probe_syndrome(Qubit logical);
+
+  /// Fig 5.10: measure the logical stabilizer (kZ -> Z-chain parity
+  /// detecting X_L flips; kX -> X-chain parity detecting Z_L flips)
+  /// without disturbing the state.  Returns +1 or -1.
+  [[nodiscard]] int measure_logical_stabilizer(Qubit logical,
+                                               qec::CheckType basis);
+
+  /// Transversal logical measurement (§2.6.1): returns +1 / -1 and
+  /// updates the star's run-time properties.
+  [[nodiscard]] int measure_logical(Qubit logical);
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  void set_windows_per_operation(std::size_t n) noexcept {
+    options_.windows_per_operation = n;
+  }
+
+ private:
+  /// Execute one ESM round and collect the syndrome; ancillas inactive
+  /// in the current dance mode report their carried bits.
+  qec::Syndrome run_esm_round(qec::NinjaStar& star);
+  /// Execute a circuit through the stack below.
+  void run_lower(const Circuit& circuit);
+  void apply_logical(const Operation& op);
+  void run_windows_after(Qubit logical);
+
+  Options options_;
+  qec::Sc17Layout layout_;
+  std::vector<qec::NinjaStar> stars_;
+  std::vector<Circuit> queue_;
+};
+
+}  // namespace qpf::arch

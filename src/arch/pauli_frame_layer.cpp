@@ -1,0 +1,28 @@
+#include "arch/pauli_frame_layer.h"
+
+namespace qpf::arch {
+
+BinaryState PauliFrameLayer::get_state() const {
+  require_frame();
+  BinaryState state = lower().get_state();
+  for (Qubit q = 0; q < state.size(); ++q) {
+    if (state[q] == BinaryValue::kUnknown) {
+      continue;
+    }
+    const bool raw = state[q] == BinaryValue::kOne;
+    state[q] = frame_->correct_measurement(q, raw) ? BinaryValue::kOne
+                                                   : BinaryValue::kZero;
+  }
+  return state;
+}
+
+void PauliFrameLayer::flush() {
+  require_frame();
+  const Circuit corrections = frame_->flush_all();
+  if (!corrections.empty()) {
+    lower().add(corrections);
+    lower().execute();
+  }
+}
+
+}  // namespace qpf::arch

@@ -1,0 +1,62 @@
+// PauliFrameLayer: the Pauli Frame Unit as a QPDO layer (thesis §5.2.1).
+//
+// Circuits passing down are rewritten by the frame (Pauli gates
+// absorbed, Clifford gates mapped, non-Clifford flushes inserted); the
+// binary state coming back up is corrected per Table 3.2.
+//
+// The bypass flag is deliberately ignored here: the records must stay
+// consistent with every circuit that reaches the qubits, so even the
+// diagnostics circuits of §5.3.1 flow through the frame (the thesis
+// bypasses only the counter and error layers).
+#pragma once
+
+#include "arch/layer.h"
+#include "core/pauli_frame.h"
+
+namespace qpf::arch {
+
+class PauliFrameLayer final : public Layer {
+ public:
+  explicit PauliFrameLayer(Core* lower) : Layer(lower) {}
+
+  void create_qubits(std::size_t count) override {
+    lower().create_qubits(count);
+    frame_ = pf::PauliFrame{num_qubits()};
+  }
+
+  void remove_qubits() override {
+    lower().remove_qubits();
+    frame_.reset();
+  }
+
+  void add(const Circuit& circuit) override {
+    require_frame();
+    lower().add(frame_->process(circuit));
+  }
+
+  [[nodiscard]] BinaryState get_state() const override;
+
+  /// Apply every pending record on the qubits (needed before comparing
+  /// raw quantum states, §5.2.2) and run it.
+  void flush();
+
+  [[nodiscard]] pf::PauliFrame& frame() {
+    require_frame();
+    return *frame_;
+  }
+  [[nodiscard]] const pf::PauliFrame& frame() const {
+    require_frame();
+    return *frame_;
+  }
+
+ private:
+  void require_frame() const {
+    if (!frame_.has_value()) {
+      throw std::logic_error("PauliFrameLayer: no qubits allocated");
+    }
+  }
+
+  mutable std::optional<pf::PauliFrame> frame_;
+};
+
+}  // namespace qpf::arch

@@ -1,0 +1,71 @@
+#include "arch/qx_core.h"
+
+#include <stdexcept>
+
+namespace qpf::arch {
+
+void QxCore::create_qubits(std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("QxCore: zero qubits requested");
+  }
+  binary_.assign(binary_.size() + count, BinaryValue::kZero);
+  simulator_ = std::make_unique<sv::Simulator>(binary_.size(), seed_);
+  queue_.clear();
+}
+
+void QxCore::remove_qubits() {
+  simulator_.reset();
+  binary_.clear();
+  queue_.clear();
+}
+
+void QxCore::add(const Circuit& circuit) {
+  if (circuit.min_register_size() > binary_.size()) {
+    throw std::invalid_argument("QxCore: circuit exceeds register");
+  }
+  queue_.push_back(circuit);
+}
+
+void QxCore::execute() {
+  if (simulator_ == nullptr) {
+    throw std::logic_error("QxCore: no qubits allocated");
+  }
+  std::vector<Circuit> pending;
+  pending.swap(queue_);  // cleared even if a gate below throws
+  for (const Circuit& circuit : pending) {
+    for (const TimeSlot& slot : circuit) {
+      for (const Operation& op : slot) {
+        switch (category(op.gate())) {
+          case GateCategory::kInitialization:
+            simulator_->reset(op.qubit(0));
+            binary_[op.qubit(0)] = BinaryValue::kZero;
+            break;
+          case GateCategory::kMeasurement:
+            binary_[op.qubit(0)] = simulator_->measure(op.qubit(0)).value
+                                       ? BinaryValue::kOne
+                                       : BinaryValue::kZero;
+            break;
+          default:
+            simulator_->apply_unitary(op);
+            for (int i = 0; i < op.arity(); ++i) {
+              if (op.gate() != GateType::kI) {
+                binary_[op.qubit(i)] = BinaryValue::kUnknown;
+              }
+            }
+            break;
+        }
+      }
+    }
+  }
+}
+
+BinaryState QxCore::get_state() const { return binary_; }
+
+std::optional<sv::StateVector> QxCore::get_quantum_state() const {
+  if (simulator_ == nullptr) {
+    return std::nullopt;
+  }
+  return simulator_->state();
+}
+
+}  // namespace qpf::arch

@@ -1,0 +1,41 @@
+// QxCore: the QPDO core backed by the universal state-vector simulator
+// (the in-process equivalent of the thesis' QX-over-TCP core).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/core_interface.h"
+#include "statevector/simulator.h"
+
+namespace qpf::arch {
+
+class QxCore final : public Core {
+ public:
+  explicit QxCore(std::uint64_t seed = 1) : seed_(seed) {}
+
+  void create_qubits(std::size_t count) override;
+  void remove_qubits() override;
+  void add(const Circuit& circuit) override;
+  void execute() override;
+  [[nodiscard]] BinaryState get_state() const override;
+  [[nodiscard]] std::optional<sv::StateVector> get_quantum_state()
+      const override;
+  [[nodiscard]] std::size_t num_qubits() const override {
+    return binary_.size();
+  }
+
+  /// Direct simulator access for tests; null until qubits exist.
+  [[nodiscard]] const sv::Simulator* simulator() const noexcept {
+    return simulator_.get();
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::unique_ptr<sv::Simulator> simulator_;
+  BinaryState binary_;
+  std::vector<Circuit> queue_;
+};
+
+}  // namespace qpf::arch

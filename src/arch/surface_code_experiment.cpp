@@ -1,0 +1,146 @@
+#include "arch/surface_code_experiment.h"
+
+#include <stdexcept>
+
+namespace qpf::arch {
+
+using qec::CheckType;
+using qec::SurfaceCodePatch;
+
+SurfaceCodeExperiment::SurfaceCodeExperiment(const Config& config)
+    : layout_(config.distance),
+      rounds_per_window_(config.esm_rounds_per_window != 0
+                             ? config.esm_rounds_per_window
+                             : static_cast<std::size_t>(config.distance - 1)),
+      core_(config.seed),
+      patch_(&layout_, 0) {
+  if (rounds_per_window_ < 2) {
+    throw std::invalid_argument(
+        "SurfaceCodeExperiment: a window needs at least two ESM rounds");
+  }
+  error_ = std::make_unique<ErrorLayer>(&core_, config.physical_error_rate,
+                                        config.seed ^ 0x9e3779b97f4a7c15ULL);
+  counter_below_ = std::make_unique<CounterLayer>(error_.get());
+  Core* below = counter_below_.get();
+  if (config.with_pauli_frame) {
+    frame_ = std::make_unique<PauliFrameLayer>(below);
+    below = frame_.get();
+  }
+  counter_above_ = std::make_unique<CounterLayer>(below);
+  top_ = counter_above_.get();
+  top_->create_qubits(layout_.num_qubits());
+}
+
+void SurfaceCodeExperiment::set_diagnostic_mode(bool on) noexcept {
+  error_->set_bypass(on);
+  counter_below_->set_bypass(on);
+  counter_above_->set_bypass(on);
+}
+
+void SurfaceCodeExperiment::run_top(const Circuit& circuit) {
+  top_->add(circuit);
+  top_->execute();
+}
+
+SurfaceCodePatch::Bits SurfaceCodeExperiment::run_esm_round() {
+  run_top(layout_.esm_circuit(0));
+  const BinaryState state = top_->get_state();
+  SurfaceCodePatch::Bits bits(layout_.num_checks(), 0);
+  for (std::size_t k = 0; k < layout_.num_checks(); ++k) {
+    const Qubit q =
+        layout_.ancilla_qubit(0, layout_.checks()[k].ancilla);
+    if (state.at(q) == BinaryValue::kUnknown) {
+      throw std::logic_error("SurfaceCodeExperiment: ancilla not measured");
+    }
+    bits[k] = state.at(q) == BinaryValue::kOne ? 1 : 0;
+  }
+  return bits;
+}
+
+void SurfaceCodeExperiment::initialize(CheckType basis) {
+  run_top(layout_.reset_circuit(0));
+  if (basis == CheckType::kX) {
+    run_top(layout_.transversal_h_circuit(0));
+  }
+  const SurfaceCodePatch::Bits first = run_esm_round();
+  const auto gauge = patch_.decode_gauge(
+      first, basis == CheckType::kZ ? CheckType::kX : CheckType::kZ);
+  if (!gauge.empty()) {
+    Circuit fix{"init-corrections"};
+    TimeSlot slot;
+    for (const Operation& op : gauge) {
+      slot.add(op);
+    }
+    fix.append_slot(std::move(slot));
+    run_top(fix);
+  }
+  run_window();
+}
+
+void SurfaceCodeExperiment::run_window() {
+  SurfaceCodePatch::Bits r1;
+  for (std::size_t round = 0; round + 1 < rounds_per_window_; ++round) {
+    r1 = run_esm_round();
+  }
+  const SurfaceCodePatch::Bits r2 = run_esm_round();
+  const auto corrections = patch_.decode_window(r1, r2);
+  if (!corrections.empty()) {
+    Circuit fix{"window-corrections"};
+    TimeSlot slot;
+    for (const Operation& op : corrections) {
+      slot.add(op);
+    }
+    fix.append_slot(std::move(slot));
+    run_top(fix);
+  }
+}
+
+bool SurfaceCodeExperiment::has_observable_errors() {
+  const SurfaceCodePatch::Bits carried = patch_.carried();
+  const SurfaceCodePatch::Bits probe = run_esm_round();
+  patch_.set_carried(carried);
+  for (std::uint8_t bit : probe) {
+    if (bit != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int SurfaceCodeExperiment::measure_logical_stabilizer(CheckType basis) {
+  run_top(layout_.logical_stabilizer_circuit(0, basis));
+  const BinaryState state = top_->get_state();
+  const Qubit ancilla = layout_.ancilla_qubit(0, 0);
+  if (state.at(ancilla) == BinaryValue::kUnknown) {
+    throw std::logic_error(
+        "SurfaceCodeExperiment: stabilizer ancilla not measured");
+  }
+  return state.at(ancilla) == BinaryValue::kOne ? -1 : +1;
+}
+
+double SurfaceCodeExperiment::gates_saved_fraction() const noexcept {
+  const auto above = counter_above_->counters().operations;
+  const auto below = counter_below_->counters().operations;
+  if (above == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(above) - static_cast<double>(below)) /
+         static_cast<double>(above);
+}
+
+double SurfaceCodeExperiment::slots_saved_fraction() const noexcept {
+  const auto above = counter_above_->counters().time_slots;
+  const auto below = counter_below_->counters().time_slots;
+  if (above == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(above) - static_cast<double>(below)) /
+         static_cast<double>(above);
+}
+
+void SurfaceCodeExperiment::reset_counters() noexcept {
+  counter_above_->reset_counters();
+  counter_below_->reset_counters();
+}
+
+}  // namespace qpf::arch

@@ -1,0 +1,72 @@
+// Distance-d memory experiment driver: the Fig 5.8 control stack and
+// Listing 5.7 loop, generalized from SC17 to any odd distance (thesis
+// future work).  Stack: counter / [Pauli frame] / counter / error /
+// ChpCore, with the same diagnostic-bypass discipline as LerStack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "arch/chp_core.h"
+#include "arch/counter_layer.h"
+#include "arch/error_layer.h"
+#include "arch/pauli_frame_layer.h"
+#include "qec/surface_code_patch.h"
+
+namespace qpf::arch {
+
+class SurfaceCodeExperiment {
+ public:
+  struct Config {
+    int distance = 3;
+    double physical_error_rate = 1e-3;
+    bool with_pauli_frame = true;
+    std::uint64_t seed = 1;
+    /// ESM rounds per window; 0 means the thesis default d - 1.
+    std::size_t esm_rounds_per_window = 0;
+  };
+
+  explicit SurfaceCodeExperiment(const Config& config);
+
+  /// Initialize to |0>_L (kZ) or |+>_L (kX): reset (+ transversal H),
+  /// one absolutely-decoded round, then a regular window.
+  void initialize(qec::CheckType basis);
+
+  /// One QEC window: rounds of ESM + matching decode + corrections.
+  void run_window();
+
+  /// Diagnostic probe; call inside diagnostic mode.
+  [[nodiscard]] bool has_observable_errors();
+
+  /// Non-destructive logical-operator parity (+1 / -1); diagnostic.
+  [[nodiscard]] int measure_logical_stabilizer(qec::CheckType basis);
+
+  void set_diagnostic_mode(bool on) noexcept;
+
+  [[nodiscard]] double gates_saved_fraction() const noexcept;
+  [[nodiscard]] double slots_saved_fraction() const noexcept;
+  void reset_counters() noexcept;
+
+  [[nodiscard]] const qec::SurfaceCodeLayout& layout() const noexcept {
+    return layout_;
+  }
+  [[nodiscard]] qec::SurfaceCodePatch& patch() noexcept { return patch_; }
+  /// The raw device, for targeted fault injection in tests.
+  [[nodiscard]] ChpCore& device() noexcept { return core_; }
+
+ private:
+  [[nodiscard]] qec::SurfaceCodePatch::Bits run_esm_round();
+  void run_top(const Circuit& circuit);
+
+  qec::SurfaceCodeLayout layout_;
+  std::size_t rounds_per_window_;
+  ChpCore core_;
+  std::unique_ptr<ErrorLayer> error_;
+  std::unique_ptr<CounterLayer> counter_below_;
+  std::unique_ptr<PauliFrameLayer> frame_;  // may be null
+  std::unique_ptr<CounterLayer> counter_above_;
+  Core* top_ = nullptr;
+  qec::SurfaceCodePatch patch_;
+};
+
+}  // namespace qpf::arch

@@ -1,0 +1,173 @@
+#include "arch/testbench.h"
+
+#include <stdexcept>
+
+#include "statevector/simulator.h"
+
+namespace qpf::arch {
+
+TestBench::Report TestBench::run(Core& stack, std::size_t iterations) {
+  Report report;
+  set_up(stack);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    ++report.iterations;
+    if (iteration(stack)) {
+      ++report.passed;
+    }
+  }
+  tear_down(stack, report);
+  return report;
+}
+
+// --- BellStateHistoTb -------------------------------------------------
+
+void BellStateHistoTb::set_up(Core& stack) {
+  histogram_.clear();
+  stack.remove_qubits();
+  stack.create_qubits(2);
+}
+
+bool BellStateHistoTb::iteration(Core& stack) {
+  Circuit circuit{"bell"};
+  circuit.append(GateType::kPrepZ, 0);
+  circuit.append(GateType::kPrepZ, 1);
+  circuit.append(GateType::kH, 0);
+  circuit.append(GateType::kCnot, 0, 1);
+  if (odd_) {
+    // Fig 5.6: a trailing X on q0 turns |00>+|11> into |01>+|10>.
+    circuit.append(GateType::kX, 0);
+  }
+  circuit.append(GateType::kMeasureZ, 0);
+  circuit.append(GateType::kMeasureZ, 1);
+  stack.add(circuit);
+  stack.execute();
+  const BinaryState state = stack.get_state();
+  if (state.size() < 2 || state[0] == BinaryValue::kUnknown ||
+      state[1] == BinaryValue::kUnknown) {
+    return false;
+  }
+  // Render |q1 q0> to match the thesis' bitstring convention.
+  std::string key{"|"};
+  key += to_char(state[1]);
+  key += to_char(state[0]);
+  key += ">";
+  ++histogram_[key];
+  // The two qubits must agree (even Bell) or disagree (odd Bell).
+  const bool equal = state[0] == state[1];
+  return odd_ ? !equal : equal;
+}
+
+void BellStateHistoTb::tear_down(Core& stack, Report& report) {
+  (void)stack;
+  for (const auto& [key, count] : histogram_) {
+    report.details += key + ": " + std::to_string(count) + "\n";
+  }
+}
+
+// --- GateSupportTb ----------------------------------------------------
+
+void GateSupportTb::set_up(Core& stack) {
+  reports_.clear();
+  stack.remove_qubits();
+  stack.create_qubits(2);
+}
+
+bool GateSupportTb::iteration(Core& stack) {
+  reports_.clear();
+  bool all_ok = true;
+  for (GateType g : kAllGateTypes) {
+    GateReport gate_report;
+    gate_report.gate = g;
+    // Build a deterministic probe per gate.
+    Circuit probe{std::string{name(g)} + "-probe"};
+    probe.append(GateType::kPrepZ, 0);
+    probe.append(GateType::kPrepZ, 1);
+    BinaryValue expect0 = BinaryValue::kZero;
+    BinaryValue expect1 = BinaryValue::kZero;
+    switch (g) {
+      case GateType::kX:
+      case GateType::kY:
+        probe.append(g, 0);
+        expect0 = BinaryValue::kOne;
+        break;
+      case GateType::kH:
+        probe.append(g, 0);
+        probe.append(g, 0);  // H H = I keeps the probe deterministic
+        break;
+      case GateType::kI:
+      case GateType::kZ:
+      case GateType::kS:
+      case GateType::kSdag:
+      case GateType::kT:
+      case GateType::kTdag:
+        probe.append(g, 0);
+        break;
+      case GateType::kCnot:
+        probe.append(GateType::kX, 0);
+        probe.append(g, 0, 1);
+        expect0 = BinaryValue::kOne;
+        expect1 = BinaryValue::kOne;
+        break;
+      case GateType::kCz:
+        probe.append(GateType::kX, 0);
+        probe.append(GateType::kX, 1);
+        probe.append(g, 0, 1);
+        expect0 = BinaryValue::kOne;
+        expect1 = BinaryValue::kOne;
+        break;
+      case GateType::kSwap:
+        probe.append(GateType::kX, 0);
+        probe.append(g, 0, 1);
+        expect1 = BinaryValue::kOne;
+        break;
+      case GateType::kPrepZ:
+        probe.append(GateType::kX, 0);
+        probe.append(g, 0);
+        break;
+      case GateType::kMeasureZ:
+        break;  // the trailing measurements below are the probe
+    }
+    probe.append(GateType::kMeasureZ, 0);
+    probe.append(GateType::kMeasureZ, 1);
+    try {
+      stack.add(probe);
+      stack.execute();
+      gate_report.supported = true;
+      const BinaryState state = stack.get_state();
+      gate_report.correct =
+          state.size() >= 2 && state[0] == expect0 && state[1] == expect1;
+    } catch (const std::exception&) {
+      gate_report.supported = false;
+      gate_report.correct = false;
+    }
+    all_ok = all_ok && gate_report.supported && gate_report.correct;
+    reports_.push_back(gate_report);
+  }
+  return all_ok;
+}
+
+// --- RandomCircuitTb --------------------------------------------------
+
+void RandomCircuitTb::set_up(Core& stack) { (void)stack; }
+
+bool RandomCircuitTb::iteration(Core& stack) {
+  const Circuit circuit = generator_.generate(options_);
+  // Reference: plain state-vector execution.
+  sv::Simulator reference(options_.num_qubits, reference_seed_);
+  reference.execute(circuit);
+  // Stack under test, from a fresh register.
+  stack.remove_qubits();
+  stack.create_qubits(options_.num_qubits);
+  stack.add(circuit);
+  stack.execute();
+  if (flush_) {
+    flush_();
+  }
+  const auto state = stack.get_quantum_state();
+  if (!state.has_value()) {
+    return false;
+  }
+  return state->equals_up_to_global_phase(reference.state(), 1e-6);
+}
+
+}  // namespace qpf::arch

@@ -1,0 +1,114 @@
+// Test-bench environment (thesis §4.2.4, Fig 4.5): generic iteration
+// control plus the ready-to-use benches QPDO ships — BellStateHistoTb,
+// GateSupportTb, and the random-circuit equivalence bench of §5.2.2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/core_interface.h"
+#include "circuit/random.h"
+
+namespace qpf::arch {
+
+/// Base class: run() drives setup / iterations / teardown, collecting
+/// pass counts.  Subclasses implement one test iteration.
+class TestBench {
+ public:
+  virtual ~TestBench() = default;
+
+  struct Report {
+    std::size_t iterations = 0;
+    std::size_t passed = 0;
+    std::string details;
+
+    [[nodiscard]] bool all_passed() const noexcept {
+      return passed == iterations;
+    }
+  };
+
+  /// Run `iterations` test iterations against a control stack.
+  [[nodiscard]] Report run(Core& stack, std::size_t iterations);
+
+ protected:
+  virtual void set_up(Core& stack) = 0;
+  /// One iteration; return true on pass.
+  virtual bool iteration(Core& stack) = 0;
+  virtual void tear_down(Core& stack, Report& report) {
+    (void)stack;
+    (void)report;
+  }
+};
+
+/// Resets two qubits, builds a Bell state with H + CNOT, measures both
+/// and histograms the outcomes.
+class BellStateHistoTb final : public TestBench {
+ public:
+  /// odd = true prepends an X so the target state is
+  /// (|01> + |10>)/sqrt(2), the "odd Bell state" of Fig 5.6.
+  explicit BellStateHistoTb(bool odd = false) : odd_(odd) {}
+
+  [[nodiscard]] const std::map<std::string, std::size_t>& histogram()
+      const noexcept {
+    return histogram_;
+  }
+
+ protected:
+  void set_up(Core& stack) override;
+  bool iteration(Core& stack) override;
+  void tear_down(Core& stack, Report& report) override;
+
+ private:
+  bool odd_;
+  std::map<std::string, std::size_t> histogram_;
+};
+
+/// Runs a scripted probe for every gate the IR knows and checks the
+/// measured outcome, reporting which gates the stack supports.
+class GateSupportTb final : public TestBench {
+ public:
+  struct GateReport {
+    GateType gate;
+    bool supported = false;
+    bool correct = false;
+  };
+
+  [[nodiscard]] const std::vector<GateReport>& gate_reports() const noexcept {
+    return reports_;
+  }
+
+ protected:
+  void set_up(Core& stack) override;
+  bool iteration(Core& stack) override;
+
+ private:
+  std::vector<GateReport> reports_;
+};
+
+/// §5.2.2: generate a random circuit, execute it on a reference
+/// state-vector simulator and on the stack under test (flushing any
+/// Pauli frame via the supplied hook), then compare the quantum states
+/// up to global phase.
+class RandomCircuitTb final : public TestBench {
+ public:
+  using FlushHook = std::function<void()>;
+
+  RandomCircuitTb(RandomCircuitOptions options, std::uint64_t seed,
+                  FlushHook flush = {})
+      : options_(std::move(options)), generator_(seed), flush_(std::move(flush)) {}
+
+ protected:
+  void set_up(Core& stack) override;
+  bool iteration(Core& stack) override;
+
+ private:
+  RandomCircuitOptions options_;
+  RandomCircuitGenerator generator_;
+  FlushHook flush_;
+  std::uint64_t reference_seed_ = 12345;
+};
+
+}  // namespace qpf::arch

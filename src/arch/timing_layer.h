@@ -1,0 +1,80 @@
+// TimingLayer: wall-clock accounting for the circuits flowing down a
+// stack — a first step toward the thesis' "clock-cycle accurate
+// emulation" future work.
+//
+// Every time slot costs the maximum duration of its operations (slots
+// execute in parallel, §4.2.2); the layer accumulates the total and
+// counts slots per kind.  Combined with the decoder-stall model of
+// core/schedule.h this turns the Fig 3.3 schedule comparison into
+// nanoseconds for a concrete hardware parameter set.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/layer.h"
+
+namespace qpf::arch {
+
+/// Per-operation durations in nanoseconds.  Defaults are
+/// transmon-flavoured (fast gates, slow readout and reset).
+struct GateTimings {
+  double single_qubit_ns = 20.0;
+  double two_qubit_ns = 40.0;
+  double measure_ns = 300.0;
+  double prep_ns = 300.0;
+
+  /// Duration of one time slot: the slowest operation in it.
+  [[nodiscard]] double slot_ns(const TimeSlot& slot) const noexcept {
+    double worst = 0.0;
+    for (const Operation& op : slot) {
+      double d = 0.0;
+      switch (category(op.gate())) {
+        case GateCategory::kMeasurement:
+          d = measure_ns;
+          break;
+        case GateCategory::kInitialization:
+          d = prep_ns;
+          break;
+        default:
+          d = op.arity() == 2 ? two_qubit_ns : single_qubit_ns;
+          break;
+      }
+      worst = d > worst ? d : worst;
+    }
+    return worst;
+  }
+};
+
+class TimingLayer final : public Layer {
+ public:
+  explicit TimingLayer(Core* lower, GateTimings timings = {})
+      : Layer(lower), timings_(timings) {}
+
+  void add(const Circuit& circuit) override {
+    if (!bypass_) {
+      for (const TimeSlot& slot : circuit) {
+        elapsed_ns_ += timings_.slot_ns(slot);
+        ++slots_;
+      }
+    }
+    lower().add(circuit);
+  }
+
+  [[nodiscard]] double elapsed_ns() const noexcept { return elapsed_ns_; }
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+  void reset_clock() noexcept {
+    elapsed_ns_ = 0.0;
+    slots_ = 0;
+  }
+
+  [[nodiscard]] const GateTimings& timings() const noexcept {
+    return timings_;
+  }
+
+ private:
+  GateTimings timings_;
+  double elapsed_ns_ = 0.0;
+  std::size_t slots_ = 0;
+};
+
+}  // namespace qpf::arch

@@ -1,0 +1,122 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qpf {
+
+void TimeSlot::add(const Operation& op) {
+  if (conflicts(op)) {
+    throw std::invalid_argument("time-slot conflict: qubit already busy");
+  }
+  ops_.push_back(op);
+}
+
+bool TimeSlot::conflicts(const Operation& op) const noexcept {
+  if (touches(op.qubit(0))) {
+    return true;
+  }
+  return op.arity() == 2 && touches(op.qubit(1));
+}
+
+bool TimeSlot::touches(Qubit q) const noexcept {
+  return std::any_of(ops_.begin(), ops_.end(),
+                     [q](const Operation& op) { return op.touches(q); });
+}
+
+void Circuit::append(const Operation& op) {
+  if (slots_.empty() || slots_.back().conflicts(op)) {
+    slots_.emplace_back();
+  }
+  slots_.back().add(op);
+}
+
+void Circuit::append_in_new_slot(const Operation& op) {
+  slots_.emplace_back();
+  slots_.back().add(op);
+}
+
+void Circuit::append_slot(TimeSlot slot) {
+  if (!slot.empty()) {
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void Circuit::append_circuit(const Circuit& other) {
+  for (const TimeSlot& slot : other.slots_) {
+    append_slot(slot);
+  }
+}
+
+std::size_t Circuit::num_operations() const noexcept {
+  std::size_t n = 0;
+  for (const TimeSlot& slot : slots_) {
+    n += slot.size();
+  }
+  return n;
+}
+
+std::size_t Circuit::count(GateType g) const noexcept {
+  std::size_t n = 0;
+  for (const TimeSlot& slot : slots_) {
+    for (const Operation& op : slot) {
+      n += op.gate() == g ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::size_t Circuit::count(GateCategory c) const noexcept {
+  std::size_t n = 0;
+  for (const TimeSlot& slot : slots_) {
+    for (const Operation& op : slot) {
+      n += category(op.gate()) == c ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+std::size_t Circuit::min_register_size() const noexcept {
+  std::size_t size = 0;
+  for (const TimeSlot& slot : slots_) {
+    for (const Operation& op : slot) {
+      size = std::max<std::size_t>(size, op.max_qubit() + 1);
+    }
+  }
+  return size;
+}
+
+std::string Circuit::str() const {
+  std::string out;
+  if (!name_.empty()) {
+    out += "circuit ";
+    out += name_;
+    out += '\n';
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    out += "slot ";
+    out += std::to_string(i);
+    out += ':';
+    for (const Operation& op : slots_[i]) {
+      out += ' ';
+      out += op.str();
+      out += ';';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool Circuit::operator==(const Circuit& other) const noexcept {
+  if (slots_.size() != other.slots_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].operations() != other.slots_[i].operations()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qpf

@@ -1,0 +1,101 @@
+// Quantum circuits built from time slots (paper Fig 4.4).
+//
+// A circuit is an ordered list of time slots.  Within one time slot every
+// qubit participates in at most one operation, so a slot models one
+// machine cycle in which all its operations execute in parallel; every
+// operation is assumed to take the same amount of time (thesis §4.2.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/operation.h"
+
+namespace qpf {
+
+/// One parallel layer of operations.  Invariant: no qubit appears twice.
+class TimeSlot {
+ public:
+  TimeSlot() = default;
+
+  /// Add an operation; throws std::invalid_argument if it conflicts with
+  /// an operation already in this slot (shared qubit).
+  void add(const Operation& op);
+
+  /// True if op shares a qubit with any operation already in the slot.
+  [[nodiscard]] bool conflicts(const Operation& op) const noexcept;
+
+  /// True if any operation in the slot acts on q.
+  [[nodiscard]] bool touches(Qubit q) const noexcept;
+
+  [[nodiscard]] const std::vector<Operation>& operations() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return ops_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return ops_.end(); }
+
+ private:
+  std::vector<Operation> ops_;
+};
+
+/// An ordered sequence of time slots.
+class Circuit {
+ public:
+  Circuit() = default;
+  explicit Circuit(std::string name) : name_(std::move(name)) {}
+
+  /// Greedy ASAP scheduling: place op in the last slot when possible,
+  /// otherwise open a new slot.  Measurement and preparation schedule
+  /// like any other operation.
+  void append(const Operation& op);
+  void append(GateType g, Qubit q) { append(Operation{g, q}); }
+  void append(GateType g, Qubit control, Qubit target) {
+    append(Operation{g, control, target});
+  }
+
+  /// Force op into a fresh time slot (sequential semantics).
+  void append_in_new_slot(const Operation& op);
+
+  /// Append a pre-built slot verbatim (empty slots are dropped).
+  void append_slot(TimeSlot slot);
+
+  /// Concatenate another circuit slot-by-slot (no re-packing).
+  void append_circuit(const Circuit& other);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] const std::vector<TimeSlot>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t num_slots() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t num_operations() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+
+  /// Count of operations with the given gate type.
+  [[nodiscard]] std::size_t count(GateType g) const noexcept;
+  /// Count of operations in the given Pauli-frame category.
+  [[nodiscard]] std::size_t count(GateCategory c) const noexcept;
+
+  /// Smallest register size able to run this circuit (max index + 1);
+  /// 0 for an empty circuit.
+  [[nodiscard]] std::size_t min_register_size() const noexcept;
+
+  /// Multi-line "slot k: op; op; ..." rendering.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] auto begin() const noexcept { return slots_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return slots_.end(); }
+
+  [[nodiscard]] bool operator==(const Circuit& other) const noexcept;
+
+ private:
+  std::string name_;
+  std::vector<TimeSlot> slots_;
+};
+
+}  // namespace qpf

@@ -1,0 +1,31 @@
+#include "circuit/gate.h"
+
+#include <array>
+#include <utility>
+
+namespace qpf {
+
+std::optional<GateType> parse_gate(std::string_view mnemonic) noexcept {
+  for (GateType g : kAllGateTypes) {
+    if (name(g) == mnemonic) {
+      return g;
+    }
+  }
+  // Accept a few common aliases used by CHP/QX QASM dialects.
+  static constexpr std::array<std::pair<std::string_view, GateType>, 6> kAliases{{
+      {"id", GateType::kI},
+      {"cx", GateType::kCnot},
+      {"phase", GateType::kS},
+      {"hadamard", GateType::kH},
+      {"m", GateType::kMeasureZ},
+      {"prepz", GateType::kPrepZ},
+  }};
+  for (const auto& [alias, g] : kAliases) {
+    if (alias == mnemonic) {
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace qpf

@@ -1,0 +1,167 @@
+// Gate taxonomy for the QPF circuit IR.
+//
+// The gate set mirrors the one used by the paper's QPDO framework
+// (thesis §5.2.1): {I, X, Y, Z, H, S, S†, T, T†, CNOT, CZ, SWAP} plus
+// computational-basis preparation and measurement.  Every gate is
+// classified into one of the Pauli-frame processing categories of
+// Table 3.1 / Table 5.7: initialization, measurement, Pauli, Clifford,
+// or non-Clifford.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace qpf {
+
+/// Every operation the circuit IR can express.
+enum class GateType : std::uint8_t {
+  kI,       ///< explicit identity / idle slot (an error location!)
+  kX,       ///< Pauli-X
+  kY,       ///< Pauli-Y
+  kZ,       ///< Pauli-Z
+  kH,       ///< Hadamard
+  kS,       ///< phase gate, RZ(pi/2)
+  kSdag,    ///< inverse phase gate
+  kT,       ///< RZ(pi/4), non-Clifford
+  kTdag,    ///< RZ(-pi/4), non-Clifford
+  kCnot,    ///< controlled-X (two-qubit)
+  kCz,      ///< controlled-Z (two-qubit)
+  kSwap,    ///< SWAP (two-qubit)
+  kPrepZ,   ///< reset / initialize to |0>
+  kMeasureZ ///< computational-basis measurement
+};
+
+/// Pauli-frame processing category (paper Table 3.1).
+enum class GateCategory : std::uint8_t {
+  kInitialization,
+  kMeasurement,
+  kPauli,
+  kClifford,
+  kNonClifford,
+};
+
+/// Number of qubit operands (1 or 2) a gate type takes.
+[[nodiscard]] constexpr int arity(GateType g) noexcept {
+  switch (g) {
+    case GateType::kCnot:
+    case GateType::kCz:
+    case GateType::kSwap:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+/// Pauli-frame processing category of a gate (Table 3.1 / 5.7).
+[[nodiscard]] constexpr GateCategory category(GateType g) noexcept {
+  switch (g) {
+    case GateType::kPrepZ:
+      return GateCategory::kInitialization;
+    case GateType::kMeasureZ:
+      return GateCategory::kMeasurement;
+    case GateType::kI:
+    case GateType::kX:
+    case GateType::kY:
+    case GateType::kZ:
+      return GateCategory::kPauli;
+    case GateType::kH:
+    case GateType::kS:
+    case GateType::kSdag:
+    case GateType::kCnot:
+    case GateType::kCz:
+    case GateType::kSwap:
+      return GateCategory::kClifford;
+    case GateType::kT:
+    case GateType::kTdag:
+      return GateCategory::kNonClifford;
+  }
+  return GateCategory::kNonClifford;  // unreachable
+}
+
+/// True for the four single-qubit Pauli gates (incl. identity).
+[[nodiscard]] constexpr bool is_pauli(GateType g) noexcept {
+  return category(g) == GateCategory::kPauli;
+}
+
+/// True for gates in the Clifford group (Paulis are Cliffords too).
+[[nodiscard]] constexpr bool is_clifford(GateType g) noexcept {
+  const auto c = category(g);
+  return c == GateCategory::kPauli || c == GateCategory::kClifford;
+}
+
+/// True for gates outside the Clifford group (require a PF flush).
+[[nodiscard]] constexpr bool is_non_clifford(GateType g) noexcept {
+  return category(g) == GateCategory::kNonClifford;
+}
+
+/// True for unitary gates (everything except prep and measure).
+[[nodiscard]] constexpr bool is_unitary(GateType g) noexcept {
+  return g != GateType::kPrepZ && g != GateType::kMeasureZ;
+}
+
+/// Inverse of a unitary gate; nullopt for prep/measure.
+[[nodiscard]] constexpr std::optional<GateType> inverse(GateType g) noexcept {
+  switch (g) {
+    case GateType::kS:
+      return GateType::kSdag;
+    case GateType::kSdag:
+      return GateType::kS;
+    case GateType::kT:
+      return GateType::kTdag;
+    case GateType::kTdag:
+      return GateType::kT;
+    case GateType::kPrepZ:
+    case GateType::kMeasureZ:
+      return std::nullopt;
+    default:
+      return g;  // self-inverse: I, X, Y, Z, H, CNOT, CZ, SWAP
+  }
+}
+
+/// Lower-case mnemonic compatible with the paper's QASM dialect.
+[[nodiscard]] constexpr std::string_view name(GateType g) noexcept {
+  switch (g) {
+    case GateType::kI:
+      return "i";
+    case GateType::kX:
+      return "x";
+    case GateType::kY:
+      return "y";
+    case GateType::kZ:
+      return "z";
+    case GateType::kH:
+      return "h";
+    case GateType::kS:
+      return "s";
+    case GateType::kSdag:
+      return "sdag";
+    case GateType::kT:
+      return "t";
+    case GateType::kTdag:
+      return "tdag";
+    case GateType::kCnot:
+      return "cnot";
+    case GateType::kCz:
+      return "cz";
+    case GateType::kSwap:
+      return "swap";
+    case GateType::kPrepZ:
+      return "prep_z";
+    case GateType::kMeasureZ:
+      return "measure";
+  }
+  return "?";
+}
+
+/// Parse a mnemonic produced by name(); nullopt if unknown.
+[[nodiscard]] std::optional<GateType> parse_gate(std::string_view mnemonic) noexcept;
+
+/// All gate types, for iteration in tests and sweeps.
+inline constexpr GateType kAllGateTypes[] = {
+    GateType::kI,    GateType::kX,    GateType::kY,     GateType::kZ,
+    GateType::kH,    GateType::kS,    GateType::kSdag,  GateType::kT,
+    GateType::kTdag, GateType::kCnot, GateType::kCz,    GateType::kSwap,
+    GateType::kPrepZ, GateType::kMeasureZ};
+
+}  // namespace qpf

@@ -1,0 +1,16 @@
+#include "circuit/operation.h"
+
+namespace qpf {
+
+std::string Operation::str() const {
+  std::string out{name(gate_)};
+  out += " q";
+  out += std::to_string(q0_);
+  if (arity() == 2) {
+    out += ",q";
+    out += std::to_string(q1_);
+  }
+  return out;
+}
+
+}  // namespace qpf

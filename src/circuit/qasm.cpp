@@ -1,0 +1,138 @@
+#include "circuit/qasm.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace qpf {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("qasm parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+Qubit parse_qubit(const std::string& token, std::size_t line_no) {
+  if (token.size() < 2 || token[0] != 'q') {
+    fail(line_no, "expected qubit operand like q3, got '" + token + "'");
+  }
+  try {
+    const unsigned long v = std::stoul(token.substr(1));
+    return static_cast<Qubit>(v);
+  } catch (const std::exception&) {
+    fail(line_no, "bad qubit index in '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void write_qasm(std::ostream& os, const Circuit& circuit) {
+  if (!circuit.name().empty()) {
+    os << "# " << circuit.name() << "\n";
+  }
+  os << "qubits " << circuit.min_register_size() << "\n";
+  bool first_slot = true;
+  for (const TimeSlot& slot : circuit) {
+    if (!first_slot) {
+      os << "|\n";
+    }
+    first_slot = false;
+    for (const Operation& op : slot) {
+      os << name(op.gate()) << " q" << op.qubit(0);
+      if (op.arity() == 2) {
+        os << ",q" << op.qubit(1);
+      }
+      os << "\n";
+    }
+  }
+}
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  write_qasm(os, circuit);
+  return os.str();
+}
+
+Circuit read_qasm(std::istream& is) {
+  Circuit circuit;
+  TimeSlot slot;
+  std::string line;
+  std::size_t line_no = 0;
+  bool slot_open = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') {
+      continue;
+    }
+    if (text == "|") {
+      circuit.append_slot(std::move(slot));
+      slot = TimeSlot{};
+      slot_open = true;  // boundary seen; next ops open a fresh slot
+      continue;
+    }
+    std::istringstream ls(text);
+    std::string mnemonic;
+    ls >> mnemonic;
+    if (mnemonic == "qubits") {
+      continue;  // header, size is recomputed from operations
+    }
+    const auto gate = parse_gate(mnemonic);
+    if (!gate) {
+      fail(line_no, "unknown gate '" + mnemonic + "'");
+    }
+    std::string operands;
+    ls >> operands;
+    if (operands.empty()) {
+      fail(line_no, "missing operands");
+    }
+    const std::size_t comma = operands.find(',');
+    std::optional<Operation> op;
+    if (arity(*gate) == 1) {
+      if (comma != std::string::npos) {
+        fail(line_no, "single-qubit gate with two operands");
+      }
+      op.emplace(*gate, parse_qubit(operands, line_no));
+    } else {
+      if (comma == std::string::npos) {
+        fail(line_no, "two-qubit gate needs two operands");
+      }
+      const Qubit c = parse_qubit(operands.substr(0, comma), line_no);
+      const Qubit t = parse_qubit(operands.substr(comma + 1), line_no);
+      op.emplace(*gate, c, t);
+    }
+    // Greedy scheduling: a conflicting operation opens the next slot
+    // implicitly; "|" lines force a boundary explicitly.
+    if (slot.conflicts(*op)) {
+      circuit.append_slot(std::move(slot));
+      slot = TimeSlot{};
+    }
+    slot.add(*op);
+    slot_open = true;
+  }
+  if (slot_open) {
+    circuit.append_slot(std::move(slot));
+  }
+  return circuit;
+}
+
+Circuit from_qasm(const std::string& text) {
+  std::istringstream is(text);
+  return read_qasm(is);
+}
+
+}  // namespace qpf

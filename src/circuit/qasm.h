@@ -1,0 +1,36 @@
+// Minimal QASM-dialect serialization for circuits.
+//
+// The paper's QPDO talks to the QX Simulator and CHP through QASM-like
+// text (thesis §4.1).  This module provides the equivalent textual
+// interface: a circuit can be dumped to and parsed from a simple line
+// format.  Slot boundaries are preserved with "|" separator lines so a
+// round trip is exact.
+//
+// Format:
+//   # comment
+//   qubits 17        (optional header)
+//   h q0
+//   cnot q0,q1
+//   |                (explicit time-slot boundary)
+//   measure q3
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qpf {
+
+/// Render a circuit in the QASM dialect described above.
+[[nodiscard]] std::string to_qasm(const Circuit& circuit);
+
+/// Parse the QASM dialect.  Throws std::runtime_error with a line number
+/// on malformed input.  Unknown mnemonics are an error.
+[[nodiscard]] Circuit from_qasm(const std::string& text);
+
+/// Stream variants.
+void write_qasm(std::ostream& os, const Circuit& circuit);
+[[nodiscard]] Circuit read_qasm(std::istream& is);
+
+}  // namespace qpf

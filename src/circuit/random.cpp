@@ -1,0 +1,185 @@
+#include "circuit/random.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qpf {
+
+Circuit RandomCircuitGenerator::generate(const RandomCircuitOptions& options) {
+  std::vector<GateType> gate_set = options.gate_set;
+  if (options.clifford_only) {
+    std::erase_if(gate_set, [](GateType g) { return !is_clifford(g); });
+  }
+  if (gate_set.empty()) {
+    throw std::invalid_argument("random circuit: empty gate set");
+  }
+  const bool has_two_qubit = std::any_of(
+      gate_set.begin(), gate_set.end(), [](GateType g) { return arity(g) == 2; });
+  if (options.num_qubits == 0 || (has_two_qubit && options.num_qubits < 2)) {
+    throw std::invalid_argument("random circuit: too few qubits for gate set");
+  }
+
+  std::uniform_int_distribution<std::size_t> gate_dist(0, gate_set.size() - 1);
+  std::uniform_int_distribution<Qubit> qubit_dist(
+      0, static_cast<Qubit>(options.num_qubits - 1));
+
+  Circuit circuit{"random"};
+  for (std::size_t i = 0; i < options.num_gates; ++i) {
+    const GateType g = gate_set[gate_dist(rng_)];
+    const Qubit q0 = qubit_dist(rng_);
+    if (arity(g) == 1) {
+      circuit.append(g, q0);
+    } else {
+      Qubit q1 = q0;
+      while (q1 == q0) {
+        q1 = qubit_dist(rng_);
+      }
+      circuit.append(g, q0, q1);
+    }
+  }
+  return circuit;
+}
+
+namespace {
+
+// Toffoli decomposed into {H, T, T†, CNOT} (standard 7-T decomposition).
+void append_toffoli(Circuit& c, Qubit a, Qubit b, Qubit t) {
+  c.append(GateType::kH, t);
+  c.append(GateType::kCnot, b, t);
+  c.append(GateType::kTdag, t);
+  c.append(GateType::kCnot, a, t);
+  c.append(GateType::kT, t);
+  c.append(GateType::kCnot, b, t);
+  c.append(GateType::kTdag, t);
+  c.append(GateType::kCnot, a, t);
+  c.append(GateType::kT, b);
+  c.append(GateType::kT, t);
+  c.append(GateType::kH, t);
+  c.append(GateType::kCnot, a, b);
+  c.append(GateType::kT, a);
+  c.append(GateType::kTdag, b);
+  c.append(GateType::kCnot, a, b);
+}
+
+Circuit make_adder(std::size_t n, std::size_t scale) {
+  Circuit c{"adder"};
+  for (std::size_t round = 0; round < scale; ++round) {
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+      const auto a = static_cast<Qubit>(i);
+      append_toffoli(c, a, a + 1, a + 2);
+      c.append(GateType::kCnot, a, a + 1);
+      // Occasional compiled-in Pauli fix-ups (uncomputation shortcuts).
+      if (i % 4 == 0) {
+        c.append(GateType::kX, a);
+      }
+    }
+  }
+  return c;
+}
+
+Circuit make_grover(std::size_t n, std::size_t scale) {
+  Circuit c{"grover"};
+  for (std::size_t it = 0; it < scale; ++it) {
+    // Oracle: a Toffoli ladder (phase marking).
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+      const auto a = static_cast<Qubit>(i);
+      append_toffoli(c, a, a + 1, a + 2);
+    }
+    // Diffusion: H X ... multi-controlled-Z ... X H.
+    for (Qubit q = 0; q < n; ++q) {
+      c.append(GateType::kH, q);
+      c.append(GateType::kX, q);
+    }
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+      const auto a = static_cast<Qubit>(i);
+      append_toffoli(c, a, a + 1, a + 2);
+    }
+    for (Qubit q = 0; q < n; ++q) {
+      c.append(GateType::kX, q);
+      c.append(GateType::kH, q);
+    }
+  }
+  return c;
+}
+
+Circuit make_qft(std::size_t n, std::size_t scale) {
+  Circuit c{"qft"};
+  for (std::size_t round = 0; round < scale; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto qi = static_cast<Qubit>(i);
+      c.append(GateType::kH, qi);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto qj = static_cast<Qubit>(j);
+        // Controlled-rotation approximated Clifford+T:
+        c.append(GateType::kT, qj);
+        c.append(GateType::kCnot, qi, qj);
+        c.append(GateType::kTdag, qj);
+        c.append(GateType::kCnot, qi, qj);
+      }
+    }
+  }
+  return c;
+}
+
+Circuit make_error_injected(std::size_t n, std::size_t scale,
+                            std::uint64_t seed) {
+  // A Clifford body with sprinkled Pauli corrections, mimicking QEC
+  // post-processing inserted by a compiler.
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Qubit> qubit_dist(0, static_cast<Qubit>(n - 1));
+  std::uniform_int_distribution<int> pauli_dist(0, 2);
+  Circuit c{"error_injected"};
+  for (std::size_t round = 0; round < scale; ++round) {
+    for (Qubit q = 0; q < n; ++q) {
+      c.append(GateType::kH, q);
+      if (q + 1 < n) {
+        c.append(GateType::kCnot, q, q + 1);
+      }
+      c.append(GateType::kS, q);
+    }
+    // ~7% Pauli corrections relative to the Clifford body above.
+    const std::size_t corrections = std::max<std::size_t>(1, n / 5);
+    for (std::size_t k = 0; k < corrections; ++k) {
+      static constexpr GateType kPaulis[] = {GateType::kX, GateType::kY,
+                                             GateType::kZ};
+      c.append(kPaulis[pauli_dist(rng)], qubit_dist(rng));
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Circuit make_program(ProgramKind kind, std::size_t num_qubits,
+                     std::size_t scale, std::uint64_t seed) {
+  if (num_qubits < 3) {
+    throw std::invalid_argument("program corpus requires >= 3 qubits");
+  }
+  switch (kind) {
+    case ProgramKind::kAdder:
+      return make_adder(num_qubits, scale);
+    case ProgramKind::kGrover:
+      return make_grover(num_qubits, scale);
+    case ProgramKind::kQft:
+      return make_qft(num_qubits, scale);
+    case ProgramKind::kErrorInjected:
+      return make_error_injected(num_qubits, scale, seed);
+  }
+  throw std::invalid_argument("unknown program kind");
+}
+
+const char* name(ProgramKind kind) noexcept {
+  switch (kind) {
+    case ProgramKind::kAdder:
+      return "adder";
+    case ProgramKind::kGrover:
+      return "grover";
+    case ProgramKind::kQft:
+      return "qft";
+    case ProgramKind::kErrorInjected:
+      return "error_injected";
+  }
+  return "?";
+}
+
+}  // namespace qpf

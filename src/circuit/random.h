@@ -1,0 +1,71 @@
+// Random-circuit generation (thesis §5.2.2, Fig 5.4) and a synthetic
+// algorithm corpus used to reproduce the "compiled programs contain up
+// to 7 % Pauli gates" observation of §3.3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qpf {
+
+/// Configuration for random circuit generation.
+struct RandomCircuitOptions {
+  std::size_t num_qubits = 5;
+  std::size_t num_gates = 20;
+  /// Gate set to draw from; defaults to the thesis set
+  /// {I, X, Y, Z, H, S, CNOT, CZ, SWAP, T, T†}.
+  std::vector<GateType> gate_set = {
+      GateType::kI,  GateType::kX,    GateType::kY,  GateType::kZ,
+      GateType::kH,  GateType::kS,    GateType::kCnot, GateType::kCz,
+      GateType::kSwap, GateType::kT,  GateType::kTdag};
+  /// If true, restrict the draw to Clifford gates only (stabilizer-
+  /// simulable circuits).
+  bool clifford_only = false;
+};
+
+/// Deterministic random circuit generator (seeded).
+class RandomCircuitGenerator {
+ public:
+  explicit RandomCircuitGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Draw one random circuit.  Qubits for each gate are drawn uniformly
+  /// without replacement (for two-qubit gates).  Throws
+  /// std::invalid_argument for an empty gate set or fewer qubits than the
+  /// largest gate arity requires.
+  [[nodiscard]] Circuit generate(const RandomCircuitOptions& options);
+
+  /// Underlying engine, exposed so callers can interleave other draws.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Kinds of synthetic "compiled program" in the corpus.
+enum class ProgramKind : std::uint8_t {
+  kAdder,          ///< ripple-carry-style Toffoli-decomposed adder blocks
+  kGrover,         ///< Grover-like diffusion iterations
+  kQft,            ///< QFT-like layer structure (T-heavy)
+  kErrorInjected,  ///< Clifford body with sprinkled Pauli corrections
+};
+
+/// Build a synthetic program of the given kind.  The circuits are not
+/// semantically the named algorithms; they reproduce the *gate-mix*
+/// profile (Pauli / Clifford / T fractions) of ScaffCC-compiled programs,
+/// which is the statistic §3.3 measures.
+[[nodiscard]] Circuit make_program(ProgramKind kind, std::size_t num_qubits,
+                                   std::size_t scale, std::uint64_t seed);
+
+/// All program kinds, for sweeps.
+inline constexpr ProgramKind kAllProgramKinds[] = {
+    ProgramKind::kAdder, ProgramKind::kGrover, ProgramKind::kQft,
+    ProgramKind::kErrorInjected};
+
+/// Human-readable name of a program kind.
+[[nodiscard]] const char* name(ProgramKind kind) noexcept;
+
+}  // namespace qpf

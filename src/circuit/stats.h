@@ -1,0 +1,39 @@
+// Circuit gate-mix statistics (used by the §3.3 Pauli-fraction study).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qpf {
+
+/// Aggregate gate-mix profile of a circuit.
+struct GateMix {
+  std::size_t total = 0;
+  std::size_t pauli = 0;
+  std::size_t clifford = 0;      ///< non-Pauli Clifford gates
+  std::size_t non_clifford = 0;  ///< T / T† family
+  std::size_t preparation = 0;
+  std::size_t measurement = 0;
+  std::size_t time_slots = 0;
+
+  /// Fraction of gates a Pauli frame can absorb entirely (Pauli gates).
+  [[nodiscard]] double pauli_fraction() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(pauli) /
+                                  static_cast<double>(total);
+  }
+  /// Fraction of gates that force a Pauli-record flush.
+  [[nodiscard]] double non_clifford_fraction() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(non_clifford) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Compute the gate mix of a circuit.
+[[nodiscard]] GateMix analyze(const Circuit& circuit) noexcept;
+
+/// One-line human-readable rendering of a gate mix.
+[[nodiscard]] std::string to_string(const GateMix& mix);
+
+}  // namespace qpf

@@ -1,0 +1,319 @@
+#include "cli/runner.h"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/chp_core.h"
+#include "arch/error_layer.h"
+#include "arch/pauli_frame_layer.h"
+#include "arch/qx_core.h"
+#include "circuit/qasm.h"
+#include "qcu/compiler.h"
+#include "qcu/qcu.h"
+#include "stabilizer/chp_format.h"
+
+namespace qpf::cli {
+
+namespace {
+
+bool consume_prefix(const std::string& argument, const std::string& prefix,
+                    std::string& value) {
+  if (argument.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  value = argument.substr(prefix.size());
+  return true;
+}
+
+std::optional<Format> format_from_extension(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::string extension = path.substr(dot + 1);
+  if (extension == "qasm") {
+    return Format::kQasm;
+  }
+  if (extension == "chp") {
+    return Format::kChp;
+  }
+  if (extension == "qisa") {
+    return Format::kQisa;
+  }
+  if (extension == "lqasm") {
+    return Format::kLogical;
+  }
+  return std::nullopt;
+}
+
+// Assemble the layered stack and run one shot of a physical circuit,
+// returning the final binary state string (q_{n-1} ... q_0).
+std::string run_circuit_shot(const RunnerOptions& options,
+                             const Circuit& circuit, std::uint64_t seed,
+                             std::string* state_dump) {
+  std::unique_ptr<arch::Core> core;
+  arch::QxCore* qx = nullptr;
+  if (options.backend == Backend::kQx) {
+    auto owned = std::make_unique<arch::QxCore>(seed);
+    qx = owned.get();
+    core = std::move(owned);
+  } else {
+    core = std::make_unique<arch::ChpCore>(seed);
+  }
+  std::unique_ptr<arch::ErrorLayer> error;
+  std::unique_ptr<arch::PauliFrameLayer> frame;
+  arch::Core* top = core.get();
+  if (options.error_rate > 0.0) {
+    error = std::make_unique<arch::ErrorLayer>(top, options.error_rate,
+                                               seed ^ 0x517ULL);
+    top = error.get();
+  }
+  if (options.pauli_frame) {
+    frame = std::make_unique<arch::PauliFrameLayer>(top);
+    top = frame.get();
+  }
+  const std::size_t qubits = std::max<std::size_t>(
+      circuit.min_register_size(), 1);
+  top->create_qubits(qubits);
+  top->add(circuit);
+  top->execute();
+  const arch::BinaryState state = top->get_state();
+  std::string bits;
+  for (std::size_t q = state.size(); q-- > 0;) {
+    bits += arch::to_char(state[q]);
+  }
+  if (state_dump != nullptr && qx != nullptr) {
+    if (frame) {
+      frame->flush();
+    }
+    *state_dump = qx->get_quantum_state()->str(1e-9);
+  }
+  return bits;
+}
+
+std::string run_circuit(const RunnerOptions& options, const Circuit& circuit) {
+  std::ostringstream out;
+  out << "program: " << circuit.num_operations() << " operations in "
+      << circuit.num_slots() << " time slots over "
+      << circuit.min_register_size() << " qubits\n";
+  std::map<std::string, std::size_t> histogram;
+  std::string state_dump;
+  for (std::size_t shot = 0; shot < options.shots; ++shot) {
+    const std::string bits = run_circuit_shot(
+        options, circuit, options.seed + shot,
+        options.print_state && shot + 1 == options.shots ? &state_dump
+                                                         : nullptr);
+    ++histogram[bits];
+  }
+  if (options.shots == 1) {
+    out << "state (q_{n-1}..q_0): |" << histogram.begin()->first << ">\n";
+  } else {
+    out << "histogram over " << options.shots << " shots:\n";
+    for (const auto& [bits, count] : histogram) {
+      out << "  |" << bits << ">  " << count << "\n";
+    }
+  }
+  if (!state_dump.empty()) {
+    out << "quantum state (last shot, frame flushed):\n" << state_dump;
+  }
+  return out.str();
+}
+
+std::string run_qisa_program(const RunnerOptions& options,
+                             const std::vector<qcu::Instruction>& program,
+                             const char* kind) {
+  // Size the machine to the largest patch the program names.
+  std::size_t slots = options.patch_slots;
+  for (const qcu::Instruction& instruction : program) {
+    if (instruction.op == qcu::Opcode::kMapPatch) {
+      slots = std::max<std::size_t>(slots, instruction.b + 1u);
+    }
+  }
+  std::ostringstream out;
+  out << kind << " program: " << program.size() << " instructions, " << slots
+      << " patch slot(s)\n";
+  std::map<std::string, std::size_t> histogram;
+  for (std::size_t shot = 0; shot < options.shots; ++shot) {
+    arch::ChpCore core(options.seed + shot);
+    std::unique_ptr<arch::ErrorLayer> error;
+    arch::Core* pel = &core;
+    if (options.error_rate > 0.0) {
+      error = std::make_unique<arch::ErrorLayer>(
+          pel, options.error_rate, options.seed + shot + 0x9999);
+      pel = error.get();
+    }
+    qcu::QuantumControlUnit unit(pel, slots, options.pauli_frame);
+    unit.load(program);
+    unit.run();
+    std::string key;
+    for (qcu::PatchId patch = 0; patch < slots; ++patch) {
+      if (unit.symbol_table().alive(patch)) {
+        key += qec::to_char(unit.logical_state(patch));
+      } else {
+        key += '.';
+      }
+    }
+    ++histogram[key];
+    if (shot + 1 == options.shots) {
+      out << "stats: " << unit.stats().instructions << " instructions, "
+          << unit.stats().operations_to_pel << " physical operations, "
+          << unit.stats().paulis_absorbed << " Paulis absorbed, "
+          << unit.stats().qec_windows << " QEC windows\n";
+    }
+  }
+  out << "logical states over " << options.shots
+      << " shot(s) (patch order, '.' = dead):\n";
+  for (const auto& [key, count] : histogram) {
+    out << "  " << key << "  " << count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string usage() {
+  return "usage: qpf_run [options] <program file | ->\n"
+         "  --backend=chp|qx    simulation backend (default chp)\n"
+         "  --format=qasm|chp|qisa|logical  program format (default: extension)\n"
+         "  --pauli-frame       insert a Pauli frame layer / unit\n"
+         "  --error-rate=P      symmetric depolarizing noise\n"
+         "  --shots=N           repetitions (histogram output)\n"
+         "  --seed=S            RNG seed (default 1)\n"
+         "  --slots=N           QISA patch slots (default: from program)\n"
+         "  --print-state       dump amplitudes (qx backend only)\n";
+}
+
+std::optional<RunnerOptions> parse_arguments(
+    const std::vector<std::string>& arguments, std::string& error) {
+  RunnerOptions options;
+  bool format_given = false;
+  for (const std::string& argument : arguments) {
+    std::string value;
+    if (argument == "--pauli-frame") {
+      options.pauli_frame = true;
+    } else if (argument == "--print-state") {
+      options.print_state = true;
+    } else if (consume_prefix(argument, "--backend=", value)) {
+      if (value == "chp") {
+        options.backend = Backend::kChp;
+      } else if (value == "qx") {
+        options.backend = Backend::kQx;
+      } else {
+        error = "unknown backend '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (consume_prefix(argument, "--format=", value)) {
+      format_given = true;
+      if (value == "qasm") {
+        options.format = Format::kQasm;
+      } else if (value == "chp") {
+        options.format = Format::kChp;
+      } else if (value == "qisa") {
+        options.format = Format::kQisa;
+      } else if (value == "logical") {
+        options.format = Format::kLogical;
+      } else {
+        error = "unknown format '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (consume_prefix(argument, "--error-rate=", value)) {
+      try {
+        options.error_rate = std::stod(value);
+      } catch (const std::exception&) {
+        error = "bad error rate '" + value + "'";
+        return std::nullopt;
+      }
+      if (options.error_rate < 0.0 || options.error_rate > 1.0) {
+        error = "error rate out of [0,1]";
+        return std::nullopt;
+      }
+    } else if (consume_prefix(argument, "--shots=", value)) {
+      options.shots = std::strtoull(value.c_str(), nullptr, 10);
+      if (options.shots == 0) {
+        error = "shots must be positive";
+        return std::nullopt;
+      }
+    } else if (consume_prefix(argument, "--seed=", value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (consume_prefix(argument, "--slots=", value)) {
+      options.patch_slots = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (!argument.empty() && argument[0] == '-' && argument != "-") {
+      error = "unknown option '" + argument + "'";
+      return std::nullopt;
+    } else if (options.input_path.empty()) {
+      options.input_path = argument;
+    } else {
+      error = "multiple input files";
+      return std::nullopt;
+    }
+  }
+  if (options.input_path.empty()) {
+    error = "missing input file";
+    return std::nullopt;
+  }
+  if (!format_given) {
+    if (const auto format = format_from_extension(options.input_path)) {
+      options.format = *format;
+    }
+  }
+  if (options.print_state && options.backend != Backend::kQx) {
+    error = "--print-state requires --backend=qx";
+    return std::nullopt;
+  }
+  return options;
+}
+
+std::string run_program(const RunnerOptions& options,
+                        const std::string& program_text) {
+  switch (options.format) {
+    case Format::kQasm:
+      return run_circuit(options, from_qasm(program_text));
+    case Format::kChp:
+      return run_circuit(options, stab::from_chp(program_text));
+    case Format::kQisa:
+      return run_qisa_program(options, qcu::assemble(program_text), "qisa");
+    case Format::kLogical:
+      // A QASM file at the *logical* level: gates act on logical qubits,
+      // the compiler lowers them to QISA, the QCU executes (Fig 4.1).
+      return run_qisa_program(
+          options, qcu::compile(from_qasm(program_text)), "compiled logical");
+  }
+  throw std::logic_error("unreachable");
+}
+
+int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
+             std::ostream& err) {
+  std::string error;
+  const auto options = parse_arguments(arguments, error);
+  if (!options.has_value()) {
+    err << "qpf_run: " << error << "\n" << usage();
+    return 2;
+  }
+  std::string text;
+  if (options->input_path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(options->input_path);
+    if (!file) {
+      err << "qpf_run: cannot open '" << options->input_path << "'\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+  try {
+    out << run_program(*options, text);
+  } catch (const std::exception& exception) {
+    err << "qpf_run: " << exception.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace qpf::cli

@@ -1,0 +1,55 @@
+// Library behind the qpf_run command-line tool: option parsing and the
+// execution drivers for the three supported program formats (QPDO
+// QASM, CHP, and QISA).  Kept as a library so the logic is unit-
+// testable; tools/qpf_run.cpp is a thin main().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qpf::cli {
+
+enum class Backend { kChp, kQx };
+enum class Format { kQasm, kChp, kQisa, kLogical };
+
+struct RunnerOptions {
+  Backend backend = Backend::kChp;
+  Format format = Format::kQasm;
+  bool pauli_frame = false;
+  double error_rate = 0.0;
+  std::size_t shots = 1;
+  std::uint64_t seed = 1;
+  bool print_state = false;
+  std::string input_path;
+
+  /// Patch slots for QISA programs (auto-grown to fit the program).
+  std::size_t patch_slots = 1;
+};
+
+/// Parse argv-style options.  Returns std::nullopt and writes a usage
+/// message to `error` on bad input.  Recognized flags:
+///   --backend=chp|qx  --format=qasm|chp|qisa|logical  --pauli-frame
+///   --error-rate=P    --shots=N   --seed=S    --print-state
+///   --slots=N         <input file or "-">
+/// The format defaults from the file extension when not given.
+[[nodiscard]] std::optional<RunnerOptions> parse_arguments(
+    const std::vector<std::string>& arguments, std::string& error);
+
+/// Run a program (text already loaded) and render a human-readable
+/// report.  Throws std::runtime_error / std::invalid_argument on
+/// malformed programs.
+[[nodiscard]] std::string run_program(const RunnerOptions& options,
+                                      const std::string& program_text);
+
+/// Full tool entry point: load the file (or stdin for "-"), run,
+/// print to `out`; returns the process exit code.
+int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
+             std::ostream& err);
+
+/// Usage text.
+[[nodiscard]] std::string usage();
+
+}  // namespace qpf::cli

@@ -1,0 +1,114 @@
+// Hardware-level model of the Pauli Frame Unit and the Pauli arbiter
+// (thesis §3.5.2, Figs 3.11 / 3.12).
+//
+// The arbiter sits between the Quantum Control Unit's execution
+// controller and the Physical Execution Layer (PEL).  It receives one
+// operation at a time, decides the route (Fig 3.12 a–e), drives the PFU
+// record updates, and forwards the physical operations to a PEL sink.
+// Measurement results travel the opposite way and are corrected by the
+// PFU before reaching the rest of the QCU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/pauli_frame.h"
+
+namespace qpf::pf {
+
+/// Routing decision for one submitted operation (Fig 3.12).
+enum class Route : std::uint8_t {
+  kResetBoth,      ///< (a) reset: forwarded to PEL, record set to I
+  kMeasureToPel,   ///< (b) measurement: forwarded; result mapped on return
+  kPauliToPfu,     ///< (c) Pauli gate: absorbed, nothing reaches the PEL
+  kCliffordBoth,   ///< (d) Clifford: record mapped, gate forwarded
+  kFlushThenPel,   ///< (e) non-Clifford: flush gates emitted, then the gate
+};
+
+[[nodiscard]] constexpr std::string_view name(Route r) noexcept {
+  switch (r) {
+    case Route::kResetBoth:
+      return "reset-both";
+    case Route::kMeasureToPel:
+      return "measure-to-pel";
+    case Route::kPauliToPfu:
+      return "pauli-to-pfu";
+    case Route::kCliffordBoth:
+      return "clifford-both";
+    case Route::kFlushThenPel:
+      return "flush-then-pel";
+  }
+  return "?";
+}
+
+/// One arbiter decision, for datapath verification.
+struct TraceEntry {
+  Operation op;
+  Route route;
+  /// Operations actually sent to the PEL for this submission, in order
+  /// (flush gates first for route kFlushThenPel).
+  std::vector<Operation> forwarded;
+};
+
+/// The Pauli Frame Unit: PF data (the records) plus PF logic (the
+/// mapping tables).  A thin facade over PauliFrame named to match the
+/// architecture diagram.
+class PauliFrameUnit {
+ public:
+  explicit PauliFrameUnit(std::size_t num_qubits) : frame_(num_qubits) {}
+
+  [[nodiscard]] PauliFrame& frame() noexcept { return frame_; }
+  [[nodiscard]] const PauliFrame& frame() const noexcept { return frame_; }
+
+  /// Fig 3.12(a) step 3: the record of a freshly reset qubit becomes I.
+  void process_reset(Qubit q) { frame_.set_record(q, PauliRecord::kI); }
+
+  /// Fig 3.12(b) step 4: map a raw measurement result.
+  [[nodiscard]] bool map_measurement_result(Qubit q, bool raw) const {
+    return frame_.correct_measurement(q, raw);
+  }
+
+ private:
+  PauliFrame frame_;
+};
+
+/// The arbiter (Fig 3.12).  The PEL is any callable receiving the
+/// forwarded operations.
+class PauliArbiter {
+ public:
+  using PelSink = std::function<void(const Operation&)>;
+
+  /// trace_enabled controls whether every decision is recorded; disable
+  /// it in long simulations.
+  PauliArbiter(PauliFrameUnit& pfu, PelSink pel, bool trace_enabled = true);
+
+  /// Submit one operation from the execution controller.  Returns the
+  /// route taken.
+  Route submit(const Operation& op);
+
+  /// Submit a whole circuit in program order.
+  void submit(const Circuit& circuit);
+
+  /// Measurement-result return path: raw device bit in, corrected bit
+  /// out (Fig 3.12(b) steps 3–5).
+  [[nodiscard]] bool on_measurement_result(Qubit q, bool raw) const {
+    return pfu_.map_measurement_result(q, raw);
+  }
+
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const noexcept {
+    return trace_;
+  }
+  void clear_trace() noexcept { trace_.clear(); }
+
+ private:
+  void forward(const Operation& op, std::vector<Operation>* record);
+
+  PauliFrameUnit& pfu_;
+  PelSink pel_;
+  bool trace_enabled_;
+  std::vector<TraceEntry> trace_;
+};
+
+}  // namespace qpf::pf

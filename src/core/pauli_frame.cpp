@@ -1,0 +1,150 @@
+#include "core/pauli_frame.h"
+
+#include <stdexcept>
+
+namespace qpf::pf {
+
+PauliFrame::PauliFrame(std::size_t num_qubits)
+    : records_(num_qubits, PauliRecord::kI) {
+  if (num_qubits == 0) {
+    throw std::invalid_argument("PauliFrame: zero qubits");
+  }
+}
+
+void PauliFrame::track(GateType pauli, Qubit q) {
+  if (!is_pauli(pauli)) {
+    throw std::invalid_argument("PauliFrame::track: not a Pauli gate");
+  }
+  records_.at(q) = track_pauli(records_.at(q), pauli);
+}
+
+void PauliFrame::apply_clifford(const Operation& op) {
+  switch (op.gate()) {
+    case GateType::kH:
+      records_.at(op.qubit(0)) = map_h(records_.at(op.qubit(0)));
+      return;
+    case GateType::kS:
+    case GateType::kSdag:
+      records_.at(op.qubit(0)) = map_s(records_.at(op.qubit(0)));
+      return;
+    case GateType::kCnot: {
+      const auto [rc, rt] =
+          map_cnot(records_.at(op.control()), records_.at(op.target()));
+      records_.at(op.control()) = rc;
+      records_.at(op.target()) = rt;
+      return;
+    }
+    case GateType::kCz: {
+      const auto [rc, rt] =
+          map_cz(records_.at(op.control()), records_.at(op.target()));
+      records_.at(op.control()) = rc;
+      records_.at(op.target()) = rt;
+      return;
+    }
+    case GateType::kSwap: {
+      const auto [ra, rb] =
+          map_swap(records_.at(op.control()), records_.at(op.target()));
+      records_.at(op.control()) = ra;
+      records_.at(op.target()) = rb;
+      return;
+    }
+    default:
+      throw std::invalid_argument("PauliFrame: unsupported Clifford: " +
+                                  op.str());
+  }
+}
+
+std::vector<Operation> PauliFrame::flush(Qubit q) {
+  std::vector<Operation> out;
+  const PauliRecord r = records_.at(q);
+  if (has_x(r)) {
+    out.emplace_back(GateType::kX, q);
+  }
+  if (has_z(r)) {
+    out.emplace_back(GateType::kZ, q);
+  }
+  records_.at(q) = PauliRecord::kI;
+  return out;
+}
+
+Circuit PauliFrame::flush_all() {
+  Circuit out{"pauli-frame-flush"};
+  for (Qubit q = 0; q < records_.size(); ++q) {
+    for (const Operation& op : flush(q)) {
+      out.append(op);
+      ++stats_.flush_gates_emitted;
+    }
+  }
+  return out;
+}
+
+bool PauliFrame::clean() const noexcept {
+  for (const PauliRecord r : records_) {
+    if (r != PauliRecord::kI) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Circuit PauliFrame::process(const Circuit& circuit) {
+  Circuit out{circuit.name()};
+  stats_.input_slots += circuit.num_slots();
+  stats_.input_gates += circuit.num_operations();
+  for (const TimeSlot& slot : circuit) {
+    // Flush operations for non-Clifford targets in this slot must land
+    // on the qubits *before* the slot executes.
+    Circuit flush_ops;
+    TimeSlot forwarded;
+    for (const Operation& op : slot) {
+      switch (category(op.gate())) {
+        case GateCategory::kInitialization:
+          records_.at(op.qubit(0)) = PauliRecord::kI;
+          forwarded.add(op);
+          break;
+        case GateCategory::kMeasurement:
+          forwarded.add(op);
+          break;
+        case GateCategory::kPauli:
+          if (op.gate() != GateType::kI) {
+            track(op.gate(), op.qubit(0));
+          }
+          ++stats_.paulis_absorbed;
+          break;
+        case GateCategory::kClifford:
+          apply_clifford(op);
+          forwarded.add(op);
+          break;
+        case GateCategory::kNonClifford:
+          for (int i = 0; i < op.arity(); ++i) {
+            for (const Operation& pending : flush(op.qubit(i))) {
+              flush_ops.append(pending);
+              ++stats_.flush_gates_emitted;
+            }
+          }
+          forwarded.add(op);
+          break;
+      }
+    }
+    out.append_circuit(flush_ops);
+    out.append_slot(std::move(forwarded));
+  }
+  stats_.output_slots += out.num_slots();
+  stats_.output_gates += out.num_operations();
+  return out;
+}
+
+std::string PauliFrame::str() const {
+  std::string out;
+  for (std::size_t q = 0; q < records_.size(); ++q) {
+    if (q != 0) {
+      out += ' ';
+    }
+    out += std::to_string(q);
+    out += ':';
+    out += name(records_[q]);
+  }
+  return out;
+}
+
+}  // namespace qpf::pf

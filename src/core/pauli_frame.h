@@ -1,0 +1,99 @@
+// The Pauli frame: one Pauli record per qubit plus the stream-rewriting
+// logic of Table 3.1 / 5.7.
+//
+// process() consumes a circuit and produces the circuit that actually
+// reaches the physical execution layer: Pauli gates are absorbed into
+// records, Clifford gates map the records and pass through, preparation
+// resets the record, measurement passes through (results are corrected
+// afterwards via correct_measurement()), and non-Clifford gates force a
+// flush of the pending records onto the qubits first.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/pauli_record.h"
+
+namespace qpf::pf {
+
+/// Counters describing what a frame absorbed while processing circuits
+/// (the Fig 5.25 / 5.26 "saved gates / time slots" statistics).
+struct FrameStats {
+  std::size_t input_gates = 0;
+  std::size_t output_gates = 0;
+  std::size_t paulis_absorbed = 0;
+  std::size_t flush_gates_emitted = 0;
+  std::size_t input_slots = 0;
+  std::size_t output_slots = 0;
+
+  /// May be negative: flushes can emit more gates than were absorbed.
+  [[nodiscard]] double gates_saved_fraction() const noexcept {
+    return input_gates == 0
+               ? 0.0
+               : (static_cast<double>(input_gates) -
+                  static_cast<double>(output_gates)) /
+                     static_cast<double>(input_gates);
+  }
+  [[nodiscard]] double slots_saved_fraction() const noexcept {
+    return input_slots == 0
+               ? 0.0
+               : (static_cast<double>(input_slots) -
+                  static_cast<double>(output_slots)) /
+                     static_cast<double>(input_slots);
+  }
+};
+
+class PauliFrame {
+ public:
+  /// All records start at I.
+  explicit PauliFrame(std::size_t num_qubits);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept {
+    return records_.size();
+  }
+
+  [[nodiscard]] PauliRecord record(Qubit q) const { return records_.at(q); }
+  void set_record(Qubit q, PauliRecord r) { records_.at(q) = r; }
+
+  /// Track a Pauli gate without touching hardware (Table 3.3).
+  void track(GateType pauli, Qubit q);
+
+  /// Conjugate the records through a Clifford gate (Tables 3.4 / 3.5);
+  /// the caller still executes the gate on the qubits.
+  void apply_clifford(const Operation& op);
+
+  /// Rewrite a circuit per Table 3.1, updating records.  Slot structure
+  /// is preserved where possible; slots that become empty are dropped
+  /// (those are the "saved time slots").
+  [[nodiscard]] Circuit process(const Circuit& circuit);
+
+  /// Correct a raw measurement bit using qubit q's record (Table 3.2).
+  [[nodiscard]] bool correct_measurement(Qubit q, bool raw) const {
+    return map_measurement(records_.at(q), raw);
+  }
+
+  /// Pending Pauli gates for qubit q, as operations, and reset the
+  /// record to I.  (X before Z when both are pending; order only affects
+  /// global phase.)
+  [[nodiscard]] std::vector<Operation> flush(Qubit q);
+
+  /// Flush every record; returns the correction circuit to execute.
+  [[nodiscard]] Circuit flush_all();
+
+  /// True if every record is I.
+  [[nodiscard]] bool clean() const noexcept;
+
+  [[nodiscard]] const FrameStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// "0:I 1:XZ ..." rendering for diagnostics.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<PauliRecord> records_;
+  FrameStats stats_;
+};
+
+}  // namespace qpf::pf

@@ -1,0 +1,126 @@
+// Pauli records: the 2-bit per-qubit state of a Pauli frame.
+//
+// A record R means the physical qubit state is R |psi_ideal>.  Paper
+// §3.1 shows any tracked Pauli product compresses (up to global phase)
+// to one of {I, X, Z, XZ}; we store the X and Z components as bits.
+//
+// Mapping rules implemented here are exactly the paper's tables:
+//   Table 3.2 — measurement-result modification,
+//   Table 3.3 — Pauli gate tracking,
+//   Table 3.4 — H and S conjugation,
+//   Table 3.5 — CNOT conjugation (plus CZ and SWAP analogues).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "circuit/gate.h"
+
+namespace qpf::pf {
+
+/// One compressed Pauli record.  Encoding: bit0 = X component,
+/// bit1 = Z component, so kXZ == kX | kZ.
+enum class PauliRecord : std::uint8_t {
+  kI = 0b00,
+  kX = 0b01,
+  kZ = 0b10,
+  kXZ = 0b11,
+};
+
+[[nodiscard]] constexpr bool has_x(PauliRecord r) noexcept {
+  return (static_cast<std::uint8_t>(r) & 0b01) != 0;
+}
+
+[[nodiscard]] constexpr bool has_z(PauliRecord r) noexcept {
+  return (static_cast<std::uint8_t>(r) & 0b10) != 0;
+}
+
+[[nodiscard]] constexpr PauliRecord make_record(bool x, bool z) noexcept {
+  return static_cast<PauliRecord>((x ? 0b01 : 0) | (z ? 0b10 : 0));
+}
+
+/// Table 3.2: an X component inverts a Z-basis measurement result.
+/// `raw` is the classical bit read from the device; returns the
+/// corrected bit.
+[[nodiscard]] constexpr bool map_measurement(PauliRecord r, bool raw) noexcept {
+  return raw != has_x(r);
+}
+
+/// Table 3.3: track a Pauli gate into the record (record := P * record,
+/// global phase dropped; Y tracks as both components).
+[[nodiscard]] constexpr PauliRecord track_pauli(PauliRecord r,
+                                                GateType pauli) noexcept {
+  switch (pauli) {
+    case GateType::kI:
+      return r;
+    case GateType::kX:
+      return make_record(!has_x(r), has_z(r));
+    case GateType::kZ:
+      return make_record(has_x(r), !has_z(r));
+    case GateType::kY:
+      return make_record(!has_x(r), !has_z(r));
+    default:
+      return r;  // non-Pauli gates are not tracked here
+  }
+}
+
+/// Table 3.4 (H row): conjugation by Hadamard swaps X and Z components.
+[[nodiscard]] constexpr PauliRecord map_h(PauliRecord r) noexcept {
+  return make_record(has_z(r), has_x(r));
+}
+
+/// Table 3.4 (S row): S X S† = Y ~ XZ, S Z S† = Z.  At the record level
+/// S and S† act identically (they differ only in dropped phases).
+[[nodiscard]] constexpr PauliRecord map_s(PauliRecord r) noexcept {
+  return make_record(has_x(r), has_z(r) != has_x(r));
+}
+
+/// Table 3.5: CNOT conjugation; X on the control propagates to the
+/// target, Z on the target propagates to the control.
+[[nodiscard]] constexpr std::pair<PauliRecord, PauliRecord> map_cnot(
+    PauliRecord control, PauliRecord target) noexcept {
+  const bool xc = has_x(control);
+  const bool zc = has_z(control);
+  const bool xt = has_x(target);
+  const bool zt = has_z(target);
+  return {make_record(xc, zc != zt), make_record(xt != xc, zt)};
+}
+
+/// CZ conjugation: X_c -> X_c Z_t and X_t -> Z_c X_t.
+[[nodiscard]] constexpr std::pair<PauliRecord, PauliRecord> map_cz(
+    PauliRecord control, PauliRecord target) noexcept {
+  const bool xc = has_x(control);
+  const bool zc = has_z(control);
+  const bool xt = has_x(target);
+  const bool zt = has_z(target);
+  return {make_record(xc, zc != xt), make_record(xt, zt != xc)};
+}
+
+/// SWAP conjugation: exchange the records.
+[[nodiscard]] constexpr std::pair<PauliRecord, PauliRecord> map_swap(
+    PauliRecord a, PauliRecord b) noexcept {
+  return {b, a};
+}
+
+/// "I", "X", "Z", or "XZ".
+[[nodiscard]] constexpr std::string_view name(PauliRecord r) noexcept {
+  switch (r) {
+    case PauliRecord::kI:
+      return "I";
+    case PauliRecord::kX:
+      return "X";
+    case PauliRecord::kZ:
+      return "Z";
+    case PauliRecord::kXZ:
+      return "XZ";
+  }
+  return "?";
+}
+
+/// All records, for exhaustive table-driven tests.
+inline constexpr PauliRecord kAllRecords[] = {PauliRecord::kI, PauliRecord::kX,
+                                              PauliRecord::kZ,
+                                              PauliRecord::kXZ};
+
+}  // namespace qpf::pf

@@ -1,0 +1,61 @@
+// Timing model for the QEC schedule with and without a Pauli frame
+// (thesis Fig 3.3 and the analytical model of §5.3.2, Eqs 5.5–5.12).
+#pragma once
+
+#include <cstddef>
+
+namespace qpf::pf {
+
+/// Parameters of one QEC window.
+struct ScheduleParams {
+  std::size_t distance = 3;        ///< surface-code distance d
+  std::size_t ts_esm = 8;          ///< time slots per ESM round (Table 5.8)
+  std::size_t esm_rounds = 2;      ///< ESM rounds per window (d - 1 in §5.3)
+  std::size_t decode_slots = 0;    ///< decoder latency, in time-slot units
+  bool pauli_frame = false;        ///< corrections tracked classically?
+};
+
+/// Time slots consumed by one window (Eq 5.6–5.9).  Without a Pauli
+/// frame a window with corrections spends one extra slot applying them;
+/// with a Pauli frame tscorrections == 0 always.
+[[nodiscard]] constexpr std::size_t window_slots(const ScheduleParams& p,
+                                                 bool has_corrections) noexcept {
+  const std::size_t rounds = p.esm_rounds * p.ts_esm;
+  const std::size_t corrections =
+      (!p.pauli_frame && has_corrections) ? 1 : 0;
+  return rounds + corrections;
+}
+
+/// Wall-clock slots for one window including decoder stall (Fig 3.3).
+/// Without a Pauli frame the decoder can only start once the window's
+/// syndromes are in, and the corrections can only be applied after it
+/// finishes: latency = ESM + decode + correction slot (Fig 3.3a).
+/// With a Pauli frame the decoder works concurrently with the next
+/// window's ESM, so the sustained window latency is
+/// max(ESM, decode) (Fig 3.3b).
+[[nodiscard]] constexpr std::size_t window_latency(const ScheduleParams& p,
+                                                   bool has_corrections) noexcept {
+  const std::size_t esm = p.esm_rounds * p.ts_esm;
+  if (p.pauli_frame) {
+    return p.decode_slots > esm ? p.decode_slots : esm;
+  }
+  return esm + p.decode_slots + (has_corrections ? 1 : 0);
+}
+
+/// Eq 5.5: the proportionality estimate P_L ∝ ts_window / d, with the
+/// constant left to the caller.
+[[nodiscard]] constexpr double ler_estimate(const ScheduleParams& p,
+                                            bool has_corrections) noexcept {
+  return static_cast<double>(window_slots(p, has_corrections)) /
+         static_cast<double>(p.distance);
+}
+
+/// Eq 5.12: upper bound on the relative LER improvement a Pauli frame
+/// can deliver, 1 / ((d-1) * tsESM + 1).  Converges to 0 for large d.
+[[nodiscard]] constexpr double upper_bound_relative_improvement(
+    std::size_t distance, std::size_t ts_esm) noexcept {
+  return 1.0 /
+         (static_cast<double>((distance - 1) * ts_esm) + 1.0);
+}
+
+}  // namespace qpf::pf

@@ -1,0 +1,36 @@
+// The quantum-accelerator compiler of Fig 4.2: translates a *logical*
+// circuit (gates on logical qubits) into the physical-level QISA
+// program the QCU executes — logical operations become the Table 2.3
+// chains/transversal sets over virtual qubit addresses, QEC slots are
+// inserted after every logical operation (Fig 2.6), and patch
+// allocation becomes map/unmap instructions.
+//
+// The compiler performs the same conversion the NinjaStarLayer does at
+// run time, but ahead of time: it must therefore track each patch's
+// lattice orientation itself (a logical H rotates the lattice and
+// changes subsequent chain/pairing choices).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qcu/isa.h"
+
+namespace qpf::qcu {
+
+struct CompileOptions {
+  /// QEC slots inserted after each logical gate (Fig 2.6).
+  std::size_t qec_slots_per_operation = 1;
+  /// Emit a trailing halt.
+  bool emit_halt = true;
+};
+
+/// Compile a logical circuit to QISA.  Logical qubit q maps to patch q
+/// in physical slot q.  PrepZ allocates (or re-initializes) the patch;
+/// MeasureZ becomes a logical measurement.  Throws
+/// std::invalid_argument for gates with no fault-tolerant SC17
+/// implementation (T / T†).
+[[nodiscard]] std::vector<Instruction> compile(
+    const Circuit& logical, const CompileOptions& options = {});
+
+}  // namespace qpf::qcu

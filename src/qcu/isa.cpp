@@ -1,0 +1,279 @@
+#include "qcu/isa.h"
+
+#include <array>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace qpf::qcu {
+
+namespace {
+
+constexpr std::uint32_t kOperandMask = 0xFFF;
+constexpr std::uint8_t kMaxOpcode = static_cast<std::uint8_t>(Opcode::kHalt);
+
+struct OpcodeInfo {
+  Opcode op;
+  std::string_view mnemonic;
+};
+
+constexpr std::array<OpcodeInfo, 20> kOpcodeTable{{
+    {Opcode::kNop, "nop"},
+    {Opcode::kPrep, "prep"},
+    {Opcode::kMeasure, "measure"},
+    {Opcode::kI, "i"},
+    {Opcode::kX, "x"},
+    {Opcode::kY, "y"},
+    {Opcode::kZ, "z"},
+    {Opcode::kH, "h"},
+    {Opcode::kS, "s"},
+    {Opcode::kSdag, "sdag"},
+    {Opcode::kT, "t"},
+    {Opcode::kTdag, "tdag"},
+    {Opcode::kCnot, "cnot"},
+    {Opcode::kCz, "cz"},
+    {Opcode::kSwap, "swap"},
+    {Opcode::kQecSlot, "qec"},
+    {Opcode::kLogicalMeasure, "lmeas"},
+    {Opcode::kMapPatch, "map"},
+    {Opcode::kUnmapPatch, "unmap"},
+    {Opcode::kHalt, "halt"},
+}};
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("qisa assembly error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+std::uint16_t parse_operand(const std::string& token, char prefix,
+                            std::size_t line_no) {
+  if (token.size() < 2 || token[0] != prefix) {
+    fail(line_no, std::string("expected operand like ") + prefix +
+                      "3, got '" + token + "'");
+  }
+  try {
+    const unsigned long v = std::stoul(token.substr(1));
+    if (v > kOperandMask) {
+      fail(line_no, "operand out of 12-bit range: '" + token + "'");
+    }
+    return static_cast<std::uint16_t>(v);
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line_no, "bad operand '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::optional<GateType> gate_of(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kI:
+      return GateType::kI;
+    case Opcode::kX:
+      return GateType::kX;
+    case Opcode::kY:
+      return GateType::kY;
+    case Opcode::kZ:
+      return GateType::kZ;
+    case Opcode::kH:
+      return GateType::kH;
+    case Opcode::kS:
+      return GateType::kS;
+    case Opcode::kSdag:
+      return GateType::kSdag;
+    case Opcode::kT:
+      return GateType::kT;
+    case Opcode::kTdag:
+      return GateType::kTdag;
+    case Opcode::kCnot:
+      return GateType::kCnot;
+    case Opcode::kCz:
+      return GateType::kCz;
+    case Opcode::kSwap:
+      return GateType::kSwap;
+    default:
+      return std::nullopt;
+  }
+}
+
+Opcode opcode_of(GateType g) noexcept {
+  switch (g) {
+    case GateType::kI:
+      return Opcode::kI;
+    case GateType::kX:
+      return Opcode::kX;
+    case GateType::kY:
+      return Opcode::kY;
+    case GateType::kZ:
+      return Opcode::kZ;
+    case GateType::kH:
+      return Opcode::kH;
+    case GateType::kS:
+      return Opcode::kS;
+    case GateType::kSdag:
+      return Opcode::kSdag;
+    case GateType::kT:
+      return Opcode::kT;
+    case GateType::kTdag:
+      return Opcode::kTdag;
+    case GateType::kCnot:
+      return Opcode::kCnot;
+    case GateType::kCz:
+      return Opcode::kCz;
+    case GateType::kSwap:
+      return Opcode::kSwap;
+    case GateType::kPrepZ:
+      return Opcode::kPrep;
+    case GateType::kMeasureZ:
+      return Opcode::kMeasure;
+  }
+  return Opcode::kNop;
+}
+
+bool is_two_qubit(Opcode op) noexcept {
+  return op == Opcode::kCnot || op == Opcode::kCz || op == Opcode::kSwap;
+}
+
+std::uint32_t encode(const Instruction& instruction) {
+  if (instruction.a > kOperandMask || instruction.b > kOperandMask) {
+    throw std::invalid_argument("qisa encode: operand exceeds 12 bits");
+  }
+  return (static_cast<std::uint32_t>(instruction.op) << 24) |
+         (static_cast<std::uint32_t>(instruction.a) << 12) |
+         static_cast<std::uint32_t>(instruction.b);
+}
+
+Instruction decode(std::uint32_t word) {
+  const auto opcode = static_cast<std::uint8_t>(word >> 24);
+  if (opcode > kMaxOpcode) {
+    throw std::invalid_argument("qisa decode: unknown opcode");
+  }
+  Instruction instruction;
+  instruction.op = static_cast<Opcode>(opcode);
+  instruction.a = static_cast<std::uint16_t>((word >> 12) & kOperandMask);
+  instruction.b = static_cast<std::uint16_t>(word & kOperandMask);
+  return instruction;
+}
+
+std::string_view mnemonic(Opcode op) noexcept {
+  for (const OpcodeInfo& info : kOpcodeTable) {
+    if (info.op == op) {
+      return info.mnemonic;
+    }
+  }
+  return "?";
+}
+
+std::string to_assembly(const Instruction& instruction) {
+  std::string out{mnemonic(instruction.op)};
+  switch (instruction.op) {
+    case Opcode::kNop:
+    case Opcode::kQecSlot:
+    case Opcode::kHalt:
+      return out;
+    case Opcode::kLogicalMeasure:
+    case Opcode::kUnmapPatch:
+      return out + " p" + std::to_string(instruction.a);
+    case Opcode::kMapPatch:
+      return out + " p" + std::to_string(instruction.a) + " s" +
+             std::to_string(instruction.b);
+    default:
+      out += " v" + std::to_string(instruction.a);
+      if (is_two_qubit(instruction.op)) {
+        out += ",v" + std::to_string(instruction.b);
+      }
+      return out;
+  }
+}
+
+std::vector<Instruction> assemble(const std::string& text) {
+  std::vector<Instruction> program;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;  // blank line
+    }
+    Instruction instruction;
+    bool found = false;
+    for (const OpcodeInfo& info : kOpcodeTable) {
+      if (info.mnemonic == word) {
+        instruction.op = info.op;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      fail(line_no, "unknown mnemonic '" + word + "'");
+    }
+    std::string operands;
+    switch (instruction.op) {
+      case Opcode::kNop:
+      case Opcode::kQecSlot:
+      case Opcode::kHalt:
+        break;
+      case Opcode::kLogicalMeasure:
+      case Opcode::kUnmapPatch:
+        if (!(ls >> operands)) {
+          fail(line_no, "missing patch operand");
+        }
+        instruction.a = parse_operand(operands, 'p', line_no);
+        break;
+      case Opcode::kMapPatch: {
+        std::string slot;
+        if (!(ls >> operands >> slot)) {
+          fail(line_no, "map needs a patch and a slot operand");
+        }
+        instruction.a = parse_operand(operands, 'p', line_no);
+        instruction.b = parse_operand(slot, 's', line_no);
+        break;
+      }
+      default: {
+        if (!(ls >> operands)) {
+          fail(line_no, "missing qubit operand");
+        }
+        const std::size_t comma = operands.find(',');
+        if (is_two_qubit(instruction.op)) {
+          if (comma == std::string::npos) {
+            fail(line_no, "two-qubit instruction needs two operands");
+          }
+          instruction.a =
+              parse_operand(operands.substr(0, comma), 'v', line_no);
+          instruction.b = parse_operand(operands.substr(comma + 1), 'v',
+                                        line_no);
+        } else {
+          if (comma != std::string::npos) {
+            fail(line_no, "single-qubit instruction with two operands");
+          }
+          instruction.a = parse_operand(operands, 'v', line_no);
+        }
+        break;
+      }
+    }
+    if (ls >> operands) {
+      fail(line_no, "trailing token '" + operands + "'");
+    }
+    program.push_back(instruction);
+  }
+  return program;
+}
+
+std::string disassemble(const std::vector<Instruction>& program) {
+  std::string out;
+  for (const Instruction& instruction : program) {
+    out += to_assembly(instruction);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qpf::qcu

@@ -1,0 +1,92 @@
+// Quantum Instruction Set Architecture (QISA) for the Quantum Control
+// Unit of thesis §3.5.1 / Fig 3.10.
+//
+// The compiler emits physical-level instructions over *virtual* qubit
+// addresses; the QCU's Q-Address-Translation stage resolves them to
+// physical addresses through the Q Symbol Table at run time.  Beyond
+// the physical gate set, the QISA carries the control instructions the
+// thesis names: the QEC slot (expanded into ESM windows by the QEC
+// cycle generator), logical measurement, and symbol-table updates.
+//
+// Binary encoding (32 bit):  [opcode:8][a:12][b:12].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace qpf::qcu {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // Physical operations (operand a = virtual qubit; b = second operand
+  // for two-qubit gates).
+  kPrep,
+  kMeasure,
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdag,
+  kT,
+  kTdag,
+  kCnot,
+  kCz,
+  kSwap,
+  // Control instructions (operand a = logical patch id).
+  kQecSlot,         ///< run one QEC window on every live patch
+  kLogicalMeasure,  ///< transversal measurement of patch a
+  kMapPatch,        ///< map patch a at physical base slot b (table update)
+  kUnmapPatch,      ///< deallocate patch a
+  kHalt,
+};
+
+/// Virtual qubit address: patch-local, patch = v / kPatchStride,
+/// offset = v % kPatchStride.
+using VirtualQubit = std::uint16_t;
+
+/// One decoded instruction.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+
+  [[nodiscard]] bool operator==(const Instruction&) const = default;
+};
+
+/// Physical gate type for gate opcodes; nullopt for control opcodes and
+/// prep/measure.
+[[nodiscard]] std::optional<GateType> gate_of(Opcode op) noexcept;
+
+/// Opcode for a physical gate type.
+[[nodiscard]] Opcode opcode_of(GateType g) noexcept;
+
+/// True for opcodes taking two qubit operands.
+[[nodiscard]] bool is_two_qubit(Opcode op) noexcept;
+
+/// Binary encoding; throws std::invalid_argument if an operand exceeds
+/// 12 bits.
+[[nodiscard]] std::uint32_t encode(const Instruction& instruction);
+/// Binary decoding; throws std::invalid_argument on an unknown opcode.
+[[nodiscard]] Instruction decode(std::uint32_t word);
+
+/// Mnemonic of an opcode ("qec", "lmeas", "map", ...).
+[[nodiscard]] std::string_view mnemonic(Opcode op) noexcept;
+
+/// Assembly text for one instruction, e.g. "cnot v0,v17" or "map p1 s2".
+[[nodiscard]] std::string to_assembly(const Instruction& instruction);
+
+/// Assemble a whole program (one instruction per line, '#' comments).
+/// Throws std::runtime_error with a line number on malformed input.
+[[nodiscard]] std::vector<Instruction> assemble(const std::string& text);
+
+/// Disassemble a program.
+[[nodiscard]] std::string disassemble(const std::vector<Instruction>& program);
+
+}  // namespace qpf::qcu

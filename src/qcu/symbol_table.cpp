@@ -1,0 +1,65 @@
+#include "qcu/symbol_table.h"
+
+#include <stdexcept>
+
+namespace qpf::qcu {
+
+QSymbolTable::QSymbolTable(std::size_t slots)
+    : slots_(slots), slot_used_(slots, false) {
+  if (slots == 0) {
+    throw std::invalid_argument("QSymbolTable: zero slots");
+  }
+}
+
+void QSymbolTable::map_patch(PatchId patch, std::uint16_t slot) {
+  if (slot >= slots_) {
+    throw std::invalid_argument("QSymbolTable: slot out of range");
+  }
+  if (slot_used_[slot]) {
+    throw std::invalid_argument("QSymbolTable: slot already occupied");
+  }
+  if (patch >= slot_of_patch_.size()) {
+    slot_of_patch_.resize(patch + 1);
+  }
+  if (slot_of_patch_[patch].has_value()) {
+    throw std::invalid_argument("QSymbolTable: patch already mapped");
+  }
+  slot_of_patch_[patch] = slot;
+  slot_used_[slot] = true;
+}
+
+void QSymbolTable::unmap_patch(PatchId patch) {
+  if (!alive(patch)) {
+    throw std::invalid_argument("QSymbolTable: patch not alive");
+  }
+  slot_used_[*slot_of_patch_[patch]] = false;
+  slot_of_patch_[patch].reset();
+}
+
+bool QSymbolTable::alive(PatchId patch) const noexcept {
+  return patch < slot_of_patch_.size() && slot_of_patch_[patch].has_value();
+}
+
+Qubit QSymbolTable::base(PatchId patch) const {
+  if (!alive(patch)) {
+    throw std::out_of_range("QSymbolTable: patch not alive");
+  }
+  return static_cast<Qubit>(*slot_of_patch_[patch] * kPatchStride);
+}
+
+Qubit QSymbolTable::translate(std::uint16_t virtual_qubit) const {
+  const PatchId patch = patch_of(virtual_qubit);
+  return base(patch) + virtual_qubit % kPatchStride;
+}
+
+std::vector<PatchId> QSymbolTable::live_patches() const {
+  std::vector<PatchId> out;
+  for (PatchId patch = 0; patch < slot_of_patch_.size(); ++patch) {
+    if (slot_of_patch_[patch].has_value()) {
+      out.push_back(patch);
+    }
+  }
+  return out;
+}
+
+}  // namespace qpf::qcu

@@ -1,0 +1,61 @@
+// Biased Pauli noise (thesis future work: "more realistic error
+// models"; cf. Aliferis & Preskill [28]).
+//
+// Parameterized by the total physical error rate p and the bias
+// eta = p_Z / (p_X + p_Y): dephasing-dominated hardware (e.g.
+// superconducting qubits away from the sweet spot) has eta >> 1.
+//   p_Z = p * eta / (eta + 1),  p_X = p_Y = p / (2 * (eta + 1)).
+// eta = 0.5 recovers the symmetric depolarizing channel.
+//
+// Two-qubit gates draw independent single-qubit errors on each operand
+// from the same biased marginal (conditioned on at least one being
+// non-identity), and measurements flip with the full probability p
+// (X before readout), matching the symmetric model's conventions.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "circuit/circuit.h"
+#include "qec/depolarizing.h"  // ErrorTally
+
+namespace qpf::qec {
+
+class BiasedNoiseModel {
+ public:
+  /// Throws std::invalid_argument unless 0 <= p <= 1 and eta > 0.
+  BiasedNoiseModel(double p, double eta, std::uint64_t seed);
+
+  [[nodiscard]] double physical_error_rate() const noexcept { return p_; }
+  [[nodiscard]] double bias() const noexcept { return eta_; }
+
+  /// Per-Pauli marginals.
+  [[nodiscard]] double p_x() const noexcept { return px_; }
+  [[nodiscard]] double p_y() const noexcept { return px_; }
+  [[nodiscard]] double p_z() const noexcept { return pz_; }
+
+  /// Rewrite a circuit with sampled faults inserted; `num_qubits` sizes
+  /// the register for idle errors (same conventions as
+  /// DepolarizingModel::inject).
+  [[nodiscard]] Circuit inject(const Circuit& circuit,
+                               std::size_t num_qubits);
+
+  [[nodiscard]] const ErrorTally& tally() const noexcept { return tally_; }
+  void reset_tally() noexcept { tally_ = {}; }
+
+ private:
+  /// Draw a Pauli conditioned on "an error happened": X/Y/Z with the
+  /// biased conditional weights.
+  [[nodiscard]] GateType biased_pauli();
+  [[nodiscard]] bool flip(double probability);
+
+  double p_;
+  double eta_;
+  double px_;
+  double pz_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  ErrorTally tally_;
+};
+
+}  // namespace qpf::qec

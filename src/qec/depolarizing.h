@@ -1,0 +1,58 @@
+// Symmetric depolarizing error model (thesis §5.3.1, following [11,19]).
+//
+// With physical error rate p:
+//  * every single-qubit operation (gates, preparation, and explicit
+//    idling — an idle time slot counts as an identity gate) suffers one
+//    of {X, Y, Z} afterwards with probability p/3 each;
+//  * a measurement suffers an X flip *before* readout with probability p;
+//  * a two-qubit gate suffers one of the 15 non-identity two-qubit Pauli
+//    combinations with probability p/15 each.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "circuit/circuit.h"
+
+namespace qpf::qec {
+
+/// Tally of injected faults, for diagnostics and tests.
+struct ErrorTally {
+  std::size_t single_qubit = 0;
+  std::size_t two_qubit = 0;
+  std::size_t measurement_flips = 0;
+  std::size_t idle = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return single_qubit + two_qubit + measurement_flips + idle;
+  }
+};
+
+class DepolarizingModel {
+ public:
+  /// Throws std::invalid_argument unless 0 <= p <= 1.
+  DepolarizingModel(double p, std::uint64_t seed);
+
+  [[nodiscard]] double physical_error_rate() const noexcept { return p_; }
+
+  /// Rewrite a circuit with sampled faults inserted.  `num_qubits` is
+  /// the register size, needed to charge idle errors to untouched
+  /// qubits in every slot.
+  [[nodiscard]] Circuit inject(const Circuit& circuit,
+                               std::size_t num_qubits);
+
+  [[nodiscard]] const ErrorTally& tally() const noexcept { return tally_; }
+  void reset_tally() noexcept { tally_ = {}; }
+
+ private:
+  /// Uniformly pick X, Y or Z.
+  [[nodiscard]] GateType random_pauli();
+  [[nodiscard]] bool flip(double probability);
+
+  double p_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  ErrorTally tally_;
+};
+
+}  // namespace qpf::qec

@@ -1,0 +1,214 @@
+// Lattice surgery between two distance-3 rotated surface code patches
+// (Horsman, Fowler, Devitt & Van Meter — the thesis' reference [14] for
+// extending the SC17 operation set).
+//
+// The two patches sit side by side with one column of three routing
+// qubits between them; merging forms a single 3x7 rotated patch.  With
+// the seam initialized in |0>, measuring the merged patch's stabilizers
+// performs a JOINT MEASUREMENT of X_A x X_B:
+//   X_A (data column 0) and X_B (data column 4 of the merged patch) are
+//   homologically equivalent in the merged code, so their product
+//   equals a fixed product of merged X checks — the measured outcome is
+//   read off the first merged ESM round.
+// The merged logical Z = Z_A * Z(routing row 0) * Z_B commutes with the
+// merge, so splitting (measuring the routing column in the Z basis)
+// returns Z_A Z_B = (merged Z value) * (routing-0 outcome), up to the
+// X-type fixups this class computes:
+//   * two seam-adjacent boundary checks whose post-split signs are
+//     classically determined by the merged checks and routing readout,
+//     cleared by short X chains that avoid both logical operators;
+//   * an optional logical X on patch B normalizing Z_A Z_B to +1.
+//
+// Two patches prepared in |0>_L and pushed through merge + split come
+// out as a logical Bell pair: X_A X_B = m (the measured sign after
+// fixups), Z_A Z_B = +1, with the individual logicals maximally mixed.
+//
+// This implementation targets the error-free verification setting (like
+// the thesis' §5.1 logical-operation experiments); decoding surgery
+// under noise is future work.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "qec/surface_code.h"
+
+namespace qpf::qec {
+
+class LatticeSurgery {
+ public:
+  /// Register allocation: each patch uses the SurfaceCodeLayout(3)
+  /// convention (9 data + 8 ancillas at its base); `routing` points at
+  /// 3 consecutive qubits; `merged_ancillas` at 20 consecutive qubits
+  /// used only while merged.
+  struct Registers {
+    Qubit base_a = 0;
+    Qubit base_b = 17;
+    Qubit routing = 34;
+    Qubit merged_ancillas = 37;
+  };
+
+  static constexpr int kRoutingQubits = 3;
+  static constexpr std::size_t kMergedAncillas = 20;  // 3*7 - 1
+
+  LatticeSurgery() : LatticeSurgery(Registers{}) {}
+  explicit LatticeSurgery(const Registers& registers);
+
+  [[nodiscard]] const SurfaceCodeLayout& patch_layout() const noexcept {
+    return patch_;
+  }
+  [[nodiscard]] const SurfaceCodeLayout& merged_layout() const noexcept {
+    return merged_;
+  }
+  [[nodiscard]] const Registers& registers() const noexcept {
+    return registers_;
+  }
+
+  /// Register qubit of merged data local (row-major over the 3x7 grid).
+  [[nodiscard]] Qubit merged_data_register(int merged_local) const;
+
+  /// Prepare the routing column in |0>.
+  [[nodiscard]] Circuit seam_preparation_circuit() const;
+
+  /// One ESM round of the merged 3x7 patch, remapped onto the real
+  /// registers.
+  [[nodiscard]] Circuit merged_esm_circuit() const;
+
+  /// Ancilla-register readout order of merged_esm_circuit: merged check
+  /// k is measured on registers().merged_ancillas + k.
+  [[nodiscard]] std::size_t merged_checks() const noexcept {
+    return merged_.num_checks();
+  }
+
+  /// The merged X checks whose product equals X_A x X_B.
+  [[nodiscard]] const std::vector<int>& xx_check_subset() const noexcept {
+    return xx_subset_;
+  }
+
+  /// Joint X_A X_B outcome (+1/-1) from one merged round (bit k =
+  /// outcome of merged check k).
+  [[nodiscard]] int joint_xx_sign(const std::vector<std::uint8_t>& round) const;
+
+  /// Split: measure the routing column in the Z basis.
+  [[nodiscard]] Circuit split_circuit() const;
+
+  /// Classical post-split bookkeeping.
+  struct SplitFixups {
+    bool fix_a_seam_check = false;  ///< A's right-boundary Z check reads -1
+    bool fix_b_seam_check = false;  ///< B's left-boundary Z check reads -1
+    /// Sign contributed to Z_A Z_B by the routing-row-0 readout; the
+    /// full relation is Z_A Z_B = zz_sign * (pre-merge Z_A Z_B value).
+    int zz_sign = +1;
+  };
+
+  /// Compute the fixups from the last merged round and the routing
+  /// readout (index r = routing qubit in row r).
+  [[nodiscard]] SplitFixups split_fixups(
+      const std::vector<std::uint8_t>& merged_round,
+      const std::array<bool, kRoutingQubits>& routing_outcomes) const;
+
+  /// Short X chains clearing the seam-check gauge; both chains avoid
+  /// data row 0 (Z logicals) and commute with the X logicals.
+  [[nodiscard]] Circuit gauge_fixup_circuit(const SplitFixups& fixups) const;
+
+  /// Logical X on patch B (its column 0), normalizing Z_A Z_B.
+  [[nodiscard]] Circuit zz_fixup_circuit() const;
+
+ private:
+  [[nodiscard]] int merged_check_at(int site_i, int site_j) const;
+
+  Registers registers_;
+  SurfaceCodeLayout patch_;   // 3x3
+  SurfaceCodeLayout merged_;  // 3x7
+  std::vector<int> xx_subset_;
+};
+
+/// Rough (vertical) lattice surgery: the dual of LatticeSurgery.
+///
+/// The two patches are stacked with a 3-qubit routing ROW between them
+/// (merged patch: 7x3).  With the seam initialized in |+>, measuring
+/// the merged stabilizers performs a joint measurement of Z_A x Z_B
+/// (the two horizontal Z logicals, rows 0 and 4 of the merged patch,
+/// are homologically equivalent); splitting measures the routing row in
+/// the X basis, preserving X_A X_B = (merged X value) * (routing col-0
+/// outcome) up to Z-type fixups mirroring the smooth case.
+///
+/// Together the two merges implement the lattice-surgery CNOT of [14]:
+/// with an ancilla patch in |+>_L, measure Z_C Z_A (rough), X_A X_T
+/// (smooth), then Z_A transversally; Pauli-correct X_T and Z_C from the
+/// three outcomes.  See tests/test_lattice_surgery.cpp.
+class RoughLatticeSurgery {
+ public:
+  struct Registers {
+    Qubit base_a = 0;
+    Qubit base_b = 17;
+    Qubit routing = 34;
+    Qubit merged_ancillas = 37;
+  };
+
+  static constexpr int kRoutingQubits = 3;
+
+  RoughLatticeSurgery() : RoughLatticeSurgery(Registers{}) {}
+  explicit RoughLatticeSurgery(const Registers& registers);
+
+  [[nodiscard]] const SurfaceCodeLayout& patch_layout() const noexcept {
+    return patch_;
+  }
+  [[nodiscard]] const SurfaceCodeLayout& merged_layout() const noexcept {
+    return merged_;
+  }
+  [[nodiscard]] const Registers& registers() const noexcept {
+    return registers_;
+  }
+
+  /// Register qubit of merged data local (row-major over the 7x3 grid).
+  [[nodiscard]] Qubit merged_data_register(int merged_local) const;
+
+  /// Prepare the routing row in |+> (reset + H).
+  [[nodiscard]] Circuit seam_preparation_circuit() const;
+
+  /// One merged ESM round, remapped onto the real registers.
+  [[nodiscard]] Circuit merged_esm_circuit() const;
+  [[nodiscard]] std::size_t merged_checks() const noexcept {
+    return merged_.num_checks();
+  }
+
+  /// The merged Z checks whose product equals Z_A x Z_B.
+  [[nodiscard]] const std::vector<int>& zz_check_subset() const noexcept {
+    return zz_subset_;
+  }
+  /// Joint Z_A Z_B outcome from one merged round.
+  [[nodiscard]] int joint_zz_sign(const std::vector<std::uint8_t>& round) const;
+
+  /// Split: measure the routing row in the X basis (H, then measure).
+  [[nodiscard]] Circuit split_circuit() const;
+
+  struct SplitFixups {
+    bool fix_a_seam_check = false;  ///< A's bottom X check reads -1
+    bool fix_b_seam_check = false;  ///< B's top X check reads -1
+    /// Sign contributed to X_A X_B by the routing col-0 readout.
+    int xx_sign = +1;
+  };
+
+  [[nodiscard]] SplitFixups split_fixups(
+      const std::vector<std::uint8_t>& merged_round,
+      const std::array<bool, kRoutingQubits>& routing_outcomes) const;
+
+  /// Short Z chains clearing the seam-check gauge; both avoid data
+  /// column 0 (the X logicals) and commute with the Z logicals.
+  [[nodiscard]] Circuit gauge_fixup_circuit(const SplitFixups& fixups) const;
+
+  /// Logical Z on patch B (its row 0), normalizing X_A X_B.
+  [[nodiscard]] Circuit xx_fixup_circuit() const;
+
+ private:
+  [[nodiscard]] int merged_check_at(int site_i, int site_j) const;
+
+  Registers registers_;
+  SurfaceCodeLayout patch_;   // 3x3
+  SurfaceCodeLayout merged_;  // 7x3
+  std::vector<int> zz_subset_;
+};
+
+}  // namespace qpf::qec

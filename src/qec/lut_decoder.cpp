@@ -1,0 +1,90 @@
+#include "qec/lut_decoder.h"
+
+#include <stdexcept>
+
+namespace qpf::qec {
+
+LutDecoder::LutDecoder(const std::array<std::uint16_t, 4>& check_masks,
+                       int num_data_qubits,
+                       std::uint16_t even_overlap_mask)
+    : num_data_(num_data_qubits) {
+  if (num_data_qubits <= 0 || num_data_qubits > 16) {
+    throw std::invalid_argument("LutDecoder: bad data qubit count");
+  }
+  signatures_.resize(static_cast<std::size_t>(num_data_qubits), 0);
+  for (int q = 0; q < num_data_qubits; ++q) {
+    unsigned sig = 0;
+    for (unsigned bit = 0; bit < 4; ++bit) {
+      if (check_masks[bit] & (1u << q)) {
+        sig |= 1u << bit;
+      }
+    }
+    signatures_[static_cast<std::size_t>(q)] = sig;
+  }
+
+  // Fill the table with the minimum-weight correction per syndrome by
+  // breadth-first enumeration over subset weight.
+  std::array<bool, 16> filled{};
+  table_[0] = {};
+  filled[0] = true;
+  std::vector<std::vector<int>> frontier{{}};
+  while (true) {
+    bool all_filled = true;
+    for (bool f : filled) {
+      all_filled = all_filled && f;
+    }
+    if (all_filled || frontier.empty()) {
+      break;
+    }
+    std::vector<std::vector<int>> next;
+    for (const std::vector<int>& subset : frontier) {
+      const int start = subset.empty() ? 0 : subset.back() + 1;
+      for (int q = start; q < num_data_; ++q) {
+        std::vector<int> candidate = subset;
+        candidate.push_back(q);
+        unsigned sig = 0;
+        int overlap = 0;
+        for (int c : candidate) {
+          sig ^= signatures_[static_cast<std::size_t>(c)];
+          overlap += (even_overlap_mask >> c) & 1;
+        }
+        if (!filled[sig] && overlap % 2 == 0) {
+          filled[sig] = true;
+          table_[sig] = candidate;
+        }
+        next.push_back(std::move(candidate));
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (unsigned s = 0; s < 16; ++s) {
+    if (!filled[s]) {
+      throw std::invalid_argument(
+          "LutDecoder: syndrome space not covered by check masks");
+    }
+  }
+}
+
+const std::vector<int>& LutDecoder::decode(unsigned syndrome) const {
+  if (syndrome >= 16) {
+    throw std::out_of_range("LutDecoder: syndrome out of range");
+  }
+  return table_[syndrome];
+}
+
+unsigned LutDecoder::signature(int data_qubit) const {
+  if (data_qubit < 0 || data_qubit >= num_data_) {
+    throw std::out_of_range("LutDecoder: data qubit out of range");
+  }
+  return signatures_[static_cast<std::size_t>(data_qubit)];
+}
+
+unsigned LutDecoder::signature(const std::vector<int>& data_qubits) const {
+  unsigned sig = 0;
+  for (int q : data_qubits) {
+    sig ^= signature(q);
+  }
+  return sig;
+}
+
+}  // namespace qpf::qec

@@ -1,0 +1,56 @@
+// Rule-based look-up-table decoder for distance-3 surface code patches
+// (thesis §5.3.1; the scheme of Tomita & Svore as implemented by [37]).
+//
+// Spatial part: a 4-bit syndrome (one bit per parity check of a basis)
+// maps through a precomputed LUT to the minimum-weight set of data
+// qubits whose combined syndrome signature reproduces it.
+//
+// Temporal part: each window decodes from three rounds of ESM results
+// (the last round of the previous window plus the two rounds of this
+// window, Fig 5.9).  A per-bit majority vote over the three rounds
+// filters single measurement errors; errors that only show in the last
+// round are deferred to the next window, exactly one round later.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace qpf::qec {
+
+/// Spatial LUT for one check basis.
+class LutDecoder {
+ public:
+  /// check_masks[i] is the bitmask over the patch's data qubits covered
+  /// by check bit i.  If even_overlap_mask is nonzero, every table
+  /// entry is additionally constrained to overlap that data-qubit mask
+  /// an even number of times — used by state injection, where the
+  /// gauge-fix corrections must commute with the logical operators.
+  /// Throws std::invalid_argument if some syndrome is not producible
+  /// under the constraints.
+  explicit LutDecoder(const std::array<std::uint16_t, 4>& check_masks,
+                      int num_data_qubits = 9,
+                      std::uint16_t even_overlap_mask = 0);
+
+  /// Data-qubit indices to correct for a 4-bit syndrome.
+  [[nodiscard]] const std::vector<int>& decode(unsigned syndrome) const;
+
+  /// 4-bit syndrome signature a single error on data qubit q produces.
+  [[nodiscard]] unsigned signature(int data_qubit) const;
+
+  /// Combined signature of a set of corrections.
+  [[nodiscard]] unsigned signature(const std::vector<int>& data_qubits) const;
+
+ private:
+  int num_data_;
+  std::vector<unsigned> signatures_;        // per data qubit
+  std::array<std::vector<int>, 16> table_;  // per syndrome
+};
+
+/// Three-round temporal filter: majority vote per check bit.
+[[nodiscard]] constexpr unsigned majority_syndrome(unsigned r0, unsigned r1,
+                                                   unsigned r2) noexcept {
+  return (r0 & r1) | (r1 & r2) | (r0 & r2);
+}
+
+}  // namespace qpf::qec

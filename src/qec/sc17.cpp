@@ -1,0 +1,163 @@
+#include "qec/sc17.h"
+
+#include <stdexcept>
+
+namespace qpf::qec {
+
+namespace {
+
+constexpr std::uint16_t make_mask(std::initializer_list<int> data) {
+  std::uint16_t m = 0;
+  for (int d : data) {
+    m = static_cast<std::uint16_t>(m | (1u << d));
+  }
+  return m;
+}
+
+}  // namespace
+
+Sc17Layout::Sc17Layout(CnotPattern pattern) : pattern_(pattern) {
+  // X checks interact NE, NW, SE, SW per CNOT slot (the S pattern of
+  // Fig 2.2); Z checks interact NE, SE, NW, SW (the Z pattern of
+  // Fig 2.3).  The resulting schedule gives every data qubit at most one
+  // partner per slot; see Sc17ScheduleTest.
+  checks_ = {
+      // X ancillas (local 0..3)
+      {CheckType::kX, 0, {1, 0, 4, 3}, make_mask({0, 1, 3, 4})},
+      {CheckType::kX, 1, {-1, -1, 2, 1}, make_mask({1, 2})},
+      {CheckType::kX, 2, {5, 4, 8, 7}, make_mask({4, 5, 7, 8})},
+      {CheckType::kX, 3, {7, 6, -1, -1}, make_mask({6, 7})},
+      // Z ancillas (local 4..7)
+      {CheckType::kZ, 4, {0, 3, -1, -1}, make_mask({0, 3})},
+      {CheckType::kZ, 5, {2, 5, 1, 4}, make_mask({1, 2, 4, 5})},
+      {CheckType::kZ, 6, {4, 7, 3, 6}, make_mask({3, 4, 6, 7})},
+      {CheckType::kZ, 7, {-1, -1, 5, 8}, make_mask({5, 8})},
+  };
+  if (pattern == CnotPattern::kSameS) {
+    // Z checks also interact NE, NW, SE, SW (also conflict-free; see
+    // Sc17ScheduleTest.SameSPatternIsConflictFree).
+    checks_[4].data = {0, -1, 3, -1};
+    checks_[5].data = {2, 1, 5, 4};
+    checks_[6].data = {4, 3, 7, 6};
+    checks_[7].data = {-1, 5, -1, 8};
+  }
+}
+
+Circuit Sc17Layout::esm_circuit(Qubit base, Orientation orientation,
+                                DanceMode dance) const {
+  Circuit circuit{"esm"};
+  // Partition the ancillas by their effective basis this round.
+  std::vector<const Check*> x_checks;
+  std::vector<const Check*> z_checks;
+  for (const Check& check : checks_) {
+    if (check.effective_type(orientation) == CheckType::kX) {
+      if (dance == DanceMode::kAll) {
+        x_checks.push_back(&check);
+      }
+    } else {
+      z_checks.push_back(&check);
+    }
+  }
+
+  // Slot 1: reset the X ancillas (Table 5.8).
+  if (!x_checks.empty()) {
+    TimeSlot slot;
+    for (const Check* check : x_checks) {
+      slot.add(Operation{GateType::kPrepZ, ancilla_qubit(base, check->ancilla)});
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slot 2: reset the Z ancillas and put the X ancillas in |+>.
+  {
+    TimeSlot slot;
+    for (const Check* check : z_checks) {
+      slot.add(Operation{GateType::kPrepZ, ancilla_qubit(base, check->ancilla)});
+    }
+    for (const Check* check : x_checks) {
+      slot.add(Operation{GateType::kH, ancilla_qubit(base, check->ancilla)});
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slots 3-6: the interleaved CNOT schedule.
+  for (int cnot_slot = 0; cnot_slot < 4; ++cnot_slot) {
+    TimeSlot slot;
+    for (const Check* check : x_checks) {
+      const int d = check->data[static_cast<std::size_t>(cnot_slot)];
+      if (d >= 0) {
+        slot.add(Operation{GateType::kCnot,
+                           ancilla_qubit(base, check->ancilla),
+                           data_qubit(base, d)});
+      }
+    }
+    for (const Check* check : z_checks) {
+      const int d = check->data[static_cast<std::size_t>(cnot_slot)];
+      if (d >= 0) {
+        slot.add(Operation{GateType::kCnot, data_qubit(base, d),
+                           ancilla_qubit(base, check->ancilla)});
+      }
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slot 7: rotate the X ancillas back to the computational basis.
+  if (!x_checks.empty()) {
+    TimeSlot slot;
+    for (const Check* check : x_checks) {
+      slot.add(Operation{GateType::kH, ancilla_qubit(base, check->ancilla)});
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slot 8: measure every dancing ancilla.
+  {
+    TimeSlot slot;
+    for (const Check& check : checks_) {
+      const bool active = dance == DanceMode::kAll ||
+                          check.effective_type(orientation) == CheckType::kZ;
+      if (active) {
+        slot.add(
+            Operation{GateType::kMeasureZ, ancilla_qubit(base, check.ancilla)});
+      }
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  return circuit;
+}
+
+std::vector<int> Sc17Layout::esm_measurement_order(Orientation orientation,
+                                                   DanceMode dance) const {
+  std::vector<int> order;
+  for (const Check& check : checks_) {
+    const bool active = dance == DanceMode::kAll ||
+                        check.effective_type(orientation) == CheckType::kZ;
+    if (active) {
+      order.push_back(check.ancilla);
+    }
+  }
+  return order;
+}
+
+Circuit Sc17Layout::logical_stabilizer_circuit(Qubit base, CheckType basis,
+                                               Qubit ancilla,
+                                               Orientation orientation) const {
+  Circuit circuit{basis == CheckType::kZ ? "logical-z-stabilizer"
+                                         : "logical-x-stabilizer"};
+  circuit.append_in_new_slot(Operation{GateType::kPrepZ, ancilla});
+  if (basis == CheckType::kZ) {
+    // Fig 5.10a: Z-chain parity into the ancilla (detects X_L errors).
+    for (int d : logical_z_data(orientation)) {
+      circuit.append_in_new_slot(
+          Operation{GateType::kCnot, data_qubit(base, d), ancilla});
+    }
+  } else {
+    // Fig 5.10b: X-chain parity via a |+>-basis ancilla (detects Z_L).
+    circuit.append_in_new_slot(Operation{GateType::kH, ancilla});
+    for (int d : logical_x_data(orientation)) {
+      circuit.append_in_new_slot(
+          Operation{GateType::kCnot, ancilla, data_qubit(base, d)});
+    }
+    circuit.append_in_new_slot(Operation{GateType::kH, ancilla});
+  }
+  circuit.append_in_new_slot(Operation{GateType::kMeasureZ, ancilla});
+  return circuit;
+}
+
+}  // namespace qpf::qec

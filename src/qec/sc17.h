@@ -1,0 +1,131 @@
+// Surface Code 17 ("ninja star") layout, stabilizers and ESM circuits.
+//
+// Geometry (thesis Fig 2.1): nine data qubits D0..D8 on a 3x3 grid with
+// four X-parity ancillas and four Z-parity ancillas between them.
+// Stabilizers (Table 2.1):
+//   X checks: X0X1X3X4, X1X2, X4X5X7X8, X6X7
+//   Z checks: Z0Z3, Z1Z2Z4Z5, Z3Z4Z6Z7, Z5Z8
+// Logical operators (§2.6.1): X_L = X2 X4 X6, Z_L = Z0 Z4 Z8 in the
+// normal orientation; the chains swap after a logical Hadamard rotates
+// the lattice by 90 degrees (Fig 2.5).
+//
+// ESM circuits follow Table 5.8: 8 time slots, 48 operations, with the
+// X-check CNOTs in the S pattern of Fig 2.2 and the Z-check CNOTs in the
+// Z pattern of Fig 2.3 (different patterns prevent hook errors, see
+// Tomita & Svore).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qpf::qec {
+
+/// Parity-check basis.
+enum class CheckType : std::uint8_t { kX, kZ };
+
+/// Lattice orientation (Table 5.2 "rotation" property).
+enum class Orientation : std::uint8_t { kNormal, kRotated };
+
+/// Which ancillas dance during an ESM round (Table 5.2 "dancemode").
+enum class DanceMode : std::uint8_t { kAll, kZOnly };
+
+/// CNOT interaction ordering for the ESM schedule.  kMixed is the
+/// fault-tolerant choice of Figs 2.2/2.3 (S pattern for X checks, Z
+/// pattern for Z checks); kSameS applies the S pattern to both check
+/// types — still conflict-free, but hook errors on ancillas can then
+/// align with logical operators (ablation target, cf. [19]).
+enum class CnotPattern : std::uint8_t { kMixed, kSameS };
+
+[[nodiscard]] constexpr Orientation flip(Orientation o) noexcept {
+  return o == Orientation::kNormal ? Orientation::kRotated
+                                   : Orientation::kNormal;
+}
+
+/// One parity check: an ancilla plus its slot-ordered data neighbours.
+struct Check {
+  CheckType type;              ///< check basis in the NORMAL orientation
+  int ancilla;                 ///< local ancilla index, 0..7
+  std::array<int, 4> data;     ///< local data index per CNOT slot; -1 = idle
+  std::uint16_t mask;          ///< bitmask over the 9 data qubits
+
+  /// Basis this check measures in the given orientation: a transversal
+  /// logical H swaps every ancilla's role.
+  [[nodiscard]] CheckType effective_type(Orientation o) const noexcept {
+    if (o == Orientation::kNormal) {
+      return type;
+    }
+    return type == CheckType::kX ? CheckType::kZ : CheckType::kX;
+  }
+};
+
+/// The static SC17 layout with register-index helpers.  A ninja star
+/// occupies 17 consecutive register qubits starting at `base`: data
+/// qubits base+0..base+8, ancillas base+9..base+16 (X ancillas first).
+class Sc17Layout {
+ public:
+  static constexpr std::size_t kNumData = 9;
+  static constexpr std::size_t kNumAncilla = 8;
+  static constexpr std::size_t kNumQubits = kNumData + kNumAncilla;
+  static constexpr std::size_t kEsmSlots = 8;     // Table 5.8
+  static constexpr std::size_t kEsmGates = 48;    // Table 5.8
+  static constexpr std::size_t kDistance = 3;
+
+  /// Logical operator chains in the normal orientation.
+  static constexpr std::array<int, 3> kLogicalXData{2, 4, 6};
+  static constexpr std::array<int, 3> kLogicalZData{0, 4, 8};
+
+  explicit Sc17Layout(CnotPattern pattern = CnotPattern::kMixed);
+
+  /// The 8 checks; indices 0..3 are the X checks, 4..7 the Z checks.
+  [[nodiscard]] const std::vector<Check>& checks() const noexcept {
+    return checks_;
+  }
+
+  [[nodiscard]] CnotPattern pattern() const noexcept { return pattern_; }
+
+  /// Data-qubit chain of the logical X / Z operator for an orientation.
+  [[nodiscard]] std::array<int, 3> logical_x_data(Orientation o) const noexcept {
+    return o == Orientation::kNormal ? kLogicalXData : kLogicalZData;
+  }
+  [[nodiscard]] std::array<int, 3> logical_z_data(Orientation o) const noexcept {
+    return o == Orientation::kNormal ? kLogicalZData : kLogicalXData;
+  }
+
+  /// Register index of local data qubit d for a star rooted at base.
+  [[nodiscard]] static Qubit data_qubit(Qubit base, int d) {
+    return base + static_cast<Qubit>(d);
+  }
+  /// Register index of local ancilla a (0..7).
+  [[nodiscard]] static Qubit ancilla_qubit(Qubit base, int a) {
+    return base + static_cast<Qubit>(kNumData + a);
+  }
+
+  /// Full ESM circuit for one round (Table 5.8).  In dance mode kZOnly
+  /// only the ancillas whose effective type is Z participate (partial
+  /// ESM used after logical measurement, §5.1.2).
+  [[nodiscard]] Circuit esm_circuit(Qubit base, Orientation orientation,
+                                    DanceMode dance = DanceMode::kAll) const;
+
+  /// Local ancilla indices measured by esm_circuit, in measurement
+  /// order.  Needed to map measurement results back to checks.
+  [[nodiscard]] std::vector<int> esm_measurement_order(
+      Orientation orientation, DanceMode dance = DanceMode::kAll) const;
+
+  /// Stabilizer-measurement circuit of Fig 5.10 for detecting logical
+  /// errors without disturbing the state.  For CheckType::kZ this is the
+  /// Z0Z4Z8 circuit (detects X_L errors), for kX the X2X4X6 circuit
+  /// (detects Z_L errors); the chains follow the lattice orientation.
+  /// `ancilla` is the register qubit to borrow.
+  [[nodiscard]] Circuit logical_stabilizer_circuit(
+      Qubit base, CheckType basis, Qubit ancilla,
+      Orientation orientation = Orientation::kNormal) const;
+
+ private:
+  CnotPattern pattern_;
+  std::vector<Check> checks_;
+};
+
+}  // namespace qpf::qec

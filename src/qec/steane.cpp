@@ -1,0 +1,132 @@
+#include "qec/steane.h"
+
+namespace qpf::qec {
+
+Circuit SteaneCode::reset_circuit(Qubit base) {
+  Circuit circuit{"steane-reset"};
+  TimeSlot slot;
+  for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+    slot.add(Operation{GateType::kPrepZ, data_qubit(base, d)});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SteaneCode::esm_circuit(Qubit base) {
+  Circuit circuit{"steane-esm"};
+  // X checks: ancilla in |+>, CNOTs onto the data, read in X basis.
+  for (int i = 0; i < 3; ++i) {
+    const Qubit a = ancilla_qubit(base, CheckType::kX, i);
+    circuit.append(GateType::kPrepZ, a);
+    circuit.append(GateType::kH, a);
+    for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+      if (generator_mask(i) & (1u << d)) {
+        circuit.append(GateType::kCnot, a, data_qubit(base, d));
+      }
+    }
+    circuit.append(GateType::kH, a);
+  }
+  // Z checks: parity of the data accumulated into the ancilla.
+  for (int i = 0; i < 3; ++i) {
+    const Qubit a = ancilla_qubit(base, CheckType::kZ, i);
+    circuit.append(GateType::kPrepZ, a);
+    for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+      if (generator_mask(i) & (1u << d)) {
+        circuit.append(GateType::kCnot, data_qubit(base, d), a);
+      }
+    }
+  }
+  // Read out every ancilla together in the final slot so the results
+  // are never exposed to idling afterwards.
+  TimeSlot readout;
+  for (int i = 0; i < 3; ++i) {
+    readout.add(Operation{GateType::kMeasureZ,
+                          ancilla_qubit(base, CheckType::kX, i)});
+  }
+  for (int i = 0; i < 3; ++i) {
+    readout.add(Operation{GateType::kMeasureZ,
+                          ancilla_qubit(base, CheckType::kZ, i)});
+  }
+  circuit.append_slot(std::move(readout));
+  return circuit;
+}
+
+std::vector<int> SteaneCode::esm_measurement_order() {
+  return {7, 8, 9, 10, 11, 12};
+}
+
+Circuit SteaneCode::logical_x_circuit(Qubit base) {
+  Circuit circuit{"steane-x_L"};
+  TimeSlot slot;
+  for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+    slot.add(Operation{GateType::kX, data_qubit(base, d)});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SteaneCode::logical_z_circuit(Qubit base) {
+  Circuit circuit{"steane-z_L"};
+  TimeSlot slot;
+  for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+    slot.add(Operation{GateType::kZ, data_qubit(base, d)});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SteaneCode::logical_h_circuit(Qubit base) {
+  Circuit circuit{"steane-h_L"};
+  TimeSlot slot;
+  for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+    slot.add(Operation{GateType::kH, data_qubit(base, d)});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SteaneCode::logical_cnot_circuit(Qubit control_base,
+                                         Qubit target_base) {
+  Circuit circuit{"steane-cnot_L"};
+  TimeSlot slot;
+  for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+    slot.add(Operation{GateType::kCnot, data_qubit(control_base, d),
+                       data_qubit(target_base, d)});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SteaneCode::measure_circuit(Qubit base) {
+  Circuit circuit{"steane-measure_L"};
+  TimeSlot slot;
+  for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+    slot.add(Operation{GateType::kMeasureZ, data_qubit(base, d)});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+unsigned SteaneCode::signature(int d) {
+  unsigned sig = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (generator_mask(i) & (1u << d)) {
+      sig |= 1u << i;
+    }
+  }
+  return sig;
+}
+
+int SteaneCode::decode(unsigned syndrome) {
+  if (syndrome == 0) {
+    return -1;
+  }
+  for (int d = 0; d < static_cast<int>(kNumData); ++d) {
+    if (signature(d) == syndrome) {
+      return d;
+    }
+  }
+  return -1;  // unreachable: all 7 nonzero syndromes are covered
+}
+
+}  // namespace qpf::qec

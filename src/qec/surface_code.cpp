@@ -1,0 +1,452 @@
+#include "qec/surface_code.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace qpf::qec {
+
+namespace {
+
+[[nodiscard]] constexpr CheckType site_type(int i, int j) noexcept {
+  return (i + j) % 2 == 0 ? CheckType::kX : CheckType::kZ;
+}
+
+}  // namespace
+
+SurfaceCodeLayout::SurfaceCodeLayout(int distance)
+    : SurfaceCodeLayout(distance, distance) {}
+
+SurfaceCodeLayout::SurfaceCodeLayout(int rows, int cols)
+    : rows_(rows), cols_(cols) {
+  if (rows < 3 || rows % 2 == 0 || cols < 3 || cols % 2 == 0) {
+    throw std::invalid_argument(
+        "SurfaceCodeLayout: rows and cols must be odd and >= 3");
+  }
+  const auto data_at = [this](int r, int c) { return r * cols_ + c; };
+  // Enumerate candidate corner sites and keep the code's check set.
+  int next_ancilla = 0;
+  const auto add_site = [&](int i, int j) {
+    SurfaceCheck check;
+    check.type = site_type(i, j);
+    check.site_i = i;
+    check.site_j = j;
+    check.ancilla = next_ancilla++;
+    // Neighbouring data: NW (i-1,j-1), NE (i-1,j), SW (i,j-1), SE (i,j).
+    const auto neighbour = [&](int r, int c) {
+      return r >= 0 && r < rows_ && c >= 0 && c < cols_ ? data_at(r, c) : -1;
+    };
+    const int nw = neighbour(i - 1, j - 1);
+    const int ne = neighbour(i - 1, j);
+    const int sw = neighbour(i, j - 1);
+    const int se = neighbour(i, j);
+    if (check.type == CheckType::kX) {
+      check.data = {ne, nw, se, sw};  // the S pattern of Fig 2.2
+    } else {
+      check.data = {ne, se, nw, sw};  // the Z pattern of Fig 2.3
+    }
+    for (int q : {nw, ne, sw, se}) {
+      if (q >= 0) {
+        check.support.push_back(q);
+      }
+    }
+    std::sort(check.support.begin(), check.support.end());
+    checks_.push_back(std::move(check));
+  };
+
+  // X checks first (matching the SC17 convention), then Z checks.
+  for (CheckType pass : {CheckType::kX, CheckType::kZ}) {
+    for (int i = 0; i <= rows_; ++i) {
+      for (int j = 0; j <= cols_; ++j) {
+        if (site_type(i, j) != pass) {
+          continue;
+        }
+        const bool interior =
+            i >= 1 && i <= rows_ - 1 && j >= 1 && j <= cols_ - 1;
+        const bool top = i == 0 && j >= 1 && j <= cols_ - 1;
+        const bool bottom = i == rows_ && j >= 1 && j <= cols_ - 1;
+        const bool left = j == 0 && i >= 1 && i <= rows_ - 1;
+        const bool right = j == cols_ && i >= 1 && i <= rows_ - 1;
+        const bool keep =
+            interior ||
+            (pass == CheckType::kX && (top || bottom)) ||
+            (pass == CheckType::kZ && (left || right));
+        if (keep) {
+          add_site(i, j);
+        }
+      }
+    }
+  }
+  if (checks_.size() != num_data() - 1) {
+    throw std::logic_error("SurfaceCodeLayout: malformed check set");
+  }
+  for (std::size_t k = 0; k < checks_.size(); ++k) {
+    (checks_[k].type == CheckType::kX ? x_checks_ : z_checks_)
+        .push_back(static_cast<int>(k));
+  }
+}
+
+std::vector<int> SurfaceCodeLayout::logical_z_data() const {
+  std::vector<int> chain(static_cast<std::size_t>(cols_));
+  for (int c = 0; c < cols_; ++c) {
+    chain[static_cast<std::size_t>(c)] = c;  // data row 0
+  }
+  return chain;
+}
+
+std::vector<int> SurfaceCodeLayout::logical_x_data() const {
+  std::vector<int> chain(static_cast<std::size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) {
+    chain[static_cast<std::size_t>(r)] = r * cols_;  // data column 0
+  }
+  return chain;
+}
+
+Circuit SurfaceCodeLayout::esm_circuit(Qubit base) const {
+  Circuit circuit{"esm-" + std::to_string(rows_) + "x" +
+                  std::to_string(cols_)};
+  // Slot 1: reset the X ancillas.
+  {
+    TimeSlot slot;
+    for (int k : x_checks_) {
+      slot.add(Operation{GateType::kPrepZ,
+                         ancilla_qubit(base, checks_[k].ancilla)});
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slot 2: reset the Z ancillas, H on the X ancillas.
+  {
+    TimeSlot slot;
+    for (int k : z_checks_) {
+      slot.add(Operation{GateType::kPrepZ,
+                         ancilla_qubit(base, checks_[k].ancilla)});
+    }
+    for (int k : x_checks_) {
+      slot.add(
+          Operation{GateType::kH, ancilla_qubit(base, checks_[k].ancilla)});
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slots 3-6: CNOTs.
+  for (int cnot_slot = 0; cnot_slot < 4; ++cnot_slot) {
+    TimeSlot slot;
+    for (const SurfaceCheck& check : checks_) {
+      const int q = check.data[static_cast<std::size_t>(cnot_slot)];
+      if (q < 0) {
+        continue;
+      }
+      if (check.type == CheckType::kX) {
+        slot.add(Operation{GateType::kCnot,
+                           ancilla_qubit(base, check.ancilla),
+                           data_qubit(base, q)});
+      } else {
+        slot.add(Operation{GateType::kCnot, data_qubit(base, q),
+                           ancilla_qubit(base, check.ancilla)});
+      }
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slot 7: H on the X ancillas.
+  {
+    TimeSlot slot;
+    for (int k : x_checks_) {
+      slot.add(
+          Operation{GateType::kH, ancilla_qubit(base, checks_[k].ancilla)});
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  // Slot 8: measure every ancilla.
+  {
+    TimeSlot slot;
+    for (const SurfaceCheck& check : checks_) {
+      slot.add(Operation{GateType::kMeasureZ,
+                         ancilla_qubit(base, check.ancilla)});
+    }
+    circuit.append_slot(std::move(slot));
+  }
+  return circuit;
+}
+
+std::vector<int> SurfaceCodeLayout::esm_measurement_order() const {
+  std::vector<int> order;
+  order.reserve(checks_.size());
+  for (const SurfaceCheck& check : checks_) {
+    order.push_back(check.ancilla);
+  }
+  return order;
+}
+
+Circuit SurfaceCodeLayout::reset_circuit(Qubit base) const {
+  Circuit circuit{"reset"};
+  TimeSlot slot;
+  for (std::size_t q = 0; q < num_data(); ++q) {
+    slot.add(Operation{GateType::kPrepZ,
+                       data_qubit(base, static_cast<int>(q))});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SurfaceCodeLayout::transversal_h_circuit(Qubit base) const {
+  Circuit circuit{"transversal-h"};
+  TimeSlot slot;
+  for (std::size_t q = 0; q < num_data(); ++q) {
+    slot.add(Operation{GateType::kH, data_qubit(base, static_cast<int>(q))});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SurfaceCodeLayout::measure_circuit(Qubit base) const {
+  Circuit circuit{"measure"};
+  TimeSlot slot;
+  for (std::size_t q = 0; q < num_data(); ++q) {
+    slot.add(Operation{GateType::kMeasureZ,
+                       data_qubit(base, static_cast<int>(q))});
+  }
+  circuit.append_slot(std::move(slot));
+  return circuit;
+}
+
+Circuit SurfaceCodeLayout::logical_stabilizer_circuit(Qubit base,
+                                                      CheckType basis) const {
+  Circuit circuit{"logical-stabilizer"};
+  const Qubit ancilla = ancilla_qubit(base, 0);
+  circuit.append_in_new_slot(Operation{GateType::kPrepZ, ancilla});
+  if (basis == CheckType::kZ) {
+    for (int q : logical_z_data()) {
+      circuit.append_in_new_slot(
+          Operation{GateType::kCnot, data_qubit(base, q), ancilla});
+    }
+  } else {
+    circuit.append_in_new_slot(Operation{GateType::kH, ancilla});
+    for (int q : logical_x_data()) {
+      circuit.append_in_new_slot(
+          Operation{GateType::kCnot, ancilla, data_qubit(base, q)});
+    }
+    circuit.append_in_new_slot(Operation{GateType::kH, ancilla});
+  }
+  circuit.append_in_new_slot(Operation{GateType::kMeasureZ, ancilla});
+  return circuit;
+}
+
+// ----------------------------------------------------------------------
+// MatchingDecoder
+// ----------------------------------------------------------------------
+
+MatchingDecoder::MatchingDecoder(const SurfaceCodeLayout& layout,
+                                 CheckType basis)
+    : basis_(basis) {
+  const std::vector<int>& group = layout.checks_of(basis);
+  group_size_ = group.size();
+  // Group position of every check index, for signature building.
+  std::vector<int> position(layout.num_checks(), -1);
+  for (std::size_t g = 0; g < group.size(); ++g) {
+    position[static_cast<std::size_t>(group[g])] = static_cast<int>(g);
+  }
+  // Per-data signatures and the defect-graph edges.
+  data_signature_.assign(layout.num_data(), {});
+  struct Edge {
+    int a;
+    int b;  // group positions; group_size_ = boundary
+    int data;
+  };
+  std::vector<Edge> edges;
+  const int boundary = static_cast<int>(group_size_);
+  for (std::size_t q = 0; q < layout.num_data(); ++q) {
+    std::vector<int>& sig = data_signature_[q];
+    for (std::size_t k = 0; k < layout.num_checks(); ++k) {
+      const SurfaceCheck& check = layout.checks()[k];
+      if (check.type != basis) {
+        continue;
+      }
+      if (std::find(check.support.begin(), check.support.end(),
+                    static_cast<int>(q)) != check.support.end()) {
+        sig.push_back(position[k]);
+      }
+    }
+    if (sig.empty() || sig.size() > 2) {
+      throw std::logic_error("MatchingDecoder: malformed data adjacency");
+    }
+    if (sig.size() == 2) {
+      edges.push_back({sig[0], sig[1], static_cast<int>(q)});
+    } else {
+      edges.push_back({sig[0], boundary, static_cast<int>(q)});
+    }
+  }
+  // All-pairs BFS over the defect graph (nodes: group + boundary).
+  const std::size_t nodes = group_size_ + 1;
+  std::vector<std::vector<std::pair<int, int>>> adjacency(nodes);  // (to, data)
+  for (const Edge& edge : edges) {
+    adjacency[static_cast<std::size_t>(edge.a)].push_back({edge.b, edge.data});
+    adjacency[static_cast<std::size_t>(edge.b)].push_back({edge.a, edge.data});
+  }
+  dist_.assign(nodes, std::vector<int>(nodes, -1));
+  path_.assign(nodes, std::vector<std::vector<int>>(nodes));
+  for (std::size_t start = 0; start < nodes; ++start) {
+    std::vector<int> previous_node(nodes, -1);
+    std::vector<int> previous_data(nodes, -1);
+    auto& dist = dist_[start];
+    dist[start] = 0;
+    std::deque<int> queue{static_cast<int>(start)};
+    while (!queue.empty()) {
+      const int node = queue.front();
+      queue.pop_front();
+      for (const auto& [to, data] : adjacency[static_cast<std::size_t>(node)]) {
+        if (dist[static_cast<std::size_t>(to)] >= 0) {
+          continue;
+        }
+        dist[static_cast<std::size_t>(to)] =
+            dist[static_cast<std::size_t>(node)] + 1;
+        previous_node[static_cast<std::size_t>(to)] = node;
+        previous_data[static_cast<std::size_t>(to)] = data;
+        queue.push_back(to);
+      }
+    }
+    for (std::size_t target = 0; target < nodes; ++target) {
+      if (dist[target] <= 0) {
+        continue;
+      }
+      std::vector<int>& chain = path_[start][target];
+      for (int node = static_cast<int>(target); node != static_cast<int>(start);
+           node = previous_node[static_cast<std::size_t>(node)]) {
+        chain.push_back(previous_data[static_cast<std::size_t>(node)]);
+      }
+    }
+  }
+}
+
+int MatchingDecoder::chain_length(int from, int to) const {
+  const int a = from == kBoundary ? static_cast<int>(group_size_) : from;
+  const int b = to == kBoundary ? static_cast<int>(group_size_) : to;
+  return dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+const std::vector<int>& MatchingDecoder::chain(int from, int to) const {
+  const int a = from == kBoundary ? static_cast<int>(group_size_) : from;
+  const int b = to == kBoundary ? static_cast<int>(group_size_) : to;
+  return path_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+std::vector<int> MatchingDecoder::decode(
+    const std::vector<int>& defects) const {
+  for (int defect : defects) {
+    if (defect < 0 || defect >= static_cast<int>(group_size_)) {
+      throw std::out_of_range("MatchingDecoder: defect out of range");
+    }
+  }
+  std::vector<std::pair<int, int>> pairs;  // second may be kBoundary
+  const std::size_t k = defects.size();
+  if (k == 0) {
+    return {};
+  }
+  if (k <= 12) {
+    // Exact minimum-weight matching by DP over defect subsets.
+    const std::size_t full = (std::size_t{1} << k) - 1;
+    std::vector<int> cost(full + 1, -1);
+    std::vector<std::pair<int, int>> choice(full + 1, {-1, -1});
+    cost[0] = 0;
+    for (std::size_t mask = 1; mask <= full; ++mask) {
+      std::size_t i = 0;
+      while (((mask >> i) & 1) == 0) {
+        ++i;
+      }
+      // Option 1: defect i terminates at the boundary.
+      const std::size_t rest = mask & ~(std::size_t{1} << i);
+      int best = cost[rest] + chain_length(defects[i], kBoundary);
+      std::pair<int, int> best_choice{static_cast<int>(i), kBoundary};
+      // Option 2: pair defect i with another defect in the subset.
+      for (std::size_t j = i + 1; j < k; ++j) {
+        if (((mask >> j) & 1) == 0) {
+          continue;
+        }
+        const std::size_t rest2 = rest & ~(std::size_t{1} << j);
+        const int candidate =
+            cost[rest2] + chain_length(defects[i], defects[j]);
+        if (candidate < best) {
+          best = candidate;
+          best_choice = {static_cast<int>(i), static_cast<int>(j)};
+        }
+      }
+      cost[mask] = best;
+      choice[mask] = best_choice;
+    }
+    std::size_t mask = full;
+    while (mask != 0) {
+      const auto [i, j] = choice[mask];
+      mask &= ~(std::size_t{1} << static_cast<std::size_t>(i));
+      if (j == kBoundary) {
+        pairs.emplace_back(defects[static_cast<std::size_t>(i)], kBoundary);
+      } else {
+        mask &= ~(std::size_t{1} << static_cast<std::size_t>(j));
+        pairs.emplace_back(defects[static_cast<std::size_t>(i)],
+                           defects[static_cast<std::size_t>(j)]);
+      }
+    }
+  } else {
+    // Greedy fallback for very dense syndromes.
+    std::vector<int> remaining = defects;
+    while (!remaining.empty()) {
+      int best_i = 0;
+      int best_j = kBoundary;
+      int best_cost = chain_length(remaining[0], kBoundary);
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (chain_length(remaining[i], kBoundary) < best_cost) {
+          best_cost = chain_length(remaining[i], kBoundary);
+          best_i = static_cast<int>(i);
+          best_j = kBoundary;
+        }
+        for (std::size_t j = i + 1; j < remaining.size(); ++j) {
+          if (chain_length(remaining[i], remaining[j]) < best_cost) {
+            best_cost = chain_length(remaining[i], remaining[j]);
+            best_i = static_cast<int>(i);
+            best_j = static_cast<int>(j);
+          }
+        }
+      }
+      if (best_j == kBoundary) {
+        pairs.emplace_back(remaining[static_cast<std::size_t>(best_i)],
+                           kBoundary);
+        remaining.erase(remaining.begin() + best_i);
+      } else {
+        pairs.emplace_back(remaining[static_cast<std::size_t>(best_i)],
+                           remaining[static_cast<std::size_t>(best_j)]);
+        remaining.erase(remaining.begin() + best_j);
+        remaining.erase(remaining.begin() + best_i);
+      }
+    }
+  }
+  // Fold the matched chains into a data-qubit correction set (XOR).
+  std::vector<char> toggled(data_signature_.size(), 0);
+  for (const auto& [a, b] : pairs) {
+    for (int q : chain(a, b)) {
+      toggled[static_cast<std::size_t>(q)] ^= 1;
+    }
+  }
+  std::vector<int> correction;
+  for (std::size_t q = 0; q < toggled.size(); ++q) {
+    if (toggled[q]) {
+      correction.push_back(static_cast<int>(q));
+    }
+  }
+  return correction;
+}
+
+std::vector<int> MatchingDecoder::signature(
+    const std::vector<int>& data_locals) const {
+  std::vector<char> flipped(group_size_, 0);
+  for (int q : data_locals) {
+    for (int g : data_signature_.at(static_cast<std::size_t>(q))) {
+      flipped[static_cast<std::size_t>(g)] ^= 1;
+    }
+  }
+  std::vector<int> out;
+  for (std::size_t g = 0; g < group_size_; ++g) {
+    if (flipped[g]) {
+      out.push_back(static_cast<int>(g));
+    }
+  }
+  return out;
+}
+
+}  // namespace qpf::qec

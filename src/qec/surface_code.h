@@ -1,0 +1,151 @@
+// Distance-d rotated planar surface code (thesis future work: "repeat
+// these experiments using a larger distance surface code").
+//
+// Geometry: d x d data qubits; candidate check sites at the (d+1)^2
+// cell corners (i, j), each covering the up-to-four data qubits of the
+// adjacent cell.  Interior sites are all kept; boundary sites are kept
+// on alternating positions so the top/bottom boundaries host X checks
+// and the left/right boundaries host Z checks.  Site (i, j) measures an
+// X check when i + j is even.  For d = 3 this reproduces the SC17
+// ninja star check set exactly (see SurfaceCodeTest.DistanceThreeIsSc17).
+//
+// Register layout: data qubits base+0..base+d^2-1 (row-major), then the
+// d^2-1 ancillas in check order.
+//
+// ESM schedule: X checks interact NE, NW, SE, SW; Z checks NE, SE, NW,
+// SW (the same mixed pattern as SC17); the schedule is conflict-free for
+// every d.
+//
+// Decoding: MatchingDecoder pairs syndrome defects by minimum-weight
+// matching on the check adjacency graph (BFS distances, exact
+// subset-DP matching for small defect sets, greedy beyond), with chains
+// allowed to terminate on the matching boundary.  Temporal handling
+// reuses the window scheme: act only when the window's two rounds
+// agree, defer otherwise (see qec/ninja_star.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qec/sc17.h"  // CheckType
+
+namespace qpf::qec {
+
+/// One parity check of the distance-d code.
+struct SurfaceCheck {
+  CheckType type;
+  int ancilla = 0;               ///< local ancilla index, 0..d^2-2
+  int site_i = 0;                ///< corner-lattice coordinates
+  int site_j = 0;
+  std::array<int, 4> data{};     ///< local data index per CNOT slot; -1 idle
+  std::vector<int> support;      ///< covered data qubits, ascending
+};
+
+class SurfaceCodeLayout {
+ public:
+  /// Square distance-d patch.  Throws std::invalid_argument unless
+  /// distance is odd and >= 3.
+  explicit SurfaceCodeLayout(int distance);
+
+  /// Rectangular rows x cols patch (both odd, >= 3) — used by lattice
+  /// surgery for merged patches.  X distance = rows, Z distance = cols.
+  SurfaceCodeLayout(int rows, int cols);
+
+  /// min(rows, cols): the code distance.
+  [[nodiscard]] int distance() const noexcept {
+    return rows_ < cols_ ? rows_ : cols_;
+  }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t num_data() const noexcept {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+  [[nodiscard]] std::size_t num_checks() const noexcept {
+    return checks_.size();
+  }
+  [[nodiscard]] std::size_t num_qubits() const noexcept {
+    return num_data() + num_checks();
+  }
+
+  [[nodiscard]] const std::vector<SurfaceCheck>& checks() const noexcept {
+    return checks_;
+  }
+
+  /// Indices (into checks()) of the checks of one basis, ascending.
+  [[nodiscard]] const std::vector<int>& checks_of(CheckType type) const noexcept {
+    return type == CheckType::kX ? x_checks_ : z_checks_;
+  }
+
+  /// Logical operator chains: Z_L along data row 0 (left-right),
+  /// X_L along data column 0 (top-bottom).
+  [[nodiscard]] std::vector<int> logical_z_data() const;
+  [[nodiscard]] std::vector<int> logical_x_data() const;
+
+  [[nodiscard]] Qubit data_qubit(Qubit base, int local) const {
+    return base + static_cast<Qubit>(local);
+  }
+  [[nodiscard]] Qubit ancilla_qubit(Qubit base, int ancilla) const {
+    return base + static_cast<Qubit>(num_data()) +
+           static_cast<Qubit>(ancilla);
+  }
+
+  /// One full ESM round (8 time slots as in Table 5.8).
+  [[nodiscard]] Circuit esm_circuit(Qubit base) const;
+  /// Ancilla measurement order of esm_circuit (= check order).
+  [[nodiscard]] std::vector<int> esm_measurement_order() const;
+
+  /// Reset all data qubits to |0>.
+  [[nodiscard]] Circuit reset_circuit(Qubit base) const;
+  /// Transversal H on all data (used as |+>_L preparation).
+  [[nodiscard]] Circuit transversal_h_circuit(Qubit base) const;
+  /// Transversal measurement of all data.
+  [[nodiscard]] Circuit measure_circuit(Qubit base) const;
+  /// Fig 5.10 generalization: non-destructive logical-operator parity
+  /// readout borrowing local ancilla 0.
+  [[nodiscard]] Circuit logical_stabilizer_circuit(Qubit base,
+                                                   CheckType basis) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<SurfaceCheck> checks_;
+  std::vector<int> x_checks_;
+  std::vector<int> z_checks_;
+};
+
+/// Minimum-weight-matching decoder for one check basis of the layout.
+class MatchingDecoder {
+ public:
+  MatchingDecoder(const SurfaceCodeLayout& layout, CheckType basis);
+
+  /// Decode a defect set (indices into layout.checks_of(basis), i.e.
+  /// positions within the basis group) to the minimum-weight set of
+  /// data qubits to flip.  The correction always clears the syndrome.
+  [[nodiscard]] std::vector<int> decode(
+      const std::vector<int>& defects) const;
+
+  /// Group syndrome bits a set of data errors would produce.
+  [[nodiscard]] std::vector<int> signature(
+      const std::vector<int>& data_locals) const;
+
+  [[nodiscard]] CheckType basis() const noexcept { return basis_; }
+
+ private:
+  static constexpr int kBoundary = -1;
+
+  /// Data qubits along the precomputed shortest chain between two
+  /// defects (or a defect and the boundary).
+  [[nodiscard]] const std::vector<int>& chain(int from, int to) const;
+  [[nodiscard]] int chain_length(int from, int to) const;
+
+  CheckType basis_;
+  std::size_t group_size_;
+  // dist_[a][b] and path_[a][b]: a, b in 0..group_size (last = boundary).
+  std::vector<std::vector<int>> dist_;
+  std::vector<std::vector<std::vector<int>>> path_;
+  std::vector<std::vector<int>> data_signature_;  // per data local
+};
+
+}  // namespace qpf::qec

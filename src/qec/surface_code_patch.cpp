@@ -1,0 +1,150 @@
+#include "qec/surface_code_patch.h"
+
+#include <stdexcept>
+
+namespace qpf::qec {
+
+namespace {
+
+// X + Z on the same qubit collapses to Y (single correction slot).
+std::vector<Operation> merge_same_qubit(std::vector<Operation> corrections) {
+  std::vector<Operation> merged;
+  for (const Operation& op : corrections) {
+    bool combined = false;
+    for (Operation& existing : merged) {
+      if (existing.qubit(0) == op.qubit(0)) {
+        existing = Operation{GateType::kY, op.qubit(0)};
+        combined = true;
+        break;
+      }
+    }
+    if (!combined) {
+      merged.push_back(op);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+SurfaceCodePatch::SurfaceCodePatch(const SurfaceCodeLayout* layout, Qubit base)
+    : layout_(layout),
+      base_(base),
+      carried_(layout->num_checks(), 0),
+      x_decoder_(*layout, CheckType::kX),
+      z_decoder_(*layout, CheckType::kZ) {}
+
+void SurfaceCodePatch::set_carried(Bits carried) {
+  if (carried.size() != layout_->num_checks()) {
+    throw std::invalid_argument("SurfaceCodePatch: carried size mismatch");
+  }
+  carried_ = std::move(carried);
+}
+
+std::vector<Operation> SurfaceCodePatch::corrections_for(
+    CheckType basis, const std::vector<int>& defects) const {
+  const std::vector<int> data = decoder(basis).decode(defects);
+  // Z-check defects flag X errors and vice versa.
+  const GateType fix = basis == CheckType::kZ ? GateType::kX : GateType::kZ;
+  std::vector<Operation> out;
+  out.reserve(data.size());
+  for (int q : data) {
+    out.emplace_back(fix, layout_->data_qubit(base_, q));
+  }
+  return out;
+}
+
+std::vector<Operation> SurfaceCodePatch::decode_initialization(
+    const Bits& round) {
+  if (round.size() != layout_->num_checks()) {
+    throw std::invalid_argument("SurfaceCodePatch: round size mismatch");
+  }
+  std::vector<Operation> corrections;
+  for (const CheckType basis : {CheckType::kZ, CheckType::kX}) {
+    const std::vector<int>& group = layout_->checks_of(basis);
+    std::vector<int> defects;
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      if (round[static_cast<std::size_t>(group[g])]) {
+        defects.push_back(static_cast<int>(g));
+      }
+    }
+    const auto fixes = corrections_for(basis, defects);
+    corrections.insert(corrections.end(), fixes.begin(), fixes.end());
+  }
+  // Matching corrections clear the observed syndrome exactly.
+  carried_.assign(layout_->num_checks(), 0);
+  return merge_same_qubit(std::move(corrections));
+}
+
+std::vector<Operation> SurfaceCodePatch::decode_gauge(const Bits& round,
+                                                       CheckType gauge_basis) {
+  if (round.size() != layout_->num_checks()) {
+    throw std::invalid_argument("SurfaceCodePatch: round size mismatch");
+  }
+  const std::vector<int>& group = layout_->checks_of(gauge_basis);
+  std::vector<int> defects;
+  for (std::size_t g = 0; g < group.size(); ++g) {
+    if (round[static_cast<std::size_t>(group[g])]) {
+      defects.push_back(static_cast<int>(g));
+    }
+  }
+  const std::vector<Operation> corrections =
+      corrections_for(gauge_basis, defects);
+  // Gauge group cleared by construction; the other group's observed
+  // bits carry into the next window.
+  carried_.assign(layout_->num_checks(), 0);
+  const CheckType deferred = gauge_basis == CheckType::kZ ? CheckType::kX
+                                                          : CheckType::kZ;
+  for (int k : layout_->checks_of(deferred)) {
+    carried_[static_cast<std::size_t>(k)] =
+        round[static_cast<std::size_t>(k)];
+  }
+  return corrections;
+}
+
+std::vector<Operation> SurfaceCodePatch::decode_window(const Bits& r1,
+                                                       const Bits& r2) {
+  if (r1.size() != layout_->num_checks() ||
+      r2.size() != layout_->num_checks()) {
+    throw std::invalid_argument("SurfaceCodePatch: round size mismatch");
+  }
+  std::vector<Operation> corrections;
+  Bits new_carried = r2;
+  for (const CheckType basis : {CheckType::kZ, CheckType::kX}) {
+    const std::vector<int>& group = layout_->checks_of(basis);
+    bool agree = true;
+    for (int k : group) {
+      if (r1[static_cast<std::size_t>(k)] != r2[static_cast<std::size_t>(k)]) {
+        agree = false;
+        break;
+      }
+    }
+    if (!agree) {
+      continue;  // defer this group by one window
+    }
+    std::vector<int> defects;
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      if (r2[static_cast<std::size_t>(group[g])]) {
+        defects.push_back(static_cast<int>(g));
+      }
+    }
+    if (defects.empty()) {
+      continue;
+    }
+    const std::vector<int> data = decoder(basis).decode(defects);
+    const GateType fix = basis == CheckType::kZ ? GateType::kX : GateType::kZ;
+    for (int q : data) {
+      corrections.emplace_back(fix, layout_->data_qubit(base_, q));
+    }
+    // Applying the corrections flips their checks from the next round.
+    for (int g : decoder(basis).signature(data)) {
+      const std::size_t k = static_cast<std::size_t>(
+          group[static_cast<std::size_t>(g)]);
+      new_carried[k] = static_cast<std::uint8_t>(new_carried[k] ^ 1u);
+    }
+  }
+  carried_ = std::move(new_carried);
+  return merge_same_qubit(std::move(corrections));
+}
+
+}  // namespace qpf::qec

@@ -1,0 +1,61 @@
+// Run-time decoder bookkeeping for one distance-d surface code patch:
+// the generalization of NinjaStar's window scheme (carried round +
+// agreement rule) with matching-based spatial decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qec/surface_code.h"
+
+namespace qpf::qec {
+
+class SurfaceCodePatch {
+ public:
+  /// One syndrome round: a 0/1 flag per check index.
+  using Bits = std::vector<std::uint8_t>;
+
+  /// The layout must outlive the patch.
+  SurfaceCodePatch(const SurfaceCodeLayout* layout, Qubit base);
+
+  [[nodiscard]] Qubit base() const noexcept { return base_; }
+  [[nodiscard]] const SurfaceCodeLayout& layout() const noexcept {
+    return *layout_;
+  }
+
+  [[nodiscard]] const Bits& carried() const noexcept { return carried_; }
+  void set_carried(Bits carried);
+
+  /// Decode the first round after reset absolutely (gauge fix + reset
+  /// errors); the carried round becomes all-clear.
+  [[nodiscard]] std::vector<Operation> decode_initialization(const Bits& round);
+
+  /// Initialization gauge fix: decode only the randomly projected
+  /// group (gauge_basis) absolutely; the other group's bits are real
+  /// errors and defer to the next window's agreement logic (see
+  /// qec::NinjaStar::decode_gauge).
+  [[nodiscard]] std::vector<Operation> decode_gauge(const Bits& round,
+                                                    CheckType gauge_basis);
+
+  /// Window decode: per basis group, act only when the two rounds agree
+  /// (otherwise defer the group by one window); matched corrections
+  /// clear the acted syndrome, and the carried round is updated to r2
+  /// adjusted by the corrections' signatures.
+  [[nodiscard]] std::vector<Operation> decode_window(const Bits& r1,
+                                                     const Bits& r2);
+
+ private:
+  [[nodiscard]] std::vector<Operation> corrections_for(
+      CheckType basis, const std::vector<int>& defects) const;
+  [[nodiscard]] const MatchingDecoder& decoder(CheckType basis) const {
+    return basis == CheckType::kX ? x_decoder_ : z_decoder_;
+  }
+
+  const SurfaceCodeLayout* layout_;
+  Qubit base_;
+  Bits carried_;
+  MatchingDecoder x_decoder_;
+  MatchingDecoder z_decoder_;
+};
+
+}  // namespace qpf::qec

@@ -1,0 +1,30 @@
+// Reader/writer for the original CHP program format (Aaronson &
+// Gottesman's chp.c):
+//   # comment until a line starting with '#' ends the header
+//   c 0 1     CNOT control target
+//   h 0       Hadamard
+//   p 0       phase (S)
+//   m 0       measure
+// Only Clifford-generator circuits can be expressed in this format.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qpf::stab {
+
+/// Render a circuit in CHP format.  Throws std::invalid_argument for
+/// gates outside {H, S, CNOT, MeasureZ}; convert with
+/// expand_to_chp_gates() first if needed.
+[[nodiscard]] std::string to_chp(const Circuit& circuit);
+
+/// Parse CHP format; throws std::runtime_error on malformed input.
+[[nodiscard]] Circuit from_chp(const std::string& text);
+
+/// Rewrite a Clifford circuit over the CHP generator set {H, S, CNOT}
+/// (plus measurement); prep becomes measure+conditional-X and is not
+/// representable, so it throws.  Throws for non-Clifford gates.
+[[nodiscard]] Circuit expand_to_chp_gates(const Circuit& circuit);
+
+}  // namespace qpf::stab

@@ -1,0 +1,131 @@
+#include "stabilizer/pauli_string.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace qpf::stab {
+
+PauliString::PauliString(std::size_t num_qubits)
+    : paulis_(num_qubits, Pauli::kI) {
+  if (num_qubits == 0) {
+    throw std::invalid_argument("PauliString: zero qubits");
+  }
+}
+
+PauliString PauliString::parse(const std::string& text,
+                               std::size_t num_qubits) {
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  std::vector<std::pair<std::size_t, Pauli>> factors;
+  std::size_t max_index = 0;
+  while (pos < text.size()) {
+    const char c = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(text[pos])));
+    Pauli p;
+    switch (c) {
+      case 'I':
+        p = Pauli::kI;
+        break;
+      case 'X':
+        p = Pauli::kX;
+        break;
+      case 'Y':
+        p = Pauli::kY;
+        break;
+      case 'Z':
+        p = Pauli::kZ;
+        break;
+      default:
+        throw std::invalid_argument("PauliString: bad Pauli letter");
+    }
+    ++pos;
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      throw std::invalid_argument("PauliString: missing qubit index");
+    }
+    std::size_t index = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      index = index * 10 + static_cast<std::size_t>(text[pos] - '0');
+      ++pos;
+    }
+    max_index = std::max(max_index, index);
+    factors.emplace_back(index, p);
+  }
+  if (factors.empty()) {
+    throw std::invalid_argument("PauliString: no factors");
+  }
+  PauliString result(std::max(num_qubits, max_index + 1));
+  result.negative_ = negative;
+  for (const auto& [index, p] : factors) {
+    if (result.paulis_[index] != Pauli::kI && p != Pauli::kI) {
+      throw std::invalid_argument("PauliString: repeated qubit index");
+    }
+    if (p != Pauli::kI) {
+      result.paulis_[index] = p;
+    }
+  }
+  return result;
+}
+
+void PauliString::set_sign(int s) {
+  if (s != 1 && s != -1) {
+    throw std::invalid_argument("PauliString: sign must be +/-1");
+  }
+  negative_ = s == -1;
+}
+
+bool PauliString::x_bit(std::size_t q) const {
+  const auto p = paulis_.at(q);
+  return p == Pauli::kX || p == Pauli::kY;
+}
+
+bool PauliString::z_bit(std::size_t q) const {
+  const auto p = paulis_.at(q);
+  return p == Pauli::kZ || p == Pauli::kY;
+}
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  if (num_qubits() != other.num_qubits()) {
+    throw std::invalid_argument("commutes_with: size mismatch");
+  }
+  // Two Pauli strings commute iff they anticommute on an even number of
+  // tensor factors; symplectic form: sum over q of x1*z2 + z1*x2 (mod 2).
+  bool anticommute = false;
+  for (std::size_t q = 0; q < num_qubits(); ++q) {
+    const bool term = (x_bit(q) && other.z_bit(q)) ^
+                      (z_bit(q) && other.x_bit(q));
+    anticommute ^= term;
+  }
+  return !anticommute;
+}
+
+std::size_t PauliString::weight() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(paulis_.begin(), paulis_.end(),
+                    [](Pauli p) { return p != Pauli::kI; }));
+}
+
+std::string PauliString::str() const {
+  std::string out = negative_ ? "-" : "+";
+  bool any = false;
+  for (std::size_t q = 0; q < paulis_.size(); ++q) {
+    static constexpr char kLetters[] = {'I', 'X', 'Z', 'Y'};
+    if (paulis_[q] != Pauli::kI) {
+      out += kLetters[static_cast<std::size_t>(paulis_[q])];
+      out += std::to_string(q);
+      any = true;
+    }
+  }
+  if (!any) {
+    out += 'I';
+  }
+  return out;
+}
+
+}  // namespace qpf::stab

@@ -1,0 +1,376 @@
+#include "stabilizer/tableau.h"
+
+#include <stdexcept>
+
+namespace qpf::stab {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}
+
+Tableau::Tableau(std::size_t num_qubits, std::uint64_t seed)
+    : n_(num_qubits),
+      words_((num_qubits + kWordBits - 1) / kWordBits),
+      rng_(seed) {
+  if (num_qubits == 0) {
+    throw std::invalid_argument("Tableau: zero qubits");
+  }
+  const std::size_t rows = 2 * n_ + 1;
+  xs_.assign(rows * words_, 0);
+  zs_.assign(rows * words_, 0);
+  rs_.assign(rows, false);
+  for (std::size_t i = 0; i < n_; ++i) {
+    set_x_bit(i, i, true);        // destabilizer i = X_i
+    set_z_bit(n_ + i, i, true);   // stabilizer i   = Z_i
+  }
+}
+
+bool Tableau::x_bit(std::size_t row, std::size_t q) const noexcept {
+  return (xs_[row * words_ + q / kWordBits] >> (q % kWordBits)) & 1;
+}
+
+bool Tableau::z_bit(std::size_t row, std::size_t q) const noexcept {
+  return (zs_[row * words_ + q / kWordBits] >> (q % kWordBits)) & 1;
+}
+
+void Tableau::set_x_bit(std::size_t row, std::size_t q, bool v) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (q % kWordBits);
+  auto& word = xs_[row * words_ + q / kWordBits];
+  word = v ? (word | mask) : (word & ~mask);
+}
+
+void Tableau::set_z_bit(std::size_t row, std::size_t q, bool v) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (q % kWordBits);
+  auto& word = zs_[row * words_ + q / kWordBits];
+  word = v ? (word | mask) : (word & ~mask);
+}
+
+void Tableau::zero_row(std::size_t row) noexcept {
+  for (std::size_t w = 0; w < words_; ++w) {
+    xs_[row * words_ + w] = 0;
+    zs_[row * words_ + w] = 0;
+  }
+  rs_[row] = false;
+}
+
+void Tableau::check_qubit(Qubit q) const {
+  if (q >= n_) {
+    throw std::out_of_range("Tableau: qubit index out of range");
+  }
+}
+
+void Tableau::rowsum(std::size_t h, std::size_t i) noexcept {
+  // Phase exponent of i^k accumulated over all qubits (AG Eq. for g()),
+  // plus 2*(r_h + r_i); the result is always 0 or 2 mod 4.
+  int phase = 2 * (static_cast<int>(rs_[h]) + static_cast<int>(rs_[i]));
+  for (std::size_t w = 0; w < words_; ++w) {
+    const std::uint64_t x1 = xs_[i * words_ + w];
+    const std::uint64_t z1 = zs_[i * words_ + w];
+    const std::uint64_t x2 = xs_[h * words_ + w];
+    const std::uint64_t z2 = zs_[h * words_ + w];
+    // g(x1,z1,x2,z2) per bit, summed.  Enumerate the cases via masks:
+    //   row i has X (x1=1,z1=0): g = z2*(2*x2-1)  -> +1 if x2z2, -1 if z2 only
+    //   row i has Y (x1=1,z1=1): g = z2 - x2
+    //   row i has Z (x1=0,z1=1): g = x2*(1-2*z2)  -> +1 if x2 only, -1 if x2z2
+    const std::uint64_t i_x = x1 & ~z1;
+    const std::uint64_t i_y = x1 & z1;
+    const std::uint64_t i_z = ~x1 & z1;
+    const std::uint64_t plus =
+        (i_x & x2 & z2) | (i_y & z2 & ~x2) | (i_z & x2 & ~z2);
+    const std::uint64_t minus =
+        (i_x & z2 & ~x2) | (i_y & x2 & ~z2) | (i_z & x2 & z2);
+    phase += __builtin_popcountll(plus) - __builtin_popcountll(minus);
+    xs_[h * words_ + w] = x1 ^ x2;
+    zs_[h * words_ + w] = z1 ^ z2;
+  }
+  rs_[h] = ((phase % 4) + 4) % 4 == 2;
+}
+
+void Tableau::apply_h(Qubit q) {
+  check_qubit(q);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool x = x_bit(row, q);
+    const bool z = z_bit(row, q);
+    rs_[row] = rs_[row] ^ (x && z);
+    set_x_bit(row, q, z);
+    set_z_bit(row, q, x);
+  }
+}
+
+void Tableau::apply_s(Qubit q) {
+  check_qubit(q);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool x = x_bit(row, q);
+    const bool z = z_bit(row, q);
+    rs_[row] = rs_[row] ^ (x && z);
+    set_z_bit(row, q, x != z);
+  }
+}
+
+void Tableau::apply_sdag(Qubit q) {
+  check_qubit(q);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool x = x_bit(row, q);
+    const bool z = z_bit(row, q);
+    rs_[row] = rs_[row] ^ (x && !z);
+    set_z_bit(row, q, x != z);
+  }
+}
+
+void Tableau::apply_x(Qubit q) {
+  check_qubit(q);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    rs_[row] = rs_[row] ^ z_bit(row, q);
+  }
+}
+
+void Tableau::apply_z(Qubit q) {
+  check_qubit(q);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    rs_[row] = rs_[row] ^ x_bit(row, q);
+  }
+}
+
+void Tableau::apply_y(Qubit q) {
+  check_qubit(q);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    rs_[row] = rs_[row] ^ (x_bit(row, q) != z_bit(row, q));
+  }
+}
+
+void Tableau::apply_cnot(Qubit control, Qubit target) {
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target) {
+    throw std::invalid_argument("Tableau: CNOT operands must differ");
+  }
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool xc = x_bit(row, control);
+    const bool zc = z_bit(row, control);
+    const bool xt = x_bit(row, target);
+    const bool zt = z_bit(row, target);
+    rs_[row] = rs_[row] ^ (xc && zt && (xt == zc));
+    set_x_bit(row, target, xt != xc);
+    set_z_bit(row, control, zc != zt);
+  }
+}
+
+void Tableau::apply_cz(Qubit control, Qubit target) {
+  apply_h(target);
+  apply_cnot(control, target);
+  apply_h(target);
+}
+
+void Tableau::apply_swap(Qubit a, Qubit b) {
+  apply_cnot(a, b);
+  apply_cnot(b, a);
+  apply_cnot(a, b);
+}
+
+void Tableau::apply_unitary(const Operation& op) {
+  switch (op.gate()) {
+    case GateType::kI:
+      return;
+    case GateType::kX:
+      return apply_x(op.qubit(0));
+    case GateType::kY:
+      return apply_y(op.qubit(0));
+    case GateType::kZ:
+      return apply_z(op.qubit(0));
+    case GateType::kH:
+      return apply_h(op.qubit(0));
+    case GateType::kS:
+      return apply_s(op.qubit(0));
+    case GateType::kSdag:
+      return apply_sdag(op.qubit(0));
+    case GateType::kCnot:
+      return apply_cnot(op.control(), op.target());
+    case GateType::kCz:
+      return apply_cz(op.control(), op.target());
+    case GateType::kSwap:
+      return apply_swap(op.control(), op.target());
+    default:
+      throw std::invalid_argument(
+          "Tableau: gate is not stabilizer-simulable: " + op.str());
+  }
+}
+
+void Tableau::apply_pauli(const PauliString& p) {
+  if (p.num_qubits() > n_) {
+    throw std::invalid_argument("Tableau: Pauli string too wide");
+  }
+  for (std::size_t q = 0; q < p.num_qubits(); ++q) {
+    switch (p.pauli(q)) {
+      case Pauli::kI:
+        break;
+      case Pauli::kX:
+        apply_x(static_cast<Qubit>(q));
+        break;
+      case Pauli::kY:
+        apply_y(static_cast<Qubit>(q));
+        break;
+      case Pauli::kZ:
+        apply_z(static_cast<Qubit>(q));
+        break;
+    }
+  }
+}
+
+MeasureResult Tableau::measure(Qubit q) {
+  check_qubit(q);
+  // Look for a stabilizer row that anticommutes with Z_q.
+  std::size_t p = 0;
+  bool random = false;
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (x_bit(i, q)) {
+      p = i;
+      random = true;
+      break;
+    }
+  }
+  if (random) {
+    for (std::size_t i = 0; i < 2 * n_; ++i) {
+      if (i != p && x_bit(i, q)) {
+        rowsum(i, p);
+      }
+    }
+    // Destabilizer p-n := old stabilizer p; stabilizer p := +/- Z_q.
+    for (std::size_t w = 0; w < words_; ++w) {
+      xs_[(p - n_) * words_ + w] = xs_[p * words_ + w];
+      zs_[(p - n_) * words_ + w] = zs_[p * words_ + w];
+    }
+    rs_[p - n_] = rs_[p];
+    zero_row(p);
+    set_z_bit(p, q, true);
+    const bool outcome = (rng_() & 1) != 0;
+    rs_[p] = outcome;
+    return {.value = outcome, .deterministic = false};
+  }
+  // Deterministic: accumulate the stabilizer product matching Z_q into
+  // the scratch row.
+  const std::size_t scratch = 2 * n_;
+  zero_row(scratch);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (x_bit(i, q)) {
+      rowsum(scratch, i + n_);
+    }
+  }
+  return {.value = rs_[scratch], .deterministic = true};
+}
+
+void Tableau::reset(Qubit q) {
+  if (measure(q).value) {
+    apply_x(q);
+  }
+}
+
+void Tableau::execute(const Operation& op) {
+  switch (category(op.gate())) {
+    case GateCategory::kInitialization:
+      return reset(op.qubit(0));
+    case GateCategory::kMeasurement:
+      measurements_.push_back(measure(op.qubit(0)));
+      return;
+    default:
+      return apply_unitary(op);
+  }
+}
+
+void Tableau::execute(const Circuit& circuit) {
+  for (const TimeSlot& slot : circuit) {
+    for (const Operation& op : slot) {
+      execute(op);
+    }
+  }
+}
+
+std::vector<MeasureResult> Tableau::take_measurements() {
+  std::vector<MeasureResult> out;
+  out.swap(measurements_);
+  return out;
+}
+
+double Tableau::probability_one(Qubit q) const {
+  check_qubit(q);
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (x_bit(i, q)) {
+      return 0.5;
+    }
+  }
+  // Deterministic: same scratch computation, on a copy to stay const.
+  Tableau copy = *this;
+  return copy.measure(q).value ? 1.0 : 0.0;
+}
+
+int Tableau::expectation(const PauliString& p) const {
+  if (p.num_qubits() > n_) {
+    throw std::invalid_argument("Tableau: Pauli string too wide");
+  }
+  // If p anticommutes with any stabilizer generator the outcome is random.
+  for (std::size_t i = 0; i < n_; ++i) {
+    bool anticommute = false;
+    for (std::size_t q = 0; q < p.num_qubits(); ++q) {
+      const bool term = (p.x_bit(q) && z_bit(n_ + i, q)) ^
+                        (p.z_bit(q) && x_bit(n_ + i, q));
+      anticommute ^= term;
+    }
+    if (anticommute) {
+      return 0;
+    }
+  }
+  // p commutes with the whole group, so p = +/- product of the stabilizer
+  // generators whose destabilizer partners anticommute with p.  Build the
+  // product in a scratch copy and compare signs.
+  Tableau copy = *this;
+  const std::size_t scratch = 2 * n_;
+  copy.zero_row(scratch);
+  for (std::size_t i = 0; i < n_; ++i) {
+    bool anticommute = false;
+    for (std::size_t q = 0; q < p.num_qubits(); ++q) {
+      const bool term = (p.x_bit(q) && z_bit(i, q)) ^
+                        (p.z_bit(q) && x_bit(i, q));
+      anticommute ^= term;
+    }
+    if (anticommute) {
+      copy.rowsum(scratch, i + n_);
+    }
+  }
+  // The scratch row must now equal p's tensor part.
+  for (std::size_t q = 0; q < n_; ++q) {
+    const bool px = q < p.num_qubits() && p.x_bit(q);
+    const bool pz = q < p.num_qubits() && p.z_bit(q);
+    if (copy.x_bit(scratch, q) != px || copy.z_bit(scratch, q) != pz) {
+      return 0;  // not in the stabilizer group (mixed/odd case)
+    }
+  }
+  const int group_sign = copy.rs_[scratch] ? -1 : +1;
+  return group_sign * p.sign();
+}
+
+PauliString Tableau::row_to_string(std::size_t row) const {
+  PauliString out(n_);
+  for (std::size_t q = 0; q < n_; ++q) {
+    const bool x = x_bit(row, q);
+    const bool z = z_bit(row, q);
+    out.set_pauli(q, x ? (z ? Pauli::kY : Pauli::kX)
+                       : (z ? Pauli::kZ : Pauli::kI));
+  }
+  out.set_sign(rs_[row] ? -1 : +1);
+  return out;
+}
+
+PauliString Tableau::stabilizer(std::size_t i) const {
+  if (i >= n_) {
+    throw std::out_of_range("Tableau: stabilizer index out of range");
+  }
+  return row_to_string(n_ + i);
+}
+
+PauliString Tableau::destabilizer(std::size_t i) const {
+  if (i >= n_) {
+    throw std::out_of_range("Tableau: destabilizer index out of range");
+  }
+  return row_to_string(i);
+}
+
+}  // namespace qpf::stab

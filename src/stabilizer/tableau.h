@@ -1,0 +1,106 @@
+// Aaronson–Gottesman stabilizer tableau simulator — the in-process
+// stand-in for the paper's CHP backend (thesis §4.1.2).
+//
+// The tableau stores n destabilizer and n stabilizer generator rows in
+// the binary-symplectic representation, packed 64 qubits per word.
+// Clifford gates update rows in O(n); measurement is O(n^2).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "stabilizer/pauli_string.h"
+
+namespace qpf::stab {
+
+/// Measurement outcome (mirrors sv::MeasureResult).
+struct MeasureResult {
+  bool value = false;
+  bool deterministic = false;
+
+  [[nodiscard]] int sign() const noexcept { return value ? -1 : +1; }
+};
+
+class Tableau {
+ public:
+  /// |0...0> on num_qubits qubits.
+  explicit Tableau(std::size_t num_qubits, std::uint64_t seed = 1);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return n_; }
+
+  // --- Clifford gate applications -----------------------------------
+  void apply_h(Qubit q);
+  void apply_s(Qubit q);
+  void apply_sdag(Qubit q);
+  void apply_x(Qubit q);
+  void apply_y(Qubit q);
+  void apply_z(Qubit q);
+  void apply_cnot(Qubit control, Qubit target);
+  void apply_cz(Qubit control, Qubit target);
+  void apply_swap(Qubit a, Qubit b);
+
+  /// Apply any Clifford operation from the circuit IR.  Throws
+  /// std::invalid_argument for non-Clifford gates (T / T†) and for
+  /// prep/measure (use reset / measure).
+  void apply_unitary(const Operation& op);
+
+  /// Apply a Pauli string as a unitary (error injection).
+  void apply_pauli(const PauliString& p);
+
+  // --- Non-unitary operations ---------------------------------------
+  /// Z-basis measurement with collapse.
+  MeasureResult measure(Qubit q);
+
+  /// Reset qubit q to |0>.
+  void reset(Qubit q);
+
+  /// Execute a full operation of any category; measurement results are
+  /// recorded (take_measurements()).
+  void execute(const Operation& op);
+  void execute(const Circuit& circuit);
+  [[nodiscard]] std::vector<MeasureResult> take_measurements();
+
+  // --- Introspection -------------------------------------------------
+  /// Expectation of a Pauli string (including its sign) on the current
+  /// state: +1 / -1 when it is (anti)stabilized, 0 when the measurement
+  /// outcome would be random.
+  [[nodiscard]] int expectation(const PauliString& p) const;
+
+  /// True if the signed Pauli string stabilizes the current state.
+  [[nodiscard]] bool is_stabilized_by(const PauliString& p) const {
+    return expectation(p) == 1;
+  }
+
+  /// Stabilizer generator row i (0 <= i < n) as a Pauli string.
+  [[nodiscard]] PauliString stabilizer(std::size_t i) const;
+  /// Destabilizer generator row i.
+  [[nodiscard]] PauliString destabilizer(std::size_t i) const;
+
+  /// Probability that measuring q yields 1: 0, 0.5, or 1.
+  [[nodiscard]] double probability_one(Qubit q) const;
+
+ private:
+  // Row r in [0, 2n]: destabilizers, stabilizers, then one scratch row.
+  [[nodiscard]] bool x_bit(std::size_t row, std::size_t q) const noexcept;
+  [[nodiscard]] bool z_bit(std::size_t row, std::size_t q) const noexcept;
+  void set_x_bit(std::size_t row, std::size_t q, bool v) noexcept;
+  void set_z_bit(std::size_t row, std::size_t q, bool v) noexcept;
+  void zero_row(std::size_t row) noexcept;
+  /// row h *= row i, tracking the phase (AG "rowsum").
+  void rowsum(std::size_t h, std::size_t i) noexcept;
+  void check_qubit(Qubit q) const;
+  [[nodiscard]] PauliString row_to_string(std::size_t row) const;
+
+  std::size_t n_;
+  std::size_t words_;  // words per row side
+  // xs_/zs_ are (2n+1) rows by words_ words; rs_ holds the sign bits.
+  std::vector<std::uint64_t> xs_;
+  std::vector<std::uint64_t> zs_;
+  std::vector<bool> rs_;
+  std::mt19937_64 rng_;
+  std::vector<MeasureResult> measurements_;
+};
+
+}  // namespace qpf::stab

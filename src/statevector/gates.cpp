@@ -1,0 +1,69 @@
+#include "statevector/gates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qpf::sv {
+
+namespace {
+constexpr Complex kI{0.0, 1.0};
+const double kInvSqrt2 = 1.0 / std::numbers::sqrt2;
+}  // namespace
+
+Matrix2 single_qubit_matrix(GateType g) {
+  switch (g) {
+    case GateType::kI:
+      return {1, 0, 0, 1};
+    case GateType::kX:
+      return {0, 1, 1, 0};
+    case GateType::kY:
+      return {0, -kI, kI, 0};
+    case GateType::kZ:
+      return {1, 0, 0, -1};
+    case GateType::kH:
+      return {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2};
+    case GateType::kS:
+      return {1, 0, 0, kI};
+    case GateType::kSdag:
+      return {1, 0, 0, -kI};
+    case GateType::kT:
+      return {1, 0, 0, std::polar(1.0, std::numbers::pi / 4)};
+    case GateType::kTdag:
+      return {1, 0, 0, std::polar(1.0, -std::numbers::pi / 4)};
+    default:
+      throw std::invalid_argument(
+          "single_qubit_matrix: not a single-qubit unitary");
+  }
+}
+
+Matrix2 multiply(const Matrix2& a, const Matrix2& b) noexcept {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Matrix2 adjoint(const Matrix2& m) noexcept {
+  return {std::conj(m[0]), std::conj(m[2]), std::conj(m[1]), std::conj(m[3])};
+}
+
+double distance_up_to_phase(const Matrix2& a, const Matrix2& b) noexcept {
+  // Find the entry of b with the largest magnitude and align phases there.
+  std::size_t k = 0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (std::abs(b[i]) > std::abs(b[k])) {
+      k = i;
+    }
+  }
+  if (std::abs(b[k]) < 1e-12) {
+    return std::abs(a[0]) + std::abs(a[1]) + std::abs(a[2]) + std::abs(a[3]);
+  }
+  const Complex phase = a[k] / b[k];
+  double dist = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    dist = std::max(dist, std::abs(a[i] - phase * b[i]));
+  }
+  return dist;
+}
+
+}  // namespace qpf::sv

@@ -1,0 +1,30 @@
+// Unitary matrices for the QPF gate set.
+#pragma once
+
+#include <array>
+#include <complex>
+
+#include "circuit/gate.h"
+
+namespace qpf::sv {
+
+using Complex = std::complex<double>;
+
+/// 2x2 unitary, row-major: {u00, u01, u10, u11}.
+using Matrix2 = std::array<Complex, 4>;
+
+/// The 2x2 matrix of a single-qubit unitary gate.  Throws
+/// std::invalid_argument for two-qubit gates or non-unitary ops.
+[[nodiscard]] Matrix2 single_qubit_matrix(GateType g);
+
+/// Multiply two 2x2 matrices (a * b).
+[[nodiscard]] Matrix2 multiply(const Matrix2& a, const Matrix2& b) noexcept;
+
+/// Conjugate transpose.
+[[nodiscard]] Matrix2 adjoint(const Matrix2& m) noexcept;
+
+/// Max-norm distance between two matrices, ignoring global phase.
+[[nodiscard]] double distance_up_to_phase(const Matrix2& a,
+                                          const Matrix2& b) noexcept;
+
+}  // namespace qpf::sv

@@ -1,0 +1,78 @@
+// Universal (dense state-vector) quantum simulator — the in-process
+// stand-in for the paper's QX Simulator (thesis §4.1.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "statevector/gates.h"
+#include "statevector/state.h"
+
+namespace qpf::sv {
+
+/// Measurement outcome of a single qubit in the Z basis.
+/// `value` is the classical bit (0 for |0>, 1 for |1>); the physics
+/// convention +1/-1 is sign() below.
+struct MeasureResult {
+  bool value = false;
+  /// True when the outcome was certain (probability 0 or 1).
+  bool deterministic = false;
+
+  [[nodiscard]] int sign() const noexcept { return value ? -1 : +1; }
+};
+
+/// Dense simulator.  All randomness comes from the seeded engine so runs
+/// are reproducible.
+class Simulator {
+ public:
+  explicit Simulator(std::size_t num_qubits, std::uint64_t seed = 1);
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept {
+    return state_.num_qubits();
+  }
+  [[nodiscard]] const StateVector& state() const noexcept { return state_; }
+
+  /// Apply one unitary gate.  Throws for prep/measure (use reset/measure).
+  void apply_unitary(const Operation& op);
+
+  /// Project qubit q; collapses the state and returns the outcome.
+  MeasureResult measure(Qubit q);
+
+  /// Reset qubit q to |0> (measure, then flip if needed).
+  void reset(Qubit q);
+
+  /// Execute a full operation of any category.  Measurement results are
+  /// appended to the internal record retrievable via take_measurements().
+  void execute(const Operation& op);
+
+  /// Execute a circuit slot by slot.
+  void execute(const Circuit& circuit);
+
+  /// Measurement results recorded since the last call, in program order.
+  [[nodiscard]] std::vector<MeasureResult> take_measurements();
+
+  /// Probability of reading 1 on qubit q without collapsing.
+  [[nodiscard]] double probability_one(Qubit q) const {
+    return state_.probability_one(q);
+  }
+
+  /// Direct access for test setup; the caller must keep the state
+  /// normalized.
+  [[nodiscard]] StateVector& mutable_state() noexcept { return state_; }
+
+ private:
+  void apply_single(const Matrix2& m, Qubit q);
+  void apply_cnot(Qubit control, Qubit target);
+  void apply_cz(Qubit control, Qubit target);
+  void apply_swap(Qubit a, Qubit b);
+  void collapse(Qubit q, bool outcome, double probability);
+
+  StateVector state_;
+  std::mt19937_64 rng_;
+  std::vector<MeasureResult> measurements_;
+};
+
+}  // namespace qpf::sv

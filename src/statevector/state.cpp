@@ -1,0 +1,105 @@
+#include "statevector/state.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qpf::sv {
+
+StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits == 0 || num_qubits > kMaxQubits) {
+    throw std::invalid_argument("StateVector: qubit count out of range");
+  }
+  amps_.assign(std::size_t{1} << num_qubits, {0.0, 0.0});
+  amps_[0] = {1.0, 0.0};
+}
+
+double StateVector::probability_one(std::size_t q) const {
+  if (q >= num_qubits_) {
+    throw std::out_of_range("StateVector: qubit index out of range");
+  }
+  const std::size_t bit = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) {
+      p += std::norm(amps_[i]);
+    }
+  }
+  return p;
+}
+
+double StateVector::norm_squared() const noexcept {
+  double n = 0.0;
+  for (const auto& a : amps_) {
+    n += std::norm(a);
+  }
+  return n;
+}
+
+void StateVector::normalize() {
+  const double n = std::sqrt(norm_squared());
+  if (n < 1e-14) {
+    throw std::runtime_error("StateVector: cannot normalize null vector");
+  }
+  for (auto& a : amps_) {
+    a /= n;
+  }
+}
+
+bool StateVector::equals_up_to_global_phase(const StateVector& other,
+                                            double tol) const {
+  if (num_qubits_ != other.num_qubits_) {
+    return false;
+  }
+  // Phase-align on the largest amplitude of *other*.
+  std::size_t k = 0;
+  for (std::size_t i = 1; i < amps_.size(); ++i) {
+    if (std::norm(other.amps_[i]) > std::norm(other.amps_[k])) {
+      k = i;
+    }
+  }
+  if (std::abs(other.amps_[k]) < tol) {
+    return norm_squared() < tol;
+  }
+  const std::complex<double> phase = amps_[k] / other.amps_[k];
+  if (std::abs(std::abs(phase) - 1.0) > tol) {
+    return false;
+  }
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (std::abs(amps_[i] - phase * other.amps_[i]) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  if (num_qubits_ != other.num_qubits_) {
+    throw std::invalid_argument("fidelity: dimension mismatch");
+  }
+  std::complex<double> inner{0.0, 0.0};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    inner += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return std::norm(inner);
+}
+
+std::string StateVector::str(double cutoff) const {
+  std::string out;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (std::abs(amps_[i]) <= cutoff) {
+      continue;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "(%.6g%+.6gj) |", amps_[i].real(),
+                  amps_[i].imag());
+    out += buffer;
+    for (std::size_t q = num_qubits_; q-- > 0;) {
+      out += (i >> q) & 1 ? '1' : '0';
+    }
+    out += ">\n";
+  }
+  return out;
+}
+
+}  // namespace qpf::sv

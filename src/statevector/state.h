@@ -1,0 +1,65 @@
+// Dense quantum state vector with the comparison and rendering utilities
+// the paper's experiments rely on (state equality up to global phase,
+// Listing-5.1-style amplitude dumps).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qpf::sv {
+
+/// A normalized n-qubit state vector.  Basis index bit k is the value of
+/// qubit k, so in the rendered bitstring the *rightmost* character is
+/// qubit 0, matching the thesis listings.
+class StateVector {
+ public:
+  /// |0...0> on num_qubits qubits.  Throws std::invalid_argument for 0
+  /// qubits or for sizes above kMaxQubits (memory guard).
+  explicit StateVector(std::size_t num_qubits);
+
+  static constexpr std::size_t kMaxQubits = 26;
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return amps_.size(); }
+
+  [[nodiscard]] const std::vector<std::complex<double>>& amplitudes()
+      const noexcept {
+    return amps_;
+  }
+  [[nodiscard]] std::vector<std::complex<double>>& amplitudes() noexcept {
+    return amps_;
+  }
+
+  [[nodiscard]] std::complex<double> amplitude(std::size_t basis) const {
+    return amps_.at(basis);
+  }
+
+  /// Probability of measuring qubit q as 1.
+  [[nodiscard]] double probability_one(std::size_t q) const;
+
+  /// Squared norm (should be 1 up to rounding).
+  [[nodiscard]] double norm_squared() const noexcept;
+
+  /// Rescale to unit norm; throws std::runtime_error on a null vector.
+  void normalize();
+
+  /// True if the two states are equal up to a global phase, within tol.
+  [[nodiscard]] bool equals_up_to_global_phase(const StateVector& other,
+                                               double tol = 1e-9) const;
+
+  /// Fidelity |<this|other>|^2.
+  [[nodiscard]] double fidelity(const StateVector& other) const;
+
+  /// Nonzero amplitudes, one per line, like the thesis listings:
+  ///   (0.25+0j) |000000110>
+  /// Amplitudes below cutoff are suppressed.
+  [[nodiscard]] std::string str(double cutoff = 1e-9) const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<std::complex<double>> amps_;
+};
+
+}  // namespace qpf::sv

@@ -1,0 +1,32 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qpf::stats {
+
+Summary summarize(const std::vector<double>& sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("summarize: empty sample");
+  }
+  Summary s;
+  s.n = sample.size();
+  s.min = *std::min_element(sample.begin(), sample.end());
+  s.max = *std::max_element(sample.begin(), sample.end());
+  double sum = 0.0;
+  for (double v : sample) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (double v : sample) {
+      ss += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+}  // namespace qpf::stats

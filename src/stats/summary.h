@@ -1,0 +1,26 @@
+// Descriptive statistics used by the evaluation chapter: mean, sample
+// standard deviation, and coefficient of variation (Eq 5.4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qpf::stats {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Coefficient of variation sigma/mu (Eq 5.4); 0 for a zero mean.
+  [[nodiscard]] double coefficient_of_variation() const noexcept {
+    return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+};
+
+/// Summarize a sample.  Throws std::invalid_argument on an empty input.
+[[nodiscard]] Summary summarize(const std::vector<double>& sample);
+
+}  // namespace qpf::stats

@@ -1,0 +1,161 @@
+#include "stats/ttest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace qpf::stats {
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (Lentz's algorithm, cf. Numerical Recipes betacf).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3.0e-12;
+  constexpr double kFpMin = 1.0e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) {
+    d = kFpMin;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) {
+      d = kFpMin;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) {
+      c = kFpMin;
+    }
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x < 0.0 || x > 1.0) {
+    throw std::invalid_argument("incomplete_beta: x out of [0,1]");
+  }
+  if (x == 0.0 || x == 1.0) {
+    return x;
+  }
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_two_tailed_p(double t, double df) {
+  if (df <= 0.0) {
+    throw std::invalid_argument("student_t_two_tailed_p: df must be > 0");
+  }
+  const double x = df / (df + t * t);
+  return incomplete_beta(df / 2.0, 0.5, x);
+}
+
+TTestResult independent_ttest(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("independent_ttest: samples too small");
+  }
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  const double na = static_cast<double>(sa.n);
+  const double nb = static_cast<double>(sb.n);
+  const double pooled = ((na - 1.0) * sa.stddev * sa.stddev +
+                         (nb - 1.0) * sb.stddev * sb.stddev) /
+                        (na + nb - 2.0);
+  const double se = std::sqrt(pooled * (1.0 / na + 1.0 / nb));
+  TTestResult r;
+  r.df = na + nb - 2.0;
+  if (se == 0.0) {
+    r.t = sa.mean == sb.mean ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p = sa.mean == sb.mean ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (sa.mean - sb.mean) / se;
+  r.p = student_t_two_tailed_p(r.t, r.df);
+  return r;
+}
+
+TTestResult welch_ttest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_ttest: samples too small");
+  }
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  const double va = sa.stddev * sa.stddev / static_cast<double>(sa.n);
+  const double vb = sb.stddev * sb.stddev / static_cast<double>(sb.n);
+  TTestResult r;
+  if (va + vb == 0.0) {
+    r.df = static_cast<double>(sa.n + sb.n) - 2.0;
+    r.t = sa.mean == sb.mean ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p = sa.mean == sb.mean ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = (sa.mean - sb.mean) / std::sqrt(va + vb);
+  r.df = (va + vb) * (va + vb) /
+         (va * va / (static_cast<double>(sa.n) - 1.0) +
+          vb * vb / (static_cast<double>(sb.n) - 1.0));
+  r.p = student_t_two_tailed_p(r.t, r.df);
+  return r;
+}
+
+TTestResult paired_ttest(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("paired_ttest: size mismatch");
+  }
+  if (a.size() < 2) {
+    throw std::invalid_argument("paired_ttest: samples too small");
+  }
+  std::vector<double> diff(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff[i] = a[i] - b[i];
+  }
+  const Summary sd = summarize(diff);
+  TTestResult r;
+  r.df = static_cast<double>(sd.n) - 1.0;
+  if (sd.stddev == 0.0) {
+    r.t = sd.mean == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p = sd.mean == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t = sd.mean / (sd.stddev / std::sqrt(static_cast<double>(sd.n)));
+  r.p = student_t_two_tailed_p(r.t, r.df);
+  return r;
+}
+
+}  // namespace qpf::stats

@@ -1,0 +1,35 @@
+// Student's t-tests used for Figs 5.21–5.24: the two-sample independent
+// t-test (pooled variance) and the paired t-test, both two-tailed.
+// p-values come from the regularized incomplete beta function.
+#pragma once
+
+#include <vector>
+
+namespace qpf::stats {
+
+struct TTestResult {
+  double t = 0.0;    ///< t statistic
+  double df = 0.0;   ///< degrees of freedom
+  double p = 1.0;    ///< two-tailed p-value
+};
+
+/// Independent two-sample t-test with pooled variance.  Throws
+/// std::invalid_argument if either sample has fewer than 2 elements.
+[[nodiscard]] TTestResult independent_ttest(const std::vector<double>& a,
+                                            const std::vector<double>& b);
+
+/// Welch's t-test (unequal variances), for the ablation comparison.
+[[nodiscard]] TTestResult welch_ttest(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+/// Paired t-test; samples must have equal size >= 2.
+[[nodiscard]] TTestResult paired_ttest(const std::vector<double>& a,
+                                       const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b), 0 <= x <= 1.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Two-tailed p-value of a t statistic with df degrees of freedom.
+[[nodiscard]] double student_t_two_tailed_p(double t, double df);
+
+}  // namespace qpf::stats

@@ -1,0 +1,113 @@
+// Tests for the Pauli arbiter datapath (Fig 3.12 a–e).
+#include "core/arbiter.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf::pf {
+namespace {
+
+struct Fixture {
+  PauliFrameUnit pfu{4};
+  std::vector<Operation> pel;
+  PauliArbiter arbiter{pfu, [this](const Operation& op) { pel.push_back(op); }};
+};
+
+TEST(PauliArbiterTest, ResetForwardsAndClearsRecord) {
+  Fixture f;
+  f.pfu.frame().set_record(1, PauliRecord::kXZ);
+  const Route route = f.arbiter.submit(Operation{GateType::kPrepZ, 1});
+  EXPECT_EQ(route, Route::kResetBoth);
+  ASSERT_EQ(f.pel.size(), 1u);
+  EXPECT_EQ(f.pel[0].gate(), GateType::kPrepZ);
+  EXPECT_EQ(f.pfu.frame().record(1), PauliRecord::kI);
+}
+
+TEST(PauliArbiterTest, MeasurementForwardsAndMapsResult) {
+  Fixture f;
+  f.pfu.frame().set_record(0, PauliRecord::kX);
+  const Route route = f.arbiter.submit(Operation{GateType::kMeasureZ, 0});
+  EXPECT_EQ(route, Route::kMeasureToPel);
+  EXPECT_EQ(f.pel.size(), 1u);
+  // Return path (steps 3-5): raw 0 becomes 1 under an X record.
+  EXPECT_TRUE(f.arbiter.on_measurement_result(0, false));
+}
+
+TEST(PauliArbiterTest, PauliGateNeverReachesPel) {
+  Fixture f;
+  const Route route = f.arbiter.submit(Operation{GateType::kX, 2});
+  EXPECT_EQ(route, Route::kPauliToPfu);
+  EXPECT_TRUE(f.pel.empty());
+  EXPECT_EQ(f.pfu.frame().record(2), PauliRecord::kX);
+}
+
+TEST(PauliArbiterTest, CliffordForwardsAndMaps) {
+  Fixture f;
+  f.pfu.frame().set_record(3, PauliRecord::kX);
+  const Route route = f.arbiter.submit(Operation{GateType::kH, 3});
+  EXPECT_EQ(route, Route::kCliffordBoth);
+  ASSERT_EQ(f.pel.size(), 1u);
+  EXPECT_EQ(f.pel[0].gate(), GateType::kH);
+  EXPECT_EQ(f.pfu.frame().record(3), PauliRecord::kZ);
+}
+
+TEST(PauliArbiterTest, TwoQubitCliffordMapsBothRecords) {
+  Fixture f;
+  f.pfu.frame().set_record(0, PauliRecord::kX);
+  f.arbiter.submit(Operation{GateType::kCnot, 0, 1});
+  EXPECT_EQ(f.pfu.frame().record(0), PauliRecord::kX);
+  EXPECT_EQ(f.pfu.frame().record(1), PauliRecord::kX);  // X propagates
+}
+
+TEST(PauliArbiterTest, NonCliffordFlushesThenForwards) {
+  Fixture f;
+  f.pfu.frame().set_record(1, PauliRecord::kXZ);
+  const Route route = f.arbiter.submit(Operation{GateType::kT, 1});
+  EXPECT_EQ(route, Route::kFlushThenPel);
+  ASSERT_EQ(f.pel.size(), 3u);
+  EXPECT_EQ(f.pel[0].gate(), GateType::kX);
+  EXPECT_EQ(f.pel[1].gate(), GateType::kZ);
+  EXPECT_EQ(f.pel[2].gate(), GateType::kT);
+  EXPECT_EQ(f.pfu.frame().record(1), PauliRecord::kI);
+}
+
+TEST(PauliArbiterTest, TraceRecordsDecisions) {
+  Fixture f;
+  f.arbiter.submit(Operation{GateType::kX, 0});
+  f.arbiter.submit(Operation{GateType::kH, 0});
+  f.arbiter.submit(Operation{GateType::kT, 0});
+  const auto& trace = f.arbiter.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].route, Route::kPauliToPfu);
+  EXPECT_TRUE(trace[0].forwarded.empty());
+  EXPECT_EQ(trace[1].route, Route::kCliffordBoth);
+  EXPECT_EQ(trace[1].forwarded.size(), 1u);
+  EXPECT_EQ(trace[2].route, Route::kFlushThenPel);
+  // After H the X record became Z, so the flush is one Z + the T gate.
+  EXPECT_EQ(trace[2].forwarded.size(), 2u);
+  f.arbiter.clear_trace();
+  EXPECT_TRUE(f.arbiter.trace().empty());
+}
+
+TEST(PauliArbiterTest, SubmitCircuitRunsInProgramOrder) {
+  Fixture f;
+  Circuit c;
+  c.append(GateType::kX, 0);
+  c.append(GateType::kMeasureZ, 0);
+  f.arbiter.submit(c);
+  // The X was absorbed; the raw |0> measurement maps to 1.
+  ASSERT_EQ(f.pel.size(), 1u);
+  EXPECT_TRUE(f.arbiter.on_measurement_result(0, false));
+}
+
+TEST(PauliArbiterTest, NullSinkRejected) {
+  PauliFrameUnit pfu(1);
+  EXPECT_THROW(PauliArbiter(pfu, nullptr), std::invalid_argument);
+}
+
+TEST(PauliArbiterTest, RouteNames) {
+  EXPECT_EQ(name(Route::kResetBoth), "reset-both");
+  EXPECT_EQ(name(Route::kFlushThenPel), "flush-then-pel");
+}
+
+}  // namespace
+}  // namespace qpf::pf

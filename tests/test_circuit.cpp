@@ -1,0 +1,137 @@
+// Unit tests for Operation, TimeSlot and Circuit (circuit/circuit.h).
+#include "circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qpf {
+namespace {
+
+TEST(OperationTest, SingleQubitConstruction) {
+  const Operation op{GateType::kH, 3};
+  EXPECT_EQ(op.gate(), GateType::kH);
+  EXPECT_EQ(op.arity(), 1);
+  EXPECT_EQ(op.qubit(0), 3u);
+  EXPECT_TRUE(op.touches(3));
+  EXPECT_FALSE(op.touches(2));
+}
+
+TEST(OperationTest, TwoQubitConstruction) {
+  const Operation op{GateType::kCnot, 1, 4};
+  EXPECT_EQ(op.arity(), 2);
+  EXPECT_EQ(op.control(), 1u);
+  EXPECT_EQ(op.target(), 4u);
+  EXPECT_TRUE(op.touches(1));
+  EXPECT_TRUE(op.touches(4));
+  EXPECT_EQ(op.max_qubit(), 4u);
+}
+
+TEST(OperationTest, ArityMismatchThrows) {
+  EXPECT_THROW((Operation{GateType::kCnot, 1}), std::invalid_argument);
+  EXPECT_THROW((Operation{GateType::kH, 1, 2}), std::invalid_argument);
+}
+
+TEST(OperationTest, SameOperandsThrow) {
+  EXPECT_THROW((Operation{GateType::kCnot, 2, 2}), std::invalid_argument);
+}
+
+TEST(OperationTest, OperandIndexOutOfRangeThrows) {
+  const Operation op{GateType::kX, 0};
+  EXPECT_THROW((void)op.qubit(1), std::out_of_range);
+  EXPECT_THROW((void)op.qubit(-1), std::out_of_range);
+}
+
+TEST(OperationTest, Rendering) {
+  EXPECT_EQ((Operation{GateType::kX, 2}.str()), "x q2");
+  EXPECT_EQ((Operation{GateType::kCnot, 0, 7}.str()), "cnot q0,q7");
+}
+
+TEST(TimeSlotTest, ConflictDetection) {
+  TimeSlot slot;
+  slot.add(Operation{GateType::kCnot, 0, 1});
+  EXPECT_TRUE(slot.conflicts(Operation{GateType::kH, 0}));
+  EXPECT_TRUE(slot.conflicts(Operation{GateType::kH, 1}));
+  EXPECT_FALSE(slot.conflicts(Operation{GateType::kH, 2}));
+  EXPECT_THROW(slot.add(Operation{GateType::kX, 1}), std::invalid_argument);
+}
+
+TEST(CircuitTest, GreedySchedulingPacksIndependentOps) {
+  Circuit c;
+  c.append(GateType::kH, 0);
+  c.append(GateType::kH, 1);
+  c.append(GateType::kH, 2);
+  EXPECT_EQ(c.num_slots(), 1u);
+  c.append(GateType::kX, 0);  // conflicts -> new slot
+  EXPECT_EQ(c.num_slots(), 2u);
+  EXPECT_EQ(c.num_operations(), 4u);
+}
+
+TEST(CircuitTest, AppendInNewSlotForcesSequencing) {
+  Circuit c;
+  c.append_in_new_slot(Operation{GateType::kH, 0});
+  c.append_in_new_slot(Operation{GateType::kH, 1});
+  EXPECT_EQ(c.num_slots(), 2u);
+}
+
+TEST(CircuitTest, EmptySlotsAreDropped) {
+  Circuit c;
+  c.append_slot(TimeSlot{});
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(CircuitTest, AppendCircuitPreservesSlots) {
+  Circuit a;
+  a.append(GateType::kH, 0);
+  a.append(GateType::kX, 0);
+  Circuit b;
+  b.append(GateType::kZ, 1);
+  b.append_circuit(a);
+  EXPECT_EQ(b.num_slots(), 3u);
+  EXPECT_EQ(b.num_operations(), 3u);
+}
+
+TEST(CircuitTest, CountsByTypeAndCategory) {
+  Circuit c;
+  c.append(GateType::kX, 0);
+  c.append(GateType::kX, 1);
+  c.append(GateType::kH, 2);
+  c.append(GateType::kT, 3);
+  c.append(GateType::kMeasureZ, 4);
+  EXPECT_EQ(c.count(GateType::kX), 2u);
+  EXPECT_EQ(c.count(GateCategory::kPauli), 2u);
+  EXPECT_EQ(c.count(GateCategory::kClifford), 1u);
+  EXPECT_EQ(c.count(GateCategory::kNonClifford), 1u);
+  EXPECT_EQ(c.count(GateCategory::kMeasurement), 1u);
+}
+
+TEST(CircuitTest, MinRegisterSize) {
+  Circuit c;
+  EXPECT_EQ(c.min_register_size(), 0u);
+  c.append(GateType::kCnot, 2, 9);
+  EXPECT_EQ(c.min_register_size(), 10u);
+}
+
+TEST(CircuitTest, Equality) {
+  Circuit a;
+  a.append(GateType::kH, 0);
+  a.append(GateType::kCnot, 0, 1);
+  Circuit b;
+  b.append(GateType::kH, 0);
+  b.append(GateType::kCnot, 0, 1);
+  EXPECT_EQ(a, b);
+  b.append(GateType::kX, 0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CircuitTest, TwoQubitGateSpanningSlotBoundary) {
+  Circuit c;
+  c.append(GateType::kH, 0);
+  c.append(GateType::kCnot, 0, 1);  // conflicts with H q0 -> new slot
+  EXPECT_EQ(c.num_slots(), 2u);
+  c.append(GateType::kH, 2);  // packs into slot 2 (no conflict)
+  EXPECT_EQ(c.num_slots(), 2u);
+}
+
+}  // namespace
+}  // namespace qpf

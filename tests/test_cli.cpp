@@ -1,0 +1,143 @@
+// Tests for the qpf_run command-line library (cli/runner.h).
+#include "cli/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf::cli {
+namespace {
+
+std::optional<RunnerOptions> parse(std::vector<std::string> arguments) {
+  std::string error;
+  return parse_arguments(arguments, error);
+}
+
+TEST(CliParseTest, DefaultsAndFile) {
+  const auto options = parse({"program.qasm"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->backend, Backend::kChp);
+  EXPECT_EQ(options->format, Format::kQasm);
+  EXPECT_EQ(options->input_path, "program.qasm");
+  EXPECT_EQ(options->shots, 1u);
+  EXPECT_FALSE(options->pauli_frame);
+}
+
+TEST(CliParseTest, FormatFromExtension) {
+  EXPECT_EQ(parse({"a.chp"})->format, Format::kChp);
+  EXPECT_EQ(parse({"a.qisa"})->format, Format::kQisa);
+  EXPECT_EQ(parse({"a.qasm"})->format, Format::kQasm);
+  // Explicit flag wins over extension.
+  EXPECT_EQ(parse({"--format=qisa", "a.qasm"})->format, Format::kQisa);
+}
+
+TEST(CliParseTest, AllFlags) {
+  const auto options =
+      parse({"--backend=qx", "--pauli-frame", "--error-rate=0.01",
+             "--shots=50", "--seed=9", "--slots=3", "--print-state",
+             "x.qasm"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->backend, Backend::kQx);
+  EXPECT_TRUE(options->pauli_frame);
+  EXPECT_DOUBLE_EQ(options->error_rate, 0.01);
+  EXPECT_EQ(options->shots, 50u);
+  EXPECT_EQ(options->seed, 9u);
+  EXPECT_EQ(options->patch_slots, 3u);
+  EXPECT_TRUE(options->print_state);
+}
+
+TEST(CliParseTest, Rejections) {
+  EXPECT_FALSE(parse({}).has_value());                       // no input
+  EXPECT_FALSE(parse({"--backend=foo", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--format=foo", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--error-rate=2.0", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--shots=0", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--bogus", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"a.qasm", "b.qasm"}).has_value());     // two inputs
+  EXPECT_FALSE(parse({"--print-state", "a.qasm"}).has_value());  // needs qx
+}
+
+TEST(CliRunTest, QasmDeterministicCircuit) {
+  RunnerOptions options;
+  options.format = Format::kQasm;
+  options.input_path = "inline";
+  const std::string report =
+      run_program(options, "x q0\nmeasure q0\nmeasure q1\n");
+  EXPECT_NE(report.find("|01>"), std::string::npos);
+}
+
+TEST(CliRunTest, QasmHistogramOverShots) {
+  RunnerOptions options;
+  options.shots = 40;
+  options.input_path = "inline";
+  const std::string report =
+      run_program(options, "h q0\ncnot q0,q1\nmeasure q0\nmeasure q1\n");
+  EXPECT_NE(report.find("histogram"), std::string::npos);
+  // Bell pair: only correlated outcomes appear.
+  EXPECT_EQ(report.find("|01>"), std::string::npos);
+  EXPECT_EQ(report.find("|10>"), std::string::npos);
+}
+
+TEST(CliRunTest, PauliFrameAffectsRawDevice) {
+  RunnerOptions options;
+  options.pauli_frame = true;
+  options.input_path = "inline";
+  const std::string report = run_program(options, "x q0\nmeasure q0\n");
+  EXPECT_NE(report.find("|1>"), std::string::npos);  // corrected readout
+}
+
+TEST(CliRunTest, ChpFormat) {
+  RunnerOptions options;
+  options.format = Format::kChp;
+  options.input_path = "inline";
+  const std::string report = run_program(options, "#\nh 0\nc 0 1\nm 0\nm 1\n");
+  EXPECT_NE(report.find("state"), std::string::npos);
+}
+
+TEST(CliRunTest, QxBackendWithStateDump) {
+  RunnerOptions options;
+  options.backend = Backend::kQx;
+  options.print_state = true;
+  options.input_path = "inline";
+  const std::string report = run_program(options, "h q0\n");
+  EXPECT_NE(report.find("0.707107"), std::string::npos);
+}
+
+TEST(CliRunTest, QisaProgram) {
+  RunnerOptions options;
+  options.format = Format::kQisa;
+  options.input_path = "inline";
+  const std::string report = run_program(
+      options, "map p0 s0\nx v2\nx v4\nx v6\nqec\nlmeas p0\nhalt\n");
+  EXPECT_NE(report.find("logical states"), std::string::npos);
+  EXPECT_NE(report.find("  1  1"), std::string::npos);
+}
+
+TEST(CliRunTest, LogicalFormatCompilesAndRunsFaultTolerantly) {
+  RunnerOptions options;
+  options.format = Format::kLogical;
+  options.error_rate = 5e-4;
+  options.pauli_frame = true;
+  options.shots = 5;
+  options.input_path = "inline";
+  const std::string report = run_program(
+      options,
+      "prep_z q0\nprep_z q1\n|\nx q0\n|\ncnot q0,q1\n|\nmeasure "
+      "q0\nmeasure q1\n");
+  EXPECT_NE(report.find("compiled logical program"), std::string::npos);
+  EXPECT_NE(report.find("QEC windows"), std::string::npos);
+  EXPECT_NE(report.find("  11  "), std::string::npos);
+}
+
+TEST(CliParseTest, LogicalFormatFromExtensionAndFlag) {
+  EXPECT_EQ(parse({"a.lqasm"})->format, Format::kLogical);
+  EXPECT_EQ(parse({"--format=logical", "a.qasm"})->format, Format::kLogical);
+}
+
+TEST(CliRunTest, MalformedProgramThrows) {
+  RunnerOptions options;
+  options.input_path = "inline";
+  EXPECT_THROW((void)run_program(options, "frobnicate q0\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qpf::cli

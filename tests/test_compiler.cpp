@@ -1,0 +1,165 @@
+// Tests for the logical-to-QISA compiler (Fig 4.2) — including full
+// compile-then-execute round trips on the QCU that must agree with the
+// NinjaStarLayer executing the same logical circuit.
+#include "qcu/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/chp_core.h"
+#include "arch/ninja_star_layer.h"
+#include "qcu/qcu.h"
+
+namespace qpf::qcu {
+namespace {
+
+using arch::BinaryValue;
+using arch::ChpCore;
+using qec::StateValue;
+
+TEST(CompilerTest, PrepCompilesToMap) {
+  Circuit logical;
+  logical.append(GateType::kPrepZ, 0);
+  const auto program = compile(logical);
+  ASSERT_GE(program.size(), 2u);
+  EXPECT_EQ(program[0], (Instruction{Opcode::kMapPatch, 0, 0}));
+  EXPECT_EQ(program.back(), (Instruction{Opcode::kHalt, 0, 0}));
+}
+
+TEST(CompilerTest, RePrepUnmapsFirst) {
+  Circuit logical;
+  logical.append(GateType::kPrepZ, 0);
+  logical.append_in_new_slot(Operation{GateType::kPrepZ, 0});
+  const auto program = compile(logical);
+  // map, unmap, map, halt.
+  ASSERT_EQ(program.size(), 4u);
+  EXPECT_EQ(program[1].op, Opcode::kUnmapPatch);
+  EXPECT_EQ(program[2].op, Opcode::kMapPatch);
+}
+
+TEST(CompilerTest, LogicalXUsesOrientationChain) {
+  Circuit logical;
+  logical.append(GateType::kX, 0);
+  const auto x_normal = compile(logical);
+  // map, x v2, x v4, x v6, qec, halt.
+  ASSERT_EQ(x_normal.size(), 6u);
+  EXPECT_EQ(x_normal[1], (Instruction{Opcode::kX, 2, 0}));
+  EXPECT_EQ(x_normal[2], (Instruction{Opcode::kX, 4, 0}));
+  EXPECT_EQ(x_normal[3], (Instruction{Opcode::kX, 6, 0}));
+
+  Circuit rotated;
+  rotated.append(GateType::kH, 0);
+  rotated.append(GateType::kX, 0);
+  const auto x_rotated = compile(rotated);
+  // After H_L the X chain moves to {0, 4, 8}.
+  std::vector<std::uint16_t> targets;
+  for (const Instruction& instruction : x_rotated) {
+    if (instruction.op == Opcode::kX) {
+      targets.push_back(instruction.a);
+    }
+  }
+  EXPECT_EQ(targets, (std::vector<std::uint16_t>{0, 4, 8}));
+}
+
+TEST(CompilerTest, QecSlotsFollowEveryLogicalGate) {
+  Circuit logical;
+  logical.append(GateType::kX, 0);
+  logical.append(GateType::kZ, 0);
+  CompileOptions options;
+  options.qec_slots_per_operation = 2;
+  const auto program = compile(logical, options);
+  std::size_t qec_count = 0;
+  for (const Instruction& instruction : program) {
+    qec_count += instruction.op == Opcode::kQecSlot ? 1 : 0;
+  }
+  EXPECT_EQ(qec_count, 4u);
+}
+
+TEST(CompilerTest, NonCliffordRejected) {
+  Circuit logical;
+  logical.append(GateType::kT, 0);
+  EXPECT_THROW((void)compile(logical), std::invalid_argument);
+}
+
+TEST(CompilerTest, DisassemblesToReadableProgram) {
+  Circuit logical;
+  logical.append(GateType::kPrepZ, 0);
+  logical.append(GateType::kX, 0);
+  logical.append(GateType::kMeasureZ, 0);
+  const std::string text = disassemble(compile(logical));
+  EXPECT_NE(text.find("map p0 s0"), std::string::npos);
+  EXPECT_NE(text.find("x v2"), std::string::npos);
+  EXPECT_NE(text.find("lmeas p0"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+// Round trip: compiled program on the QCU produces the same logical
+// results as the NinjaStarLayer running the logical circuit directly.
+class CompileExecuteRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompileExecuteRoundTrip, AgreesWithNinjaStarLayer) {
+  Circuit logical;
+  std::size_t qubits = 1;
+  switch (GetParam()) {
+    case 0:  // X then measure
+      logical.append(GateType::kPrepZ, 0);
+      logical.append_in_new_slot(Operation{GateType::kX, 0});
+      logical.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+      break;
+    case 1:  // H twice cancels
+      logical.append(GateType::kPrepZ, 0);
+      logical.append_in_new_slot(Operation{GateType::kX, 0});
+      logical.append_in_new_slot(Operation{GateType::kH, 0});
+      logical.append_in_new_slot(Operation{GateType::kH, 0});
+      logical.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+      break;
+    case 2:  // entangling CNOT on basis states
+      qubits = 2;
+      logical.append(GateType::kPrepZ, 0);
+      logical.append(GateType::kPrepZ, 1);
+      logical.append_in_new_slot(Operation{GateType::kX, 0});
+      logical.append_in_new_slot(Operation{GateType::kCnot, 0, 1});
+      logical.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+      logical.append_in_new_slot(Operation{GateType::kMeasureZ, 1});
+      break;
+    case 3:  // CZ sandwiched in Hadamards acts as CNOT onto qubit 0
+      qubits = 2;
+      logical.append(GateType::kPrepZ, 0);
+      logical.append(GateType::kPrepZ, 1);
+      logical.append_in_new_slot(Operation{GateType::kX, 1});
+      logical.append_in_new_slot(Operation{GateType::kH, 0});
+      logical.append_in_new_slot(Operation{GateType::kCz, 0, 1});
+      logical.append_in_new_slot(Operation{GateType::kH, 0});
+      logical.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+      logical.append_in_new_slot(Operation{GateType::kMeasureZ, 1});
+      break;
+    default:
+      FAIL();
+  }
+
+  // Reference: the QPDO layer stack.
+  ChpCore layer_core(5);
+  arch::NinjaStarLayer ninja(&layer_core);
+  ninja.create_qubits(qubits);
+  ninja.add(logical);
+  ninja.execute();
+  const arch::BinaryState expected = ninja.get_state();
+
+  // Compiled execution on the QCU architecture.
+  ChpCore qcu_core(5);
+  QuantumControlUnit qcu(&qcu_core, qubits);
+  qcu.load(compile(logical));
+  qcu.run();
+  for (Qubit q = 0; q < qubits; ++q) {
+    const StateValue state = qcu.logical_state(static_cast<PatchId>(q));
+    const BinaryValue expect = expected[q];
+    ASSERT_NE(expect, BinaryValue::kUnknown);
+    EXPECT_EQ(state == StateValue::kOne, expect == BinaryValue::kOne)
+        << "logical qubit " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, CompileExecuteRoundTrip,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace qpf::qcu

@@ -1,0 +1,102 @@
+// Thesis §4.2.3: "It is for example possible to concatenate QEC layers
+// by adding multiple QEC layers to a control stack."  Because every
+// layer speaks the same Core interface, an outer QEC layer's physical
+// operations become the inner layer's logical operations.
+#include <gtest/gtest.h>
+
+#include "arch/chp_core.h"
+#include "arch/ninja_star_layer.h"
+#include "arch/steane_layer.h"
+
+namespace qpf::arch {
+namespace {
+
+using qec::CheckType;
+
+TEST(ConcatenationTest, SteaneOverSteane) {
+  // Outer Steane logical qubit built from 13 inner Steane logical
+  // qubits = 169 physical qubits on the tableau.
+  ChpCore core(3);
+  SteaneLayer inner(&core);
+  SteaneLayer outer(&inner);
+  outer.create_qubits(1);
+  EXPECT_EQ(inner.num_qubits(), 13u);
+  EXPECT_EQ(core.num_qubits(), 169u);
+
+  Circuit logical;
+  logical.append(GateType::kPrepZ, 0);
+  logical.append_in_new_slot(Operation{GateType::kX, 0});
+  logical.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+  outer.add(logical);
+  outer.execute();
+  EXPECT_EQ(outer.get_state()[0], BinaryValue::kOne);
+}
+
+TEST(ConcatenationTest, SteaneOverSteaneCorrectsInnerLogicalErrors) {
+  // A *logical* error on one inner code block is a single-qubit error
+  // from the outer code's point of view; the outer QEC round fixes it.
+  ChpCore core(5);
+  SteaneLayer inner(&core);
+  SteaneLayer outer(&inner);
+  outer.create_qubits(1);
+  Circuit prep;
+  prep.append(GateType::kPrepZ, 0);
+  outer.add(prep);
+  outer.execute();
+  // Inner logical X on inner block 2 = X on its 7 physical qubits.
+  Circuit inner_logical_error;
+  for (int d = 0; d < 7; ++d) {
+    inner_logical_error.append(
+        GateType::kX, qec::SteaneCode::data_qubit(SteaneLayer::base_of(2), d));
+  }
+  run(core, inner_logical_error);
+  outer.run_qec_round(0);
+  EXPECT_FALSE(outer.has_observable_errors(0));
+  EXPECT_EQ(outer.measure_logical_stabilizer(0, CheckType::kZ), +1);
+}
+
+TEST(ConcatenationTest, NinjaStarOverSteane) {
+  // SC17 on top of Steane: 17 Steane logical qubits = 221 physical.
+  ChpCore core(7);
+  SteaneLayer inner(&core);
+  NinjaStarLayer outer(&inner);
+  outer.create_qubits(1);
+  EXPECT_EQ(core.num_qubits(), 221u);
+  outer.initialize(0, CheckType::kZ);
+  EXPECT_FALSE(outer.has_observable_errors(0));
+  Circuit logical;
+  logical.append(GateType::kX, 0);
+  logical.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+  outer.add(logical);
+  outer.execute();
+  EXPECT_EQ(outer.get_state()[0], BinaryValue::kOne);
+}
+
+TEST(MultiLogicalTest, ThreeQubitGhzOnNinjaStars) {
+  // Three SC17 logical qubits (51 physical): H, CNOT, CNOT -> GHZ;
+  // transversal measurements must agree across all three.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ChpCore core(seed);
+    NinjaStarLayer ninja(&core);
+    ninja.create_qubits(3);
+    Circuit logical;
+    logical.append(GateType::kPrepZ, 0);
+    logical.append(GateType::kPrepZ, 1);
+    logical.append(GateType::kPrepZ, 2);
+    logical.append_in_new_slot(Operation{GateType::kH, 0});
+    logical.append_in_new_slot(Operation{GateType::kCnot, 0, 1});
+    logical.append_in_new_slot(Operation{GateType::kCnot, 1, 2});
+    logical.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+    logical.append_in_new_slot(Operation{GateType::kMeasureZ, 1});
+    logical.append_in_new_slot(Operation{GateType::kMeasureZ, 2});
+    ninja.add(logical);
+    ninja.execute();
+    const BinaryState state = ninja.get_state();
+    ASSERT_NE(state[0], BinaryValue::kUnknown);
+    EXPECT_EQ(state[0], state[1]) << "seed " << seed;
+    EXPECT_EQ(state[1], state[2]) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qpf::arch

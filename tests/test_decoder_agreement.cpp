@@ -1,0 +1,45 @@
+// Cross-decoder validation: for distance 3 the LUT decoder (the SC17
+// rule-based decoder) and the MatchingDecoder (the distance-d decoder)
+// must agree on every correctable syndrome up to stabilizer degeneracy.
+#include <gtest/gtest.h>
+
+#include "qec/lut_decoder.h"
+#include "qec/surface_code.h"
+
+namespace qpf::qec {
+namespace {
+
+TEST(DecoderAgreementTest, SingleErrorSyndromesMatchUpToDegeneracy) {
+  const SurfaceCodeLayout layout(3);
+  for (CheckType basis : {CheckType::kZ, CheckType::kX}) {
+    // Build the LUT from the layout's group masks (same geometry).
+    const std::vector<int>& group = layout.checks_of(basis);
+    std::array<std::uint16_t, 4> masks{};
+    for (std::size_t g = 0; g < group.size(); ++g) {
+      for (int q : layout.checks()[static_cast<std::size_t>(group[g])]
+                       .support) {
+        masks[g] = static_cast<std::uint16_t>(masks[g] | (1u << q));
+      }
+    }
+    const LutDecoder lut(masks);
+    const MatchingDecoder matcher(layout, basis);
+    for (unsigned syndrome = 0; syndrome < 16; ++syndrome) {
+      const std::vector<int>& lut_fix = lut.decode(syndrome);
+      std::vector<int> defects;
+      for (unsigned bit = 0; bit < 4; ++bit) {
+        if (syndrome & (1u << bit)) {
+          defects.push_back(static_cast<int>(bit));
+        }
+      }
+      const std::vector<int> match_fix = matcher.decode(defects);
+      // Same weight (both are minimum-weight)...
+      EXPECT_EQ(lut_fix.size(), match_fix.size()) << "syndrome " << syndrome;
+      // ...and the same signature (both clear the syndrome exactly).
+      EXPECT_EQ(lut.signature(lut_fix), lut.signature(match_fix))
+          << "syndrome " << syndrome;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qpf::qec

@@ -1,0 +1,112 @@
+// Unit tests for the gate taxonomy (circuit/gate.h).
+#include "circuit/gate.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf {
+namespace {
+
+TEST(GateTest, ArityMatchesOperandCount) {
+  EXPECT_EQ(arity(GateType::kX), 1);
+  EXPECT_EQ(arity(GateType::kH), 1);
+  EXPECT_EQ(arity(GateType::kT), 1);
+  EXPECT_EQ(arity(GateType::kPrepZ), 1);
+  EXPECT_EQ(arity(GateType::kMeasureZ), 1);
+  EXPECT_EQ(arity(GateType::kCnot), 2);
+  EXPECT_EQ(arity(GateType::kCz), 2);
+  EXPECT_EQ(arity(GateType::kSwap), 2);
+}
+
+TEST(GateTest, PauliCategory) {
+  EXPECT_EQ(category(GateType::kI), GateCategory::kPauli);
+  EXPECT_EQ(category(GateType::kX), GateCategory::kPauli);
+  EXPECT_EQ(category(GateType::kY), GateCategory::kPauli);
+  EXPECT_EQ(category(GateType::kZ), GateCategory::kPauli);
+}
+
+TEST(GateTest, CliffordCategory) {
+  EXPECT_EQ(category(GateType::kH), GateCategory::kClifford);
+  EXPECT_EQ(category(GateType::kS), GateCategory::kClifford);
+  EXPECT_EQ(category(GateType::kSdag), GateCategory::kClifford);
+  EXPECT_EQ(category(GateType::kCnot), GateCategory::kClifford);
+  EXPECT_EQ(category(GateType::kCz), GateCategory::kClifford);
+  EXPECT_EQ(category(GateType::kSwap), GateCategory::kClifford);
+}
+
+TEST(GateTest, NonCliffordCategory) {
+  EXPECT_EQ(category(GateType::kT), GateCategory::kNonClifford);
+  EXPECT_EQ(category(GateType::kTdag), GateCategory::kNonClifford);
+}
+
+TEST(GateTest, PrepAndMeasureCategories) {
+  EXPECT_EQ(category(GateType::kPrepZ), GateCategory::kInitialization);
+  EXPECT_EQ(category(GateType::kMeasureZ), GateCategory::kMeasurement);
+}
+
+TEST(GateTest, PaulisAreClifford) {
+  for (GateType g : {GateType::kI, GateType::kX, GateType::kY, GateType::kZ}) {
+    EXPECT_TRUE(is_pauli(g));
+    EXPECT_TRUE(is_clifford(g));
+    EXPECT_FALSE(is_non_clifford(g));
+  }
+}
+
+TEST(GateTest, TGatesAreNotClifford) {
+  EXPECT_FALSE(is_clifford(GateType::kT));
+  EXPECT_TRUE(is_non_clifford(GateType::kT));
+  EXPECT_FALSE(is_clifford(GateType::kTdag));
+}
+
+TEST(GateTest, UnitaryPredicate) {
+  EXPECT_TRUE(is_unitary(GateType::kX));
+  EXPECT_TRUE(is_unitary(GateType::kT));
+  EXPECT_FALSE(is_unitary(GateType::kPrepZ));
+  EXPECT_FALSE(is_unitary(GateType::kMeasureZ));
+}
+
+TEST(GateTest, SelfInverseGates) {
+  for (GateType g : {GateType::kI, GateType::kX, GateType::kY, GateType::kZ,
+                     GateType::kH, GateType::kCnot, GateType::kCz,
+                     GateType::kSwap}) {
+    ASSERT_TRUE(inverse(g).has_value());
+    EXPECT_EQ(*inverse(g), g);
+  }
+}
+
+TEST(GateTest, PhaseGateInverses) {
+  EXPECT_EQ(*inverse(GateType::kS), GateType::kSdag);
+  EXPECT_EQ(*inverse(GateType::kSdag), GateType::kS);
+  EXPECT_EQ(*inverse(GateType::kT), GateType::kTdag);
+  EXPECT_EQ(*inverse(GateType::kTdag), GateType::kT);
+}
+
+TEST(GateTest, NonUnitaryHasNoInverse) {
+  EXPECT_FALSE(inverse(GateType::kPrepZ).has_value());
+  EXPECT_FALSE(inverse(GateType::kMeasureZ).has_value());
+}
+
+class GateNameRoundTrip : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(GateNameRoundTrip, ParseInvertsName) {
+  const GateType g = GetParam();
+  const auto parsed = parse_gate(name(g));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, g);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, GateNameRoundTrip,
+                         ::testing::ValuesIn(kAllGateTypes));
+
+TEST(GateTest, ParseAliases) {
+  EXPECT_EQ(*parse_gate("cx"), GateType::kCnot);
+  EXPECT_EQ(*parse_gate("id"), GateType::kI);
+  EXPECT_EQ(*parse_gate("m"), GateType::kMeasureZ);
+}
+
+TEST(GateTest, ParseUnknownFails) {
+  EXPECT_FALSE(parse_gate("toffoli").has_value());
+  EXPECT_FALSE(parse_gate("").has_value());
+}
+
+}  // namespace
+}  // namespace qpf

@@ -1,0 +1,86 @@
+// Tests for the QISA encoding and the assembler (qcu/isa.h).
+#include "qcu/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf::qcu {
+namespace {
+
+TEST(IsaTest, EncodeDecodeRoundTrip) {
+  const Instruction samples[] = {
+      {Opcode::kNop, 0, 0},       {Opcode::kPrep, 5, 0},
+      {Opcode::kMeasure, 16, 0},  {Opcode::kX, 4095, 0},
+      {Opcode::kCnot, 3, 20},     {Opcode::kQecSlot, 0, 0},
+      {Opcode::kLogicalMeasure, 2, 0}, {Opcode::kMapPatch, 1, 3},
+      {Opcode::kHalt, 0, 0},
+  };
+  for (const Instruction& instruction : samples) {
+    EXPECT_EQ(decode(encode(instruction)), instruction)
+        << to_assembly(instruction);
+  }
+}
+
+TEST(IsaTest, EncodeRejectsWideOperands) {
+  EXPECT_THROW((void)encode({Opcode::kX, 4096, 0}), std::invalid_argument);
+  EXPECT_THROW((void)encode({Opcode::kCnot, 0, 5000}), std::invalid_argument);
+}
+
+TEST(IsaTest, DecodeRejectsUnknownOpcode) {
+  EXPECT_THROW((void)decode(0xFF000000u), std::invalid_argument);
+}
+
+TEST(IsaTest, GateOpcodeMapping) {
+  for (GateType g : kAllGateTypes) {
+    const Opcode op = opcode_of(g);
+    if (g == GateType::kPrepZ) {
+      EXPECT_EQ(op, Opcode::kPrep);
+    } else if (g == GateType::kMeasureZ) {
+      EXPECT_EQ(op, Opcode::kMeasure);
+    } else {
+      ASSERT_TRUE(gate_of(op).has_value()) << name(g);
+      EXPECT_EQ(*gate_of(op), g);
+    }
+  }
+  EXPECT_FALSE(gate_of(Opcode::kQecSlot).has_value());
+  EXPECT_FALSE(gate_of(Opcode::kHalt).has_value());
+}
+
+TEST(IsaTest, AssembleDisassembleRoundTrip) {
+  const std::string text =
+      "map p0 s0\n"
+      "x v2\n"
+      "cnot v0,v17\n"
+      "qec\n"
+      "measure v3\n"
+      "lmeas p0\n"
+      "unmap p0\n"
+      "halt\n";
+  const std::vector<Instruction> program = assemble(text);
+  ASSERT_EQ(program.size(), 8u);
+  EXPECT_EQ(program[0], (Instruction{Opcode::kMapPatch, 0, 0}));
+  EXPECT_EQ(program[1], (Instruction{Opcode::kX, 2, 0}));
+  EXPECT_EQ(program[2], (Instruction{Opcode::kCnot, 0, 17}));
+  EXPECT_EQ(program[3], (Instruction{Opcode::kQecSlot, 0, 0}));
+  EXPECT_EQ(program[7], (Instruction{Opcode::kHalt, 0, 0}));
+  EXPECT_EQ(assemble(disassemble(program)), program);
+}
+
+TEST(IsaTest, AssemblerSkipsCommentsAndBlanks) {
+  const auto program = assemble("# header\n\n  x v1  # inline comment\n");
+  ASSERT_EQ(program.size(), 1u);
+  EXPECT_EQ(program[0], (Instruction{Opcode::kX, 1, 0}));
+}
+
+TEST(IsaTest, AssemblerErrors) {
+  EXPECT_THROW((void)assemble("frobnicate v0\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("x\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("x p0\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("cnot v0\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("x v0,v1\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("map p0\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("x v9999\n"), std::runtime_error);
+  EXPECT_THROW((void)assemble("halt v0\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qpf::qcu

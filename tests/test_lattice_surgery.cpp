@@ -1,0 +1,273 @@
+// Tests for lattice surgery: the smooth merge's joint X_A X_B
+// measurement and the split with its classical fixups, verified on the
+// stabilizer tableau.
+#include "qec/lattice_surgery.h"
+
+#include <gtest/gtest.h>
+
+#include "stabilizer/tableau.h"
+
+namespace qpf::qec {
+namespace {
+
+using stab::PauliString;
+using stab::Tableau;
+
+constexpr std::size_t kTotalQubits = 57;  // 17 + 17 + 3 + 20
+
+// Build Pauli strings for the patch logicals on the real registers.
+PauliString logical(const LatticeSurgery& surgery, char pauli, char patch) {
+  const Qubit base = patch == 'a' ? surgery.registers().base_a
+                                  : surgery.registers().base_b;
+  PauliString out(kTotalQubits);
+  const auto chain = pauli == 'x' ? surgery.patch_layout().logical_x_data()
+                                  : surgery.patch_layout().logical_z_data();
+  for (int local : chain) {
+    out.set_pauli(base + static_cast<std::size_t>(local),
+                  pauli == 'x' ? stab::Pauli::kX : stab::Pauli::kZ);
+  }
+  return out;
+}
+
+PauliString joint(const PauliString& a, const PauliString& b) {
+  PauliString out(kTotalQubits);
+  for (std::size_t q = 0; q < kTotalQubits; ++q) {
+    if (a.pauli(q) != stab::Pauli::kI) {
+      out.set_pauli(q, a.pauli(q));
+    } else if (b.pauli(q) != stab::Pauli::kI) {
+      out.set_pauli(q, b.pauli(q));
+    }
+  }
+  return out;
+}
+
+// Initialize one 3x3 patch to |0>_L on the tableau (clean): reset,
+// ESM round, gauge-fix the X checks with Z corrections commuting with
+// the logicals (chains along column 1... any Z chain works for |0>_L;
+// use the patch's own matching decoder, whose Z corrections always
+// commute with Z_L).
+void initialize_zero(Tableau& t, const SurfaceCodeLayout& layout,
+                     Qubit base) {
+  t.execute(layout.reset_circuit(base));
+  t.execute(layout.esm_circuit(base));
+  const auto results = t.take_measurements();
+  const MatchingDecoder decoder(layout, CheckType::kX);
+  const std::vector<int>& group = layout.checks_of(CheckType::kX);
+  std::vector<int> defects;
+  for (std::size_t g = 0; g < group.size(); ++g) {
+    if (results[static_cast<std::size_t>(group[g])].value) {
+      defects.push_back(static_cast<int>(g));
+    }
+  }
+  for (int local : decoder.decode(defects)) {
+    t.apply_z(base + static_cast<Qubit>(local));
+  }
+}
+
+struct SurgeryRun {
+  int xx = 0;                     // extracted joint X_A X_B outcome
+  LatticeSurgery::SplitFixups fixups;
+};
+
+// Full merge + split + fixups; leaves the tableau in the post-surgery
+// two-patch state.
+SurgeryRun run_surgery(Tableau& t, const LatticeSurgery& surgery) {
+  t.execute(surgery.seam_preparation_circuit());
+  // Merge: one projective merged round fixes the joint observable.
+  t.execute(surgery.merged_esm_circuit());
+  auto round_results = t.take_measurements();
+  std::vector<std::uint8_t> round(surgery.merged_checks(), 0);
+  for (std::size_t k = 0; k < round.size(); ++k) {
+    round[k] = round_results[k].value ? 1 : 0;
+  }
+  SurgeryRun run;
+  run.xx = surgery.joint_xx_sign(round);
+  // A second merged round must reproduce every check deterministically.
+  t.execute(surgery.merged_esm_circuit());
+  auto confirm = t.take_measurements();
+  for (std::size_t k = 0; k < round.size(); ++k) {
+    EXPECT_TRUE(confirm[k].deterministic) << "check " << k;
+    EXPECT_EQ(confirm[k].value, round[k] != 0) << "check " << k;
+  }
+  // Split and apply the classical fixups.
+  t.execute(surgery.split_circuit());
+  auto split_results = t.take_measurements();
+  std::array<bool, 3> routing{split_results[0].value, split_results[1].value,
+                              split_results[2].value};
+  run.fixups = surgery.split_fixups(round, routing);
+  t.execute(surgery.gauge_fixup_circuit(run.fixups));
+  if (run.fixups.zz_sign < 0) {
+    t.execute(surgery.zz_fixup_circuit());
+  }
+  return run;
+}
+
+// After surgery both patches must again be clean code patches: every
+// patch stabilizer reads +1.
+void expect_clean_patches(Tableau& t, const LatticeSurgery& surgery) {
+  for (const Qubit base :
+       {surgery.registers().base_a, surgery.registers().base_b}) {
+    for (const SurfaceCheck& check : surgery.patch_layout().checks()) {
+      PauliString p(kTotalQubits);
+      for (int q : check.support) {
+        p.set_pauli(base + static_cast<std::size_t>(q),
+                    check.type == CheckType::kX ? stab::Pauli::kX
+                                                : stab::Pauli::kZ);
+      }
+      EXPECT_EQ(t.expectation(p), +1)
+          << "patch base " << base << " check ancilla " << check.ancilla;
+    }
+  }
+}
+
+TEST(LatticeSurgeryTest, XxSubsetReproducesTheJointLogical) {
+  const LatticeSurgery surgery;
+  // The product of the subset's supports must equal columns 0 and 4.
+  std::uint32_t combined = 0;
+  for (int k : surgery.xx_check_subset()) {
+    for (int q : surgery.merged_layout().checks()[static_cast<std::size_t>(k)]
+                     .support) {
+      combined ^= 1u << q;
+    }
+  }
+  std::uint32_t target = 0;
+  for (int r = 0; r < 3; ++r) {
+    target |= 1u << (r * 7 + 0);
+    target |= 1u << (r * 7 + 4);
+  }
+  EXPECT_EQ(combined, target);
+}
+
+TEST(LatticeSurgeryTest, RegisterMappingCoversAllBlocks) {
+  const LatticeSurgery surgery;
+  EXPECT_EQ(surgery.merged_data_register(0), 0u);            // A(0,0)
+  EXPECT_EQ(surgery.merged_data_register(2), 2u);            // A(0,2)
+  EXPECT_EQ(surgery.merged_data_register(3), 34u);           // routing 0
+  EXPECT_EQ(surgery.merged_data_register(4), 17u);           // B(0,0)
+  EXPECT_EQ(surgery.merged_data_register(10), 35u);          // routing 1
+  EXPECT_EQ(surgery.merged_data_register(20), 17u + 8u);     // B(2,2)
+  EXPECT_THROW((void)surgery.merged_data_register(21), std::out_of_range);
+}
+
+TEST(LatticeSurgeryTest, PlusPlusStatesGiveDeterministicPlusOne) {
+  // |+>_L |+>_L: X_A = X_B = +1, so the joint measurement must read +1.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Tableau t(kTotalQubits, seed);
+    const LatticeSurgery surgery;
+    initialize_zero(t, surgery.patch_layout(), surgery.registers().base_a);
+    initialize_zero(t, surgery.patch_layout(), surgery.registers().base_b);
+    // Transversal H turns |0>_L into |+>_L (and the patch layout into
+    // its dual; for the joint measurement only X_A X_B matters, and on
+    // the self-dual-symmetric rotated patch the merged procedure reads
+    // the X logicals regardless).
+    // Instead of rotating the lattice, prepare |+>_L directly:
+    // reset, transversal H, project, gauge-fix Z checks with X chains
+    // from the matching decoder (commute with X_L).
+    t.execute(surgery.patch_layout().reset_circuit(
+        surgery.registers().base_a));
+    t.execute(surgery.patch_layout().transversal_h_circuit(
+        surgery.registers().base_a));
+    t.execute(
+        surgery.patch_layout().esm_circuit(surgery.registers().base_a));
+    auto results_a = t.take_measurements();
+    const MatchingDecoder z_decoder(surgery.patch_layout(), CheckType::kZ);
+    const std::vector<int>& z_group =
+        surgery.patch_layout().checks_of(CheckType::kZ);
+    std::vector<int> defects;
+    for (std::size_t g = 0; g < z_group.size(); ++g) {
+      if (results_a[static_cast<std::size_t>(z_group[g])].value) {
+        defects.push_back(static_cast<int>(g));
+      }
+    }
+    for (int local : z_decoder.decode(defects)) {
+      t.apply_x(surgery.registers().base_a + static_cast<Qubit>(local));
+    }
+    // Same for patch B.
+    t.execute(surgery.patch_layout().reset_circuit(
+        surgery.registers().base_b));
+    t.execute(surgery.patch_layout().transversal_h_circuit(
+        surgery.registers().base_b));
+    t.execute(
+        surgery.patch_layout().esm_circuit(surgery.registers().base_b));
+    auto results_b = t.take_measurements();
+    defects.clear();
+    for (std::size_t g = 0; g < z_group.size(); ++g) {
+      if (results_b[static_cast<std::size_t>(z_group[g])].value) {
+        defects.push_back(static_cast<int>(g));
+      }
+    }
+    for (int local : z_decoder.decode(defects)) {
+      t.apply_x(surgery.registers().base_b + static_cast<Qubit>(local));
+    }
+    ASSERT_EQ(t.expectation(logical(surgery, 'x', 'a')), +1);
+    ASSERT_EQ(t.expectation(logical(surgery, 'x', 'b')), +1);
+
+    Tableau merged = t;
+    merged.execute(surgery.seam_preparation_circuit());
+    merged.execute(surgery.merged_esm_circuit());
+    auto round_results = merged.take_measurements();
+    std::vector<std::uint8_t> round(surgery.merged_checks(), 0);
+    for (std::size_t k = 0; k < round.size(); ++k) {
+      round[k] = round_results[k].value ? 1 : 0;
+    }
+    EXPECT_EQ(surgery.joint_xx_sign(round), +1) << "seed " << seed;
+  }
+}
+
+TEST(LatticeSurgeryTest, MergeMeasuresTheJointXxObservable) {
+  // From |00>_L the joint outcome is random, but the extracted sign
+  // must match the post-merge tableau expectation of X_A X_B.
+  int minus_seen = 0;
+  int plus_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Tableau t(kTotalQubits, seed);
+    const LatticeSurgery surgery;
+    initialize_zero(t, surgery.patch_layout(), surgery.registers().base_a);
+    initialize_zero(t, surgery.patch_layout(), surgery.registers().base_b);
+    t.execute(surgery.seam_preparation_circuit());
+    t.execute(surgery.merged_esm_circuit());
+    auto round_results = t.take_measurements();
+    std::vector<std::uint8_t> round(surgery.merged_checks(), 0);
+    for (std::size_t k = 0; k < round.size(); ++k) {
+      round[k] = round_results[k].value ? 1 : 0;
+    }
+    const int xx = surgery.joint_xx_sign(round);
+    const PauliString xx_operator =
+        joint(logical(surgery, 'x', 'a'), logical(surgery, 'x', 'b'));
+    EXPECT_EQ(t.expectation(xx_operator), xx) << "seed " << seed;
+    (xx == 1 ? plus_seen : minus_seen) += 1;
+  }
+  EXPECT_GT(plus_seen, 0);
+  EXPECT_GT(minus_seen, 0);
+}
+
+TEST(LatticeSurgeryTest, MergeSplitCreatesLogicalBellPair) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Tableau t(kTotalQubits, seed);
+    const LatticeSurgery surgery;
+    initialize_zero(t, surgery.patch_layout(), surgery.registers().base_a);
+    initialize_zero(t, surgery.patch_layout(), surgery.registers().base_b);
+    const SurgeryRun run = run_surgery(t, surgery);
+
+    // Both patches are clean code patches again.
+    expect_clean_patches(t, surgery);
+    // X_A X_B retains the measured sign through the split and fixups
+    // (the Z-type fixups commute with the X logicals).
+    const PauliString xx =
+        joint(logical(surgery, 'x', 'a'), logical(surgery, 'x', 'b'));
+    EXPECT_EQ(t.expectation(xx), run.xx) << "seed " << seed;
+    // Z_A Z_B was +1 before surgery (both |0>_L); the zz fixup restores
+    // it after the split.
+    const PauliString zz =
+        joint(logical(surgery, 'z', 'a'), logical(surgery, 'z', 'b'));
+    EXPECT_EQ(t.expectation(zz), +1) << "seed " << seed;
+    // The individual logicals are maximally mixed: entanglement.
+    EXPECT_EQ(t.expectation(logical(surgery, 'z', 'a')), 0)
+        << "seed " << seed;
+    EXPECT_EQ(t.expectation(logical(surgery, 'x', 'b')), 0)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qpf::qec

@@ -1,0 +1,307 @@
+// The lattice-surgery CNOT (Horsman et al. [14]): with an ancilla patch
+// in |+>_L, measure Z_C Z_A (rough merge/split), then X_A X_T (smooth
+// merge/split), then Z_A transversally; Pauli-correct from the three
+// outcomes.  Verified against the CNOT truth table and entanglement
+// signatures on the stabilizer tableau.
+#include <gtest/gtest.h>
+
+#include "qec/lattice_surgery.h"
+#include "stabilizer/tableau.h"
+
+namespace qpf::qec {
+namespace {
+
+using stab::PauliString;
+using stab::Tableau;
+
+// Register plan: C @0, A @17, T @34, vertical routing @51, horizontal
+// routing @54, merged-ancilla scratch @57 (20 qubits) -> 77 total.
+constexpr Qubit kBaseC = 0;
+constexpr Qubit kBaseA = 17;
+constexpr Qubit kBaseT = 34;
+constexpr Qubit kRoutingV = 51;
+constexpr Qubit kRoutingH = 54;
+constexpr Qubit kMergedAncillas = 57;
+constexpr std::size_t kTotal = 77;
+
+const SurfaceCodeLayout& patch3() {
+  static const SurfaceCodeLayout layout(3);
+  return layout;
+}
+
+void initialize_zero(Tableau& t, Qubit base) {
+  t.execute(patch3().reset_circuit(base));
+  t.execute(patch3().esm_circuit(base));
+  const auto results = t.take_measurements();
+  const MatchingDecoder decoder(patch3(), CheckType::kX);
+  const std::vector<int>& group = patch3().checks_of(CheckType::kX);
+  std::vector<int> defects;
+  for (std::size_t g = 0; g < group.size(); ++g) {
+    if (results[static_cast<std::size_t>(group[g])].value) {
+      defects.push_back(static_cast<int>(g));
+    }
+  }
+  for (int local : decoder.decode(defects)) {
+    t.apply_z(base + static_cast<Qubit>(local));
+  }
+}
+
+void initialize_plus(Tableau& t, Qubit base) {
+  t.execute(patch3().reset_circuit(base));
+  t.execute(patch3().transversal_h_circuit(base));
+  t.execute(patch3().esm_circuit(base));
+  const auto results = t.take_measurements();
+  const MatchingDecoder decoder(patch3(), CheckType::kZ);
+  const std::vector<int>& group = patch3().checks_of(CheckType::kZ);
+  std::vector<int> defects;
+  for (std::size_t g = 0; g < group.size(); ++g) {
+    if (results[static_cast<std::size_t>(group[g])].value) {
+      defects.push_back(static_cast<int>(g));
+    }
+  }
+  for (int local : decoder.decode(defects)) {
+    t.apply_x(base + static_cast<Qubit>(local));
+  }
+}
+
+PauliString chain(Qubit base, char pauli) {
+  PauliString out(kTotal);
+  const auto locals = pauli == 'x' ? patch3().logical_x_data()
+                                   : patch3().logical_z_data();
+  for (int local : locals) {
+    out.set_pauli(base + static_cast<std::size_t>(local),
+                  pauli == 'x' ? stab::Pauli::kX : stab::Pauli::kZ);
+  }
+  return out;
+}
+
+PauliString product(const PauliString& a, const PauliString& b) {
+  PauliString out(kTotal);
+  for (std::size_t q = 0; q < kTotal; ++q) {
+    out.set_pauli(q, a.pauli(q) != stab::Pauli::kI ? a.pauli(q) : b.pauli(q));
+  }
+  return out;
+}
+
+void apply_logical_x(Tableau& t, Qubit base) {
+  for (int local : patch3().logical_x_data()) {
+    t.apply_x(base + static_cast<Qubit>(local));
+  }
+}
+
+// The full lattice-surgery CNOT, control C -> target T.
+void surgery_cnot(Tableau& t) {
+  // Ancilla patch in |+>_L.
+  initialize_plus(t, kBaseA);
+
+  // --- Rough merge/split C (top) with A (bottom): measure Z_C Z_A. ---
+  RoughLatticeSurgery::Registers rough_registers;
+  rough_registers.base_a = kBaseC;
+  rough_registers.base_b = kBaseA;
+  rough_registers.routing = kRoutingV;
+  rough_registers.merged_ancillas = kMergedAncillas;
+  const RoughLatticeSurgery rough(rough_registers);
+  t.execute(rough.seam_preparation_circuit());
+  t.execute(rough.merged_esm_circuit());
+  auto rough_results = t.take_measurements();
+  std::vector<std::uint8_t> rough_round(rough.merged_checks(), 0);
+  for (std::size_t k = 0; k < rough_round.size(); ++k) {
+    rough_round[k] = rough_results[k].value ? 1 : 0;
+  }
+  const int m1 = rough.joint_zz_sign(rough_round);
+  t.execute(rough.split_circuit());
+  auto rough_split = t.take_measurements();
+  const auto rough_fixups = rough.split_fixups(
+      rough_round,
+      {rough_split[0].value, rough_split[1].value, rough_split[2].value});
+  t.execute(rough.gauge_fixup_circuit(rough_fixups));
+  if (rough_fixups.xx_sign < 0) {
+    t.execute(rough.xx_fixup_circuit());
+  }
+
+  // --- Smooth merge/split A (left) with T (right): measure X_A X_T. ---
+  LatticeSurgery::Registers smooth_registers;
+  smooth_registers.base_a = kBaseA;
+  smooth_registers.base_b = kBaseT;
+  smooth_registers.routing = kRoutingH;
+  smooth_registers.merged_ancillas = kMergedAncillas;
+  const LatticeSurgery smooth(smooth_registers);
+  t.execute(smooth.seam_preparation_circuit());
+  t.execute(smooth.merged_esm_circuit());
+  auto smooth_results = t.take_measurements();
+  std::vector<std::uint8_t> smooth_round(smooth.merged_checks(), 0);
+  for (std::size_t k = 0; k < smooth_round.size(); ++k) {
+    smooth_round[k] = smooth_results[k].value ? 1 : 0;
+  }
+  const int m2 = smooth.joint_xx_sign(smooth_round);
+  t.execute(smooth.split_circuit());
+  auto smooth_split = t.take_measurements();
+  const auto smooth_fixups = smooth.split_fixups(
+      smooth_round,
+      {smooth_split[0].value, smooth_split[1].value, smooth_split[2].value});
+  t.execute(smooth.gauge_fixup_circuit(smooth_fixups));
+  if (smooth_fixups.zz_sign < 0) {
+    t.execute(smooth.zz_fixup_circuit());
+  }
+
+  // --- Transversal Z measurement of the ancilla patch. ---
+  t.execute(patch3().measure_circuit(kBaseA));
+  auto ancilla_results = t.take_measurements();
+  int m3 = +1;
+  for (const auto& result : ancilla_results) {
+    m3 = result.value ? -m3 : m3;
+  }
+
+  // --- Pauli corrections. ---
+  if ((m1 < 0) != (m3 < 0)) {
+    apply_logical_x(t, kBaseT);
+  }
+  if (m2 < 0) {
+    for (int local : patch3().logical_z_data()) {
+      t.apply_z(kBaseC + static_cast<Qubit>(local));
+    }
+  }
+}
+
+void expect_clean(Tableau& t, Qubit base) {
+  for (const SurfaceCheck& check : patch3().checks()) {
+    PauliString p(kTotal);
+    for (int q : check.support) {
+      p.set_pauli(base + static_cast<std::size_t>(q),
+                  check.type == CheckType::kX ? stab::Pauli::kX
+                                              : stab::Pauli::kZ);
+    }
+    EXPECT_EQ(t.expectation(p), +1)
+        << "base " << base << " ancilla " << check.ancilla;
+  }
+}
+
+TEST(LatticeSurgeryCnotTest, TruthTableOnBasisStates) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (int control_one = 0; control_one <= 1; ++control_one) {
+      Tableau t(kTotal, seed * 37 + static_cast<std::uint64_t>(control_one));
+      initialize_zero(t, kBaseC);
+      initialize_zero(t, kBaseT);
+      if (control_one != 0) {
+        apply_logical_x(t, kBaseC);
+      }
+      surgery_cnot(t);
+      expect_clean(t, kBaseC);
+      expect_clean(t, kBaseT);
+      const int expected = control_one != 0 ? -1 : +1;
+      EXPECT_EQ(t.expectation(chain(kBaseC, 'z')), expected)
+          << "seed " << seed << " control " << control_one;
+      EXPECT_EQ(t.expectation(chain(kBaseT, 'z')), expected)
+          << "seed " << seed << " control " << control_one;
+    }
+  }
+}
+
+TEST(LatticeSurgeryCnotTest, PlusControlCreatesBellPair) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Tableau t(kTotal, seed);
+    initialize_plus(t, kBaseC);
+    initialize_zero(t, kBaseT);
+    surgery_cnot(t);
+    expect_clean(t, kBaseC);
+    expect_clean(t, kBaseT);
+    EXPECT_EQ(t.expectation(product(chain(kBaseC, 'z'), chain(kBaseT, 'z'))),
+              +1)
+        << "seed " << seed;
+    EXPECT_EQ(t.expectation(product(chain(kBaseC, 'x'), chain(kBaseT, 'x'))),
+              +1)
+        << "seed " << seed;
+    EXPECT_EQ(t.expectation(chain(kBaseC, 'z')), 0) << "seed " << seed;
+  }
+}
+
+TEST(LatticeSurgeryCnotTest, PlusTargetIsFixedPoint) {
+  // CNOT |0>|+> = |0>|+>: X_T survives, Z_C survives.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Tableau t(kTotal, seed + 100);
+    initialize_zero(t, kBaseC);
+    initialize_plus(t, kBaseT);
+    surgery_cnot(t);
+    EXPECT_EQ(t.expectation(chain(kBaseC, 'z')), +1) << "seed " << seed;
+    EXPECT_EQ(t.expectation(chain(kBaseT, 'x')), +1) << "seed " << seed;
+  }
+}
+
+TEST(LatticeSurgeryCnotTest, PhaseKickback) {
+  // CNOT |+>|-> = |->|->: the phase kicks back onto the control.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Tableau t(kTotal, seed + 200);
+    initialize_plus(t, kBaseC);
+    initialize_plus(t, kBaseT);
+    // Turn the target into |->_L.
+    for (int local : patch3().logical_z_data()) {
+      t.apply_z(kBaseT + static_cast<Qubit>(local));
+    }
+    surgery_cnot(t);
+    EXPECT_EQ(t.expectation(chain(kBaseC, 'x')), -1) << "seed " << seed;
+    EXPECT_EQ(t.expectation(chain(kBaseT, 'x')), -1) << "seed " << seed;
+  }
+}
+
+TEST(RoughLatticeSurgeryTest, ZzSubsetReproducesTheJointLogical) {
+  const RoughLatticeSurgery rough;
+  std::uint32_t combined = 0;
+  for (int k : rough.zz_check_subset()) {
+    for (int q :
+         rough.merged_layout().checks()[static_cast<std::size_t>(k)].support) {
+      combined ^= 1u << q;
+    }
+  }
+  std::uint32_t target = 0;
+  for (int c = 0; c < 3; ++c) {
+    target |= 1u << (0 * 3 + c);
+    target |= 1u << (4 * 3 + c);
+  }
+  EXPECT_EQ(combined, target);
+}
+
+TEST(RoughLatticeSurgeryTest, MergeMeasuresZzAndSplitPreservesIt) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Tableau t(kTotal, seed + 300);
+    RoughLatticeSurgery::Registers registers;
+    registers.base_a = kBaseC;
+    registers.base_b = kBaseA;
+    registers.routing = kRoutingV;
+    registers.merged_ancillas = kMergedAncillas;
+    const RoughLatticeSurgery rough(registers);
+    initialize_plus(t, kBaseC);
+    initialize_plus(t, kBaseA);
+    t.execute(rough.seam_preparation_circuit());
+    t.execute(rough.merged_esm_circuit());
+    auto results = t.take_measurements();
+    std::vector<std::uint8_t> round(rough.merged_checks(), 0);
+    for (std::size_t k = 0; k < round.size(); ++k) {
+      round[k] = results[k].value ? 1 : 0;
+    }
+    const int m = rough.joint_zz_sign(round);
+    EXPECT_EQ(t.expectation(product(chain(kBaseC, 'z'), chain(kBaseA, 'z'))),
+              m)
+        << "seed " << seed;
+    // Split, fix, and confirm the joint value survives and both
+    // patches are clean (X_C X_A was +1 from |+>|+> and is restored).
+    t.execute(rough.split_circuit());
+    auto split = t.take_measurements();
+    const auto fixups = rough.split_fixups(
+        round, {split[0].value, split[1].value, split[2].value});
+    t.execute(rough.gauge_fixup_circuit(fixups));
+    if (fixups.xx_sign < 0) {
+      t.execute(rough.xx_fixup_circuit());
+    }
+    expect_clean(t, kBaseC);
+    expect_clean(t, kBaseA);
+    EXPECT_EQ(t.expectation(product(chain(kBaseC, 'z'), chain(kBaseA, 'z'))),
+              m)
+        << "seed " << seed;
+    EXPECT_EQ(t.expectation(product(chain(kBaseC, 'x'), chain(kBaseA, 'x'))),
+              +1)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace qpf::qec

@@ -1,0 +1,106 @@
+// Tests for the LUT decoder (spatial tables + temporal majority vote).
+#include "qec/lut_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "qec/sc17.h"
+
+namespace qpf::qec {
+namespace {
+
+// Z-check masks of the SC17 (flag X errors).
+constexpr std::array<std::uint16_t, 4> kZCheckMasks{
+    0b000001001, 0b000110110, 0b011011000, 0b100100000};
+// X-check masks (flag Z errors).
+constexpr std::array<std::uint16_t, 4> kXCheckMasks{
+    0b000011011, 0b000000110, 0b110110000, 0b011000000};
+
+TEST(LutDecoderTest, SingleQubitSignatures) {
+  const LutDecoder lut(kZCheckMasks);
+  EXPECT_EQ(lut.signature(0), 0b0001u);  // D0 in Z0Z3 only
+  EXPECT_EQ(lut.signature(3), 0b0101u);  // D3 in Z0Z3 and Z3Z4Z6Z7
+  EXPECT_EQ(lut.signature(4), 0b0110u);  // D4 in Z1Z2Z4Z5 and Z3Z4Z6Z7
+  EXPECT_EQ(lut.signature(8), 0b1000u);  // D8 in Z5Z8 only
+}
+
+TEST(LutDecoderTest, CleanSyndromeDecodesToNothing) {
+  const LutDecoder lut(kZCheckMasks);
+  EXPECT_TRUE(lut.decode(0).empty());
+}
+
+TEST(LutDecoderTest, SingleErrorsDecodeToSingleQubits) {
+  const LutDecoder lut(kZCheckMasks);
+  for (int q = 0; q < 9; ++q) {
+    const auto& correction = lut.decode(lut.signature(q));
+    ASSERT_EQ(correction.size(), 1u) << "qubit " << q;
+    // The decoded qubit must have the same signature (may be a
+    // degenerate partner like D1 vs D2 — both valid corrections).
+    EXPECT_EQ(lut.signature(correction[0]), lut.signature(q));
+  }
+}
+
+// The defining property: for every syndrome, the correction's combined
+// signature reproduces the syndrome exactly, so applying it clears it.
+class LutCoverage : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LutCoverage, CorrectionSignatureMatchesSyndrome) {
+  const unsigned syndrome = GetParam();
+  for (const auto& masks : {kZCheckMasks, kXCheckMasks}) {
+    const LutDecoder lut(masks);
+    EXPECT_EQ(lut.signature(lut.decode(syndrome)), syndrome);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSyndromes, LutCoverage,
+                         ::testing::Range(0u, 16u));
+
+TEST(LutDecoderTest, CorrectionsAreMinimumWeight) {
+  const LutDecoder lut(kZCheckMasks);
+  for (unsigned s = 0; s < 16; ++s) {
+    const std::size_t got = lut.decode(s).size();
+    // Brute force the true minimum weight.
+    std::size_t best = 99;
+    for (unsigned subset = 0; subset < (1u << 9); ++subset) {
+      unsigned sig = 0;
+      for (int q = 0; q < 9; ++q) {
+        if (subset & (1u << q)) {
+          sig ^= lut.signature(q);
+        }
+      }
+      if (sig == s) {
+        best = std::min<std::size_t>(
+            best, static_cast<std::size_t>(__builtin_popcount(subset)));
+      }
+    }
+    EXPECT_EQ(got, best) << "syndrome " << s;
+  }
+}
+
+TEST(LutDecoderTest, InconsistentMasksRejected) {
+  // A check layout that cannot produce syndrome bit 3.
+  const std::array<std::uint16_t, 4> broken{0b1, 0b10, 0b100, 0b0};
+  EXPECT_THROW(LutDecoder{broken}, std::invalid_argument);
+}
+
+TEST(LutDecoderTest, BadArgumentsThrow) {
+  const LutDecoder lut(kZCheckMasks);
+  EXPECT_THROW((void)lut.decode(16), std::out_of_range);
+  EXPECT_THROW((void)lut.signature(9), std::out_of_range);
+  EXPECT_THROW((void)lut.signature(-1), std::out_of_range);
+}
+
+TEST(MajorityVoteTest, FiltersSingleMeasurementErrors) {
+  // A transient bit present in exactly one round does not survive.
+  EXPECT_EQ(majority_syndrome(0b0000, 0b0100, 0b0000), 0b0000u);
+  // A persistent data error (appears in rounds 1 and 2) survives.
+  EXPECT_EQ(majority_syndrome(0b0000, 0b0100, 0b0100), 0b0100u);
+  // An error visible only in the last round is deferred.
+  EXPECT_EQ(majority_syndrome(0b0000, 0b0000, 0b0100), 0b0000u);
+  // Carried + both rounds: stable background is preserved.
+  EXPECT_EQ(majority_syndrome(0b1010, 0b1010, 0b1010), 0b1010u);
+  // Per-bit independence.
+  EXPECT_EQ(majority_syndrome(0b0011, 0b0110, 0b1100), 0b0110u);
+}
+
+}  // namespace
+}  // namespace qpf::qec

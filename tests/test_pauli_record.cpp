@@ -1,0 +1,191 @@
+// Exhaustive verification of the Pauli-record mapping tables
+// (Tables 3.2–3.5) — both against the paper's literal entries and
+// semantically against the state-vector simulator: for a Clifford C and
+// record R, the mapped record R' must satisfy C * R == R' * C up to
+// global phase.
+#include "core/pauli_record.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "statevector/simulator.h"
+
+namespace qpf::pf {
+namespace {
+
+// --- Table 3.2: measurement modification ------------------------------
+TEST(PauliRecordTest, MeasurementModificationTable) {
+  EXPECT_FALSE(map_measurement(PauliRecord::kI, false));
+  EXPECT_TRUE(map_measurement(PauliRecord::kI, true));
+  EXPECT_TRUE(map_measurement(PauliRecord::kX, false));
+  EXPECT_FALSE(map_measurement(PauliRecord::kX, true));
+  EXPECT_FALSE(map_measurement(PauliRecord::kZ, false));
+  EXPECT_TRUE(map_measurement(PauliRecord::kZ, true));
+  EXPECT_TRUE(map_measurement(PauliRecord::kXZ, false));
+  EXPECT_FALSE(map_measurement(PauliRecord::kXZ, true));
+}
+
+// --- Table 3.3: Pauli tracking -----------------------------------------
+TEST(PauliRecordTest, PauliTrackingTable) {
+  using R = PauliRecord;
+  // Rows of Table 3.3, X column then Z column.
+  EXPECT_EQ(track_pauli(R::kI, GateType::kX), R::kX);
+  EXPECT_EQ(track_pauli(R::kI, GateType::kZ), R::kZ);
+  EXPECT_EQ(track_pauli(R::kX, GateType::kX), R::kI);
+  EXPECT_EQ(track_pauli(R::kX, GateType::kZ), R::kXZ);
+  EXPECT_EQ(track_pauli(R::kZ, GateType::kX), R::kXZ);
+  EXPECT_EQ(track_pauli(R::kZ, GateType::kZ), R::kI);
+  EXPECT_EQ(track_pauli(R::kXZ, GateType::kX), R::kZ);
+  EXPECT_EQ(track_pauli(R::kXZ, GateType::kZ), R::kX);
+}
+
+TEST(PauliRecordTest, IdentityAndYTracking) {
+  for (PauliRecord r : kAllRecords) {
+    EXPECT_EQ(track_pauli(r, GateType::kI), r);
+    // Y tracks as both components.
+    const PauliRecord y = track_pauli(r, GateType::kY);
+    EXPECT_EQ(has_x(y), !has_x(r));
+    EXPECT_EQ(has_z(y), !has_z(r));
+  }
+}
+
+// --- Table 3.4: single-qubit Clifford mapping --------------------------
+TEST(PauliRecordTest, HadamardMappingTable) {
+  EXPECT_EQ(map_h(PauliRecord::kI), PauliRecord::kI);
+  EXPECT_EQ(map_h(PauliRecord::kX), PauliRecord::kZ);
+  EXPECT_EQ(map_h(PauliRecord::kZ), PauliRecord::kX);
+  EXPECT_EQ(map_h(PauliRecord::kXZ), PauliRecord::kXZ);
+}
+
+TEST(PauliRecordTest, PhaseGateMappingTable) {
+  EXPECT_EQ(map_s(PauliRecord::kI), PauliRecord::kI);
+  EXPECT_EQ(map_s(PauliRecord::kX), PauliRecord::kXZ);
+  EXPECT_EQ(map_s(PauliRecord::kZ), PauliRecord::kZ);
+  EXPECT_EQ(map_s(PauliRecord::kXZ), PauliRecord::kX);
+}
+
+// --- Table 3.5: CNOT mapping (all 16 rows) ------------------------------
+TEST(PauliRecordTest, CnotMappingTable) {
+  using R = PauliRecord;
+  const struct {
+    R in_c, in_t, out_c, out_t;
+  } rows[] = {
+      {R::kI, R::kI, R::kI, R::kI},   {R::kI, R::kX, R::kI, R::kX},
+      {R::kI, R::kZ, R::kZ, R::kZ},   {R::kI, R::kXZ, R::kZ, R::kXZ},
+      {R::kX, R::kI, R::kX, R::kX},   {R::kX, R::kX, R::kX, R::kI},
+      {R::kX, R::kZ, R::kXZ, R::kXZ}, {R::kX, R::kXZ, R::kXZ, R::kZ},
+      {R::kZ, R::kI, R::kZ, R::kI},   {R::kZ, R::kX, R::kZ, R::kX},
+      {R::kZ, R::kZ, R::kI, R::kZ},   {R::kZ, R::kXZ, R::kI, R::kXZ},
+      {R::kXZ, R::kI, R::kXZ, R::kX}, {R::kXZ, R::kX, R::kXZ, R::kI},
+      {R::kXZ, R::kZ, R::kX, R::kXZ}, {R::kXZ, R::kXZ, R::kX, R::kZ},
+  };
+  for (const auto& row : rows) {
+    const auto [rc, rt] = map_cnot(row.in_c, row.in_t);
+    EXPECT_EQ(rc, row.out_c) << name(row.in_c) << "," << name(row.in_t);
+    EXPECT_EQ(rt, row.out_t) << name(row.in_c) << "," << name(row.in_t);
+  }
+}
+
+// --- Semantic verification against the state-vector simulator ----------
+
+// Apply a record as physical gates (X then Z, matching the flush order).
+void apply_record(sv::Simulator& sim, PauliRecord r, Qubit q) {
+  if (has_x(r)) {
+    sim.apply_unitary(Operation{GateType::kX, q});
+  }
+  if (has_z(r)) {
+    sim.apply_unitary(Operation{GateType::kZ, q});
+  }
+}
+
+// Scramble into a generic state so coincidences cannot hide errors.
+void scramble(sv::Simulator& sim) {
+  sim.apply_unitary(Operation{GateType::kH, 0});
+  sim.apply_unitary(Operation{GateType::kT, 0});
+  sim.apply_unitary(Operation{GateType::kCnot, 0, 1});
+  sim.apply_unitary(Operation{GateType::kS, 1});
+  sim.apply_unitary(Operation{GateType::kT, 1});
+}
+
+class SingleQubitConjugation
+    : public ::testing::TestWithParam<std::tuple<PauliRecord, GateType>> {};
+
+TEST_P(SingleQubitConjugation, RecordMapEqualsConjugation) {
+  const auto [record, gate] = GetParam();
+  // Left side: gate applied to (record * |psi>).
+  sv::Simulator lhs(2, 1);
+  scramble(lhs);
+  apply_record(lhs, record, 0);
+  lhs.apply_unitary(Operation{gate, 0});
+  // Right side: mapped record applied to (gate * |psi>).
+  PauliRecord mapped = record;
+  switch (gate) {
+    case GateType::kH:
+      mapped = map_h(record);
+      break;
+    case GateType::kS:
+    case GateType::kSdag:
+      mapped = map_s(record);
+      break;
+    default:
+      FAIL() << "unexpected gate";
+  }
+  sv::Simulator rhs(2, 1);
+  scramble(rhs);
+  rhs.apply_unitary(Operation{gate, 0});
+  apply_record(rhs, mapped, 0);
+  EXPECT_TRUE(lhs.state().equals_up_to_global_phase(rhs.state(), 1e-9))
+      << "record " << name(record) << " gate " << name(gate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Records, SingleQubitConjugation,
+    ::testing::Combine(::testing::ValuesIn(kAllRecords),
+                       ::testing::Values(GateType::kH, GateType::kS,
+                                         GateType::kSdag)));
+
+class TwoQubitConjugation
+    : public ::testing::TestWithParam<
+          std::tuple<PauliRecord, PauliRecord, GateType>> {};
+
+TEST_P(TwoQubitConjugation, RecordMapEqualsConjugation) {
+  const auto [rc, rt, gate] = GetParam();
+  sv::Simulator lhs(2, 1);
+  scramble(lhs);
+  apply_record(lhs, rc, 0);
+  apply_record(lhs, rt, 1);
+  lhs.apply_unitary(Operation{gate, 0, 1});
+
+  std::pair<PauliRecord, PauliRecord> mapped;
+  switch (gate) {
+    case GateType::kCnot:
+      mapped = map_cnot(rc, rt);
+      break;
+    case GateType::kCz:
+      mapped = map_cz(rc, rt);
+      break;
+    case GateType::kSwap:
+      mapped = map_swap(rc, rt);
+      break;
+    default:
+      FAIL() << "unexpected gate";
+  }
+  sv::Simulator rhs(2, 1);
+  scramble(rhs);
+  rhs.apply_unitary(Operation{gate, 0, 1});
+  apply_record(rhs, mapped.first, 0);
+  apply_record(rhs, mapped.second, 1);
+  EXPECT_TRUE(lhs.state().equals_up_to_global_phase(rhs.state(), 1e-9))
+      << "records " << name(rc) << "," << name(rt) << " gate " << name(gate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RecordPairs, TwoQubitConjugation,
+    ::testing::Combine(::testing::ValuesIn(kAllRecords),
+                       ::testing::ValuesIn(kAllRecords),
+                       ::testing::Values(GateType::kCnot, GateType::kCz,
+                                         GateType::kSwap)));
+
+}  // namespace
+}  // namespace qpf::pf

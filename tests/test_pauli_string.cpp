@@ -1,0 +1,98 @@
+// Tests for Pauli strings.
+#include "stabilizer/pauli_string.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf::stab {
+namespace {
+
+TEST(PauliStringTest, ParseBasics) {
+  const PauliString p = PauliString::parse("Z0Z4Z8");
+  EXPECT_EQ(p.num_qubits(), 9u);
+  EXPECT_EQ(p.sign(), +1);
+  EXPECT_EQ(p.pauli(0), Pauli::kZ);
+  EXPECT_EQ(p.pauli(4), Pauli::kZ);
+  EXPECT_EQ(p.pauli(8), Pauli::kZ);
+  EXPECT_EQ(p.pauli(1), Pauli::kI);
+  EXPECT_EQ(p.weight(), 3u);
+}
+
+TEST(PauliStringTest, ParseNegativeSign) {
+  const PauliString p = PauliString::parse("-X2X4X6");
+  EXPECT_EQ(p.sign(), -1);
+  EXPECT_EQ(p.weight(), 3u);
+}
+
+TEST(PauliStringTest, ParseWithExplicitWidth) {
+  const PauliString p = PauliString::parse("X1", 17);
+  EXPECT_EQ(p.num_qubits(), 17u);
+}
+
+TEST(PauliStringTest, ParseMultiDigitIndex) {
+  const PauliString p = PauliString::parse("Y12");
+  EXPECT_EQ(p.num_qubits(), 13u);
+  EXPECT_EQ(p.pauli(12), Pauli::kY);
+}
+
+TEST(PauliStringTest, ParseErrors) {
+  EXPECT_THROW((void)PauliString::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)PauliString::parse("Q0"), std::invalid_argument);
+  EXPECT_THROW((void)PauliString::parse("X"), std::invalid_argument);
+  EXPECT_THROW((void)PauliString::parse("X0X0"), std::invalid_argument);
+}
+
+TEST(PauliStringTest, SymplecticBits) {
+  const PauliString p = PauliString::parse("X0Z1Y2");
+  EXPECT_TRUE(p.x_bit(0));
+  EXPECT_FALSE(p.z_bit(0));
+  EXPECT_FALSE(p.x_bit(1));
+  EXPECT_TRUE(p.z_bit(1));
+  EXPECT_TRUE(p.x_bit(2));
+  EXPECT_TRUE(p.z_bit(2));
+}
+
+TEST(PauliStringTest, Commutation) {
+  const PauliString x0 = PauliString::parse("X0", 2);
+  const PauliString z0 = PauliString::parse("Z0", 2);
+  const PauliString z1 = PauliString::parse("Z1", 2);
+  const PauliString xx = PauliString::parse("X0X1");
+  const PauliString zz = PauliString::parse("Z0Z1");
+  EXPECT_FALSE(x0.commutes_with(z0));  // X and Z anticommute
+  EXPECT_TRUE(x0.commutes_with(z1));   // disjoint supports commute
+  EXPECT_TRUE(xx.commutes_with(zz));   // two anticommuting sites -> commute
+}
+
+TEST(PauliStringTest, Sc17StabilizersMutuallyCommute) {
+  const char* stabilizers[] = {"X0X1X3X4", "X1X2", "X4X5X7X8", "X6X7",
+                               "Z0Z3",     "Z1Z2Z4Z5", "Z3Z4Z6Z7", "Z5Z8"};
+  for (const char* a : stabilizers) {
+    for (const char* b : stabilizers) {
+      EXPECT_TRUE(PauliString::parse(a, 9).commutes_with(
+          PauliString::parse(b, 9)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(PauliStringTest, LogicalOperatorsAnticommute) {
+  const PauliString xl = PauliString::parse("X2X4X6", 9);
+  const PauliString zl = PauliString::parse("Z0Z4Z8", 9);
+  EXPECT_FALSE(xl.commutes_with(zl));  // overlap only on qubit 4
+}
+
+TEST(PauliStringTest, RoundTripString) {
+  for (const char* text : {"+X0", "-Z3", "+Y1Z2", "-X0Z1Y2"}) {
+    const PauliString p = PauliString::parse(text);
+    EXPECT_EQ(PauliString::parse(p.str()), p) << text;
+  }
+}
+
+TEST(PauliStringTest, SignSetterValidates) {
+  PauliString p = PauliString::parse("X0");
+  p.set_sign(-1);
+  EXPECT_EQ(p.sign(), -1);
+  EXPECT_THROW(p.set_sign(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qpf::stab

@@ -1,0 +1,106 @@
+// Tests for the QASM-dialect and CHP-format serializers.
+#include "circuit/qasm.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/random.h"
+#include "stabilizer/chp_format.h"
+
+namespace qpf {
+namespace {
+
+TEST(QasmTest, RoundTripPreservesSlotStructure) {
+  Circuit c{"demo"};
+  c.append(GateType::kPrepZ, 0);
+  c.append(GateType::kPrepZ, 1);
+  c.append(GateType::kH, 0);
+  c.append(GateType::kCnot, 0, 1);
+  c.append(GateType::kMeasureZ, 0);
+  c.append(GateType::kMeasureZ, 1);
+  const Circuit parsed = from_qasm(to_qasm(c));
+  EXPECT_EQ(parsed, c);
+}
+
+TEST(QasmTest, RandomCircuitRoundTrips) {
+  RandomCircuitGenerator gen(7);
+  RandomCircuitOptions options;
+  options.num_qubits = 6;
+  options.num_gates = 200;
+  for (int i = 0; i < 5; ++i) {
+    const Circuit c = gen.generate(options);
+    EXPECT_EQ(from_qasm(to_qasm(c)), c) << "iteration " << i;
+  }
+}
+
+TEST(QasmTest, ParsesCommentsAndHeader) {
+  const Circuit c = from_qasm("# hello\nqubits 3\nh q0\n|\ncnot q0,q2\n");
+  EXPECT_EQ(c.num_slots(), 2u);
+  EXPECT_EQ(c.num_operations(), 2u);
+  EXPECT_EQ(c.min_register_size(), 3u);
+}
+
+TEST(QasmTest, UnknownGateFails) {
+  EXPECT_THROW((void)from_qasm("frobnicate q0\n"), std::runtime_error);
+}
+
+TEST(QasmTest, MissingOperandsFails) {
+  EXPECT_THROW((void)from_qasm("h\n"), std::runtime_error);
+  EXPECT_THROW((void)from_qasm("cnot q0\n"), std::runtime_error);
+}
+
+TEST(QasmTest, BadQubitTokenFails) {
+  EXPECT_THROW((void)from_qasm("h x0\n"), std::runtime_error);
+  EXPECT_THROW((void)from_qasm("h qx\n"), std::runtime_error);
+}
+
+TEST(QasmTest, SingleQubitGateWithTwoOperandsFails) {
+  EXPECT_THROW((void)from_qasm("h q0,q1\n"), std::runtime_error);
+}
+
+TEST(ChpFormatTest, RoundTripGeneratorCircuit) {
+  Circuit c;
+  c.append(GateType::kH, 0);
+  c.append(GateType::kCnot, 0, 1);
+  c.append(GateType::kS, 1);
+  c.append(GateType::kMeasureZ, 0);
+  const Circuit parsed = stab::from_chp(stab::to_chp(c));
+  EXPECT_EQ(parsed.num_operations(), c.num_operations());
+  EXPECT_EQ(parsed.count(GateType::kCnot), 1u);
+  EXPECT_EQ(parsed.count(GateType::kS), 1u);
+}
+
+TEST(ChpFormatTest, RejectsNonChpGate) {
+  Circuit c;
+  c.append(GateType::kT, 0);
+  EXPECT_THROW((void)stab::to_chp(c), std::invalid_argument);
+}
+
+TEST(ChpFormatTest, ExpansionCoversDerivedCliffords) {
+  Circuit c;
+  c.append(GateType::kX, 0);
+  c.append(GateType::kY, 0);
+  c.append(GateType::kZ, 0);
+  c.append(GateType::kSdag, 0);
+  c.append(GateType::kCz, 0, 1);
+  c.append(GateType::kSwap, 0, 1);
+  const Circuit expanded = stab::expand_to_chp_gates(c);
+  for (const TimeSlot& slot : expanded) {
+    for (const Operation& op : slot) {
+      const GateType g = op.gate();
+      EXPECT_TRUE(g == GateType::kH || g == GateType::kS ||
+                  g == GateType::kCnot || g == GateType::kMeasureZ)
+          << op.str();
+    }
+  }
+  // And the expansion is expressible in CHP format.
+  EXPECT_NO_THROW((void)stab::to_chp(expanded));
+}
+
+TEST(ChpFormatTest, ExpansionRejectsNonClifford) {
+  Circuit c;
+  c.append(GateType::kT, 0);
+  EXPECT_THROW((void)stab::expand_to_chp_gates(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qpf

@@ -1,0 +1,169 @@
+// Integration tests for the Quantum Control Unit (Fig 3.10): QISA
+// programs executing logical qubits over a CHP-backed PEL.
+#include "qcu/qcu.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/chp_core.h"
+#include "arch/counter_layer.h"
+#include "arch/error_layer.h"
+
+namespace qpf::qcu {
+namespace {
+
+using arch::ChpCore;
+using qec::StateValue;
+
+TEST(QcuTest, MapInitializesLogicalZero) {
+  ChpCore pel(5);
+  QuantumControlUnit qcu(&pel, 1);
+  qcu.load_assembly("map p0 s0\nlmeas p0\nhalt\n");
+  qcu.run();
+  EXPECT_EQ(qcu.logical_state(0), StateValue::kZero);
+  EXPECT_GE(qcu.stats().qec_windows, 1u);
+}
+
+TEST(QcuTest, LogicalXChainFlipsPatch) {
+  // Compiled X_L on a normal-orientation patch: X on D2, D4, D6.
+  ChpCore pel(7);
+  QuantumControlUnit qcu(&pel, 1);
+  qcu.load_assembly(
+      "map p0 s0\n"
+      "x v2\nx v4\nx v6\n"
+      "qec\n"
+      "lmeas p0\n"
+      "halt\n");
+  qcu.run();
+  EXPECT_EQ(qcu.logical_state(0), StateValue::kOne);
+}
+
+TEST(QcuTest, TwoPatchTransversalCnot) {
+  ChpCore pel(9);
+  QuantumControlUnit qcu(&pel, 2);
+  std::string program = "map p0 s0\nmap p1 s1\nx v2\nx v4\nx v6\n";
+  for (int d = 0; d < 9; ++d) {
+    program += "cnot v" + std::to_string(d) + ",v" + std::to_string(17 + d) +
+               "\n";
+  }
+  program += "qec\nlmeas p0\nlmeas p1\nhalt\n";
+  qcu.load_assembly(program);
+  qcu.run();
+  EXPECT_EQ(qcu.logical_state(0), StateValue::kOne);
+  EXPECT_EQ(qcu.logical_state(1), StateValue::kOne);
+}
+
+TEST(QcuTest, PhysicalMeasurementResultsAreTracked) {
+  ChpCore pel(11);
+  QuantumControlUnit qcu(&pel, 1);
+  // Use ancilla qubits (v9, v10) as scratch: flip one, measure both.
+  qcu.load_assembly("map p0 s0\nx v9\nmeasure v9\nmeasure v10\nhalt\n");
+  qcu.run();
+  ASSERT_TRUE(qcu.measurement(9).has_value());
+  ASSERT_TRUE(qcu.measurement(10).has_value());
+  EXPECT_TRUE(*qcu.measurement(9));
+  EXPECT_FALSE(*qcu.measurement(10));
+}
+
+TEST(QcuTest, PauliFrameAbsorbsPhysicalPaulis) {
+  ChpCore pel(13);
+  QuantumControlUnit qcu(&pel, 1, /*use_pauli_frame=*/true);
+  qcu.load_assembly("map p0 s0\nx v9\nmeasure v9\nhalt\n");
+  qcu.run();
+  EXPECT_TRUE(*qcu.measurement(9));  // corrected readout sees the flip
+  EXPECT_GE(qcu.stats().paulis_absorbed, 1u);
+}
+
+TEST(QcuTest, WithoutFrameEveryPauliReachesPel) {
+  ChpCore pel(13);
+  arch::CounterLayer counter(&pel);
+  QuantumControlUnit with_frame(&counter, 1, /*use_pauli_frame=*/true);
+  with_frame.load_assembly("map p0 s0\nx v2\nx v4\nx v6\nqec\nhalt\n");
+  with_frame.run();
+  const auto ops_with = counter.counters().operations;
+
+  counter.reset_counters();
+  QuantumControlUnit without_frame(&counter, 1, /*use_pauli_frame=*/false);
+  without_frame.load_assembly("map p0 s0\nx v2\nx v4\nx v6\nqec\nhalt\n");
+  without_frame.run();
+  const auto ops_without = counter.counters().operations;
+  EXPECT_LT(ops_with, ops_without);
+}
+
+TEST(QcuTest, RelocatedPatchStillWorks) {
+  ChpCore pel(17);
+  QuantumControlUnit qcu(&pel, 2);
+  qcu.load_assembly(
+      "map p0 s1\n"      // place patch 0 in the SECOND slot
+      "x v2\nx v4\nx v6\n"
+      "qec\n"
+      "lmeas p0\n"
+      "halt\n");
+  qcu.run();
+  EXPECT_EQ(qcu.logical_state(0), StateValue::kOne);
+  EXPECT_EQ(qcu.symbol_table().base(0), 17u);
+}
+
+TEST(QcuTest, UnmapFreesSlotForReuse) {
+  ChpCore pel(19);
+  QuantumControlUnit qcu(&pel, 1);
+  qcu.load_assembly("map p0 s0\nunmap p0\nmap p1 s0\nlmeas p1\nhalt\n");
+  qcu.run();
+  EXPECT_FALSE(qcu.symbol_table().alive(0));
+  EXPECT_EQ(qcu.logical_state(1), StateValue::kZero);
+}
+
+TEST(QcuTest, QecWindowsCorrectInjectedErrors) {
+  ChpCore pel(23);
+  QuantumControlUnit qcu(&pel, 1);
+  qcu.load_assembly("map p0 s0\nhalt\n");
+  qcu.run();
+  // Inject a physical error directly on the PEL.
+  Circuit error;
+  error.append(GateType::kX, 4);
+  arch::run(pel, error);
+  qcu.load_assembly("qec\nqec\nlmeas p0\nhalt\n");
+  qcu.run();
+  EXPECT_EQ(qcu.logical_state(0), StateValue::kZero);
+}
+
+TEST(QcuTest, NoisyPelEndToEnd) {
+  // The QCU over a noisy PEL (ErrorLayer over ChpCore) still maintains
+  // a logical qubit at a modest physical error rate.
+  int correct = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ChpCore core(29 + seed);
+    arch::ErrorLayer noisy(&core, 5e-4, 31 + seed);
+    QuantumControlUnit qcu(&noisy, 1);
+    qcu.load_assembly(
+        "map p0 s0\n"
+        "x v2\nx v4\nx v6\n"
+        "qec\nqec\nqec\nqec\n"
+        "lmeas p0\n"
+        "halt\n");
+    qcu.run();
+    correct += qcu.logical_state(0) == StateValue::kOne ? 1 : 0;
+  }
+  EXPECT_GE(correct, 9);  // overwhelming majority at p = 5e-4
+}
+
+TEST(QcuTest, ErrorsOnBadPrograms) {
+  ChpCore pel(1);
+  QuantumControlUnit qcu(&pel, 1);
+  qcu.load_assembly("x v2\n");  // patch 0 never mapped
+  EXPECT_THROW(qcu.run(), std::out_of_range);
+  qcu.load_assembly("lmeas p3\n");
+  EXPECT_THROW(qcu.run(), std::invalid_argument);
+  EXPECT_THROW(QuantumControlUnit(nullptr, 1), std::invalid_argument);
+}
+
+TEST(QcuTest, HaltStopsExecution) {
+  ChpCore pel(1);
+  QuantumControlUnit qcu(&pel, 1);
+  qcu.load_assembly("map p0 s0\nhalt\nlmeas p0\n");
+  qcu.run();
+  // lmeas after halt never ran: logical state still the init value.
+  EXPECT_EQ(qcu.stats().instructions, 2u);
+}
+
+}  // namespace
+}  // namespace qpf::qcu

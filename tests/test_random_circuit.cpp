@@ -1,0 +1,135 @@
+// Tests for the random circuit generator and the synthetic program
+// corpus (§3.3 / §5.2.2).
+#include "circuit/random.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/stats.h"
+
+namespace qpf {
+namespace {
+
+TEST(RandomCircuitTest, RespectsGateCountAndQubitRange) {
+  RandomCircuitGenerator gen(1);
+  RandomCircuitOptions options;
+  options.num_qubits = 5;
+  options.num_gates = 20;
+  const Circuit c = gen.generate(options);
+  EXPECT_EQ(c.num_operations(), 20u);
+  EXPECT_LE(c.min_register_size(), 5u);
+}
+
+TEST(RandomCircuitTest, DeterministicUnderSeed) {
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.num_gates = 50;
+  RandomCircuitGenerator a(9);
+  RandomCircuitGenerator b(9);
+  EXPECT_EQ(a.generate(options), b.generate(options));
+}
+
+TEST(RandomCircuitTest, DifferentSeedsDiffer) {
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.num_gates = 50;
+  RandomCircuitGenerator a(1);
+  RandomCircuitGenerator b(2);
+  EXPECT_FALSE(a.generate(options) == b.generate(options));
+}
+
+TEST(RandomCircuitTest, CliffordOnlyExcludesTGates) {
+  RandomCircuitGenerator gen(3);
+  RandomCircuitOptions options;
+  options.num_qubits = 4;
+  options.num_gates = 500;
+  options.clifford_only = true;
+  const Circuit c = gen.generate(options);
+  EXPECT_EQ(c.count(GateType::kT), 0u);
+  EXPECT_EQ(c.count(GateType::kTdag), 0u);
+  EXPECT_EQ(c.count(GateCategory::kNonClifford), 0u);
+}
+
+TEST(RandomCircuitTest, DrawsFromRestrictedGateSet) {
+  RandomCircuitGenerator gen(4);
+  RandomCircuitOptions options;
+  options.num_qubits = 3;
+  options.num_gates = 100;
+  options.gate_set = {GateType::kH, GateType::kCnot};
+  const Circuit c = gen.generate(options);
+  EXPECT_EQ(c.count(GateType::kH) + c.count(GateType::kCnot), 100u);
+}
+
+TEST(RandomCircuitTest, InvalidOptionsRejected) {
+  RandomCircuitGenerator gen(1);
+  RandomCircuitOptions options;
+  options.gate_set = {};
+  EXPECT_THROW((void)gen.generate(options), std::invalid_argument);
+  options = {};
+  options.num_qubits = 1;  // two-qubit gates in the default set
+  EXPECT_THROW((void)gen.generate(options), std::invalid_argument);
+}
+
+TEST(RandomCircuitTest, SingleQubitGateSetWorksOnOneQubit) {
+  RandomCircuitGenerator gen(1);
+  RandomCircuitOptions options;
+  options.num_qubits = 1;
+  options.num_gates = 10;
+  options.gate_set = {GateType::kH, GateType::kT};
+  EXPECT_EQ(gen.generate(options).num_operations(), 10u);
+}
+
+class ProgramCorpus : public ::testing::TestWithParam<ProgramKind> {};
+
+TEST_P(ProgramCorpus, ProducesNonTrivialPrograms) {
+  const Circuit c = make_program(GetParam(), 8, 3, 42);
+  EXPECT_GT(c.num_operations(), 20u);
+  EXPECT_LE(c.min_register_size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ProgramCorpus,
+                         ::testing::ValuesIn(kAllProgramKinds));
+
+TEST(ProgramCorpusTest, PauliFractionIsBoundedBySevenPercentish) {
+  // §3.3: compiled programs contain "up to 7%" Pauli gates.  Our corpus
+  // reproduces that: every program has a modest, nonzero-or-zero Pauli
+  // fraction well below the Clifford bulk.
+  for (ProgramKind kind : kAllProgramKinds) {
+    const Circuit c = make_program(kind, 10, 4, 7);
+    const GateMix mix = analyze(c);
+    EXPECT_LT(mix.pauli_fraction(), 0.45) << name(kind);
+    EXPECT_EQ(mix.total, c.num_operations());
+  }
+}
+
+TEST(ProgramCorpusTest, GroverIsPauliRichAdderIsTHeavy) {
+  const GateMix grover = analyze(make_program(ProgramKind::kGrover, 9, 2, 1));
+  const GateMix qft = analyze(make_program(ProgramKind::kQft, 9, 2, 1));
+  EXPECT_GT(grover.pauli_fraction(), 0.0);
+  EXPECT_GT(qft.non_clifford_fraction(), 0.2);
+}
+
+TEST(ProgramCorpusTest, TooFewQubitsRejected) {
+  EXPECT_THROW((void)make_program(ProgramKind::kAdder, 2, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(GateMixTest, AnalyzeCountsByCategory) {
+  Circuit c;
+  c.append(GateType::kPrepZ, 0);
+  c.append(GateType::kX, 0);
+  c.append(GateType::kH, 0);
+  c.append(GateType::kT, 0);
+  c.append(GateType::kMeasureZ, 0);
+  const GateMix mix = analyze(c);
+  EXPECT_EQ(mix.total, 5u);
+  EXPECT_EQ(mix.pauli, 1u);
+  EXPECT_EQ(mix.clifford, 1u);
+  EXPECT_EQ(mix.non_clifford, 1u);
+  EXPECT_EQ(mix.preparation, 1u);
+  EXPECT_EQ(mix.measurement, 1u);
+  EXPECT_DOUBLE_EQ(mix.pauli_fraction(), 0.2);
+  EXPECT_FALSE(to_string(mix).empty());
+}
+
+}  // namespace
+}  // namespace qpf

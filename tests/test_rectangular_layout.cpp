@@ -1,0 +1,108 @@
+// Coverage for the rectangular surface-code layouts that lattice
+// surgery relies on (3x7 and 7x3 merged patches, and general shapes).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qec/surface_code.h"
+#include "stabilizer/tableau.h"
+
+namespace qpf::qec {
+namespace {
+
+struct Shape {
+  int rows;
+  int cols;
+};
+
+class RectangularLayoutTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(RectangularLayoutTest, CountsAndCommutation) {
+  const auto [rows, cols] = GetParam();
+  const SurfaceCodeLayout layout(rows, cols);
+  EXPECT_EQ(layout.rows(), rows);
+  EXPECT_EQ(layout.cols(), cols);
+  EXPECT_EQ(layout.distance(), std::min(rows, cols));
+  EXPECT_EQ(layout.num_data(), static_cast<std::size_t>(rows * cols));
+  EXPECT_EQ(layout.num_checks(), static_cast<std::size_t>(rows * cols - 1));
+  for (const SurfaceCheck& a : layout.checks()) {
+    for (const SurfaceCheck& b : layout.checks()) {
+      if (a.type == b.type) {
+        continue;
+      }
+      std::size_t overlap = 0;
+      for (int q : a.support) {
+        overlap += std::count(b.support.begin(), b.support.end(), q);
+      }
+      EXPECT_EQ(overlap % 2, 0u);
+    }
+  }
+}
+
+TEST_P(RectangularLayoutTest, ScheduleConflictFree) {
+  const auto [rows, cols] = GetParam();
+  const SurfaceCodeLayout layout(rows, cols);
+  for (int slot = 0; slot < 4; ++slot) {
+    std::set<int> used;
+    for (const SurfaceCheck& check : layout.checks()) {
+      const int q = check.data[static_cast<std::size_t>(slot)];
+      if (q >= 0) {
+        EXPECT_TRUE(used.insert(q).second) << rows << "x" << cols;
+      }
+    }
+  }
+}
+
+TEST_P(RectangularLayoutTest, LogicalChainsSpanTheRightBoundaries) {
+  const auto [rows, cols] = GetParam();
+  const SurfaceCodeLayout layout(rows, cols);
+  EXPECT_EQ(layout.logical_z_data().size(), static_cast<std::size_t>(cols));
+  EXPECT_EQ(layout.logical_x_data().size(), static_cast<std::size_t>(rows));
+}
+
+TEST_P(RectangularLayoutTest, EsmProjectsIntoEigenstates) {
+  const auto [rows, cols] = GetParam();
+  const SurfaceCodeLayout layout(rows, cols);
+  stab::Tableau t(layout.num_qubits(), 3);
+  t.execute(layout.esm_circuit(0));
+  const auto results = t.take_measurements();
+  ASSERT_EQ(results.size(), layout.num_checks());
+  for (std::size_t k = 0; k < layout.num_checks(); ++k) {
+    const SurfaceCheck& check = layout.checks()[k];
+    stab::PauliString p(layout.num_qubits());
+    for (int q : check.support) {
+      p.set_pauli(static_cast<std::size_t>(q),
+                  check.type == CheckType::kX ? stab::Pauli::kX
+                                              : stab::Pauli::kZ);
+    }
+    EXPECT_EQ(t.expectation(p), results[k].sign());
+  }
+}
+
+TEST_P(RectangularLayoutTest, MatchingDecoderCoversSingleErrors) {
+  const auto [rows, cols] = GetParam();
+  const SurfaceCodeLayout layout(rows, cols);
+  for (CheckType basis : {CheckType::kX, CheckType::kZ}) {
+    const MatchingDecoder decoder(layout, basis);
+    for (std::size_t q = 0; q < layout.num_data(); ++q) {
+      const auto defects = decoder.signature({static_cast<int>(q)});
+      const auto fix = decoder.decode(defects);
+      EXPECT_EQ(decoder.signature(fix), defects);
+      EXPECT_EQ(fix.size(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RectangularLayoutTest,
+                         ::testing::Values(Shape{3, 7}, Shape{7, 3},
+                                           Shape{3, 5}, Shape{5, 3},
+                                           Shape{5, 7}));
+
+TEST(RectangularLayoutTest, EvenDimensionsRejected) {
+  EXPECT_THROW(SurfaceCodeLayout(3, 4), std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeLayout(4, 3), std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeLayout(3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qpf::qec

@@ -1,0 +1,74 @@
+// Tests for the QEC schedule timing model (Fig 3.3, Eqs 5.5–5.12).
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf::pf {
+namespace {
+
+TEST(ScheduleTest, WindowSlotsWithoutPauliFrame) {
+  ScheduleParams p;  // d=3, tsESM=8, 2 rounds, no PF
+  EXPECT_EQ(window_slots(p, /*has_corrections=*/false), 16u);
+  EXPECT_EQ(window_slots(p, /*has_corrections=*/true), 17u);
+}
+
+TEST(ScheduleTest, WindowSlotsWithPauliFrame) {
+  ScheduleParams p;
+  p.pauli_frame = true;
+  EXPECT_EQ(window_slots(p, false), 16u);
+  EXPECT_EQ(window_slots(p, true), 16u);  // corrections are free
+}
+
+TEST(ScheduleTest, DecoderSerializesWithoutPauliFrame) {
+  ScheduleParams p;
+  p.decode_slots = 24;
+  // Fig 3.3a: ESM (16) + decode (24) + correction slot (1).
+  EXPECT_EQ(window_latency(p, true), 41u);
+  p.pauli_frame = true;
+  // Fig 3.3b: decode concurrent with the next window's ESM; a decoder
+  // slower than the ESM block caps the sustained rate.
+  EXPECT_EQ(window_latency(p, true), 24u);
+  p.decode_slots = 10;
+  EXPECT_EQ(window_latency(p, true), 16u);
+}
+
+TEST(ScheduleTest, FastDecoderStillSerializesWithoutFrame) {
+  ScheduleParams p;
+  p.decode_slots = 10;
+  EXPECT_EQ(window_latency(p, false), 26u);
+}
+
+TEST(ScheduleTest, LerEstimateScalesWithWindow) {
+  ScheduleParams without;
+  ScheduleParams with;
+  with.pauli_frame = true;
+  EXPECT_GT(ler_estimate(without, true), ler_estimate(with, true));
+  EXPECT_DOUBLE_EQ(ler_estimate(without, false), ler_estimate(with, false));
+}
+
+TEST(ScheduleTest, UpperBoundMatchesEq512) {
+  // Eq 5.12 with tsESM = 8: B = 1 / ((d-1)*8 + 1).
+  EXPECT_DOUBLE_EQ(upper_bound_relative_improvement(3, 8), 1.0 / 17.0);
+  EXPECT_DOUBLE_EQ(upper_bound_relative_improvement(5, 8), 1.0 / 33.0);
+  EXPECT_DOUBLE_EQ(upper_bound_relative_improvement(11, 8), 1.0 / 81.0);
+}
+
+TEST(ScheduleTest, UpperBoundDecreasesWithDistance) {
+  double previous = 1.0;
+  for (std::size_t d = 3; d <= 11; d += 2) {
+    const double bound = upper_bound_relative_improvement(d, 8);
+    EXPECT_LT(bound, previous);
+    previous = bound;
+  }
+  // Fig 5.27: the bound decreases quickly to values below 3%.
+  EXPECT_NEAR(upper_bound_relative_improvement(5, 8), 0.0303, 1e-4);
+  EXPECT_LT(upper_bound_relative_improvement(7, 8), 0.03);
+}
+
+TEST(ScheduleTest, UpperBoundForSc17IsSixPercent) {
+  // The <= 6% saved-slot ceiling discussed in §5.3.2 (1/17).
+  EXPECT_NEAR(upper_bound_relative_improvement(3, 8), 0.0588, 1e-3);
+}
+
+}  // namespace
+}  // namespace qpf::pf

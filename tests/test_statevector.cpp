@@ -1,0 +1,213 @@
+// Tests for the dense state-vector simulator (QX substitute).
+#include "statevector/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "circuit/random.h"
+
+namespace qpf::sv {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(StateVectorTest, InitialStateIsAllZero) {
+  const StateVector s(3);
+  EXPECT_EQ(s.dimension(), 8u);
+  EXPECT_NEAR(std::abs(s.amplitude(0)), 1.0, kTol);
+  EXPECT_NEAR(s.norm_squared(), 1.0, kTol);
+}
+
+TEST(StateVectorTest, SizeGuards) {
+  EXPECT_THROW(StateVector{0}, std::invalid_argument);
+  EXPECT_THROW(StateVector{40}, std::invalid_argument);
+}
+
+TEST(SimulatorTest, PauliXFlips) {
+  Simulator sim(1);
+  sim.apply_unitary(Operation{GateType::kX, 0});
+  EXPECT_NEAR(sim.probability_one(0), 1.0, kTol);
+}
+
+TEST(SimulatorTest, HadamardCreatesEqualSuperposition) {
+  Simulator sim(1);
+  sim.apply_unitary(Operation{GateType::kH, 0});
+  EXPECT_NEAR(sim.probability_one(0), 0.5, kTol);
+}
+
+TEST(SimulatorTest, BellStateProbabilities) {
+  Simulator sim(2);
+  sim.apply_unitary(Operation{GateType::kH, 0});
+  sim.apply_unitary(Operation{GateType::kCnot, 0, 1});
+  const auto& amps = sim.state().amplitudes();
+  EXPECT_NEAR(std::norm(amps[0]), 0.5, kTol);
+  EXPECT_NEAR(std::norm(amps[3]), 0.5, kTol);
+  EXPECT_NEAR(std::norm(amps[1]), 0.0, kTol);
+  EXPECT_NEAR(std::norm(amps[2]), 0.0, kTol);
+}
+
+TEST(SimulatorTest, MeasurementCollapsesEntangledPair) {
+  Simulator sim(2, 99);
+  sim.apply_unitary(Operation{GateType::kH, 0});
+  sim.apply_unitary(Operation{GateType::kCnot, 0, 1});
+  const MeasureResult m0 = sim.measure(0);
+  const MeasureResult m1 = sim.measure(1);
+  EXPECT_EQ(m0.value, m1.value);
+  EXPECT_FALSE(m0.deterministic);
+  EXPECT_TRUE(m1.deterministic);
+}
+
+TEST(SimulatorTest, DeterministicMeasurement) {
+  Simulator sim(1);
+  const MeasureResult m = sim.measure(0);
+  EXPECT_FALSE(m.value);
+  EXPECT_TRUE(m.deterministic);
+  EXPECT_EQ(m.sign(), +1);
+}
+
+TEST(SimulatorTest, ResetReturnsToZero) {
+  Simulator sim(1, 3);
+  sim.apply_unitary(Operation{GateType::kX, 0});
+  sim.reset(0);
+  EXPECT_NEAR(sim.probability_one(0), 0.0, kTol);
+}
+
+TEST(SimulatorTest, TGatePhase) {
+  Simulator sim(1);
+  sim.apply_unitary(Operation{GateType::kX, 0});
+  sim.apply_unitary(Operation{GateType::kT, 0});
+  const auto amp = sim.state().amplitude(1);
+  EXPECT_NEAR(std::arg(amp), std::numbers::pi / 4, kTol);
+}
+
+TEST(SimulatorTest, SdagUndoesS) {
+  Simulator sim(1);
+  StateVector before = sim.state();
+  sim.apply_unitary(Operation{GateType::kH, 0});
+  sim.apply_unitary(Operation{GateType::kS, 0});
+  sim.apply_unitary(Operation{GateType::kSdag, 0});
+  sim.apply_unitary(Operation{GateType::kH, 0});
+  EXPECT_TRUE(sim.state().equals_up_to_global_phase(before));
+}
+
+TEST(SimulatorTest, SwapExchangesStates) {
+  Simulator sim(2);
+  sim.apply_unitary(Operation{GateType::kX, 0});
+  sim.apply_unitary(Operation{GateType::kSwap, 0, 1});
+  EXPECT_NEAR(sim.probability_one(0), 0.0, kTol);
+  EXPECT_NEAR(sim.probability_one(1), 1.0, kTol);
+}
+
+TEST(SimulatorTest, CzPhasesOnlyEleven) {
+  Simulator sim(2);
+  sim.apply_unitary(Operation{GateType::kX, 0});
+  sim.apply_unitary(Operation{GateType::kX, 1});
+  sim.apply_unitary(Operation{GateType::kCz, 0, 1});
+  EXPECT_NEAR(sim.state().amplitude(3).real(), -1.0, kTol);
+}
+
+TEST(SimulatorTest, GlobalPhaseComparison) {
+  Simulator a(2);
+  Simulator b(2);
+  a.apply_unitary(Operation{GateType::kH, 0});
+  b.apply_unitary(Operation{GateType::kH, 0});
+  // Z X Z X = -I: applies a pure global phase.
+  for (GateType g : {GateType::kZ, GateType::kX, GateType::kZ, GateType::kX}) {
+    b.apply_unitary(Operation{g, 1});
+  }
+  EXPECT_TRUE(a.state().equals_up_to_global_phase(b.state()));
+  b.apply_unitary(Operation{GateType::kX, 1});
+  EXPECT_FALSE(a.state().equals_up_to_global_phase(b.state()));
+}
+
+TEST(SimulatorTest, FidelityOfOrthogonalStates) {
+  Simulator a(1);
+  Simulator b(1);
+  b.apply_unitary(Operation{GateType::kX, 0});
+  EXPECT_NEAR(a.state().fidelity(b.state()), 0.0, kTol);
+  EXPECT_NEAR(a.state().fidelity(a.state()), 1.0, kTol);
+}
+
+TEST(SimulatorTest, ExecuteRecordsMeasurements) {
+  Simulator sim(2, 5);
+  Circuit c;
+  c.append(GateType::kX, 0);
+  c.append(GateType::kMeasureZ, 0);
+  c.append(GateType::kMeasureZ, 1);
+  sim.execute(c);
+  const auto results = sim.take_measurements();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].value);
+  EXPECT_FALSE(results[1].value);
+  EXPECT_TRUE(sim.take_measurements().empty());
+}
+
+TEST(SimulatorTest, OutOfRangeQubitThrows) {
+  Simulator sim(2);
+  EXPECT_THROW(sim.apply_unitary(Operation{GateType::kX, 2}),
+               std::out_of_range);
+  EXPECT_THROW((void)sim.measure(5), std::out_of_range);
+}
+
+TEST(SimulatorTest, ApplyUnitaryRejectsPrepAndMeasure) {
+  Simulator sim(1);
+  EXPECT_THROW(sim.apply_unitary(Operation{GateType::kPrepZ, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.apply_unitary(Operation{GateType::kMeasureZ, 0}),
+               std::invalid_argument);
+}
+
+TEST(StateVectorTest, RenderingMatchesThesisStyle) {
+  Simulator sim(2);
+  sim.apply_unitary(Operation{GateType::kX, 0});
+  const std::string text = sim.state().str();
+  EXPECT_NE(text.find("|01>"), std::string::npos);  // rightmost bit = q0
+}
+
+// Property: every unitary gate preserves the norm, and gate followed by
+// its inverse restores the state.
+class UnitaryProperty : public ::testing::TestWithParam<GateType> {};
+
+TEST_P(UnitaryProperty, NormPreservedAndInverseRestores) {
+  const GateType g = GetParam();
+  if (!is_unitary(g)) {
+    GTEST_SKIP() << "not a unitary gate";
+  }
+  // Prepare a generic (non-basis) state.
+  Simulator sim(3, 11);
+  sim.apply_unitary(Operation{GateType::kH, 0});
+  sim.apply_unitary(Operation{GateType::kT, 0});
+  sim.apply_unitary(Operation{GateType::kCnot, 0, 1});
+  sim.apply_unitary(Operation{GateType::kH, 2});
+  const StateVector before = sim.state();
+  const Operation op = arity(g) == 1 ? Operation{g, 1} : Operation{g, 1, 2};
+  sim.apply_unitary(op);
+  EXPECT_NEAR(sim.state().norm_squared(), 1.0, 1e-9);
+  const GateType inv = *inverse(g);
+  const Operation inv_op =
+      arity(inv) == 1 ? Operation{inv, 1} : Operation{inv, 1, 2};
+  sim.apply_unitary(inv_op);
+  EXPECT_TRUE(sim.state().equals_up_to_global_phase(before, 1e-9))
+      << name(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, UnitaryProperty,
+                         ::testing::ValuesIn(kAllGateTypes));
+
+// Property: random circuits keep the state normalized.
+TEST(SimulatorTest, RandomCircuitsStayNormalized) {
+  RandomCircuitGenerator gen(21);
+  RandomCircuitOptions options;
+  options.num_qubits = 5;
+  options.num_gates = 300;
+  for (int i = 0; i < 10; ++i) {
+    Simulator sim(options.num_qubits, static_cast<std::uint64_t>(i));
+    sim.execute(gen.generate(options));
+    EXPECT_NEAR(sim.state().norm_squared(), 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qpf::sv

@@ -1,0 +1,138 @@
+// Tests for the statistics helpers (summary stats and t-tests).
+#include "stats/summary.h"
+#include "stats/ttest.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qpf::stats {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(SummaryTest, SingleElement) {
+  const Summary s = summarize({3.5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, EmptyRejected) {
+  EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+TEST(SummaryTest, CoefficientOfVariation) {
+  const Summary s = summarize({10.0, 12.0, 8.0, 10.0});
+  EXPECT_NEAR(s.coefficient_of_variation(), s.stddev / 10.0, 1e-12);
+}
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  // I_x(a,b) + I_{1-x}(b,a) = 1.
+  const double v = incomplete_beta(2.5, 1.5, 0.4);
+  EXPECT_NEAR(v + incomplete_beta(1.5, 2.5, 0.6), 1.0, 1e-10);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(StudentTTest, TwoTailedPValues) {
+  // Reference values from standard t tables.
+  EXPECT_NEAR(student_t_two_tailed_p(0.0, 10.0), 1.0, 1e-10);
+  EXPECT_NEAR(student_t_two_tailed_p(2.228, 10.0), 0.05, 1e-3);
+  EXPECT_NEAR(student_t_two_tailed_p(1.96, 1e7), 0.05, 1e-3);  // ~normal
+  EXPECT_NEAR(student_t_two_tailed_p(-2.228, 10.0), 0.05, 1e-3);
+}
+
+TEST(IndependentTTest, IdenticalSamplesGivePOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const TTestResult r = independent_ttest(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_NEAR(r.p, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.df, 6.0);
+}
+
+TEST(IndependentTTest, ClearlyDifferentSamplesGiveSmallP) {
+  const std::vector<double> a{1.0, 1.1, 0.9, 1.05, 0.95};
+  const std::vector<double> b{5.0, 5.1, 4.9, 5.05, 4.95};
+  const TTestResult r = independent_ttest(a, b);
+  EXPECT_LT(r.p, 1e-6);
+}
+
+TEST(IndependentTTest, KnownTextbookValue) {
+  // Hand-computed: means 14.6 vs 16.0, pooled variance 0.9625,
+  // t = -1.4 / sqrt(0.9625 * 0.4) = -2.2563, df = 8, p = 0.0540.
+  const std::vector<double> a{14.0, 15.0, 15.0, 16.0, 13.0};
+  const std::vector<double> b{15.5, 16.0, 16.5, 17.0, 15.0};
+  const TTestResult r = independent_ttest(a, b);
+  EXPECT_NEAR(r.t, -2.2563, 1e-3);
+  EXPECT_NEAR(r.p, 0.0540, 1e-3);
+}
+
+TEST(WelchTTest, HandlesUnequalVariances) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{2.9, 3.0, 3.1};
+  const TTestResult r = welch_ttest(a, b);
+  EXPECT_NEAR(r.t, 0.0, 0.01);
+  EXPECT_GT(r.p, 0.9);
+}
+
+TEST(PairedTTest, DetectsConsistentShift) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> b;
+  for (double v : a) {
+    b.push_back(v + 0.5);
+  }
+  const TTestResult r = paired_ttest(a, b);
+  EXPECT_LT(r.p, 1e-6);  // zero-variance differences, infinite t
+}
+
+TEST(PairedTTest, NoShiftGivesLargeP) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{1.1, 1.9, 3.1, 3.9, 5.0};
+  const TTestResult r = paired_ttest(a, b);
+  EXPECT_GT(r.p, 0.5);
+}
+
+TEST(TTestValidation, SizeRequirements) {
+  const std::vector<double> tiny{1.0};
+  const std::vector<double> ok{1.0, 2.0};
+  EXPECT_THROW((void)independent_ttest(tiny, ok), std::invalid_argument);
+  EXPECT_THROW((void)paired_ttest(ok, tiny), std::invalid_argument);
+  EXPECT_THROW((void)welch_ttest(tiny, tiny), std::invalid_argument);
+}
+
+// Property: for same-distribution samples the p-value is roughly
+// uniform, so ~5% of tests land below 0.05.
+TEST(TTestProperty, FalsePositiveRateNearAlpha) {
+  std::mt19937_64 rng(12);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  int below = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<double> a(10);
+    std::vector<double> b(10);
+    for (auto& v : a) {
+      v = dist(rng);
+    }
+    for (auto& v : b) {
+      v = dist(rng);
+    }
+    if (independent_ttest(a, b).p < 0.05) {
+      ++below;
+    }
+  }
+  const double rate = static_cast<double>(below) / trials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.12);
+}
+
+}  // namespace
+}  // namespace qpf::stats

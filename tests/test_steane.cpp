@@ -1,0 +1,120 @@
+// Tests for the Steane [[7,1,3]] code substrate.
+#include "qec/steane.h"
+
+#include <gtest/gtest.h>
+
+#include "stabilizer/tableau.h"
+
+namespace qpf::qec {
+namespace {
+
+TEST(SteaneCodeTest, GeneratorMasksAreHammingRows) {
+  EXPECT_EQ(SteaneCode::generator_mask(0), 0b1111000);
+  EXPECT_EQ(SteaneCode::generator_mask(1), 0b1100110);
+  EXPECT_EQ(SteaneCode::generator_mask(2), 0b1010101);
+}
+
+TEST(SteaneCodeTest, SignaturesAreUniqueAndCoverAllSyndromes) {
+  std::set<unsigned> seen;
+  for (int d = 0; d < 7; ++d) {
+    const unsigned sig = SteaneCode::signature(d);
+    EXPECT_GT(sig, 0u);
+    EXPECT_LT(sig, 8u);
+    EXPECT_TRUE(seen.insert(sig).second) << "qubit " << d;
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(SteaneCodeTest, DecodeInvertsSignature) {
+  EXPECT_EQ(SteaneCode::decode(0), -1);
+  for (int d = 0; d < 7; ++d) {
+    EXPECT_EQ(SteaneCode::decode(SteaneCode::signature(d)), d);
+  }
+}
+
+TEST(SteaneCodeTest, EsmStructure) {
+  const Circuit esm = SteaneCode::esm_circuit(0);
+  EXPECT_EQ(esm.count(GateType::kMeasureZ), 6u);
+  EXPECT_EQ(esm.count(GateType::kPrepZ), 6u);
+  EXPECT_EQ(esm.count(GateType::kH), 6u);   // 2 per X check
+  EXPECT_EQ(esm.count(GateType::kCnot), 24u);  // 4 per check
+}
+
+TEST(SteaneCodeTest, TransversalCircuits) {
+  EXPECT_EQ(SteaneCode::logical_x_circuit(0).num_operations(), 7u);
+  EXPECT_EQ(SteaneCode::logical_z_circuit(0).num_operations(), 7u);
+  EXPECT_EQ(SteaneCode::logical_h_circuit(0).num_operations(), 7u);
+  EXPECT_EQ(SteaneCode::logical_cnot_circuit(0, 13).num_operations(), 7u);
+  EXPECT_EQ(SteaneCode::measure_circuit(0).count(GateType::kMeasureZ), 7u);
+}
+
+// Run one ESM round on the tableau and confirm the register ends in a
+// simultaneous eigenstate of all six generators.
+TEST(SteaneCodeTest, EsmProjectsIntoCodeCheckEigenstates) {
+  stab::Tableau t(13, 5);
+  t.execute(SteaneCode::esm_circuit(0));
+  const auto results = t.take_measurements();
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    stab::PauliString x(13);
+    stab::PauliString z(13);
+    for (int d = 0; d < 7; ++d) {
+      if (SteaneCode::generator_mask(i) & (1u << d)) {
+        x.set_pauli(static_cast<std::size_t>(d), stab::Pauli::kX);
+        z.set_pauli(static_cast<std::size_t>(d), stab::Pauli::kZ);
+      }
+    }
+    EXPECT_EQ(t.expectation(x),
+              results[static_cast<std::size_t>(i)].sign());
+    EXPECT_EQ(t.expectation(z),
+              results[static_cast<std::size_t>(3 + i)].sign());
+  }
+}
+
+// Single-error correction round trip on the tableau: inject each
+// single-qubit Pauli error into an encoded |0>_L and confirm the
+// syndromes identify it.
+TEST(SteaneCodeTest, SyndromeIdentifiesEverySingleError) {
+  for (int q = 0; q < 7; ++q) {
+    for (GateType error : {GateType::kX, GateType::kZ}) {
+      stab::Tableau t(13, static_cast<std::uint64_t>(q + 17));
+      // Encode |0>_L: project, gauge-fix X checks with Z corrections.
+      t.execute(SteaneCode::esm_circuit(0));
+      auto first = t.take_measurements();
+      unsigned x_syn = 0;
+      for (int i = 0; i < 3; ++i) {
+        if (first[static_cast<std::size_t>(i)].value) {
+          x_syn |= 1u << i;
+        }
+      }
+      if (const int fix = SteaneCode::decode(x_syn); fix >= 0) {
+        t.apply_z(static_cast<Qubit>(fix));
+      }
+      // Inject the error.
+      t.apply_unitary(Operation{error, static_cast<Qubit>(q)});
+      // Measure the syndromes again.
+      t.execute(SteaneCode::esm_circuit(0));
+      auto after = t.take_measurements();
+      unsigned x_after = 0;
+      unsigned z_after = 0;
+      for (int i = 0; i < 3; ++i) {
+        if (after[static_cast<std::size_t>(i)].value) {
+          x_after |= 1u << i;
+        }
+        if (after[static_cast<std::size_t>(3 + i)].value) {
+          z_after |= 1u << i;
+        }
+      }
+      if (error == GateType::kX) {
+        EXPECT_EQ(SteaneCode::decode(z_after), q);
+        EXPECT_EQ(x_after, 0u);
+      } else {
+        EXPECT_EQ(SteaneCode::decode(x_after), q);
+        EXPECT_EQ(z_after, 0u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qpf::qec

@@ -1,0 +1,116 @@
+// Integration tests for the Steane [[7,1,3]] QEC layer.
+#include "arch/steane_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/chp_core.h"
+#include "stabilizer/pauli_string.h"
+
+namespace qpf::arch {
+namespace {
+
+using qec::SteaneCode;
+
+TEST(SteaneLayerTest, InitializationProducesLogicalZero) {
+  ChpCore core(3);
+  SteaneLayer steane(&core);
+  steane.create_qubits(1);
+  steane.initialize(0);
+  ASSERT_NE(core.tableau(), nullptr);
+  // |0>_L is stabilized by Z_L = Z on all seven data qubits.
+  EXPECT_EQ(core.tableau()->expectation(
+                stab::PauliString::parse("Z0Z1Z2Z3Z4Z5Z6", 13)),
+            +1);
+  EXPECT_EQ(steane.get_state()[0], BinaryValue::kZero);
+  EXPECT_EQ(steane.measure_logical(0), +1);
+}
+
+TEST(SteaneLayerTest, LogicalXFlipsMeasurement) {
+  ChpCore core(5);
+  SteaneLayer steane(&core);
+  steane.create_qubits(1);
+  Circuit logical;
+  logical.append(GateType::kPrepZ, 0);
+  logical.append(GateType::kX, 0);
+  logical.append(GateType::kMeasureZ, 0);
+  steane.add(logical);
+  steane.execute();
+  EXPECT_EQ(steane.get_state()[0], BinaryValue::kOne);
+}
+
+TEST(SteaneLayerTest, CnotTruthTable) {
+  const bool cases[4][4] = {{false, false, false, false},
+                            {false, true, false, true},
+                            {true, false, true, true},
+                            {true, true, true, false}};
+  for (const auto& c : cases) {
+    ChpCore core(7);
+    SteaneLayer steane(&core);
+    steane.create_qubits(2);
+    Circuit logical;
+    logical.append(GateType::kPrepZ, 0);
+    logical.append(GateType::kPrepZ, 1);
+    if (c[0]) {
+      logical.append(GateType::kX, 0);
+    }
+    if (c[1]) {
+      logical.append(GateType::kX, 1);
+    }
+    logical.append(GateType::kCnot, 0, 1);
+    logical.append(GateType::kMeasureZ, 0);
+    logical.append(GateType::kMeasureZ, 1);
+    steane.add(logical);
+    steane.execute();
+    const BinaryState state = steane.get_state();
+    EXPECT_EQ(state[0] == BinaryValue::kOne, c[2]);
+    EXPECT_EQ(state[1] == BinaryValue::kOne, c[3]);
+  }
+}
+
+TEST(SteaneLayerTest, HadamardTwiceIsIdentity) {
+  ChpCore core(9);
+  SteaneLayer steane(&core);
+  steane.create_qubits(1);
+  Circuit logical;
+  logical.append(GateType::kPrepZ, 0);
+  logical.append(GateType::kX, 0);
+  logical.append(GateType::kH, 0);
+  logical.append(GateType::kH, 0);
+  logical.append(GateType::kMeasureZ, 0);
+  steane.add(logical);
+  steane.execute();
+  EXPECT_EQ(steane.get_state()[0], BinaryValue::kOne);
+}
+
+TEST(SteaneLayerTest, QecRoundCorrectsEverySingleError) {
+  for (int d = 0; d < 7; ++d) {
+    for (GateType g : {GateType::kX, GateType::kZ, GateType::kY}) {
+      ChpCore core(static_cast<std::uint64_t>(11 + d));
+      SteaneLayer steane(&core);
+      steane.create_qubits(1);
+      steane.initialize(0);
+      Circuit error;
+      error.append(g, SteaneCode::data_qubit(0, d));
+      run(core, error);
+      steane.run_qec_round(0);
+      // Back in the code space with the logical value intact.
+      EXPECT_EQ(core.tableau()->expectation(
+                    stab::PauliString::parse("Z0Z1Z2Z3Z4Z5Z6", 13)),
+                +1)
+          << name(g) << " on qubit " << d;
+    }
+  }
+}
+
+TEST(SteaneLayerTest, RejectsUnsupportedGate) {
+  ChpCore core;
+  SteaneLayer steane(&core);
+  steane.create_qubits(1);
+  Circuit logical;
+  logical.append(GateType::kT, 0);
+  steane.add(logical);
+  EXPECT_THROW(steane.execute(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qpf::arch

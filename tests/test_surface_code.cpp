@@ -1,0 +1,269 @@
+// Tests for the distance-d rotated surface code: layout invariants,
+// matching decoder, patch window logic, and tableau integration.
+#include "qec/surface_code.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "qec/surface_code_patch.h"
+#include "stabilizer/tableau.h"
+
+namespace qpf::qec {
+namespace {
+
+class SurfaceCodeLayoutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SurfaceCodeLayoutTest, CountsMatchFormulae) {
+  const int d = GetParam();
+  const SurfaceCodeLayout layout(d);
+  EXPECT_EQ(layout.distance(), d);
+  EXPECT_EQ(layout.num_data(), static_cast<std::size_t>(d * d));
+  EXPECT_EQ(layout.num_checks(), static_cast<std::size_t>(d * d - 1));
+  EXPECT_EQ(layout.num_qubits(), static_cast<std::size_t>(2 * d * d - 1));
+  EXPECT_EQ(layout.checks_of(CheckType::kX).size(),
+            layout.checks_of(CheckType::kZ).size());
+}
+
+TEST_P(SurfaceCodeLayoutTest, ChecksCommutePairwise) {
+  const SurfaceCodeLayout layout(GetParam());
+  for (const SurfaceCheck& a : layout.checks()) {
+    for (const SurfaceCheck& b : layout.checks()) {
+      if (a.type == b.type) {
+        continue;  // same-basis checks trivially commute
+      }
+      std::size_t overlap = 0;
+      for (int q : a.support) {
+        overlap += std::count(b.support.begin(), b.support.end(), q);
+      }
+      EXPECT_EQ(overlap % 2, 0u)
+          << "anticommuting checks at ancillas " << a.ancilla << ","
+          << b.ancilla;
+    }
+  }
+}
+
+TEST_P(SurfaceCodeLayoutTest, CnotScheduleIsConflictFree) {
+  const SurfaceCodeLayout layout(GetParam());
+  for (int slot = 0; slot < 4; ++slot) {
+    std::set<int> used;
+    for (const SurfaceCheck& check : layout.checks()) {
+      const int q = check.data[static_cast<std::size_t>(slot)];
+      if (q >= 0) {
+        EXPECT_TRUE(used.insert(q).second)
+            << "slot " << slot << " data " << q;
+      }
+    }
+  }
+}
+
+TEST_P(SurfaceCodeLayoutTest, LogicalOperatorsCommuteWithChecks) {
+  const SurfaceCodeLayout layout(GetParam());
+  const std::vector<int> zl = layout.logical_z_data();
+  const std::vector<int> xl = layout.logical_x_data();
+  EXPECT_EQ(zl.size(), static_cast<std::size_t>(GetParam()));
+  for (const SurfaceCheck& check : layout.checks()) {
+    const auto overlap = [&](const std::vector<int>& chain) {
+      std::size_t n = 0;
+      for (int q : chain) {
+        n += std::count(check.support.begin(), check.support.end(), q);
+      }
+      return n;
+    };
+    // Z_L must commute with X checks and X_L with Z checks.
+    if (check.type == CheckType::kX) {
+      EXPECT_EQ(overlap(zl) % 2, 0u);
+    } else {
+      EXPECT_EQ(overlap(xl) % 2, 0u);
+    }
+  }
+}
+
+TEST_P(SurfaceCodeLayoutTest, EsmStructureGeneralizesTable58) {
+  const SurfaceCodeLayout layout(GetParam());
+  const Circuit esm = layout.esm_circuit(0);
+  EXPECT_EQ(esm.num_slots(), 8u);
+  EXPECT_EQ(esm.count(GateType::kPrepZ), layout.num_checks());
+  EXPECT_EQ(esm.count(GateType::kMeasureZ), layout.num_checks());
+  EXPECT_EQ(esm.count(GateType::kH),
+            2 * layout.checks_of(CheckType::kX).size());
+  std::size_t expected_cnots = 0;
+  for (const SurfaceCheck& check : layout.checks()) {
+    expected_cnots += check.support.size();
+  }
+  EXPECT_EQ(esm.count(GateType::kCnot), expected_cnots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SurfaceCodeLayoutTest,
+                         ::testing::Values(3, 5, 7));
+
+TEST(SurfaceCodeLayoutTest, InvalidDistanceRejected) {
+  EXPECT_THROW(SurfaceCodeLayout{2}, std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeLayout{4}, std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeLayout{1}, std::invalid_argument);
+}
+
+TEST(SurfaceCodeLayoutTest, DistanceThreeIsSc17) {
+  const SurfaceCodeLayout layout(3);
+  const Sc17Layout sc17;
+  // Compare the check sets {type, support mask}.
+  std::multiset<std::pair<int, unsigned>> general;
+  std::multiset<std::pair<int, unsigned>> ninja;
+  for (const SurfaceCheck& check : layout.checks()) {
+    unsigned mask = 0;
+    for (int q : check.support) {
+      mask |= 1u << q;
+    }
+    general.insert({check.type == CheckType::kX ? 0 : 1, mask});
+  }
+  for (const Check& check : sc17.checks()) {
+    ninja.insert({check.type == CheckType::kX ? 0 : 1, check.mask});
+  }
+  EXPECT_EQ(general, ninja);
+}
+
+// --- Matching decoder --------------------------------------------------
+
+class MatchingDecoderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingDecoderTest, SingleErrorsAreDecodedExactly) {
+  const SurfaceCodeLayout layout(GetParam());
+  for (CheckType basis : {CheckType::kX, CheckType::kZ}) {
+    const MatchingDecoder decoder(layout, basis);
+    for (std::size_t q = 0; q < layout.num_data(); ++q) {
+      const std::vector<int> defects =
+          decoder.signature({static_cast<int>(q)});
+      const std::vector<int> correction = decoder.decode(defects);
+      // The correction must reproduce the same syndrome (clearing it)
+      // and be minimum weight (a single qubit suffices).
+      EXPECT_EQ(decoder.signature(correction), defects);
+      EXPECT_EQ(correction.size(), 1u) << "data " << q;
+    }
+  }
+}
+
+TEST_P(MatchingDecoderTest, RandomErrorSetsAlwaysCleared) {
+  const SurfaceCodeLayout layout(GetParam());
+  std::mt19937_64 rng(11);
+  for (CheckType basis : {CheckType::kX, CheckType::kZ}) {
+    const MatchingDecoder decoder(layout, basis);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<int> errors;
+      for (std::size_t q = 0; q < layout.num_data(); ++q) {
+        if (rng() % 8 == 0) {
+          errors.push_back(static_cast<int>(q));
+        }
+      }
+      const std::vector<int> defects = decoder.signature(errors);
+      const std::vector<int> correction = decoder.decode(defects);
+      EXPECT_EQ(decoder.signature(correction), defects);
+      // The matching never uses more qubits than the actual error.
+      EXPECT_LE(correction.size(), std::max<std::size_t>(errors.size(), 1));
+    }
+  }
+}
+
+TEST_P(MatchingDecoderTest, CorrectionsNeverExceedDistanceForSingleDefectPair) {
+  const SurfaceCodeLayout layout(GetParam());
+  const MatchingDecoder decoder(layout, CheckType::kZ);
+  const std::size_t group = layout.checks_of(CheckType::kZ).size();
+  for (std::size_t a = 0; a < group; ++a) {
+    for (std::size_t b = a + 1; b < group; ++b) {
+      const auto correction =
+          decoder.decode({static_cast<int>(a), static_cast<int>(b)});
+      EXPECT_LE(correction.size(),
+                static_cast<std::size_t>(2 * layout.distance()));
+    }
+  }
+}
+
+TEST(MatchingDecoderTest, OutOfRangeDefectRejected) {
+  const SurfaceCodeLayout layout(3);
+  const MatchingDecoder decoder(layout, CheckType::kZ);
+  EXPECT_THROW((void)decoder.decode({99}), std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, MatchingDecoderTest,
+                         ::testing::Values(3, 5, 7));
+
+// --- Patch window logic -------------------------------------------------
+
+TEST(SurfaceCodePatchTest, CleanWindowDoesNothing) {
+  const SurfaceCodeLayout layout(5);
+  SurfaceCodePatch patch(&layout, 0);
+  const SurfaceCodePatch::Bits clean(layout.num_checks(), 0);
+  EXPECT_TRUE(patch.decode_window(clean, clean).empty());
+}
+
+TEST(SurfaceCodePatchTest, PersistentErrorCorrectedDisagreementDeferred) {
+  const SurfaceCodeLayout layout(5);
+  SurfaceCodePatch patch(&layout, 0);
+  const MatchingDecoder decoder(layout, CheckType::kZ);
+  // X error on data qubit 12 -> defects on its Z checks.
+  SurfaceCodePatch::Bits round(layout.num_checks(), 0);
+  for (int g : decoder.signature({12})) {
+    round[static_cast<std::size_t>(
+        layout.checks_of(CheckType::kZ)[static_cast<std::size_t>(g)])] = 1;
+  }
+  // Disagreeing rounds: deferred.
+  const SurfaceCodePatch::Bits clean(layout.num_checks(), 0);
+  EXPECT_TRUE(patch.decode_window(clean, round).empty());
+  EXPECT_EQ(patch.carried(), round);
+  // Agreeing rounds: corrected, carried returns to clean.
+  const auto corrections = patch.decode_window(round, round);
+  ASSERT_EQ(corrections.size(), 1u);
+  EXPECT_EQ(corrections[0].gate(), GateType::kX);
+  EXPECT_EQ(patch.carried(), clean);
+}
+
+TEST(SurfaceCodePatchTest, InitializationClearsEverything) {
+  const SurfaceCodeLayout layout(5);
+  SurfaceCodePatch patch(&layout, 0);
+  std::mt19937_64 rng(3);
+  SurfaceCodePatch::Bits round(layout.num_checks(), 0);
+  for (auto& bit : round) {
+    bit = rng() % 2;
+  }
+  (void)patch.decode_initialization(round);
+  for (std::uint8_t bit : patch.carried()) {
+    EXPECT_EQ(bit, 0);
+  }
+}
+
+TEST(SurfaceCodePatchTest, SizeMismatchesRejected) {
+  const SurfaceCodeLayout layout(3);
+  SurfaceCodePatch patch(&layout, 0);
+  const SurfaceCodePatch::Bits wrong(3, 0);
+  const SurfaceCodePatch::Bits right(layout.num_checks(), 0);
+  EXPECT_THROW((void)patch.decode_window(wrong, right),
+               std::invalid_argument);
+  EXPECT_THROW((void)patch.decode_initialization(wrong),
+               std::invalid_argument);
+  EXPECT_THROW(patch.set_carried(wrong), std::invalid_argument);
+}
+
+// --- Tableau integration -------------------------------------------------
+
+TEST(SurfaceCodeTableauTest, EsmProjectsIntoCheckEigenstates) {
+  for (int d : {3, 5}) {
+    const SurfaceCodeLayout layout(d);
+    stab::Tableau t(layout.num_qubits(), 7);
+    t.execute(layout.esm_circuit(0));
+    const auto results = t.take_measurements();
+    ASSERT_EQ(results.size(), layout.num_checks());
+    for (std::size_t k = 0; k < layout.num_checks(); ++k) {
+      const SurfaceCheck& check = layout.checks()[k];
+      stab::PauliString p(layout.num_qubits());
+      for (int q : check.support) {
+        p.set_pauli(static_cast<std::size_t>(q),
+                    check.type == CheckType::kX ? stab::Pauli::kX
+                                                : stab::Pauli::kZ);
+      }
+      EXPECT_EQ(t.expectation(p), results[k].sign()) << "d=" << d << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qpf::qec

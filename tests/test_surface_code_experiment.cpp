@@ -1,0 +1,149 @@
+// Integration tests for the distance-d memory experiment driver.
+#include "arch/surface_code_experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf::arch {
+namespace {
+
+using qec::CheckType;
+
+class ExperimentDistanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExperimentDistanceTest, ErrorFreeMemoryIsStable) {
+  SurfaceCodeExperiment::Config config;
+  config.distance = GetParam();
+  config.physical_error_rate = 0.0;
+  SurfaceCodeExperiment experiment(config);
+  experiment.set_diagnostic_mode(true);
+  experiment.initialize(CheckType::kZ);
+  experiment.set_diagnostic_mode(false);
+  for (int w = 0; w < 5; ++w) {
+    experiment.run_window();
+    experiment.set_diagnostic_mode(true);
+    EXPECT_FALSE(experiment.has_observable_errors());
+    EXPECT_EQ(experiment.measure_logical_stabilizer(CheckType::kZ), +1);
+    experiment.set_diagnostic_mode(false);
+  }
+}
+
+TEST_P(ExperimentDistanceTest, PlusStateIsStable) {
+  SurfaceCodeExperiment::Config config;
+  config.distance = GetParam();
+  config.physical_error_rate = 0.0;
+  config.seed = 5;
+  SurfaceCodeExperiment experiment(config);
+  experiment.set_diagnostic_mode(true);
+  experiment.initialize(CheckType::kX);
+  EXPECT_EQ(experiment.measure_logical_stabilizer(CheckType::kX), +1);
+  experiment.set_diagnostic_mode(false);
+  experiment.run_window();
+  experiment.set_diagnostic_mode(true);
+  EXPECT_EQ(experiment.measure_logical_stabilizer(CheckType::kX), +1);
+}
+
+TEST_P(ExperimentDistanceTest, EverySingleDataErrorIsCorrected) {
+  const int d = GetParam();
+  SurfaceCodeExperiment::Config config;
+  config.distance = d;
+  config.physical_error_rate = 0.0;
+  for (GateType g : {GateType::kX, GateType::kZ, GateType::kY}) {
+    for (int q = 0; q < d * d; ++q) {
+      SurfaceCodeExperiment experiment(config);
+      experiment.set_diagnostic_mode(true);
+      experiment.initialize(CheckType::kZ);
+      Circuit error;
+      error.append(g, static_cast<Qubit>(q));
+      run(experiment.device(), error);
+      // Two windows: one may defer (the error appears fresh), the next
+      // must act.
+      experiment.run_window();
+      experiment.run_window();
+      EXPECT_FALSE(experiment.has_observable_errors())
+          << name(g) << " on data " << q;
+      EXPECT_EQ(experiment.measure_logical_stabilizer(CheckType::kZ), +1)
+          << name(g) << " on data " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ExperimentDistanceTest,
+                         ::testing::Values(3, 5));
+
+TEST(SurfaceCodeExperimentTest, WeightTwoErrorsCorrectedAtDistanceFive) {
+  SurfaceCodeExperiment::Config config;
+  config.distance = 5;
+  config.physical_error_rate = 0.0;
+  // A pair of X errors: still below (d-1)/2 = 2 correctable weight.
+  for (const auto& pair : {std::pair{0, 7}, {12, 13}, {3, 21}}) {
+    SurfaceCodeExperiment experiment(config);
+    experiment.set_diagnostic_mode(true);
+    experiment.initialize(CheckType::kZ);
+    Circuit error;
+    error.append(GateType::kX, static_cast<Qubit>(pair.first));
+    error.append(GateType::kX, static_cast<Qubit>(pair.second));
+    run(experiment.device(), error);
+    experiment.run_window();
+    experiment.run_window();
+    EXPECT_FALSE(experiment.has_observable_errors())
+        << pair.first << "," << pair.second;
+    EXPECT_EQ(experiment.measure_logical_stabilizer(CheckType::kZ), +1)
+        << pair.first << "," << pair.second;
+  }
+}
+
+TEST(SurfaceCodeExperimentTest, DistanceFiveCorrectsWhatDistanceThreeCannot) {
+  // The weight-2 X error on data {2, 6} produces the same syndrome as a
+  // single X on D4 at d = 3, so the LUT "corrects" with X4 and completes
+  // X2 X4 X6 = X_L: a logical flip from two faults, as distance 3
+  // permits.  At d = 5 the same-index error (data (0,2) and (1,1)) is
+  // within the correction capacity and must be recovered.
+  const auto survives = [](int distance) {
+    SurfaceCodeExperiment::Config config;
+    config.distance = distance;
+    config.physical_error_rate = 0.0;
+    SurfaceCodeExperiment experiment(config);
+    experiment.set_diagnostic_mode(true);
+    experiment.initialize(CheckType::kZ);
+    Circuit error;
+    error.append(GateType::kX, 2);
+    error.append(GateType::kX, 6);
+    run(experiment.device(), error);
+    experiment.run_window();
+    experiment.run_window();
+    return experiment.measure_logical_stabilizer(CheckType::kZ) == +1;
+  };
+  EXPECT_FALSE(survives(3));
+  EXPECT_TRUE(survives(5));
+}
+
+TEST(SurfaceCodeExperimentTest, PauliFrameSavesSlotsWithinCeiling) {
+  SurfaceCodeExperiment::Config config;
+  config.distance = 5;
+  config.physical_error_rate = 5e-3;
+  config.with_pauli_frame = true;
+  config.seed = 23;
+  SurfaceCodeExperiment experiment(config);
+  experiment.set_diagnostic_mode(true);
+  experiment.initialize(CheckType::kZ);
+  experiment.set_diagnostic_mode(false);
+  experiment.reset_counters();
+  for (int w = 0; w < 100; ++w) {
+    experiment.run_window();
+  }
+  // Eq 5.12 ceiling for d = 5, tsESM = 8: 1/33.
+  EXPECT_GT(experiment.slots_saved_fraction(), 0.0);
+  EXPECT_LT(experiment.slots_saved_fraction(), 1.0 / 33.0 + 1e-9);
+}
+
+TEST(SurfaceCodeExperimentTest, ConfigValidation) {
+  SurfaceCodeExperiment::Config config;
+  config.distance = 4;
+  EXPECT_THROW(SurfaceCodeExperiment{config}, std::invalid_argument);
+  config.distance = 3;
+  config.esm_rounds_per_window = 1;
+  EXPECT_THROW(SurfaceCodeExperiment{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qpf::arch

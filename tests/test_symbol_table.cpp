@@ -1,0 +1,71 @@
+// Tests for the Q Symbol Table (qcu/symbol_table.h).
+#include "qcu/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace qpf::qcu {
+namespace {
+
+TEST(QSymbolTableTest, SizingAndConstruction) {
+  const QSymbolTable table(3);
+  EXPECT_EQ(table.num_slots(), 3u);
+  EXPECT_EQ(table.num_physical_qubits(), 51u);
+  EXPECT_THROW(QSymbolTable{0}, std::invalid_argument);
+}
+
+TEST(QSymbolTableTest, MapAndTranslate) {
+  QSymbolTable table(3);
+  table.map_patch(0, 1);  // patch 0 lives in slot 1
+  EXPECT_TRUE(table.alive(0));
+  EXPECT_EQ(table.base(0), 17u);
+  // Virtual qubit 4 of patch 0 -> physical 17 + 4.
+  EXPECT_EQ(table.translate(4), 21u);
+  // Patch 1 virtual addressing starts at v17.
+  table.map_patch(1, 0);
+  EXPECT_EQ(table.translate(17), 0u);
+  EXPECT_EQ(table.translate(17 + 9), 9u);
+}
+
+TEST(QSymbolTableTest, RelocationThroughRemap) {
+  QSymbolTable table(2);
+  table.map_patch(0, 0);
+  EXPECT_EQ(table.translate(4), 4u);
+  table.unmap_patch(0);
+  table.map_patch(0, 1);  // relocated
+  EXPECT_EQ(table.translate(4), 21u);
+}
+
+TEST(QSymbolTableTest, SlotConflictsRejected) {
+  QSymbolTable table(2);
+  table.map_patch(0, 0);
+  EXPECT_THROW(table.map_patch(1, 0), std::invalid_argument);  // occupied
+  EXPECT_THROW(table.map_patch(0, 1), std::invalid_argument);  // remap alive
+  EXPECT_THROW(table.map_patch(2, 5), std::invalid_argument);  // bad slot
+}
+
+TEST(QSymbolTableTest, DeadPatchAccessRejected) {
+  QSymbolTable table(2);
+  EXPECT_FALSE(table.alive(0));
+  EXPECT_THROW((void)table.base(0), std::out_of_range);
+  EXPECT_THROW((void)table.translate(3), std::out_of_range);
+  EXPECT_THROW(table.unmap_patch(0), std::invalid_argument);
+}
+
+TEST(QSymbolTableTest, LivePatchEnumeration) {
+  QSymbolTable table(4);
+  table.map_patch(2, 0);
+  table.map_patch(0, 3);
+  EXPECT_EQ(table.live_patches(), (std::vector<PatchId>{0, 2}));
+  table.unmap_patch(2);
+  EXPECT_EQ(table.live_patches(), (std::vector<PatchId>{0}));
+}
+
+TEST(QSymbolTableTest, PatchOfVirtualQubit) {
+  EXPECT_EQ(QSymbolTable::patch_of(0), 0);
+  EXPECT_EQ(QSymbolTable::patch_of(16), 0);
+  EXPECT_EQ(QSymbolTable::patch_of(17), 1);
+  EXPECT_EQ(QSymbolTable::patch_of(35), 2);
+}
+
+}  // namespace
+}  // namespace qpf::qcu

@@ -1,0 +1,95 @@
+// Tests for the QPDO test-bench environment (§4.2.4) and the §5.2
+// verification experiments driven through it.
+#include "arch/testbench.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/chp_core.h"
+#include "arch/pauli_frame_layer.h"
+#include "arch/qx_core.h"
+
+namespace qpf::arch {
+namespace {
+
+TEST(BellStateHistoTbTest, EvenBellOnQxCore) {
+  QxCore core(5);
+  BellStateHistoTb tb(/*odd=*/false);
+  const auto report = tb.run(core, 50);
+  EXPECT_TRUE(report.all_passed()) << report.details;
+  // Only |00> and |11> appear.
+  for (const auto& [key, count] : tb.histogram()) {
+    EXPECT_TRUE(key == "|00>" || key == "|11>") << key << "=" << count;
+  }
+}
+
+TEST(BellStateHistoTbTest, OddBellOnChpCore) {
+  ChpCore core(7);
+  BellStateHistoTb tb(/*odd=*/true);
+  const auto report = tb.run(core, 50);
+  EXPECT_TRUE(report.all_passed()) << report.details;
+  for (const auto& [key, count] : tb.histogram()) {
+    EXPECT_TRUE(key == "|01>" || key == "|10>") << key << "=" << count;
+  }
+  // Both outcomes occur over 50 shots (probability 2^-50 otherwise).
+  EXPECT_EQ(tb.histogram().size(), 2u);
+}
+
+TEST(GateSupportTbTest, QxCoreSupportsEverything) {
+  QxCore core(9);
+  GateSupportTb tb;
+  const auto report = tb.run(core, 1);
+  EXPECT_TRUE(report.all_passed());
+  for (const auto& gate_report : tb.gate_reports()) {
+    EXPECT_TRUE(gate_report.supported) << name(gate_report.gate);
+    EXPECT_TRUE(gate_report.correct) << name(gate_report.gate);
+  }
+}
+
+TEST(GateSupportTbTest, ChpCoreRejectsTGates) {
+  ChpCore core(9);
+  GateSupportTb tb;
+  const auto report = tb.run(core, 1);
+  EXPECT_FALSE(report.all_passed());
+  for (const auto& gate_report : tb.gate_reports()) {
+    const bool is_t = gate_report.gate == GateType::kT ||
+                      gate_report.gate == GateType::kTdag;
+    EXPECT_EQ(gate_report.supported, !is_t) << name(gate_report.gate);
+  }
+}
+
+TEST(RandomCircuitTbTest, PlainQxCoreMatchesReference) {
+  QxCore core(1);
+  RandomCircuitOptions options;
+  options.num_qubits = 5;
+  options.num_gates = 100;
+  RandomCircuitTb tb(options, 77);
+  const auto report = tb.run(core, 10);
+  EXPECT_TRUE(report.all_passed());
+}
+
+// The §5.2.2 experiment proper: a Pauli-frame stack over QxCore,
+// flushed before comparison, matches the frame-less reference.
+TEST(RandomCircuitTbTest, PauliFrameStackMatchesReference) {
+  QxCore core(1);
+  PauliFrameLayer frame(&core);
+  RandomCircuitOptions options;
+  options.num_qubits = 5;
+  options.num_gates = 200;
+  RandomCircuitTb tb(options, 99, [&frame] { frame.flush(); });
+  const auto report = tb.run(frame, 20);
+  EXPECT_TRUE(report.all_passed());
+}
+
+TEST(RandomCircuitTbTest, FailsWithoutQuantumStateBackend) {
+  ChpCore core(1);
+  RandomCircuitOptions options;
+  options.num_qubits = 3;
+  options.num_gates = 10;
+  options.clifford_only = true;
+  RandomCircuitTb tb(options, 5);
+  const auto report = tb.run(core, 2);
+  EXPECT_EQ(report.passed, 0u);  // no amplitudes available on CHP
+}
+
+}  // namespace
+}  // namespace qpf::arch

@@ -1,0 +1,69 @@
+// Tests for the wall-clock TimingLayer and GateTimings.
+#include "arch/timing_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/qx_core.h"
+
+namespace qpf::arch {
+namespace {
+
+TEST(GateTimingsTest, SlotCostsItsSlowestOperation) {
+  const GateTimings timings;
+  TimeSlot fast;
+  fast.add(Operation{GateType::kH, 0});
+  fast.add(Operation{GateType::kCnot, 1, 2});
+  EXPECT_DOUBLE_EQ(timings.slot_ns(fast), timings.two_qubit_ns);
+  TimeSlot mixed;
+  mixed.add(Operation{GateType::kH, 0});
+  mixed.add(Operation{GateType::kMeasureZ, 1});
+  EXPECT_DOUBLE_EQ(timings.slot_ns(mixed), timings.measure_ns);
+  TimeSlot prep;
+  prep.add(Operation{GateType::kPrepZ, 0});
+  EXPECT_DOUBLE_EQ(timings.slot_ns(prep), timings.prep_ns);
+  EXPECT_DOUBLE_EQ(timings.slot_ns(TimeSlot{}), 0.0);
+}
+
+TEST(TimingLayerTest, AccumulatesPerSlot) {
+  QxCore core(1);
+  TimingLayer clock(&core);
+  clock.create_qubits(2);
+  Circuit c;
+  c.append(GateType::kH, 0);        // slot 1: 20 ns
+  c.append(GateType::kCnot, 0, 1);  // slot 2: 40 ns
+  c.append(GateType::kMeasureZ, 0); // slot 3: 300 ns
+  clock.add(c);
+  clock.execute();
+  EXPECT_DOUBLE_EQ(clock.elapsed_ns(), 360.0);
+  EXPECT_EQ(clock.slots(), 3u);
+  clock.reset_clock();
+  EXPECT_DOUBLE_EQ(clock.elapsed_ns(), 0.0);
+}
+
+TEST(TimingLayerTest, BypassStopsTheClock) {
+  QxCore core(1);
+  TimingLayer clock(&core);
+  clock.create_qubits(1);
+  clock.set_bypass(true);
+  Circuit c;
+  c.append(GateType::kH, 0);
+  clock.add(c);
+  EXPECT_DOUBLE_EQ(clock.elapsed_ns(), 0.0);
+}
+
+TEST(TimingLayerTest, CustomTimings) {
+  GateTimings timings;
+  timings.single_qubit_ns = 1.0;
+  timings.measure_ns = 2.0;
+  QxCore core(1);
+  TimingLayer clock(&core, timings);
+  clock.create_qubits(1);
+  Circuit c;
+  c.append(GateType::kX, 0);
+  c.append(GateType::kMeasureZ, 0);
+  clock.add(c);
+  EXPECT_DOUBLE_EQ(clock.elapsed_ns(), 3.0);
+}
+
+}  // namespace
+}  // namespace qpf::arch

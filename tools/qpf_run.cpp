@@ -1,0 +1,11 @@
+// qpf_run: execute QASM / CHP / QISA programs on QPF control stacks.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/runner.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> arguments(argv + 1, argv + argc);
+  return qpf::cli::run_tool(arguments, std::cout, std::cerr);
+}
