@@ -1,0 +1,126 @@
+// Classical-fault subsystem study: what record protection costs on the
+// Pauli-frame hot path, and how reliably each scheme catches injected
+// frame-memory corruption.
+//
+// Part 1 — overhead: time PauliFrame::process over a large random
+// Clifford+Pauli stream under Protection::{kNone, kParity, kVote}.
+// Part 2 — detection: corrupt random records between circuits at a
+// sweep of injection rates; report the detected / corrected /
+// recovered fractions per scheme, plus the recovery flushes the layer
+// issued (the Table 3.1 graceful-degradation path).
+//
+// Scale via QPF_FAULT_CIRCUITS (campaign length per cell).
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "arch/chp_core.h"
+#include "arch/pauli_frame_layer.h"
+#include "circuit/random.h"
+#include "core/pauli_frame.h"
+#include "ler_common.h"
+
+namespace {
+
+using namespace qpf;
+
+Circuit tracking_workload(std::uint64_t seed, std::size_t gates) {
+  RandomCircuitGenerator gen(seed);
+  RandomCircuitOptions options;
+  options.num_qubits = 16;
+  options.num_gates = gates;
+  options.clifford_only = true;  // no flushes: pure tracking hot path
+  return gen.generate(options);
+}
+
+double time_process(pf::Protection protection, const Circuit& workload) {
+  pf::PauliFrame frame(16, protection);
+  const auto start = std::chrono::steady_clock::now();
+  const Circuit out = frame.process(workload);
+  const auto stop = std::chrono::steady_clock::now();
+  // Keep the result alive so the work is not optimized away.
+  if (out.num_operations() > workload.num_operations() * 10) {
+    std::printf("(unreachable)\n");
+  }
+  return std::chrono::duration<double, std::micro>(stop - start).count();
+}
+
+struct CampaignResult {
+  std::size_t injected = 0;
+  pf::FrameHealth health;
+  std::size_t recovery_flushes = 0;
+};
+
+CampaignResult run_campaign(pf::Protection protection, double corrupt_rate,
+                            std::size_t circuits, std::uint64_t seed) {
+  arch::ChpCore core(seed);
+  arch::PauliFrameLayer layer(&core, protection);
+  layer.create_qubits(16);
+  RandomCircuitGenerator gen(seed ^ 0x5eedULL);
+  RandomCircuitOptions options;
+  options.num_qubits = 16;
+  options.num_gates = 32;
+  options.clifford_only = true;
+  std::mt19937_64 rng(seed ^ 0xc0ffeeULL);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  CampaignResult result;
+  for (std::size_t i = 0; i < circuits; ++i) {
+    if (uniform(rng) < corrupt_rate) {
+      const auto q = static_cast<Qubit>(rng() % 16);
+      const auto r = static_cast<pf::PauliRecord>(rng() % 4);
+      layer.frame().corrupt_record(q, r);
+      ++result.injected;
+    }
+    layer.add(gen.generate(options));
+    layer.execute();
+    // Periodic memory scrubbing, as a watchdog would schedule it.
+    if (i % 16 == 15) {
+      (void)layer.frame().scrub();
+    }
+  }
+  result.health = layer.frame().health();
+  result.recovery_flushes = layer.recovery_flushes();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t circuits =
+      qpf::bench::env_size_t("QPF_FAULT_CIRCUITS", 2000);
+
+  std::printf("== record-protection overhead (process of 100k gates) ==\n");
+  const Circuit workload = tracking_workload(7, 100'000);
+  const double t_none = time_process(pf::Protection::kNone, workload);
+  for (const auto protection :
+       {pf::Protection::kNone, pf::Protection::kParity,
+        pf::Protection::kVote}) {
+    const double t = time_process(protection, workload);
+    std::printf("  %-6s  %10.1f us   (x%.2f vs none)\n",
+                std::string(pf::name(protection)).c_str(), t,
+                t_none > 0.0 ? t / t_none : 0.0);
+  }
+
+  std::printf(
+      "\n== detection vs injected corruption (%zu circuits/cell) ==\n",
+      circuits);
+  std::printf("  %-6s %8s %9s %9s %10s %12s %8s\n", "scheme", "rate",
+              "injected", "detected", "corrected", "uncorrectable",
+              "flushes");
+  for (const auto protection :
+       {pf::Protection::kParity, pf::Protection::kVote}) {
+    for (const double rate : {0.01, 0.05, 0.2}) {
+      const CampaignResult r =
+          run_campaign(protection, rate, circuits, 29);
+      std::printf("  %-6s %8.2f %9zu %9zu %10zu %13zu %8zu\n",
+                  std::string(pf::name(protection)).c_str(), rate,
+                  r.injected, r.health.detected, r.health.corrected,
+                  r.health.uncorrectable, r.recovery_flushes);
+    }
+  }
+  std::printf(
+      "\nnote: a corruption that rewrites a record to the value it already\n"
+      "held, or is overwritten before the next guarded read, is invisible\n"
+      "by construction — detected counts lag injected accordingly.\n");
+  return 0;
+}

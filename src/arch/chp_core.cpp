@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 void ChpCore::create_qubits(std::size_t count) {
   if (count == 0) {
-    throw std::invalid_argument("ChpCore: zero qubits requested");
+    throw StackConfigError("ChpCore", "zero qubits requested");
   }
   binary_.assign(binary_.size() + count, BinaryValue::kUnknown);
   tableau_ = std::make_unique<stab::Tableau>(binary_.size(), seed_);
@@ -25,7 +27,7 @@ void ChpCore::remove_qubits() {
 
 void ChpCore::add(const Circuit& circuit) {
   if (circuit.min_register_size() > binary_.size()) {
-    throw std::invalid_argument("ChpCore: circuit exceeds register");
+    throw StackConfigError("ChpCore", "circuit exceeds register");
   }
   queue_.push_back(circuit);
 }

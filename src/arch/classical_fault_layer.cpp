@@ -1,0 +1,99 @@
+#include "arch/classical_fault_layer.h"
+
+#include <utility>
+#include <vector>
+
+#include "circuit/error.h"
+
+namespace qpf::arch {
+
+namespace {
+
+void require_rate(double p, const char* kind) {
+  if (p < 0.0 || p > 1.0) {
+    throw StackConfigError("ClassicalFaultLayer",
+                           std::string(kind) + " rate out of [0,1]");
+  }
+}
+
+}  // namespace
+
+ClassicalFaultLayer::ClassicalFaultLayer(Core* lower,
+                                         ClassicalFaultRates rates,
+                                         std::uint64_t seed)
+    : Layer(lower), rates_(rates), rng_(seed) {
+  require_rate(rates.drop, "drop");
+  require_rate(rates.duplicate, "duplicate");
+  require_rate(rates.reorder, "reorder");
+  require_rate(rates.readout_flip, "readout-flip");
+}
+
+bool ClassicalFaultLayer::flip(double probability) const {
+  return probability > 0.0 && uniform_(rng_) < probability;
+}
+
+void ClassicalFaultLayer::add(const Circuit& circuit) {
+  if (bypass_ || !rates_.any()) {
+    lower().add(circuit);
+    return;
+  }
+  Circuit faulty{circuit.name()};
+  for (const TimeSlot& slot : circuit) {
+    std::vector<Operation> ops;
+    std::vector<Operation> duplicates;
+    ops.reserve(slot.size());
+    for (const Operation& op : slot) {
+      if (flip(rates_.drop)) {
+        ++tally_.dropped;
+        continue;
+      }
+      if (flip(rates_.duplicate)) {
+        ++tally_.duplicated;
+        duplicates.push_back(op);
+      }
+      ops.push_back(op);
+    }
+    // Stream reordering: swap an operation with its slot neighbour.
+    // Operations inside one slot are qubit-disjoint, so the slot
+    // invariant survives any permutation.
+    for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+      if (flip(rates_.reorder)) {
+        std::swap(ops[i], ops[i + 1]);
+        ++tally_.reordered;
+      }
+    }
+    TimeSlot surviving;
+    for (const Operation& op : ops) {
+      surviving.add(op);
+    }
+    faulty.append_slot(std::move(surviving));
+    // A stuttering link re-issues the duplicated operations right after
+    // their own slot; they are mutually qubit-disjoint by construction.
+    TimeSlot echo;
+    for (const Operation& op : duplicates) {
+      echo.add(op);
+    }
+    faulty.append_slot(std::move(echo));
+  }
+  lower().add(faulty);
+}
+
+BinaryState ClassicalFaultLayer::get_state() const {
+  BinaryState state = lower().get_state();
+  if (bypass_ || rates_.readout_flip <= 0.0) {
+    return state;
+  }
+  for (BinaryValue& value : state) {
+    if (value == BinaryValue::kUnknown) {
+      continue;
+    }
+    if (flip(rates_.readout_flip)) {
+      value = value == BinaryValue::kZero ? BinaryValue::kOne
+                                          : BinaryValue::kZero;
+      ++tally_.readout_flips;
+    }
+  }
+  return state;
+}
+
+}  // namespace qpf::arch

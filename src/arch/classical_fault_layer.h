@@ -1,0 +1,90 @@
+// ClassicalFaultLayer: injects *classical* control-path faults into the
+// operation stream and the readout path — the failure modes the thesis
+// assumes away when it models only quantum noise (§5.3.1).
+//
+// A production control stack can drop an operation on the way to the
+// Physical Execution Layer, re-issue one (a stuttering link), reorder
+// the stream, or flip a readout bit on the way back up.  This layer is
+// the classical sibling of ErrorLayer: it sits in the stack like any
+// other layer, faults at configurable per-kind rates, and tallies every
+// injection so campaigns can correlate injected vs detected faults.
+//
+// Fault semantics per circuit passing down:
+//   drop      — an operation is removed from its time slot,
+//   duplicate — an operation is re-issued in an extra slot directly
+//               after its own (qubit-disjoint, so one slot suffices),
+//   reorder   — an operation is swapped with its slot neighbour
+//               (stream-order fault; slots keep their qubit invariant).
+// And on the way up:
+//   readout_flip — a known binary readout bit is inverted.
+//
+// With every rate at zero the layer forwards verbatim and never draws
+// from its RNG, so a zero-rate layer is bit-identical to no layer.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "arch/layer.h"
+
+namespace qpf::arch {
+
+/// Per-kind classical fault probabilities, each applied per operation
+/// (or per readout bit for readout_flip).
+struct ClassicalFaultRates {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double reorder = 0.0;
+  double readout_flip = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+           readout_flip > 0.0;
+  }
+
+  /// All four kinds at the same rate p.
+  [[nodiscard]] static ClassicalFaultRates uniform(double p) noexcept {
+    return ClassicalFaultRates{p, p, p, p};
+  }
+};
+
+/// Tally of injected classical faults.
+struct FaultTally {
+  std::size_t dropped = 0;
+  std::size_t duplicated = 0;
+  std::size_t reordered = 0;
+  std::size_t readout_flips = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return dropped + duplicated + reordered + readout_flips;
+  }
+};
+
+class ClassicalFaultLayer final : public Layer {
+ public:
+  /// Throws StackConfigError unless every rate is in [0, 1].
+  ClassicalFaultLayer(Core* lower, ClassicalFaultRates rates,
+                      std::uint64_t seed);
+
+  void add(const Circuit& circuit) override;
+
+  [[nodiscard]] BinaryState get_state() const override;
+
+  [[nodiscard]] const ClassicalFaultRates& rates() const noexcept {
+    return rates_;
+  }
+  [[nodiscard]] const FaultTally& tally() const noexcept { return tally_; }
+  void reset_tally() noexcept { tally_ = {}; }
+
+ private:
+  [[nodiscard]] bool flip(double probability) const;
+
+  ClassicalFaultRates rates_;
+  // Readout faults strike inside the const get_state() path, so the RNG
+  // and tally mutate under const.
+  mutable std::mt19937_64 rng_;
+  mutable std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  mutable FaultTally tally_;
+};
+
+}  // namespace qpf::arch

@@ -1,17 +1,36 @@
 #include "arch/control_stack.h"
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 LerStack::LerStack(const Config& config) : core_(config.seed) {
+  if (config.frame_protection != pf::Protection::kNone &&
+      !config.with_pauli_frame) {
+    throw StackConfigError("LerStack",
+                           "frame protection requires a Pauli frame layer");
+  }
   counter_bottom_ = std::make_unique<CounterLayer>(&core_);
   error_ = std::make_unique<ErrorLayer>(counter_bottom_.get(),
                                         config.physical_error_rate,
                                         config.seed ^ 0x9e3779b97f4a7c15ULL);
-  counter_below_ = std::make_unique<CounterLayer>(error_.get());
+  Core* below_counter = error_.get();
+  if (config.classical_faults.any()) {
+    faults_ = std::make_unique<ClassicalFaultLayer>(
+        error_.get(), config.classical_faults,
+        config.seed ^ 0xd1b54a32d192ed03ULL);
+    below_counter = faults_.get();
+  }
+  counter_below_ = std::make_unique<CounterLayer>(below_counter);
   Core* below_frame = counter_below_.get();
   if (config.with_pauli_frame) {
-    frame_ = std::make_unique<PauliFrameLayer>(below_frame);
+    frame_ =
+        std::make_unique<PauliFrameLayer>(below_frame, config.frame_protection);
     below_frame = frame_.get();
+  }
+  if (config.validate) {
+    validator_ = std::make_unique<ValidatingLayer>(below_frame, frame_.get());
+    below_frame = validator_.get();
   }
   counter_above_ = std::make_unique<CounterLayer>(below_frame);
   ninja_ = std::make_unique<NinjaStarLayer>(counter_above_.get(),
@@ -22,6 +41,9 @@ LerStack::LerStack(const Config& config) : core_(config.seed) {
 void LerStack::set_diagnostic_mode(bool on) noexcept {
   counter_bottom_->set_bypass(on);
   error_->set_bypass(on);
+  if (faults_ != nullptr) {
+    faults_->set_bypass(on);
+  }
   counter_below_->set_bypass(on);
   counter_above_->set_bypass(on);
 }

@@ -1,29 +1,39 @@
 // Pre-assembled control stacks for the thesis' experiments.
 //
 // LerStack is the Fig 5.8 stack used by the §5.3 Logical Error Rate
-// study:
+// study, extended with the optional classical-fault subsystem:
 //
 //     NinjaStarLayer            (logical operations + QEC control)
 //       CounterLayer  (above)   (stream before Pauli-frame filtering)
-//       [PauliFrameLayer]       (optional — the experiment variable)
+//       [ValidatingLayer]       (optional — shadow-frame cross-checks)
+//       [PauliFrameLayer]       (optional — the experiment variable;
+//                                record protection configurable)
 //       CounterLayer  (below)   (stream after filtering)
+//       [ClassicalFaultLayer]   (optional — drop/dup/reorder/readout)
 //       ErrorLayer               (symmetric depolarizing noise)
 //       CounterLayer  (bottom)  (physical stream incl. injected faults)
 //       ChpCore                  (stabilizer simulation backend)
 //
-// diagnostic mode bypasses the error and counter layers (§5.3.1) so the
-// probe circuits are error-free and uncounted; the Pauli frame layer
-// stays active so its records remain consistent.
+// diagnostic mode bypasses the error, classical-fault, and counter
+// layers (§5.3.1) so the probe circuits are fault-free and uncounted;
+// the Pauli frame and validating layers stay active so their records
+// remain consistent.
+//
+// With every classical fault rate at zero, protection off, and
+// validation off, the stack is bit-identical to the plain Fig 5.8
+// configuration: the optional layers are simply not constructed.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "arch/chp_core.h"
+#include "arch/classical_fault_layer.h"
 #include "arch/counter_layer.h"
 #include "arch/error_layer.h"
 #include "arch/ninja_star_layer.h"
 #include "arch/pauli_frame_layer.h"
+#include "arch/validating_layer.h"
 
 namespace qpf::arch {
 
@@ -35,14 +45,22 @@ class LerStack {
     std::uint64_t seed = 1;
     std::size_t logical_qubits = 1;
     NinjaStarLayer::Options ninja_options{};
+
+    /// Classical-fault subsystem (all off by default).
+    ClassicalFaultRates classical_faults{};
+    pf::Protection frame_protection = pf::Protection::kNone;
+    bool validate = false;
   };
 
+  /// Throws StackConfigError on an invalid configuration (bad rates,
+  /// zero logical qubits, protection without a Pauli frame).
   explicit LerStack(const Config& config);
 
   /// The top of the stack.
   [[nodiscard]] NinjaStarLayer& ninja() noexcept { return *ninja_; }
 
-  /// Bypass (true) or re-arm (false) the error and counter layers.
+  /// Bypass (true) or re-arm (false) the error, classical-fault, and
+  /// counter layers.
   void set_diagnostic_mode(bool on) noexcept;
 
   [[nodiscard]] const Counters& counters_above_frame() const noexcept {
@@ -67,6 +85,20 @@ class LerStack {
     return frame_.get();
   }
 
+  [[nodiscard]] bool has_classical_faults() const noexcept {
+    return faults_ != nullptr;
+  }
+  [[nodiscard]] ClassicalFaultLayer* classical_fault_layer() noexcept {
+    return faults_.get();
+  }
+
+  [[nodiscard]] bool has_validator() const noexcept {
+    return validator_ != nullptr;
+  }
+  [[nodiscard]] ValidatingLayer* validating_layer() noexcept {
+    return validator_.get();
+  }
+
   /// Fraction of gates / time slots the frame absorbed, from the two
   /// counters around it (Figs 5.25 / 5.26).
   [[nodiscard]] double gates_saved_fraction() const noexcept;
@@ -76,8 +108,10 @@ class LerStack {
   ChpCore core_;
   std::unique_ptr<CounterLayer> counter_bottom_;
   std::unique_ptr<ErrorLayer> error_;
+  std::unique_ptr<ClassicalFaultLayer> faults_;  // may be null
   std::unique_ptr<CounterLayer> counter_below_;
-  std::unique_ptr<PauliFrameLayer> frame_;  // may be null
+  std::unique_ptr<PauliFrameLayer> frame_;       // may be null
+  std::unique_ptr<ValidatingLayer> validator_;   // may be null
   std::unique_ptr<CounterLayer> counter_above_;
   std::unique_ptr<NinjaStarLayer> ninja_;
 };

@@ -8,6 +8,8 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 #include "arch/core_interface.h"
 
 namespace qpf::arch {
@@ -16,7 +18,7 @@ class Layer : public Core {
  public:
   explicit Layer(Core* lower) : lower_(lower) {
     if (lower == nullptr) {
-      throw std::invalid_argument("Layer: null lower layer");
+      throw StackConfigError("Layer", "null lower layer");
     }
   }
 

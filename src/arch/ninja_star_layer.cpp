@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 using qec::CheckType;
@@ -17,8 +19,7 @@ NinjaStarLayer::NinjaStarLayer(Core* lower)
 NinjaStarLayer::NinjaStarLayer(Core* lower, Options options)
     : Layer(lower), options_(options), layout_(options.esm_pattern) {
   if (options_.esm_rounds_per_window < 2) {
-    throw std::invalid_argument(
-        "NinjaStarLayer: a window needs at least two ESM rounds");
+    throw StackConfigError("NinjaStarLayer", "a window needs at least two ESM rounds");
   }
 }
 
@@ -41,7 +42,7 @@ void NinjaStarLayer::remove_qubits() {
 
 void NinjaStarLayer::add(const Circuit& logical_circuit) {
   if (logical_circuit.min_register_size() > stars_.size()) {
-    throw std::invalid_argument("NinjaStarLayer: logical qubit out of range");
+    throw StackConfigError("NinjaStarLayer", "logical qubit out of range");
   }
   queue_.push_back(logical_circuit);
 }
@@ -173,7 +174,8 @@ void NinjaStarLayer::initialize_injected(Qubit logical,
   for (const TimeSlot& prep_slot : center_preparation) {
     for (const Operation& op : prep_slot) {
       if (op.arity() != 1 || op.qubit(0) != 0) {
-        throw std::invalid_argument(
+        throw StackConfigError(
+            "NinjaStarLayer",
             "initialize_injected: preparation must be single-qubit gates "
             "on qubit 0");
       }
@@ -350,8 +352,8 @@ void NinjaStarLayer::apply_logical(const Operation& op) {
       return;
     }
     default:
-      throw std::invalid_argument(
-          "NinjaStarLayer: no fault-tolerant implementation for " + op.str());
+      throw StackConfigError(
+          "NinjaStarLayer", "no fault-tolerant implementation for " + op.str());
   }
 }
 

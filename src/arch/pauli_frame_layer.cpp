@@ -2,6 +2,23 @@
 
 namespace qpf::arch {
 
+void PauliFrameLayer::add(const Circuit& circuit) {
+  require_frame();
+  const std::size_t uncorrectable_before = frame_->health().uncorrectable;
+  lower().add(frame_->process(circuit));
+  if (frame_->health().uncorrectable > uncorrectable_before) {
+    // Graceful degradation: a record was lost while rewriting this
+    // circuit.  Flush the remaining records so the frame re-enters a
+    // known-clean state; the lost Pauli is now a physical error that
+    // the QEC layers above absorb like any other fault.
+    const Circuit corrections = frame_->flush_all();
+    if (!corrections.empty()) {
+      lower().add(corrections);
+    }
+    ++recovery_flushes_;
+  }
+}
+
 BinaryState PauliFrameLayer::get_state() const {
   require_frame();
   BinaryState state = lower().get_state();

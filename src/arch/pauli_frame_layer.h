@@ -8,6 +8,13 @@
 // consistent with every circuit that reaches the qubits, so even the
 // diagnostics circuits of §5.3.1 flow through the frame (the thesis
 // bypasses only the counter and error layers).
+//
+// With a record Protection enabled (core/pauli_frame.h), the layer also
+// performs graceful degradation: when the frame reports a detected-but-
+// uncorrectable record while processing a circuit, the layer issues a
+// full frame flush (Table 3.1) right behind it so the whole frame
+// returns to a known-clean state instead of silently corrupting the
+// downstream Clifford stream.
 #pragma once
 
 #include "arch/layer.h"
@@ -17,11 +24,13 @@ namespace qpf::arch {
 
 class PauliFrameLayer final : public Layer {
  public:
-  explicit PauliFrameLayer(Core* lower) : Layer(lower) {}
+  explicit PauliFrameLayer(Core* lower,
+                           pf::Protection protection = pf::Protection::kNone)
+      : Layer(lower), protection_(protection) {}
 
   void create_qubits(std::size_t count) override {
     lower().create_qubits(count);
-    frame_ = pf::PauliFrame{num_qubits()};
+    frame_ = pf::PauliFrame{num_qubits(), protection_};
   }
 
   void remove_qubits() override {
@@ -29,16 +38,23 @@ class PauliFrameLayer final : public Layer {
     frame_.reset();
   }
 
-  void add(const Circuit& circuit) override {
-    require_frame();
-    lower().add(frame_->process(circuit));
-  }
+  void add(const Circuit& circuit) override;
 
   [[nodiscard]] BinaryState get_state() const override;
 
   /// Apply every pending record on the qubits (needed before comparing
   /// raw quantum states, §5.2.2) and run it.
   void flush();
+
+  /// Number of recovery flushes issued after uncorrectable record
+  /// corruption (zero unless a Protection is active and faults hit).
+  [[nodiscard]] std::size_t recovery_flushes() const noexcept {
+    return recovery_flushes_;
+  }
+
+  [[nodiscard]] pf::Protection protection() const noexcept {
+    return protection_;
+  }
 
   [[nodiscard]] pf::PauliFrame& frame() {
     require_frame();
@@ -56,6 +72,8 @@ class PauliFrameLayer final : public Layer {
     }
   }
 
+  pf::Protection protection_;
+  std::size_t recovery_flushes_ = 0;
   mutable std::optional<pf::PauliFrame> frame_;
 };
 

@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 void QxCore::create_qubits(std::size_t count) {
   if (count == 0) {
-    throw std::invalid_argument("QxCore: zero qubits requested");
+    throw StackConfigError("QxCore", "zero qubits requested");
   }
   binary_.assign(binary_.size() + count, BinaryValue::kZero);
   simulator_ = std::make_unique<sv::Simulator>(binary_.size(), seed_);
@@ -21,7 +23,7 @@ void QxCore::remove_qubits() {
 
 void QxCore::add(const Circuit& circuit) {
   if (circuit.min_register_size() > binary_.size()) {
-    throw std::invalid_argument("QxCore: circuit exceeds register");
+    throw StackConfigError("QxCore", "circuit exceeds register");
   }
   queue_.push_back(circuit);
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 using qec::CheckType;
@@ -21,7 +23,7 @@ void SteaneLayer::remove_qubits() {
 
 void SteaneLayer::add(const Circuit& logical_circuit) {
   if (logical_circuit.min_register_size() > logical_state_.size()) {
-    throw std::invalid_argument("SteaneLayer: logical qubit out of range");
+    throw StackConfigError("SteaneLayer", "logical qubit out of range");
   }
   queue_.push_back(logical_circuit);
 }
@@ -198,8 +200,8 @@ void SteaneLayer::apply_logical(const Operation& op) {
       return;
     }
     default:
-      throw std::invalid_argument(
-          "SteaneLayer: no fault-tolerant implementation for " + op.str());
+      throw StackConfigError(
+          "SteaneLayer", "no fault-tolerant implementation for " + op.str());
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 using qec::CheckType;
@@ -15,8 +17,7 @@ SurfaceCodeExperiment::SurfaceCodeExperiment(const Config& config)
       core_(config.seed),
       patch_(&layout_, 0) {
   if (rounds_per_window_ < 2) {
-    throw std::invalid_argument(
-        "SurfaceCodeExperiment: a window needs at least two ESM rounds");
+    throw StackConfigError("SurfaceCodeExperiment", "a window needs at least two ESM rounds");
   }
   error_ = std::make_unique<ErrorLayer>(&core_, config.physical_error_rate,
                                         config.seed ^ 0x9e3779b97f4a7c15ULL);

@@ -1,0 +1,87 @@
+#include "arch/validating_layer.h"
+
+namespace qpf::arch {
+
+void ValidatingLayer::report(FaultReport::Kind kind, std::string detail) const {
+  reports_.push_back(FaultReport{kind, std::move(detail), circuits_seen_});
+}
+
+void ValidatingLayer::create_qubits(std::size_t count) {
+  lower().create_qubits(count);
+  if (observed_ != nullptr) {
+    reference_.emplace(num_qubits());
+  }
+}
+
+void ValidatingLayer::remove_qubits() {
+  lower().remove_qubits();
+  reference_.reset();
+}
+
+void ValidatingLayer::resync() {
+  if (observed_ == nullptr || !reference_.has_value()) {
+    return;
+  }
+  for (Qubit q = 0; q < reference_->num_qubits(); ++q) {
+    reference_->set_record(q, observed_->frame().record(q));
+  }
+}
+
+void ValidatingLayer::add(const Circuit& circuit) {
+  ++circuits_seen_;
+  lower().add(circuit);
+  if (num_qubits() != lower().num_qubits()) {
+    report(FaultReport::Kind::kRegisterMismatch,
+           "layer sees " + std::to_string(num_qubits()) + " qubits, lower " +
+               std::to_string(lower().num_qubits()));
+  }
+  if (observed_ == nullptr || !reference_.has_value()) {
+    return;
+  }
+  // Shadow-execute the same stream through the fault-free reference.
+  const Circuit rewritten = reference_->process(circuit);
+  if (rewritten.num_slots() > circuit.num_slots()) {
+    report(FaultReport::Kind::kSlotGrowth,
+           "Table 3.1 rewriting grew " + std::to_string(circuit.num_slots()) +
+               " slots to " + std::to_string(rewritten.num_slots()));
+  }
+  const pf::PauliFrame& observed = observed_->frame();
+  if (observed.num_qubits() != reference_->num_qubits()) {
+    report(FaultReport::Kind::kRegisterMismatch,
+           "observed frame has " + std::to_string(observed.num_qubits()) +
+               " records, reference " +
+               std::to_string(reference_->num_qubits()));
+    return;
+  }
+  for (Qubit q = 0; q < reference_->num_qubits(); ++q) {
+    const pf::PauliRecord seen = observed.record(q);
+    if (static_cast<std::uint8_t>(seen) > 3) {
+      report(FaultReport::Kind::kInvalidRecord,
+             "qubit " + std::to_string(q) + " holds record value " +
+                 std::to_string(static_cast<std::uint8_t>(seen)));
+      continue;
+    }
+    const pf::PauliRecord expected = reference_->record(q);
+    if (seen != expected) {
+      report(FaultReport::Kind::kRecordMismatch,
+             "qubit " + std::to_string(q) + ": observed " +
+                 std::string(pf::name(seen)) + ", reference " +
+                 std::string(pf::name(expected)));
+      // Adopt the observed value so one corruption yields one report
+      // instead of repeating on every subsequent circuit.
+      reference_->set_record(q, seen);
+    }
+  }
+}
+
+BinaryState ValidatingLayer::get_state() const {
+  BinaryState state = lower().get_state();
+  if (state.size() != num_qubits()) {
+    report(FaultReport::Kind::kStateSizeMismatch,
+           "readout has " + std::to_string(state.size()) +
+               " bits for a register of " + std::to_string(num_qubits()));
+  }
+  return state;
+}
+
+}  // namespace qpf::arch

@@ -1,0 +1,54 @@
+#include "circuit/error.h"
+
+namespace qpf {
+
+namespace {
+
+std::string render(const std::string& message, const ErrorContext& context) {
+  std::string out;
+  if (!context.component.empty()) {
+    out += context.component;
+    out += ": ";
+  }
+  out += message;
+  std::string where;
+  if (context.line.has_value()) {
+    where += "line " + std::to_string(*context.line);
+    if (context.column.has_value()) {
+      where += ", column " + std::to_string(*context.column);
+    }
+  }
+  if (context.slot.has_value()) {
+    if (!where.empty()) {
+      where += ", ";
+    }
+    where += "slot " + std::to_string(*context.slot);
+  }
+  if (!where.empty()) {
+    out += " (" + where + ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+Error::Error(const std::string& message, ErrorContext context)
+    : std::runtime_error(render(message, context)),
+      message_(message),
+      context_(std::move(context)) {}
+
+QasmParseError::QasmParseError(const std::string& message, std::size_t line,
+                               std::optional<std::size_t> column)
+    : Error(message, ErrorContext{"parse error", std::nullopt, line, column}) {}
+
+StackConfigError::StackConfigError(const std::string& component,
+                                   const std::string& message)
+    : Error(message, ErrorContext{component, std::nullopt, std::nullopt,
+                                  std::nullopt}) {}
+
+QcuError::QcuError(const std::string& component, const std::string& message,
+                   std::optional<std::size_t> line)
+    : Error(message, ErrorContext{component, std::nullopt, line,
+                                  std::nullopt}) {}
+
+}  // namespace qpf

@@ -1,0 +1,72 @@
+// Typed error hierarchy for the whole control stack.
+//
+// Every deliberate failure in the library is reported as a qpf::Error
+// (or a subclass) so callers — the CLI runner in particular — can catch
+// one type, render the attached context (component name, time-slot
+// index, source line/column), and exit cleanly.  The base derives from
+// std::runtime_error, so legacy call sites catching the standard type
+// keep working.
+//
+// Subclasses map to the three failure domains of the stack:
+//   QasmParseError   — malformed program text (QASM / CHP dialects),
+//   StackConfigError — a layer, core, or model rejected its inputs,
+//   QcuError         — QISA assembly / Quantum Control Unit faults.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace qpf {
+
+/// Where an error happened, for diagnostics.  Fields are optional; only
+/// populated ones are rendered into what().
+struct ErrorContext {
+  std::string component;              ///< layer / module / parser name
+  std::optional<std::size_t> slot;    ///< time-slot index in the stream
+  std::optional<std::size_t> line;    ///< 1-based source line (text formats)
+  std::optional<std::size_t> column;  ///< 1-based source column
+};
+
+/// Base of the hierarchy.  what() renders "component: message (line N,
+/// column C / slot S)" with absent context fields omitted.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message, ErrorContext context = {});
+
+  /// The raw message, without the rendered context.
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+  [[nodiscard]] const ErrorContext& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  std::string message_;
+  ErrorContext context_;
+};
+
+/// Malformed program text (QASM, CHP, or logical-QASM input).
+class QasmParseError : public Error {
+ public:
+  QasmParseError(const std::string& message, std::size_t line,
+                 std::optional<std::size_t> column = std::nullopt);
+};
+
+/// A layer, core, noise model, or stack configuration rejected its
+/// inputs (bad rates, register mismatches, null wiring, ...).
+class StackConfigError : public Error {
+ public:
+  StackConfigError(const std::string& component, const std::string& message);
+};
+
+/// QISA assembly, symbol-table, or Quantum Control Unit failure.
+class QcuError : public Error {
+ public:
+  QcuError(const std::string& component, const std::string& message,
+           std::optional<std::size_t> line = std::nullopt);
+};
+
+}  // namespace qpf

@@ -25,8 +25,10 @@ namespace qpf {
 /// Render a circuit in the QASM dialect described above.
 [[nodiscard]] std::string to_qasm(const Circuit& circuit);
 
-/// Parse the QASM dialect.  Throws std::runtime_error with a line number
-/// on malformed input.  Unknown mnemonics are an error.
+/// Parse the QASM dialect.  Throws QasmParseError (see circuit/error.h)
+/// carrying line and column on malformed input.  Unknown mnemonics,
+/// trailing tokens, and qubit indices outside a declared "qubits N"
+/// register are errors.
 [[nodiscard]] Circuit from_qasm(const std::string& text);
 
 /// Stream variants.

@@ -7,9 +7,12 @@
 #include <stdexcept>
 
 #include "arch/chp_core.h"
+#include "arch/classical_fault_layer.h"
 #include "arch/error_layer.h"
 #include "arch/pauli_frame_layer.h"
 #include "arch/qx_core.h"
+#include "arch/validating_layer.h"
+#include "circuit/error.h"
 #include "circuit/qasm.h"
 #include "qcu/compiler.h"
 #include "qcu/qcu.h"
@@ -49,11 +52,48 @@ std::optional<Format> format_from_extension(const std::string& path) {
   return std::nullopt;
 }
 
+// Accumulated robustness statistics across the shots of one run.
+struct FaultSummary {
+  arch::FaultTally injected;
+  pf::FrameHealth health;
+  std::size_t recovery_flushes = 0;
+  std::size_t validator_reports = 0;
+
+  [[nodiscard]] bool anything() const noexcept {
+    return injected.total() != 0 || health.checks != 0 ||
+           recovery_flushes != 0 || validator_reports != 0;
+  }
+};
+
+void accumulate(FaultSummary& summary, const arch::ClassicalFaultLayer* faults,
+                const arch::PauliFrameLayer* frame,
+                const arch::ValidatingLayer* validator) {
+  if (faults != nullptr) {
+    summary.injected.dropped += faults->tally().dropped;
+    summary.injected.duplicated += faults->tally().duplicated;
+    summary.injected.reordered += faults->tally().reordered;
+    summary.injected.readout_flips += faults->tally().readout_flips;
+  }
+  if (frame != nullptr) {
+    const pf::FrameHealth& health = frame->frame().health();
+    summary.health.checks += health.checks;
+    summary.health.detected += health.detected;
+    summary.health.corrected += health.corrected;
+    summary.health.uncorrectable += health.uncorrectable;
+    summary.health.recovery_resets += health.recovery_resets;
+    summary.health.scrubs += health.scrubs;
+    summary.recovery_flushes += frame->recovery_flushes();
+  }
+  if (validator != nullptr) {
+    summary.validator_reports += validator->reports().size();
+  }
+}
+
 // Assemble the layered stack and run one shot of a physical circuit,
 // returning the final binary state string (q_{n-1} ... q_0).
 std::string run_circuit_shot(const RunnerOptions& options,
                              const Circuit& circuit, std::uint64_t seed,
-                             std::string* state_dump) {
+                             std::string* state_dump, FaultSummary* summary) {
   std::unique_ptr<arch::Core> core;
   arch::QxCore* qx = nullptr;
   if (options.backend == Backend::kQx) {
@@ -64,16 +104,29 @@ std::string run_circuit_shot(const RunnerOptions& options,
     core = std::make_unique<arch::ChpCore>(seed);
   }
   std::unique_ptr<arch::ErrorLayer> error;
+  std::unique_ptr<arch::ClassicalFaultLayer> faults;
   std::unique_ptr<arch::PauliFrameLayer> frame;
+  std::unique_ptr<arch::ValidatingLayer> validator;
   arch::Core* top = core.get();
   if (options.error_rate > 0.0) {
     error = std::make_unique<arch::ErrorLayer>(top, options.error_rate,
                                                seed ^ 0x517ULL);
     top = error.get();
   }
+  if (options.classical_fault_rate > 0.0) {
+    faults = std::make_unique<arch::ClassicalFaultLayer>(
+        top, arch::ClassicalFaultRates::uniform(options.classical_fault_rate),
+        seed ^ 0xfa017ULL);
+    top = faults.get();
+  }
   if (options.pauli_frame) {
-    frame = std::make_unique<arch::PauliFrameLayer>(top);
+    frame = std::make_unique<arch::PauliFrameLayer>(top,
+                                                    options.frame_protection);
     top = frame.get();
+  }
+  if (options.validate) {
+    validator = std::make_unique<arch::ValidatingLayer>(top, frame.get());
+    top = validator.get();
   }
   const std::size_t qubits = std::max<std::size_t>(
       circuit.min_register_size(), 1);
@@ -91,6 +144,9 @@ std::string run_circuit_shot(const RunnerOptions& options,
     }
     *state_dump = qx->get_quantum_state()->str(1e-9);
   }
+  if (summary != nullptr) {
+    accumulate(*summary, faults.get(), frame.get(), validator.get());
+  }
   return bits;
 }
 
@@ -101,11 +157,13 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit) {
       << circuit.min_register_size() << " qubits\n";
   std::map<std::string, std::size_t> histogram;
   std::string state_dump;
+  FaultSummary summary;
   for (std::size_t shot = 0; shot < options.shots; ++shot) {
     const std::string bits = run_circuit_shot(
         options, circuit, options.seed + shot,
         options.print_state && shot + 1 == options.shots ? &state_dump
-                                                         : nullptr);
+                                                         : nullptr,
+        &summary);
     ++histogram[bits];
   }
   if (options.shots == 1) {
@@ -115,6 +173,24 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit) {
     for (const auto& [bits, count] : histogram) {
       out << "  |" << bits << ">  " << count << "\n";
     }
+  }
+  if (options.classical_fault_rate > 0.0) {
+    out << "classical faults injected: " << summary.injected.dropped
+        << " dropped, " << summary.injected.duplicated << " duplicated, "
+        << summary.injected.reordered << " reordered, "
+        << summary.injected.readout_flips << " readout flips\n";
+  }
+  if (options.pauli_frame &&
+      options.frame_protection != pf::Protection::kNone) {
+    out << "frame health (" << pf::name(options.frame_protection)
+        << "): " << summary.health.checks << " checks, "
+        << summary.health.detected << " detected, " << summary.health.corrected
+        << " corrected, " << summary.health.uncorrectable
+        << " uncorrectable, " << summary.recovery_flushes
+        << " recovery flushes\n";
+  }
+  if (options.validate) {
+    out << "validator: " << summary.validator_reports << " report(s)\n";
   }
   if (!state_dump.empty()) {
     out << "quantum state (last shot, frame flushed):\n" << state_dump;
@@ -136,14 +212,27 @@ std::string run_qisa_program(const RunnerOptions& options,
   out << kind << " program: " << program.size() << " instructions, " << slots
       << " patch slot(s)\n";
   std::map<std::string, std::size_t> histogram;
+  arch::FaultTally injected;
   for (std::size_t shot = 0; shot < options.shots; ++shot) {
     arch::ChpCore core(options.seed + shot);
     std::unique_ptr<arch::ErrorLayer> error;
+    std::unique_ptr<arch::ClassicalFaultLayer> faults;
     arch::Core* pel = &core;
     if (options.error_rate > 0.0) {
       error = std::make_unique<arch::ErrorLayer>(
           pel, options.error_rate, options.seed + shot + 0x9999);
       pel = error.get();
+    }
+    if (options.classical_fault_rate > 0.0) {
+      // No drop faults below the QCU: a swallowed ESM / readout
+      // measurement violates the decoder's input contract (a logic
+      // error by design).  Duplicates, reorders, and readout flips are
+      // the fault kinds the decode path absorbs like ordinary noise.
+      const double p = options.classical_fault_rate;
+      faults = std::make_unique<arch::ClassicalFaultLayer>(
+          pel, arch::ClassicalFaultRates{0.0, p, p, p},
+          options.seed + shot + 0xfa017);
+      pel = faults.get();
     }
     qcu::QuantumControlUnit unit(pel, slots, options.pauli_frame);
     unit.load(program);
@@ -157,6 +246,12 @@ std::string run_qisa_program(const RunnerOptions& options,
       }
     }
     ++histogram[key];
+    if (faults != nullptr) {
+      injected.dropped += faults->tally().dropped;
+      injected.duplicated += faults->tally().duplicated;
+      injected.reordered += faults->tally().reordered;
+      injected.readout_flips += faults->tally().readout_flips;
+    }
     if (shot + 1 == options.shots) {
       out << "stats: " << unit.stats().instructions << " instructions, "
           << unit.stats().operations_to_pel << " physical operations, "
@@ -168,6 +263,11 @@ std::string run_qisa_program(const RunnerOptions& options,
       << " shot(s) (patch order, '.' = dead):\n";
   for (const auto& [key, count] : histogram) {
     out << "  " << key << "  " << count << "\n";
+  }
+  if (options.classical_fault_rate > 0.0) {
+    out << "classical faults injected: " << injected.dropped << " dropped, "
+        << injected.duplicated << " duplicated, " << injected.reordered
+        << " reordered, " << injected.readout_flips << " readout flips\n";
   }
   return out.str();
 }
@@ -183,7 +283,13 @@ std::string usage() {
          "  --shots=N           repetitions (histogram output)\n"
          "  --seed=S            RNG seed (default 1)\n"
          "  --slots=N           QISA patch slots (default: from program)\n"
-         "  --print-state       dump amplitudes (qx backend only)\n";
+         "  --print-state       dump amplitudes (qx backend only)\n"
+         "  --classical-fault-rate=P  drop/duplicate/reorder/readout-flip\n"
+         "                      faults, each at rate P\n"
+         "  --protect-frame[=parity|vote]  guard the Pauli frame records\n"
+         "                      (default parity; requires --pauli-frame)\n"
+         "  --validate          cross-check the Pauli frame against a\n"
+         "                      shadow copy (requires --pauli-frame)\n";
 }
 
 std::optional<RunnerOptions> parse_arguments(
@@ -240,6 +346,31 @@ std::optional<RunnerOptions> parse_arguments(
       options.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (consume_prefix(argument, "--slots=", value)) {
       options.patch_slots = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (consume_prefix(argument, "--classical-fault-rate=", value)) {
+      try {
+        options.classical_fault_rate = std::stod(value);
+      } catch (const std::exception&) {
+        error = "bad classical fault rate '" + value + "'";
+        return std::nullopt;
+      }
+      if (options.classical_fault_rate < 0.0 ||
+          options.classical_fault_rate > 1.0) {
+        error = "classical fault rate out of [0,1]";
+        return std::nullopt;
+      }
+    } else if (argument == "--protect-frame") {
+      options.frame_protection = pf::Protection::kParity;
+    } else if (consume_prefix(argument, "--protect-frame=", value)) {
+      if (value == "parity") {
+        options.frame_protection = pf::Protection::kParity;
+      } else if (value == "vote") {
+        options.frame_protection = pf::Protection::kVote;
+      } else {
+        error = "unknown frame protection '" + value + "'";
+        return std::nullopt;
+      }
+    } else if (argument == "--validate") {
+      options.validate = true;
     } else if (!argument.empty() && argument[0] == '-' && argument != "-") {
       error = "unknown option '" + argument + "'";
       return std::nullopt;
@@ -261,6 +392,15 @@ std::optional<RunnerOptions> parse_arguments(
   }
   if (options.print_state && options.backend != Backend::kQx) {
     error = "--print-state requires --backend=qx";
+    return std::nullopt;
+  }
+  if (options.frame_protection != pf::Protection::kNone &&
+      !options.pauli_frame) {
+    error = "--protect-frame requires --pauli-frame";
+    return std::nullopt;
+  }
+  if (options.validate && !options.pauli_frame) {
+    error = "--validate requires --pauli-frame";
     return std::nullopt;
   }
   return options;
@@ -309,6 +449,14 @@ int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
   }
   try {
     out << run_program(*options, text);
+  } catch (const QasmParseError& exception) {
+    // Unparsable program text is an argument-level mistake like a bad
+    // flag: same one-line diagnostic, same exit code.
+    err << "qpf_run: " << exception.what() << "\n";
+    return 2;
+  } catch (const Error& exception) {
+    err << "qpf_run: " << exception.what() << "\n";
+    return 1;
   } catch (const std::exception& exception) {
     err << "qpf_run: " << exception.what() << "\n";
     return 1;

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "core/pauli_frame.h"
+
 namespace qpf::cli {
 
 enum class Backend { kChp, kQx };
@@ -27,25 +29,35 @@ struct RunnerOptions {
 
   /// Patch slots for QISA programs (auto-grown to fit the program).
   std::size_t patch_slots = 1;
+
+  /// Classical control-path fault injection (uniform rate for the
+  /// drop / duplicate / reorder / readout-flip kinds).
+  double classical_fault_rate = 0.0;
+  /// Record-store protection for the Pauli frame layer.
+  pf::Protection frame_protection = pf::Protection::kNone;
+  /// Insert a ValidatingLayer above the Pauli frame layer.
+  bool validate = false;
 };
 
 /// Parse argv-style options.  Returns std::nullopt and writes a usage
 /// message to `error` on bad input.  Recognized flags:
 ///   --backend=chp|qx  --format=qasm|chp|qisa|logical  --pauli-frame
 ///   --error-rate=P    --shots=N   --seed=S    --print-state
-///   --slots=N         <input file or "-">
+///   --slots=N         --classical-fault-rate=P
+///   --protect-frame[=parity|vote]  --validate   <input file or "-">
 /// The format defaults from the file extension when not given.
 [[nodiscard]] std::optional<RunnerOptions> parse_arguments(
     const std::vector<std::string>& arguments, std::string& error);
 
 /// Run a program (text already loaded) and render a human-readable
-/// report.  Throws std::runtime_error / std::invalid_argument on
-/// malformed programs.
+/// report.  Throws qpf::Error (QasmParseError / StackConfigError /
+/// QcuError) on malformed programs or configurations.
 [[nodiscard]] std::string run_program(const RunnerOptions& options,
                                       const std::string& program_text);
 
 /// Full tool entry point: load the file (or stdin for "-"), run,
-/// print to `out`; returns the process exit code.
+/// print to `out`; returns the process exit code (0 success, 2 for
+/// unusable arguments or unparsable programs, 1 for everything else).
 int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
              std::ostream& err);
 

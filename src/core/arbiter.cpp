@@ -1,6 +1,8 @@
 #include "core/arbiter.h"
 
 #include <stdexcept>
+
+#include "circuit/error.h"
 #include <utility>
 
 namespace qpf::pf {
@@ -9,7 +11,7 @@ PauliArbiter::PauliArbiter(PauliFrameUnit& pfu, PelSink pel,
                            bool trace_enabled)
     : pfu_(pfu), pel_(std::move(pel)), trace_enabled_(trace_enabled) {
   if (!pel_) {
-    throw std::invalid_argument("PauliArbiter: null PEL sink");
+    throw StackConfigError("PauliArbiter", "null PEL sink");
   }
 }
 

@@ -1,69 +1,158 @@
 #include "core/pauli_frame.h"
 
-#include <stdexcept>
+#include "circuit/error.h"
 
 namespace qpf::pf {
 
-PauliFrame::PauliFrame(std::size_t num_qubits)
-    : records_(num_qubits, PauliRecord::kI) {
+namespace {
+
+[[nodiscard]] constexpr std::uint8_t parity_of(PauliRecord r) noexcept {
+  return static_cast<std::uint8_t>(has_x(r) != has_z(r) ? 1 : 0);
+}
+
+}  // namespace
+
+PauliFrame::PauliFrame(std::size_t num_qubits, Protection protection)
+    : protection_(protection), records_(num_qubits, PauliRecord::kI) {
   if (num_qubits == 0) {
-    throw std::invalid_argument("PauliFrame: zero qubits");
+    throw StackConfigError("PauliFrame", "zero qubits");
   }
+  switch (protection_) {
+    case Protection::kNone:
+      break;
+    case Protection::kParity:
+      guard_.assign(num_qubits, 0);
+      break;
+    case Protection::kVote:
+      bank_b_.assign(num_qubits, PauliRecord::kI);
+      bank_c_.assign(num_qubits, PauliRecord::kI);
+      break;
+  }
+}
+
+PauliRecord PauliFrame::load(Qubit q) const {
+  if (protection_ == Protection::kNone) {
+    return records_.at(q);  // unguarded hot path
+  }
+  ++health_.checks;
+  if (protection_ == Protection::kParity) {
+    const PauliRecord r = records_.at(q);
+    if (parity_of(r) == guard_[q]) {
+      return r;
+    }
+    // Detected a record flip; parity cannot tell which bit, so recover
+    // via the flush rule: the record becomes I and the lost Pauli turns
+    // into a physical error for QEC.
+    ++health_.detected;
+    ++health_.uncorrectable;
+    ++health_.recovery_resets;
+    records_[q] = PauliRecord::kI;
+    guard_[q] = 0;
+    return PauliRecord::kI;
+  }
+  // Protection::kVote — majority over three banks.
+  const PauliRecord a = records_.at(q);
+  const PauliRecord b = bank_b_[q];
+  const PauliRecord c = bank_c_[q];
+  if (a == b && b == c) {
+    return a;
+  }
+  ++health_.detected;
+  if (a == b || a == c) {
+    ++health_.corrected;
+    bank_b_[q] = a;
+    bank_c_[q] = a;
+    return a;
+  }
+  if (b == c) {
+    ++health_.corrected;
+    records_[q] = b;
+    return b;
+  }
+  // All three banks disagree: unrepairable, recover via reset to I.
+  ++health_.uncorrectable;
+  ++health_.recovery_resets;
+  records_[q] = PauliRecord::kI;
+  bank_b_[q] = PauliRecord::kI;
+  bank_c_[q] = PauliRecord::kI;
+  return PauliRecord::kI;
+}
+
+void PauliFrame::store(Qubit q, PauliRecord r) const {
+  records_.at(q) = r;
+  switch (protection_) {
+    case Protection::kNone:
+      break;
+    case Protection::kParity:
+      guard_[q] = parity_of(r);
+      break;
+    case Protection::kVote:
+      bank_b_[q] = r;
+      bank_c_[q] = r;
+      break;
+  }
+}
+
+std::size_t PauliFrame::scrub() {
+  const std::size_t before = health_.detected;
+  if (protection_ != Protection::kNone) {
+    for (Qubit q = 0; q < records_.size(); ++q) {
+      (void)load(q);
+    }
+    ++health_.scrubs;
+  }
+  return health_.detected - before;
 }
 
 void PauliFrame::track(GateType pauli, Qubit q) {
   if (!is_pauli(pauli)) {
-    throw std::invalid_argument("PauliFrame::track: not a Pauli gate");
+    throw StackConfigError("PauliFrame", "track: not a Pauli gate");
   }
-  records_.at(q) = track_pauli(records_.at(q), pauli);
+  store(q, track_pauli(load(q), pauli));
 }
 
 void PauliFrame::apply_clifford(const Operation& op) {
   switch (op.gate()) {
     case GateType::kH:
-      records_.at(op.qubit(0)) = map_h(records_.at(op.qubit(0)));
+      store(op.qubit(0), map_h(load(op.qubit(0))));
       return;
     case GateType::kS:
     case GateType::kSdag:
-      records_.at(op.qubit(0)) = map_s(records_.at(op.qubit(0)));
+      store(op.qubit(0), map_s(load(op.qubit(0))));
       return;
     case GateType::kCnot: {
-      const auto [rc, rt] =
-          map_cnot(records_.at(op.control()), records_.at(op.target()));
-      records_.at(op.control()) = rc;
-      records_.at(op.target()) = rt;
+      const auto [rc, rt] = map_cnot(load(op.control()), load(op.target()));
+      store(op.control(), rc);
+      store(op.target(), rt);
       return;
     }
     case GateType::kCz: {
-      const auto [rc, rt] =
-          map_cz(records_.at(op.control()), records_.at(op.target()));
-      records_.at(op.control()) = rc;
-      records_.at(op.target()) = rt;
+      const auto [rc, rt] = map_cz(load(op.control()), load(op.target()));
+      store(op.control(), rc);
+      store(op.target(), rt);
       return;
     }
     case GateType::kSwap: {
-      const auto [ra, rb] =
-          map_swap(records_.at(op.control()), records_.at(op.target()));
-      records_.at(op.control()) = ra;
-      records_.at(op.target()) = rb;
+      const auto [ra, rb] = map_swap(load(op.control()), load(op.target()));
+      store(op.control(), ra);
+      store(op.target(), rb);
       return;
     }
     default:
-      throw std::invalid_argument("PauliFrame: unsupported Clifford: " +
-                                  op.str());
+      throw StackConfigError("PauliFrame", "unsupported Clifford: " + op.str());
   }
 }
 
 std::vector<Operation> PauliFrame::flush(Qubit q) {
   std::vector<Operation> out;
-  const PauliRecord r = records_.at(q);
+  const PauliRecord r = load(q);
   if (has_x(r)) {
     out.emplace_back(GateType::kX, q);
   }
   if (has_z(r)) {
     out.emplace_back(GateType::kZ, q);
   }
-  records_.at(q) = PauliRecord::kI;
+  store(q, PauliRecord::kI);
   return out;
 }
 
@@ -79,8 +168,8 @@ Circuit PauliFrame::flush_all() {
 }
 
 bool PauliFrame::clean() const noexcept {
-  for (const PauliRecord r : records_) {
-    if (r != PauliRecord::kI) {
+  for (Qubit q = 0; q < records_.size(); ++q) {
+    if (load(q) != PauliRecord::kI) {
       return false;
     }
   }
@@ -99,7 +188,7 @@ Circuit PauliFrame::process(const Circuit& circuit) {
     for (const Operation& op : slot) {
       switch (category(op.gate())) {
         case GateCategory::kInitialization:
-          records_.at(op.qubit(0)) = PauliRecord::kI;
+          store(op.qubit(0), PauliRecord::kI);
           forwarded.add(op);
           break;
         case GateCategory::kMeasurement:

@@ -7,10 +7,25 @@
 // resets the record, measurement passes through (results are corrected
 // afterwards via correct_measurement()), and non-Clifford gates force a
 // flush of the pending records onto the qubits first.
+//
+// Classical-fault hardening: the record store can optionally be guarded
+// against corruption of the frame memory itself (a *classical* fault,
+// distinct from the quantum noise the frame exists to track):
+//   Protection::kParity — one parity bit per record; detects any
+//     single-bit record flip but cannot repair it,
+//   Protection::kVote   — two shadow banks + majority vote; repairs any
+//     single-bank corruption in place.
+// A detected-but-uncorrectable record is recovered by resetting it to I
+// (the record half of the Table 3.1 flush): the lost Pauli becomes an
+// ordinary physical error for QEC to absorb instead of silently
+// corrupting every downstream Clifford conjugation.  All verification
+// traffic is counted in FrameHealth.  With Protection::kNone the frame
+// is bit-identical to the unguarded implementation.
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -45,17 +60,51 @@ struct FrameStats {
   }
 };
 
+/// Record-store protection scheme against classical memory faults.
+enum class Protection : std::uint8_t {
+  kNone,    ///< plain records, zero overhead
+  kParity,  ///< parity-guarded records: detect-only
+  kVote,    ///< triplicated records + majority vote: detect and correct
+};
+
+[[nodiscard]] constexpr std::string_view name(Protection p) noexcept {
+  switch (p) {
+    case Protection::kNone:
+      return "none";
+    case Protection::kParity:
+      return "parity";
+    case Protection::kVote:
+      return "vote";
+  }
+  return "?";
+}
+
+/// Health report of a guarded record store.
+struct FrameHealth {
+  std::size_t checks = 0;           ///< guarded record verifications
+  std::size_t detected = 0;         ///< corrupted records detected
+  std::size_t corrected = 0;        ///< repaired by majority vote
+  std::size_t uncorrectable = 0;    ///< detected but unrepairable
+  std::size_t recovery_resets = 0;  ///< records recovered by reset to I
+  std::size_t scrubs = 0;           ///< completed scrub() passes
+};
+
 class PauliFrame {
  public:
   /// All records start at I.
-  explicit PauliFrame(std::size_t num_qubits);
+  explicit PauliFrame(std::size_t num_qubits,
+                      Protection protection = Protection::kNone);
 
   [[nodiscard]] std::size_t num_qubits() const noexcept {
     return records_.size();
   }
 
-  [[nodiscard]] PauliRecord record(Qubit q) const { return records_.at(q); }
-  void set_record(Qubit q, PauliRecord r) { records_.at(q) = r; }
+  [[nodiscard]] Protection protection() const noexcept { return protection_; }
+
+  /// Guarded read: under kParity / kVote this verifies (and may repair
+  /// or recover) the record before returning it.
+  [[nodiscard]] PauliRecord record(Qubit q) const { return load(q); }
+  void set_record(Qubit q, PauliRecord r) { store(q, r); }
 
   /// Track a Pauli gate without touching hardware (Table 3.3).
   void track(GateType pauli, Qubit q);
@@ -71,7 +120,7 @@ class PauliFrame {
 
   /// Correct a raw measurement bit using qubit q's record (Table 3.2).
   [[nodiscard]] bool correct_measurement(Qubit q, bool raw) const {
-    return map_measurement(records_.at(q), raw);
+    return map_measurement(load(q), raw);
   }
 
   /// Pending Pauli gates for qubit q, as operations, and reset the
@@ -85,6 +134,19 @@ class PauliFrame {
   /// True if every record is I.
   [[nodiscard]] bool clean() const noexcept;
 
+  /// Verify every record against its guard in one pass (a memory
+  /// scrubbing sweep).  Returns the number of corrupted records
+  /// detected during this pass.  No-op under Protection::kNone.
+  std::size_t scrub();
+
+  /// Fault injection: overwrite the *primary* record bank only, leaving
+  /// guards and shadow banks stale — exactly what a bit flip in the
+  /// frame memory does.  Used by tests and fault campaigns.
+  void corrupt_record(Qubit q, PauliRecord r) { records_.at(q) = r; }
+
+  [[nodiscard]] const FrameHealth& health() const noexcept { return health_; }
+  void reset_health() noexcept { health_ = {}; }
+
   [[nodiscard]] const FrameStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
@@ -92,7 +154,21 @@ class PauliFrame {
   [[nodiscard]] std::string str() const;
 
  private:
-  std::vector<PauliRecord> records_;
+  /// Verified read.  Self-healing: under kVote a minority bank is
+  /// rewritten, under kParity a mismatch resets the record to I.  The
+  /// storage and health counters are mutable so guarded reads stay
+  /// usable from const accessors.
+  PauliRecord load(Qubit q) const;
+
+  /// Write-through to every bank and guard.
+  void store(Qubit q, PauliRecord r) const;
+
+  Protection protection_;
+  mutable std::vector<PauliRecord> records_;  ///< primary bank
+  mutable std::vector<std::uint8_t> guard_;   ///< parity bits (kParity)
+  mutable std::vector<PauliRecord> bank_b_;   ///< shadow banks (kVote)
+  mutable std::vector<PauliRecord> bank_c_;
+  mutable FrameHealth health_;
   FrameStats stats_;
 };
 

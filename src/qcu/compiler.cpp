@@ -2,6 +2,8 @@
 
 #include <array>
 #include <stdexcept>
+
+#include "circuit/error.h"
 #include <vector>
 
 #include "qcu/symbol_table.h"
@@ -147,9 +149,9 @@ std::vector<Instruction> compile(const Circuit& logical,
           break;
         }
         default:
-          throw std::invalid_argument(
-              "compile: no fault-tolerant SC17 implementation for " +
-              op.str());
+          throw QcuError("compile",
+                         "no fault-tolerant SC17 implementation for " +
+                             op.str());
       }
     }
   }

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::qcu {
 
 namespace {
@@ -41,8 +43,7 @@ constexpr std::array<OpcodeInfo, 20> kOpcodeTable{{
 }};
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& why) {
-  throw std::runtime_error("qisa assembly error at line " +
-                           std::to_string(line_no) + ": " + why);
+  throw QcuError("qisa assembly error", why, line_no);
 }
 
 std::uint16_t parse_operand(const std::string& token, char prefix,
@@ -137,7 +138,7 @@ bool is_two_qubit(Opcode op) noexcept {
 
 std::uint32_t encode(const Instruction& instruction) {
   if (instruction.a > kOperandMask || instruction.b > kOperandMask) {
-    throw std::invalid_argument("qisa encode: operand exceeds 12 bits");
+    throw QcuError("qisa encode", "operand exceeds 12 bits");
   }
   return (static_cast<std::uint32_t>(instruction.op) << 24) |
          (static_cast<std::uint32_t>(instruction.a) << 12) |
@@ -147,7 +148,7 @@ std::uint32_t encode(const Instruction& instruction) {
 Instruction decode(std::uint32_t word) {
   const auto opcode = static_cast<std::uint8_t>(word >> 24);
   if (opcode > kMaxOpcode) {
-    throw std::invalid_argument("qisa decode: unknown opcode");
+    throw QcuError("qisa decode", "unknown opcode");
   }
   Instruction instruction;
   instruction.op = static_cast<Opcode>(opcode);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::qcu {
 
 using arch::BinaryState;
@@ -17,7 +19,7 @@ QuantumControlUnit::QuantumControlUnit(arch::Core* pel, std::size_t slots,
                                        bool use_pauli_frame)
     : pel_(pel), table_(slots) {
   if (pel == nullptr) {
-    throw std::invalid_argument("QuantumControlUnit: null PEL");
+    throw QcuError("QuantumControlUnit", "null PEL");
   }
   pel_->remove_qubits();
   pel_->create_qubits(table_.num_physical_qubits());
@@ -99,7 +101,7 @@ bool QuantumControlUnit::read_bit(Qubit physical) {
 
 NinjaStar& QuantumControlUnit::star_of(PatchId patch) {
   if (patch >= stars_.size() || !stars_[patch].has_value()) {
-    throw std::invalid_argument("QuantumControlUnit: patch not alive");
+    throw QcuError("QuantumControlUnit", "patch not alive");
   }
   return *stars_[patch];
 }
@@ -236,7 +238,7 @@ void QuantumControlUnit::exec(const Instruction& instruction) {
     default: {
       const auto gate = gate_of(instruction.op);
       if (!gate.has_value()) {
-        throw std::invalid_argument("QuantumControlUnit: bad opcode");
+        throw QcuError("QuantumControlUnit", "bad opcode");
       }
       if (is_two_qubit(instruction.op)) {
         issue(Operation{*gate, table_.translate(instruction.a),
@@ -257,7 +259,7 @@ std::optional<bool> QuantumControlUnit::measurement(VirtualQubit v) const {
 
 StateValue QuantumControlUnit::logical_state(PatchId patch) const {
   if (patch >= stars_.size() || !stars_[patch].has_value()) {
-    throw std::invalid_argument("QuantumControlUnit: patch not alive");
+    throw QcuError("QuantumControlUnit", "patch not alive");
   }
   return stars_[patch]->state();
 }

@@ -2,27 +2,29 @@
 
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::qcu {
 
 QSymbolTable::QSymbolTable(std::size_t slots)
     : slots_(slots), slot_used_(slots, false) {
   if (slots == 0) {
-    throw std::invalid_argument("QSymbolTable: zero slots");
+    throw QcuError("QSymbolTable", "zero slots");
   }
 }
 
 void QSymbolTable::map_patch(PatchId patch, std::uint16_t slot) {
   if (slot >= slots_) {
-    throw std::invalid_argument("QSymbolTable: slot out of range");
+    throw QcuError("QSymbolTable", "slot out of range");
   }
   if (slot_used_[slot]) {
-    throw std::invalid_argument("QSymbolTable: slot already occupied");
+    throw QcuError("QSymbolTable", "slot already occupied");
   }
   if (patch >= slot_of_patch_.size()) {
     slot_of_patch_.resize(patch + 1);
   }
   if (slot_of_patch_[patch].has_value()) {
-    throw std::invalid_argument("QSymbolTable: patch already mapped");
+    throw QcuError("QSymbolTable", "patch already mapped");
   }
   slot_of_patch_[patch] = slot;
   slot_used_[slot] = true;
@@ -30,7 +32,7 @@ void QSymbolTable::map_patch(PatchId patch, std::uint16_t slot) {
 
 void QSymbolTable::unmap_patch(PatchId patch) {
   if (!alive(patch)) {
-    throw std::invalid_argument("QSymbolTable: patch not alive");
+    throw QcuError("QSymbolTable", "patch not alive");
   }
   slot_used_[*slot_of_patch_[patch]] = false;
   slot_of_patch_[patch].reset();
@@ -42,7 +44,7 @@ bool QSymbolTable::alive(PatchId patch) const noexcept {
 
 Qubit QSymbolTable::base(PatchId patch) const {
   if (!alive(patch)) {
-    throw std::out_of_range("QSymbolTable: patch not alive");
+    throw QcuError("QSymbolTable", "patch not alive");
   }
   return static_cast<Qubit>(*slot_of_patch_[patch] * kPatchStride);
 }

@@ -1,6 +1,8 @@
 #include "qec/biased_noise.h"
 
 #include <stdexcept>
+
+#include "circuit/error.h"
 #include <vector>
 
 namespace qpf::qec {
@@ -12,10 +14,10 @@ BiasedNoiseModel::BiasedNoiseModel(double p, double eta, std::uint64_t seed)
       pz_(p * eta / (eta + 1.0)),
       rng_(seed) {
   if (p < 0.0 || p > 1.0) {
-    throw std::invalid_argument("BiasedNoiseModel: p out of [0,1]");
+    throw StackConfigError("BiasedNoiseModel", "p out of [0,1]");
   }
   if (eta <= 0.0) {
-    throw std::invalid_argument("BiasedNoiseModel: eta must be positive");
+    throw StackConfigError("BiasedNoiseModel", "eta must be positive");
   }
 }
 
@@ -38,7 +40,7 @@ GateType BiasedNoiseModel::biased_pauli() {
 Circuit BiasedNoiseModel::inject(const Circuit& circuit,
                                  std::size_t num_qubits) {
   if (circuit.min_register_size() > num_qubits) {
-    throw std::invalid_argument("BiasedNoiseModel: register too small");
+    throw StackConfigError("BiasedNoiseModel", "register too small");
   }
   Circuit out{circuit.name()};
   for (const TimeSlot& slot : circuit) {

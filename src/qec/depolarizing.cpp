@@ -1,6 +1,8 @@
 #include "qec/depolarizing.h"
 
 #include <stdexcept>
+
+#include "circuit/error.h"
 #include <vector>
 
 namespace qpf::qec {
@@ -8,7 +10,7 @@ namespace qpf::qec {
 DepolarizingModel::DepolarizingModel(double p, std::uint64_t seed)
     : p_(p), rng_(seed) {
   if (p < 0.0 || p > 1.0) {
-    throw std::invalid_argument("DepolarizingModel: p out of [0,1]");
+    throw StackConfigError("DepolarizingModel", "p out of [0,1]");
   }
 }
 
@@ -26,7 +28,7 @@ bool DepolarizingModel::flip(double probability) {
 Circuit DepolarizingModel::inject(const Circuit& circuit,
                                   std::size_t num_qubits) {
   if (circuit.min_register_size() > num_qubits) {
-    throw std::invalid_argument("DepolarizingModel: register too small");
+    throw StackConfigError("DepolarizingModel", "register too small");
   }
   Circuit out{circuit.name()};
   for (const TimeSlot& slot : circuit) {

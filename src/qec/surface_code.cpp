@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::qec {
 
 namespace {
@@ -20,8 +22,8 @@ SurfaceCodeLayout::SurfaceCodeLayout(int distance)
 SurfaceCodeLayout::SurfaceCodeLayout(int rows, int cols)
     : rows_(rows), cols_(cols) {
   if (rows < 3 || rows % 2 == 0 || cols < 3 || cols % 2 == 0) {
-    throw std::invalid_argument(
-        "SurfaceCodeLayout: rows and cols must be odd and >= 3");
+    throw StackConfigError("SurfaceCodeLayout",
+                           "rows and cols must be odd and >= 3");
   }
   const auto data_at = [this](int r, int c) { return r * cols_ + c; };
   // Enumerate candidate corner sites and keep the code's check set.

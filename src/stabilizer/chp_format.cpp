@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "circuit/error.h"
+
 namespace qpf::stab {
 
 std::string to_chp(const Circuit& circuit) {
@@ -74,12 +76,10 @@ Circuit from_chp(const std::string& text) {
         circuit.append(GateType::kMeasureZ, static_cast<Qubit>(a));
         break;
       default:
-        throw std::runtime_error("from_chp: bad mnemonic at line " +
-                                 std::to_string(line_no));
+        throw QasmParseError("chp: bad mnemonic", line_no);
     }
     if (ls.fail()) {
-      throw std::runtime_error("from_chp: bad operands at line " +
-                               std::to_string(line_no));
+      throw QasmParseError("chp: bad operands", line_no);
     }
   }
   return circuit;

@@ -19,7 +19,8 @@ namespace qpf::stab {
 /// expand_to_chp_gates() first if needed.
 [[nodiscard]] std::string to_chp(const Circuit& circuit);
 
-/// Parse CHP format; throws std::runtime_error on malformed input.
+/// Parse CHP format; throws QasmParseError (a std::runtime_error) with
+/// the offending line on malformed input.
 [[nodiscard]] Circuit from_chp(const std::string& text);
 
 /// Rewrite a Clifford circuit over the CHP generator set {H, S, CNOT}

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 namespace qpf::pf {
 namespace {
 
@@ -101,7 +103,7 @@ TEST(PauliArbiterTest, SubmitCircuitRunsInProgramOrder) {
 
 TEST(PauliArbiterTest, NullSinkRejected) {
   PauliFrameUnit pfu(1);
-  EXPECT_THROW(PauliArbiter(pfu, nullptr), std::invalid_argument);
+  EXPECT_THROW(PauliArbiter(pfu, nullptr), StackConfigError);
 }
 
 TEST(PauliArbiterTest, RouteNames) {

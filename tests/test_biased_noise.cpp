@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include "arch/biased_error_layer.h"
 #include "arch/chp_core.h"
 #include "arch/ninja_star_layer.h"
@@ -24,9 +26,9 @@ TEST(BiasedNoiseTest, HalfBiasIsSymmetric) {
 }
 
 TEST(BiasedNoiseTest, ValidationRejectsBadParameters) {
-  EXPECT_THROW(BiasedNoiseModel(-0.1, 1.0, 1), std::invalid_argument);
-  EXPECT_THROW(BiasedNoiseModel(0.1, 0.0, 1), std::invalid_argument);
-  EXPECT_THROW(BiasedNoiseModel(0.1, -2.0, 1), std::invalid_argument);
+  EXPECT_THROW(BiasedNoiseModel(-0.1, 1.0, 1), StackConfigError);
+  EXPECT_THROW(BiasedNoiseModel(0.1, 0.0, 1), StackConfigError);
+  EXPECT_THROW(BiasedNoiseModel(0.1, -2.0, 1), StackConfigError);
 }
 
 TEST(BiasedNoiseTest, ZeroRateInjectsNothing) {

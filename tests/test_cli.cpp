@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 namespace qpf::cli {
 namespace {
 
@@ -137,6 +142,110 @@ TEST(CliRunTest, MalformedProgramThrows) {
   options.input_path = "inline";
   EXPECT_THROW((void)run_program(options, "frobnicate q0\n"),
                std::runtime_error);
+}
+
+TEST(CliParseTest, RobustnessFlags) {
+  const auto options =
+      parse({"--pauli-frame", "--classical-fault-rate=0.05",
+             "--protect-frame=vote", "--validate", "a.qasm"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_DOUBLE_EQ(options->classical_fault_rate, 0.05);
+  EXPECT_EQ(options->frame_protection, pf::Protection::kVote);
+  EXPECT_TRUE(options->validate);
+  // Bare --protect-frame defaults to parity.
+  EXPECT_EQ(parse({"--pauli-frame", "--protect-frame", "a.qasm"})
+                ->frame_protection,
+            pf::Protection::kParity);
+}
+
+TEST(CliParseTest, RobustnessFlagRejections) {
+  // Rates outside [0,1] or unparsable.
+  EXPECT_FALSE(parse({"--classical-fault-rate=1.5", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--classical-fault-rate=-0.1", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--classical-fault-rate=lots", "a.qasm"}).has_value());
+  // Unknown protection scheme.
+  EXPECT_FALSE(
+      parse({"--pauli-frame", "--protect-frame=ecc", "a.qasm"}).has_value());
+  // Both frame-hardening flags need the frame itself.
+  EXPECT_FALSE(parse({"--protect-frame", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--validate", "a.qasm"}).has_value());
+}
+
+TEST(CliRunTest, ClassicalFaultsReportedInOutput) {
+  RunnerOptions options;
+  options.shots = 20;
+  options.classical_fault_rate = 0.2;
+  options.pauli_frame = true;
+  options.frame_protection = pf::Protection::kVote;
+  options.validate = true;
+  options.input_path = "inline";
+  const std::string report =
+      run_program(options, "x q0\nmeasure q0\nmeasure q1\n");
+  EXPECT_NE(report.find("classical faults injected"), std::string::npos);
+  EXPECT_NE(report.find("frame health (vote)"), std::string::npos);
+  EXPECT_NE(report.find("validator:"), std::string::npos);
+}
+
+TEST(CliRunTest, ZeroFaultRunReportsCleanValidator) {
+  RunnerOptions options;
+  options.pauli_frame = true;
+  options.validate = true;
+  options.input_path = "inline";
+  const std::string report = run_program(options, "x q0\nmeasure q0\n");
+  EXPECT_NE(report.find("validator: 0 report(s)"), std::string::npos);
+  EXPECT_NE(report.find("|1>"), std::string::npos);
+}
+
+TEST(CliRunTest, QisaPathInjectsClassicalFaults) {
+  RunnerOptions options;
+  options.format = Format::kQisa;
+  options.classical_fault_rate = 0.05;
+  options.shots = 5;
+  options.input_path = "inline";
+  const std::string report = run_program(
+      options, "map p0 s0\nx v2\nqec\nlmeas p0\nhalt\n");
+  EXPECT_NE(report.find("classical faults injected"), std::string::npos);
+}
+
+TEST(CliToolTest, ExitCodesAndOneLineDiagnostics) {
+  std::ostringstream out, err;
+  // Unknown flag: usage error, exit 2.
+  EXPECT_EQ(run_tool({"--bogus", "a.qasm"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown option"), std::string::npos);
+  // Missing file: exit 1 with a one-line diagnostic.
+  out.str({});
+  err.str({});
+  EXPECT_EQ(run_tool({"/nonexistent/prog.qasm"}, out, err), 1);
+  const std::string diagnostic = err.str();
+  EXPECT_NE(diagnostic.find("cannot open"), std::string::npos);
+  EXPECT_EQ(std::count(diagnostic.begin(), diagnostic.end(), '\n'), 1);
+}
+
+TEST(CliToolTest, UnparsableProgramExitsTwoWithLineInfo) {
+  std::ostringstream out, err;
+  const char* path = "cli_tool_bad_program.qasm";
+  {
+    std::ofstream file(path);
+    file << "h q0\nfrobnicate q1\n";
+  }
+  EXPECT_EQ(run_tool({path}, out, err), 2);
+  const std::string diagnostic = err.str();
+  EXPECT_NE(diagnostic.find("line 2"), std::string::npos);
+  EXPECT_EQ(std::count(diagnostic.begin(), diagnostic.end(), '\n'), 1);
+  std::remove(path);
+}
+
+TEST(CliToolTest, SuccessfulRunExitsZero) {
+  std::ostringstream out, err;
+  const char* path = "cli_tool_good_program.qasm";
+  {
+    std::ofstream file(path);
+    file << "qubits 2\nx q0\nmeasure q0\nmeasure q1\n";
+  }
+  EXPECT_EQ(run_tool({path}, out, err), 0);
+  EXPECT_NE(out.str().find("|01>"), std::string::npos);
+  EXPECT_TRUE(err.str().empty());
+  std::remove(path);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include "arch/chp_core.h"
 #include "arch/ninja_star_layer.h"
 #include "qcu/qcu.h"
@@ -77,7 +79,7 @@ TEST(CompilerTest, QecSlotsFollowEveryLogicalGate) {
 TEST(CompilerTest, NonCliffordRejected) {
   Circuit logical;
   logical.append(GateType::kT, 0);
-  EXPECT_THROW((void)compile(logical), std::invalid_argument);
+  EXPECT_THROW((void)compile(logical), QcuError);
 }
 
 TEST(CompilerTest, DisassemblesToReadableProgram) {

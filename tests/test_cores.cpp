@@ -1,6 +1,8 @@
 // Tests for the ChpCore and QxCore backends of the Core interface.
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include "arch/chp_core.h"
 #include "arch/qx_core.h"
 
@@ -80,7 +82,7 @@ TYPED_TEST(CoreInterfaceTest, AddValidatesRegisterSize) {
   this->core_.create_qubits(2);
   Circuit c;
   c.append(GateType::kH, 5);
-  EXPECT_THROW(this->core_.add(c), std::invalid_argument);
+  EXPECT_THROW(this->core_.add(c), StackConfigError);
 }
 
 TYPED_TEST(CoreInterfaceTest, ExecuteWithoutQubitsThrows) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 namespace qpf::qec {
 namespace {
 
@@ -101,15 +103,15 @@ TEST(DepolarizingTest, TwoQubitErrorsCoverBothSides) {
 }
 
 TEST(DepolarizingTest, InvalidRateRejected) {
-  EXPECT_THROW(DepolarizingModel(-0.1, 1), std::invalid_argument);
-  EXPECT_THROW(DepolarizingModel(1.5, 1), std::invalid_argument);
+  EXPECT_THROW(DepolarizingModel(-0.1, 1), StackConfigError);
+  EXPECT_THROW(DepolarizingModel(1.5, 1), StackConfigError);
 }
 
 TEST(DepolarizingTest, RegisterTooSmallRejected) {
   DepolarizingModel model(0.5, 1);
   Circuit c;
   c.append(GateType::kH, 5);
-  EXPECT_THROW((void)model.inject(c, 2), std::invalid_argument);
+  EXPECT_THROW((void)model.inject(c, 2), StackConfigError);
 }
 
 TEST(DepolarizingTest, DeterministicUnderSeed) {

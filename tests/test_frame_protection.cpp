@@ -1,0 +1,223 @@
+// Tests for the hardened Pauli frame record store (core/pauli_frame.h
+// Protection schemes) and the PauliFrameLayer recovery-flush path.
+#include <gtest/gtest.h>
+
+#include "arch/chp_core.h"
+#include "arch/pauli_frame_layer.h"
+#include "core/pauli_frame.h"
+
+namespace qpf::pf {
+namespace {
+
+TEST(FrameProtectionTest, ProtectionNames) {
+  EXPECT_EQ(name(Protection::kNone), "none");
+  EXPECT_EQ(name(Protection::kParity), "parity");
+  EXPECT_EQ(name(Protection::kVote), "vote");
+}
+
+TEST(FrameProtectionTest, NoneIsUnguarded) {
+  PauliFrame frame(2, Protection::kNone);
+  frame.set_record(0, PauliRecord::kX);
+  frame.corrupt_record(0, PauliRecord::kZ);
+  // Unprotected: the corruption simply becomes the record.
+  EXPECT_EQ(frame.record(0), PauliRecord::kZ);
+  EXPECT_EQ(frame.health().checks, 0u);
+  EXPECT_EQ(frame.health().detected, 0u);
+  EXPECT_EQ(frame.scrub(), 0u);
+}
+
+TEST(FrameProtectionTest, ParityDetectsAndRecoversByReset) {
+  PauliFrame frame(3, Protection::kParity);
+  frame.set_record(1, PauliRecord::kX);
+  // A single-bit flip in the record memory (X -> I) breaks parity.
+  frame.corrupt_record(1, PauliRecord::kI);
+  EXPECT_EQ(frame.record(1), PauliRecord::kI);  // recovered by reset
+  EXPECT_EQ(frame.health().detected, 1u);
+  EXPECT_EQ(frame.health().corrected, 0u);
+  EXPECT_EQ(frame.health().uncorrectable, 1u);
+  EXPECT_EQ(frame.health().recovery_resets, 1u);
+  // The reset is sticky: further reads are consistent and undetected.
+  EXPECT_EQ(frame.record(1), PauliRecord::kI);
+  EXPECT_EQ(frame.health().detected, 1u);
+}
+
+TEST(FrameProtectionTest, ParityCleanReadsReportNothing) {
+  PauliFrame frame(4, Protection::kParity);
+  frame.set_record(0, PauliRecord::kXZ);
+  frame.set_record(3, PauliRecord::kZ);
+  for (Qubit q = 0; q < 4; ++q) {
+    (void)frame.record(q);
+  }
+  EXPECT_GT(frame.health().checks, 0u);
+  EXPECT_EQ(frame.health().detected, 0u);
+  EXPECT_EQ(frame.record(0), PauliRecord::kXZ);
+  EXPECT_EQ(frame.record(3), PauliRecord::kZ);
+}
+
+TEST(FrameProtectionTest, VoteCorrectsSingleBankCorruption) {
+  PauliFrame frame(3, Protection::kVote);
+  frame.set_record(2, PauliRecord::kXZ);
+  frame.corrupt_record(2, PauliRecord::kI);  // primary bank only
+  // Majority vote across the three banks returns the true record and
+  // heals the corrupted bank in place.
+  EXPECT_EQ(frame.record(2), PauliRecord::kXZ);
+  EXPECT_EQ(frame.health().detected, 1u);
+  EXPECT_EQ(frame.health().corrected, 1u);
+  EXPECT_EQ(frame.health().uncorrectable, 0u);
+  // Healed: a second read agrees without another detection.
+  EXPECT_EQ(frame.record(2), PauliRecord::kXZ);
+  EXPECT_EQ(frame.health().detected, 1u);
+}
+
+TEST(FrameProtectionTest, ScrubSweepsTheWholeRegister) {
+  PauliFrame frame(8, Protection::kVote);
+  frame.set_record(5, PauliRecord::kX);
+  frame.corrupt_record(5, PauliRecord::kZ);
+  EXPECT_EQ(frame.scrub(), 1u);
+  EXPECT_EQ(frame.health().scrubs, 1u);
+  EXPECT_EQ(frame.record(5), PauliRecord::kX);  // repaired during the sweep
+  EXPECT_EQ(frame.scrub(), 0u);                 // second sweep finds nothing
+  EXPECT_EQ(frame.health().scrubs, 2u);
+}
+
+TEST(FrameProtectionTest, GuardedFrameTracksLikeUnguarded) {
+  // Fault-free, both protections must behave exactly like kNone.
+  PauliFrame plain(2, Protection::kNone);
+  PauliFrame parity(2, Protection::kParity);
+  PauliFrame vote(2, Protection::kVote);
+  Circuit c;
+  c.append(GateType::kX, 0);
+  c.append(GateType::kH, 0);
+  c.append(GateType::kZ, 1);
+  c.append(GateType::kCnot, 0, 1);
+  const Circuit out_plain = plain.process(c);
+  const Circuit out_parity = parity.process(c);
+  const Circuit out_vote = vote.process(c);
+  EXPECT_EQ(out_plain, out_parity);
+  EXPECT_EQ(out_plain, out_vote);
+  for (Qubit q = 0; q < 2; ++q) {
+    EXPECT_EQ(plain.record(q), parity.record(q));
+    EXPECT_EQ(plain.record(q), vote.record(q));
+  }
+  EXPECT_EQ(parity.health().detected, 0u);
+  EXPECT_EQ(vote.health().detected, 0u);
+}
+
+TEST(FrameProtectionLayerTest, UncorrectableRecordTriggersRecoveryFlush) {
+  arch::ChpCore core(7);
+  arch::PauliFrameLayer layer(&core, Protection::kParity);
+  layer.create_qubits(2);
+  Circuit paulis;
+  paulis.append(GateType::kX, 0);
+  paulis.append(GateType::kZ, 1);
+  layer.add(paulis);  // both absorbed into records
+  EXPECT_EQ(layer.recovery_flushes(), 0u);
+  // Flip one bit of record 0 in the frame memory (X -> I).
+  layer.frame().corrupt_record(0, PauliRecord::kI);
+  Circuit next;
+  next.append(GateType::kH, 0);
+  layer.add(next);
+  // The corrupted record was detected during processing; the layer
+  // flushed the whole frame to return it to a known-clean state.
+  EXPECT_EQ(layer.recovery_flushes(), 1u);
+  EXPECT_TRUE(layer.frame().clean());
+  EXPECT_GE(layer.frame().health().uncorrectable, 1u);
+  // The stack stays usable end to end.
+  Circuit measure;
+  measure.append(GateType::kMeasureZ, 0);
+  measure.append(GateType::kMeasureZ, 1);
+  EXPECT_NO_THROW(layer.add(measure));
+  EXPECT_NO_THROW(layer.execute());
+  const arch::BinaryState state = layer.get_state();
+  EXPECT_NE(state[0], arch::BinaryValue::kUnknown);
+  EXPECT_NE(state[1], arch::BinaryValue::kUnknown);
+}
+
+TEST(FrameProtectionLayerTest, VoteRepairsWithoutFlushing) {
+  arch::ChpCore core(7);
+  arch::PauliFrameLayer layer(&core, Protection::kVote);
+  layer.create_qubits(2);
+  Circuit paulis;
+  paulis.append(GateType::kX, 0);
+  layer.add(paulis);
+  layer.frame().corrupt_record(0, PauliRecord::kZ);
+  Circuit next;
+  next.append(GateType::kH, 0);
+  layer.add(next);
+  // Majority vote repaired the bank: no recovery flush, record evolved
+  // as if the corruption never happened (X conjugated through H -> Z).
+  EXPECT_EQ(layer.recovery_flushes(), 0u);
+  EXPECT_GE(layer.frame().health().corrected, 1u);
+  EXPECT_EQ(layer.frame().record(0), PauliRecord::kZ);
+}
+
+TEST(FrameProtectionLayerTest, RecoveredStackMatchesNeverFaultedReference) {
+  // A vote-protected frame repairs a mid-stream corruption in place, so
+  // subsequent Clifford routing and measurement modification must
+  // produce the same readout as a stack that never faulted.
+  const auto run_one = [](bool corrupt) {
+    arch::ChpCore core(11);
+    arch::PauliFrameLayer layer(&core, Protection::kVote);
+    layer.create_qubits(2);
+    Circuit first;
+    first.append(GateType::kX, 0);  // absorbed: record X on q0
+    layer.add(first);
+    if (corrupt) {
+      layer.frame().corrupt_record(0, PauliRecord::kI);
+    }
+    Circuit rest;
+    rest.append(GateType::kCnot, 0, 1);
+    rest.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+    rest.append_in_new_slot(Operation{GateType::kMeasureZ, 1});
+    layer.add(rest);
+    layer.execute();
+    return layer.get_state();
+  };
+  const arch::BinaryState faulted = run_one(true);
+  const arch::BinaryState reference = run_one(false);
+  ASSERT_EQ(faulted.size(), reference.size());
+  // |11> either way: the record X propagates through the CNOT and both
+  // measurements are modified, exactly as if nothing was corrupted.
+  for (Qubit q = 0; q < reference.size(); ++q) {
+    EXPECT_EQ(faulted[q], reference[q]) << "qubit " << q;
+  }
+  EXPECT_EQ(reference[0], arch::BinaryValue::kOne);
+  EXPECT_EQ(reference[1], arch::BinaryValue::kOne);
+}
+
+TEST(FrameProtectionLayerTest, ForcedFlushMidStreamMatchesReference) {
+  // An intentional flush mid-stream applies the pending Paulis on the
+  // qubits; the final readout must match a never-flushed run where the
+  // frame keeps tracking them virtually.
+  const auto run_one = [](bool force_flush) {
+    arch::ChpCore core(13);
+    arch::PauliFrameLayer layer(&core);
+    layer.create_qubits(2);
+    Circuit first;
+    first.append(GateType::kX, 0);
+    first.append(GateType::kZ, 1);
+    layer.add(first);
+    if (force_flush) {
+      layer.flush();
+      EXPECT_TRUE(layer.frame().clean());
+    }
+    Circuit rest;
+    rest.append(GateType::kCnot, 0, 1);
+    rest.append_in_new_slot(Operation{GateType::kMeasureZ, 0});
+    rest.append_in_new_slot(Operation{GateType::kMeasureZ, 1});
+    layer.add(rest);
+    layer.execute();
+    return layer.get_state();
+  };
+  const arch::BinaryState flushed = run_one(true);
+  const arch::BinaryState tracked = run_one(false);
+  ASSERT_EQ(flushed.size(), tracked.size());
+  for (Qubit q = 0; q < tracked.size(); ++q) {
+    EXPECT_EQ(flushed[q], tracked[q]) << "qubit " << q;
+  }
+  EXPECT_EQ(tracked[0], arch::BinaryValue::kOne);
+  EXPECT_EQ(tracked[1], arch::BinaryValue::kOne);
+}
+
+}  // namespace
+}  // namespace qpf::pf

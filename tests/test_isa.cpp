@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 namespace qpf::qcu {
 namespace {
 
@@ -21,12 +23,12 @@ TEST(IsaTest, EncodeDecodeRoundTrip) {
 }
 
 TEST(IsaTest, EncodeRejectsWideOperands) {
-  EXPECT_THROW((void)encode({Opcode::kX, 4096, 0}), std::invalid_argument);
-  EXPECT_THROW((void)encode({Opcode::kCnot, 0, 5000}), std::invalid_argument);
+  EXPECT_THROW((void)encode({Opcode::kX, 4096, 0}), QcuError);
+  EXPECT_THROW((void)encode({Opcode::kCnot, 0, 5000}), QcuError);
 }
 
 TEST(IsaTest, DecodeRejectsUnknownOpcode) {
-  EXPECT_THROW((void)decode(0xFF000000u), std::invalid_argument);
+  EXPECT_THROW((void)decode(0xFF000000u), QcuError);
 }
 
 TEST(IsaTest, GateOpcodeMapping) {

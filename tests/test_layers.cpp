@@ -2,6 +2,8 @@
 // injection and the Pauli frame layer.
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include "arch/counter_layer.h"
 #include "arch/error_layer.h"
 #include "arch/pauli_frame_layer.h"
@@ -11,7 +13,7 @@ namespace qpf::arch {
 namespace {
 
 TEST(LayerTest, NullLowerRejected) {
-  EXPECT_THROW(CounterLayer{nullptr}, std::invalid_argument);
+  EXPECT_THROW(CounterLayer{nullptr}, StackConfigError);
 }
 
 TEST(CounterLayerTest, CountsOperationsSlotsCircuits) {

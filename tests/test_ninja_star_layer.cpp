@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include <set>
 
 #include "arch/chp_core.h"
@@ -320,7 +322,7 @@ TEST(NinjaStarLayerTest, RejectsUnsupportedLogicalGate) {
   Circuit logical;
   logical.append(GateType::kT, 0);
   ninja.add(logical);
-  EXPECT_THROW(ninja.execute(), std::invalid_argument);
+  EXPECT_THROW(ninja.execute(), StackConfigError);
 }
 
 TEST(NinjaStarLayerTest, ValidatesLogicalIndices) {
@@ -329,7 +331,7 @@ TEST(NinjaStarLayerTest, ValidatesLogicalIndices) {
   ninja.create_qubits(1);
   Circuit logical;
   logical.append(GateType::kX, 3);
-  EXPECT_THROW(ninja.add(logical), std::invalid_argument);
+  EXPECT_THROW(ninja.add(logical), StackConfigError);
   EXPECT_THROW((void)ninja.star(1), std::out_of_range);
 }
 
@@ -337,7 +339,7 @@ TEST(NinjaStarLayerTest, WindowOptionsValidated) {
   ChpCore core;
   NinjaStarLayer::Options options;
   options.esm_rounds_per_window = 1;
-  EXPECT_THROW(NinjaStarLayer(&core, options), std::invalid_argument);
+  EXPECT_THROW(NinjaStarLayer(&core, options), StackConfigError);
 }
 
 }  // namespace

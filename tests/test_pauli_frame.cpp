@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include "circuit/random.h"
 #include "statevector/simulator.h"
 
@@ -118,7 +120,7 @@ TEST(PauliFrameTest, SavedSlotStatistics) {
 
 TEST(PauliFrameTest, TrackRejectsNonPauli) {
   PauliFrame frame(1);
-  EXPECT_THROW(frame.track(GateType::kH, 0), std::invalid_argument);
+  EXPECT_THROW(frame.track(GateType::kH, 0), StackConfigError);
 }
 
 // §3.4 worked example: errors tracked on the ninja star data qubits.

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
 #include "circuit/random.h"
 #include "stabilizer/chp_format.h"
 
@@ -55,6 +56,51 @@ TEST(QasmTest, BadQubitTokenFails) {
 
 TEST(QasmTest, SingleQubitGateWithTwoOperandsFails) {
   EXPECT_THROW((void)from_qasm("h q0,q1\n"), std::runtime_error);
+}
+
+TEST(QasmTest, ErrorsAreTypedWithLineAndColumn) {
+  try {
+    (void)from_qasm("h q0\nfrobnicate q0\n");
+    FAIL() << "expected QasmParseError";
+  } catch (const QasmParseError& e) {
+    ASSERT_TRUE(e.context().line.has_value());
+    EXPECT_EQ(*e.context().line, 2u);
+    ASSERT_TRUE(e.context().column.has_value());
+    EXPECT_EQ(*e.context().column, 1u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(QasmTest, QubitIndexValidatedAgainstDeclaredRegister) {
+  // Within bounds: fine.
+  EXPECT_NO_THROW((void)from_qasm("qubits 3\nx q2\n"));
+  // q3 in a 3-qubit register: rejected, with the offending line.
+  try {
+    (void)from_qasm("qubits 3\nh q0\nx q3\n");
+    FAIL() << "expected QasmParseError";
+  } catch (const QasmParseError& e) {
+    ASSERT_TRUE(e.context().line.has_value());
+    EXPECT_EQ(*e.context().line, 3u);
+    EXPECT_NE(std::string(e.what()).find("exceeds declared register"),
+              std::string::npos);
+  }
+  // Without a header any index is accepted (register grows to fit).
+  EXPECT_NO_THROW((void)from_qasm("x q7\n"));
+}
+
+TEST(QasmTest, MalformedHeaderFails) {
+  EXPECT_THROW((void)from_qasm("qubits\nh q0\n"), QasmParseError);
+  EXPECT_THROW((void)from_qasm("qubits two\nh q0\n"), QasmParseError);
+  EXPECT_THROW((void)from_qasm("qubits 0\nh q0\n"), QasmParseError);
+  EXPECT_THROW((void)from_qasm("qubits 2 3\nh q0\n"), QasmParseError);
+}
+
+TEST(QasmTest, OverflowingQubitIndexFails) {
+  EXPECT_THROW((void)from_qasm("h q99999999999\n"), QasmParseError);
+}
+
+TEST(QasmTest, TwoQubitOperandsMustDiffer) {
+  EXPECT_THROW((void)from_qasm("cnot q1,q1\n"), QasmParseError);
 }
 
 TEST(ChpFormatTest, RoundTripGeneratorCircuit) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include "arch/chp_core.h"
 #include "arch/counter_layer.h"
 #include "arch/error_layer.h"
@@ -150,10 +152,10 @@ TEST(QcuTest, ErrorsOnBadPrograms) {
   ChpCore pel(1);
   QuantumControlUnit qcu(&pel, 1);
   qcu.load_assembly("x v2\n");  // patch 0 never mapped
-  EXPECT_THROW(qcu.run(), std::out_of_range);
+  EXPECT_THROW(qcu.run(), QcuError);
   qcu.load_assembly("lmeas p3\n");
-  EXPECT_THROW(qcu.run(), std::invalid_argument);
-  EXPECT_THROW(QuantumControlUnit(nullptr, 1), std::invalid_argument);
+  EXPECT_THROW(qcu.run(), QcuError);
+  EXPECT_THROW(QuantumControlUnit(nullptr, 1), QcuError);
 }
 
 TEST(QcuTest, HaltStopsExecution) {

@@ -2,6 +2,8 @@
 // surgery relies on (3x7 and 7x3 merged patches, and general shapes).
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include <set>
 
 #include "qec/surface_code.h"
@@ -99,9 +101,9 @@ INSTANTIATE_TEST_SUITE_P(Shapes, RectangularLayoutTest,
                                            Shape{5, 7}));
 
 TEST(RectangularLayoutTest, EvenDimensionsRejected) {
-  EXPECT_THROW(SurfaceCodeLayout(3, 4), std::invalid_argument);
-  EXPECT_THROW(SurfaceCodeLayout(4, 3), std::invalid_argument);
-  EXPECT_THROW(SurfaceCodeLayout(3, 1), std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeLayout(3, 4), StackConfigError);
+  EXPECT_THROW(SurfaceCodeLayout(4, 3), StackConfigError);
+  EXPECT_THROW(SurfaceCodeLayout(3, 1), StackConfigError);
 }
 
 }  // namespace

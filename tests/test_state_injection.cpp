@@ -3,6 +3,8 @@
 // state, and verify the logical Bloch vector on the dense simulator.
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include <cmath>
 #include <numbers>
 
@@ -145,11 +147,11 @@ TEST(StateInjectionTest, RejectsMultiQubitPreparation) {
   ninja.create_qubits(1);
   Circuit bad;
   bad.append(GateType::kCnot, 0, 1);
-  EXPECT_THROW(ninja.initialize_injected(0, bad), std::invalid_argument);
+  EXPECT_THROW(ninja.initialize_injected(0, bad), StackConfigError);
   Circuit wrong_target;
   wrong_target.append(GateType::kH, 3);
   EXPECT_THROW(ninja.initialize_injected(0, wrong_target),
-               std::invalid_argument);
+               StackConfigError);
 }
 
 }  // namespace

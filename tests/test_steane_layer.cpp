@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include "arch/chp_core.h"
 #include "stabilizer/pauli_string.h"
 
@@ -109,7 +111,7 @@ TEST(SteaneLayerTest, RejectsUnsupportedGate) {
   Circuit logical;
   logical.append(GateType::kT, 0);
   steane.add(logical);
-  EXPECT_THROW(steane.execute(), std::invalid_argument);
+  EXPECT_THROW(steane.execute(), StackConfigError);
 }
 
 }  // namespace

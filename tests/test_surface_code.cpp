@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 #include <random>
 #include <set>
 
@@ -99,9 +101,9 @@ INSTANTIATE_TEST_SUITE_P(Distances, SurfaceCodeLayoutTest,
                          ::testing::Values(3, 5, 7));
 
 TEST(SurfaceCodeLayoutTest, InvalidDistanceRejected) {
-  EXPECT_THROW(SurfaceCodeLayout{2}, std::invalid_argument);
-  EXPECT_THROW(SurfaceCodeLayout{4}, std::invalid_argument);
-  EXPECT_THROW(SurfaceCodeLayout{1}, std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeLayout{2}, StackConfigError);
+  EXPECT_THROW(SurfaceCodeLayout{4}, StackConfigError);
+  EXPECT_THROW(SurfaceCodeLayout{1}, StackConfigError);
 }
 
 TEST(SurfaceCodeLayoutTest, DistanceThreeIsSc17) {

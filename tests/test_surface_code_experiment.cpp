@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 namespace {
 
@@ -139,10 +141,10 @@ TEST(SurfaceCodeExperimentTest, PauliFrameSavesSlotsWithinCeiling) {
 TEST(SurfaceCodeExperimentTest, ConfigValidation) {
   SurfaceCodeExperiment::Config config;
   config.distance = 4;
-  EXPECT_THROW(SurfaceCodeExperiment{config}, std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeExperiment{config}, StackConfigError);
   config.distance = 3;
   config.esm_rounds_per_window = 1;
-  EXPECT_THROW(SurfaceCodeExperiment{config}, std::invalid_argument);
+  EXPECT_THROW(SurfaceCodeExperiment{config}, StackConfigError);
 }
 
 }  // namespace

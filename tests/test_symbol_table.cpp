@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/error.h"
+
 namespace qpf::qcu {
 namespace {
 
@@ -10,7 +12,7 @@ TEST(QSymbolTableTest, SizingAndConstruction) {
   const QSymbolTable table(3);
   EXPECT_EQ(table.num_slots(), 3u);
   EXPECT_EQ(table.num_physical_qubits(), 51u);
-  EXPECT_THROW(QSymbolTable{0}, std::invalid_argument);
+  EXPECT_THROW(QSymbolTable{0}, QcuError);
 }
 
 TEST(QSymbolTableTest, MapAndTranslate) {
@@ -38,17 +40,17 @@ TEST(QSymbolTableTest, RelocationThroughRemap) {
 TEST(QSymbolTableTest, SlotConflictsRejected) {
   QSymbolTable table(2);
   table.map_patch(0, 0);
-  EXPECT_THROW(table.map_patch(1, 0), std::invalid_argument);  // occupied
-  EXPECT_THROW(table.map_patch(0, 1), std::invalid_argument);  // remap alive
-  EXPECT_THROW(table.map_patch(2, 5), std::invalid_argument);  // bad slot
+  EXPECT_THROW(table.map_patch(1, 0), QcuError);  // occupied
+  EXPECT_THROW(table.map_patch(0, 1), QcuError);  // remap alive
+  EXPECT_THROW(table.map_patch(2, 5), QcuError);  // bad slot
 }
 
 TEST(QSymbolTableTest, DeadPatchAccessRejected) {
   QSymbolTable table(2);
   EXPECT_FALSE(table.alive(0));
-  EXPECT_THROW((void)table.base(0), std::out_of_range);
-  EXPECT_THROW((void)table.translate(3), std::out_of_range);
-  EXPECT_THROW(table.unmap_patch(0), std::invalid_argument);
+  EXPECT_THROW((void)table.base(0), QcuError);
+  EXPECT_THROW((void)table.translate(3), QcuError);
+  EXPECT_THROW(table.unmap_patch(0), QcuError);
 }
 
 TEST(QSymbolTableTest, LivePatchEnumeration) {

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Build with ASan+UBSan (-DQPF_SANITIZE=ON) and run the robustness and
+# classical-fault suites under the sanitizers.  Usage:
+#
+#   tools/check_sanitize.sh [build-dir]        (default: build-sanitize)
+#
+# Pass QPF_SANITIZE_FILTER to override the test selection; by default
+# only the fault/robustness suites run, which keeps the sanitized run
+# fast while still covering every new mutation path.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-sanitize"}
+filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool'}
+
+cmake -B "$build_dir" -S "$repo_root" -DQPF_SANITIZE=ON
+cmake --build "$build_dir" --target qpf_tests -j "$(nproc 2>/dev/null || echo 4)"
+
+export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+
+"$build_dir/tests/qpf_tests" --gtest_filter="*$(printf '%s' "$filter" | sed 's/|/*:*/g')*"
+
+echo "sanitized suites passed"
