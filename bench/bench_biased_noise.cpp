@@ -57,6 +57,7 @@ double measure_ler(double per, double eta, CheckType basis, bool with_pf,
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_biased_noise", 0xe7a);
   const std::size_t errors = qpf::bench::env_size_t("QPF_LER_ERRORS", 10);
   const double per = 1e-3;
   std::printf("bench_biased_noise: SC17 under dephasing-biased noise "

@@ -86,6 +86,7 @@ CampaignResult run_campaign(pf::Protection protection, double corrupt_rate,
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_classical_faults", 7);
   const std::size_t circuits =
       qpf::bench::env_size_t("QPF_FAULT_CIRCUITS", 2000);
 

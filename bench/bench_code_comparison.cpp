@@ -79,6 +79,7 @@ double steane_ler(double per, std::size_t target_errors, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_code_comparison", 0xc0de);
   const std::size_t errors = qpf::bench::env_size_t("QPF_LER_ERRORS", 10);
   std::printf("bench_code_comparison: SC17 (17 qubits) vs Steane [[7,1,3]] "
               "(13 qubits) under identical circuit noise\n");

@@ -70,6 +70,7 @@ DistanceRun run_once(int distance, double per, bool with_pf,
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_distance", 0xd157);
   const bool full = std::getenv("QPF_FULL") != nullptr &&
                     std::string_view(std::getenv("QPF_FULL")) == "1";
   const std::size_t errors =

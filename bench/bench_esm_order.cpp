@@ -87,6 +87,7 @@ double mean_logical_lifetime(double per, bool decoding, std::size_t runs) {
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_esm_order", 0x0e5e);
   const std::size_t errors = qpf::bench::env_size_t("QPF_LER_ERRORS", 20);
   const std::size_t runs = qpf::bench::env_size_t("QPF_LER_RUNS", 3);
   std::printf("bench_esm_order: design-choice ablations (ESM CNOT pattern, "

@@ -85,6 +85,7 @@ void run_saved_series(const BenchScale& scale) {
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_ler", 0x5eed0);
   const BenchScale scale = qpf::bench::bench_scale_from_env();
   std::printf("bench_ler: SC17 logical error rate study (thesis §5.3)\n");
   std::printf("grid of %zu PER points; set QPF_FULL=1 for the paper-scale "

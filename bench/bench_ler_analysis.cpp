@@ -101,6 +101,7 @@ void analyze(const std::vector<PairedPoint>& points, const char* basis_name) {
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_ler_analysis", 0xfeed);
   const BenchScale scale = qpf::bench::bench_scale_from_env();
   std::printf("bench_ler_analysis: statistical comparison of LER with and "
               "without Pauli frame (thesis §5.3.2)\n");

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "ler_common.h"
 #include "arch/chp_core.h"
 #include "arch/ninja_star_layer.h"
 #include "arch/qx_core.h"
@@ -151,6 +152,7 @@ void esm_structure() {
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_logical_ops", 7);
   std::printf("bench_logical_ops: SC17 logical operation verification "
               "(thesis §5.1)\n\n");
   listing_states();

@@ -4,11 +4,13 @@
 // absorbs.
 #include <cstdio>
 
+#include "ler_common.h"
 #include "circuit/random.h"
 #include "circuit/stats.h"
 #include "core/pauli_frame.h"
 
 int main() {
+  qpf::bench::announce_seed("bench_pauli_fraction", 99);
   using namespace qpf;
 
   std::printf("bench_pauli_fraction: gate-mix study of compiled programs "

@@ -3,6 +3,7 @@
 // and after flushing) and the 100-iteration equivalence run.
 #include <cstdio>
 
+#include "ler_common.h"
 #include "arch/pauli_frame_layer.h"
 #include "arch/qx_core.h"
 #include "arch/testbench.h"
@@ -67,6 +68,7 @@ void equivalence_run() {
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_random_circuit", 2016);
   std::printf("bench_random_circuit: Pauli frame verification by random "
               "circuits (thesis §5.2.2)\n\n");
   worked_example();

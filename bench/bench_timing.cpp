@@ -9,6 +9,7 @@
 // for a range of decoder latencies.
 #include <cstdio>
 
+#include "ler_common.h"
 #include "arch/chp_core.h"
 #include "arch/error_layer.h"
 #include "arch/ninja_star_layer.h"
@@ -55,6 +56,7 @@ WindowTiming measure(bool with_pf, double per, std::uint64_t seed,
 }  // namespace
 
 int main() {
+  qpf::bench::announce_seed("bench_timing", 3);
   const GateTimings timings;
   std::printf("bench_timing: QEC window wall-clock with transmon-style "
               "durations (1q %.0f ns, 2q %.0f ns, measure/prep %.0f ns)\n",

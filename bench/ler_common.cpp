@@ -1,5 +1,15 @@
 #include "ler_common.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+
+#include "journal/run_journal.h"
 #include "stats/summary.h"
 
 namespace qpf::bench {
@@ -7,39 +17,115 @@ namespace qpf::bench {
 using arch::LerStack;
 using qec::CheckType;
 
-LerRun run_ler(const LerConfig& config) {
-  LerStack::Config stack_config;
-  stack_config.physical_error_rate = config.physical_error_rate;
-  stack_config.with_pauli_frame = config.with_pauli_frame;
-  stack_config.seed = config.seed;
-  stack_config.ninja_options = config.ninja_options;
-  LerStack stack(stack_config);
+LerTrial::LerTrial(const LerConfig& config)
+    : config_(config), stack_([&] {
+        LerStack::Config stack_config;
+        stack_config.physical_error_rate = config.physical_error_rate;
+        stack_config.with_pauli_frame = config.with_pauli_frame;
+        stack_config.seed = config.seed;
+        stack_config.ninja_options = config.ninja_options;
+        return stack_config;
+      }()) {
+  stack_.set_diagnostic_mode(true);
+  stack_.ninja().initialize(0, config_.basis);
+  stack_.set_diagnostic_mode(false);
+  stack_.reset_counters();
+}
 
-  stack.set_diagnostic_mode(true);
-  stack.ninja().initialize(0, config.basis);
-  stack.set_diagnostic_mode(false);
-  stack.reset_counters();
+bool LerTrial::done() const noexcept {
+  return logical_errors_ >= config_.target_logical_errors ||
+         windows_ >= config_.max_windows;
+}
 
-  LerRun run;
-  int expected_sign = +1;
-  while (run.logical_errors < config.target_logical_errors &&
-         run.windows < config.max_windows) {
-    stack.ninja().run_window(0);
-    ++run.windows;
-    stack.set_diagnostic_mode(true);
-    if (!stack.ninja().has_observable_errors(0)) {
-      const int sign =
-          stack.ninja().measure_logical_stabilizer(0, config.basis);
-      if (sign != expected_sign) {
-        ++run.logical_errors;
-        expected_sign = sign;
-      }
+void LerTrial::step() {
+  stack_.ninja().run_window(0);
+  ++windows_;
+  stack_.set_diagnostic_mode(true);
+  if (!stack_.ninja().has_observable_errors(0)) {
+    const int sign = stack_.ninja().measure_logical_stabilizer(0, config_.basis);
+    if (sign != expected_sign_) {
+      ++logical_errors_;
+      expected_sign_ = sign;
     }
-    stack.set_diagnostic_mode(false);
   }
-  run.saved_gates_fraction = stack.gates_saved_fraction();
-  run.saved_slots_fraction = stack.slots_saved_fraction();
+  stack_.set_diagnostic_mode(false);
+}
+
+LerRun LerTrial::result() const {
+  LerRun run;
+  run.windows = windows_;
+  run.logical_errors = logical_errors_;
+  run.saved_gates_fraction = stack_.gates_saved_fraction();
+  run.saved_slots_fraction = stack_.slots_saved_fraction();
   return run;
+}
+
+void LerTrial::save(journal::SnapshotWriter& out) const {
+  out.tag("ler-trial");
+  out.write_u64(config_.seed);
+  out.write_size(windows_);
+  out.write_size(logical_errors_);
+  out.write_i64(expected_sign_);
+  stack_.save_state(out);
+}
+
+void LerTrial::load(journal::SnapshotReader& in) {
+  in.expect_tag("ler-trial");
+  const std::uint64_t seed = in.read_u64();
+  if (seed != config_.seed) {
+    throw CheckpointError("ler trial snapshot: seed differs from the "
+                          "configured trial");
+  }
+  const std::size_t windows = in.read_size();
+  const std::size_t logical_errors = in.read_size();
+  const std::int64_t sign = in.read_i64();
+  if (sign != 1 && sign != -1) {
+    throw CheckpointError("ler trial snapshot: invalid stabilizer sign");
+  }
+  stack_.load_state(in);
+  windows_ = windows;
+  logical_errors_ = logical_errors;
+  expected_sign_ = static_cast<int>(sign);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::size_t elapsed_ms(Clock::time_point since) {
+  return static_cast<std::size_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+[[nodiscard]] std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+LerRun run_ler(const LerConfig& config) {
+  LerTrial trial(config);
+  const Clock::time_point start = Clock::now();
+  bool timed_out = false;
+  while (!trial.done()) {
+    if (config.timeout_per_trial_ms != 0 &&
+        elapsed_ms(start) >= config.timeout_per_trial_ms) {
+      timed_out = true;
+      break;
+    }
+    trial.step();
+  }
+  LerRun run = trial.result();
+  run.timed_out = timed_out;
+  return run;
+}
+
+std::uint64_t next_trial_seed(std::uint64_t seed) noexcept {
+  return seed * 6364136223846793005ULL + 1442695040888963407ULL;
 }
 
 LerPoint run_ler_point(LerConfig config, std::size_t runs) {
@@ -48,7 +134,7 @@ LerPoint run_ler_point(LerConfig config, std::size_t runs) {
   double saved_gates = 0.0;
   double saved_slots = 0.0;
   for (std::size_t i = 0; i < runs; ++i) {
-    config.seed = config.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    config.seed = next_trial_seed(config.seed);
     const LerRun run = run_ler(config);
     point.ler_samples.push_back(run.ler());
     point.window_samples.push_back(static_cast<double>(run.windows));
@@ -63,6 +149,245 @@ LerPoint run_ler_point(LerConfig config, std::size_t runs) {
   point.saved_gates = saved_gates / static_cast<double>(runs);
   point.saved_slots = saved_slots / static_cast<double>(runs);
   return point;
+}
+
+namespace {
+
+void make_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return;
+  }
+  throw CheckpointError(std::string("cannot create state directory: ") +
+                            std::strerror(errno),
+                        path);
+}
+
+[[nodiscard]] journal::JournalEntry config_entry(
+    const CampaignOptions& options) {
+  journal::JournalEntry entry;
+  entry.fields["kind"] = "config";
+  entry.fields["per"] = format_double(options.config.physical_error_rate);
+  entry.fields["runs"] = std::to_string(options.runs);
+  entry.fields["target_errors"] =
+      std::to_string(options.config.target_logical_errors);
+  entry.fields["max_windows"] = std::to_string(options.config.max_windows);
+  entry.fields["basis"] = options.config.basis == CheckType::kZ ? "z" : "x";
+  entry.fields["pauli_frame"] = options.config.with_pauli_frame ? "1" : "0";
+  entry.fields["seed"] = std::to_string(options.config.seed);
+  return entry;
+}
+
+[[nodiscard]] bool config_matches(const journal::JournalEntry& found,
+                                  const CampaignOptions& options) {
+  const journal::JournalEntry expected = config_entry(options);
+  for (const auto& [key, value] : expected.fields) {
+    if (found.get(key) != value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct TrialSample {
+  std::size_t windows = 0;
+  std::size_t logical_errors = 0;
+  double saved_gates = 0.0;
+  double saved_slots = 0.0;
+  bool timed_out = false;
+};
+
+void write_trial_checkpoint(const std::string& path, std::size_t trial,
+                            const LerTrial& active) {
+  journal::SnapshotWriter out;
+  out.tag("ler-campaign");
+  out.write_u64(trial);
+  active.save(out);
+  journal::write_checkpoint_file(path, out.bytes());
+}
+
+}  // namespace
+
+CampaignResult run_ler_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  const bool durable = !options.state_dir.empty();
+  std::unique_ptr<journal::RunJournal> log;
+  std::string checkpoint_path;
+
+  std::vector<std::uint64_t> seeds(options.runs);
+  std::uint64_t cursor = options.config.seed;
+  for (std::size_t i = 0; i < options.runs; ++i) {
+    cursor = next_trial_seed(cursor);
+    seeds[i] = cursor;
+  }
+
+  std::vector<TrialSample> samples;
+  if (durable) {
+    make_directory(options.state_dir);
+    const std::string journal_path = options.state_dir + "/journal.jsonl";
+    checkpoint_path = options.state_dir + "/stack.ckpt";
+    const std::vector<journal::JournalEntry> entries =
+        journal::read_journal(journal_path);
+    if (!entries.empty()) {
+      if (entries.front().get("kind") != "config" ||
+          !config_matches(entries.front(), options)) {
+        throw CheckpointError(
+            "journal was written by a different campaign configuration",
+            journal_path);
+      }
+      for (std::size_t i = 1; i < entries.size(); ++i) {
+        const journal::JournalEntry& entry = entries[i];
+        if (entry.get("kind") != "trial" ||
+            entry.get_u64("trial") != samples.size() ||
+            samples.size() >= options.runs) {
+          continue;
+        }
+        TrialSample sample;
+        sample.windows = entry.get_u64("windows");
+        sample.logical_errors = entry.get_u64("logical_errors");
+        sample.saved_gates = entry.get_double("saved_gates");
+        sample.saved_slots = entry.get_double("saved_slots");
+        sample.timed_out = entry.get_u64("timed_out") != 0;
+        if (sample.timed_out) {
+          ++result.trials_timed_out;
+        }
+        samples.push_back(sample);
+      }
+    }
+    result.trials_from_journal = samples.size();
+    log = std::make_unique<journal::RunJournal>(journal_path);
+    if (entries.empty()) {
+      log->append(config_entry(options));
+    }
+  }
+
+  const std::size_t start_trial = samples.size();
+  const auto stop_requested = [&options](std::size_t windows_this_call) {
+    if (options.stop != nullptr && *options.stop != 0) {
+      return true;
+    }
+    return options.interrupt_after_windows != 0 &&
+           windows_this_call >= options.interrupt_after_windows;
+  };
+
+  std::size_t windows_this_call = 0;
+  for (std::size_t trial = start_trial; trial < options.runs; ++trial) {
+    LerConfig config = options.config;
+    config.seed = seeds[trial];
+    // Heap-allocated: LerStack's layers hold pointers into each other,
+    // so a trial is rebuilt (never moved) when a load fails.
+    auto active = std::make_unique<LerTrial>(config);
+
+    if (durable && trial == start_trial &&
+        journal::file_exists(checkpoint_path)) {
+      try {
+        journal::SnapshotReader in(
+            journal::read_checkpoint_file(checkpoint_path));
+        in.expect_tag("ler-campaign");
+        const std::uint64_t saved_trial = in.read_u64();
+        if (saved_trial == trial) {
+          active->load(in);
+          result.windows_resumed = active->windows();
+        }
+        // A checkpoint for an earlier (already journaled) trial is
+        // stale, not corrupt: the journal won the race; start clean.
+      } catch (const CheckpointError& error) {
+        result.checkpoint_recovered = true;
+        result.checkpoint_warning = error.what();
+        active = std::make_unique<LerTrial>(config);  // discard partial state
+      }
+    }
+
+    const Clock::time_point trial_start = Clock::now();
+    bool timed_out = false;
+    std::size_t windows_since_checkpoint = 0;
+    while (!active->done()) {
+      if (stop_requested(windows_this_call)) {
+        result.interrupted = true;
+        break;
+      }
+      if (config.timeout_per_trial_ms != 0 &&
+          elapsed_ms(trial_start) >= config.timeout_per_trial_ms) {
+        timed_out = true;
+        break;
+      }
+      active->step();
+      ++windows_this_call;
+      ++windows_since_checkpoint;
+      if (durable && options.checkpoint_every_windows != 0 &&
+          windows_since_checkpoint >= options.checkpoint_every_windows) {
+        write_trial_checkpoint(checkpoint_path, trial, *active);
+        windows_since_checkpoint = 0;
+      }
+    }
+    if (result.interrupted) {
+      // Drain: the current window finished; persist the trial mid-way
+      // so the resumed campaign continues from this exact state.
+      if (durable) {
+        write_trial_checkpoint(checkpoint_path, trial, *active);
+      }
+      break;
+    }
+
+    LerRun run = active->result();
+    run.timed_out = timed_out;
+    TrialSample sample{run.windows, run.logical_errors,
+                       run.saved_gates_fraction, run.saved_slots_fraction,
+                       timed_out};
+    if (timed_out) {
+      ++result.trials_timed_out;
+    }
+    samples.push_back(sample);
+    if (durable) {
+      journal::JournalEntry entry;
+      entry.fields["kind"] = "trial";
+      entry.fields["trial"] = std::to_string(trial);
+      entry.fields["seed"] = std::to_string(config.seed);
+      entry.fields["windows"] = std::to_string(sample.windows);
+      entry.fields["logical_errors"] = std::to_string(sample.logical_errors);
+      entry.fields["saved_gates"] = format_double(sample.saved_gates);
+      entry.fields["saved_slots"] = format_double(sample.saved_slots);
+      entry.fields["timed_out"] = sample.timed_out ? "1" : "0";
+      log->append(entry);
+      std::remove(checkpoint_path.c_str());
+    }
+  }
+
+  result.trials_completed = samples.size();
+  LerPoint point;
+  point.physical_error_rate = options.config.physical_error_rate;
+  double saved_gates = 0.0;
+  double saved_slots = 0.0;
+  for (const TrialSample& sample : samples) {
+    const double ler =
+        sample.windows == 0 ? 0.0
+                            : static_cast<double>(sample.logical_errors) /
+                                  static_cast<double>(sample.windows);
+    point.ler_samples.push_back(ler);
+    point.window_samples.push_back(static_cast<double>(sample.windows));
+    saved_gates += sample.saved_gates;
+    saved_slots += sample.saved_slots;
+  }
+  if (!samples.empty()) {
+    const stats::Summary ler = stats::summarize(point.ler_samples);
+    const stats::Summary windows = stats::summarize(point.window_samples);
+    point.mean_ler = ler.mean;
+    point.stddev_ler = ler.stddev;
+    point.window_cv = windows.coefficient_of_variation();
+    point.saved_gates = saved_gates / static_cast<double>(samples.size());
+    point.saved_slots = saved_slots / static_cast<double>(samples.size());
+  }
+  result.point = point;
+  return result;
+}
+
+std::uint64_t announce_seed(std::string_view what, std::uint64_t seed,
+                            std::ostream& out) {
+  out << "[seed] " << what << ": seed=" << seed << "\n";
+  return seed;
+}
+
+std::uint64_t announce_seed(std::string_view what, std::uint64_t seed) {
+  return announce_seed(what, seed, std::cerr);
 }
 
 std::size_t env_size_t(const char* name, std::size_t fallback) {

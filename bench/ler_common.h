@@ -1,19 +1,30 @@
 // Shared driver for the §5.3 Logical Error Rate experiments, used by
-// bench_ler, bench_ler_analysis and bench_esm_order.
+// bench_ler, bench_ler_analysis, bench_esm_order and the qpf_ler tool.
 //
-// One "run" executes the Listing 5.7 loop on the Fig 5.8 stack:
-// initialize, then repeat { window; diagnostics; logical-stabilizer
-// probe } counting executed windows R and observed logical flips m
-// until m reaches a target (or a window cap, to bound runtime at very
-// low physical error rates).  LER = m / R (Eq 5.1).
+// One "run" (or trial) executes the Listing 5.7 loop on the Fig 5.8
+// stack: initialize, then repeat { window; diagnostics; logical-
+// stabilizer probe } counting executed windows R and observed logical
+// flips m until m reaches a target (or a window cap, to bound runtime
+// at very low physical error rates).  LER = m / R (Eq 5.1).
+//
+// The crash-safe campaign engine (PR 2) wraps the same loop in
+// durability machinery: every finished trial is appended to an fsync'd
+// JSONL RunJournal, the in-progress trial is checkpointed every N
+// windows through the stack's snapshot capability, and a killed
+// campaign resumes bit-identically — the aggregate statistics of an
+// interrupted-and-resumed campaign equal those of an uninterrupted one.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
+#include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "arch/control_stack.h"
+#include "journal/snapshot.h"
 
 namespace qpf::bench {
 
@@ -26,6 +37,10 @@ struct LerConfig {
   std::size_t max_windows = 2'000'000;
   std::uint64_t seed = 1;
   arch::NinjaStarLayer::Options ninja_options{};
+  /// Watchdog: wall-clock budget per trial in milliseconds; 0 disables.
+  /// A trial that exceeds it stops at the next window boundary and is
+  /// recorded with timed_out set — the campaign continues.
+  std::size_t timeout_per_trial_ms = 0;
 };
 
 struct LerRun {
@@ -33,6 +48,7 @@ struct LerRun {
   std::size_t logical_errors = 0;
   double saved_gates_fraction = 0.0;
   double saved_slots_fraction = 0.0;
+  bool timed_out = false;
 
   [[nodiscard]] double ler() const {
     return windows == 0 ? 0.0
@@ -41,7 +57,41 @@ struct LerRun {
   }
 };
 
-/// Execute one LER run.
+/// One LER trial as a steppable object, so callers can checkpoint,
+/// watchdog, or interrupt between windows.  step() executes one QEC
+/// window plus the diagnostics probes; save()/load() serialize the
+/// complete trial state (loop counters and the full stack down to the
+/// tableau) for bit-identical resume.
+class LerTrial {
+ public:
+  explicit LerTrial(const LerConfig& config);
+
+  /// One window + diagnostics; call only while !done().
+  void step();
+  [[nodiscard]] bool done() const noexcept;
+
+  [[nodiscard]] std::size_t windows() const noexcept { return windows_; }
+  [[nodiscard]] std::size_t logical_errors() const noexcept {
+    return logical_errors_;
+  }
+
+  /// Result so far (saved fractions read from the stack counters).
+  [[nodiscard]] LerRun result() const;
+
+  void save(journal::SnapshotWriter& out) const;
+  /// Throws qpf::CheckpointError on a stream that does not match this
+  /// trial's configuration.
+  void load(journal::SnapshotReader& in);
+
+ private:
+  LerConfig config_;
+  arch::LerStack stack_;
+  std::size_t windows_ = 0;
+  std::size_t logical_errors_ = 0;
+  int expected_sign_ = +1;
+};
+
+/// Execute one LER run (honors config.timeout_per_trial_ms).
 [[nodiscard]] LerRun run_ler(const LerConfig& config);
 
 /// Aggregate of several runs at one physical error rate.
@@ -58,6 +108,62 @@ struct LerPoint {
 
 /// Run `runs` independent repetitions at one physical error rate.
 [[nodiscard]] LerPoint run_ler_point(LerConfig config, std::size_t runs);
+
+/// The deterministic per-trial seed chain used by run_ler_point and the
+/// campaign engine: trial i runs with the i+1'th iterate of this LCG
+/// from the base seed, so trial seeds never depend on wall clock or on
+/// how often the campaign was interrupted.
+[[nodiscard]] std::uint64_t next_trial_seed(std::uint64_t seed) noexcept;
+
+// --- Crash-safe campaign engine --------------------------------------
+
+struct CampaignOptions {
+  LerConfig config;
+  std::size_t runs = 3;
+  /// Directory for journal.jsonl + stack.ckpt (created if missing).
+  /// Empty disables durability; the campaign then runs in memory only.
+  std::string state_dir;
+  /// Checkpoint the in-progress trial every N windows (0 = only when
+  /// interrupted).  Smaller = less lost work, more I/O.
+  std::size_t checkpoint_every_windows = 0;
+  /// Cooperative stop flag (SIGINT/SIGTERM handler target).  When it
+  /// becomes nonzero the campaign finishes the current window, writes a
+  /// checkpoint and the journal tail, and returns interrupted=true.
+  const volatile std::sig_atomic_t* stop = nullptr;
+  /// Test hook: behave as if the stop flag fired after this many
+  /// windows executed in this call (0 = off).
+  std::size_t interrupt_after_windows = 0;
+};
+
+struct CampaignResult {
+  LerPoint point;
+  std::size_t trials_completed = 0;
+  /// Completed trials replayed from the journal instead of re-run.
+  std::size_t trials_from_journal = 0;
+  std::size_t trials_timed_out = 0;
+  /// Windows restored from a mid-trial checkpoint instead of re-run.
+  std::size_t windows_resumed = 0;
+  bool interrupted = false;
+  /// A corrupt/stale checkpoint was discarded (campaign fell back to
+  /// the journal and a clean trial start); the message says why.
+  bool checkpoint_recovered = false;
+  std::string checkpoint_warning;
+};
+
+/// Run (or resume) a durable LER campaign.  Completed trials found in
+/// state_dir's journal are trusted verbatim; the in-progress trial is
+/// restored from the checkpoint when one is present and valid.  Throws
+/// qpf::CheckpointError when state_dir holds a journal written by a
+/// different campaign configuration.
+[[nodiscard]] CampaignResult run_ler_campaign(const CampaignOptions& options);
+
+/// Announce an RNG seed on `out` ("[seed] <what>: seed=<seed>"), so
+/// every bench / randomized tool run can be replayed exactly.  Returns
+/// the seed, so call sites can announce and use in one expression.
+std::uint64_t announce_seed(std::string_view what, std::uint64_t seed,
+                            std::ostream& out);
+/// Convenience overload printing to stderr.
+std::uint64_t announce_seed(std::string_view what, std::uint64_t seed);
 
 /// Scale knobs shared by the LER benches, read from the environment:
 ///   QPF_LER_ERRORS  target logical errors per run   (default 10)

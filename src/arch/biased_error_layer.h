@@ -31,6 +31,17 @@ class BiasedErrorLayer final : public Layer {
     return model_.tally();
   }
 
+  void save_state(journal::SnapshotWriter& out) const override {
+    out.tag("biased-error-layer");
+    model_.save(out);
+    lower().save_state(out);
+  }
+  void load_state(journal::SnapshotReader& in) override {
+    in.expect_tag("biased-error-layer");
+    model_.load(in);
+    lower().load_state(in);
+  }
+
  private:
   qec::BiasedNoiseModel model_;
 };

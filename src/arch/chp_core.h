@@ -32,6 +32,10 @@ class ChpCore final : public Core {
     return tableau_.get();
   }
 
+  [[nodiscard]] bool snapshot_supported() const override { return true; }
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
  private:
   std::uint64_t seed_;
   std::unique_ptr<stab::Tableau> tableau_;

@@ -96,4 +96,39 @@ BinaryState ClassicalFaultLayer::get_state() const {
   return state;
 }
 
+void ClassicalFaultLayer::save_state(journal::SnapshotWriter& out) const {
+  out.tag("classical-fault-layer");
+  out.write_double(rates_.drop);
+  out.write_double(rates_.duplicate);
+  out.write_double(rates_.reorder);
+  out.write_double(rates_.readout_flip);
+  out.write_rng(rng_);
+  out.write_size(tally_.dropped);
+  out.write_size(tally_.duplicated);
+  out.write_size(tally_.reordered);
+  out.write_size(tally_.readout_flips);
+  lower().save_state(out);
+}
+
+void ClassicalFaultLayer::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("classical-fault-layer");
+  const double drop = in.read_double();
+  const double duplicate = in.read_double();
+  const double reorder = in.read_double();
+  const double readout_flip = in.read_double();
+  if (drop != rates_.drop || duplicate != rates_.duplicate ||
+      reorder != rates_.reorder || readout_flip != rates_.readout_flip) {
+    throw CheckpointError(
+        "classical fault layer snapshot: fault rates differ from the "
+        "configured stack");
+  }
+  rng_ = in.read_rng();
+  uniform_.reset();
+  tally_.dropped = in.read_size();
+  tally_.duplicated = in.read_size();
+  tally_.reordered = in.read_size();
+  tally_.readout_flips = in.read_size();
+  lower().load_state(in);
+}
+
 }  // namespace qpf::arch

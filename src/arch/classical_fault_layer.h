@@ -76,6 +76,9 @@ class ClassicalFaultLayer final : public Layer {
   [[nodiscard]] const FaultTally& tally() const noexcept { return tally_; }
   void reset_tally() noexcept { tally_ = {}; }
 
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
  private:
   [[nodiscard]] bool flip(double probability) const;
 

@@ -64,6 +64,28 @@ double LerStack::gates_saved_fraction() const noexcept {
          static_cast<double>(above);
 }
 
+void LerStack::save_state(journal::SnapshotWriter& out) const {
+  out.tag("ler-stack");
+  out.write_bool(frame_ != nullptr);
+  out.write_bool(faults_ != nullptr);
+  out.write_bool(validator_ != nullptr);
+  ninja_->save_state(out);
+}
+
+void LerStack::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("ler-stack");
+  const bool with_frame = in.read_bool();
+  const bool with_faults = in.read_bool();
+  const bool with_validator = in.read_bool();
+  if (with_frame != (frame_ != nullptr) || with_faults != (faults_ != nullptr) ||
+      with_validator != (validator_ != nullptr)) {
+    throw CheckpointError(
+        "ler stack snapshot: layer configuration differs from the "
+        "configured stack");
+  }
+  ninja_->load_state(in);
+}
+
 double LerStack::slots_saved_fraction() const noexcept {
   const auto above = counters_above_frame().time_slots;
   const auto below = counters_below_frame().time_slots;

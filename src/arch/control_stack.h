@@ -104,6 +104,12 @@ class LerStack {
   [[nodiscard]] double gates_saved_fraction() const noexcept;
   [[nodiscard]] double slots_saved_fraction() const noexcept;
 
+  /// Serialize the whole stack (every layer down to the tableau) into
+  /// `out`.  Restoring requires a stack built from the *same* Config;
+  /// load_state throws qpf::CheckpointError on any mismatch.
+  void save_state(journal::SnapshotWriter& out) const;
+  void load_state(journal::SnapshotReader& in);
+
  private:
   ChpCore core_;
   std::unique_ptr<CounterLayer> counter_bottom_;

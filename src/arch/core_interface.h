@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/error.h"
+#include "journal/snapshot.h"
 #include "statevector/state.h"
 
 namespace qpf::arch {
@@ -60,6 +62,33 @@ class Core {
 
   /// Current register size.
   [[nodiscard]] virtual std::size_t num_qubits() const = 0;
+
+  // --- Snapshot capability (crash-safe experiment engine, PR 2) ------
+  //
+  // Every element of a stack serializes its *own* mutable state and
+  // then delegates downward, so one save_state() call at the top of a
+  // stack captures the whole chain and one load_state() restores it
+  // bit-identically (RNG engines included).  Elements that carry no
+  // state simply forward (the Layer default); an element that cannot
+  // round-trip reports snapshot_supported() == false and throws a
+  // structured qpf::CheckpointError from save_state / load_state.
+
+  /// True when this element — and everything below it — round-trips
+  /// exactly through save_state() / load_state().
+  [[nodiscard]] virtual bool snapshot_supported() const { return false; }
+
+  /// Serialize this element's mutable state, then the chain below.
+  virtual void save_state(journal::SnapshotWriter& out) const {
+    (void)out;
+    throw CheckpointError("this stack element does not support snapshots");
+  }
+
+  /// Restore state saved by save_state().  Throws qpf::CheckpointError
+  /// on corruption, truncation, or configuration mismatch.
+  virtual void load_state(journal::SnapshotReader& in) {
+    (void)in;
+    throw CheckpointError("this stack element does not support snapshots");
+  }
 };
 
 /// Convenience: queue and run one circuit.

@@ -30,6 +30,21 @@ class CounterLayer final : public Layer {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
   void reset_counters() noexcept { counters_ = {}; }
 
+  void save_state(journal::SnapshotWriter& out) const override {
+    out.tag("counter-layer");
+    out.write_size(counters_.operations);
+    out.write_size(counters_.time_slots);
+    out.write_size(counters_.circuits);
+    lower().save_state(out);
+  }
+  void load_state(journal::SnapshotReader& in) override {
+    in.expect_tag("counter-layer");
+    counters_.operations = in.read_size();
+    counters_.time_slots = in.read_size();
+    counters_.circuits = in.read_size();
+    lower().load_state(in);
+  }
+
  private:
   Counters counters_;
 };

@@ -39,6 +39,19 @@ class Layer : public Core {
     return lower_->num_qubits();
   }
 
+  // A plain layer holds no mutable state, so its snapshot is exactly
+  // the chain below.  Stateful layers override all three, writing their
+  // own section before forwarding.
+  [[nodiscard]] bool snapshot_supported() const override {
+    return lower_->snapshot_supported();
+  }
+  void save_state(journal::SnapshotWriter& out) const override {
+    lower_->save_state(out);
+  }
+  void load_state(journal::SnapshotReader& in) override {
+    lower_->load_state(in);
+  }
+
   /// Diagnostic bypass: when set, the layer forwards traffic untouched.
   void set_bypass(bool bypass) noexcept { bypass_ = bypass; }
   [[nodiscard]] bool bypass() const noexcept { return bypass_; }

@@ -357,4 +357,37 @@ void NinjaStarLayer::apply_logical(const Operation& op) {
   }
 }
 
+void NinjaStarLayer::save_state(journal::SnapshotWriter& out) const {
+  out.tag("ninja-star-layer");
+  out.write_size(stars_.size());
+  for (const NinjaStar& star : stars_) {
+    star.save(out);
+  }
+  out.write_size(queue_.size());
+  for (const Circuit& circuit : queue_) {
+    out.write_circuit(circuit);
+  }
+  lower().save_state(out);
+}
+
+void NinjaStarLayer::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("ninja-star-layer");
+  const std::size_t count = in.read_size();
+  if (count != stars_.size()) {
+    throw CheckpointError(
+        "ninja star layer snapshot: logical qubit count differs from the "
+        "configured stack (checkpoint " + std::to_string(count) + ", stack " +
+        std::to_string(stars_.size()) + ")");
+  }
+  for (NinjaStar& star : stars_) {
+    star.load(in);
+  }
+  const std::size_t queued = in.read_size();
+  queue_.clear();
+  for (std::size_t i = 0; i < queued; ++i) {
+    queue_.push_back(in.read_circuit());
+  }
+  lower().load_state(in);
+}
+
 }  // namespace qpf::arch

@@ -96,6 +96,9 @@ class NinjaStarLayer final : public Layer {
     options_.windows_per_operation = n;
   }
 
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
  private:
   /// Execute one ESM round and collect the syndrome; ancillas inactive
   /// in the current dance mode report their carried bits.

@@ -1,5 +1,7 @@
 #include "arch/pauli_frame_layer.h"
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 void PauliFrameLayer::add(const Circuit& circuit) {
@@ -40,6 +42,34 @@ void PauliFrameLayer::flush() {
     lower().add(corrections);
     lower().execute();
   }
+}
+
+void PauliFrameLayer::save_state(journal::SnapshotWriter& out) const {
+  out.tag("pauli-frame-layer");
+  out.write_u8(static_cast<std::uint8_t>(protection_));
+  out.write_size(recovery_flushes_);
+  out.write_bool(frame_.has_value());
+  if (frame_.has_value()) {
+    frame_->save(out);
+  }
+  lower().save_state(out);
+}
+
+void PauliFrameLayer::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("pauli-frame-layer");
+  const std::uint8_t protection = in.read_u8();
+  if (protection != static_cast<std::uint8_t>(protection_)) {
+    throw CheckpointError(
+        "pauli frame layer snapshot: protection mode differs from the "
+        "configured stack");
+  }
+  recovery_flushes_ = in.read_size();
+  if (in.read_bool()) {
+    frame_ = pf::PauliFrame::load(in);
+  } else {
+    frame_.reset();
+  }
+  lower().load_state(in);
 }
 
 }  // namespace qpf::arch

@@ -65,6 +65,9 @@ class PauliFrameLayer final : public Layer {
     return *frame_;
   }
 
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
  private:
   void require_frame() const {
     if (!frame_.has_value()) {

@@ -70,4 +70,48 @@ std::optional<sv::StateVector> QxCore::get_quantum_state() const {
   return simulator_->state();
 }
 
+void QxCore::save_state(journal::SnapshotWriter& out) const {
+  out.tag("qx-core");
+  out.write_u64(seed_);
+  out.write_bool(simulator_ != nullptr);
+  if (simulator_ != nullptr) {
+    simulator_->save(out);
+  }
+  out.write_size(binary_.size());
+  for (const BinaryValue v : binary_) {
+    out.write_u8(static_cast<std::uint8_t>(v));
+  }
+  out.write_size(queue_.size());
+  for (const Circuit& circuit : queue_) {
+    out.write_circuit(circuit);
+  }
+}
+
+void QxCore::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("qx-core");
+  seed_ = in.read_u64();
+  if (in.read_bool()) {
+    simulator_ = std::make_unique<sv::Simulator>(sv::Simulator::load(in));
+  } else {
+    simulator_.reset();
+  }
+  const std::size_t register_size = in.read_size();
+  binary_.clear();
+  for (std::size_t i = 0; i < register_size; ++i) {
+    const std::uint8_t v = in.read_u8();
+    if (v > static_cast<std::uint8_t>(BinaryValue::kUnknown)) {
+      throw CheckpointError("qx core snapshot: invalid binary value");
+    }
+    binary_.push_back(static_cast<BinaryValue>(v));
+  }
+  const std::size_t queued = in.read_size();
+  queue_.clear();
+  for (std::size_t i = 0; i < queued; ++i) {
+    queue_.push_back(in.read_circuit());
+  }
+  if (simulator_ != nullptr && simulator_->num_qubits() != binary_.size()) {
+    throw CheckpointError("qx core snapshot: register size mismatch");
+  }
+}
+
 }  // namespace qpf::arch

@@ -31,6 +31,10 @@ class QxCore final : public Core {
     return simulator_.get();
   }
 
+  [[nodiscard]] bool snapshot_supported() const override { return true; }
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
  private:
   std::uint64_t seed_;
   std::unique_ptr<sv::Simulator> simulator_;

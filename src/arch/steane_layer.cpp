@@ -205,4 +205,36 @@ void SteaneLayer::apply_logical(const Operation& op) {
   }
 }
 
+void SteaneLayer::save_state(journal::SnapshotWriter& out) const {
+  out.tag("steane-layer");
+  out.write_size(logical_state_.size());
+  for (const BinaryValue v : logical_state_) {
+    out.write_u8(static_cast<std::uint8_t>(v));
+  }
+  out.write_size(queue_.size());
+  for (const Circuit& circuit : queue_) {
+    out.write_circuit(circuit);
+  }
+  lower().save_state(out);
+}
+
+void SteaneLayer::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("steane-layer");
+  const std::size_t count = in.read_size();
+  logical_state_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t v = in.read_u8();
+    if (v > static_cast<std::uint8_t>(BinaryValue::kUnknown)) {
+      throw CheckpointError("steane layer snapshot: invalid logical value");
+    }
+    logical_state_.push_back(static_cast<BinaryValue>(v));
+  }
+  const std::size_t queued = in.read_size();
+  queue_.clear();
+  for (std::size_t i = 0; i < queued; ++i) {
+    queue_.push_back(in.read_circuit());
+  }
+  lower().load_state(in);
+}
+
 }  // namespace qpf::arch

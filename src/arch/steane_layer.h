@@ -51,6 +51,9 @@ class SteaneLayer final : public Layer {
     return static_cast<Qubit>(logical * qec::SteaneCode::kNumQubits);
   }
 
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
  private:
   void run_lower(const Circuit& circuit);
   void apply_logical(const Operation& op);

@@ -144,4 +144,60 @@ void SurfaceCodeExperiment::reset_counters() noexcept {
   counter_below_->reset_counters();
 }
 
+void SurfaceCodeExperiment::save_state(journal::SnapshotWriter& out) const {
+  out.tag("surface-code-experiment");
+  out.write_u32(static_cast<std::uint32_t>(layout_.distance()));
+  out.write_bool(frame_ != nullptr);
+  const SurfaceCodePatch::Bits& carried = patch_.carried();
+  out.write_size(carried.size());
+  for (const std::uint8_t bit : carried) {
+    out.write_u8(bit);
+  }
+  top_->save_state(out);
+}
+
+void SurfaceCodeExperiment::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("surface-code-experiment");
+  const std::uint32_t distance = in.read_u32();
+  if (distance != static_cast<std::uint32_t>(layout_.distance())) {
+    throw CheckpointError(
+        "surface code experiment snapshot: distance differs from the "
+        "configured experiment");
+  }
+  if (in.read_bool() != (frame_ != nullptr)) {
+    throw CheckpointError(
+        "surface code experiment snapshot: Pauli-frame configuration "
+        "differs from the configured experiment");
+  }
+  const std::size_t carried_size = in.read_size();
+  if (carried_size != patch_.carried().size()) {
+    throw CheckpointError(
+        "surface code experiment snapshot: carried-round size differs "
+        "from the configured experiment");
+  }
+  SurfaceCodePatch::Bits carried;
+  carried.reserve(carried_size);
+  for (std::size_t i = 0; i < carried_size; ++i) {
+    carried.push_back(in.read_u8());
+  }
+  patch_.set_carried(std::move(carried));
+  top_->load_state(in);
+}
+
+void SurfaceCodeExperiment::save_checkpoint(const std::string& path) const {
+  journal::SnapshotWriter out;
+  save_state(out);
+  journal::write_checkpoint_file(path, out.bytes());
+}
+
+void SurfaceCodeExperiment::load_checkpoint(const std::string& path) {
+  journal::SnapshotReader in(journal::read_checkpoint_file(path));
+  load_state(in);
+  if (!in.exhausted()) {
+    throw CheckpointError("surface code experiment checkpoint: trailing "
+                          "bytes after the snapshot",
+                          path);
+  }
+}
+
 }  // namespace qpf::arch

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "arch/chp_core.h"
 #include "arch/counter_layer.h"
@@ -53,6 +54,19 @@ class SurfaceCodeExperiment {
   [[nodiscard]] qec::SurfaceCodePatch& patch() noexcept { return patch_; }
   /// The raw device, for targeted fault injection in tests.
   [[nodiscard]] ChpCore& device() noexcept { return core_; }
+
+  /// Serialize the experiment mid-run (decoder carried round + the full
+  /// layer stack down to the tableau).  load_state requires an
+  /// experiment built from the same Config and throws
+  /// qpf::CheckpointError on mismatch.
+  void save_state(journal::SnapshotWriter& out) const;
+  void load_state(journal::SnapshotReader& in);
+
+  /// Atomically persist save_state() to a CRC-armored checkpoint file.
+  void save_checkpoint(const std::string& path) const;
+  /// Restore from save_checkpoint(); throws qpf::CheckpointError on a
+  /// missing, corrupted, or configuration-mismatched file.
+  void load_checkpoint(const std::string& path);
 
  private:
   [[nodiscard]] qec::SurfaceCodePatch::Bits run_esm_round();

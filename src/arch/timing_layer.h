@@ -71,6 +71,19 @@ class TimingLayer final : public Layer {
     return timings_;
   }
 
+  void save_state(journal::SnapshotWriter& out) const override {
+    out.tag("timing-layer");
+    out.write_double(elapsed_ns_);
+    out.write_size(slots_);
+    lower().save_state(out);
+  }
+  void load_state(journal::SnapshotReader& in) override {
+    in.expect_tag("timing-layer");
+    elapsed_ns_ = in.read_double();
+    slots_ = in.read_size();
+    lower().load_state(in);
+  }
+
  private:
   GateTimings timings_;
   double elapsed_ns_ = 0.0;

@@ -1,5 +1,7 @@
 #include "arch/validating_layer.h"
 
+#include "circuit/error.h"
+
 namespace qpf::arch {
 
 void ValidatingLayer::report(FaultReport::Kind kind, std::string detail) const {
@@ -82,6 +84,46 @@ BinaryState ValidatingLayer::get_state() const {
                " bits for a register of " + std::to_string(num_qubits()));
   }
   return state;
+}
+
+void ValidatingLayer::save_state(journal::SnapshotWriter& out) const {
+  out.tag("validating-layer");
+  out.write_bool(reference_.has_value());
+  if (reference_.has_value()) {
+    reference_->save(out);
+  }
+  out.write_size(circuits_seen_);
+  out.write_size(reports_.size());
+  for (const FaultReport& r : reports_) {
+    out.write_u8(static_cast<std::uint8_t>(r.kind));
+    out.write_string(r.detail);
+    out.write_size(r.circuit_index);
+  }
+  lower().save_state(out);
+}
+
+void ValidatingLayer::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("validating-layer");
+  if (in.read_bool()) {
+    reference_ = pf::PauliFrame::load(in);
+  } else {
+    reference_.reset();
+  }
+  circuits_seen_ = in.read_size();
+  const std::size_t count = in.read_size();
+  reports_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint8_t kind = in.read_u8();
+    if (kind > static_cast<std::uint8_t>(FaultReport::Kind::kStateSizeMismatch)) {
+      throw CheckpointError("validating layer snapshot: invalid report kind");
+    }
+    FaultReport r;
+    r.kind = static_cast<FaultReport::Kind>(kind);
+    r.detail = in.read_string();
+    r.circuit_index = in.read_size();
+    reports_.push_back(std::move(r));
+  }
+  lower().load_state(in);
 }
 
 }  // namespace qpf::arch

@@ -83,6 +83,9 @@ class ValidatingLayer final : public Layer {
   /// intentional out-of-band flush, e.g. PauliFrameLayer::flush()).
   void resync();
 
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
  private:
   void report(FaultReport::Kind kind, std::string detail) const;
 

@@ -51,4 +51,11 @@ QcuError::QcuError(const std::string& component, const std::string& message,
     : Error(message, ErrorContext{component, std::nullopt, line,
                                   std::nullopt}) {}
 
+CheckpointError::CheckpointError(const std::string& message,
+                                 const std::string& path)
+    : Error(path.empty() ? message : message + " [" + path + "]",
+            ErrorContext{"checkpoint", std::nullopt, std::nullopt,
+                         std::nullopt}),
+      path_(path) {}
+
 }  // namespace qpf

@@ -10,7 +10,10 @@
 // Subclasses map to the three failure domains of the stack:
 //   QasmParseError   — malformed program text (QASM / CHP dialects),
 //   StackConfigError — a layer, core, or model rejected its inputs,
-//   QcuError         — QISA assembly / Quantum Control Unit faults.
+//   QcuError         — QISA assembly / Quantum Control Unit faults,
+//   CheckpointError  — snapshot / checkpoint / journal persistence
+//                      faults (corruption, version skew, unsupported
+//                      stack elements).
 #pragma once
 
 #include <cstddef>
@@ -67,6 +70,22 @@ class QcuError : public Error {
  public:
   QcuError(const std::string& component, const std::string& message,
            std::optional<std::size_t> line = std::nullopt);
+};
+
+/// Snapshot / checkpoint persistence failure: a corrupted or truncated
+/// checkpoint file (CRC mismatch), a format-version skew, a snapshot
+/// type mismatch while restoring, or an element that cannot snapshot.
+/// `path` is the file involved, when the failure is file-level (empty
+/// for in-memory serialization faults).
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& message,
+                           const std::string& path = {});
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
 };
 
 }  // namespace qpf

@@ -1,8 +1,15 @@
 #include "cli/runner.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,6 +21,8 @@
 #include "arch/validating_layer.h"
 #include "circuit/error.h"
 #include "circuit/qasm.h"
+#include "journal/run_journal.h"
+#include "journal/snapshot.h"
 #include "qcu/compiler.h"
 #include "qcu/qcu.h"
 #include "stabilizer/chp_format.h"
@@ -62,6 +71,21 @@ struct FaultSummary {
   [[nodiscard]] bool anything() const noexcept {
     return injected.total() != 0 || health.checks != 0 ||
            recovery_flushes != 0 || validator_reports != 0;
+  }
+
+  void merge(const FaultSummary& delta) {
+    injected.dropped += delta.injected.dropped;
+    injected.duplicated += delta.injected.duplicated;
+    injected.reordered += delta.injected.reordered;
+    injected.readout_flips += delta.injected.readout_flips;
+    health.checks += delta.health.checks;
+    health.detected += delta.health.detected;
+    health.corrected += delta.health.corrected;
+    health.uncorrectable += delta.health.uncorrectable;
+    health.recovery_resets += delta.health.recovery_resets;
+    health.scrubs += delta.health.scrubs;
+    recovery_flushes += delta.recovery_flushes;
+    validator_reports += delta.validator_reports;
   }
 };
 
@@ -150,21 +174,295 @@ std::string run_circuit_shot(const RunnerOptions& options,
   return bits;
 }
 
-std::string run_circuit(const RunnerOptions& options, const Circuit& circuit) {
+void make_state_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return;
+  }
+  throw CheckpointError(std::string("cannot create state directory: ") +
+                            std::strerror(errno),
+                        path);
+}
+
+// Structural fingerprint of the program, so a resume against a
+// different circuit is rejected instead of silently mixing histograms.
+std::uint32_t circuit_fingerprint(const Circuit& circuit) {
+  journal::SnapshotWriter out;
+  out.write_circuit(circuit);
+  return journal::crc32(out.bytes().data(), out.bytes().size());
+}
+
+journal::JournalEntry run_config_entry(const RunnerOptions& options,
+                                       std::uint32_t program_crc) {
+  journal::JournalEntry entry;
+  entry.fields["kind"] = "config";
+  entry.fields["program_crc"] = std::to_string(program_crc);
+  entry.fields["seed"] = std::to_string(options.seed);
+  entry.fields["shots"] = std::to_string(options.shots);
+  char rate[40];
+  std::snprintf(rate, sizeof rate, "%.17g", options.error_rate);
+  entry.fields["error_rate"] = rate;
+  std::snprintf(rate, sizeof rate, "%.17g", options.classical_fault_rate);
+  entry.fields["classical_fault_rate"] = rate;
+  entry.fields["backend"] = options.backend == Backend::kQx ? "qx" : "chp";
+  entry.fields["pauli_frame"] = options.pauli_frame ? "1" : "0";
+  entry.fields["protection"] = std::string(pf::name(options.frame_protection));
+  entry.fields["validate"] = options.validate ? "1" : "0";
+  return entry;
+}
+
+// Aggregate run state that the journal replay / checkpoint restores.
+struct RunAggregate {
+  std::map<std::string, std::size_t> histogram;
+  FaultSummary summary;
+  std::size_t timed_out_shots = 0;
+  std::size_t shots_done = 0;
+};
+
+void apply_shot_entry(RunAggregate& aggregate,
+                      const journal::JournalEntry& entry) {
+  ++aggregate.histogram[entry.get("bits")];
+  FaultSummary delta;
+  delta.injected.dropped = entry.get_u64("dropped");
+  delta.injected.duplicated = entry.get_u64("duplicated");
+  delta.injected.reordered = entry.get_u64("reordered");
+  delta.injected.readout_flips = entry.get_u64("readout_flips");
+  delta.health.checks = entry.get_u64("checks");
+  delta.health.detected = entry.get_u64("detected");
+  delta.health.corrected = entry.get_u64("corrected");
+  delta.health.uncorrectable = entry.get_u64("uncorrectable");
+  delta.health.recovery_resets = entry.get_u64("recovery_resets");
+  delta.health.scrubs = entry.get_u64("scrubs");
+  delta.recovery_flushes = entry.get_u64("recovery_flushes");
+  delta.validator_reports = entry.get_u64("validator_reports");
+  aggregate.summary.merge(delta);
+  if (entry.get_u64("timed_out") != 0) {
+    ++aggregate.timed_out_shots;
+  }
+  ++aggregate.shots_done;
+}
+
+journal::JournalEntry shot_entry(std::size_t shot, const std::string& bits,
+                                 bool timed_out, const FaultSummary& delta) {
+  journal::JournalEntry entry;
+  entry.fields["kind"] = "shot";
+  entry.fields["shot"] = std::to_string(shot);
+  entry.fields["bits"] = bits;
+  entry.fields["timed_out"] = timed_out ? "1" : "0";
+  entry.fields["dropped"] = std::to_string(delta.injected.dropped);
+  entry.fields["duplicated"] = std::to_string(delta.injected.duplicated);
+  entry.fields["reordered"] = std::to_string(delta.injected.reordered);
+  entry.fields["readout_flips"] =
+      std::to_string(delta.injected.readout_flips);
+  entry.fields["checks"] = std::to_string(delta.health.checks);
+  entry.fields["detected"] = std::to_string(delta.health.detected);
+  entry.fields["corrected"] = std::to_string(delta.health.corrected);
+  entry.fields["uncorrectable"] = std::to_string(delta.health.uncorrectable);
+  entry.fields["recovery_resets"] =
+      std::to_string(delta.health.recovery_resets);
+  entry.fields["scrubs"] = std::to_string(delta.health.scrubs);
+  entry.fields["recovery_flushes"] = std::to_string(delta.recovery_flushes);
+  entry.fields["validator_reports"] =
+      std::to_string(delta.validator_reports);
+  return entry;
+}
+
+void write_run_checkpoint(const std::string& path, std::uint32_t program_crc,
+                          std::uint64_t seed, const RunAggregate& aggregate) {
+  journal::SnapshotWriter out;
+  out.tag("qpf-run");
+  out.write_u32(program_crc);
+  out.write_u64(seed);
+  out.write_size(aggregate.shots_done);
+  out.write_size(aggregate.timed_out_shots);
+  out.write_size(aggregate.histogram.size());
+  for (const auto& [bits, count] : aggregate.histogram) {
+    out.write_string(bits);
+    out.write_size(count);
+  }
+  out.write_size(aggregate.summary.injected.dropped);
+  out.write_size(aggregate.summary.injected.duplicated);
+  out.write_size(aggregate.summary.injected.reordered);
+  out.write_size(aggregate.summary.injected.readout_flips);
+  out.write_size(aggregate.summary.health.checks);
+  out.write_size(aggregate.summary.health.detected);
+  out.write_size(aggregate.summary.health.corrected);
+  out.write_size(aggregate.summary.health.uncorrectable);
+  out.write_size(aggregate.summary.health.recovery_resets);
+  out.write_size(aggregate.summary.health.scrubs);
+  out.write_size(aggregate.summary.recovery_flushes);
+  out.write_size(aggregate.summary.validator_reports);
+  journal::write_checkpoint_file(path, out.bytes());
+}
+
+// Throws CheckpointError on any mismatch or corruption.
+RunAggregate read_run_checkpoint(const std::string& path,
+                                 std::uint32_t program_crc,
+                                 std::uint64_t seed) {
+  journal::SnapshotReader in(journal::read_checkpoint_file(path));
+  in.expect_tag("qpf-run");
+  if (in.read_u32() != program_crc) {
+    throw CheckpointError("run checkpoint: program fingerprint mismatch",
+                          path);
+  }
+  if (in.read_u64() != seed) {
+    throw CheckpointError("run checkpoint: seed mismatch", path);
+  }
+  RunAggregate aggregate;
+  aggregate.shots_done = in.read_size();
+  aggregate.timed_out_shots = in.read_size();
+  const std::size_t entries = in.read_size();
+  for (std::size_t i = 0; i < entries; ++i) {
+    const std::string bits = in.read_string();
+    aggregate.histogram[bits] = in.read_size();
+  }
+  aggregate.summary.injected.dropped = in.read_size();
+  aggregate.summary.injected.duplicated = in.read_size();
+  aggregate.summary.injected.reordered = in.read_size();
+  aggregate.summary.injected.readout_flips = in.read_size();
+  aggregate.summary.health.checks = in.read_size();
+  aggregate.summary.health.detected = in.read_size();
+  aggregate.summary.health.corrected = in.read_size();
+  aggregate.summary.health.uncorrectable = in.read_size();
+  aggregate.summary.health.recovery_resets = in.read_size();
+  aggregate.summary.health.scrubs = in.read_size();
+  aggregate.summary.recovery_flushes = in.read_size();
+  aggregate.summary.validator_reports = in.read_size();
+  return aggregate;
+}
+
+std::string run_circuit(const RunnerOptions& options, const Circuit& circuit,
+                        bool* interrupted) {
   std::ostringstream out;
   out << "program: " << circuit.num_operations() << " operations in "
       << circuit.num_slots() << " time slots over "
       << circuit.min_register_size() << " qubits\n";
-  std::map<std::string, std::size_t> histogram;
+  RunAggregate aggregate;
   std::string state_dump;
-  FaultSummary summary;
-  for (std::size_t shot = 0; shot < options.shots; ++shot) {
+
+  const bool durable = !options.checkpoint_dir.empty();
+  std::unique_ptr<journal::RunJournal> log;
+  std::string checkpoint_path;
+  std::uint32_t program_crc = 0;
+  if (durable) {
+    make_state_directory(options.checkpoint_dir);
+    program_crc = circuit_fingerprint(circuit);
+    const std::string journal_path = options.checkpoint_dir + "/shots.jsonl";
+    checkpoint_path = options.checkpoint_dir + "/run.ckpt";
+    const std::vector<journal::JournalEntry> entries =
+        journal::read_journal(journal_path);
+    if (!entries.empty()) {
+      if (!options.resume) {
+        throw CheckpointError(
+            "state directory already holds a journal; pass --resume=DIR "
+            "to continue it",
+            journal_path);
+      }
+      const journal::JournalEntry expected =
+          run_config_entry(options, program_crc);
+      for (const auto& [key, value] : expected.fields) {
+        if (entries.front().get(key) != value) {
+          throw CheckpointError(
+              "journal was written by a different run (field '" + key +
+                  "' is '" + entries.front().get(key) + "', expected '" +
+                  value + "')",
+              journal_path);
+        }
+      }
+    }
+    // Sequential shot records; anything else (duplicates from a
+    // re-run, out-of-order garbage) is ignored.
+    std::vector<const journal::JournalEntry*> shots;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      if (entries[i].get("kind") == "shot" &&
+          entries[i].get_u64("shot") == shots.size()) {
+        shots.push_back(&entries[i]);
+      }
+    }
+    // Fast path: an aggregate checkpoint summarizing a prefix of the
+    // journal.  A corrupt or mismatched checkpoint is discarded — the
+    // journal alone rebuilds the same state.
+    if (options.resume && journal::file_exists(checkpoint_path)) {
+      try {
+        RunAggregate restored =
+            read_run_checkpoint(checkpoint_path, program_crc, options.seed);
+        if (restored.shots_done > shots.size()) {
+          throw CheckpointError(
+              "run checkpoint claims more shots than the journal holds",
+              checkpoint_path);
+        }
+        aggregate = std::move(restored);
+      } catch (const CheckpointError& error) {
+        std::cerr << "qpf_run: discarded unusable checkpoint ("
+                  << error.what() << "); replaying the journal\n";
+        aggregate = RunAggregate{};
+      }
+    }
+    for (std::size_t shot = aggregate.shots_done; shot < shots.size();
+         ++shot) {
+      apply_shot_entry(aggregate, *shots[shot]);
+    }
+    log = std::make_unique<journal::RunJournal>(journal_path);
+    if (entries.empty()) {
+      log->append(run_config_entry(options, program_crc));
+    }
+  }
+
+  std::size_t since_checkpoint = 0;
+  for (std::size_t shot = aggregate.shots_done; shot < options.shots;
+       ++shot) {
+    if (options.stop != nullptr && *options.stop != 0) {
+      if (interrupted != nullptr) {
+        *interrupted = true;
+      }
+      break;
+    }
+    const auto started = std::chrono::steady_clock::now();
+    FaultSummary delta;
     const std::string bits = run_circuit_shot(
         options, circuit, options.seed + shot,
         options.print_state && shot + 1 == options.shots ? &state_dump
                                                          : nullptr,
-        &summary);
-    ++histogram[bits];
+        &delta);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    const bool timed_out =
+        options.timeout_per_trial_ms != 0 &&
+        static_cast<std::size_t>(elapsed_ms) >= options.timeout_per_trial_ms;
+    ++aggregate.histogram[bits];
+    aggregate.summary.merge(delta);
+    if (timed_out) {
+      ++aggregate.timed_out_shots;
+    }
+    ++aggregate.shots_done;
+    if (durable) {
+      log->append(shot_entry(shot, bits, timed_out, delta));
+      ++since_checkpoint;
+      if (options.checkpoint_every != 0 &&
+          since_checkpoint >= options.checkpoint_every) {
+        write_run_checkpoint(checkpoint_path, program_crc, options.seed,
+                             aggregate);
+        since_checkpoint = 0;
+      }
+    }
+  }
+  if (durable && since_checkpoint != 0) {
+    write_run_checkpoint(checkpoint_path, program_crc, options.seed,
+                         aggregate);
+  }
+
+  const std::map<std::string, std::size_t>& histogram = aggregate.histogram;
+  const FaultSummary& summary = aggregate.summary;
+  if (interrupted != nullptr && *interrupted) {
+    out << "interrupted after " << aggregate.shots_done << " of "
+        << options.shots << " shot(s)";
+    if (durable) {
+      out << "; re-run with --resume=" << options.checkpoint_dir
+          << " to continue";
+    }
+    out << "\n";
+    return out.str();
   }
   if (options.shots == 1) {
     out << "state (q_{n-1}..q_0): |" << histogram.begin()->first << ">\n";
@@ -192,6 +490,10 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit) {
   if (options.validate) {
     out << "validator: " << summary.validator_reports << " report(s)\n";
   }
+  if (options.timeout_per_trial_ms != 0) {
+    out << "timed out: " << aggregate.timed_out_shots << " shot(s) over "
+        << options.timeout_per_trial_ms << " ms\n";
+  }
   if (!state_dump.empty()) {
     out << "quantum state (last shot, frame flushed):\n" << state_dump;
   }
@@ -200,7 +502,7 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit) {
 
 std::string run_qisa_program(const RunnerOptions& options,
                              const std::vector<qcu::Instruction>& program,
-                             const char* kind) {
+                             const char* kind, bool* interrupted) {
   // Size the machine to the largest patch the program names.
   std::size_t slots = options.patch_slots;
   for (const qcu::Instruction& instruction : program) {
@@ -213,7 +515,14 @@ std::string run_qisa_program(const RunnerOptions& options,
       << " patch slot(s)\n";
   std::map<std::string, std::size_t> histogram;
   arch::FaultTally injected;
+  std::size_t shots_done = 0;
   for (std::size_t shot = 0; shot < options.shots; ++shot) {
+    if (options.stop != nullptr && *options.stop != 0) {
+      if (interrupted != nullptr) {
+        *interrupted = true;
+      }
+      break;
+    }
     arch::ChpCore core(options.seed + shot);
     std::unique_ptr<arch::ErrorLayer> error;
     std::unique_ptr<arch::ClassicalFaultLayer> faults;
@@ -246,6 +555,7 @@ std::string run_qisa_program(const RunnerOptions& options,
       }
     }
     ++histogram[key];
+    ++shots_done;
     if (faults != nullptr) {
       injected.dropped += faults->tally().dropped;
       injected.duplicated += faults->tally().duplicated;
@@ -258,6 +568,11 @@ std::string run_qisa_program(const RunnerOptions& options,
           << unit.stats().paulis_absorbed << " Paulis absorbed, "
           << unit.stats().qec_windows << " QEC windows\n";
     }
+  }
+  if (interrupted != nullptr && *interrupted) {
+    out << "interrupted after " << shots_done << " of " << options.shots
+        << " shot(s)\n";
+    return out.str();
   }
   out << "logical states over " << options.shots
       << " shot(s) (patch order, '.' = dead):\n";
@@ -289,7 +604,17 @@ std::string usage() {
          "  --protect-frame[=parity|vote]  guard the Pauli frame records\n"
          "                      (default parity; requires --pauli-frame)\n"
          "  --validate          cross-check the Pauli frame against a\n"
-         "                      shadow copy (requires --pauli-frame)\n";
+         "                      shadow copy (requires --pauli-frame)\n"
+         "  --checkpoint-dir=DIR  journal every shot durably (fsync'd\n"
+         "                      JSONL + CRC-guarded checkpoint); qasm/chp\n"
+         "                      programs only\n"
+         "  --checkpoint-every=N  rotate the aggregate checkpoint every\n"
+         "                      N shots (default 64)\n"
+         "  --resume=DIR        continue an interrupted journaled run;\n"
+         "                      finished shots are replayed, not re-run\n"
+         "  --timeout-per-trial=MS  per-shot watchdog; over-budget shots\n"
+         "                      are recorded timed_out and the run\n"
+         "                      continues\n";
 }
 
 std::optional<RunnerOptions> parse_arguments(
@@ -371,6 +696,32 @@ std::optional<RunnerOptions> parse_arguments(
       }
     } else if (argument == "--validate") {
       options.validate = true;
+    } else if (consume_prefix(argument, "--checkpoint-dir=", value)) {
+      if (value.empty()) {
+        error = "--checkpoint-dir needs a directory";
+        return std::nullopt;
+      }
+      options.checkpoint_dir = value;
+    } else if (consume_prefix(argument, "--checkpoint-every=", value)) {
+      options.checkpoint_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (consume_prefix(argument, "--resume=", value)) {
+      if (value.empty()) {
+        error = "--resume needs a directory";
+        return std::nullopt;
+      }
+      if (!options.checkpoint_dir.empty() && options.checkpoint_dir != value) {
+        error = "--resume and --checkpoint-dir name different directories";
+        return std::nullopt;
+      }
+      options.checkpoint_dir = value;
+      options.resume = true;
+    } else if (consume_prefix(argument, "--timeout-per-trial=", value)) {
+      options.timeout_per_trial_ms =
+          std::strtoull(value.c_str(), nullptr, 10);
+      if (options.timeout_per_trial_ms == 0) {
+        error = "--timeout-per-trial must be positive";
+        return std::nullopt;
+      }
     } else if (!argument.empty() && argument[0] == '-' && argument != "-") {
       error = "unknown option '" + argument + "'";
       return std::nullopt;
@@ -403,35 +754,47 @@ std::optional<RunnerOptions> parse_arguments(
     error = "--validate requires --pauli-frame";
     return std::nullopt;
   }
+  if (!options.checkpoint_dir.empty()) {
+    if (options.format == Format::kQisa || options.format == Format::kLogical) {
+      error = "checkpointing supports qasm/chp programs only";
+      return std::nullopt;
+    }
+    if (options.print_state) {
+      error = "--print-state cannot be combined with checkpointing";
+      return std::nullopt;
+    }
+  }
   return options;
 }
 
 std::string run_program(const RunnerOptions& options,
-                        const std::string& program_text) {
+                        const std::string& program_text, bool* interrupted) {
   switch (options.format) {
     case Format::kQasm:
-      return run_circuit(options, from_qasm(program_text));
+      return run_circuit(options, from_qasm(program_text), interrupted);
     case Format::kChp:
-      return run_circuit(options, stab::from_chp(program_text));
+      return run_circuit(options, stab::from_chp(program_text), interrupted);
     case Format::kQisa:
-      return run_qisa_program(options, qcu::assemble(program_text), "qisa");
+      return run_qisa_program(options, qcu::assemble(program_text), "qisa",
+                              interrupted);
     case Format::kLogical:
       // A QASM file at the *logical* level: gates act on logical qubits,
       // the compiler lowers them to QISA, the QCU executes (Fig 4.1).
-      return run_qisa_program(
-          options, qcu::compile(from_qasm(program_text)), "compiled logical");
+      return run_qisa_program(options, qcu::compile(from_qasm(program_text)),
+                              "compiled logical", interrupted);
   }
   throw std::logic_error("unreachable");
 }
 
 int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
-             std::ostream& err) {
+             std::ostream& err, const volatile std::sig_atomic_t* stop) {
   std::string error;
-  const auto options = parse_arguments(arguments, error);
+  auto options = parse_arguments(arguments, error);
   if (!options.has_value()) {
     err << "qpf_run: " << error << "\n" << usage();
     return 2;
   }
+  options->stop = stop;
   std::string text;
   if (options->input_path == "-") {
     std::ostringstream buffer;
@@ -447,8 +810,9 @@ int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
     buffer << file.rdbuf();
     text = buffer.str();
   }
+  bool interrupted = false;
   try {
-    out << run_program(*options, text);
+    out << run_program(*options, text, &interrupted);
   } catch (const QasmParseError& exception) {
     // Unparsable program text is an argument-level mistake like a bad
     // flag: same one-line diagnostic, same exit code.
@@ -460,6 +824,12 @@ int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
   } catch (const std::exception& exception) {
     err << "qpf_run: " << exception.what() << "\n";
     return 1;
+  }
+  if (interrupted) {
+    // The in-flight shot was drained and the journal tail persisted;
+    // 128+SIGINT mirrors shell convention for an interrupted process.
+    err << "qpf_run: interrupted; partial results journaled\n";
+    return 130;
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 // testable; tools/qpf_run.cpp is a thin main().
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
@@ -37,6 +38,22 @@ struct RunnerOptions {
   pf::Protection frame_protection = pf::Protection::kNone;
   /// Insert a ValidatingLayer above the Pauli frame layer.
   bool validate = false;
+
+  /// Durable shot journal + aggregate checkpoint directory (qasm/chp
+  /// programs).  Empty disables durability.
+  std::string checkpoint_dir;
+  /// Rotate the aggregate checkpoint every N completed shots.
+  std::size_t checkpoint_every = 64;
+  /// Continue a journaled run from checkpoint_dir; completed shots are
+  /// replayed from the journal, never re-executed.
+  bool resume = false;
+  /// Watchdog per shot in milliseconds (0 = off); an over-budget shot
+  /// is recorded timed_out in the journal and the run continues.
+  std::size_t timeout_per_trial_ms = 0;
+  /// Cooperative stop flag (signal handler target).  When nonzero the
+  /// run drains the in-flight shot, persists the journal tail, and
+  /// reports an interrupted run (exit code 130 from run_tool).
+  const volatile std::sig_atomic_t* stop = nullptr;
 };
 
 /// Parse argv-style options.  Returns std::nullopt and writes a usage
@@ -44,22 +61,29 @@ struct RunnerOptions {
 ///   --backend=chp|qx  --format=qasm|chp|qisa|logical  --pauli-frame
 ///   --error-rate=P    --shots=N   --seed=S    --print-state
 ///   --slots=N         --classical-fault-rate=P
-///   --protect-frame[=parity|vote]  --validate   <input file or "-">
+///   --protect-frame[=parity|vote]  --validate
+///   --checkpoint-dir=DIR  --checkpoint-every=N  --resume=DIR
+///   --timeout-per-trial=MS   <input file or "-">
 /// The format defaults from the file extension when not given.
 [[nodiscard]] std::optional<RunnerOptions> parse_arguments(
     const std::vector<std::string>& arguments, std::string& error);
 
 /// Run a program (text already loaded) and render a human-readable
 /// report.  Throws qpf::Error (QasmParseError / StackConfigError /
-/// QcuError) on malformed programs or configurations.
+/// QcuError) on malformed programs or configurations.  When
+/// options.stop fires mid-run, `interrupted` (if non-null) is set and
+/// the report covers the shots completed before the drain.
 [[nodiscard]] std::string run_program(const RunnerOptions& options,
-                                      const std::string& program_text);
+                                      const std::string& program_text,
+                                      bool* interrupted = nullptr);
 
 /// Full tool entry point: load the file (or stdin for "-"), run,
 /// print to `out`; returns the process exit code (0 success, 2 for
-/// unusable arguments or unparsable programs, 1 for everything else).
+/// unusable arguments or unparsable programs, 130 when the stop flag
+/// interrupted the run after draining, 1 for everything else).
 int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
-             std::ostream& err);
+             std::ostream& err,
+             const volatile std::sig_atomic_t* stop = nullptr);
 
 /// Usage text.
 [[nodiscard]] std::string usage();

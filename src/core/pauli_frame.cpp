@@ -223,6 +223,107 @@ Circuit PauliFrame::process(const Circuit& circuit) {
   return out;
 }
 
+namespace {
+
+void write_bank(journal::SnapshotWriter& out,
+                const std::vector<PauliRecord>& bank) {
+  out.write_size(bank.size());
+  if (!bank.empty()) {
+    static_assert(sizeof(PauliRecord) == 1);
+    out.write_bytes(bank.data(), bank.size());
+  }
+}
+
+std::vector<PauliRecord> read_bank(journal::SnapshotReader& in) {
+  const std::size_t size = in.read_size();
+  if (size > (std::size_t{1} << 32)) {
+    throw CheckpointError("pauli frame snapshot: implausible bank size " +
+                          std::to_string(size));
+  }
+  std::vector<PauliRecord> bank(size);
+  if (size != 0) {
+    in.read_bytes(bank.data(), size);
+  }
+  for (const PauliRecord r : bank) {
+    if (static_cast<std::uint8_t>(r) > 0b11) {
+      throw CheckpointError("pauli frame snapshot: invalid record byte");
+    }
+  }
+  return bank;
+}
+
+}  // namespace
+
+void PauliFrame::save(journal::SnapshotWriter& out) const {
+  out.tag("pauli-frame");
+  out.write_u8(static_cast<std::uint8_t>(protection_));
+  write_bank(out, records_);
+  out.write_size(guard_.size());
+  if (!guard_.empty()) {
+    out.write_bytes(guard_.data(), guard_.size());
+  }
+  write_bank(out, bank_b_);
+  write_bank(out, bank_c_);
+  out.write_size(health_.checks);
+  out.write_size(health_.detected);
+  out.write_size(health_.corrected);
+  out.write_size(health_.uncorrectable);
+  out.write_size(health_.recovery_resets);
+  out.write_size(health_.scrubs);
+  out.write_size(stats_.input_gates);
+  out.write_size(stats_.output_gates);
+  out.write_size(stats_.paulis_absorbed);
+  out.write_size(stats_.flush_gates_emitted);
+  out.write_size(stats_.input_slots);
+  out.write_size(stats_.output_slots);
+}
+
+PauliFrame PauliFrame::load(journal::SnapshotReader& in) {
+  in.expect_tag("pauli-frame");
+  const std::uint8_t protection_byte = in.read_u8();
+  if (protection_byte > static_cast<std::uint8_t>(Protection::kVote)) {
+    throw CheckpointError("pauli frame snapshot: invalid protection byte " +
+                          std::to_string(protection_byte));
+  }
+  const auto protection = static_cast<Protection>(protection_byte);
+  std::vector<PauliRecord> records = read_bank(in);
+  const std::size_t guard_size = in.read_size();
+  std::vector<std::uint8_t> guard(guard_size);
+  if (guard_size != 0) {
+    if (guard_size > (std::size_t{1} << 32)) {
+      throw CheckpointError("pauli frame snapshot: implausible guard size");
+    }
+    in.read_bytes(guard.data(), guard_size);
+  }
+  std::vector<PauliRecord> bank_b = read_bank(in);
+  std::vector<PauliRecord> bank_c = read_bank(in);
+
+  PauliFrame frame(records.size(), protection);
+  if (guard.size() != frame.guard_.size() ||
+      bank_b.size() != frame.bank_b_.size() ||
+      bank_c.size() != frame.bank_c_.size()) {
+    throw CheckpointError(
+        "pauli frame snapshot: bank sizes inconsistent with protection mode");
+  }
+  frame.records_ = std::move(records);
+  frame.guard_ = std::move(guard);
+  frame.bank_b_ = std::move(bank_b);
+  frame.bank_c_ = std::move(bank_c);
+  frame.health_.checks = in.read_size();
+  frame.health_.detected = in.read_size();
+  frame.health_.corrected = in.read_size();
+  frame.health_.uncorrectable = in.read_size();
+  frame.health_.recovery_resets = in.read_size();
+  frame.health_.scrubs = in.read_size();
+  frame.stats_.input_gates = in.read_size();
+  frame.stats_.output_gates = in.read_size();
+  frame.stats_.paulis_absorbed = in.read_size();
+  frame.stats_.flush_gates_emitted = in.read_size();
+  frame.stats_.input_slots = in.read_size();
+  frame.stats_.output_slots = in.read_size();
+  return frame;
+}
+
 std::string PauliFrame::str() const {
   std::string out;
   for (std::size_t q = 0; q < records_.size(); ++q) {

@@ -30,6 +30,7 @@
 
 #include "circuit/circuit.h"
 #include "core/pauli_record.h"
+#include "journal/snapshot.h"
 
 namespace qpf::pf {
 
@@ -152,6 +153,17 @@ class PauliFrame {
 
   /// "0:I 1:XZ ..." rendering for diagnostics.
   [[nodiscard]] std::string str() const;
+
+  // --- Snapshot / restore (crash-safe experiment engine) -------------
+  /// Serialize every record bank, the guards, the protection mode, and
+  /// the health / absorption counters.  The banks are saved verbatim
+  /// (no verification pass), so even a frame carrying latent corruption
+  /// round-trips bit-identically.
+  void save(journal::SnapshotWriter& out) const;
+
+  /// Rebuild a frame from a save() stream.  Throws qpf::CheckpointError
+  /// on corruption, truncation, or an invalid protection byte.
+  [[nodiscard]] static PauliFrame load(journal::SnapshotReader& in);
 
  private:
   /// Verified read.  Self-healing: under kVote a minority bank is

@@ -1,0 +1,287 @@
+#include "journal/run_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/error.h"
+#include "journal/snapshot.h"
+
+namespace qpf::journal {
+
+namespace {
+
+// A value is written unquoted when it already reads back as a number;
+// everything else becomes a (minimally escaped) JSON string.
+bool looks_numeric(const std::string& value) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  std::strtod(value.c_str(), &end);
+  return errno == 0 && end == value.c_str() + value.size();
+}
+
+void append_json_string(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string hex32(std::uint32_t v) {
+  char buffer[9];
+  std::snprintf(buffer, sizeof(buffer), "%08x", v);
+  return buffer;
+}
+
+// Serialize fields (sans crc) deterministically: std::map iterates in
+// key order, so the checksummed prefix is byte-stable.
+std::string render_prefix(const JournalEntry& entry) {
+  std::string line = "{";
+  bool first = true;
+  for (const auto& [key, value] : entry.fields) {
+    if (key == "crc") {
+      continue;
+    }
+    if (!first) {
+      line += ',';
+    }
+    first = false;
+    append_json_string(line, key);
+    line += ':';
+    if (looks_numeric(value)) {
+      line += value;
+    } else {
+      append_json_string(line, value);
+    }
+  }
+  return line;
+}
+
+// Minimal flat-JSON line parser for the exact shape render_prefix
+// produces (plus the crc field).  Returns false on any malformation.
+bool parse_line(const std::string& line, JournalEntry& entry) {
+  std::size_t i = 0;
+  auto skip_space = [&] {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+  };
+  auto parse_string = [&](std::string& out) {
+    if (i >= line.size() || line[i] != '"') {
+      return false;
+    }
+    ++i;
+    out.clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            out += line[i];
+        }
+      } else {
+        out += line[i];
+      }
+      ++i;
+    }
+    if (i >= line.size()) {
+      return false;
+    }
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_space();
+  if (i >= line.size() || line[i] != '{') {
+    return false;
+  }
+  ++i;
+  skip_space();
+  if (i < line.size() && line[i] == '}') {
+    return true;
+  }
+  for (;;) {
+    skip_space();
+    std::string key;
+    if (!parse_string(key)) {
+      return false;
+    }
+    skip_space();
+    if (i >= line.size() || line[i] != ':') {
+      return false;
+    }
+    ++i;
+    skip_space();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      if (!parse_string(value)) {
+        return false;
+      }
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') {
+        ++i;
+      }
+      value = line.substr(start, i - start);
+      while (!value.empty() &&
+             std::isspace(static_cast<unsigned char>(value.back()))) {
+        value.pop_back();
+      }
+      if (value.empty()) {
+        return false;
+      }
+    }
+    entry.fields[key] = value;
+    skip_space();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  skip_space();
+  return i < line.size() && line[i] == '}';
+}
+
+}  // namespace
+
+std::string JournalEntry::get(const std::string& key,
+                              const std::string& fallback) const {
+  const auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+std::uint64_t JournalEntry::get_u64(const std::string& key,
+                                    std::uint64_t fallback) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    return fallback;
+  }
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double JournalEntry::get_double(const std::string& key,
+                                double fallback) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) {
+    return fallback;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw CheckpointError(std::string("cannot open journal: ") +
+                              std::strerror(errno),
+                          path_);
+  }
+}
+
+RunJournal::~RunJournal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void RunJournal::append(const JournalEntry& entry) {
+  std::string line = render_prefix(entry);
+  const std::uint32_t crc = crc32(line);
+  line += line.size() > 1 ? ",\"crc\":\"" : "\"crc\":\"";
+  line += hex32(crc);
+  line += "\"}\n";
+
+  std::size_t done = 0;
+  while (done < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + done, line.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw CheckpointError(std::string("journal write failed: ") +
+                                std::strerror(errno),
+                            path_);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw CheckpointError(std::string("journal fsync failed: ") +
+                              std::strerror(errno),
+                          path_);
+  }
+  ++appended_;
+}
+
+std::vector<JournalEntry> read_journal(const std::string& path,
+                                       std::size_t* dropped_tail) {
+  std::vector<JournalEntry> entries;
+  std::size_t dropped = 0;
+  std::ifstream file(path);
+  if (file) {
+    std::string line;
+    bool valid = true;
+    while (std::getline(file, line)) {
+      if (!valid) {
+        ++dropped;
+        continue;
+      }
+      JournalEntry entry;
+      // The checksummed prefix is everything before `,"crc":"..."}`;
+      // recompute and compare.
+      const std::string marker = ",\"crc\":\"";
+      const std::size_t at = line.rfind(marker);
+      bool ok = false;
+      if (at != std::string::npos &&
+          line.size() == at + marker.size() + 8 + 2 &&
+          line.compare(line.size() - 2, 2, "\"}") == 0) {
+        const std::string prefix = line.substr(0, at);
+        const std::string crc_hex = line.substr(at + marker.size(), 8);
+        ok = hex32(crc32(prefix)) == crc_hex && parse_line(line, entry);
+      }
+      if (ok) {
+        entries.push_back(std::move(entry));
+      } else {
+        // First bad line: everything from here on is the torn tail.
+        valid = false;
+        ++dropped;
+      }
+    }
+  }
+  if (dropped_tail != nullptr) {
+    *dropped_tail = dropped;
+  }
+  return entries;
+}
+
+}  // namespace qpf::journal

@@ -103,4 +103,30 @@ Circuit BiasedNoiseModel::inject(const Circuit& circuit,
   return out;
 }
 
+void BiasedNoiseModel::save(journal::SnapshotWriter& out) const {
+  out.tag("biased-noise");
+  out.write_double(p_);
+  out.write_double(eta_);
+  out.write_rng(rng_);
+  out.write_size(tally_.single_qubit);
+  out.write_size(tally_.two_qubit);
+  out.write_size(tally_.measurement_flips);
+  out.write_size(tally_.idle);
+}
+
+void BiasedNoiseModel::load(journal::SnapshotReader& in) {
+  in.expect_tag("biased-noise");
+  const double p = in.read_double();
+  const double eta = in.read_double();
+  if (p != p_ || eta != eta_) {
+    throw CheckpointError("biased noise snapshot: rate / bias mismatch");
+  }
+  rng_ = in.read_rng();
+  uniform_.reset();
+  tally_.single_qubit = in.read_size();
+  tally_.two_qubit = in.read_size();
+  tally_.measurement_flips = in.read_size();
+  tally_.idle = in.read_size();
+}
+
 }  // namespace qpf::qec

@@ -43,6 +43,15 @@ class BiasedNoiseModel {
   [[nodiscard]] const ErrorTally& tally() const noexcept { return tally_; }
   void reset_tally() noexcept { tally_ = {}; }
 
+  // --- Snapshot / restore (crash-safe experiment engine) -------------
+  /// Serialize the RNG engine (exactly) and the fault tally; p and eta
+  /// are configuration, echoed only for a consistency check.
+  void save(journal::SnapshotWriter& out) const;
+
+  /// Restore into this model.  Throws qpf::CheckpointError on stream
+  /// corruption or a rate / bias mismatch.
+  void load(journal::SnapshotReader& in);
+
  private:
   /// Draw a Pauli conditioned on "an error happened": X/Y/Z with the
   /// biased conditional weights.

@@ -93,4 +93,30 @@ Circuit DepolarizingModel::inject(const Circuit& circuit,
   return out;
 }
 
+void DepolarizingModel::save(journal::SnapshotWriter& out) const {
+  out.tag("depolarizing");
+  out.write_double(p_);
+  out.write_rng(rng_);
+  out.write_size(tally_.single_qubit);
+  out.write_size(tally_.two_qubit);
+  out.write_size(tally_.measurement_flips);
+  out.write_size(tally_.idle);
+}
+
+void DepolarizingModel::load(journal::SnapshotReader& in) {
+  in.expect_tag("depolarizing");
+  const double p = in.read_double();
+  if (p != p_) {
+    throw CheckpointError(
+        "depolarizing snapshot: physical error rate mismatch (checkpoint " +
+        std::to_string(p) + ", configured " + std::to_string(p_) + ")");
+  }
+  rng_ = in.read_rng();
+  uniform_.reset();
+  tally_.single_qubit = in.read_size();
+  tally_.two_qubit = in.read_size();
+  tally_.measurement_flips = in.read_size();
+  tally_.idle = in.read_size();
+}
+
 }  // namespace qpf::qec

@@ -13,6 +13,7 @@
 #include <random>
 
 #include "circuit/circuit.h"
+#include "journal/snapshot.h"
 
 namespace qpf::qec {
 
@@ -43,6 +44,15 @@ class DepolarizingModel {
 
   [[nodiscard]] const ErrorTally& tally() const noexcept { return tally_; }
   void reset_tally() noexcept { tally_ = {}; }
+
+  // --- Snapshot / restore (crash-safe experiment engine) -------------
+  /// Serialize the RNG engine (exactly) and the fault tally; the rate
+  /// itself is configuration, echoed only for a consistency check.
+  void save(journal::SnapshotWriter& out) const;
+
+  /// Restore into this model.  Throws qpf::CheckpointError on stream
+  /// corruption or a physical-error-rate mismatch.
+  void load(journal::SnapshotReader& in);
 
  private:
   /// Uniformly pick X, Y or Z.

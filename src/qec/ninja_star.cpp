@@ -355,4 +355,33 @@ Syndrome NinjaStar::signature(const std::vector<int>& data_locals,
   return out;
 }
 
+void NinjaStar::save(journal::SnapshotWriter& out) const {
+  out.tag("ninja-star");
+  out.write_u32(base_);
+  out.write_u8(static_cast<std::uint8_t>(orientation_));
+  out.write_u8(static_cast<std::uint8_t>(dance_));
+  out.write_u8(static_cast<std::uint8_t>(state_));
+  out.write_u8(carried_);
+}
+
+void NinjaStar::load(journal::SnapshotReader& in) {
+  in.expect_tag("ninja-star");
+  const Qubit base = in.read_u32();
+  if (base != base_) {
+    throw CheckpointError("ninja star snapshot: base qubit mismatch");
+  }
+  const std::uint8_t orientation = in.read_u8();
+  const std::uint8_t dance = in.read_u8();
+  const std::uint8_t state = in.read_u8();
+  if (orientation > static_cast<std::uint8_t>(Orientation::kRotated) ||
+      dance > static_cast<std::uint8_t>(DanceMode::kZOnly) ||
+      state > static_cast<std::uint8_t>(StateValue::kUnknown)) {
+    throw CheckpointError("ninja star snapshot: invalid property byte");
+  }
+  orientation_ = static_cast<Orientation>(orientation);
+  dance_ = static_cast<DanceMode>(dance);
+  state_ = static_cast<StateValue>(state);
+  carried_ = in.read_u8();
+}
+
 }  // namespace qpf::qec

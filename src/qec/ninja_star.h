@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "journal/snapshot.h"
 #include "qec/lut_decoder.h"
 #include "qec/sc17.h"
 
@@ -131,6 +132,16 @@ class NinjaStar {
   /// checks and vice versa.
   [[nodiscard]] Syndrome signature(const std::vector<int>& data_locals,
                                    CheckType error_basis) const;
+
+  // --- Snapshot / restore (crash-safe experiment engine) -------------
+  /// Serialize the Table 5.2 run-time properties and the decoder's
+  /// carried round.  The LUTs are pure functions of the layout and are
+  /// not persisted.
+  void save(journal::SnapshotWriter& out) const;
+
+  /// Restore the run-time properties into this star.  Throws
+  /// qpf::CheckpointError on corruption or a base-qubit mismatch.
+  void load(journal::SnapshotReader& in);
 
  private:
   /// Checks whose effective type equals t, in ascending ancilla order.

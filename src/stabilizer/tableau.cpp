@@ -373,4 +373,49 @@ PauliString Tableau::destabilizer(std::size_t i) const {
   return row_to_string(i);
 }
 
+void Tableau::save(journal::SnapshotWriter& out) const {
+  out.tag("tableau");
+  out.write_size(n_);
+  out.write_bytes(xs_.data(), xs_.size() * sizeof(std::uint64_t));
+  out.write_bytes(zs_.data(), zs_.size() * sizeof(std::uint64_t));
+  std::vector<std::uint8_t> signs(rs_.size());
+  for (std::size_t i = 0; i < rs_.size(); ++i) {
+    signs[i] = rs_[i] ? 1 : 0;
+  }
+  out.write_bytes(signs.data(), signs.size());
+  out.write_rng(rng_);
+  out.write_size(measurements_.size());
+  for (const MeasureResult& m : measurements_) {
+    out.write_bool(m.value);
+    out.write_bool(m.deterministic);
+  }
+}
+
+Tableau Tableau::load(journal::SnapshotReader& in) {
+  in.expect_tag("tableau");
+  const std::size_t n = in.read_size();
+  if (n == 0 || n > (std::size_t{1} << 24)) {
+    throw CheckpointError("tableau snapshot: implausible qubit count " +
+                          std::to_string(n));
+  }
+  Tableau t(n);
+  in.read_bytes(t.xs_.data(), t.xs_.size() * sizeof(std::uint64_t));
+  in.read_bytes(t.zs_.data(), t.zs_.size() * sizeof(std::uint64_t));
+  std::vector<std::uint8_t> signs(t.rs_.size());
+  in.read_bytes(signs.data(), signs.size());
+  for (std::size_t i = 0; i < signs.size(); ++i) {
+    t.rs_[i] = signs[i] != 0;
+  }
+  t.rng_ = in.read_rng();
+  const std::size_t pending = in.read_size();
+  t.measurements_.clear();
+  for (std::size_t i = 0; i < pending; ++i) {
+    MeasureResult m;
+    m.value = in.read_bool();
+    m.deterministic = in.read_bool();
+    t.measurements_.push_back(m);
+  }
+  return t;
+}
+
 }  // namespace qpf::stab

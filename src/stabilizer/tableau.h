@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "journal/snapshot.h"
 #include "stabilizer/pauli_string.h"
 
 namespace qpf::stab {
@@ -80,6 +81,15 @@ class Tableau {
 
   /// Probability that measuring q yields 1: 0, 0.5, or 1.
   [[nodiscard]] double probability_one(Qubit q) const;
+
+  // --- Snapshot / restore (crash-safe experiment engine) -------------
+  /// Serialize the complete simulator state: tableau bits, sign bits,
+  /// the RNG engine (exactly), and pending measurement records.
+  void save(journal::SnapshotWriter& out) const;
+
+  /// Rebuild a tableau from a save() stream.  Throws
+  /// qpf::CheckpointError on corruption or truncation.
+  [[nodiscard]] static Tableau load(journal::SnapshotReader& in);
 
  private:
   // Row r in [0, 2n]: destabilizers, stabilizers, then one scratch row.

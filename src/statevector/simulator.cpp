@@ -150,4 +150,32 @@ std::vector<MeasureResult> Simulator::take_measurements() {
   return out;
 }
 
+void Simulator::save(journal::SnapshotWriter& out) const {
+  out.tag("simulator");
+  state_.save(out);
+  out.write_rng(rng_);
+  out.write_size(measurements_.size());
+  for (const MeasureResult& m : measurements_) {
+    out.write_bool(m.value);
+    out.write_bool(m.deterministic);
+  }
+}
+
+Simulator Simulator::load(journal::SnapshotReader& in) {
+  in.expect_tag("simulator");
+  StateVector state = StateVector::load(in);
+  Simulator simulator(state.num_qubits());
+  simulator.state_ = std::move(state);
+  simulator.rng_ = in.read_rng();
+  const std::size_t pending = in.read_size();
+  simulator.measurements_.clear();
+  for (std::size_t i = 0; i < pending; ++i) {
+    MeasureResult m;
+    m.value = in.read_bool();
+    m.deterministic = in.read_bool();
+    simulator.measurements_.push_back(m);
+  }
+  return simulator;
+}
+
 }  // namespace qpf::sv

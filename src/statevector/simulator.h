@@ -63,6 +63,15 @@ class Simulator {
   /// normalized.
   [[nodiscard]] StateVector& mutable_state() noexcept { return state_; }
 
+  // --- Snapshot / restore (crash-safe experiment engine) -------------
+  /// Serialize the state vector, the RNG engine (exactly), and pending
+  /// measurement records.
+  void save(journal::SnapshotWriter& out) const;
+
+  /// Rebuild a simulator from a save() stream.  Throws
+  /// qpf::CheckpointError on corruption or truncation.
+  [[nodiscard]] static Simulator load(journal::SnapshotReader& in);
+
  private:
   void apply_single(const Matrix2& m, Qubit q);
   void apply_cnot(Qubit control, Qubit target);

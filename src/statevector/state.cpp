@@ -84,6 +84,26 @@ double StateVector::fidelity(const StateVector& other) const {
   return std::norm(inner);
 }
 
+void StateVector::save(journal::SnapshotWriter& out) const {
+  out.tag("statevector");
+  out.write_size(num_qubits_);
+  static_assert(sizeof(std::complex<double>) == 16);
+  out.write_bytes(amps_.data(), amps_.size() * sizeof(std::complex<double>));
+}
+
+StateVector StateVector::load(journal::SnapshotReader& in) {
+  in.expect_tag("statevector");
+  const std::size_t n = in.read_size();
+  if (n == 0 || n > kMaxQubits) {
+    throw CheckpointError("statevector snapshot: implausible qubit count " +
+                          std::to_string(n));
+  }
+  StateVector state(n);
+  in.read_bytes(state.amps_.data(),
+                state.amps_.size() * sizeof(std::complex<double>));
+  return state;
+}
+
 std::string StateVector::str(double cutoff) const {
   std::string out;
   for (std::size_t i = 0; i < amps_.size(); ++i) {

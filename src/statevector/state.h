@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "journal/snapshot.h"
+
 namespace qpf::sv {
 
 /// A normalized n-qubit state vector.  Basis index bit k is the value of
@@ -56,6 +58,14 @@ class StateVector {
   ///   (0.25+0j) |000000110>
   /// Amplitudes below cutoff are suppressed.
   [[nodiscard]] std::string str(double cutoff = 1e-9) const;
+
+  // --- Snapshot / restore (crash-safe experiment engine) -------------
+  /// Serialize every amplitude bit-exactly (raw IEEE-754 doubles).
+  void save(journal::SnapshotWriter& out) const;
+
+  /// Rebuild a state vector from a save() stream.  Throws
+  /// qpf::CheckpointError on corruption or truncation.
+  [[nodiscard]] static StateVector load(journal::SnapshotReader& in);
 
  private:
   std::size_t num_qubits_;

@@ -1,0 +1,40 @@
+// Seed announcement for randomized tests: QPF_ANNOUNCE_SEED prints the
+// seed to stderr when the test starts AND attaches it to every gtest
+// failure message (via SCOPED_TRACE), so a red randomized test can
+// always be replayed exactly from its log.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qpf::test {
+
+inline std::string seed_banner(std::uint64_t seed) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::ostringstream out;
+  out << "[seed] ";
+  if (info != nullptr) {
+    out << info->test_suite_name() << "." << info->name();
+  } else {
+    out << "unknown-test";
+  }
+  out << ": seed=" << seed;
+  return out.str();
+}
+
+inline std::uint64_t announce_seed(std::uint64_t seed) {
+  std::cerr << seed_banner(seed) << "\n";
+  return seed;
+}
+
+}  // namespace qpf::test
+
+/// Announce `seed` on stderr now and on any failure in this scope.
+#define QPF_ANNOUNCE_SEED(seed)                       \
+  ::qpf::test::announce_seed(seed);                   \
+  SCOPED_TRACE(::qpf::test::seed_banner(seed))

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 namespace qpf::cli {
@@ -246,6 +249,148 @@ TEST(CliToolTest, SuccessfulRunExitsZero) {
   EXPECT_NE(out.str().find("|01>"), std::string::npos);
   EXPECT_TRUE(err.str().empty());
   std::remove(path);
+}
+
+TEST(CliParseTest, CheckpointFlags) {
+  const auto options = parse({"--checkpoint-dir=state", "--checkpoint-every=16",
+                              "--timeout-per-trial=500", "a.qasm"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->checkpoint_dir, "state");
+  EXPECT_EQ(options->checkpoint_every, 16u);
+  EXPECT_EQ(options->timeout_per_trial_ms, 500u);
+  EXPECT_FALSE(options->resume);
+
+  const auto resumed = parse({"--resume=state", "a.qasm"});
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_TRUE(resumed->resume);
+  EXPECT_EQ(resumed->checkpoint_dir, "state");  // --resume implies the dir
+
+  // --resume plus a *matching* --checkpoint-dir is fine.
+  EXPECT_TRUE(
+      parse({"--checkpoint-dir=state", "--resume=state", "a.qasm"}).has_value());
+}
+
+TEST(CliParseTest, CheckpointFlagRejections) {
+  EXPECT_FALSE(parse({"--checkpoint-dir=", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--resume=", "a.qasm"}).has_value());
+  // Two different directories named.
+  EXPECT_FALSE(
+      parse({"--checkpoint-dir=a", "--resume=b", "x.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--timeout-per-trial=0", "a.qasm"}).has_value());
+  // Checkpointing covers the shot-loop formats only.
+  EXPECT_FALSE(parse({"--checkpoint-dir=s", "a.qisa"}).has_value());
+  // --print-state dumps amplitudes per shot; incompatible by design.
+  EXPECT_FALSE(parse({"--backend=qx", "--print-state", "--checkpoint-dir=s",
+                      "a.qasm"})
+                   .has_value());
+}
+
+class CliCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::filesystem::remove_all(dir_);
+    std::ofstream file(program_);
+    file << "h q0\ncnot q0,q1\nmeasure q0\nmeasure q1\n";
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    std::remove(program_.c_str());
+  }
+
+  [[nodiscard]] std::vector<std::string> args(
+      std::initializer_list<std::string> extra) const {
+    std::vector<std::string> all{"--shots=20", "--seed=5"};
+    all.insert(all.end(), extra.begin(), extra.end());
+    all.push_back(program_);
+    return all;
+  }
+
+  std::string name_ = ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name();
+  std::string dir_ = "cli_ckpt_" + name_;
+  std::string program_ = "cli_ckpt_" + name_ + ".qasm";
+};
+
+TEST_F(CliCheckpointTest, JournaledRunMatchesPlainRunAndRefusesSilentOverwrite) {
+  std::ostringstream ref_out, ref_err;
+  ASSERT_EQ(run_tool(args({}), ref_out, ref_err), 0);
+
+  std::ostringstream out1, err1;
+  ASSERT_EQ(run_tool(args({"--checkpoint-dir=" + dir_}), out1, err1), 0);
+  EXPECT_EQ(out1.str(), ref_out.str());  // durability never changes results
+
+  // Re-running into a populated state directory without --resume would
+  // silently double-count; it must be refused with a pointer to the fix.
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_tool(args({"--checkpoint-dir=" + dir_}), out2, err2), 1);
+  EXPECT_NE(err2.str().find("--resume"), std::string::npos);
+
+  // A finished run resumes into a pure journal replay: same report.
+  std::ostringstream out3, err3;
+  ASSERT_EQ(run_tool(args({"--resume=" + dir_}), out3, err3), 0);
+  EXPECT_EQ(out3.str(), ref_out.str());
+}
+
+TEST_F(CliCheckpointTest, StopFlagDrainsJournalAndExits130) {
+  std::ostringstream ref_out, ref_err;
+  ASSERT_EQ(run_tool(args({}), ref_out, ref_err), 0);
+
+  static volatile std::sig_atomic_t stop = 0;
+  stop = 1;  // "SIGINT" already pending when the shot loop starts
+  std::ostringstream out1, err1;
+  EXPECT_EQ(run_tool(args({"--checkpoint-dir=" + dir_}), out1, err1, &stop),
+            130);
+  EXPECT_NE(err1.str().find("interrupted"), std::string::npos);
+  EXPECT_NE(out1.str().find("interrupted after 0 of 20"), std::string::npos);
+
+  // Resume finishes the remaining shots; the final report is identical
+  // to the never-interrupted reference.
+  std::ostringstream out2, err2;
+  ASSERT_EQ(run_tool(args({"--resume=" + dir_}), out2, err2), 0);
+  EXPECT_EQ(out2.str(), ref_out.str());
+}
+
+TEST_F(CliCheckpointTest, CorruptAggregateCheckpointFallsBackToJournal) {
+  std::ostringstream ref_out, ref_err;
+  ASSERT_EQ(run_tool(args({}), ref_out, ref_err), 0);
+
+  std::ostringstream out1, err1;
+  ASSERT_EQ(run_tool(args({"--checkpoint-dir=" + dir_}), out1, err1), 0);
+
+  const std::string checkpoint = dir_ + "/run.ckpt";
+  std::string bytes;
+  {
+    std::ifstream in(checkpoint, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 36u);
+  bytes[bytes.size() - 3] ^= 0x20;
+  {
+    std::ofstream out(checkpoint, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  // The discard warning is printed straight to std::cerr (it must reach
+  // the operator even when the report stream is captured); intercept it.
+  std::ostringstream out2, err2, cerr_capture;
+  std::streambuf* old_cerr = std::cerr.rdbuf(cerr_capture.rdbuf());
+  const int code = run_tool(args({"--resume=" + dir_}), out2, err2);
+  std::cerr.rdbuf(old_cerr);
+  ASSERT_EQ(code, 0);
+  EXPECT_NE(cerr_capture.str().find("discarded unusable checkpoint"),
+            std::string::npos);
+  EXPECT_EQ(out2.str(), ref_out.str());  // journal replay saves the run
+}
+
+TEST_F(CliCheckpointTest, TimeoutWatchdogReportsCleanRun) {
+  // A generous watchdog on a tiny program: nothing times out, and the
+  // report says so explicitly (the operator sees the watchdog is armed).
+  std::ostringstream out, err;
+  ASSERT_EQ(run_tool(args({"--timeout-per-trial=60000"}), out, err), 0);
+  EXPECT_NE(out.str().find("timed out: 0 shot(s)"), std::string::npos);
 }
 
 }  // namespace

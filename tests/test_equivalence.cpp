@@ -13,6 +13,8 @@
 #include "circuit/random.h"
 #include "core/arbiter.h"
 
+#include "seed_support.h"
+
 namespace qpf {
 namespace {
 
@@ -20,6 +22,7 @@ class ArbiterFrameEquivalence : public ::testing::TestWithParam<std::uint64_t> {
 };
 
 TEST_P(ArbiterFrameEquivalence, SameForwardedStreamAndRecords) {
+  QPF_ANNOUNCE_SEED(GetParam());
   RandomCircuitGenerator gen(GetParam());
   RandomCircuitOptions options;
   options.num_qubits = 6;

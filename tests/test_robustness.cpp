@@ -10,6 +10,8 @@
 #include "arch/surface_code_experiment.h"
 #include "stabilizer/pauli_string.h"
 
+#include "seed_support.h"
+
 namespace qpf::arch {
 namespace {
 
@@ -40,6 +42,7 @@ TEST(RobustnessTest, RepeatedSingleFaultsNeverAccumulate) {
   NinjaStarLayer ninja(&core);
   ninja.create_qubits(1);
   ninja.initialize(0, CheckType::kZ);
+  QPF_ANNOUNCE_SEED(5);
   std::mt19937_64 rng(5);
   for (int round = 0; round < 50; ++round) {
     const auto d = static_cast<Qubit>(rng() % 9);
@@ -111,6 +114,7 @@ TEST(RobustnessTest, DistanceFiveSurvivesScatteredFaultBursts) {
   SurfaceCodeExperiment experiment(config);
   experiment.set_diagnostic_mode(true);
   experiment.initialize(CheckType::kZ);
+  QPF_ANNOUNCE_SEED(9);
   std::mt19937_64 rng(9);
   for (int burst = 0; burst < 20; ++burst) {
     // Up to two faults per burst: within the d = 5 correction capacity.
@@ -134,6 +138,7 @@ TEST(RobustnessTest, DistanceFiveSurvivesScatteredFaultBursts) {
 
 TEST(RobustnessTest, SteaneLayerSurvivesModerateNoise) {
   int correct = 0;
+  QPF_ANNOUNCE_SEED(41);  // per-iteration seeds are 41+i / 43+i
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
     ChpCore core(41 + seed);
     ErrorLayer noisy(&core, 3e-4, 43 + seed);

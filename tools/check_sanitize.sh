@@ -11,7 +11,7 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-sanitize"}
-filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool'}
+filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile'}
 
 cmake -B "$build_dir" -S "$repo_root" -DQPF_SANITIZE=ON
 cmake --build "$build_dir" --target qpf_tests -j "$(nproc 2>/dev/null || echo 4)"

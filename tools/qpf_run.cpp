@@ -1,11 +1,23 @@
 // qpf_run: execute QASM / CHP / QISA programs on QPF control stacks.
+//
+// SIGINT/SIGTERM set a flag the shot loop polls: the in-flight shot is
+// drained, the journal tail is fsync'd, and the process exits 130 — a
+// journaled run (--checkpoint-dir) is then resumable with --resume.
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/runner.h"
 
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
   const std::vector<std::string> arguments(argv + 1, argv + argc);
-  return qpf::cli::run_tool(arguments, std::cout, std::cerr);
+  return qpf::cli::run_tool(arguments, std::cout, std::cerr, &g_stop);
 }
