@@ -8,6 +8,7 @@
 #include "arch/chp_core.h"
 #include "arch/ninja_star_layer.h"
 #include "arch/pauli_frame_layer.h"
+#include "bench_json.h"
 
 namespace {
 
@@ -65,15 +66,30 @@ void print_histogram(const std::map<std::string, std::size_t>& histogram,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_bell_state", argc, argv);
+  cli.require_no_extra_args();
   const std::size_t shots = 100;
+  cli.report.config.uinteger("shots", shots).uinteger("logical_qubits", 2);
   std::printf("bench_bell_state: logical odd Bell state (|01>+|10>)/sqrt(2) "
               "over two ninja stars (thesis §5.2.3, Fig 5.7)\n");
-  std::printf("\nwith Pauli frame (%zu shots):\n", shots);
-  print_histogram(run_histogram(true, shots), shots);
-  std::printf("\nwithout Pauli frame (%zu shots):\n", shots);
-  print_histogram(run_histogram(false, shots), shots);
+  const qpf::bench::WallTimer timer;
+  for (const bool with_pauli_frame : {true, false}) {
+    std::printf("\n%s Pauli frame (%zu shots):\n",
+                with_pauli_frame ? "with" : "without", shots);
+    const auto histogram = run_histogram(with_pauli_frame, shots);
+    print_histogram(histogram, shots);
+    for (const auto& [key, count] : histogram) {
+      cli.report.stats.emplace_back();
+      cli.report.stats.back()
+          .text("mode", with_pauli_frame ? "pauli_frame" : "no_pauli_frame")
+          .text("state", key)
+          .uinteger("count", count);
+    }
+  }
+  cli.report.wall_ms = timer.ms();
+  cli.report.trials_per_sec = 1e3 * 2.0 * shots / cli.report.wall_ms;
   std::printf("\nexpected: only |01> and |10>, roughly equal frequencies, "
               "identical with and without frame.\n");
-  return 0;
+  return cli.finish();
 }

@@ -10,6 +10,7 @@
 #include "arch/chp_core.h"
 #include "arch/ninja_star_layer.h"
 #include "arch/pauli_frame_layer.h"
+#include "bench_json.h"
 #include "ler_common.h"
 
 namespace {
@@ -56,13 +57,17 @@ double measure_ler(double per, double eta, CheckType basis, bool with_pf,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_biased_noise", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_biased_noise", 0xe7a);
   const std::size_t errors = qpf::bench::env_size_t("QPF_LER_ERRORS", 10);
   const double per = 1e-3;
   std::printf("bench_biased_noise: SC17 under dephasing-biased noise "
               "(future work; [28]), PER = %.0e\n",
               per);
+  cli.report.config.num("per", per).uinteger("target_errors", errors);
+  const qpf::bench::WallTimer timer;
   std::printf("\n%-8s %-13s %-13s %-8s %-13s %-13s\n", "eta",
               "LER X_L(noPF)", "LER Z_L(noPF)", "Z/X", "LER X_L(PF)",
               "LER Z_L(PF)");
@@ -78,10 +83,18 @@ int main() {
     std::printf("%-8.1f %-13.3e %-13.3e %-8.2f %-13.3e %-13.3e\n", eta,
                 x_nopf, z_nopf, x_nopf > 0.0 ? z_nopf / x_nopf : 0.0, x_pf,
                 z_pf);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .num("eta", eta)
+        .num("ler_xl_no_pf", x_nopf)
+        .num("ler_zl_no_pf", z_nopf)
+        .num("ler_xl_pf", x_pf)
+        .num("ler_zl_pf", z_pf);
   }
+  cli.report.wall_ms = timer.ms();
   std::printf(
       "\nexpected: eta = 0.5 is the symmetric channel (Z/X ~ 1); rising "
       "eta suppresses X_L errors and\ninflates Z_L errors, while the Pauli "
       "frame stays LER-neutral throughout.\n");
-  return 0;
+  return cli.finish();
 }

@@ -16,6 +16,7 @@
 
 #include "arch/chp_core.h"
 #include "arch/pauli_frame_layer.h"
+#include "bench_json.h"
 #include "circuit/random.h"
 #include "core/pauli_frame.h"
 #include "ler_common.h"
@@ -85,10 +86,14 @@ CampaignResult run_campaign(pf::Protection protection, double corrupt_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_classical_faults", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_classical_faults", 7);
   const std::size_t circuits =
       qpf::bench::env_size_t("QPF_FAULT_CIRCUITS", 2000);
+  cli.report.config.uinteger("circuits", circuits);
+  const qpf::bench::WallTimer timer;
 
   std::printf("== record-protection overhead (process of 100k gates) ==\n");
   const Circuit workload = tracking_workload(7, 100'000);
@@ -100,6 +105,12 @@ int main() {
     std::printf("  %-6s  %10.1f us   (x%.2f vs none)\n",
                 std::string(pf::name(protection)).c_str(), t,
                 t_none > 0.0 ? t / t_none : 0.0);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("section", "overhead")
+        .text("scheme", pf::name(protection))
+        .num("process_us", t)
+        .num("ratio_vs_none", t_none > 0.0 ? t / t_none : 0.0);
   }
 
   std::printf(
@@ -117,11 +128,22 @@ int main() {
                   std::string(pf::name(protection)).c_str(), rate,
                   r.injected, r.health.detected, r.health.corrected,
                   r.health.uncorrectable, r.recovery_flushes);
+      cli.report.stats.emplace_back();
+      cli.report.stats.back()
+          .text("section", "detection")
+          .text("scheme", pf::name(protection))
+          .num("corrupt_rate", rate)
+          .uinteger("injected", r.injected)
+          .uinteger("detected", r.health.detected)
+          .uinteger("corrected", r.health.corrected)
+          .uinteger("uncorrectable", r.health.uncorrectable)
+          .uinteger("recovery_flushes", r.recovery_flushes);
     }
   }
+  cli.report.wall_ms = timer.ms();
   std::printf(
       "\nnote: a corruption that rewrites a record to the value it already\n"
       "held, or is overwritten before the next guarded read, is invisible\n"
       "by construction — detected counts lag injected accordingly.\n");
-  return 0;
+  return cli.finish();
 }

@@ -11,6 +11,7 @@
 #include "arch/error_layer.h"
 #include "arch/ninja_star_layer.h"
 #include "arch/steane_layer.h"
+#include "bench_json.h"
 #include "ler_common.h"
 
 namespace {
@@ -78,11 +79,15 @@ double steane_ler(double per, std::size_t target_errors, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_code_comparison", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_code_comparison", 0xc0de);
   const std::size_t errors = qpf::bench::env_size_t("QPF_LER_ERRORS", 10);
   std::printf("bench_code_comparison: SC17 (17 qubits) vs Steane [[7,1,3]] "
               "(13 qubits) under identical circuit noise\n");
+  cli.report.config.uinteger("target_errors", errors);
+  const qpf::bench::WallTimer timer;
   std::printf("\n%-10s %-14s %-14s %-12s\n", "PER", "LER SC17",
               "LER Steane", "Steane/SC17");
   for (double per : {2e-4, 5e-4, 1e-3, 2e-3}) {
@@ -92,9 +97,15 @@ int main() {
         per, errors, 0xc0df + static_cast<std::uint64_t>(per * 1e7));
     std::printf("%-10.1e %-14.3e %-14.3e %-12.2f\n", per, sc17, steane,
                 sc17 > 0.0 ? steane / sc17 : 0.0);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .num("per", per)
+        .num("ler_sc17", sc17)
+        .num("ler_steane", steane);
   }
+  cli.report.wall_ms = timer.ms();
   std::printf("\nexpected: both quadratic (distance 3); Steane's weight-4 "
               "checks measured with bare ancillas are hook-error prone, so "
               "its effective LER is worse per window at equal PER.\n");
-  return 0;
+  return cli.finish();
 }

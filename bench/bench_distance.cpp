@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "arch/surface_code_experiment.h"
+#include "bench_json.h"
 #include "core/schedule.h"
 #include "ler_common.h"
 #include "stats/summary.h"
@@ -69,7 +70,9 @@ DistanceRun run_once(int distance, double per, bool with_pf,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_distance", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_distance", 0xd157);
   const bool full = std::getenv("QPF_FULL") != nullptr &&
                     std::string_view(std::getenv("QPF_FULL")) == "1";
@@ -81,6 +84,10 @@ int main() {
            : std::vector<double>{3e-4, 1e-3};
   std::printf("bench_distance: Pauli frame at larger code distance "
               "(thesis future work / Eq 5.12)\n");
+  cli.report.config.uinteger("runs", runs)
+      .uinteger("target_errors", errors)
+      .boolean("full", full);
+  const qpf::bench::WallTimer timer;
   std::printf("\n%-4s %-9s %-13s %-13s %-12s %-12s %-10s %-10s\n", "d",
               "PER", "LER/w(noPF)", "LER/w(PF)", "LER/rnd(noPF)",
               "LER/rnd(PF)", "saved%", "ceiling%");
@@ -109,8 +116,17 @@ int main() {
           per, without.mean, with.mean, without.mean / rounds,
           with.mean / rounds, 100.0 * saved / static_cast<double>(runs),
           100.0 * ceiling);
+      cli.report.stats.emplace_back();
+      cli.report.stats.back()
+          .integer("distance", d)
+          .num("per", per)
+          .num("ler_per_window_no_pf", without.mean)
+          .num("ler_per_window_pf", with.mean)
+          .num("saved_slots", saved / static_cast<double>(runs))
+          .num("ceiling", ceiling);
     }
   }
+  cli.report.wall_ms = timer.ms();
   std::printf(
       "\nExpectations reproduced:\n"
       "  * per-round LER at d = 5 beats d = 3 below the decoder threshold;\n"
@@ -118,5 +134,5 @@ int main() {
       "    which shrinks with distance (Fig 5.27);\n"
       "  * LER with and without Pauli frame agree within run-to-run\n"
       "    scatter at every distance (no PF benefit at larger d).\n");
-  return 0;
+  return cli.finish();
 }

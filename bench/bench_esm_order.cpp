@@ -9,6 +9,7 @@
 // Scale via QPF_LER_RUNS / QPF_LER_ERRORS.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ler_common.h"
 
 namespace {
@@ -20,7 +21,7 @@ using qpf::qec::CheckType;
 using qpf::qec::CnotPattern;
 
 LerPoint measure(double per, CnotPattern pattern, std::size_t errors,
-                 std::size_t runs) {
+                 std::size_t runs, std::size_t jobs) {
   LerConfig config;
   config.physical_error_rate = per;
   config.basis = CheckType::kZ;
@@ -29,7 +30,7 @@ LerPoint measure(double per, CnotPattern pattern, std::size_t errors,
   config.max_windows = 200'000;
   config.seed = 0x0e5e + static_cast<std::uint64_t>(per * 1e7);
   config.ninja_options.esm_pattern = pattern;
-  return qpf::bench::run_ler_point(config, runs);
+  return qpf::bench::run_ler_point(config, runs, jobs);
 }
 
 // Logical lifetime: windows until the accumulated data error is beyond
@@ -86,22 +87,36 @@ double mean_logical_lifetime(double per, bool decoding, std::size_t runs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_esm_order", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_esm_order", 0x0e5e);
   const std::size_t errors = qpf::bench::env_size_t("QPF_LER_ERRORS", 20);
   const std::size_t runs = qpf::bench::env_size_t("QPF_LER_RUNS", 3);
   std::printf("bench_esm_order: design-choice ablations (ESM CNOT pattern, "
               "decoder on/off)\n");
+  cli.report.config.uinteger("runs", runs)
+      .uinteger("target_errors", errors)
+      .uinteger("jobs", cli.jobs());
+  const qpf::bench::WallTimer timer;
 
   std::printf("\n=== ESM CNOT ordering ablation ===\n");
   std::printf("%-10s %-14s %-14s %-8s\n", "PER", "LER(mixed)", "LER(same-S)",
               "ratio");
   for (double per : {5e-4, 1e-3, 2e-3, 5e-3}) {
-    const LerPoint mixed = measure(per, CnotPattern::kMixed, errors, runs);
-    const LerPoint same = measure(per, CnotPattern::kSameS, errors, runs);
+    const LerPoint mixed =
+        measure(per, CnotPattern::kMixed, errors, runs, cli.jobs());
+    const LerPoint same =
+        measure(per, CnotPattern::kSameS, errors, runs, cli.jobs());
     std::printf("%-10.1e %-14.3e %-14.3e %-8.2f\n", per, mixed.mean_ler,
                 same.mean_ler,
                 mixed.mean_ler > 0.0 ? same.mean_ler / mixed.mean_ler : 0.0);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "esm_pattern")
+        .num("per", per)
+        .num("ler_mixed", mixed.mean_ler)
+        .num("ler_same_s", same.mean_ler);
   }
   std::printf("(the mixed pattern of Figs 2.2/2.3 should not be worse; "
               "hook-error alignment penalizes the same-S variant)\n");
@@ -115,8 +130,15 @@ int main() {
     const double without = mean_logical_lifetime(per, false, runs);
     std::printf("%-10.1e %-16.1f %-16.1f %-8.1fx\n", per, with, without,
                 without > 0.0 ? with / without : 0.0);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "decoder_ablation")
+        .num("per", per)
+        .num("lifetime_with_decoder", with)
+        .num("lifetime_without_decoder", without);
   }
   std::printf("(decoding must extend the memory lifetime by a wide "
               "margin)\n");
-  return 0;
+  cli.report.wall_ms = timer.ms();
+  return cli.finish();
 }

@@ -1,0 +1,124 @@
+// Machine-readable bench harness (ISSUE 3): every bench binary can emit
+// one JSON report with the common schema
+//
+//   {
+//     "name":             "bench_ler",
+//     "config":           { flat object: the knobs this run used },
+//     "wall_ms":          total wall-clock of the measured section,
+//     "trials_per_sec":   0 when the bench has no trial notion,
+//     "gate_ops_per_sec": 0 when the bench has no gate-op notion,
+//     "stats":            [ flat objects: one row per measured point ]
+//   }
+//
+// tools/check_bench.sh smoke-runs every binary with tiny trial counts
+// and validates this schema; BENCH_*.json files at the repo root are
+// the committed perf trajectory.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qpf::bench {
+
+/// A flat, insertion-ordered JSON object.  Values are rendered at
+/// insertion time; doubles use %.17g so reports round-trip exactly.
+class JsonObject {
+ public:
+  JsonObject& num(std::string_view key, double value);
+  JsonObject& integer(std::string_view key, std::int64_t value);
+  JsonObject& uinteger(std::string_view key, std::uint64_t value);
+  JsonObject& boolean(std::string_view key, bool value);
+  JsonObject& text(std::string_view key, std::string_view value);
+
+  [[nodiscard]] bool empty() const noexcept { return fields_.empty(); }
+  /// Render as {"k":v,...}.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Escape + quote a string for JSON.
+[[nodiscard]] std::string json_quote(std::string_view text);
+
+struct BenchReport {
+  std::string name;
+  JsonObject config;
+  double wall_ms = 0.0;
+  double trials_per_sec = 0.0;
+  double gate_ops_per_sec = 0.0;
+  std::vector<JsonObject> stats;
+};
+
+/// Render the report in the common schema (pretty-printed, one stats
+/// row per line).
+[[nodiscard]] std::string render_bench_report(const BenchReport& report);
+
+/// Render + write atomically-enough for a bench (write then rename is
+/// overkill here; a torn bench report is re-runnable).  Throws
+/// std::runtime_error on I/O failure.
+void write_bench_report(const std::string& path, const BenchReport& report);
+
+/// Wall-clock stopwatch for bench sections.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Shared command-line front end for the bench binaries:
+///
+///   --json=PATH | --json PATH   emit the JSON report to PATH
+///   --jobs=N  | --jobs N        worker threads (0 = hardware_concurrency)
+///   --help                      usage; exits 0
+///
+/// Unrecognized arguments are collected into extra_args() so wrappers
+/// (e.g. bench_micro forwarding --benchmark_* flags) can pass them on;
+/// plain benches call require_no_extra_args() to reject them.
+class BenchCli {
+ public:
+  /// `default_jobs` seeds the --jobs value (0 = auto).
+  BenchCli(std::string name, int argc, char** argv,
+           std::size_t default_jobs = 1);
+
+  [[nodiscard]] bool json_enabled() const noexcept {
+    return !json_path_.empty();
+  }
+  [[nodiscard]] const std::string& json_path() const noexcept {
+    return json_path_;
+  }
+  /// Resolved worker count (auto already expanded).
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::vector<std::string>& extra_args() noexcept {
+    return extra_args_;
+  }
+  /// Exit(2) with a message when unrecognized arguments remain.
+  void require_no_extra_args() const;
+
+  /// The report the bench fills in; name is pre-set.
+  BenchReport report;
+
+  /// Stamp wall_ms (construction to now, unless the bench already set
+  /// a nonzero wall_ms) and write the report when --json was given.
+  /// Returns the process exit code contribution (0 ok, 1 write failed).
+  int finish();
+
+ private:
+  std::string json_path_;
+  std::size_t jobs_ = 1;
+  std::vector<std::string> extra_args_;
+  WallTimer timer_;
+};
+
+}  // namespace qpf::bench

@@ -3,18 +3,22 @@
 // Figs 5.25 / 5.26 (gates and time slots saved by the Pauli frame).
 //
 // Scale via QPF_LER_RUNS / QPF_LER_ERRORS / QPF_FULL=1 (see ler_common.h).
+// --json PATH emits the machine-readable report; --jobs N fans trials
+// out over worker threads (bit-identical statistics for every N).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ler_common.h"
 
 namespace {
 
+using qpf::bench::BenchCli;
 using qpf::bench::BenchScale;
 using qpf::bench::LerConfig;
 using qpf::bench::LerPoint;
 using qpf::qec::CheckType;
 
-void run_series(const BenchScale& scale, CheckType basis) {
+void run_series(const BenchScale& scale, CheckType basis, BenchCli& cli) {
   const char* basis_name = basis == CheckType::kZ ? "X_L" : "Z_L";
   std::printf(
       "\n=== Figs 5.11-5.16: LER vs PER, %s errors (%zu runs x %zu logical "
@@ -34,15 +38,29 @@ void run_series(const BenchScale& scale, CheckType basis) {
     config.seed = 0x5eed0 + static_cast<std::uint64_t>(per * 1e7);
 
     config.with_pauli_frame = false;
-    const LerPoint without = qpf::bench::run_ler_point(config, scale.runs);
+    const LerPoint without =
+        qpf::bench::run_ler_point(config, scale.runs, cli.jobs());
     config.with_pauli_frame = true;
-    const LerPoint with = qpf::bench::run_ler_point(config, scale.runs);
+    const LerPoint with =
+        qpf::bench::run_ler_point(config, scale.runs, cli.jobs());
 
     std::printf("%-10.1e %-12.3e %-12.1e %-12.3e %-12.1e %-10.3f %-10.3f "
                 "%-10.3f\n",
                 per, without.mean_ler, without.stddev_ler, with.mean_ler,
                 with.stddev_ler, without.window_cv, with.window_cv,
                 100.0 * with.saved_slots);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "ler_vs_per")
+        .text("basis", basis_name)
+        .num("per", per)
+        .num("ler_no_pf", without.mean_ler)
+        .num("sd_no_pf", without.stddev_ler)
+        .num("ler_pf", with.mean_ler)
+        .num("sd_pf", with.stddev_ler)
+        .num("window_cv_no_pf", without.window_cv)
+        .num("window_cv_pf", with.window_cv)
+        .num("saved_slots_pf", with.saved_slots);
     // Pseudo-threshold: where LER crosses the y = x line (Fig 5.12).
     const double ratio = without.mean_ler / per;
     if (pseudo_threshold == 0.0 && previous_ratio > 0.0 &&
@@ -59,10 +77,15 @@ void run_series(const BenchScale& scale, CheckType basis) {
     std::printf("pseudo-threshold (LER = PER crossing): ~%.1e  "
                 "(paper: ~3e-4)\n",
                 pseudo_threshold);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "pseudo_threshold")
+        .text("basis", basis_name)
+        .num("per", pseudo_threshold);
   }
 }
 
-void run_saved_series(const BenchScale& scale) {
+void run_saved_series(const BenchScale& scale, BenchCli& cli) {
   std::printf(
       "\n=== Figs 5.25/5.26: gates and time slots saved by the Pauli frame "
       "(X-error runs) ===\n");
@@ -74,9 +97,16 @@ void run_saved_series(const BenchScale& scale) {
     config.with_pauli_frame = true;
     config.target_logical_errors = scale.target_errors;
     config.seed = 0xabc + static_cast<std::uint64_t>(per * 1e7);
-    const LerPoint point = qpf::bench::run_ler_point(config, scale.runs);
+    const LerPoint point =
+        qpf::bench::run_ler_point(config, scale.runs, cli.jobs());
     std::printf("%-10.1e %-14.4f %-14.4f\n", per, 100.0 * point.saved_gates,
                 100.0 * point.saved_slots);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "pf_savings")
+        .num("per", per)
+        .num("saved_gates", point.saved_gates)
+        .num("saved_slots", point.saved_slots);
   }
   std::printf("ceiling: 1/17 = %.2f%% of slots (Eq 5.12, §5.3.2)\n",
               100.0 / 17.0);
@@ -84,15 +114,27 @@ void run_saved_series(const BenchScale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("bench_ler", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_ler", 0x5eed0);
   const BenchScale scale = qpf::bench::bench_scale_from_env();
   std::printf("bench_ler: SC17 logical error rate study (thesis §5.3)\n");
   std::printf("grid of %zu PER points; set QPF_FULL=1 for the paper-scale "
               "sweep\n",
               scale.per_grid.size());
-  run_series(scale, CheckType::kZ);  // Figs 5.11a-5.16a: X_L errors
-  run_series(scale, CheckType::kX);  // Figs 5.11b-5.16b: Z_L errors
-  run_saved_series(scale);           // Figs 5.25 / 5.26
-  return 0;
+  cli.report.config.uinteger("runs", scale.runs)
+      .uinteger("target_errors", scale.target_errors)
+      .uinteger("per_points", scale.per_grid.size())
+      .uinteger("jobs", cli.jobs());
+  const qpf::bench::WallTimer timer;
+  run_series(scale, CheckType::kZ, cli);  // Figs 5.11a-5.16a: X_L errors
+  run_series(scale, CheckType::kX, cli);  // Figs 5.11b-5.16b: Z_L errors
+  run_saved_series(scale, cli);           // Figs 5.25 / 5.26
+  cli.report.wall_ms = timer.ms();
+  // 2 series x 2 arms + the savings series = 5 campaigns per PER point.
+  const double trials =
+      static_cast<double>(5 * scale.runs * scale.per_grid.size());
+  cli.report.trials_per_sec = 1e3 * trials / cli.report.wall_ms;
+  return cli.finish();
 }

@@ -7,11 +7,13 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ler_common.h"
 #include "stats/ttest.h"
 
 namespace {
 
+using qpf::bench::BenchCli;
 using qpf::bench::BenchScale;
 using qpf::bench::LerConfig;
 using qpf::bench::LerPoint;
@@ -23,7 +25,8 @@ struct PairedPoint {
   LerPoint without;
 };
 
-std::vector<PairedPoint> collect(const BenchScale& scale, CheckType basis) {
+std::vector<PairedPoint> collect(const BenchScale& scale, CheckType basis,
+                                 std::size_t jobs) {
   std::vector<PairedPoint> points;
   for (double per : scale.per_grid) {
     LerConfig config;
@@ -34,15 +37,16 @@ std::vector<PairedPoint> collect(const BenchScale& scale, CheckType basis) {
     PairedPoint point;
     point.per = per;
     config.with_pauli_frame = false;
-    point.without = qpf::bench::run_ler_point(config, scale.runs);
+    point.without = qpf::bench::run_ler_point(config, scale.runs, jobs);
     config.with_pauli_frame = true;
-    point.with = qpf::bench::run_ler_point(config, scale.runs);
+    point.with = qpf::bench::run_ler_point(config, scale.runs, jobs);
     points.push_back(std::move(point));
   }
   return points;
 }
 
-void analyze(const std::vector<PairedPoint>& points, const char* basis_name) {
+void analyze(const std::vector<PairedPoint>& points, const char* basis_name,
+             BenchCli& cli) {
   std::printf("\n=== Figs 5.17/5.18: delta_PL = LER(noPF) - LER(PF), %s "
               "errors ===\n",
               basis_name);
@@ -82,6 +86,20 @@ void analyze(const std::vector<PairedPoint>& points, const char* basis_name) {
   double rho_sum = 0.0;
   std::size_t rho_count = 0;
   for (const PairedPoint& p : points) {
+    // Tiny smoke runs (QPF_LER_RUNS=1) have too few samples to test.
+    if (p.without.ler_samples.size() < 2 || p.with.ler_samples.size() < 2) {
+      std::printf("%-10.1e %-14s %-14s\n", p.per, "n/a", "n/a");
+      cli.report.stats.emplace_back();
+      cli.report.stats.back()
+          .text("basis", basis_name)
+          .num("per", p.per)
+          .num("delta_pl", p.without.mean_ler - p.with.mean_ler)
+          .num("sigma_max",
+               std::max(p.without.stddev_ler, p.with.stddev_ler))
+          .num("window_cv_no_pf", p.without.window_cv)
+          .num("window_cv_pf", p.with.window_cv);
+      continue;
+    }
     const auto independent =
         qpf::stats::independent_ttest(p.without.ler_samples,
                                       p.with.ler_samples);
@@ -91,6 +109,17 @@ void analyze(const std::vector<PairedPoint>& points, const char* basis_name) {
     significant += independent.p < 0.05 ? 1 : 0;
     rho_sum += independent.p + paired.p;
     rho_count += 2;
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("basis", basis_name)
+        .num("per", p.per)
+        .num("delta_pl", p.without.mean_ler - p.with.mean_ler)
+        .num("sigma_max",
+             std::max(p.without.stddev_ler, p.with.stddev_ler))
+        .num("window_cv_no_pf", p.without.window_cv)
+        .num("window_cv_pf", p.with.window_cv)
+        .num("rho_independent", independent.p)
+        .num("rho_paired", paired.p);
   }
   std::printf("points with rho < 0.05: %zu/%zu; mean rho = %.2f (paper: "
               "scattered, mean ~0.5, no consistent significance)\n",
@@ -100,14 +129,26 @@ void analyze(const std::vector<PairedPoint>& points, const char* basis_name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("bench_ler_analysis", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_ler_analysis", 0xfeed);
   const BenchScale scale = qpf::bench::bench_scale_from_env();
   std::printf("bench_ler_analysis: statistical comparison of LER with and "
               "without Pauli frame (thesis §5.3.2)\n");
-  analyze(collect(scale, CheckType::kZ), "X_L");
-  analyze(collect(scale, CheckType::kX), "Z_L");
+  cli.report.config.uinteger("runs", scale.runs)
+      .uinteger("target_errors", scale.target_errors)
+      .uinteger("per_points", scale.per_grid.size())
+      .uinteger("jobs", cli.jobs());
+  const qpf::bench::WallTimer timer;
+  analyze(collect(scale, CheckType::kZ, cli.jobs()), "X_L", cli);
+  analyze(collect(scale, CheckType::kX, cli.jobs()), "Z_L", cli);
+  cli.report.wall_ms = timer.ms();
+  // 2 bases x 2 arms per PER point.
+  cli.report.trials_per_sec =
+      1e3 * static_cast<double>(4 * scale.runs * scale.per_grid.size()) /
+      cli.report.wall_ms;
   std::printf("\nConclusion check: the Pauli frame shows no statistically "
               "significant LER effect (thesis Chapter 6).\n");
-  return 0;
+  return cli.finish();
 }

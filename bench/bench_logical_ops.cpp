@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
 #include "ler_common.h"
 #include "arch/chp_core.h"
 #include "arch/ninja_star_layer.h"
@@ -92,9 +93,11 @@ const char* ket(bool c, bool t) {
   return kets[(c ? 1 : 0) + (t ? 2 : 0)];
 }
 
-void truth_table(GateType gate, const char* table_name) {
+/// Returns the number of matching rows (of 4).
+std::size_t truth_table(GateType gate, const char* table_name) {
   std::printf("\n=== %s ===\n", table_name);
   std::printf("%-12s %-12s %-12s\n", "Initial", "Expected", "Simulated");
+  std::size_t matches = 0;
   for (int pattern = 0; pattern < 4; ++pattern) {
     const bool c_in = pattern & 1;
     const bool t_in = pattern & 2;
@@ -120,10 +123,13 @@ void truth_table(GateType gate, const char* table_name) {
     const auto state = ninja.get_state();
     const bool c_out = state[0] == BinaryValue::kOne;
     const bool t_out = state[1] == BinaryValue::kOne;
+    const bool match = c_out == c_expect && t_out == t_expect;
+    matches += match ? 1 : 0;
     std::printf("%-12s %-12s %-12s %s\n", ket(c_in, t_in),
                 ket(c_expect, t_expect), ket(c_out, t_out),
-                (c_out == c_expect && t_out == t_expect) ? "ok" : "MISMATCH");
+                match ? "ok" : "MISMATCH");
   }
+  return matches;
 }
 
 void esm_structure() {
@@ -151,14 +157,30 @@ void esm_structure() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_logical_ops", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_logical_ops", 7);
   std::printf("bench_logical_ops: SC17 logical operation verification "
               "(thesis §5.1)\n\n");
+  const qpf::bench::WallTimer timer;
   listing_states();
   hadamard_checks();
-  truth_table(GateType::kCnot, "Table 5.5: CNOT_L truth table");
-  truth_table(GateType::kCz, "Table 5.6: CZ_L truth table (Z-basis values)");
+  const std::size_t cnot_ok =
+      truth_table(GateType::kCnot, "Table 5.5: CNOT_L truth table");
+  const std::size_t cz_ok = truth_table(
+      GateType::kCz, "Table 5.6: CZ_L truth table (Z-basis values)");
   esm_structure();
-  return 0;
+  cli.report.wall_ms = timer.ms();
+  cli.report.stats.emplace_back();
+  cli.report.stats.back()
+      .text("check", "cnot_truth_table")
+      .uinteger("matches", cnot_ok)
+      .uinteger("rows", 4);
+  cli.report.stats.emplace_back();
+  cli.report.stats.back()
+      .text("check", "cz_truth_table")
+      .uinteger("matches", cz_ok)
+      .uinteger("rows", 4);
+  return cli.finish();
 }

@@ -1,18 +1,44 @@
-// Microbenchmarks (google-benchmark) for the performance-critical
-// primitives: tableau updates, state-vector gates, Pauli-frame stream
-// processing, LUT decoding and full QEC windows.
+// Microbenchmarks for the performance-critical primitives: tableau
+// updates, state-vector gates, Pauli-frame stream processing, LUT
+// decoding and full QEC windows.
+//
+// Two modes:
+//  * default: the google-benchmark suite (BM_* below); extra arguments
+//    are forwarded, so --benchmark_filter etc. work as usual.
+//  * --json PATH: the tableau-kernel sweep — every Clifford kernel and
+//    the measurement path timed at n = 17, 100, 500, 2000 against the
+//    pre-word-parallel row-major baseline (row_major_tableau.h), with
+//    per-kernel speedups recorded in the machine-readable report.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "arch/control_stack.h"
+#include "bench_json.h"
 #include "circuit/random.h"
 #include "core/pauli_frame.h"
 #include "qec/lut_decoder.h"
+#include "row_major_tableau.h"
 #include "stabilizer/tableau.h"
 #include "statevector/simulator.h"
 
 namespace {
 
 using namespace qpf;
+
+void BM_TableauH(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stab::Tableau tableau(n, 1);
+  Qubit q = 0;
+  for (auto _ : state) {
+    tableau.apply_h(q);
+    q = (q + 1) % static_cast<Qubit>(n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableauH)->Arg(17)->Arg(100)->Arg(500)->Arg(2000);
 
 void BM_TableauCnot(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -24,7 +50,7 @@ void BM_TableauCnot(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TableauCnot)->Arg(17)->Arg(64)->Arg(256);
+BENCHMARK(BM_TableauCnot)->Arg(17)->Arg(64)->Arg(256)->Arg(500)->Arg(2000);
 
 void BM_TableauMeasure(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -40,7 +66,7 @@ void BM_TableauMeasure(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TableauMeasure)->Arg(17)->Arg(64);
+BENCHMARK(BM_TableauMeasure)->Arg(17)->Arg(64)->Arg(500);
 
 void BM_StateVectorGate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -99,6 +125,150 @@ void BM_QecWindow(benchmark::State& state) {
 }
 BENCHMARK(BM_QecWindow)->Arg(0)->Arg(1);
 
+// --- --json kernel sweep ---------------------------------------------
+
+constexpr std::size_t kSweepSizes[] = {17, 100, 500, 2000};
+
+/// Gate operations per timing rep, scaled so every (kernel, n) point
+/// runs in a few milliseconds.
+[[nodiscard]] std::size_t sweep_ops(std::size_t n) {
+  const std::size_t ops = 4'000'000 / n;
+  return ops < 512 ? 512 : ops;
+}
+
+template <typename Tableau, typename Kernel>
+[[nodiscard]] double time_kernel_ns(Tableau& tableau, std::size_t ops,
+                                    Kernel&& kernel) {
+  // One warm-up slice, then the timed run.
+  for (std::size_t i = 0; i < ops / 8 + 1; ++i) {
+    kernel(tableau, i);
+  }
+  const qpf::bench::WallTimer timer;
+  for (std::size_t i = 0; i < ops; ++i) {
+    kernel(tableau, i);
+  }
+  return timer.ms() * 1e6 / static_cast<double>(ops);
+}
+
+struct SweepPoint {
+  const char* kernel;
+  std::size_t n;
+  double baseline_ns = 0.0;
+  double word_parallel_ns = 0.0;
+  std::size_t ops = 0;
+
+  [[nodiscard]] double speedup() const {
+    return word_parallel_ns > 0.0 ? baseline_ns / word_parallel_ns : 0.0;
+  }
+};
+
+[[nodiscard]] std::vector<SweepPoint> run_kernel_sweep() {
+  std::vector<SweepPoint> points;
+  for (const std::size_t n : kSweepSizes) {
+    const std::size_t ops = sweep_ops(n);
+    const std::size_t measure_ops = ops / 4 + 64;
+
+    const auto sweep = [&](const char* kernel, auto&& old_kernel,
+                           auto&& new_kernel, std::size_t count) {
+      SweepPoint point;
+      point.kernel = kernel;
+      point.n = n;
+      point.ops = count;
+      qpf::bench::RowMajorTableau old_tableau(n, 1);
+      point.baseline_ns = time_kernel_ns(old_tableau, count, old_kernel);
+      stab::Tableau new_tableau(n, 1);
+      point.word_parallel_ns = time_kernel_ns(new_tableau, count, new_kernel);
+      points.push_back(point);
+    };
+
+    sweep(
+        "h", [n](auto& t, std::size_t i) { t.apply_h(i % n); },
+        [n](auto& t, std::size_t i) {
+          t.apply_h(static_cast<Qubit>(i % n));
+        },
+        ops);
+    sweep(
+        "s", [n](auto& t, std::size_t i) { t.apply_s(i % n); },
+        [n](auto& t, std::size_t i) {
+          t.apply_s(static_cast<Qubit>(i % n));
+        },
+        ops);
+    sweep(
+        "x", [n](auto& t, std::size_t i) { t.apply_x(i % n); },
+        [n](auto& t, std::size_t i) {
+          t.apply_x(static_cast<Qubit>(i % n));
+        },
+        ops);
+    sweep(
+        "cnot",
+        [n](auto& t, std::size_t i) { t.apply_cnot(i % n, (i + 1) % n); },
+        [n](auto& t, std::size_t i) {
+          t.apply_cnot(static_cast<Qubit>(i % n),
+                       static_cast<Qubit>((i + 1) % n));
+        },
+        ops);
+    // Measurement with random outcomes: H before each measure keeps the
+    // measured qubit in superposition.
+    sweep(
+        "measure",
+        [n](auto& t, std::size_t i) {
+          t.apply_h(i % n);
+          (void)t.measure(i % n);
+        },
+        [n](auto& t, std::size_t i) {
+          t.apply_h(static_cast<Qubit>(i % n));
+          (void)t.measure(static_cast<Qubit>(i % n));
+        },
+        measure_ops);
+  }
+  return points;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_micro", argc, argv);
+  if (cli.json_enabled()) {
+    std::size_t word_parallel_ops = 0;
+    const qpf::bench::WallTimer timer;
+    const std::vector<SweepPoint> points = run_kernel_sweep();
+    cli.report.config.text("mode", "tableau-kernel-sweep")
+        .text("baseline", "row-major bit-at-a-time (pre word-parallel)")
+        .text("sizes", "17,100,500,2000");
+    double word_parallel_ns = 0.0;
+    for (const SweepPoint& point : points) {
+      cli.report.stats.emplace_back();
+      cli.report.stats.back()
+          .text("kernel", point.kernel)
+          .uinteger("n", point.n)
+          .uinteger("ops", point.ops)
+          .num("baseline_ns_op", point.baseline_ns)
+          .num("word_parallel_ns_op", point.word_parallel_ns)
+          .num("speedup", point.speedup());
+      word_parallel_ops += point.ops;
+      word_parallel_ns +=
+          point.word_parallel_ns * static_cast<double>(point.ops);
+      std::printf("%-8s n=%-5zu baseline=%10.1f ns/op  word-parallel="
+                  "%10.1f ns/op  speedup=%6.2fx\n",
+                  point.kernel, point.n, point.baseline_ns,
+                  point.word_parallel_ns, point.speedup());
+    }
+    cli.report.wall_ms = timer.ms();
+    if (word_parallel_ns > 0.0) {
+      cli.report.gate_ops_per_sec =
+          1e9 * static_cast<double>(word_parallel_ops) / word_parallel_ns;
+    }
+    return cli.finish();
+  }
+
+  // Forward everything the harness didn't consume to google-benchmark.
+  std::vector<char*> forwarded;
+  forwarded.push_back(argv[0]);
+  for (std::string& argument : cli.extra_args()) {
+    forwarded.push_back(argument.data());
+  }
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  benchmark::Initialize(&forwarded_argc, forwarded.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

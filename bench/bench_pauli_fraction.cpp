@@ -4,12 +4,15 @@
 // absorbs.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ler_common.h"
 #include "circuit/random.h"
 #include "circuit/stats.h"
 #include "core/pauli_frame.h"
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_pauli_fraction", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_pauli_fraction", 99);
   using namespace qpf;
 
@@ -17,6 +20,7 @@ int main() {
               "(thesis §3.3)\n\n");
   std::printf("%-16s %-8s %-8s %-10s %-10s %-12s %-12s\n", "program", "gates",
               "slots", "pauli %", "t %", "PF gates-%", "PF slots-%");
+  cli.report.config.uinteger("seed", 99).uinteger("qubits", 12);
   double max_pauli = 0.0;
   for (ProgramKind kind : kAllProgramKinds) {
     const Circuit program = make_program(kind, 12, 6, 99);
@@ -31,6 +35,15 @@ int main() {
                 100.0 * mix.non_clifford_fraction(),
                 100.0 * frame.stats().gates_saved_fraction(),
                 100.0 * frame.stats().slots_saved_fraction());
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("program", name(kind))
+        .uinteger("gates", mix.total)
+        .uinteger("slots", mix.time_slots)
+        .num("pauli_fraction", mix.pauli_fraction())
+        .num("non_clifford_fraction", mix.non_clifford_fraction())
+        .num("pf_gates_saved", frame.stats().gates_saved_fraction())
+        .num("pf_slots_saved", frame.stats().slots_saved_fraction());
   }
   std::printf("\nmax Pauli fraction in the corpus: %.1f%% (paper: \"up to "
               "7%%\" in ScaffCC-compiled programs)\n",
@@ -38,5 +51,5 @@ int main() {
   std::printf("note: programs with non-Clifford gates pay flushes, so the "
               "frame's net gate saving can be below the raw Pauli "
               "fraction.\n");
-  return 0;
+  return cli.finish();
 }

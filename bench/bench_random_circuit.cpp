@@ -3,6 +3,7 @@
 // and after flushing) and the 100-iteration equivalence run.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ler_common.h"
 #include "arch/pauli_frame_layer.h"
 #include "arch/qx_core.h"
@@ -16,7 +17,7 @@ using arch::PauliFrameLayer;
 using arch::QxCore;
 using arch::RandomCircuitTb;
 
-void worked_example() {
+bool worked_example() {
   std::printf("=== Fig 5.4-style example: 5 qubits, 20 gates ===\n");
   RandomCircuitGenerator gen(2016);
   RandomCircuitOptions options;
@@ -46,9 +47,10 @@ void worked_example() {
       reference.state(), 1e-9);
   std::printf("\nflushed state equals reference up to global phase: %s\n",
               equal ? "yes" : "NO");
+  return equal;
 }
 
-void equivalence_run() {
+arch::TestBench::Report equivalence_run() {
   const std::size_t iterations = 100;
   std::printf("\n=== §5.2.2 equivalence run: %zu random circuits, 10 qubits "
               "x 1000 gates ===\n",
@@ -63,15 +65,32 @@ void equivalence_run() {
   std::printf("iterations: %zu, matching final states: %zu  (paper: "
               "100/100)\n",
               report.iterations, report.passed);
+  return report;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_random_circuit", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_random_circuit", 2016);
   std::printf("bench_random_circuit: Pauli frame verification by random "
               "circuits (thesis §5.2.2)\n\n");
-  worked_example();
-  equivalence_run();
-  return 0;
+  cli.report.config.uinteger("seed", 2016);
+  const qpf::bench::WallTimer timer;
+  const bool example_ok = worked_example();
+  const auto report = equivalence_run();
+  cli.report.wall_ms = timer.ms();
+  cli.report.stats.emplace_back();
+  cli.report.stats.back()
+      .text("check", "worked_example")
+      .boolean("flushed_equals_reference", example_ok);
+  cli.report.stats.emplace_back();
+  cli.report.stats.back()
+      .text("check", "equivalence_run")
+      .uinteger("iterations", report.iterations)
+      .uinteger("passed", report.passed);
+  cli.report.trials_per_sec =
+      1e3 * static_cast<double>(report.iterations + 1) / cli.report.wall_ms;
+  return cli.finish();
 }

@@ -9,6 +9,7 @@
 // for a range of decoder latencies.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "ler_common.h"
 #include "arch/chp_core.h"
 #include "arch/error_layer.h"
@@ -55,7 +56,9 @@ WindowTiming measure(bool with_pf, double per, std::uint64_t seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  qpf::bench::BenchCli cli("bench_timing", argc, argv);
+  cli.require_no_extra_args();
   qpf::bench::announce_seed("bench_timing", 3);
   const GateTimings timings;
   std::printf("bench_timing: QEC window wall-clock with transmon-style "
@@ -65,8 +68,12 @@ int main() {
 
   const double per = 2e-3;
   const std::size_t windows = 2000;
+  cli.report.config.num("per", per).uinteger("windows", windows);
+  const qpf::bench::WallTimer timer;
   const WindowTiming with_pf = measure(true, per, 3, windows);
   const WindowTiming without_pf = measure(false, per, 3, windows);
+  cli.report.config.num("esm_ns_pf", with_pf.esm_ns)
+      .num("esm_ns_no_pf", without_pf.esm_ns);
   std::printf("\nmeasured quantum time per window at PER %.0e (avg over %zu "
               "windows):\n",
               per, windows);
@@ -89,9 +96,16 @@ int main() {
     const double pf_latency = std::max(with_pf.esm_ns, decode_ns);
     std::printf("%-22.0f %-16.1f %-16.1f %.3fx\n", decode_ns, nopf_latency,
                 pf_latency, nopf_latency / pf_latency);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .num("decode_ns", decode_ns)
+        .num("window_ns_no_pf", nopf_latency)
+        .num("window_ns_pf", pf_latency)
+        .num("speedup", nopf_latency / pf_latency);
   }
+  cli.report.wall_ms = timer.ms();
   std::printf("\n(the frame's throughput benefit grows with decoder "
               "latency — the thesis' surviving argument for Pauli "
               "frames)\n");
-  return 0;
+  return cli.finish();
 }

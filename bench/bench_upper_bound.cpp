@@ -3,13 +3,17 @@
 #include <cstdio>
 #include <initializer_list>
 
+#include "bench_json.h"
 #include "core/schedule.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qpf::pf;
+  qpf::bench::BenchCli cli("bench_upper_bound", argc, argv);
+  cli.require_no_extra_args();
 
   std::printf("bench_upper_bound: analytical Pauli-frame benefit model "
               "(thesis §5.3.2, Eq 5.5-5.12)\n");
+  cli.report.config.text("model", "analytical (Eq 5.5-5.12)");
 
   std::printf("\n=== Fig 5.27: upper bound on relative LER improvement, "
               "tsESM = 8 ===\n");
@@ -21,6 +25,11 @@ int main() {
       std::printf("#");
     }
     std::printf("\n");
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "upper_bound")
+        .uinteger("distance", d)
+        .num("bound", bound);
   }
   std::printf("(paper: ~5.9%% at d=3, below 3%% from d=5, converging to "
               "0)\n");
@@ -39,6 +48,12 @@ int main() {
     const std::size_t with = window_latency(p, true);
     std::printf("%-28zu %-14zu %-14zu %zu\n", decode, without, with,
                 without - with);
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "schedule")
+        .uinteger("decode_slots", decode)
+        .uinteger("latency_no_pf", without)
+        .uinteger("latency_pf", with);
   }
   std::printf("(the Pauli frame removes the correction slot and takes "
               "decoding off the critical path entirely)\n");
@@ -54,6 +69,11 @@ int main() {
         ler_estimate(with, true) / ler_estimate(without, true);
     std::printf("d=%zu: estimated LER ratio = %.4f (improvement %.2f%%)\n", d,
                 ratio, 100.0 * (1.0 - ratio));
+    cli.report.stats.emplace_back();
+    cli.report.stats.back()
+        .text("series", "ler_ratio")
+        .uinteger("distance", d)
+        .num("ratio", ratio);
   }
-  return 0;
+  return cli.finish();
 }

@@ -2,12 +2,16 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "journal/run_journal.h"
 #include "stats/summary.h"
@@ -128,27 +132,23 @@ std::uint64_t next_trial_seed(std::uint64_t seed) noexcept {
   return seed * 6364136223846793005ULL + 1442695040888963407ULL;
 }
 
-LerPoint run_ler_point(LerConfig config, std::size_t runs) {
-  LerPoint point;
-  point.physical_error_rate = config.physical_error_rate;
-  double saved_gates = 0.0;
-  double saved_slots = 0.0;
-  for (std::size_t i = 0; i < runs; ++i) {
-    config.seed = next_trial_seed(config.seed);
-    const LerRun run = run_ler(config);
-    point.ler_samples.push_back(run.ler());
-    point.window_samples.push_back(static_cast<double>(run.windows));
-    saved_gates += run.saved_gates_fraction;
-    saved_slots += run.saved_slots_fraction;
+std::size_t resolve_jobs(std::size_t jobs) noexcept {
+  if (jobs != 0) {
+    return jobs;
   }
-  const stats::Summary ler = stats::summarize(point.ler_samples);
-  const stats::Summary windows = stats::summarize(point.window_samples);
-  point.mean_ler = ler.mean;
-  point.stddev_ler = ler.stddev;
-  point.window_cv = windows.coefficient_of_variation();
-  point.saved_gates = saved_gates / static_cast<double>(runs);
-  point.saved_slots = saved_slots / static_cast<double>(runs);
-  return point;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+LerPoint run_ler_point(LerConfig config, std::size_t runs, std::size_t jobs) {
+  // One engine for every caller: an in-memory (non-durable) campaign
+  // uses the same seed chain, slots, and aggregation as the crash-safe
+  // one, so bench output does not depend on which entry point ran it.
+  CampaignOptions options;
+  options.config = config;
+  options.runs = runs;
+  options.jobs = jobs;
+  return run_ler_campaign(options).point;
 }
 
 namespace {
@@ -261,79 +261,38 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
   }
 
   const std::size_t start_trial = samples.size();
-  const auto stop_requested = [&options](std::size_t windows_this_call) {
-    if (options.stop != nullptr && *options.stop != 0) {
-      return true;
-    }
-    return options.interrupt_after_windows != 0 &&
-           windows_this_call >= options.interrupt_after_windows;
-  };
 
-  std::size_t windows_this_call = 0;
-  for (std::size_t trial = start_trial; trial < options.runs; ++trial) {
+  // Mid-trial checkpoint preload for the first trial still to run,
+  // shared by both engines.  Heap-allocated: LerStack's layers hold
+  // pointers into each other, so a trial is rebuilt (never moved) when
+  // a load fails.
+  std::unique_ptr<LerTrial> preloaded;
+  if (durable && start_trial < options.runs &&
+      journal::file_exists(checkpoint_path)) {
     LerConfig config = options.config;
-    config.seed = seeds[trial];
-    // Heap-allocated: LerStack's layers hold pointers into each other,
-    // so a trial is rebuilt (never moved) when a load fails.
+    config.seed = seeds[start_trial];
     auto active = std::make_unique<LerTrial>(config);
-
-    if (durable && trial == start_trial &&
-        journal::file_exists(checkpoint_path)) {
-      try {
-        journal::SnapshotReader in(
-            journal::read_checkpoint_file(checkpoint_path));
-        in.expect_tag("ler-campaign");
-        const std::uint64_t saved_trial = in.read_u64();
-        if (saved_trial == trial) {
-          active->load(in);
-          result.windows_resumed = active->windows();
-        }
-        // A checkpoint for an earlier (already journaled) trial is
-        // stale, not corrupt: the journal won the race; start clean.
-      } catch (const CheckpointError& error) {
-        result.checkpoint_recovered = true;
-        result.checkpoint_warning = error.what();
-        active = std::make_unique<LerTrial>(config);  // discard partial state
+    try {
+      journal::SnapshotReader in(
+          journal::read_checkpoint_file(checkpoint_path));
+      in.expect_tag("ler-campaign");
+      const std::uint64_t saved_trial = in.read_u64();
+      if (saved_trial == start_trial) {
+        active->load(in);
+        result.windows_resumed = active->windows();
+        preloaded = std::move(active);
       }
+      // A checkpoint for an earlier (already journaled) trial is
+      // stale, not corrupt: the journal won the race; start clean.
+    } catch (const CheckpointError& error) {
+      result.checkpoint_recovered = true;
+      result.checkpoint_warning = error.what();
     }
+  }
 
-    const Clock::time_point trial_start = Clock::now();
-    bool timed_out = false;
-    std::size_t windows_since_checkpoint = 0;
-    while (!active->done()) {
-      if (stop_requested(windows_this_call)) {
-        result.interrupted = true;
-        break;
-      }
-      if (config.timeout_per_trial_ms != 0 &&
-          elapsed_ms(trial_start) >= config.timeout_per_trial_ms) {
-        timed_out = true;
-        break;
-      }
-      active->step();
-      ++windows_this_call;
-      ++windows_since_checkpoint;
-      if (durable && options.checkpoint_every_windows != 0 &&
-          windows_since_checkpoint >= options.checkpoint_every_windows) {
-        write_trial_checkpoint(checkpoint_path, trial, *active);
-        windows_since_checkpoint = 0;
-      }
-    }
-    if (result.interrupted) {
-      // Drain: the current window finished; persist the trial mid-way
-      // so the resumed campaign continues from this exact state.
-      if (durable) {
-        write_trial_checkpoint(checkpoint_path, trial, *active);
-      }
-      break;
-    }
-
-    LerRun run = active->result();
-    run.timed_out = timed_out;
-    TrialSample sample{run.windows, run.logical_errors,
-                       run.saved_gates_fraction, run.saved_slots_fraction,
-                       timed_out};
-    if (timed_out) {
+  const auto journal_trial = [&](std::size_t trial,
+                                 const TrialSample& sample) {
+    if (sample.timed_out) {
       ++result.trials_timed_out;
     }
     samples.push_back(sample);
@@ -341,7 +300,7 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
       journal::JournalEntry entry;
       entry.fields["kind"] = "trial";
       entry.fields["trial"] = std::to_string(trial);
-      entry.fields["seed"] = std::to_string(config.seed);
+      entry.fields["seed"] = std::to_string(seeds[trial]);
       entry.fields["windows"] = std::to_string(sample.windows);
       entry.fields["logical_errors"] = std::to_string(sample.logical_errors);
       entry.fields["saved_gates"] = format_double(sample.saved_gates);
@@ -349,6 +308,198 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
       entry.fields["timed_out"] = sample.timed_out ? "1" : "0";
       log->append(entry);
       std::remove(checkpoint_path.c_str());
+    }
+  };
+
+  const std::size_t trials_left =
+      options.runs > start_trial ? options.runs - start_trial : 0;
+  const std::size_t jobs = std::min(resolve_jobs(options.jobs),
+                                    std::max<std::size_t>(trials_left, 1));
+  if (jobs <= 1) {
+    // --- Sequential engine (jobs == 1) ------------------------------
+    const auto stop_requested = [&options](std::size_t windows_this_call) {
+      if (options.stop != nullptr && *options.stop != 0) {
+        return true;
+      }
+      return options.interrupt_after_windows != 0 &&
+             windows_this_call >= options.interrupt_after_windows;
+    };
+
+    std::size_t windows_this_call = 0;
+    for (std::size_t trial = start_trial; trial < options.runs; ++trial) {
+      LerConfig config = options.config;
+      config.seed = seeds[trial];
+      auto active = (trial == start_trial && preloaded)
+                        ? std::move(preloaded)
+                        : std::make_unique<LerTrial>(config);
+
+      const Clock::time_point trial_start = Clock::now();
+      bool timed_out = false;
+      std::size_t windows_since_checkpoint = 0;
+      while (!active->done()) {
+        if (stop_requested(windows_this_call)) {
+          result.interrupted = true;
+          break;
+        }
+        if (config.timeout_per_trial_ms != 0 &&
+            elapsed_ms(trial_start) >= config.timeout_per_trial_ms) {
+          timed_out = true;
+          break;
+        }
+        active->step();
+        ++windows_this_call;
+        ++windows_since_checkpoint;
+        if (durable && options.checkpoint_every_windows != 0 &&
+            windows_since_checkpoint >= options.checkpoint_every_windows) {
+          write_trial_checkpoint(checkpoint_path, trial, *active);
+          windows_since_checkpoint = 0;
+        }
+      }
+      if (result.interrupted) {
+        // Drain: the current window finished; persist the trial mid-way
+        // so the resumed campaign continues from this exact state.
+        if (durable) {
+          write_trial_checkpoint(checkpoint_path, trial, *active);
+        }
+        break;
+      }
+
+      LerRun run = active->result();
+      run.timed_out = timed_out;
+      journal_trial(trial, TrialSample{run.windows, run.logical_errors,
+                                       run.saved_gates_fraction,
+                                       run.saved_slots_fraction, timed_out});
+    }
+  } else {
+    // --- Parallel engine (jobs > 1) ---------------------------------
+    // Workers claim trial indices in order from `next`, run each trial
+    // to completion with its deterministic seed-chain seed, and publish
+    // the result into its trial-indexed slot.  The coordinating thread
+    // is the single journal writer: it appends trial i only once trials
+    // 0..i-1 are appended, so the journal byte stream is identical to
+    // the sequential engine's.  On interrupt, workers abandon at the
+    // next window boundary; completed-but-unjournaled trials past the
+    // frontier are discarded (their deterministic re-run on resume
+    // reproduces them exactly), and the frontier trial's partial state
+    // becomes the checkpoint.
+    struct Slot {
+      TrialSample sample;
+      std::unique_ptr<LerTrial> partial;
+      bool completed = false;
+    };
+    std::vector<Slot> slots(options.runs);
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t next = start_trial;
+    std::size_t workers_active = jobs;
+    std::atomic<bool> abandon{false};
+    std::atomic<std::size_t> windows_total{0};
+
+    const auto should_stop = [&]() {
+      if (abandon.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      if (options.stop != nullptr && *options.stop != 0) {
+        return true;
+      }
+      return options.interrupt_after_windows != 0 &&
+             windows_total.load(std::memory_order_relaxed) >=
+                 options.interrupt_after_windows;
+    };
+
+    const auto worker = [&]() {
+      for (;;) {
+        std::size_t trial;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (next >= options.runs || should_stop()) {
+            break;
+          }
+          trial = next++;
+        }
+        LerConfig config = options.config;
+        config.seed = seeds[trial];
+        auto active = (trial == start_trial && preloaded)
+                          ? std::move(preloaded)
+                          : std::make_unique<LerTrial>(config);
+        const Clock::time_point trial_start = Clock::now();
+        bool timed_out = false;
+        bool abandoned = false;
+        while (!active->done()) {
+          if (should_stop()) {
+            abandoned = true;
+            break;
+          }
+          if (config.timeout_per_trial_ms != 0 &&
+              elapsed_ms(trial_start) >= config.timeout_per_trial_ms) {
+            timed_out = true;
+            break;
+          }
+          active->step();
+          windows_total.fetch_add(1, std::memory_order_relaxed);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          Slot& slot = slots[trial];
+          if (abandoned) {
+            abandon.store(true, std::memory_order_relaxed);
+            slot.partial = std::move(active);
+          } else {
+            const LerRun run = active->result();
+            slot.sample =
+                TrialSample{run.windows, run.logical_errors,
+                            run.saved_gates_fraction,
+                            run.saved_slots_fraction, timed_out};
+            slot.completed = true;
+          }
+        }
+        cv.notify_all();
+        if (abandoned) {
+          break;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --workers_active;
+      }
+      cv.notify_all();
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      pool.emplace_back(worker);
+    }
+
+    std::size_t frontier = start_trial;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      for (;;) {
+        if (frontier < options.runs && slots[frontier].completed) {
+          const TrialSample sample = slots[frontier].sample;
+          const std::size_t trial = frontier;
+          ++frontier;
+          lock.unlock();
+          journal_trial(trial, sample);  // fsync outside the lock
+          lock.lock();
+          continue;
+        }
+        if (workers_active == 0) {
+          break;
+        }
+        cv.wait(lock);
+      }
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+
+    if (frontier < options.runs && should_stop()) {
+      result.interrupted = true;
+      if (durable && slots[frontier].partial) {
+        write_trial_checkpoint(checkpoint_path, frontier,
+                               *slots[frontier].partial);
+      }
     }
   }
 

@@ -107,7 +107,16 @@ struct LerPoint {
 };
 
 /// Run `runs` independent repetitions at one physical error rate.
-[[nodiscard]] LerPoint run_ler_point(LerConfig config, std::size_t runs);
+/// `jobs` > 1 fans the trials out over a worker pool; results are
+/// bit-identical to jobs == 1 because every trial is fully determined
+/// by its seed-chain seed and collected into its trial-indexed slot
+/// (timed-out trials excepted: the watchdog is wall-clock).
+[[nodiscard]] LerPoint run_ler_point(LerConfig config, std::size_t runs,
+                                     std::size_t jobs = 1);
+
+/// Resolve a --jobs value: 0 means "auto" (hardware_concurrency, at
+/// least 1); anything else passes through.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t jobs) noexcept;
 
 /// The deterministic per-trial seed chain used by run_ler_point and the
 /// campaign engine: trial i runs with the i+1'th iterate of this LCG
@@ -133,6 +142,15 @@ struct CampaignOptions {
   /// Test hook: behave as if the stop flag fired after this many
   /// windows executed in this call (0 = off).
   std::size_t interrupt_after_windows = 0;
+  /// Worker threads running trials (1 = the classic sequential engine,
+  /// 0 = hardware_concurrency).  Trials keep their deterministic
+  /// seed-chain seeds, land in trial-indexed slots, and are journaled
+  /// in trial order by the coordinating thread, so the journal and the
+  /// aggregate statistics are bit-identical for every jobs value.
+  /// With jobs > 1 the periodic mid-trial checkpoint is written only
+  /// when the campaign is interrupted (for the lowest unfinished
+  /// trial); completed-trial durability is unchanged.
+  std::size_t jobs = 1;
 };
 
 struct CampaignResult {

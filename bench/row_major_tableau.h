@@ -1,0 +1,166 @@
+// The pre-word-parallel (row-major, bit-at-a-time) CHP tableau, kept
+// verbatim as the microbenchmark baseline: bench_micro times every
+// kernel against it so BENCH_micro.json records the speedup of the
+// column-major word-parallel kernels over this implementation.
+//
+// Simulation-only: no snapshots, no circuit IR — just the gate and
+// measurement kernels that existed before the column-major refactor.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bits.h"
+
+namespace qpf::bench {
+
+class RowMajorTableau {
+ public:
+  explicit RowMajorTableau(std::size_t num_qubits, std::uint64_t seed = 1)
+      : n_(num_qubits), words_((num_qubits + 63) / 64), rng_(seed) {
+    if (num_qubits == 0) {
+      throw std::invalid_argument("RowMajorTableau: zero qubits");
+    }
+    const std::size_t rows = 2 * n_ + 1;
+    xs_.assign(rows * words_, 0);
+    zs_.assign(rows * words_, 0);
+    rs_.assign(rows, false);
+    for (std::size_t i = 0; i < n_; ++i) {
+      set_x_bit(i, i, true);
+      set_z_bit(n_ + i, i, true);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_qubits() const noexcept { return n_; }
+
+  void apply_h(std::size_t q) {
+    for (std::size_t row = 0; row < 2 * n_; ++row) {
+      const bool x = x_bit(row, q);
+      const bool z = z_bit(row, q);
+      rs_[row] = rs_[row] ^ (x && z);
+      set_x_bit(row, q, z);
+      set_z_bit(row, q, x);
+    }
+  }
+
+  void apply_s(std::size_t q) {
+    for (std::size_t row = 0; row < 2 * n_; ++row) {
+      const bool x = x_bit(row, q);
+      const bool z = z_bit(row, q);
+      rs_[row] = rs_[row] ^ (x && z);
+      set_z_bit(row, q, x != z);
+    }
+  }
+
+  void apply_x(std::size_t q) {
+    for (std::size_t row = 0; row < 2 * n_; ++row) {
+      rs_[row] = rs_[row] ^ z_bit(row, q);
+    }
+  }
+
+  void apply_cnot(std::size_t control, std::size_t target) {
+    for (std::size_t row = 0; row < 2 * n_; ++row) {
+      const bool xc = x_bit(row, control);
+      const bool zc = z_bit(row, control);
+      const bool xt = x_bit(row, target);
+      const bool zt = z_bit(row, target);
+      rs_[row] = rs_[row] ^ (xc && zt && (xt == zc));
+      set_x_bit(row, target, xt != xc);
+      set_z_bit(row, control, zc != zt);
+    }
+  }
+
+  /// Z-basis measurement with collapse; returns the outcome bit.
+  bool measure(std::size_t q) {
+    std::size_t p = 0;
+    bool random = false;
+    for (std::size_t i = n_; i < 2 * n_; ++i) {
+      if (x_bit(i, q)) {
+        p = i;
+        random = true;
+        break;
+      }
+    }
+    if (random) {
+      for (std::size_t i = 0; i < 2 * n_; ++i) {
+        if (i != p && x_bit(i, q)) {
+          rowsum(i, p);
+        }
+      }
+      for (std::size_t w = 0; w < words_; ++w) {
+        xs_[(p - n_) * words_ + w] = xs_[p * words_ + w];
+        zs_[(p - n_) * words_ + w] = zs_[p * words_ + w];
+      }
+      rs_[p - n_] = rs_[p];
+      zero_row(p);
+      set_z_bit(p, q, true);
+      const bool outcome = (rng_() & 1) != 0;
+      rs_[p] = outcome;
+      return outcome;
+    }
+    const std::size_t scratch = 2 * n_;
+    zero_row(scratch);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (x_bit(i, q)) {
+        rowsum(scratch, i + n_);
+      }
+    }
+    return rs_[scratch];
+  }
+
+ private:
+  [[nodiscard]] bool x_bit(std::size_t row, std::size_t q) const noexcept {
+    return (xs_[row * words_ + q / 64] >> (q % 64)) & 1;
+  }
+  [[nodiscard]] bool z_bit(std::size_t row, std::size_t q) const noexcept {
+    return (zs_[row * words_ + q / 64] >> (q % 64)) & 1;
+  }
+  void set_x_bit(std::size_t row, std::size_t q, bool v) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (q % 64);
+    auto& word = xs_[row * words_ + q / 64];
+    word = v ? (word | mask) : (word & ~mask);
+  }
+  void set_z_bit(std::size_t row, std::size_t q, bool v) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (q % 64);
+    auto& word = zs_[row * words_ + q / 64];
+    word = v ? (word | mask) : (word & ~mask);
+  }
+  void zero_row(std::size_t row) noexcept {
+    for (std::size_t w = 0; w < words_; ++w) {
+      xs_[row * words_ + w] = 0;
+      zs_[row * words_ + w] = 0;
+    }
+    rs_[row] = false;
+  }
+  void rowsum(std::size_t h, std::size_t i) noexcept {
+    int phase = 2 * (static_cast<int>(rs_[h]) + static_cast<int>(rs_[i]));
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint64_t x1 = xs_[i * words_ + w];
+      const std::uint64_t z1 = zs_[i * words_ + w];
+      const std::uint64_t x2 = xs_[h * words_ + w];
+      const std::uint64_t z2 = zs_[h * words_ + w];
+      const std::uint64_t i_x = x1 & ~z1;
+      const std::uint64_t i_y = x1 & z1;
+      const std::uint64_t i_z = ~x1 & z1;
+      const std::uint64_t plus =
+          (i_x & x2 & z2) | (i_y & z2 & ~x2) | (i_z & x2 & ~z2);
+      const std::uint64_t minus =
+          (i_x & z2 & ~x2) | (i_y & x2 & ~z2) | (i_z & x2 & z2);
+      phase += popcount64(plus) - popcount64(minus);
+      xs_[h * words_ + w] = x1 ^ x2;
+      zs_[h * words_ + w] = z1 ^ z2;
+    }
+    rs_[h] = ((phase % 4) + 4) % 4 == 2;
+  }
+
+  std::size_t n_;
+  std::size_t words_;
+  std::vector<std::uint64_t> xs_;
+  std::vector<std::uint64_t> zs_;
+  std::vector<bool> rs_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace qpf::bench

@@ -1,0 +1,62 @@
+// Portable word-level bit kernels shared by the packed-bit data
+// structures (stabilizer tableau columns, sign words, LUT decoders).
+//
+// The hot loops in the word-parallel tableau kernels compile down to
+// AND/XOR/POPCNT streams; this header hides the compiler-specific
+// spelling of the popcount / count-trailing-zeros intrinsics behind
+// constexpr functions (C++20 <bit> when available, MSVC intrinsics and
+// a portable SWAR fallback otherwise).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__cpp_lib_bitops) || (defined(__has_include) && __has_include(<bit>))
+#include <bit>
+#define QPF_HAVE_STD_BIT 1
+#elif defined(_MSC_VER)
+#include <intrin.h>
+#endif
+
+namespace qpf {
+
+/// Number of set bits in v.
+[[nodiscard]] constexpr int popcount64(std::uint64_t v) noexcept {
+#if defined(QPF_HAVE_STD_BIT)
+  return std::popcount(v);
+#elif defined(_MSC_VER) && defined(_M_X64)
+  return static_cast<int>(__popcnt64(v));
+#else
+  // SWAR popcount (Hacker's Delight, fig. 5-2).
+  v = v - ((v >> 1) & 0x5555555555555555ULL);
+  v = (v & 0x3333333333333333ULL) + ((v >> 2) & 0x3333333333333333ULL);
+  v = (v + (v >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  return static_cast<int>((v * 0x0101010101010101ULL) >> 56);
+#endif
+}
+
+/// Index of the lowest set bit of v; 64 when v == 0.
+[[nodiscard]] constexpr int countr_zero64(std::uint64_t v) noexcept {
+#if defined(QPF_HAVE_STD_BIT)
+  return std::countr_zero(v);
+#elif defined(_MSC_VER) && defined(_M_X64)
+  unsigned long index = 0;
+  return _BitScanForward64(&index, v) ? static_cast<int>(index) : 64;
+#else
+  if (v == 0) {
+    return 64;
+  }
+  int count = 0;
+  while ((v & 1) == 0) {
+    v >>= 1;
+    ++count;
+  }
+  return count;
+#endif
+}
+
+/// Parity (popcount mod 2) of v.
+[[nodiscard]] constexpr bool parity64(std::uint64_t v) noexcept {
+  return (popcount64(v) & 1) != 0;
+}
+
+}  // namespace qpf

@@ -250,6 +250,14 @@ void SnapshotReader::expect_type(std::uint8_t expected) {
 }
 
 void SnapshotReader::expect_tag(std::string_view name) {
+  const std::string actual = read_tag();
+  if (actual != name) {
+    fail("section mismatch: expected tag '" + std::string(name) +
+         "', found '" + actual + "'");
+  }
+}
+
+std::string SnapshotReader::read_tag() {
   expect_type(kTag);
   std::uint8_t length_bytes[4];
   take_raw(length_bytes, 4);
@@ -259,10 +267,7 @@ void SnapshotReader::expect_tag(std::string_view name) {
   }
   std::string actual(length, '\0');
   take_raw(actual.data(), length);
-  if (actual != name) {
-    fail("section mismatch: expected tag '" + std::string(name) +
-         "', found '" + actual + "'");
-  }
+  return actual;
 }
 
 bool SnapshotReader::read_bool() {

@@ -94,6 +94,11 @@ class SnapshotReader {
   /// CheckpointError otherwise.
   void expect_tag(std::string_view name);
 
+  /// Read the next element, which must be a tag, and return its name.
+  /// Lets loaders dispatch on versioned section tags (e.g. the tableau
+  /// accepting both its current and its legacy on-disk layout).
+  [[nodiscard]] std::string read_tag();
+
   [[nodiscard]] bool read_bool();
   [[nodiscard]] std::uint8_t read_u8();
   [[nodiscard]] std::uint32_t read_u32();

@@ -1,6 +1,9 @@
 #include "stabilizer/tableau.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "core/bits.h"
 
 namespace qpf::stab {
 
@@ -10,15 +13,16 @@ constexpr std::size_t kWordBits = 64;
 
 Tableau::Tableau(std::size_t num_qubits, std::uint64_t seed)
     : n_(num_qubits),
-      words_((num_qubits + kWordBits - 1) / kWordBits),
+      cw_((2 * num_qubits + 1 + kWordBits - 1) / kWordBits),
       rng_(seed) {
   if (num_qubits == 0) {
     throw std::invalid_argument("Tableau: zero qubits");
   }
-  const std::size_t rows = 2 * n_ + 1;
-  xs_.assign(rows * words_, 0);
-  zs_.assign(rows * words_, 0);
-  rs_.assign(rows, false);
+  xs_.assign(n_ * cw_, 0);
+  zs_.assign(n_ * cw_, 0);
+  rs_.assign(cw_, 0);
+  phase_lo_.assign(cw_, 0);
+  phase_hi_.assign(cw_, 0);
   for (std::size_t i = 0; i < n_; ++i) {
     set_x_bit(i, i, true);        // destabilizer i = X_i
     set_z_bit(n_ + i, i, true);   // stabilizer i   = Z_i
@@ -26,31 +30,57 @@ Tableau::Tableau(std::size_t num_qubits, std::uint64_t seed)
 }
 
 bool Tableau::x_bit(std::size_t row, std::size_t q) const noexcept {
-  return (xs_[row * words_ + q / kWordBits] >> (q % kWordBits)) & 1;
+  return (x_col(q)[row / kWordBits] >> (row % kWordBits)) & 1;
 }
 
 bool Tableau::z_bit(std::size_t row, std::size_t q) const noexcept {
-  return (zs_[row * words_ + q / kWordBits] >> (q % kWordBits)) & 1;
+  return (z_col(q)[row / kWordBits] >> (row % kWordBits)) & 1;
+}
+
+bool Tableau::r_bit(std::size_t row) const noexcept {
+  return (rs_[row / kWordBits] >> (row % kWordBits)) & 1;
 }
 
 void Tableau::set_x_bit(std::size_t row, std::size_t q, bool v) noexcept {
-  const std::uint64_t mask = std::uint64_t{1} << (q % kWordBits);
-  auto& word = xs_[row * words_ + q / kWordBits];
+  const std::uint64_t mask = std::uint64_t{1} << (row % kWordBits);
+  std::uint64_t& word = x_col(q)[row / kWordBits];
   word = v ? (word | mask) : (word & ~mask);
 }
 
 void Tableau::set_z_bit(std::size_t row, std::size_t q, bool v) noexcept {
-  const std::uint64_t mask = std::uint64_t{1} << (q % kWordBits);
-  auto& word = zs_[row * words_ + q / kWordBits];
+  const std::uint64_t mask = std::uint64_t{1} << (row % kWordBits);
+  std::uint64_t& word = z_col(q)[row / kWordBits];
+  word = v ? (word | mask) : (word & ~mask);
+}
+
+void Tableau::set_r_bit(std::size_t row, bool v) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (row % kWordBits);
+  std::uint64_t& word = rs_[row / kWordBits];
   word = v ? (word | mask) : (word & ~mask);
 }
 
 void Tableau::zero_row(std::size_t row) noexcept {
-  for (std::size_t w = 0; w < words_; ++w) {
-    xs_[row * words_ + w] = 0;
-    zs_[row * words_ + w] = 0;
+  const std::size_t w = row / kWordBits;
+  const std::uint64_t clear = ~(std::uint64_t{1} << (row % kWordBits));
+  for (std::size_t q = 0; q < n_; ++q) {
+    x_col(q)[w] &= clear;
+    z_col(q)[w] &= clear;
   }
-  rs_[row] = false;
+  rs_[w] &= clear;
+}
+
+std::uint64_t Tableau::range_mask(std::size_t w, std::size_t lo,
+                                  std::size_t hi) noexcept {
+  const std::size_t base = w * kWordBits;
+  if (hi <= base || lo >= base + kWordBits) {
+    return 0;
+  }
+  const std::size_t from = lo > base ? lo - base : 0;
+  const std::size_t to = hi < base + kWordBits ? hi - base : kWordBits;
+  const std::uint64_t upper =
+      to == kWordBits ? ~std::uint64_t{0} : ((std::uint64_t{1} << to) - 1);
+  const std::uint64_t lower = (std::uint64_t{1} << from) - 1;
+  return upper & ~lower;
 }
 
 void Tableau::check_qubit(Qubit q) const {
@@ -62,79 +92,157 @@ void Tableau::check_qubit(Qubit q) const {
 void Tableau::rowsum(std::size_t h, std::size_t i) noexcept {
   // Phase exponent of i^k accumulated over all qubits (AG Eq. for g()),
   // plus 2*(r_h + r_i); the result is always 0 or 2 mod 4.
-  int phase = 2 * (static_cast<int>(rs_[h]) + static_cast<int>(rs_[i]));
-  for (std::size_t w = 0; w < words_; ++w) {
-    const std::uint64_t x1 = xs_[i * words_ + w];
-    const std::uint64_t z1 = zs_[i * words_ + w];
-    const std::uint64_t x2 = xs_[h * words_ + w];
-    const std::uint64_t z2 = zs_[h * words_ + w];
-    // g(x1,z1,x2,z2) per bit, summed.  Enumerate the cases via masks:
-    //   row i has X (x1=1,z1=0): g = z2*(2*x2-1)  -> +1 if x2z2, -1 if z2 only
-    //   row i has Y (x1=1,z1=1): g = z2 - x2
-    //   row i has Z (x1=0,z1=1): g = x2*(1-2*z2)  -> +1 if x2 only, -1 if x2z2
-    const std::uint64_t i_x = x1 & ~z1;
-    const std::uint64_t i_y = x1 & z1;
-    const std::uint64_t i_z = ~x1 & z1;
-    const std::uint64_t plus =
-        (i_x & x2 & z2) | (i_y & z2 & ~x2) | (i_z & x2 & ~z2);
-    const std::uint64_t minus =
-        (i_x & z2 & ~x2) | (i_y & x2 & ~z2) | (i_z & x2 & z2);
-    phase += __builtin_popcountll(plus) - __builtin_popcountll(minus);
-    xs_[h * words_ + w] = x1 ^ x2;
-    zs_[h * words_ + w] = z1 ^ z2;
+  const std::size_t hw = h / kWordBits;
+  const std::uint64_t hb = std::uint64_t{1} << (h % kWordBits);
+  const std::size_t iw = i / kWordBits;
+  const std::uint64_t ib = std::uint64_t{1} << (i % kWordBits);
+  int phase = 2 * (static_cast<int>(r_bit(h)) + static_cast<int>(r_bit(i)));
+  for (std::size_t q = 0; q < n_; ++q) {
+    std::uint64_t* x = x_col(q);
+    std::uint64_t* z = z_col(q);
+    const bool x1 = (x[iw] & ib) != 0;
+    const bool z1 = (z[iw] & ib) != 0;
+    if (!x1 && !z1) {
+      continue;  // row i acts as identity on q
+    }
+    const bool x2 = (x[hw] & hb) != 0;
+    const bool z2 = (z[hw] & hb) != 0;
+    // g(x1,z1,x2,z2):
+    //   row i has X: g = z2*(2*x2-1);  Y: g = z2-x2;  Z: g = x2*(1-2*z2)
+    if (x1 && !z1) {
+      phase += z2 ? (x2 ? 1 : -1) : 0;
+    } else if (x1 && z1) {
+      phase += static_cast<int>(z2) - static_cast<int>(x2);
+    } else {
+      phase += x2 ? (z2 ? -1 : 1) : 0;
+    }
+    if (x1) {
+      x[hw] ^= hb;
+    }
+    if (z1) {
+      z[hw] ^= hb;
+    }
   }
-  rs_[h] = ((phase % 4) + 4) % 4 == 2;
+  set_r_bit(h, ((phase % 4) + 4) % 4 == 2);
+}
+
+void Tableau::rowsum_batch(const std::uint64_t* targets, std::size_t p) {
+  // For every target row h (a set bit in `targets`): row h *= row p,
+  // with the mod-4 phase of each product tracked in bit-sliced counters
+  // (phase_lo_/phase_hi_ hold bit 0 / bit 1 of each row's counter).
+  std::fill(phase_lo_.begin(), phase_lo_.end(), 0);
+  std::fill(phase_hi_.begin(), phase_hi_.end(), 0);
+  const std::size_t pw = p / kWordBits;
+  const std::uint64_t pb = std::uint64_t{1} << (p % kWordBits);
+  for (std::size_t q = 0; q < n_; ++q) {
+    std::uint64_t* x = x_col(q);
+    std::uint64_t* z = z_col(q);
+    const bool px = (x[pw] & pb) != 0;
+    const bool pz = (z[pw] & pb) != 0;
+    if (!px && !pz) {
+      continue;  // row p acts as identity on q: no flips, no phase
+    }
+    for (std::size_t w = 0; w < cw_; ++w) {
+      const std::uint64_t t = targets[w];
+      if (t == 0) {
+        continue;
+      }
+      const std::uint64_t xw = x[w];
+      const std::uint64_t zw = z[w];
+      // g(px,pz, xw,zw) per target row, as +1 ("plus") / -1 ("minus").
+      std::uint64_t plus;
+      std::uint64_t minus;
+      if (px && !pz) {  // source X
+        plus = xw & zw;
+        minus = zw & ~xw;
+      } else if (px && pz) {  // source Y
+        plus = zw & ~xw;
+        minus = xw & ~zw;
+      } else {  // source Z
+        plus = xw & ~zw;
+        minus = xw & zw;
+      }
+      plus &= t;
+      minus &= t;
+      // counter += 1 on plus rows; counter -= 1 (== += 3 mod 4) on
+      // minus rows.
+      phase_hi_[w] ^= phase_lo_[w] & plus;
+      phase_lo_[w] ^= plus;
+      phase_hi_[w] ^= ~phase_lo_[w] & minus;
+      phase_lo_[w] ^= minus;
+      if (px) {
+        x[w] ^= t;
+      }
+      if (pz) {
+        z[w] ^= t;
+      }
+    }
+  }
+  // r_h' = r_h ^ r_p ^ (g-sum mod 4 == 2); the g-sum of commuting-
+  // product rows is always even, so its residue is the hi counter bit.
+  const std::uint64_t rp = (rs_[pw] & pb) != 0 ? ~std::uint64_t{0} : 0;
+  for (std::size_t w = 0; w < cw_; ++w) {
+    rs_[w] ^= (phase_hi_[w] ^ rp) & targets[w];
+  }
 }
 
 void Tableau::apply_h(Qubit q) {
   check_qubit(q);
-  for (std::size_t row = 0; row < 2 * n_; ++row) {
-    const bool x = x_bit(row, q);
-    const bool z = z_bit(row, q);
-    rs_[row] = rs_[row] ^ (x && z);
-    set_x_bit(row, q, z);
-    set_z_bit(row, q, x);
+  std::uint64_t* x = x_col(q);
+  std::uint64_t* z = z_col(q);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    const std::uint64_t xw = x[w];
+    const std::uint64_t zw = z[w];
+    rs_[w] ^= xw & zw;
+    x[w] = zw;
+    z[w] = xw;
   }
 }
 
 void Tableau::apply_s(Qubit q) {
   check_qubit(q);
-  for (std::size_t row = 0; row < 2 * n_; ++row) {
-    const bool x = x_bit(row, q);
-    const bool z = z_bit(row, q);
-    rs_[row] = rs_[row] ^ (x && z);
-    set_z_bit(row, q, x != z);
+  std::uint64_t* x = x_col(q);
+  std::uint64_t* z = z_col(q);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    const std::uint64_t xw = x[w];
+    rs_[w] ^= xw & z[w];
+    z[w] ^= xw;
   }
 }
 
 void Tableau::apply_sdag(Qubit q) {
   check_qubit(q);
-  for (std::size_t row = 0; row < 2 * n_; ++row) {
-    const bool x = x_bit(row, q);
-    const bool z = z_bit(row, q);
-    rs_[row] = rs_[row] ^ (x && !z);
-    set_z_bit(row, q, x != z);
+  std::uint64_t* x = x_col(q);
+  std::uint64_t* z = z_col(q);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    const std::uint64_t xw = x[w];
+    rs_[w] ^= xw & ~z[w];
+    z[w] ^= xw;
   }
 }
 
 void Tableau::apply_x(Qubit q) {
   check_qubit(q);
-  for (std::size_t row = 0; row < 2 * n_; ++row) {
-    rs_[row] = rs_[row] ^ z_bit(row, q);
+  const std::uint64_t* z = z_col(q);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    rs_[w] ^= z[w];
   }
 }
 
 void Tableau::apply_z(Qubit q) {
   check_qubit(q);
-  for (std::size_t row = 0; row < 2 * n_; ++row) {
-    rs_[row] = rs_[row] ^ x_bit(row, q);
+  const std::uint64_t* x = x_col(q);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    rs_[w] ^= x[w];
   }
 }
 
 void Tableau::apply_y(Qubit q) {
   check_qubit(q);
-  for (std::size_t row = 0; row < 2 * n_; ++row) {
-    rs_[row] = rs_[row] ^ (x_bit(row, q) != z_bit(row, q));
+  const std::uint64_t* x = x_col(q);
+  const std::uint64_t* z = z_col(q);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    rs_[w] ^= x[w] ^ z[w];
   }
 }
 
@@ -144,27 +252,48 @@ void Tableau::apply_cnot(Qubit control, Qubit target) {
   if (control == target) {
     throw std::invalid_argument("Tableau: CNOT operands must differ");
   }
-  for (std::size_t row = 0; row < 2 * n_; ++row) {
-    const bool xc = x_bit(row, control);
-    const bool zc = z_bit(row, control);
-    const bool xt = x_bit(row, target);
-    const bool zt = z_bit(row, target);
-    rs_[row] = rs_[row] ^ (xc && zt && (xt == zc));
-    set_x_bit(row, target, xt != xc);
-    set_z_bit(row, control, zc != zt);
+  std::uint64_t* xc = x_col(control);
+  std::uint64_t* zc = z_col(control);
+  std::uint64_t* xt = x_col(target);
+  std::uint64_t* zt = z_col(target);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    const std::uint64_t xcw = xc[w];
+    const std::uint64_t zcw = zc[w];
+    const std::uint64_t xtw = xt[w];
+    const std::uint64_t ztw = zt[w];
+    rs_[w] ^= xcw & ztw & ~(xtw ^ zcw);
+    xt[w] = xtw ^ xcw;
+    zc[w] = zcw ^ ztw;
   }
 }
 
 void Tableau::apply_cz(Qubit control, Qubit target) {
-  apply_h(target);
-  apply_cnot(control, target);
-  apply_h(target);
+  check_qubit(control);
+  check_qubit(target);
+  if (control == target) {
+    throw std::invalid_argument("Tableau: CZ operands must differ");
+  }
+  std::uint64_t* xc = x_col(control);
+  std::uint64_t* zc = z_col(control);
+  std::uint64_t* xt = x_col(target);
+  std::uint64_t* zt = z_col(target);
+  for (std::size_t w = 0; w < cw_; ++w) {
+    const std::uint64_t xcw = xc[w];
+    const std::uint64_t xtw = xt[w];
+    rs_[w] ^= xcw & xtw & (zc[w] ^ zt[w]);
+    zc[w] ^= xtw;
+    zt[w] ^= xcw;
+  }
 }
 
 void Tableau::apply_swap(Qubit a, Qubit b) {
-  apply_cnot(a, b);
-  apply_cnot(b, a);
-  apply_cnot(a, b);
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) {
+    throw std::invalid_argument("Tableau: SWAP operands must differ");
+  }
+  std::swap_ranges(x_col(a), x_col(a) + cw_, x_col(b));
+  std::swap_ranges(z_col(a), z_col(a) + cw_, z_col(b));
 }
 
 void Tableau::apply_unitary(const Operation& op) {
@@ -218,44 +347,54 @@ void Tableau::apply_pauli(const PauliString& p) {
 
 MeasureResult Tableau::measure(Qubit q) {
   check_qubit(q);
-  // Look for a stabilizer row that anticommutes with Z_q.
+  // Look for a stabilizer row that anticommutes with Z_q: a set bit in
+  // the rows [n, 2n) slice of X column q.
+  const std::uint64_t* xq = x_col(q);
   std::size_t p = 0;
   bool random = false;
-  for (std::size_t i = n_; i < 2 * n_; ++i) {
-    if (x_bit(i, q)) {
-      p = i;
+  for (std::size_t w = n_ / kWordBits; w < cw_ && !random; ++w) {
+    const std::uint64_t hits = xq[w] & range_mask(w, n_, 2 * n_);
+    if (hits != 0) {
+      p = w * kWordBits + static_cast<std::size_t>(countr_zero64(hits));
       random = true;
-      break;
     }
   }
   if (random) {
-    for (std::size_t i = 0; i < 2 * n_; ++i) {
-      if (i != p && x_bit(i, q)) {
-        rowsum(i, p);
-      }
+    // Broadcast rowsum: every other row with an X at q absorbs row p.
+    // The target mask is exactly X column q over live rows, minus p.
+    std::vector<std::uint64_t> targets(cw_);
+    for (std::size_t w = 0; w < cw_; ++w) {
+      targets[w] = xq[w] & range_mask(w, 0, 2 * n_);
     }
+    targets[p / kWordBits] &= ~(std::uint64_t{1} << (p % kWordBits));
+    rowsum_batch(targets.data(), p);
     // Destabilizer p-n := old stabilizer p; stabilizer p := +/- Z_q.
-    for (std::size_t w = 0; w < words_; ++w) {
-      xs_[(p - n_) * words_ + w] = xs_[p * words_ + w];
-      zs_[(p - n_) * words_ + w] = zs_[p * words_ + w];
+    const std::size_t d = p - n_;
+    for (std::size_t c = 0; c < n_; ++c) {
+      set_x_bit(d, c, x_bit(p, c));
+      set_z_bit(d, c, z_bit(p, c));
     }
-    rs_[p - n_] = rs_[p];
+    set_r_bit(d, r_bit(p));
     zero_row(p);
     set_z_bit(p, q, true);
     const bool outcome = (rng_() & 1) != 0;
-    rs_[p] = outcome;
+    set_r_bit(p, outcome);
     return {.value = outcome, .deterministic = false};
   }
   // Deterministic: accumulate the stabilizer product matching Z_q into
   // the scratch row.
   const std::size_t scratch = 2 * n_;
   zero_row(scratch);
-  for (std::size_t i = 0; i < n_; ++i) {
-    if (x_bit(i, q)) {
+  for (std::size_t w = 0; w < cw_; ++w) {
+    std::uint64_t hits = xq[w] & range_mask(w, 0, n_);
+    while (hits != 0) {
+      const std::size_t i =
+          w * kWordBits + static_cast<std::size_t>(countr_zero64(hits));
+      hits &= hits - 1;
       rowsum(scratch, i + n_);
     }
   }
-  return {.value = rs_[scratch], .deterministic = true};
+  return {.value = r_bit(scratch), .deterministic = true};
 }
 
 void Tableau::reset(Qubit q) {
@@ -292,8 +431,9 @@ std::vector<MeasureResult> Tableau::take_measurements() {
 
 double Tableau::probability_one(Qubit q) const {
   check_qubit(q);
-  for (std::size_t i = n_; i < 2 * n_; ++i) {
-    if (x_bit(i, q)) {
+  const std::uint64_t* xq = x_col(q);
+  for (std::size_t w = n_ / kWordBits; w < cw_; ++w) {
+    if ((xq[w] & range_mask(w, n_, 2 * n_)) != 0) {
       return 0.5;
     }
   }
@@ -343,7 +483,7 @@ int Tableau::expectation(const PauliString& p) const {
       return 0;  // not in the stabilizer group (mixed/odd case)
     }
   }
-  const int group_sign = copy.rs_[scratch] ? -1 : +1;
+  const int group_sign = copy.r_bit(scratch) ? -1 : +1;
   return group_sign * p.sign();
 }
 
@@ -355,7 +495,7 @@ PauliString Tableau::row_to_string(std::size_t row) const {
     out.set_pauli(q, x ? (z ? Pauli::kY : Pauli::kX)
                        : (z ? Pauli::kZ : Pauli::kI));
   }
-  out.set_sign(rs_[row] ? -1 : +1);
+  out.set_sign(r_bit(row) ? -1 : +1);
   return out;
 }
 
@@ -374,15 +514,11 @@ PauliString Tableau::destabilizer(std::size_t i) const {
 }
 
 void Tableau::save(journal::SnapshotWriter& out) const {
-  out.tag("tableau");
+  out.tag("tableau2");
   out.write_size(n_);
   out.write_bytes(xs_.data(), xs_.size() * sizeof(std::uint64_t));
   out.write_bytes(zs_.data(), zs_.size() * sizeof(std::uint64_t));
-  std::vector<std::uint8_t> signs(rs_.size());
-  for (std::size_t i = 0; i < rs_.size(); ++i) {
-    signs[i] = rs_[i] ? 1 : 0;
-  }
-  out.write_bytes(signs.data(), signs.size());
+  out.write_bytes(rs_.data(), rs_.size() * sizeof(std::uint64_t));
   out.write_rng(rng_);
   out.write_size(measurements_.size());
   for (const MeasureResult& m : measurements_) {
@@ -392,19 +528,47 @@ void Tableau::save(journal::SnapshotWriter& out) const {
 }
 
 Tableau Tableau::load(journal::SnapshotReader& in) {
-  in.expect_tag("tableau");
+  const std::string layout = in.read_tag();
+  if (layout != "tableau2" && layout != "tableau") {
+    throw CheckpointError("tableau snapshot: unknown layout tag '" + layout +
+                          "'");
+  }
   const std::size_t n = in.read_size();
   if (n == 0 || n > (std::size_t{1} << 24)) {
     throw CheckpointError("tableau snapshot: implausible qubit count " +
                           std::to_string(n));
   }
   Tableau t(n);
-  in.read_bytes(t.xs_.data(), t.xs_.size() * sizeof(std::uint64_t));
-  in.read_bytes(t.zs_.data(), t.zs_.size() * sizeof(std::uint64_t));
-  std::vector<std::uint8_t> signs(t.rs_.size());
-  in.read_bytes(signs.data(), signs.size());
-  for (std::size_t i = 0; i < signs.size(); ++i) {
-    t.rs_[i] = signs[i] != 0;
+  if (layout == "tableau2") {
+    in.read_bytes(t.xs_.data(), t.xs_.size() * sizeof(std::uint64_t));
+    in.read_bytes(t.zs_.data(), t.zs_.size() * sizeof(std::uint64_t));
+    in.read_bytes(t.rs_.data(), t.rs_.size() * sizeof(std::uint64_t));
+  } else {
+    // Legacy row-major layout: (2n+1) rows of ceil(n/64) words per
+    // side, signs as one byte per row.  Transpose into the column-major
+    // member arrays.
+    const std::size_t rows = 2 * n + 1;
+    const std::size_t row_words = (n + kWordBits - 1) / kWordBits;
+    std::vector<std::uint64_t> xs(rows * row_words);
+    std::vector<std::uint64_t> zs(rows * row_words);
+    in.read_bytes(xs.data(), xs.size() * sizeof(std::uint64_t));
+    in.read_bytes(zs.data(), zs.size() * sizeof(std::uint64_t));
+    std::vector<std::uint8_t> signs(rows);
+    in.read_bytes(signs.data(), signs.size());
+    std::fill(t.xs_.begin(), t.xs_.end(), 0);
+    std::fill(t.zs_.begin(), t.zs_.end(), 0);
+    for (std::size_t row = 0; row < rows; ++row) {
+      for (std::size_t q = 0; q < n; ++q) {
+        const std::uint64_t bit = std::uint64_t{1} << (q % kWordBits);
+        if (xs[row * row_words + q / kWordBits] & bit) {
+          t.set_x_bit(row, q, true);
+        }
+        if (zs[row * row_words + q / kWordBits] & bit) {
+          t.set_z_bit(row, q, true);
+        }
+      }
+      t.set_r_bit(row, signs[row] != 0);
+    }
   }
   t.rng_ = in.read_rng();
   const std::size_t pending = in.read_size();

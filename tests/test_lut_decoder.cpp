@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bits.h"
 #include "qec/sc17.h"
 
 namespace qpf::qec {
@@ -69,7 +70,7 @@ TEST(LutDecoderTest, CorrectionsAreMinimumWeight) {
       }
       if (sig == s) {
         best = std::min<std::size_t>(
-            best, static_cast<std::size_t>(__builtin_popcount(subset)));
+            best, static_cast<std::size_t>(qpf::popcount64(subset)));
       }
     }
     EXPECT_EQ(got, best) << "syndrome " << s;

@@ -423,5 +423,77 @@ TEST(SnapshotExperimentTest, ConfigMismatchThrowsNotCrashes) {
   std::remove(path.c_str());
 }
 
+// Snapshots written by the pre-column-major Tableau (tag "tableau":
+// row-major bit matrices, one sign byte per row) must still load.
+// Write the legacy layout by hand from a reference state and check the
+// loaded tableau is indistinguishable — same generators, same future
+// measurement outcomes (the serialized RNG state carries over).
+TEST(SnapshotLegacyTest, RowMajorTableauLayoutStillLoads) {
+  constexpr std::size_t kQubits = 5;
+  constexpr std::uint64_t kSeed = 99;
+  stab::Tableau reference(kQubits, kSeed);
+  Circuit circuit;
+  circuit.append(GateType::kH, 0);
+  circuit.append(GateType::kCnot, 0, 1);
+  circuit.append(GateType::kS, 1);
+  circuit.append(GateType::kH, 3);
+  circuit.append(GateType::kCz, 3, 4);
+  circuit.append(GateType::kX, 2);
+  reference.execute(circuit);
+
+  // Serialize in the legacy row-major layout: rows 0..n-1 are the
+  // destabilizers, n..2n-1 the stabilizers, 2n the (all-zero) scratch.
+  const std::size_t rows = 2 * kQubits + 1;
+  const std::size_t row_words = (kQubits + 63) / 64;
+  std::vector<std::uint64_t> xs(rows * row_words, 0);
+  std::vector<std::uint64_t> zs(rows * row_words, 0);
+  std::vector<std::uint8_t> signs(rows, 0);
+  for (std::size_t i = 0; i < kQubits; ++i) {
+    for (const auto& [row, p] :
+         {std::pair<std::size_t, stab::PauliString>{i,
+                                                    reference.destabilizer(i)},
+          std::pair<std::size_t, stab::PauliString>{kQubits + i,
+                                                    reference.stabilizer(i)}}) {
+      for (std::size_t q = 0; q < kQubits; ++q) {
+        if (p.x_bit(q)) {
+          xs[row * row_words + q / 64] |= std::uint64_t{1} << (q % 64);
+        }
+        if (p.z_bit(q)) {
+          zs[row * row_words + q / 64] |= std::uint64_t{1} << (q % 64);
+        }
+      }
+      signs[row] = p.sign() < 0 ? 1 : 0;
+    }
+  }
+  SnapshotWriter out;
+  out.tag("tableau");
+  out.write_size(kQubits);
+  out.write_bytes(xs.data(), xs.size() * sizeof(std::uint64_t));
+  out.write_bytes(zs.data(), zs.size() * sizeof(std::uint64_t));
+  out.write_bytes(signs.data(), signs.size());
+  // No measurements were executed, so the reference RNG is still in its
+  // freshly seeded state.
+  out.write_rng(std::mt19937_64(kSeed));
+  out.write_size(0);  // no pending measurement records
+
+  SnapshotReader in(out.bytes());
+  stab::Tableau loaded = stab::Tableau::load(in);
+  EXPECT_TRUE(in.exhausted());
+  ASSERT_EQ(loaded.num_qubits(), kQubits);
+  for (std::size_t i = 0; i < kQubits; ++i) {
+    EXPECT_EQ(loaded.stabilizer(i), reference.stabilizer(i)) << "row " << i;
+    EXPECT_EQ(loaded.destabilizer(i), reference.destabilizer(i))
+        << "row " << i;
+  }
+  // Future random measurements must agree bit for bit.
+  for (Qubit q = 0; q < kQubits; ++q) {
+    const auto a = reference.measure(q);
+    const auto b = loaded.measure(q);
+    EXPECT_EQ(a.value, b.value) << "qubit " << static_cast<int>(q);
+    EXPECT_EQ(a.deterministic, b.deterministic)
+        << "qubit " << static_cast<int>(q);
+  }
+}
+
 }  // namespace
 }  // namespace qpf

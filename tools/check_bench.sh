@@ -1,0 +1,73 @@
+#!/bin/sh
+# Smoke-run every bench binary at a tiny workload and validate the
+# machine-readable report each one writes via --json.
+#
+# Two things are checked per binary:
+#   1. it exits 0 with --json <path> (tiny trial counts via the QPF_LER_*
+#      environment knobs, so the whole sweep stays in the seconds range);
+#   2. the emitted JSON parses and matches the schema documented in
+#      bench/bench_json.h: exactly the keys {name, config, wall_ms,
+#      trials_per_sec, gate_ops_per_sec, stats}, with stats a list of
+#      flat objects.
+#
+# Usage: tools/check_bench.sh [build-dir]     (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+    echo "check_bench.sh: $bench_dir not built" >&2
+    exit 1
+fi
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/qpf_bench.XXXXXX")
+trap 'rm -rf "$workdir"' EXIT INT TERM
+
+# Tiny workloads: one run per point, stop at the first logical error,
+# a handful of fault-injection circuits.  bench_micro ignores these and
+# is kept honest by its own fixed-size kernel sweep.
+export QPF_LER_RUNS=1
+export QPF_LER_ERRORS=1
+export QPF_FAULT_CIRCUITS=50
+
+count=0
+for bench in "$bench_dir"/bench_*; do
+    [ -x "$bench" ] || continue
+    [ -f "$bench" ] || continue
+    name=$(basename "$bench")
+    json="$workdir/$name.json"
+    echo "check_bench.sh: $name"
+    "$bench" --json "$json" --jobs 2 > "$workdir/$name.log" 2>&1 || {
+        echo "check_bench.sh: $name FAILED (exit $?)" >&2
+        tail -20 "$workdir/$name.log" >&2
+        exit 1
+    }
+    python3 - "$json" "$name" <<'EOF'
+import json, sys
+path, name = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    report = json.load(f)
+expected = {"name", "config", "wall_ms", "trials_per_sec",
+            "gate_ops_per_sec", "stats"}
+assert set(report) == expected, f"{name}: keys {sorted(report)}"
+assert isinstance(report["name"], str) and report["name"], name
+assert isinstance(report["config"], dict), name
+assert isinstance(report["wall_ms"], (int, float)), name
+assert report["wall_ms"] >= 0, name
+for key in ("trials_per_sec", "gate_ops_per_sec"):
+    assert report[key] is None or isinstance(report[key], (int, float)), name
+assert isinstance(report["stats"], list), name
+for row in report["stats"]:
+    assert isinstance(row, dict) and row, f"{name}: stats row {row!r}"
+EOF
+    count=$((count + 1))
+done
+
+if [ "$count" -lt 10 ]; then
+    echo "check_bench.sh: only $count bench binaries found" >&2
+    exit 1
+fi
+
+echo "check_bench.sh: PASS ($count bench reports validated)"

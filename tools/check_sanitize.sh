@@ -1,24 +1,40 @@
 #!/bin/sh
-# Build with ASan+UBSan (-DQPF_SANITIZE=ON) and run the robustness and
-# classical-fault suites under the sanitizers.  Usage:
+# Build with sanitizers and run the relevant suites under them.  Usage:
 #
-#   tools/check_sanitize.sh [build-dir]        (default: build-sanitize)
+#   tools/check_sanitize.sh [build-dir]          ASan+UBSan (default:
+#                                                build-sanitize)
+#   QPF_SANITIZE=thread tools/check_sanitize.sh [build-dir]
+#                                                TSan over the parallel
+#                                                campaign engine
+#                                                (default: build-tsan)
 #
 # Pass QPF_SANITIZE_FILTER to override the test selection; by default
-# only the fault/robustness suites run, which keeps the sanitized run
-# fast while still covering every new mutation path.
+# only the fault/robustness suites run (ASan) or the threaded-campaign
+# suites (TSan), which keeps the sanitized run fast while still
+# covering every new mutation path.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-sanitize"}
-filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile'}
+mode=${QPF_SANITIZE:-ON}
 
-cmake -B "$build_dir" -S "$repo_root" -DQPF_SANITIZE=ON
+if [ "$mode" = "thread" ]; then
+  build_dir=${1:-"$repo_root/build-tsan"}
+  filter=${QPF_SANITIZE_FILTER:-'ParallelCampaign|LerStack|Resume'}
+else
+  build_dir=${1:-"$repo_root/build-sanitize"}
+  filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile'}
+fi
+
+cmake -B "$build_dir" -S "$repo_root" -DQPF_SANITIZE="$mode"
 cmake --build "$build_dir" --target qpf_tests -j "$(nproc 2>/dev/null || echo 4)"
 
-export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
-export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+if [ "$mode" = "thread" ]; then
+  export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1}
+else
+  export ASAN_OPTIONS=${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}
+  export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+fi
 
 "$build_dir/tests/qpf_tests" --gtest_filter="*$(printf '%s' "$filter" | sed 's/|/*:*/g')*"
 
-echo "sanitized suites passed"
+echo "sanitized suites passed ($mode)"

@@ -51,7 +51,11 @@ int usage(std::ostream& out) {
          "                         interrupt)\n"
          "  --timeout-per-trial=MS watchdog per trial; a trial over\n"
          "                         budget is recorded timed_out and the\n"
-         "                         campaign continues (default off)\n";
+         "                         campaign continues (default off)\n"
+         "  --jobs=N               worker threads for trial fan-out\n"
+         "                         (default 1; 0 = hardware_concurrency).\n"
+         "                         Journal and statistics are\n"
+         "                         bit-identical for every jobs value\n";
   return 2;
 }
 
@@ -94,6 +98,8 @@ int main(int argc, char** argv) {
         options.checkpoint_every_windows = std::stoull(value);
       } else if (consume_prefix(argument, "--timeout-per-trial=", value)) {
         options.config.timeout_per_trial_ms = std::stoull(value);
+      } else if (consume_prefix(argument, "--jobs=", value)) {
+        options.jobs = qpf::bench::resolve_jobs(std::stoull(value));
       } else if (argument == "--help") {
         usage(std::cout);
         return 0;
