@@ -28,6 +28,12 @@ LerTrial::LerTrial(const LerConfig& config)
         stack_config.with_pauli_frame = config.with_pauli_frame;
         stack_config.seed = config.seed;
         stack_config.ninja_options = config.ninja_options;
+        stack_config.classical_faults = config.classical_faults;
+        stack_config.chaos = config.chaos;
+        stack_config.supervise = config.supervise;
+        stack_config.supervisor = config.supervisor;
+        stack_config.timings = config.timings;
+        stack_config.deadline = config.deadline;
         return stack_config;
       }()) {
   stack_.set_diagnostic_mode(true);
@@ -61,6 +67,14 @@ LerRun LerTrial::result() const {
   run.logical_errors = logical_errors_;
   run.saved_gates_fraction = stack_.gates_saved_fraction();
   run.saved_slots_fraction = stack_.slots_saved_fraction();
+  if (const arch::SupervisorLayer* supervisor = stack_.supervisor_layer()) {
+    run.faults_recovered = supervisor->stats().recoveries;
+    run.fault_episodes = supervisor->stats().episodes;
+  }
+  if (const arch::TimingLayer* timing = stack_.timing_layer()) {
+    run.deadline_overruns = timing->total_overruns();
+    run.decodes_skipped = timing->decodes_skipped();
+  }
   return run;
 }
 
@@ -174,6 +188,46 @@ void make_directory(const std::string& path) {
   entry.fields["basis"] = options.config.basis == CheckType::kZ ? "z" : "x";
   entry.fields["pauli_frame"] = options.config.with_pauli_frame ? "1" : "0";
   entry.fields["seed"] = std::to_string(options.config.seed);
+  // Subsystem fields only appear when the subsystem is on, so journals
+  // written with everything off stay byte-identical to previous
+  // releases (and a resume with a different subsystem configuration is
+  // rejected by config_matches).
+  const LerConfig& config = options.config;
+  if (config.classical_faults.any()) {
+    entry.fields["cf_drop"] = format_double(config.classical_faults.drop);
+    entry.fields["cf_dup"] = format_double(config.classical_faults.duplicate);
+    entry.fields["cf_reorder"] =
+        format_double(config.classical_faults.reorder);
+    entry.fields["cf_flip"] =
+        format_double(config.classical_faults.readout_flip);
+  }
+  if (config.chaos.any()) {
+    entry.fields["chaos_seed"] = std::to_string(config.chaos.seed);
+    entry.fields["chaos_min_gap"] = std::to_string(config.chaos.min_gap);
+    entry.fields["chaos_max_gap"] = std::to_string(config.chaos.max_gap);
+    entry.fields["chaos_crash_w"] = std::to_string(config.chaos.crash_weight);
+    entry.fields["chaos_stall_w"] = std::to_string(config.chaos.stall_weight);
+    entry.fields["chaos_burst_w"] = std::to_string(config.chaos.burst_weight);
+    entry.fields["chaos_stall_ns"] = format_double(config.chaos.stall_ns);
+    entry.fields["chaos_burst_len"] =
+        std::to_string(config.chaos.burst_length);
+  }
+  if (config.supervise) {
+    entry.fields["supervise"] = "1";
+    entry.fields["sup_retries"] =
+        std::to_string(config.supervisor.max_retries);
+    entry.fields["sup_escalate"] =
+        std::to_string(config.supervisor.escalate_after);
+    entry.fields["sup_rearm"] = std::to_string(config.supervisor.rearm_after);
+    entry.fields["sup_overruns"] =
+        std::to_string(config.supervisor.escalate_on_overruns);
+  }
+  if (config.deadline.any()) {
+    entry.fields["deadline_slot_ns"] =
+        format_double(config.deadline.slot_budget_ns);
+    entry.fields["deadline_round_ns"] =
+        format_double(config.deadline.round_budget_ns);
+  }
   return entry;
 }
 
@@ -194,7 +248,26 @@ struct TrialSample {
   double saved_gates = 0.0;
   double saved_slots = 0.0;
   bool timed_out = false;
+  std::size_t faults_recovered = 0;
+  std::size_t fault_episodes = 0;
+  std::size_t deadline_overruns = 0;
+  std::size_t decodes_skipped = 0;
 };
+
+[[nodiscard]] TrialSample sample_from_run(const LerRun& run,
+                                          bool timed_out) {
+  TrialSample sample;
+  sample.windows = run.windows;
+  sample.logical_errors = run.logical_errors;
+  sample.saved_gates = run.saved_gates_fraction;
+  sample.saved_slots = run.saved_slots_fraction;
+  sample.timed_out = timed_out;
+  sample.faults_recovered = run.faults_recovered;
+  sample.fault_episodes = run.fault_episodes;
+  sample.deadline_overruns = run.deadline_overruns;
+  sample.decodes_skipped = run.decodes_skipped;
+  return sample;
+}
 
 void write_trial_checkpoint(const std::string& path, std::size_t trial,
                             const LerTrial& active) {
@@ -247,6 +320,10 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
         sample.saved_gates = entry.get_double("saved_gates");
         sample.saved_slots = entry.get_double("saved_slots");
         sample.timed_out = entry.get_u64("timed_out") != 0;
+        sample.faults_recovered = entry.get_u64("recovered");
+        sample.fault_episodes = entry.get_u64("episodes");
+        sample.deadline_overruns = entry.get_u64("overruns");
+        sample.decodes_skipped = entry.get_u64("skipped_decodes");
         if (sample.timed_out) {
           ++result.trials_timed_out;
         }
@@ -306,6 +383,15 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
       entry.fields["saved_gates"] = format_double(sample.saved_gates);
       entry.fields["saved_slots"] = format_double(sample.saved_slots);
       entry.fields["timed_out"] = sample.timed_out ? "1" : "0";
+      if (options.config.supervise) {
+        entry.fields["recovered"] = std::to_string(sample.faults_recovered);
+        entry.fields["episodes"] = std::to_string(sample.fault_episodes);
+      }
+      if (options.config.deadline.any()) {
+        entry.fields["overruns"] = std::to_string(sample.deadline_overruns);
+        entry.fields["skipped_decodes"] =
+            std::to_string(sample.decodes_skipped);
+      }
       log->append(entry);
       std::remove(checkpoint_path.c_str());
     }
@@ -366,9 +452,7 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
 
       LerRun run = active->result();
       run.timed_out = timed_out;
-      journal_trial(trial, TrialSample{run.windows, run.logical_errors,
-                                       run.saved_gates_fraction,
-                                       run.saved_slots_fraction, timed_out});
+      journal_trial(trial, sample_from_run(run, timed_out));
     }
   } else {
     // --- Parallel engine (jobs > 1) ---------------------------------
@@ -386,6 +470,10 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
       TrialSample sample;
       std::unique_ptr<LerTrial> partial;
       bool completed = false;
+      /// A typed error (SupervisionError, unrecovered TransientFault,
+      /// ...) that escaped the trial; rethrown by the coordinator after
+      /// the pool drains so the campaign never silently swallows it.
+      std::exception_ptr error;
     };
     std::vector<Slot> slots(options.runs);
     std::mutex mutex;
@@ -419,42 +507,52 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
         }
         LerConfig config = options.config;
         config.seed = seeds[trial];
-        auto active = (trial == start_trial && preloaded)
-                          ? std::move(preloaded)
-                          : std::make_unique<LerTrial>(config);
-        const Clock::time_point trial_start = Clock::now();
-        bool timed_out = false;
-        bool abandoned = false;
-        while (!active->done()) {
-          if (should_stop()) {
-            abandoned = true;
-            break;
+        try {
+          auto active = (trial == start_trial && preloaded)
+                            ? std::move(preloaded)
+                            : std::make_unique<LerTrial>(config);
+          const Clock::time_point trial_start = Clock::now();
+          bool timed_out = false;
+          bool abandoned = false;
+          while (!active->done()) {
+            if (should_stop()) {
+              abandoned = true;
+              break;
+            }
+            if (config.timeout_per_trial_ms != 0 &&
+                elapsed_ms(trial_start) >= config.timeout_per_trial_ms) {
+              timed_out = true;
+              break;
+            }
+            active->step();
+            windows_total.fetch_add(1, std::memory_order_relaxed);
           }
-          if (config.timeout_per_trial_ms != 0 &&
-              elapsed_ms(trial_start) >= config.timeout_per_trial_ms) {
-            timed_out = true;
-            break;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            Slot& slot = slots[trial];
+            if (abandoned) {
+              abandon.store(true, std::memory_order_relaxed);
+              slot.partial = std::move(active);
+            } else {
+              const LerRun run = active->result();
+              slot.sample = sample_from_run(run, timed_out);
+              slot.completed = true;
+            }
           }
-          active->step();
-          windows_total.fetch_add(1, std::memory_order_relaxed);
-        }
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          Slot& slot = slots[trial];
+          cv.notify_all();
           if (abandoned) {
-            abandon.store(true, std::memory_order_relaxed);
-            slot.partial = std::move(active);
-          } else {
-            const LerRun run = active->result();
-            slot.sample =
-                TrialSample{run.windows, run.logical_errors,
-                            run.saved_gates_fraction,
-                            run.saved_slots_fraction, timed_out};
-            slot.completed = true;
+            break;
           }
-        }
-        cv.notify_all();
-        if (abandoned) {
+        } catch (...) {
+          // A thrown error must not kill the process (std::terminate);
+          // park it in the slot, stop the pool, and let the
+          // coordinator rethrow it on the campaign thread.
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            slots[trial].error = std::current_exception();
+            abandon.store(true, std::memory_order_relaxed);
+          }
+          cv.notify_all();
           break;
         }
       }
@@ -494,6 +592,14 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
       thread.join();
     }
 
+    // Rethrow the lowest-trial worker error (deterministic choice) on
+    // this thread; completed lower trials are already journaled.
+    for (const Slot& slot : slots) {
+      if (slot.error) {
+        std::rethrow_exception(slot.error);
+      }
+    }
+
     if (frontier < options.runs && should_stop()) {
       result.interrupted = true;
       if (durable && slots[frontier].partial) {
@@ -504,6 +610,12 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
   }
 
   result.trials_completed = samples.size();
+  for (const TrialSample& sample : samples) {
+    result.faults_recovered += sample.faults_recovered;
+    result.fault_episodes += sample.fault_episodes;
+    result.deadline_overruns += sample.deadline_overruns;
+    result.decodes_skipped += sample.decodes_skipped;
+  }
   LerPoint point;
   point.physical_error_rate = options.config.physical_error_rate;
   double saved_gates = 0.0;

@@ -41,6 +41,16 @@ struct LerConfig {
   /// A trial that exceeds it stops at the next window boundary and is
   /// recorded with timed_out set — the campaign continues.
   std::size_t timeout_per_trial_ms = 0;
+
+  /// Classical-fault and supervision subsystems (PR 1 / PR 4); all off
+  /// by default, and off means the stack — and every journal byte — is
+  /// identical to a config without them.
+  arch::ClassicalFaultRates classical_faults{};
+  arch::ChaosConfig chaos{};
+  bool supervise = false;
+  arch::SupervisorOptions supervisor{};
+  arch::GateTimings timings{};
+  arch::DeadlineBudget deadline{};
 };
 
 struct LerRun {
@@ -49,6 +59,12 @@ struct LerRun {
   double saved_gates_fraction = 0.0;
   double saved_slots_fraction = 0.0;
   bool timed_out = false;
+
+  // Supervision/watchdog statistics (zero unless the subsystems are on).
+  std::size_t faults_recovered = 0;   ///< supervisor restore+replay successes
+  std::size_t fault_episodes = 0;     ///< operations abandoned (degrades)
+  std::size_t deadline_overruns = 0;  ///< slot + round budget misses
+  std::size_t decodes_skipped = 0;    ///< decodes skipped after overruns
 
   [[nodiscard]] double ler() const {
     return windows == 0 ? 0.0
@@ -82,6 +98,12 @@ class LerTrial {
   /// Throws qpf::CheckpointError on a stream that does not match this
   /// trial's configuration.
   void load(journal::SnapshotReader& in);
+
+  /// The stack under test (supervision / chaos / watchdog inspection).
+  [[nodiscard]] arch::LerStack& stack() noexcept { return stack_; }
+  [[nodiscard]] const arch::LerStack& stack() const noexcept {
+    return stack_;
+  }
 
  private:
   LerConfig config_;
@@ -162,6 +184,12 @@ struct CampaignResult {
   /// Windows restored from a mid-trial checkpoint instead of re-run.
   std::size_t windows_resumed = 0;
   bool interrupted = false;
+  /// Supervision/watchdog aggregates over every completed trial (zero
+  /// unless the subsystems are on).
+  std::size_t faults_recovered = 0;
+  std::size_t fault_episodes = 0;
+  std::size_t deadline_overruns = 0;
+  std::size_t decodes_skipped = 0;
   /// A corrupt/stale checkpoint was discarded (campaign fell back to
   /// the journal and a clean trial start); the message says why.
   bool checkpoint_recovered = false;

@@ -21,20 +21,118 @@ void require_rate(double p, const char* kind) {
 ClassicalFaultLayer::ClassicalFaultLayer(Core* lower,
                                          ClassicalFaultRates rates,
                                          std::uint64_t seed)
-    : Layer(lower), rates_(rates), rng_(seed) {
+    : ClassicalFaultLayer(lower, rates, seed, ChaosConfig{}) {}
+
+ClassicalFaultLayer::ClassicalFaultLayer(Core* lower,
+                                         ClassicalFaultRates rates,
+                                         std::uint64_t seed,
+                                         const ChaosConfig& chaos)
+    : Layer(lower), rates_(rates), rng_(seed), chaos_(chaos) {
   require_rate(rates.drop, "drop");
   require_rate(rates.duplicate, "duplicate");
   require_rate(rates.reorder, "reorder");
   require_rate(rates.readout_flip, "readout-flip");
+  if (chaos_.min_gap > chaos_.max_gap) {
+    throw StackConfigError("ClassicalFaultLayer",
+                           "chaos min gap exceeds max gap");
+  }
+  if (chaos_.stall_ns < 0.0) {
+    throw StackConfigError("ClassicalFaultLayer", "negative chaos stall");
+  }
+  if (chaos_.burst_weight > 0 && chaos_.burst_length == 0) {
+    throw StackConfigError("ClassicalFaultLayer",
+                           "chaos burst length must be at least 1");
+  }
+  if (chaos_.any()) {
+    chaos_lcg_ = chaos_.seed;
+    chaos_countdown_ = chaos_gap();
+  }
 }
 
 bool ClassicalFaultLayer::flip(double probability) const {
   return probability > 0.0 && uniform_(rng_) < probability;
 }
 
+std::uint64_t ClassicalFaultLayer::chaos_draw(std::uint64_t bound) {
+  // Deterministic 64-bit LCG (same constants as the campaign seed
+  // chain); the high bits feed the draw.
+  chaos_lcg_ =
+      chaos_lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  return bound == 0 ? 0 : (chaos_lcg_ >> 33) % bound;
+}
+
+std::uint64_t ClassicalFaultLayer::chaos_gap() {
+  const std::uint64_t span = chaos_.max_gap - chaos_.min_gap + 1;
+  const std::uint64_t gap = chaos_.min_gap + chaos_draw(span);
+  return gap == 0 ? 1 : gap;
+}
+
+void ClassicalFaultLayer::chaos_crash(const char* where) {
+  ++chaos_tally_.crashes;
+  throw TransientFaultError(
+      "classical-fault-layer",
+      std::string("injected transient fault in ") + where, chaos_calls_);
+}
+
+ClassicalFaultLayer::ChaosAction ClassicalFaultLayer::chaos_tick() {
+  ++chaos_calls_;
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    return chaos_draw(2) == 0 ? ChaosAction::kCrashPre
+                              : ChaosAction::kCrashPost;
+  }
+  if (chaos_countdown_ > 1) {
+    --chaos_countdown_;
+    return ChaosAction::kNone;
+  }
+  chaos_countdown_ = chaos_gap();
+  const std::uint64_t total = static_cast<std::uint64_t>(chaos_.crash_weight) +
+                              chaos_.stall_weight + chaos_.burst_weight;
+  const std::uint64_t r = chaos_draw(total);
+  if (r < chaos_.crash_weight) {
+    return chaos_draw(2) == 0 ? ChaosAction::kCrashPre
+                              : ChaosAction::kCrashPost;
+  }
+  if (r < static_cast<std::uint64_t>(chaos_.crash_weight) +
+              chaos_.stall_weight) {
+    ++chaos_tally_.stalls;
+    chaos_tally_.stalled_ns += chaos_.stall_ns;
+    pending_stall_ns_ += chaos_.stall_ns;
+    return ChaosAction::kNone;
+  }
+  ++chaos_tally_.bursts;
+  burst_remaining_ = chaos_.burst_length - 1;
+  return chaos_draw(2) == 0 ? ChaosAction::kCrashPre
+                            : ChaosAction::kCrashPost;
+}
+
+void ClassicalFaultLayer::execute() {
+  ChaosAction action = ChaosAction::kNone;
+  if (!bypass_ && chaos_.any()) {
+    action = chaos_tick();
+  }
+  if (action == ChaosAction::kCrashPre) {
+    chaos_crash("execute (before forwarding)");
+  }
+  lower().execute();
+  if (action == ChaosAction::kCrashPost) {
+    chaos_crash("execute (after forwarding)");
+  }
+}
+
 void ClassicalFaultLayer::add(const Circuit& circuit) {
+  ChaosAction action = ChaosAction::kNone;
+  if (!bypass_ && chaos_.any()) {
+    action = chaos_tick();
+  }
+  if (action == ChaosAction::kCrashPre) {
+    chaos_crash("add (before forwarding)");
+  }
   if (bypass_ || !rates_.any()) {
     lower().add(circuit);
+    if (action == ChaosAction::kCrashPost) {
+      chaos_crash("add (after forwarding)");
+    }
     return;
   }
   Circuit faulty{circuit.name()};
@@ -76,6 +174,9 @@ void ClassicalFaultLayer::add(const Circuit& circuit) {
     faulty.append_slot(std::move(echo));
   }
   lower().add(faulty);
+  if (action == ChaosAction::kCrashPost) {
+    chaos_crash("add (after forwarding)");
+  }
 }
 
 BinaryState ClassicalFaultLayer::get_state() const {

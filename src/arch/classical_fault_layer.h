@@ -20,6 +20,26 @@
 //
 // With every rate at zero the layer forwards verbatim and never draws
 // from its RNG, so a zero-rate layer is bit-identical to no layer.
+//
+// --- Chaos schedule (PR 4) -------------------------------------------
+//
+// Besides the per-operation Bernoulli faults above, the layer can run a
+// *scripted* chaos schedule (ChaosConfig): a seeded LCG draws gaps (in
+// layer calls) between discrete fault events, and each event is either
+//   crash — throw qpf::TransientFaultError, before (pre) or after
+//           (post) forwarding the call; a post-crash leaves the lower
+//           chain already mutated, so a bare retry is wrong and a
+//           supervisor must restore from its last good snapshot,
+//   stall — accrue a fixed latency debt (nanoseconds) that a
+//           TimingLayer above collects via take_pending_stall_ns(),
+//   burst — the next burst_length calls all crash (a fault storm that
+//           exhausts bounded retry budgets and drives the supervisor
+//           into degraded mode or escalation).
+// The chaos clock is *monotone across recoveries*: replayed calls tick
+// it like any other call, and none of the chaos state is serialized in
+// snapshots — restoring a snapshot must not re-arm the crash that
+// caused the restore, or recovery could never converge.  For the same
+// reason the snapshot byte layout is unchanged from PR 1.
 #pragma once
 
 #include <cstdint>
@@ -60,13 +80,49 @@ struct FaultTally {
   }
 };
 
+/// Scripted chaos schedule: discrete fault events at seeded LCG-drawn
+/// gaps.  Disabled unless max_gap > 0 and at least one kind has weight.
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  /// Gap between events, in layer calls (add / execute), drawn uniform
+  /// in [min_gap, max_gap].  max_gap == 0 disables the schedule.
+  std::uint64_t min_gap = 0;
+  std::uint64_t max_gap = 0;
+  /// Relative weights of the event kinds.
+  std::uint32_t crash_weight = 1;
+  std::uint32_t stall_weight = 0;
+  std::uint32_t burst_weight = 0;
+  /// Latency debt per stall event, collected by a TimingLayer above.
+  double stall_ns = 1000.0;
+  /// Crashes per burst event (consecutive calls).
+  std::uint64_t burst_length = 3;
+
+  [[nodiscard]] bool any() const noexcept {
+    return max_gap > 0 &&
+           (crash_weight > 0 || stall_weight > 0 || burst_weight > 0);
+  }
+};
+
+/// Tally of chaos-schedule events.  Never serialized.
+struct ChaosTally {
+  std::size_t crashes = 0;  ///< TransientFaultErrors thrown (burst incl.)
+  std::size_t stalls = 0;
+  std::size_t bursts = 0;
+  double stalled_ns = 0.0;
+};
+
 class ClassicalFaultLayer final : public Layer {
  public:
   /// Throws StackConfigError unless every rate is in [0, 1].
   ClassicalFaultLayer(Core* lower, ClassicalFaultRates rates,
                       std::uint64_t seed);
+  /// Same, plus a chaos schedule (validated: min_gap <= max_gap,
+  /// burst_length >= 1, stall_ns >= 0).
+  ClassicalFaultLayer(Core* lower, ClassicalFaultRates rates,
+                      std::uint64_t seed, const ChaosConfig& chaos);
 
   void add(const Circuit& circuit) override;
+  void execute() override;
 
   [[nodiscard]] BinaryState get_state() const override;
 
@@ -76,11 +132,31 @@ class ClassicalFaultLayer final : public Layer {
   [[nodiscard]] const FaultTally& tally() const noexcept { return tally_; }
   void reset_tally() noexcept { tally_ = {}; }
 
+  [[nodiscard]] const ChaosConfig& chaos() const noexcept { return chaos_; }
+  [[nodiscard]] const ChaosTally& chaos_tally() const noexcept {
+    return chaos_tally_;
+  }
+
+  /// Latency debt accrued by stall events since the last call; returns
+  /// it and resets the accumulator (TimingLayer pulls this after every
+  /// forwarded call).
+  [[nodiscard]] double take_pending_stall_ns() noexcept {
+    const double ns = pending_stall_ns_;
+    pending_stall_ns_ = 0.0;
+    return ns;
+  }
+
   void save_state(journal::SnapshotWriter& out) const override;
   void load_state(journal::SnapshotReader& in) override;
 
  private:
+  enum class ChaosAction : std::uint8_t { kNone, kCrashPre, kCrashPost };
+
   [[nodiscard]] bool flip(double probability) const;
+  [[nodiscard]] std::uint64_t chaos_draw(std::uint64_t bound);
+  [[nodiscard]] std::uint64_t chaos_gap();
+  [[nodiscard]] ChaosAction chaos_tick();
+  [[noreturn]] void chaos_crash(const char* where);
 
   ClassicalFaultRates rates_;
   // Readout faults strike inside the const get_state() path, so the RNG
@@ -88,6 +164,16 @@ class ClassicalFaultLayer final : public Layer {
   mutable std::mt19937_64 rng_;
   mutable std::uniform_real_distribution<double> uniform_{0.0, 1.0};
   mutable FaultTally tally_;
+
+  // Chaos schedule.  Deliberately absent from save/load_state: the
+  // chaos clock is monotone across snapshot restores.
+  ChaosConfig chaos_{};
+  std::uint64_t chaos_lcg_ = 0;
+  std::uint64_t chaos_countdown_ = 0;
+  std::uint64_t burst_remaining_ = 0;
+  std::uint64_t chaos_calls_ = 0;
+  double pending_stall_ns_ = 0.0;
+  ChaosTally chaos_tally_;
 };
 
 }  // namespace qpf::arch

@@ -15,10 +15,10 @@ LerStack::LerStack(const Config& config) : core_(config.seed) {
                                         config.physical_error_rate,
                                         config.seed ^ 0x9e3779b97f4a7c15ULL);
   Core* below_counter = error_.get();
-  if (config.classical_faults.any()) {
+  if (config.classical_faults.any() || config.chaos.any()) {
     faults_ = std::make_unique<ClassicalFaultLayer>(
         error_.get(), config.classical_faults,
-        config.seed ^ 0xd1b54a32d192ed03ULL);
+        config.seed ^ 0xd1b54a32d192ed03ULL, config.chaos);
     below_counter = faults_.get();
   }
   counter_below_ = std::make_unique<CounterLayer>(below_counter);
@@ -33,8 +33,30 @@ LerStack::LerStack(const Config& config) : core_(config.seed) {
     below_frame = validator_.get();
   }
   counter_above_ = std::make_unique<CounterLayer>(below_frame);
-  ninja_ = std::make_unique<NinjaStarLayer>(counter_above_.get(),
-                                            config.ninja_options);
+  Core* top = counter_above_.get();
+  if (config.supervise) {
+    SupervisorOptions supervisor_options = config.supervisor;
+    if (supervisor_options.seed == 0) {
+      supervisor_options.seed = config.seed ^ 0xa24baed4963ee407ULL;
+    }
+    supervisor_ =
+        std::make_unique<SupervisorLayer>(top, supervisor_options);
+    supervisor_->set_frame(frame_.get());
+    top = supervisor_.get();
+  }
+  if (config.deadline.any()) {
+    timing_ = std::make_unique<TimingLayer>(top, config.timings);
+    timing_->set_deadline(config.deadline);
+    timing_->set_stall_source(faults_.get());
+    if (supervisor_ != nullptr) {
+      supervisor_->set_watchdog(timing_.get());
+    }
+    top = timing_.get();
+  }
+  ninja_ = std::make_unique<NinjaStarLayer>(top, config.ninja_options);
+  if (timing_ != nullptr) {
+    ninja_->set_deadline_watchdog(timing_.get());
+  }
   ninja_->create_qubits(config.logical_qubits);
 }
 
@@ -46,6 +68,17 @@ void LerStack::set_diagnostic_mode(bool on) noexcept {
   }
   counter_below_->set_bypass(on);
   counter_above_->set_bypass(on);
+  if (timing_ != nullptr) {
+    timing_->set_bypass(on);
+  }
+  if (supervisor_ != nullptr) {
+    supervisor_->set_bypass(on);
+    if (!on) {
+      // Probe circuits flowed past the supervisor unsupervised; its
+      // last good snapshot no longer matches the chain below.
+      supervisor_->refresh_good_point();
+    }
+  }
 }
 
 void LerStack::reset_counters() noexcept {
@@ -65,20 +98,51 @@ double LerStack::gates_saved_fraction() const noexcept {
 }
 
 void LerStack::save_state(journal::SnapshotWriter& out) const {
-  out.tag("ler-stack");
-  out.write_bool(frame_ != nullptr);
-  out.write_bool(faults_ != nullptr);
-  out.write_bool(validator_ != nullptr);
+  // Stacks without the supervision subsystem keep the legacy section
+  // layout so their checkpoints stay bit-identical to previous
+  // releases; supervised/deadline stacks use the extended "ler-stack2"
+  // section (cf. the tableau/tableau2 precedent).
+  if (supervisor_ == nullptr && timing_ == nullptr) {
+    out.tag("ler-stack");
+    out.write_bool(frame_ != nullptr);
+    out.write_bool(faults_ != nullptr);
+    out.write_bool(validator_ != nullptr);
+  } else {
+    out.tag("ler-stack2");
+    out.write_bool(frame_ != nullptr);
+    out.write_bool(faults_ != nullptr);
+    out.write_bool(validator_ != nullptr);
+    out.write_bool(supervisor_ != nullptr);
+    out.write_bool(timing_ != nullptr);
+  }
   ninja_->save_state(out);
 }
 
 void LerStack::load_state(journal::SnapshotReader& in) {
-  in.expect_tag("ler-stack");
-  const bool with_frame = in.read_bool();
-  const bool with_faults = in.read_bool();
-  const bool with_validator = in.read_bool();
+  const std::string section = in.read_tag();
+  bool with_supervisor = false;
+  bool with_timing = false;
+  bool with_frame = false;
+  bool with_faults = false;
+  bool with_validator = false;
+  if (section == "ler-stack") {
+    with_frame = in.read_bool();
+    with_faults = in.read_bool();
+    with_validator = in.read_bool();
+  } else if (section == "ler-stack2") {
+    with_frame = in.read_bool();
+    with_faults = in.read_bool();
+    with_validator = in.read_bool();
+    with_supervisor = in.read_bool();
+    with_timing = in.read_bool();
+  } else {
+    throw CheckpointError("ler stack snapshot: unexpected section tag \"" +
+                          section + "\"");
+  }
   if (with_frame != (frame_ != nullptr) || with_faults != (faults_ != nullptr) ||
-      with_validator != (validator_ != nullptr)) {
+      with_validator != (validator_ != nullptr) ||
+      with_supervisor != (supervisor_ != nullptr) ||
+      with_timing != (timing_ != nullptr)) {
     throw CheckpointError(
         "ler stack snapshot: layer configuration differs from the "
         "configured stack");

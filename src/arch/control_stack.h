@@ -1,27 +1,38 @@
 // Pre-assembled control stacks for the thesis' experiments.
 //
 // LerStack is the Fig 5.8 stack used by the §5.3 Logical Error Rate
-// study, extended with the optional classical-fault subsystem:
+// study, extended with the optional classical-fault subsystem and the
+// PR 4 supervision subsystem:
 //
 //     NinjaStarLayer            (logical operations + QEC control)
+//       [TimingLayer]           (optional — modeled clock + deadline
+//                                watchdog; above the supervisor so real
+//                                time is never rewound by a recovery)
+//       [SupervisorLayer]       (optional — catches typed faults from
+//                                below, restores the chain from its
+//                                last good snapshot, degrades/escalates)
 //       CounterLayer  (above)   (stream before Pauli-frame filtering)
 //       [ValidatingLayer]       (optional — shadow-frame cross-checks)
 //       [PauliFrameLayer]       (optional — the experiment variable;
 //                                record protection configurable)
 //       CounterLayer  (below)   (stream after filtering)
-//       [ClassicalFaultLayer]   (optional — drop/dup/reorder/readout)
+//       [ClassicalFaultLayer]   (optional — drop/dup/reorder/readout
+//                                plus the scripted chaos schedule)
 //       ErrorLayer               (symmetric depolarizing noise)
 //       CounterLayer  (bottom)  (physical stream incl. injected faults)
 //       ChpCore                  (stabilizer simulation backend)
 //
-// diagnostic mode bypasses the error, classical-fault, and counter
-// layers (§5.3.1) so the probe circuits are fault-free and uncounted;
-// the Pauli frame and validating layers stay active so their records
-// remain consistent.
+// diagnostic mode bypasses the error, classical-fault, counter, timing
+// and supervisor layers (§5.3.1) so the probe circuits are fault-free
+// and uncounted; the Pauli frame and validating layers stay active so
+// their records remain consistent.  Leaving diagnostic mode refreshes
+// the supervisor's good point (probes mutate the chain underneath it).
 //
-// With every classical fault rate at zero, protection off, and
-// validation off, the stack is bit-identical to the plain Fig 5.8
-// configuration: the optional layers are simply not constructed.
+// With every classical fault rate at zero, chaos off, supervision off,
+// no deadline, protection off, and validation off, the stack is
+// bit-identical to the plain Fig 5.8 configuration: the optional
+// layers are simply not constructed, and checkpoints keep the legacy
+// "ler-stack" section layout.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,8 @@
 #include "arch/error_layer.h"
 #include "arch/ninja_star_layer.h"
 #include "arch/pauli_frame_layer.h"
+#include "arch/supervisor_layer.h"
+#include "arch/timing_layer.h"
 #include "arch/validating_layer.h"
 
 namespace qpf::arch {
@@ -50,6 +63,14 @@ class LerStack {
     ClassicalFaultRates classical_faults{};
     pf::Protection frame_protection = pf::Protection::kNone;
     bool validate = false;
+
+    /// Supervision subsystem (all off by default; off = the layers are
+    /// not constructed and every output is bit-identical to before).
+    ChaosConfig chaos{};             ///< scripted fault storms
+    bool supervise = false;          ///< build a SupervisorLayer
+    SupervisorOptions supervisor{};  ///< recovery policy when supervising
+    GateTimings timings{};           ///< clock for the deadline watchdog
+    DeadlineBudget deadline{};       ///< any() -> build a TimingLayer
   };
 
   /// Throws StackConfigError on an invalid configuration (bad rates,
@@ -99,6 +120,24 @@ class LerStack {
     return validator_.get();
   }
 
+  [[nodiscard]] bool has_supervisor() const noexcept {
+    return supervisor_ != nullptr;
+  }
+  [[nodiscard]] SupervisorLayer* supervisor_layer() noexcept {
+    return supervisor_.get();
+  }
+  [[nodiscard]] const SupervisorLayer* supervisor_layer() const noexcept {
+    return supervisor_.get();
+  }
+
+  [[nodiscard]] bool has_timing() const noexcept {
+    return timing_ != nullptr;
+  }
+  [[nodiscard]] TimingLayer* timing_layer() noexcept { return timing_.get(); }
+  [[nodiscard]] const TimingLayer* timing_layer() const noexcept {
+    return timing_.get();
+  }
+
   /// Fraction of gates / time slots the frame absorbed, from the two
   /// counters around it (Figs 5.25 / 5.26).
   [[nodiscard]] double gates_saved_fraction() const noexcept;
@@ -119,6 +158,8 @@ class LerStack {
   std::unique_ptr<PauliFrameLayer> frame_;       // may be null
   std::unique_ptr<ValidatingLayer> validator_;   // may be null
   std::unique_ptr<CounterLayer> counter_above_;
+  std::unique_ptr<SupervisorLayer> supervisor_;  // may be null
+  std::unique_ptr<TimingLayer> timing_;          // may be null
   std::unique_ptr<NinjaStarLayer> ninja_;
 };
 

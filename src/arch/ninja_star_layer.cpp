@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "arch/timing_layer.h"
 #include "circuit/error.h"
 
 namespace qpf::arch {
@@ -98,6 +99,9 @@ void NinjaStarLayer::run_lower(const Circuit& circuit) {
 }
 
 Syndrome NinjaStarLayer::run_esm_round(NinjaStar& star) {
+  if (watchdog_ != nullptr) {
+    watchdog_->begin_round();
+  }
   run_lower(star.esm_circuit());
   const BinaryState state = lower().get_state();
   Syndrome syndrome = star.carried_syndrome();
@@ -112,6 +116,9 @@ Syndrome NinjaStarLayer::run_esm_round(NinjaStar& star) {
     } else {
       syndrome = static_cast<Syndrome>(syndrome & ~bit);
     }
+  }
+  if (watchdog_ != nullptr) {
+    watchdog_->end_round();
   }
   return syndrome;
 }
@@ -210,6 +217,14 @@ void NinjaStarLayer::run_window(Qubit logical) {
   const Syndrome r2 = run_esm_round(s);
   if (!options_.decoding_enabled) {
     (void)r1;
+    s.set_carried_syndrome(r2);
+    return;
+  }
+  // Deadline degrade: a budget overrun during this window's rounds
+  // means the decode would land late — skip it and carry the syndrome
+  // into the next window instead of back-dating the correction.
+  if (watchdog_ != nullptr && watchdog_->consume_overrun()) {
+    watchdog_->note_skipped_decode();
     s.set_carried_syndrome(r2);
     return;
   }

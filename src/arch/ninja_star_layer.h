@@ -20,6 +20,8 @@
 
 namespace qpf::arch {
 
+class TimingLayer;
+
 class NinjaStarLayer final : public Layer {
  public:
   struct Options {
@@ -96,6 +98,15 @@ class NinjaStarLayer final : public Layer {
     options_.windows_per_operation = n;
   }
 
+  /// Arm the deadline watchdog (non-owning; a TimingLayer below this
+  /// layer).  Each ESM round is bracketed with begin/end_round, and a
+  /// pending budget overrun makes the next window *skip its decode*
+  /// and carry the syndrome forward — degrade over skew: a late
+  /// correction is deferred, never back-dated into the statistics.
+  void set_deadline_watchdog(TimingLayer* watchdog) noexcept {
+    watchdog_ = watchdog;
+  }
+
   void save_state(journal::SnapshotWriter& out) const override;
   void load_state(journal::SnapshotReader& in) override;
 
@@ -112,6 +123,7 @@ class NinjaStarLayer final : public Layer {
   qec::Sc17Layout layout_;
   std::vector<qec::NinjaStar> stars_;
   std::vector<Circuit> queue_;
+  TimingLayer* watchdog_ = nullptr;  // non-owning, may be null
 };
 
 }  // namespace qpf::arch

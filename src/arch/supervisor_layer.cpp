@@ -1,0 +1,389 @@
+#include "arch/supervisor_layer.h"
+
+#include <utility>
+
+#include "arch/pauli_frame_layer.h"
+#include "arch/timing_layer.h"
+
+namespace qpf::arch {
+
+namespace {
+
+// Escalation reports keep the first kMaxIncidents episodes verbatim and
+// summarize the rest, so a pathological fault storm cannot balloon the
+// supervisor's memory.
+constexpr std::size_t kMaxIncidents = 64;
+
+}  // namespace
+
+SupervisorLayer::SupervisorLayer(Core* lower, SupervisorOptions options)
+    : Layer(lower), options_(options), backoff_lcg_(options.seed) {
+  if (options_.max_retries == 0) {
+    throw StackConfigError("SupervisorLayer",
+                           "max_retries must be at least 1");
+  }
+  if (options_.escalate_after == 0) {
+    throw StackConfigError("SupervisorLayer",
+                           "escalate_after must be at least 1");
+  }
+  if (options_.rearm_after == 0) {
+    throw StackConfigError("SupervisorLayer",
+                           "rearm_after must be at least 1");
+  }
+  if (options_.backoff_base_ns < 0.0 || options_.backoff_cap_ns < 0.0) {
+    throw StackConfigError("SupervisorLayer", "negative backoff");
+  }
+}
+
+double SupervisorLayer::next_backoff_ns(std::size_t attempt) {
+  // Exponential backoff with deterministic LCG jitter: attempt k waits
+  // base * 2^(k-1) + jitter, jitter uniform in [0, base), capped.  All
+  // of it is *modeled* time — the supervisor never sleeps.
+  double backoff = options_.backoff_base_ns;
+  for (std::size_t i = 1; i < attempt; ++i) {
+    backoff *= 2.0;
+    if (backoff >= options_.backoff_cap_ns) {
+      break;
+    }
+  }
+  backoff_lcg_ =
+      backoff_lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  const double unit =
+      static_cast<double>(backoff_lcg_ >> 11) / 9007199254740992.0;  // [0,1)
+  backoff += unit * options_.backoff_base_ns;
+  return backoff < options_.backoff_cap_ns ? backoff
+                                           : options_.backoff_cap_ns;
+}
+
+void SupervisorLayer::record(SupervisorIncident incident) {
+  if (incidents_.size() < kMaxIncidents) {
+    incidents_.push_back(std::move(incident));
+  } else {
+    ++incidents_dropped_;
+  }
+}
+
+std::string SupervisorLayer::incident_report() const {
+  std::string report;
+  for (const SupervisorIncident& inc : incidents_) {
+    report += '#';
+    report += std::to_string(inc.ordinal);
+    report += " [" + inc.phase + "] " + inc.outcome + " after " +
+              std::to_string(inc.attempts) + " attempt(s), backoff " +
+              std::to_string(inc.backoff_ns) + " ns: " + inc.error + "\n";
+  }
+  if (incidents_dropped_ > 0) {
+    report += "(+" + std::to_string(incidents_dropped_) +
+              " further incident(s) elided)\n";
+  }
+  return report;
+}
+
+void SupervisorLayer::throw_escalated(const std::string& reason) {
+  state_ = SupervisionState::kEscalated;
+  throw SupervisionError(reason, incident_report(), stats_.episodes);
+}
+
+void SupervisorLayer::maybe_escalate(const char* reason) {
+  if (stats_.episodes >= options_.escalate_after) {
+    throw_escalated(reason);
+  }
+}
+
+void SupervisorLayer::check_watchdog() {
+  if (watchdog_ == nullptr || options_.escalate_on_overruns == 0 ||
+      state_ == SupervisionState::kEscalated) {
+    return;
+  }
+  const std::size_t overruns = watchdog_->total_overruns();
+  if (overruns < options_.escalate_on_overruns) {
+    return;
+  }
+  if (overruns_escalated_ == 0) {
+    ++overruns_escalated_;
+    SupervisorIncident inc;
+    inc.ordinal = stats_.faults_seen + 1;
+    inc.phase = "deadline";
+    inc.error = std::to_string(overruns) + " deadline overrun(s), budget " +
+                std::to_string(options_.escalate_on_overruns);
+    inc.outcome = "escalated";
+    record(std::move(inc));
+  }
+  throw_escalated("deadline overrun budget exhausted");
+}
+
+void SupervisorLayer::mark_good_point() {
+  if (!lower().snapshot_supported()) {
+    has_good_point_ = false;
+    good_point_.clear();
+    return;
+  }
+  journal::SnapshotWriter writer;
+  lower().save_state(writer);
+  good_point_ = writer.bytes();
+  has_good_point_ = true;
+}
+
+void SupervisorLayer::restore_good_point() {
+  journal::SnapshotReader reader{good_point_};
+  lower().load_state(reader);
+}
+
+void SupervisorLayer::refresh_good_point() {
+  if (state_ != SupervisionState::kNormal) {
+    return;
+  }
+  pending_.clear();
+  mark_good_point();
+}
+
+void SupervisorLayer::create_qubits(std::size_t count) {
+  lower().create_qubits(count);
+  if (!bypass_) {
+    pending_.clear();
+    mark_good_point();
+  }
+}
+
+void SupervisorLayer::remove_qubits() {
+  lower().remove_qubits();
+  pending_.clear();
+  good_point_.clear();
+  has_good_point_ = false;
+}
+
+void SupervisorLayer::add(const Circuit& circuit) {
+  if (bypass_) {
+    lower().add(circuit);
+    return;
+  }
+  if (state_ == SupervisionState::kEscalated) {
+    throw_escalated("supervisor already escalated");
+  }
+  if (state_ == SupervisionState::kDegraded) {
+    try {
+      lower().add(circuit);
+    } catch (const SupervisionError&) {
+      throw;
+    } catch (const Error& e) {
+      abandon_degraded(e, "add");
+    }
+    return;
+  }
+  pending_.push_back(circuit);
+  try {
+    lower().add(circuit);
+  } catch (const SupervisionError&) {
+    throw;
+  } catch (const Error& e) {
+    (void)recover(e, /*then_execute=*/false, "add");
+  }
+}
+
+void SupervisorLayer::execute() {
+  if (bypass_) {
+    lower().execute();
+    return;
+  }
+  if (state_ == SupervisionState::kEscalated) {
+    throw_escalated("supervisor already escalated");
+  }
+  if (state_ == SupervisionState::kDegraded) {
+    try {
+      lower().execute();
+      ++clean_streak_;
+      if (clean_streak_ >= options_.rearm_after) {
+        state_ = SupervisionState::kNormal;
+        ++stats_.rearms;
+        pending_.clear();
+        mark_good_point();
+      }
+    } catch (const SupervisionError&) {
+      throw;
+    } catch (const Error& e) {
+      abandon_degraded(e, "execute");
+    }
+    check_watchdog();
+    return;
+  }
+  bool clean = true;
+  try {
+    lower().execute();
+  } catch (const SupervisionError&) {
+    throw;
+  } catch (const Error& e) {
+    clean = recover(e, /*then_execute=*/true, "execute");
+  }
+  if (clean) {
+    pending_.clear();
+    mark_good_point();
+  }
+  check_watchdog();
+}
+
+bool SupervisorLayer::recover(const Error& cause, bool then_execute,
+                              const char* phase) {
+  ++stats_.faults_seen;
+  SupervisorIncident inc;
+  inc.ordinal = stats_.faults_seen;
+  inc.phase = phase;
+  inc.error = cause.what();
+  for (std::size_t attempt = 1; attempt <= options_.max_retries; ++attempt) {
+    ++stats_.retries;
+    ++inc.attempts;
+    const double backoff = next_backoff_ns(attempt);
+    inc.backoff_ns += backoff;
+    stats_.backoff_ns += backoff;
+    try {
+      if (has_good_point_) {
+        restore_good_point();
+        for (const Circuit& circuit : pending_) {
+          lower().add(circuit);
+        }
+      } else if (!then_execute && !pending_.empty()) {
+        // No snapshot capability below: bare re-issue of the failed
+        // add.  A post-forward fault may have half-applied it — this
+        // path trades exactness for availability and is only taken on
+        // stacks that cannot snapshot.
+        lower().add(pending_.back());
+      }
+      if (then_execute) {
+        lower().execute();
+      }
+      ++stats_.recoveries;
+      inc.outcome = "recovered";
+      record(std::move(inc));
+      return true;
+    } catch (const SupervisionError&) {
+      throw;
+    } catch (const Error& e) {
+      inc.error = e.what();
+    }
+  }
+  degrade(std::move(inc));
+  return false;
+}
+
+void SupervisorLayer::degrade(SupervisorIncident incident) {
+  ++stats_.episodes;
+  clean_streak_ = 0;
+  state_ = SupervisionState::kDegraded;
+  // The chain below is in an unknown state; the stale snapshot must not
+  // be restored later.
+  has_good_point_ = false;
+  good_point_.clear();
+  pending_.clear();
+  // Table 3.1 semantics: flush the frame so every tracked correction is
+  // physically applied and the frame is known-clean before we pass
+  // traffic through unsupervised.  The flush itself runs through the
+  // (possibly still faulting) chain — a failure there just stays
+  // degraded.
+  if (frame_ != nullptr) {
+    try {
+      frame_->flush();
+    } catch (const Error&) {
+      // Already degraded; the flush will happen physically through
+      // regular QEC corrections instead.
+    }
+  }
+  const bool escalating = stats_.episodes >= options_.escalate_after;
+  incident.outcome = escalating ? "escalated" : "degraded";
+  record(std::move(incident));
+  maybe_escalate("recovery budget exhausted");
+}
+
+void SupervisorLayer::abandon_degraded(const Error& cause,
+                                       const char* phase) {
+  ++stats_.faults_seen;
+  ++stats_.episodes;
+  clean_streak_ = 0;
+  SupervisorIncident inc;
+  inc.ordinal = stats_.faults_seen;
+  inc.phase = phase;
+  inc.error = cause.what();
+  const bool escalating = stats_.episodes >= options_.escalate_after;
+  inc.outcome = escalating ? "escalated" : "abandoned";
+  record(std::move(inc));
+  maybe_escalate("recovery budget exhausted");
+}
+
+void SupervisorLayer::save_state(journal::SnapshotWriter& out) const {
+  out.tag("supervisor-layer");
+  out.write_u8(static_cast<std::uint8_t>(state_));
+  out.write_size(stats_.faults_seen);
+  out.write_size(stats_.retries);
+  out.write_size(stats_.recoveries);
+  out.write_size(stats_.episodes);
+  out.write_size(stats_.rearms);
+  out.write_double(stats_.backoff_ns);
+  out.write_u64(backoff_lcg_);
+  out.write_size(clean_streak_);
+  out.write_size(overruns_escalated_);
+  out.write_size(incidents_dropped_);
+  out.write_size(incidents_.size());
+  for (const SupervisorIncident& inc : incidents_) {
+    out.write_size(inc.ordinal);
+    out.write_string(inc.phase);
+    out.write_string(inc.error);
+    out.write_size(inc.attempts);
+    out.write_double(inc.backoff_ns);
+    out.write_string(inc.outcome);
+  }
+  out.write_size(pending_.size());
+  for (const Circuit& circuit : pending_) {
+    out.write_circuit(circuit);
+  }
+  lower().save_state(out);
+}
+
+void SupervisorLayer::load_state(journal::SnapshotReader& in) {
+  in.expect_tag("supervisor-layer");
+  const std::uint8_t raw_state = in.read_u8();
+  if (raw_state > static_cast<std::uint8_t>(SupervisionState::kEscalated)) {
+    throw CheckpointError("supervisor snapshot: unknown state " +
+                          std::to_string(raw_state));
+  }
+  state_ = static_cast<SupervisionState>(raw_state);
+  stats_.faults_seen = in.read_size();
+  stats_.retries = in.read_size();
+  stats_.recoveries = in.read_size();
+  stats_.episodes = in.read_size();
+  stats_.rearms = in.read_size();
+  stats_.backoff_ns = in.read_double();
+  backoff_lcg_ = in.read_u64();
+  clean_streak_ = in.read_size();
+  overruns_escalated_ = in.read_size();
+  incidents_dropped_ = in.read_size();
+  const std::size_t count = in.read_size();
+  if (count > kMaxIncidents) {
+    throw CheckpointError("supervisor snapshot: implausible incident count " +
+                          std::to_string(count));
+  }
+  incidents_.clear();
+  incidents_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SupervisorIncident inc;
+    inc.ordinal = in.read_size();
+    inc.phase = in.read_string();
+    inc.error = in.read_string();
+    inc.attempts = in.read_size();
+    inc.backoff_ns = in.read_double();
+    inc.outcome = in.read_string();
+    incidents_.push_back(std::move(inc));
+  }
+  const std::size_t queued = in.read_size();
+  pending_.clear();
+  for (std::size_t i = 0; i < queued; ++i) {
+    pending_.push_back(in.read_circuit());
+  }
+  lower().load_state(in);
+  // The freshly restored chain *is* a good point.
+  if (state_ == SupervisionState::kNormal) {
+    mark_good_point();
+  } else {
+    has_good_point_ = false;
+    good_point_.clear();
+  }
+}
+
+}  // namespace qpf::arch

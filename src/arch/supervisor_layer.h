@@ -1,0 +1,162 @@
+// SupervisorLayer: deterministic fault recovery for a control stack
+// (PR 4).
+//
+// The layer wraps any Core and closes the loop PR 1 opened: typed
+// qpf::Errors thrown by the chain below (injected transient faults,
+// chaos crashes, checkpoint corruption, ...) are *caught* here and
+// driven through a recovery state machine instead of aborting the
+// trial:
+//
+//   NORMAL ──fault──> retry with bounded, seed-derived backoff:
+//                     restore the chain below from the last good
+//                     snapshot (taken after every clean execute), then
+//                     replay the circuits added since.  Success returns
+//                     to NORMAL; an exhausted retry budget degrades.
+//   DEGRADED ───────> pass-through: the Pauli frame was flushed on the
+//                     way down (Table 3.1 semantics — corrections are
+//                     physically applied so the frame is known-clean),
+//                     snapshots stop, faults abandon the operation and
+//                     count as episodes.  `rearm_after` consecutive
+//                     clean executes re-arm to NORMAL.
+//   ESCALATED ──────> once the cumulative episode count reaches
+//                     `escalate_after` (or the deadline watchdog blows
+//                     its overrun budget) the layer throws a
+//                     SupervisionError carrying the full incident
+//                     record and refuses further traffic.
+//
+// Everything is deterministic: the backoff schedule (modeled
+// nanoseconds, never a wall-clock sleep) is an LCG jittered exponential
+// derived from the configured seed, snapshots are the bit-exact PR 2
+// streams, and replay order is the recorded add order — so a recovered
+// run is bit-identical to a fault-free run of the same seeds.
+//
+// The good-point snapshot covers only the chain *below* this layer; a
+// TimingLayer above is deliberately outside it, because modeled real
+// time must keep advancing across recoveries (time is monotone, state
+// is not).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/layer.h"
+
+namespace qpf::arch {
+
+class PauliFrameLayer;
+class TimingLayer;
+
+/// Recovery policy.  Defaults retry three times, degrade, and escalate
+/// on the third abandoned operation.
+struct SupervisorOptions {
+  std::size_t max_retries = 3;    ///< restore+replay attempts per fault
+  std::size_t escalate_after = 3; ///< abandoned operations before escalation
+  std::size_t rearm_after = 2;    ///< clean executes to re-arm from DEGRADED
+  double backoff_base_ns = 100.0; ///< first-retry backoff (modeled ns)
+  double backoff_cap_ns = 1.0e6;  ///< backoff ceiling per attempt
+  std::uint64_t seed = 0;         ///< jitter seed (deterministic)
+  /// Escalate when the deadline watchdog's total overrun count reaches
+  /// this (0 = never escalate on overruns).
+  std::size_t escalate_on_overruns = 0;
+};
+
+enum class SupervisionState : std::uint8_t {
+  kNormal = 0,
+  kDegraded = 1,
+  kEscalated = 2,
+};
+
+/// Aggregate counters, exported into campaign statistics.
+struct SupervisorStats {
+  std::size_t faults_seen = 0; ///< typed errors caught from below
+  std::size_t retries = 0;     ///< individual recovery attempts
+  std::size_t recoveries = 0;  ///< faults fully recovered (restore+replay)
+  std::size_t episodes = 0;    ///< operations abandoned (degrade events)
+  std::size_t rearms = 0;      ///< DEGRADED -> NORMAL transitions
+  double backoff_ns = 0.0;     ///< total modeled backoff
+};
+
+/// One fault episode, kept for the escalation report.
+struct SupervisorIncident {
+  std::size_t ordinal = 0;
+  std::string phase;    ///< "add" / "execute" / "deadline"
+  std::string error;    ///< what() of the triggering error
+  std::size_t attempts = 0;
+  double backoff_ns = 0.0;
+  std::string outcome;  ///< "recovered" / "degraded" / "abandoned" / "escalated"
+};
+
+class SupervisorLayer final : public Layer {
+ public:
+  SupervisorLayer(Core* lower, SupervisorOptions options = {});
+
+  // Non-owning collaborators, wired by the stack builder.
+  /// Frame to flush when entering DEGRADED (may be null).
+  void set_frame(PauliFrameLayer* frame) noexcept { frame_ = frame; }
+  /// Deadline watchdog whose overrun count feeds escalation (may be
+  /// null; the TimingLayer sits *above* this layer in the stack).
+  void set_watchdog(TimingLayer* watchdog) noexcept { watchdog_ = watchdog; }
+
+  void create_qubits(std::size_t count) override;
+  void remove_qubits() override;
+  void add(const Circuit& circuit) override;
+  void execute() override;
+
+  /// Re-snapshot the chain below as the new good point and forget the
+  /// replay buffer.  The stack builder calls this when leaving
+  /// diagnostic mode: probe circuits bypass the supervisor, so the old
+  /// good point no longer matches the chain.
+  void refresh_good_point();
+
+  [[nodiscard]] SupervisionState state() const noexcept { return state_; }
+  [[nodiscard]] const SupervisorStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const std::vector<SupervisorIncident>& incidents()
+      const noexcept {
+    return incidents_;
+  }
+  /// Human-readable incident log (one line per episode).
+  [[nodiscard]] std::string incident_report() const;
+
+  [[nodiscard]] const SupervisorOptions& options() const noexcept {
+    return options_;
+  }
+
+  void save_state(journal::SnapshotWriter& out) const override;
+  void load_state(journal::SnapshotReader& in) override;
+
+ private:
+  [[nodiscard]] double next_backoff_ns(std::size_t attempt);
+  void mark_good_point();
+  void restore_good_point();
+  /// Retry loop: restore + replay (+ execute).  Returns true on
+  /// recovery; false after degrading.  Throws on escalation.
+  bool recover(const Error& cause, bool then_execute, const char* phase);
+  void degrade(SupervisorIncident incident);
+  void abandon_degraded(const Error& cause, const char* phase);
+  void maybe_escalate(const char* reason);
+  void check_watchdog();
+  [[noreturn]] void throw_escalated(const std::string& reason);
+  void record(SupervisorIncident incident);
+
+  SupervisorOptions options_;
+  SupervisionState state_ = SupervisionState::kNormal;
+  SupervisorStats stats_;
+  std::vector<SupervisorIncident> incidents_;
+  std::size_t incidents_dropped_ = 0;
+
+  PauliFrameLayer* frame_ = nullptr;    // non-owning
+  TimingLayer* watchdog_ = nullptr;     // non-owning
+  std::size_t overruns_escalated_ = 0;  // deadline incidents recorded
+
+  std::uint64_t backoff_lcg_ = 0;
+  std::size_t clean_streak_ = 0;
+
+  std::vector<Circuit> pending_;             ///< adds since the good point
+  std::vector<std::uint8_t> good_point_;     ///< snapshot of the chain below
+  bool has_good_point_ = false;
+};
+
+}  // namespace qpf::arch

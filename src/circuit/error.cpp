@@ -58,4 +58,20 @@ CheckpointError::CheckpointError(const std::string& message,
                          std::nullopt}),
       path_(path) {}
 
+TransientFaultError::TransientFaultError(const std::string& component,
+                                         const std::string& message,
+                                         std::optional<std::size_t> slot)
+    : Error(message, ErrorContext{component, slot, std::nullopt,
+                                  std::nullopt}) {}
+
+SupervisionError::SupervisionError(const std::string& message,
+                                   std::string incident_report,
+                                   std::size_t episodes)
+    : Error(message + " after " + std::to_string(episodes) +
+                " fault episode(s)",
+            ErrorContext{"supervisor", std::nullopt, std::nullopt,
+                         std::nullopt}),
+      incident_report_(std::move(incident_report)),
+      episodes_(episodes) {}
+
 }  // namespace qpf

@@ -8,12 +8,17 @@
 // keep working.
 //
 // Subclasses map to the three failure domains of the stack:
-//   QasmParseError   — malformed program text (QASM / CHP dialects),
-//   StackConfigError — a layer, core, or model rejected its inputs,
-//   QcuError         — QISA assembly / Quantum Control Unit faults,
-//   CheckpointError  — snapshot / checkpoint / journal persistence
-//                      faults (corruption, version skew, unsupported
-//                      stack elements).
+//   QasmParseError      — malformed program text (QASM / CHP dialects),
+//   StackConfigError    — a layer, core, or model rejected its inputs,
+//   QcuError            — QISA assembly / Quantum Control Unit faults,
+//   CheckpointError     — snapshot / checkpoint / journal persistence
+//                         faults (corruption, version skew, unsupported
+//                         stack elements),
+//   TransientFaultError — an injected (or detected) transient classical
+//                         control-path fault: the operation can be
+//                         retried, the machine state may need restoring,
+//   SupervisionError    — the supervision layer exhausted its recovery
+//                         budget; carries the full incident record.
 #pragma once
 
 #include <cstddef>
@@ -86,6 +91,39 @@ class CheckpointError : public Error {
 
  private:
   std::string path_;
+};
+
+/// A transient classical control-path fault — injected by the chaos
+/// schedule of ClassicalFaultLayer or detected by a self-check.  The
+/// defining property is that the *operation* failed, not the request:
+/// a supervisor may retry it, possibly after restoring the machine
+/// state below the fault point from a snapshot.
+class TransientFaultError : public Error {
+ public:
+  TransientFaultError(const std::string& component, const std::string& message,
+                      std::optional<std::size_t> slot = std::nullopt);
+};
+
+/// The supervision layer exhausted its recovery budget (retries, then
+/// degraded episodes) and is escalating to the operator.  Carries the
+/// rendered incident record — one line per fault episode with attempts,
+/// backoff, and outcome — so the escalation is auditable after the
+/// process exits.
+class SupervisionError : public Error {
+ public:
+  SupervisionError(const std::string& message, std::string incident_report,
+                   std::size_t episodes);
+
+  /// Human-readable incident log accumulated by the supervisor.
+  [[nodiscard]] const std::string& incident_report() const noexcept {
+    return incident_report_;
+  }
+  /// Number of fault episodes (degrade events) before escalation.
+  [[nodiscard]] std::size_t episodes() const noexcept { return episodes_; }
+
+ private:
+  std::string incident_report_;
+  std::size_t episodes_;
 };
 
 }  // namespace qpf

@@ -18,6 +18,8 @@
 #include "arch/error_layer.h"
 #include "arch/pauli_frame_layer.h"
 #include "arch/qx_core.h"
+#include "arch/supervisor_layer.h"
+#include "arch/timing_layer.h"
 #include "arch/validating_layer.h"
 #include "circuit/error.h"
 #include "circuit/qasm.h"
@@ -67,10 +69,20 @@ struct FaultSummary {
   pf::FrameHealth health;
   std::size_t recovery_flushes = 0;
   std::size_t validator_reports = 0;
+  // Supervision subsystem (zero unless the layers are built).
+  std::size_t faults_recovered = 0;
+  std::size_t fault_episodes = 0;
+  std::size_t deadline_overruns = 0;
+  std::size_t chaos_crashes = 0;
+  std::size_t chaos_stalls = 0;
+  std::size_t chaos_bursts = 0;
 
   [[nodiscard]] bool anything() const noexcept {
     return injected.total() != 0 || health.checks != 0 ||
-           recovery_flushes != 0 || validator_reports != 0;
+           recovery_flushes != 0 || validator_reports != 0 ||
+           faults_recovered != 0 || fault_episodes != 0 ||
+           deadline_overruns != 0 || chaos_crashes != 0 ||
+           chaos_stalls != 0 || chaos_bursts != 0;
   }
 
   void merge(const FaultSummary& delta) {
@@ -86,17 +98,28 @@ struct FaultSummary {
     health.scrubs += delta.health.scrubs;
     recovery_flushes += delta.recovery_flushes;
     validator_reports += delta.validator_reports;
+    faults_recovered += delta.faults_recovered;
+    fault_episodes += delta.fault_episodes;
+    deadline_overruns += delta.deadline_overruns;
+    chaos_crashes += delta.chaos_crashes;
+    chaos_stalls += delta.chaos_stalls;
+    chaos_bursts += delta.chaos_bursts;
   }
 };
 
 void accumulate(FaultSummary& summary, const arch::ClassicalFaultLayer* faults,
                 const arch::PauliFrameLayer* frame,
-                const arch::ValidatingLayer* validator) {
+                const arch::ValidatingLayer* validator,
+                const arch::SupervisorLayer* supervisor,
+                const arch::TimingLayer* timing) {
   if (faults != nullptr) {
     summary.injected.dropped += faults->tally().dropped;
     summary.injected.duplicated += faults->tally().duplicated;
     summary.injected.reordered += faults->tally().reordered;
     summary.injected.readout_flips += faults->tally().readout_flips;
+    summary.chaos_crashes += faults->chaos_tally().crashes;
+    summary.chaos_stalls += faults->chaos_tally().stalls;
+    summary.chaos_bursts += faults->chaos_tally().bursts;
   }
   if (frame != nullptr) {
     const pf::FrameHealth& health = frame->frame().health();
@@ -110,6 +133,13 @@ void accumulate(FaultSummary& summary, const arch::ClassicalFaultLayer* faults,
   }
   if (validator != nullptr) {
     summary.validator_reports += validator->reports().size();
+  }
+  if (supervisor != nullptr) {
+    summary.faults_recovered += supervisor->stats().recoveries;
+    summary.fault_episodes += supervisor->stats().episodes;
+  }
+  if (timing != nullptr) {
+    summary.deadline_overruns += timing->total_overruns();
   }
 }
 
@@ -131,16 +161,22 @@ std::string run_circuit_shot(const RunnerOptions& options,
   std::unique_ptr<arch::ClassicalFaultLayer> faults;
   std::unique_ptr<arch::PauliFrameLayer> frame;
   std::unique_ptr<arch::ValidatingLayer> validator;
+  std::unique_ptr<arch::SupervisorLayer> supervisor;
+  std::unique_ptr<arch::TimingLayer> timing;
   arch::Core* top = core.get();
   if (options.error_rate > 0.0) {
     error = std::make_unique<arch::ErrorLayer>(top, options.error_rate,
                                                seed ^ 0x517ULL);
     top = error.get();
   }
-  if (options.classical_fault_rate > 0.0) {
+  if (options.classical_fault_rate > 0.0 || options.chaos.any()) {
+    // Each shot gets its own deterministic chaos schedule: the storm
+    // should not strike every shot at the same call index.
+    arch::ChaosConfig chaos = options.chaos;
+    chaos.seed ^= seed;
     faults = std::make_unique<arch::ClassicalFaultLayer>(
         top, arch::ClassicalFaultRates::uniform(options.classical_fault_rate),
-        seed ^ 0xfa017ULL);
+        seed ^ 0xfa017ULL, chaos);
     top = faults.get();
   }
   if (options.pauli_frame) {
@@ -151,6 +187,23 @@ std::string run_circuit_shot(const RunnerOptions& options,
   if (options.validate) {
     validator = std::make_unique<arch::ValidatingLayer>(top, frame.get());
     top = validator.get();
+  }
+  if (options.supervise) {
+    arch::SupervisorOptions policy;
+    policy.seed = seed ^ 0xa24baed4963ee407ULL;
+    supervisor = std::make_unique<arch::SupervisorLayer>(top, policy);
+    supervisor->set_frame(frame.get());
+    top = supervisor.get();
+  }
+  if (options.deadline_slot_ns > 0.0) {
+    timing = std::make_unique<arch::TimingLayer>(top);
+    timing->set_deadline(
+        arch::DeadlineBudget{options.deadline_slot_ns, 0.0});
+    timing->set_stall_source(faults.get());
+    if (supervisor) {
+      supervisor->set_watchdog(timing.get());
+    }
+    top = timing.get();
   }
   const std::size_t qubits = std::max<std::size_t>(
       circuit.min_register_size(), 1);
@@ -169,7 +222,8 @@ std::string run_circuit_shot(const RunnerOptions& options,
     *state_dump = qx->get_quantum_state()->str(1e-9);
   }
   if (summary != nullptr) {
-    accumulate(*summary, faults.get(), frame.get(), validator.get());
+    accumulate(*summary, faults.get(), frame.get(), validator.get(),
+               supervisor.get(), timing.get());
   }
   return bits;
 }
@@ -207,7 +261,34 @@ journal::JournalEntry run_config_entry(const RunnerOptions& options,
   entry.fields["pauli_frame"] = options.pauli_frame ? "1" : "0";
   entry.fields["protection"] = std::string(pf::name(options.frame_protection));
   entry.fields["validate"] = options.validate ? "1" : "0";
+  // Supervision fields only when the subsystems are on, so a run with
+  // them off produces journal bytes identical to a build without them.
+  if (options.supervise) {
+    entry.fields["supervise"] = "1";
+  }
+  if (options.deadline_slot_ns > 0.0) {
+    std::snprintf(rate, sizeof rate, "%.17g", options.deadline_slot_ns);
+    entry.fields["deadline_slot_ns"] = rate;
+  }
+  if (options.chaos.any()) {
+    entry.fields["chaos_seed"] = std::to_string(options.chaos.seed);
+    entry.fields["chaos_min_gap"] = std::to_string(options.chaos.min_gap);
+    entry.fields["chaos_max_gap"] = std::to_string(options.chaos.max_gap);
+    entry.fields["chaos_crash_w"] =
+        std::to_string(options.chaos.crash_weight);
+    entry.fields["chaos_stall_w"] =
+        std::to_string(options.chaos.stall_weight);
+    entry.fields["chaos_burst_w"] =
+        std::to_string(options.chaos.burst_weight);
+  }
   return entry;
+}
+
+// Has any supervision subsystem been requested?  Gates the extended
+// journal / checkpoint fields.
+bool supervision_on(const RunnerOptions& options) {
+  return options.supervise || options.deadline_slot_ns > 0.0 ||
+         options.chaos.any();
 }
 
 // Aggregate run state that the journal replay / checkpoint restores.
@@ -220,7 +301,12 @@ struct RunAggregate {
 
 void apply_shot_entry(RunAggregate& aggregate,
                       const journal::JournalEntry& entry) {
-  ++aggregate.histogram[entry.get("bits")];
+  const bool timed_out = entry.get_u64("timed_out") != 0;
+  // A timed-out shot was cut, not completed: it never joins the
+  // histogram (its bits are the partial result of an over-budget shot).
+  if (!timed_out) {
+    ++aggregate.histogram[entry.get("bits")];
+  }
   FaultSummary delta;
   delta.injected.dropped = entry.get_u64("dropped");
   delta.injected.duplicated = entry.get_u64("duplicated");
@@ -234,20 +320,32 @@ void apply_shot_entry(RunAggregate& aggregate,
   delta.health.scrubs = entry.get_u64("scrubs");
   delta.recovery_flushes = entry.get_u64("recovery_flushes");
   delta.validator_reports = entry.get_u64("validator_reports");
+  delta.faults_recovered = entry.get_u64("recovered");
+  delta.fault_episodes = entry.get_u64("episodes");
+  delta.deadline_overruns = entry.get_u64("overruns");
+  delta.chaos_crashes = entry.get_u64("chaos_crashes");
+  delta.chaos_stalls = entry.get_u64("chaos_stalls");
+  delta.chaos_bursts = entry.get_u64("chaos_bursts");
   aggregate.summary.merge(delta);
-  if (entry.get_u64("timed_out") != 0) {
+  if (timed_out) {
     ++aggregate.timed_out_shots;
   }
   ++aggregate.shots_done;
 }
 
-journal::JournalEntry shot_entry(std::size_t shot, const std::string& bits,
+journal::JournalEntry shot_entry(const RunnerOptions& options,
+                                 std::size_t shot, const std::string& bits,
                                  bool timed_out, const FaultSummary& delta) {
   journal::JournalEntry entry;
   entry.fields["kind"] = "shot";
   entry.fields["shot"] = std::to_string(shot);
   entry.fields["bits"] = bits;
   entry.fields["timed_out"] = timed_out ? "1" : "0";
+  // The distinct watchdog status, only when the watchdog is armed (so
+  // watchdog-off journals keep their exact historical bytes).
+  if (options.timeout_per_trial_ms != 0) {
+    entry.fields["status"] = timed_out ? "timed_out" : "ok";
+  }
   entry.fields["dropped"] = std::to_string(delta.injected.dropped);
   entry.fields["duplicated"] = std::to_string(delta.injected.duplicated);
   entry.fields["reordered"] = std::to_string(delta.injected.reordered);
@@ -263,11 +361,26 @@ journal::JournalEntry shot_entry(std::size_t shot, const std::string& bits,
   entry.fields["recovery_flushes"] = std::to_string(delta.recovery_flushes);
   entry.fields["validator_reports"] =
       std::to_string(delta.validator_reports);
+  if (options.supervise) {
+    entry.fields["recovered"] = std::to_string(delta.faults_recovered);
+    entry.fields["episodes"] = std::to_string(delta.fault_episodes);
+  }
+  if (options.deadline_slot_ns > 0.0) {
+    entry.fields["overruns"] = std::to_string(delta.deadline_overruns);
+  }
+  if (options.chaos.any()) {
+    entry.fields["chaos_crashes"] = std::to_string(delta.chaos_crashes);
+    entry.fields["chaos_stalls"] = std::to_string(delta.chaos_stalls);
+    entry.fields["chaos_bursts"] = std::to_string(delta.chaos_bursts);
+  }
   return entry;
 }
 
+// `extended` (supervision on) appends the supervision aggregates; off,
+// the checkpoint keeps the exact historical byte layout.
 void write_run_checkpoint(const std::string& path, std::uint32_t program_crc,
-                          std::uint64_t seed, const RunAggregate& aggregate) {
+                          std::uint64_t seed, const RunAggregate& aggregate,
+                          bool extended) {
   journal::SnapshotWriter out;
   out.tag("qpf-run");
   out.write_u32(program_crc);
@@ -291,13 +404,21 @@ void write_run_checkpoint(const std::string& path, std::uint32_t program_crc,
   out.write_size(aggregate.summary.health.scrubs);
   out.write_size(aggregate.summary.recovery_flushes);
   out.write_size(aggregate.summary.validator_reports);
+  if (extended) {
+    out.write_size(aggregate.summary.faults_recovered);
+    out.write_size(aggregate.summary.fault_episodes);
+    out.write_size(aggregate.summary.deadline_overruns);
+    out.write_size(aggregate.summary.chaos_crashes);
+    out.write_size(aggregate.summary.chaos_stalls);
+    out.write_size(aggregate.summary.chaos_bursts);
+  }
   journal::write_checkpoint_file(path, out.bytes());
 }
 
 // Throws CheckpointError on any mismatch or corruption.
 RunAggregate read_run_checkpoint(const std::string& path,
                                  std::uint32_t program_crc,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, bool extended) {
   journal::SnapshotReader in(journal::read_checkpoint_file(path));
   in.expect_tag("qpf-run");
   if (in.read_u32() != program_crc) {
@@ -327,6 +448,14 @@ RunAggregate read_run_checkpoint(const std::string& path,
   aggregate.summary.health.scrubs = in.read_size();
   aggregate.summary.recovery_flushes = in.read_size();
   aggregate.summary.validator_reports = in.read_size();
+  if (extended) {
+    aggregate.summary.faults_recovered = in.read_size();
+    aggregate.summary.fault_episodes = in.read_size();
+    aggregate.summary.deadline_overruns = in.read_size();
+    aggregate.summary.chaos_crashes = in.read_size();
+    aggregate.summary.chaos_stalls = in.read_size();
+    aggregate.summary.chaos_bursts = in.read_size();
+  }
   return aggregate;
 }
 
@@ -384,7 +513,8 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit,
     if (options.resume && journal::file_exists(checkpoint_path)) {
       try {
         RunAggregate restored =
-            read_run_checkpoint(checkpoint_path, program_crc, options.seed);
+            read_run_checkpoint(checkpoint_path, program_crc, options.seed,
+                                supervision_on(options));
         if (restored.shots_done > shots.size()) {
           throw CheckpointError(
               "run checkpoint claims more shots than the journal holds",
@@ -429,27 +559,33 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit,
             .count();
     const bool timed_out =
         options.timeout_per_trial_ms != 0 &&
-        static_cast<std::size_t>(elapsed_ms) >= options.timeout_per_trial_ms;
-    ++aggregate.histogram[bits];
-    aggregate.summary.merge(delta);
-    if (timed_out) {
+        (static_cast<std::size_t>(elapsed_ms) >=
+             options.timeout_per_trial_ms ||
+         (options.debug_timeout_every != 0 &&
+          (shot + 1) % options.debug_timeout_every == 0));
+    // A cut shot never joins the histogram: its bits are the state of
+    // an over-budget shot, not a completed sample.
+    if (!timed_out) {
+      ++aggregate.histogram[bits];
+    } else {
       ++aggregate.timed_out_shots;
     }
+    aggregate.summary.merge(delta);
     ++aggregate.shots_done;
     if (durable) {
-      log->append(shot_entry(shot, bits, timed_out, delta));
+      log->append(shot_entry(options, shot, bits, timed_out, delta));
       ++since_checkpoint;
       if (options.checkpoint_every != 0 &&
           since_checkpoint >= options.checkpoint_every) {
         write_run_checkpoint(checkpoint_path, program_crc, options.seed,
-                             aggregate);
+                             aggregate, supervision_on(options));
         since_checkpoint = 0;
       }
     }
   }
   if (durable && since_checkpoint != 0) {
     write_run_checkpoint(checkpoint_path, program_crc, options.seed,
-                         aggregate);
+                         aggregate, supervision_on(options));
   }
 
   const std::map<std::string, std::size_t>& histogram = aggregate.histogram;
@@ -464,10 +600,12 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit,
     out << "\n";
     return out.str();
   }
-  if (options.shots == 1) {
+  if (options.shots == 1 && !histogram.empty()) {
     out << "state (q_{n-1}..q_0): |" << histogram.begin()->first << ">\n";
   } else {
-    out << "histogram over " << options.shots << " shots:\n";
+    const std::size_t completed =
+        aggregate.shots_done - aggregate.timed_out_shots;
+    out << "histogram over " << completed << " completed shot(s):\n";
     for (const auto& [bits, count] : histogram) {
       out << "  |" << bits << ">  " << count << "\n";
     }
@@ -490,9 +628,25 @@ std::string run_circuit(const RunnerOptions& options, const Circuit& circuit,
   if (options.validate) {
     out << "validator: " << summary.validator_reports << " report(s)\n";
   }
+  if (options.chaos.any()) {
+    out << "chaos injected: " << summary.chaos_crashes << " crash(es), "
+        << summary.chaos_stalls << " stall(s), " << summary.chaos_bursts
+        << " burst(s)\n";
+  }
+  if (options.supervise) {
+    out << "supervisor: " << summary.faults_recovered
+        << " fault(s) recovered, " << summary.fault_episodes
+        << " episode(s)\n";
+  }
+  if (options.deadline_slot_ns > 0.0) {
+    out << "deadline: " << summary.deadline_overruns
+        << " overrun(s) of the " << options.deadline_slot_ns
+        << " ns slot budget\n";
+  }
   if (options.timeout_per_trial_ms != 0) {
-    out << "timed out: " << aggregate.timed_out_shots << " shot(s) over "
-        << options.timeout_per_trial_ms << " ms\n";
+    out << "timed out: " << aggregate.timed_out_shots
+        << " shot(s) cut at the " << options.timeout_per_trial_ms
+        << " ms budget and excluded from the histogram\n";
   }
   if (!state_dump.empty()) {
     out << "quantum state (last shot, frame flushed):\n" << state_dump;
@@ -613,14 +767,30 @@ std::string usage() {
          "  --resume=DIR        continue an interrupted journaled run;\n"
          "                      finished shots are replayed, not re-run\n"
          "  --timeout-per-trial=MS  per-shot watchdog; over-budget shots\n"
-         "                      are recorded timed_out and the run\n"
-         "                      continues\n";
+         "                      are journaled status=timed_out, cut from\n"
+         "                      the histogram, and the run continues\n"
+         "  --debug-timeout-every=N  test hook: treat every Nth shot as\n"
+         "                      over budget (requires --timeout-per-trial)\n"
+         "  --supervise         supervise the stack: catch typed faults,\n"
+         "                      restore from the last good snapshot,\n"
+         "                      degrade, escalate\n"
+         "  --deadline-ns=NS    per-slot modeled-time budget; overruns\n"
+         "                      are counted (and escalate under\n"
+         "                      --supervise policy)\n"
+         "  --chaos-gap=MIN:MAX scripted chaos schedule: seeded fault\n"
+         "                      events every MIN..MAX layer calls\n"
+         "  --chaos-seed=S      chaos schedule seed (default 0)\n"
+         "  --chaos-kinds=LIST  comma list of crash,stall,burst\n"
+         "                      (default crash)\n"
+         "  --chaos-stall-ns=NS latency debt per stall event\n"
+         "  --chaos-burst=N     crashes per burst event\n";
 }
 
 std::optional<RunnerOptions> parse_arguments(
     const std::vector<std::string>& arguments, std::string& error) {
   RunnerOptions options;
   bool format_given = false;
+  bool chaos_tuning_given = false;
   for (const std::string& argument : arguments) {
     std::string value;
     if (argument == "--pauli-frame") {
@@ -722,6 +892,88 @@ std::optional<RunnerOptions> parse_arguments(
         error = "--timeout-per-trial must be positive";
         return std::nullopt;
       }
+    } else if (consume_prefix(argument, "--debug-timeout-every=", value)) {
+      options.debug_timeout_every = std::strtoull(value.c_str(), nullptr, 10);
+      if (options.debug_timeout_every == 0) {
+        error = "--debug-timeout-every must be positive";
+        return std::nullopt;
+      }
+    } else if (argument == "--supervise") {
+      options.supervise = true;
+    } else if (consume_prefix(argument, "--deadline-ns=", value)) {
+      try {
+        options.deadline_slot_ns = std::stod(value);
+      } catch (const std::exception&) {
+        error = "bad deadline '" + value + "'";
+        return std::nullopt;
+      }
+      if (options.deadline_slot_ns <= 0.0) {
+        error = "--deadline-ns must be positive";
+        return std::nullopt;
+      }
+    } else if (consume_prefix(argument, "--chaos-seed=", value)) {
+      options.chaos.seed = std::strtoull(value.c_str(), nullptr, 10);
+      chaos_tuning_given = true;
+    } else if (consume_prefix(argument, "--chaos-gap=", value)) {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        error = "--chaos-gap needs MIN:MAX";
+        return std::nullopt;
+      }
+      options.chaos.min_gap =
+          std::strtoull(value.substr(0, colon).c_str(), nullptr, 10);
+      options.chaos.max_gap =
+          std::strtoull(value.substr(colon + 1).c_str(), nullptr, 10);
+      if (options.chaos.min_gap == 0 ||
+          options.chaos.min_gap > options.chaos.max_gap) {
+        error = "--chaos-gap needs 0 < MIN <= MAX (got '" + value + "')";
+        return std::nullopt;
+      }
+    } else if (consume_prefix(argument, "--chaos-kinds=", value)) {
+      chaos_tuning_given = true;
+      options.chaos.crash_weight = 0;
+      options.chaos.stall_weight = 0;
+      options.chaos.burst_weight = 0;
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::string kind =
+            value.substr(start, comma == std::string::npos ? std::string::npos
+                                                           : comma - start);
+        if (kind == "crash") {
+          options.chaos.crash_weight = 1;
+        } else if (kind == "stall") {
+          options.chaos.stall_weight = 1;
+        } else if (kind == "burst") {
+          options.chaos.burst_weight = 1;
+        } else {
+          error = "unknown chaos kind '" + kind + "'";
+          return std::nullopt;
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else if (consume_prefix(argument, "--chaos-stall-ns=", value)) {
+      chaos_tuning_given = true;
+      try {
+        options.chaos.stall_ns = std::stod(value);
+      } catch (const std::exception&) {
+        error = "bad stall duration '" + value + "'";
+        return std::nullopt;
+      }
+      if (options.chaos.stall_ns < 0.0) {
+        error = "--chaos-stall-ns must be non-negative";
+        return std::nullopt;
+      }
+    } else if (consume_prefix(argument, "--chaos-burst=", value)) {
+      chaos_tuning_given = true;
+      options.chaos.burst_length = std::strtoull(value.c_str(), nullptr, 10);
+      if (options.chaos.burst_length == 0) {
+        error = "--chaos-burst must be positive";
+        return std::nullopt;
+      }
     } else if (!argument.empty() && argument[0] == '-' && argument != "-") {
       error = "unknown option '" + argument + "'";
       return std::nullopt;
@@ -752,6 +1004,21 @@ std::optional<RunnerOptions> parse_arguments(
   }
   if (options.validate && !options.pauli_frame) {
     error = "--validate requires --pauli-frame";
+    return std::nullopt;
+  }
+  if (chaos_tuning_given && options.chaos.max_gap == 0) {
+    error = "--chaos-* options need a schedule: pass --chaos-gap=MIN:MAX";
+    return std::nullopt;
+  }
+  if (options.debug_timeout_every != 0 && options.timeout_per_trial_ms == 0) {
+    error = "--debug-timeout-every requires --timeout-per-trial";
+    return std::nullopt;
+  }
+  if ((options.supervise || options.deadline_slot_ns > 0.0 ||
+       options.chaos.any()) &&
+      (options.format == Format::kQisa || options.format == Format::kLogical)) {
+    error = "--supervise / --deadline-ns / --chaos-* support qasm/chp "
+            "programs only";
     return std::nullopt;
   }
   if (!options.checkpoint_dir.empty()) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/classical_fault_layer.h"
 #include "core/pauli_frame.h"
 
 namespace qpf::cli {
@@ -47,9 +48,23 @@ struct RunnerOptions {
   /// Continue a journaled run from checkpoint_dir; completed shots are
   /// replayed from the journal, never re-executed.
   bool resume = false;
-  /// Watchdog per shot in milliseconds (0 = off); an over-budget shot
-  /// is recorded timed_out in the journal and the run continues.
+  /// Watchdog per shot in milliseconds (0 = off).  An over-budget shot
+  /// is journaled with status "timed_out", excluded from the histogram
+  /// (it is cut, not completed), and the run continues; the summary
+  /// reports how many shots were cut.
   std::size_t timeout_per_trial_ms = 0;
+  /// Test hook: treat every Nth shot (1-based) as over budget without
+  /// waiting for wall-clock time (0 = off; requires
+  /// timeout_per_trial_ms != 0).  Lets tests pin the timed-out-shot
+  /// journal status deterministically.
+  std::size_t debug_timeout_every = 0;
+
+  /// Supervision subsystem (PR 4; all off by default, and off means
+  /// the per-shot stack — and every journal/checkpoint byte — is
+  /// identical to a build without it).
+  bool supervise = false;            ///< SupervisorLayer above the frame
+  double deadline_slot_ns = 0.0;     ///< per-slot budget (TimingLayer)
+  arch::ChaosConfig chaos{};         ///< scripted fault storms
   /// Cooperative stop flag (signal handler target).  When nonzero the
   /// run drains the in-flight shot, persists the journal tail, and
   /// reports an interrupted run (exit code 130 from run_tool).
@@ -63,7 +78,10 @@ struct RunnerOptions {
 ///   --slots=N         --classical-fault-rate=P
 ///   --protect-frame[=parity|vote]  --validate
 ///   --checkpoint-dir=DIR  --checkpoint-every=N  --resume=DIR
-///   --timeout-per-trial=MS   <input file or "-">
+///   --timeout-per-trial=MS  --debug-timeout-every=N
+///   --supervise  --deadline-ns=NS
+///   --chaos-seed=S  --chaos-gap=MIN:MAX  --chaos-kinds=LIST
+///   --chaos-stall-ns=NS  --chaos-burst=N   <input file or "-">
 /// The format defaults from the file extension when not given.
 [[nodiscard]] std::optional<RunnerOptions> parse_arguments(
     const std::vector<std::string>& arguments, std::string& error);

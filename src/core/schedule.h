@@ -58,4 +58,46 @@ struct ScheduleParams {
          (static_cast<double>((distance - 1) * ts_esm) + 1.0);
 }
 
+// --- Deadline model (PR 4) -------------------------------------------
+//
+// The watchdog in arch/timing_layer.h checks *modeled* nanoseconds
+// against per-slot and per-ESM-round budgets.  The helpers below tie
+// those budgets to the schedule parameters above, so experiments can
+// derive a budget ("the round deadline is the ESM duration plus 10 %
+// slack") instead of hard-coding magic nanosecond counts.
+
+/// Modeled duration of one ESM round: ts_esm slots, each bounded by the
+/// slowest operation (`worst_slot_ns`, typically the measurement), plus
+/// any classical stall debt accrued during the round.
+[[nodiscard]] constexpr double esm_round_ns(std::size_t ts_esm,
+                                            double worst_slot_ns,
+                                            double stall_ns = 0.0) noexcept {
+  return static_cast<double>(ts_esm) * worst_slot_ns + stall_ns;
+}
+
+/// A round budget with fractional slack over the fault-free round
+/// duration: slack 0.1 tolerates 10 % of stall before the watchdog
+/// trips.
+[[nodiscard]] constexpr double round_budget_ns(std::size_t ts_esm,
+                                               double worst_slot_ns,
+                                               double slack) noexcept {
+  return esm_round_ns(ts_esm, worst_slot_ns) * (1.0 + slack);
+}
+
+/// Headroom left in a budget after a round of the given duration;
+/// negative means the deadline was missed (the watchdog counts an
+/// overrun and the next decode is skipped).
+[[nodiscard]] constexpr double deadline_headroom_ns(
+    double budget_ns, double round_ns) noexcept {
+  return budget_ns - round_ns;
+}
+
+/// Largest per-round stall the budget tolerates before a decode is
+/// skipped — the chaos harness uses this to script storms that sit
+/// just above or just below the degrade threshold.
+[[nodiscard]] constexpr double max_tolerated_stall_ns(
+    double budget_ns, std::size_t ts_esm, double worst_slot_ns) noexcept {
+  return budget_ns - esm_round_ns(ts_esm, worst_slot_ns);
+}
+
 }  // namespace qpf::pf

@@ -1,0 +1,197 @@
+// Tests for the scripted chaos schedule in ClassicalFaultLayer (PR 4):
+// seeded, deterministic fault events (crash / stall / burst) at
+// LCG-drawn gaps, and their interplay with the SupervisorLayer — a
+// supervised crash storm must converge to the bit-exact fault-free run.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/error.h"
+
+#include "arch/chp_core.h"
+#include "arch/classical_fault_layer.h"
+#include "arch/supervisor_layer.h"
+
+namespace qpf::arch {
+namespace {
+
+Circuit step(std::size_t i) {
+  Circuit c;
+  c.append(GateType::kX, i % 3);
+  return c;
+}
+
+// Drive `calls` adds through a chaos-only layer and return the 1-based
+// call numbers that crashed.
+std::vector<std::size_t> crash_calls(const ChaosConfig& chaos,
+                                     std::size_t calls) {
+  ChpCore core(7);
+  ClassicalFaultLayer layer(&core, {}, 123, chaos);
+  layer.create_qubits(3);
+  std::vector<std::size_t> crashed;
+  for (std::size_t i = 1; i <= calls; ++i) {
+    try {
+      layer.add(step(i));
+    } catch (const TransientFaultError&) {
+      crashed.push_back(i);
+    }
+  }
+  return crashed;
+}
+
+TEST(ChaosScheduleTest, DisabledConfigForwardsVerbatim) {
+  ChpCore reference(7);
+  reference.create_qubits(3);
+  ChpCore core(7);
+  ClassicalFaultLayer layer(&core, {}, 123, ChaosConfig{});  // max_gap == 0
+  layer.create_qubits(3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    reference.add(step(i));
+    reference.execute();
+    layer.add(step(i));
+    layer.execute();
+  }
+  EXPECT_EQ(layer.get_state(), reference.get_state());
+  EXPECT_EQ(layer.chaos_tally().crashes, 0u);
+  EXPECT_EQ(layer.chaos_tally().stalls, 0u);
+  EXPECT_EQ(layer.chaos_tally().bursts, 0u);
+  EXPECT_EQ(layer.tally().total(), 0u);
+}
+
+TEST(ChaosScheduleTest, CrashScheduleIsSeedDeterministic) {
+  ChaosConfig chaos;
+  chaos.min_gap = 3;
+  chaos.max_gap = 9;
+  chaos.crash_weight = 1;
+  chaos.seed = 5;
+  const std::vector<std::size_t> first = crash_calls(chaos, 400);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(crash_calls(chaos, 400), first);
+  chaos.seed = 6;
+  EXPECT_NE(crash_calls(chaos, 400), first);
+}
+
+TEST(ChaosScheduleTest, GapsRespectTheConfiguredBounds) {
+  ChaosConfig chaos;
+  chaos.seed = 17;
+  chaos.min_gap = 4;
+  chaos.max_gap = 6;
+  chaos.crash_weight = 1;
+  const std::vector<std::size_t> crashed = crash_calls(chaos, 600);
+  ASSERT_GT(crashed.size(), 10u);
+  EXPECT_GE(crashed.front(), 4u);
+  EXPECT_LE(crashed.front(), 6u);
+  for (std::size_t i = 1; i < crashed.size(); ++i) {
+    const std::size_t gap = crashed[i] - crashed[i - 1];
+    EXPECT_GE(gap, 4u) << "event " << i;
+    EXPECT_LE(gap, 6u) << "event " << i;
+  }
+}
+
+TEST(ChaosScheduleTest, StallsAccrueDebtUntilPulled) {
+  ChaosConfig chaos;
+  chaos.seed = 9;
+  chaos.min_gap = 2;
+  chaos.max_gap = 2;
+  chaos.crash_weight = 0;
+  chaos.stall_weight = 1;
+  chaos.stall_ns = 750.0;
+  ChpCore core(7);
+  ClassicalFaultLayer layer(&core, {}, 123, chaos);
+  layer.create_qubits(3);
+  for (std::size_t i = 0; i < 4; ++i) {  // 8 calls -> events at 2,4,6,8
+    layer.add(step(i));
+    layer.execute();
+  }
+  EXPECT_EQ(layer.chaos_tally().stalls, 4u);
+  EXPECT_DOUBLE_EQ(layer.chaos_tally().stalled_ns, 4 * 750.0);
+  EXPECT_DOUBLE_EQ(layer.take_pending_stall_ns(), 4 * 750.0);
+  EXPECT_DOUBLE_EQ(layer.take_pending_stall_ns(), 0.0);  // debt is one-shot
+}
+
+TEST(ChaosScheduleTest, BurstCrashesConsecutiveCalls) {
+  ChaosConfig chaos;
+  chaos.seed = 21;
+  chaos.min_gap = 5;
+  chaos.max_gap = 5;
+  chaos.crash_weight = 0;
+  chaos.burst_weight = 1;
+  chaos.burst_length = 4;
+  // Event at call 5 starts a 4-crash burst (calls 5-8); the next gap of
+  // 5 was armed at call 5 and only ticks on non-burst calls, so the
+  // next burst begins at call 13.
+  const std::vector<std::size_t> crashed = crash_calls(chaos, 13);
+  EXPECT_EQ(crashed, (std::vector<std::size_t>{5, 6, 7, 8, 13}));
+
+  ChpCore core(7);
+  ClassicalFaultLayer layer(&core, {}, 123, chaos);
+  layer.create_qubits(3);
+  std::size_t crashes = 0;
+  for (std::size_t i = 1; i <= 13; ++i) {
+    try {
+      layer.add(step(i));
+    } catch (const TransientFaultError&) {
+      ++crashes;
+    }
+  }
+  EXPECT_EQ(layer.chaos_tally().bursts, 2u);
+  EXPECT_EQ(layer.chaos_tally().crashes, crashes);
+}
+
+TEST(ChaosRecoveryTest, SupervisedCrashStormConvergesToTheCleanRun) {
+  // The chaos clock is monotone across recoveries: a restored snapshot
+  // must not re-arm the crash that caused the restore.  If it did, the
+  // supervisor would loop on the same crash forever; because it does
+  // not, a generous retry budget recovers every crash and the final
+  // state is bit-identical to the fault-free run.
+  ChpCore reference(7);
+  reference.create_qubits(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    reference.add(step(i));
+    reference.execute();
+  }
+
+  ChaosConfig chaos;
+  chaos.seed = 3;
+  chaos.min_gap = 5;
+  chaos.max_gap = 9;
+  chaos.crash_weight = 1;
+  ChpCore core(7);
+  ClassicalFaultLayer faults(&core, {}, 123, chaos);
+  SupervisorOptions policy;
+  policy.max_retries = 10;
+  policy.escalate_after = 1000;
+  SupervisorLayer supervisor(&faults, policy);
+  supervisor.create_qubits(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    supervisor.add(step(i));
+    supervisor.execute();
+  }
+  EXPECT_EQ(supervisor.get_state(), reference.get_state());
+  EXPECT_EQ(supervisor.state(), SupervisionState::kNormal);
+  EXPECT_GT(supervisor.stats().recoveries, 0u);
+  EXPECT_GE(faults.chaos_tally().crashes, supervisor.stats().recoveries);
+  EXPECT_EQ(supervisor.stats().recoveries, supervisor.stats().faults_seen);
+}
+
+TEST(ChaosScheduleTest, RejectsInvalidConfigs) {
+  ChpCore core(1);
+  ChaosConfig chaos;
+  chaos.min_gap = 5;
+  chaos.max_gap = 3;  // inverted bounds
+  EXPECT_THROW((ClassicalFaultLayer{&core, {}, 1, chaos}), StackConfigError);
+  chaos = {};
+  chaos.max_gap = 4;
+  chaos.stall_ns = -1.0;
+  EXPECT_THROW((ClassicalFaultLayer{&core, {}, 1, chaos}), StackConfigError);
+  chaos = {};
+  chaos.max_gap = 4;
+  chaos.crash_weight = 0;
+  chaos.burst_weight = 1;
+  chaos.burst_length = 0;
+  EXPECT_THROW((ClassicalFaultLayer{&core, {}, 1, chaos}), StackConfigError);
+}
+
+}  // namespace
+}  // namespace qpf::arch

@@ -1,6 +1,8 @@
 // Tests for the qpf_run command-line library (cli/runner.h).
 #include "cli/runner.h"
 
+#include "journal/run_journal.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -391,6 +393,122 @@ TEST_F(CliCheckpointTest, TimeoutWatchdogReportsCleanRun) {
   std::ostringstream out, err;
   ASSERT_EQ(run_tool(args({"--timeout-per-trial=60000"}), out, err), 0);
   EXPECT_NE(out.str().find("timed out: 0 shot(s)"), std::string::npos);
+}
+
+TEST(CliParseTest, SupervisionFlags) {
+  const auto options =
+      parse({"--supervise", "--deadline-ns=250", "--chaos-gap=10:20",
+             "--chaos-seed=3", "--chaos-kinds=crash,stall",
+             "--chaos-stall-ns=100", "--chaos-burst=5", "a.qasm"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_TRUE(options->supervise);
+  EXPECT_DOUBLE_EQ(options->deadline_slot_ns, 250.0);
+  EXPECT_EQ(options->chaos.seed, 3u);
+  EXPECT_EQ(options->chaos.min_gap, 10u);
+  EXPECT_EQ(options->chaos.max_gap, 20u);
+  EXPECT_EQ(options->chaos.crash_weight, 1u);
+  EXPECT_EQ(options->chaos.stall_weight, 1u);
+  EXPECT_EQ(options->chaos.burst_weight, 0u);
+  EXPECT_DOUBLE_EQ(options->chaos.stall_ns, 100.0);
+  EXPECT_EQ(options->chaos.burst_length, 5u);
+  EXPECT_TRUE(options->chaos.any());
+}
+
+TEST(CliParseTest, SupervisionFlagRejections) {
+  // Chaos tuning without a schedule is a silent no-op — refuse it.
+  EXPECT_FALSE(parse({"--chaos-seed=3", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--chaos-kinds=crash", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--chaos-gap=0:5", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--chaos-gap=9:3", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--chaos-gap=5", "a.qasm"}).has_value());
+  EXPECT_FALSE(
+      parse({"--chaos-gap=2:4", "--chaos-kinds=frogs", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--deadline-ns=0", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--deadline-ns=-5", "a.qasm"}).has_value());
+  EXPECT_FALSE(parse({"--debug-timeout-every=4", "a.qasm"}).has_value());
+  // Supervision wraps the qasm/chp stack only.
+  EXPECT_FALSE(parse({"--supervise", "a.qisa"}).has_value());
+  EXPECT_FALSE(parse({"--chaos-gap=2:4", "a.lqasm"}).has_value());
+}
+
+TEST_F(CliCheckpointTest, DebugTimeoutCutsShotsFromHistogramAndJournal) {
+  // Every 4th of the 20 shots is treated as over budget: the journal
+  // must record the 5 cut shots with the distinct status, the histogram
+  // must exclude them, and the summary must report the cut count.
+  std::ostringstream out, err;
+  ASSERT_EQ(run_tool(args({"--timeout-per-trial=60000",
+                           "--debug-timeout-every=4",
+                           "--checkpoint-dir=" + dir_}),
+                     out, err),
+            0);
+  EXPECT_NE(out.str().find("timed out: 5 shot(s) cut at the 60000 ms budget"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("histogram over 15 completed shot(s)"),
+            std::string::npos)
+      << out.str();
+
+  std::size_t cut = 0;
+  std::size_t completed = 0;
+  for (const journal::JournalEntry& entry :
+       journal::read_journal(dir_ + "/shots.jsonl")) {
+    if (!entry.has("status")) {
+      continue;  // the config header line
+    }
+    if (entry.get("status") == "timed_out") {
+      ++cut;
+      EXPECT_EQ(entry.get("timed_out"), "1");
+    } else {
+      EXPECT_EQ(entry.get("status"), "ok");
+      ++completed;
+    }
+  }
+  EXPECT_EQ(cut, 5u);
+  EXPECT_EQ(completed, 15u);
+}
+
+std::vector<std::string> histogram_lines(const std::string& report) {
+  std::vector<std::string> lines;
+  std::istringstream in(report);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("  |", 0) == 0) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST_F(CliCheckpointTest, StallChaosUnderSupervisionKeepsTheHistogram) {
+  // Stall events cost modeled time, not correctness: with the watchdog
+  // armed the deadline line reports overruns, but the measured
+  // statistics must be identical to the undisturbed run.
+  std::ostringstream ref_out, ref_err;
+  ASSERT_EQ(run_tool(args({}), ref_out, ref_err), 0);
+
+  std::ostringstream out, err;
+  ASSERT_EQ(run_tool(args({"--supervise", "--chaos-gap=2:2",
+                           "--chaos-kinds=stall", "--chaos-stall-ns=5000",
+                           "--deadline-ns=100"}),
+                     out, err),
+            0);
+  EXPECT_EQ(histogram_lines(out.str()), histogram_lines(ref_out.str()));
+  EXPECT_NE(out.str().find("stall(s)"), std::string::npos) << out.str();
+  EXPECT_EQ(out.str().find(" 0 stall(s)"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("supervisor: 0 fault(s) recovered"),
+            std::string::npos)
+      << out.str();
+  // Measurement slots (300 ns) blow the 100 ns slot budget every shot.
+  EXPECT_NE(out.str().find("deadline:"), std::string::npos);
+  EXPECT_EQ(out.str().find("deadline: 0 overrun(s)"), std::string::npos)
+      << out.str();
+}
+
+TEST_F(CliCheckpointTest, UnsupervisedChaosCrashFailsWithATypedError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_tool(args({"--chaos-gap=2:2"}), out, err), 1);
+  EXPECT_NE(err.str().find("classical-fault-layer"), std::string::npos)
+      << err.str();
 }
 
 }  // namespace

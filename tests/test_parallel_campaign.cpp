@@ -150,6 +150,77 @@ TEST_F(ParallelCampaignTest, InterruptedParallelCampaignResumesBitIdentically) {
   expect_same_point(resumed.point, expected.point);
 }
 
+TEST_F(ParallelCampaignTest, ClassicalFaultsAreBitIdenticalAcrossJobs) {
+  // Duplicate/reorder/readout-flip injection draws from per-trial
+  // seeded RNGs, so the fault stream — and therefore the statistics and
+  // every journal byte — must not depend on worker scheduling.  Run at
+  // physical_error_rate = 0 with bounded windows, mirroring the
+  // classical-fault campaign convention: no drop faults, and no
+  // physical noise underneath the injected stream, because those
+  // combinations can legitimately un-measure an ESM ancilla and kill
+  // the decoder's input contract (exercised at the layer level in
+  // test_classical_faults.cpp instead).
+  CampaignOptions options;
+  options.config = fast_config();
+  options.config.physical_error_rate = 0.0;
+  options.config.max_windows = 50;
+  options.config.classical_faults = arch::ClassicalFaultRates{0.0, 0.01, 0.01, 0.01};
+  options.runs = 5;
+  QPF_ANNOUNCE_SEED(options.config.seed);
+
+  CampaignOptions sequential = options;
+  sequential.state_dir = dir_ + "_seq";
+  sequential.jobs = 1;
+  const CampaignResult a = run_ler_campaign(sequential);
+
+  CampaignOptions parallel = options;
+  parallel.state_dir = dir_ + "_par";
+  parallel.jobs = 4;
+  const CampaignResult b = run_ler_campaign(parallel);
+
+  expect_same_point(a.point, b.point);
+  const std::string seq_journal =
+      slurp(std::filesystem::path(sequential.state_dir) / "journal.jsonl");
+  const std::string par_journal =
+      slurp(std::filesystem::path(parallel.state_dir) / "journal.jsonl");
+  ASSERT_FALSE(seq_journal.empty());
+  EXPECT_EQ(seq_journal, par_journal);
+}
+
+TEST_F(ParallelCampaignTest, SupervisedChaosStormIsBitIdenticalAcrossJobs) {
+  // A supervised crash storm: every crash is recovered by snapshot
+  // restore + replay inside the worker, so the aggregate — including
+  // the recovery counters — must match the sequential engine exactly.
+  // This suite also runs under TSan (check_sanitize.sh).
+  CampaignOptions options;
+  options.config = fast_config();
+  options.config.chaos.seed = 7;
+  options.config.chaos.min_gap = 400;
+  options.config.chaos.max_gap = 700;
+  options.config.chaos.crash_weight = 1;
+  options.config.supervise = true;
+  options.config.supervisor.max_retries = 10;
+  options.config.supervisor.escalate_after = 1'000'000;
+  options.config.supervisor.rearm_after = 1;
+  options.runs = 4;
+  QPF_ANNOUNCE_SEED(options.config.seed);
+
+  CampaignOptions sequential = options;
+  sequential.jobs = 1;
+  const CampaignResult a = run_ler_campaign(sequential);
+  ASSERT_EQ(a.trials_completed, 4u);
+
+  CampaignOptions parallel = options;
+  parallel.jobs = 4;
+  const CampaignResult b = run_ler_campaign(parallel);
+  ASSERT_EQ(b.trials_completed, 4u);
+
+  expect_same_point(a.point, b.point);
+  EXPECT_EQ(a.faults_recovered, b.faults_recovered);
+  EXPECT_EQ(a.fault_episodes, b.fault_episodes);
+  EXPECT_GT(a.faults_recovered, 0u) << "the storm never fired";
+}
+
 TEST_F(ParallelCampaignTest, TimedOutTrialsDoNotBreakParallelAggregation) {
   // A 0 ms-budget watchdog times every trial out at its first window;
   // the parallel engine must record them all and finish cleanly.

@@ -1,0 +1,312 @@
+// Tests for the SupervisorLayer recovery state machine (PR 4): retry
+// with deterministic backoff, snapshot restore + replay, graceful
+// degradation with frame flush, re-arming, and typed escalation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "circuit/error.h"
+
+#include "arch/chp_core.h"
+#include "arch/pauli_frame_layer.h"
+#include "arch/supervisor_layer.h"
+#include "journal/snapshot.h"
+
+namespace qpf::arch {
+namespace {
+
+// A scripted fault injector for the chain below the supervisor: throws
+// a TransientFaultError on chosen call indices, either before (pre) or
+// after (post) forwarding — post faults leave the lower chain already
+// mutated, so a bare retry without a snapshot restore would double-
+// apply the circuit.
+class ScriptedFaultLayer final : public Layer {
+ public:
+  explicit ScriptedFaultLayer(Core* lower) : Layer(lower) {}
+
+  void fault_at(std::size_t call, bool post = false) {
+    (post ? post_faults_ : pre_faults_).insert(call);
+  }
+  void fault_always(bool on) { always_ = on; }
+  /// Fault the next `n` calls, whatever they are, then go clean.
+  void fault_next(std::size_t n) { countdown_ = n; }
+  [[nodiscard]] std::size_t calls() const noexcept { return calls_; }
+
+  void add(const Circuit& circuit) override {
+    const std::size_t call = calls_++;
+    if (pre_fault(call)) {
+      throw TransientFaultError("scripted", "pre-fault", call);
+    }
+    lower().add(circuit);
+    if (post_faults_.count(call) != 0) {
+      throw TransientFaultError("scripted", "post-fault", call);
+    }
+  }
+
+  void execute() override {
+    const std::size_t call = calls_++;
+    if (pre_fault(call)) {
+      throw TransientFaultError("scripted", "pre-fault", call);
+    }
+    lower().execute();
+    if (post_faults_.count(call) != 0) {
+      throw TransientFaultError("scripted", "post-fault", call);
+    }
+  }
+
+ private:
+  bool pre_fault(std::size_t call) {
+    if (countdown_ > 0) {
+      --countdown_;
+      return true;
+    }
+    return always_ || pre_faults_.count(call) != 0;
+  }
+
+  std::set<std::size_t> pre_faults_;
+  std::set<std::size_t> post_faults_;
+  bool always_ = false;
+  std::size_t countdown_ = 0;
+  std::size_t calls_ = 0;
+};
+
+Circuit ghz_step() {
+  Circuit c;
+  c.append(GateType::kH, 0);
+  c.append(GateType::kCnot, 0, 1);
+  c.append(GateType::kCnot, 1, 2);
+  return c;
+}
+
+// Reference: the state a fault-free run of `adds` deterministic
+// circuits produces on a seed-`seed` ChpCore.
+BinaryState reference_state(std::uint64_t seed, std::size_t adds) {
+  ChpCore core(seed);
+  core.create_qubits(3);
+  for (std::size_t i = 0; i < adds; ++i) {
+    Circuit c;
+    c.append(GateType::kX, i % 3);
+    core.add(c);
+    core.execute();
+  }
+  return core.get_state();
+}
+
+TEST(SupervisorLayerTest, RejectsZeroBudgets) {
+  ChpCore core(1);
+  SupervisorOptions options;
+  options.max_retries = 0;
+  EXPECT_THROW((SupervisorLayer{&core, options}), StackConfigError);
+  options = {};
+  options.escalate_after = 0;
+  EXPECT_THROW((SupervisorLayer{&core, options}), StackConfigError);
+  options = {};
+  options.rearm_after = 0;
+  EXPECT_THROW((SupervisorLayer{&core, options}), StackConfigError);
+  options = {};
+  options.backoff_base_ns = -1.0;
+  EXPECT_THROW((SupervisorLayer{&core, options}), StackConfigError);
+}
+
+TEST(SupervisorLayerTest, CleanTrafficPassesThroughUntouched) {
+  ChpCore core(7);
+  SupervisorLayer supervisor(&core);
+  supervisor.create_qubits(3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Circuit c;
+    c.append(GateType::kX, i % 3);
+    supervisor.add(c);
+    supervisor.execute();
+  }
+  EXPECT_EQ(supervisor.get_state(), reference_state(7, 4));
+  EXPECT_EQ(supervisor.state(), SupervisionState::kNormal);
+  EXPECT_EQ(supervisor.stats().faults_seen, 0u);
+  EXPECT_TRUE(supervisor.incidents().empty());
+}
+
+TEST(SupervisorLayerTest, RecoversPreFaultByReplay) {
+  ChpCore core(7);
+  ScriptedFaultLayer flaky(&core);
+  flaky.fault_at(3);  // the second execute faults before forwarding
+  SupervisorLayer supervisor(&flaky);
+  supervisor.create_qubits(3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Circuit c;
+    c.append(GateType::kX, i % 3);
+    supervisor.add(c);
+    supervisor.execute();
+  }
+  EXPECT_EQ(supervisor.get_state(), reference_state(7, 4));
+  EXPECT_EQ(supervisor.state(), SupervisionState::kNormal);
+  EXPECT_EQ(supervisor.stats().faults_seen, 1u);
+  EXPECT_EQ(supervisor.stats().recoveries, 1u);
+  ASSERT_EQ(supervisor.incidents().size(), 1u);
+  EXPECT_EQ(supervisor.incidents()[0].outcome, "recovered");
+  EXPECT_GT(supervisor.stats().backoff_ns, 0.0);
+}
+
+TEST(SupervisorLayerTest, RecoversPostFaultByRestoringTheMutatedChain) {
+  // The fault fires *after* the add reached the core: without the
+  // snapshot restore the replayed add would apply the X twice and the
+  // final state would be wrong.
+  ChpCore core(7);
+  ScriptedFaultLayer flaky(&core);
+  flaky.fault_at(2, /*post=*/true);
+  SupervisorLayer supervisor(&flaky);
+  supervisor.create_qubits(3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    Circuit c;
+    c.append(GateType::kX, i % 3);
+    supervisor.add(c);
+    supervisor.execute();
+  }
+  EXPECT_EQ(supervisor.get_state(), reference_state(7, 4));
+  EXPECT_EQ(supervisor.stats().recoveries, 1u);
+}
+
+TEST(SupervisorLayerTest, DegradesWhenRetriesExhaustAndRearms) {
+  ChpCore core(7);
+  ScriptedFaultLayer flaky(&core);
+  SupervisorOptions options;
+  options.max_retries = 2;
+  options.escalate_after = 10;
+  options.rearm_after = 2;
+  SupervisorLayer supervisor(&flaky, options);
+  supervisor.create_qubits(3);
+
+  flaky.fault_always(true);
+  Circuit c = ghz_step();
+  supervisor.add(c);  // retries exhaust silently; the layer degrades
+  EXPECT_EQ(supervisor.state(), SupervisionState::kDegraded);
+  EXPECT_EQ(supervisor.stats().episodes, 1u);
+  EXPECT_EQ(supervisor.stats().retries, 2u);
+  ASSERT_EQ(supervisor.incidents().size(), 1u);
+  EXPECT_EQ(supervisor.incidents()[0].outcome, "degraded");
+
+  // Two clean executes re-arm the supervisor.
+  flaky.fault_always(false);
+  supervisor.execute();
+  EXPECT_EQ(supervisor.state(), SupervisionState::kDegraded);
+  supervisor.execute();
+  EXPECT_EQ(supervisor.state(), SupervisionState::kNormal);
+  EXPECT_EQ(supervisor.stats().rearms, 1u);
+}
+
+TEST(SupervisorLayerTest, DegradeFlushesThePauliFrame) {
+  ChpCore core(7);
+  ScriptedFaultLayer flaky(&core);
+  PauliFrameLayer frame(&flaky);
+  SupervisorOptions options;
+  options.max_retries = 1;
+  options.escalate_after = 10;
+  SupervisorLayer supervisor(&frame, options);
+  supervisor.set_frame(&frame);
+  supervisor.create_qubits(2);
+
+  // Park a Pauli in the frame, then fault the next add into degrade.
+  // Two faults exhaust the budget (the initial add plus its single
+  // restore+replay retry); the degrade-time flush itself runs clean.
+  Circuit pauli;
+  pauli.append(GateType::kX, 0);
+  supervisor.add(pauli);
+  EXPECT_FALSE(frame.frame().clean());
+  flaky.fault_next(2);
+  Circuit c;
+  c.append(GateType::kH, 1);
+  supervisor.add(c);
+  EXPECT_EQ(supervisor.state(), SupervisionState::kDegraded);
+  // Table 3.1: the supervisor flushed the frame on the way down, so the
+  // tracked X was physically applied and the frame is known-clean.
+  EXPECT_TRUE(frame.frame().clean());
+}
+
+TEST(SupervisorLayerTest, EscalatesWithTypedErrorAndIncidentRecord) {
+  ChpCore core(7);
+  ScriptedFaultLayer flaky(&core);
+  SupervisorOptions options;
+  options.max_retries = 1;
+  options.escalate_after = 2;
+  options.rearm_after = 100;
+  SupervisorLayer supervisor(&flaky, options);
+  supervisor.create_qubits(3);
+
+  flaky.fault_always(true);
+  Circuit c = ghz_step();
+  supervisor.add(c);  // episode 1: degrade
+  EXPECT_EQ(supervisor.state(), SupervisionState::kDegraded);
+  try {
+    supervisor.add(c);  // episode 2: escalate
+    FAIL() << "expected SupervisionError";
+  } catch (const SupervisionError& error) {
+    EXPECT_EQ(error.episodes(), 2u);
+    EXPECT_NE(error.incident_report().find("#1"), std::string::npos);
+    EXPECT_NE(error.incident_report().find("escalated"), std::string::npos);
+  }
+  EXPECT_EQ(supervisor.state(), SupervisionState::kEscalated);
+  // An escalated supervisor refuses further traffic, loudly.
+  EXPECT_THROW(supervisor.execute(), SupervisionError);
+}
+
+TEST(SupervisorLayerTest, BackoffScheduleIsSeedDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    ChpCore core(7);
+    ScriptedFaultLayer flaky(&core);
+    flaky.fault_at(1);
+    flaky.fault_at(4);
+    SupervisorOptions options;
+    options.seed = seed;
+    SupervisorLayer supervisor(&flaky, options);
+    supervisor.create_qubits(3);
+    Circuit c = ghz_step();
+    supervisor.add(c);
+    supervisor.execute();
+    supervisor.add(c);
+    supervisor.execute();
+    return supervisor.stats().backoff_ns;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SupervisorLayerTest, SnapshotRoundTripsStateMachine) {
+  ChpCore core(7);
+  ScriptedFaultLayer flaky(&core);
+  flaky.fault_at(1);
+  SupervisorLayer supervisor(&flaky);
+  supervisor.create_qubits(3);
+  Circuit c = ghz_step();
+  supervisor.add(c);
+  supervisor.execute();
+  ASSERT_EQ(supervisor.stats().recoveries, 1u);
+
+  journal::SnapshotWriter out;
+  supervisor.save_state(out);
+
+  ChpCore core2(99);
+  ScriptedFaultLayer flaky2(&core2);
+  SupervisorLayer restored(&flaky2);
+  restored.create_qubits(3);
+  journal::SnapshotReader in(out.bytes());
+  restored.load_state(in);
+  EXPECT_EQ(restored.state(), SupervisionState::kNormal);
+  EXPECT_EQ(restored.stats().recoveries, 1u);
+  EXPECT_EQ(restored.stats().backoff_ns, supervisor.stats().backoff_ns);
+  ASSERT_EQ(restored.incidents().size(), 1u);
+  EXPECT_EQ(restored.incidents()[0].outcome, "recovered");
+  EXPECT_EQ(restored.get_state(), supervisor.get_state());
+}
+
+TEST(SupervisorLayerTest, SnapshotRejectsImplausibleStreams) {
+  ChpCore core(7);
+  SupervisorLayer supervisor(&core);
+  supervisor.create_qubits(1);
+  journal::SnapshotWriter out;
+  out.tag("supervisor-layer");
+  out.write_u8(9);  // no such state
+  journal::SnapshotReader in(out.bytes());
+  EXPECT_THROW(supervisor.load_state(in), CheckpointError);
+}
+
+}  // namespace
+}  // namespace qpf::arch

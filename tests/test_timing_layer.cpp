@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/qx_core.h"
+#include "journal/snapshot.h"
 
 namespace qpf::arch {
 namespace {
@@ -63,6 +64,78 @@ TEST(TimingLayerTest, CustomTimings) {
   c.append(GateType::kMeasureZ, 0);
   clock.add(c);
   EXPECT_DOUBLE_EQ(clock.elapsed_ns(), 3.0);
+}
+
+TEST(TimingLayerWatchdogTest, SlotBudgetOverrunIsStickyUntilConsumed) {
+  QxCore core(1);
+  TimingLayer clock(&core);
+  clock.create_qubits(2);
+  clock.set_deadline(DeadlineBudget{/*slot_budget_ns=*/25.0, 0.0});
+  Circuit fast;
+  fast.append(GateType::kH, 0);  // 20 ns, under budget
+  clock.add(fast);
+  EXPECT_EQ(clock.slot_overruns(), 0u);
+  EXPECT_FALSE(clock.consume_overrun());
+  Circuit slow;
+  slow.append(GateType::kCnot, 0, 1);  // 40 ns, over budget
+  clock.add(slow);
+  EXPECT_EQ(clock.slot_overruns(), 1u);
+  EXPECT_EQ(clock.total_overruns(), 1u);
+  // The flag is one-shot: first consume sees it, second does not.
+  EXPECT_TRUE(clock.consume_overrun());
+  EXPECT_FALSE(clock.consume_overrun());
+}
+
+TEST(TimingLayerWatchdogTest, RoundBudgetCountsGatesAndStallDebt) {
+  QxCore core(1);
+  ClassicalFaultRates rates;  // all zero: only the chaos schedule fires
+  ChaosConfig chaos;
+  chaos.seed = 5;
+  chaos.min_gap = 1;
+  chaos.max_gap = 1;  // a stall on every call
+  chaos.crash_weight = 0;
+  chaos.stall_weight = 1;
+  chaos.stall_ns = 500.0;
+  ClassicalFaultLayer faults(&core, rates, 11, chaos);
+  TimingLayer clock(&faults);
+  clock.set_stall_source(&faults);
+  clock.set_deadline(DeadlineBudget{0.0, /*round_budget_ns=*/100.0});
+  clock.create_qubits(1);
+
+  Circuit c;
+  c.append(GateType::kH, 0);  // 20 ns of gates, well under the budget
+  clock.begin_round();
+  clock.add(c);
+  clock.execute();
+  clock.end_round();
+  // The stall debt (500 ns per chaos event) pushed the round over.
+  EXPECT_GT(clock.stalled_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(clock.elapsed_ns(), 20.0 + clock.stalled_ns());
+  EXPECT_GE(clock.round_overruns(), 1u);
+  EXPECT_TRUE(clock.consume_overrun());
+}
+
+TEST(TimingLayerWatchdogTest, OverrunCountersSurviveSnapshotRoundTrip) {
+  QxCore core(1);
+  TimingLayer clock(&core);
+  clock.create_qubits(2);
+  clock.set_deadline(DeadlineBudget{/*slot_budget_ns=*/25.0, 0.0});
+  Circuit slow;
+  slow.append(GateType::kCnot, 0, 1);
+  clock.add(slow);
+  clock.note_skipped_decode();
+  ASSERT_EQ(clock.slot_overruns(), 1u);
+
+  journal::SnapshotWriter out;
+  clock.save_state(out);
+  QxCore core2(1);
+  TimingLayer restored(&core2);
+  restored.create_qubits(2);
+  journal::SnapshotReader in(out.bytes());
+  restored.load_state(in);
+  EXPECT_DOUBLE_EQ(restored.elapsed_ns(), clock.elapsed_ns());
+  EXPECT_EQ(restored.slot_overruns(), 1u);
+  EXPECT_EQ(restored.decodes_skipped(), 1u);
 }
 
 }  // namespace

@@ -23,7 +23,18 @@ if [ ! -d "$bench_dir" ]; then
 fi
 
 workdir=$(mktemp -d "${TMPDIR:-/tmp}/qpf_bench.XXXXXX")
-trap 'rm -rf "$workdir"' EXIT INT TERM
+
+# Cleanup always; report any nonzero exit (a crashed bench or a schema
+# failure under set -e) so CTest can't see a green run with a dead
+# child.  Signals re-raise through the standard codes.
+cleanup() {
+    code=$?
+    rm -rf "$workdir"
+    [ "$code" -eq 0 ] || echo "check_bench.sh: FAIL (exit $code)" >&2
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 # Tiny workloads: one run per point, stop at the first logical error,
 # a handful of fault-injection circuits.  bench_micro ignores these and
@@ -40,9 +51,12 @@ for bench in "$bench_dir"/bench_*; do
     json="$workdir/$name.json"
     echo "check_bench.sh: $name"
     "$bench" --json "$json" --jobs 2 > "$workdir/$name.log" 2>&1 || {
-        echo "check_bench.sh: $name FAILED (exit $?)" >&2
+        status=$?
+        echo "check_bench.sh: $name FAILED (exit $status)" >&2
         tail -20 "$workdir/$name.log" >&2
-        exit 1
+        # Propagate the child's own exit code (139 for a segfault, not
+        # a generic 1), so the CTest log tells the real story.
+        exit "$status"
     }
     python3 - "$json" "$name" <<'EOF'
 import json, sys

@@ -1,0 +1,158 @@
+#!/bin/sh
+# Deterministic chaos scenarios over the supervised control stack.
+#
+# Every scenario must end in exactly one of two ways — bit-identical
+# statistics to the fault-free baseline, or a typed escalation with a
+# nonzero exit — never silent divergence.  Scenarios:
+#
+#   1. baseline:           fault-free reference -> stats line R
+#   2. crash-recover:      crash storm, supervised; recovered crashes
+#                          leave the statistics equal to R
+#   3. crash-unsupervised: the same storm with no supervisor dies with
+#                          a typed TransientFaultError (exit 1)
+#   4. crash-escalate:     a burst storm exhausts retries and episodes;
+#                          typed SupervisionError + incident log (exit 1)
+#   5. stall-degrade:      stalls blow the round deadline; decodes are
+#                          skipped deterministically (two runs identical)
+#   6. stall-escalate:     the same storm under an overrun budget dies
+#                          with a typed SupervisionError (exit 1)
+#   7. hard kill:          crash-recover SIGKILL'd mid-campaign resumes
+#                          from PR 2's checkpoints to exactly R
+#   8. corruption:         the mid-trial checkpoint is bit-flipped; the
+#                          resume warns, falls back, and still prints R
+#
+# Usage: tools/check_chaos.sh [build-dir]     (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+qpf_chaos="$build_dir/tools/qpf_chaos"
+
+if [ ! -x "$qpf_chaos" ]; then
+    echo "check_chaos.sh: $qpf_chaos not built" >&2
+    exit 1
+fi
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/qpf_chaos.XXXXXX")
+
+cleanup() {
+    code=$?
+    rm -rf "$workdir"
+    [ "$code" -eq 0 ] || echo "check_chaos.sh: FAIL (exit $code)" >&2
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+fail() {
+    echo "check_chaos.sh: FAIL: $1" >&2
+    exit 1
+}
+
+# One workload for every scenario, big enough (~1s) that the SIGKILL in
+# scenario 7 lands mid-campaign.
+args="--runs=4 --errors=10 --seed=20260806 --chaos-seed=7"
+
+run_scenario() {
+    # $1 scenario, $2 expected exit code; stdout -> $workdir/$1.out,
+    # stderr -> $workdir/$1.err.  Extra args pass through.
+    scenario="$1"
+    want="$2"
+    shift 2
+    set +e
+    $qpf_chaos --scenario="$scenario" $args "$@" \
+        >"$workdir/$scenario.out" 2>"$workdir/$scenario.err"
+    got=$?
+    set -e
+    [ "$got" -eq "$want" ] || {
+        cat "$workdir/$scenario.err" >&2
+        fail "$scenario exited $got (want $want)"
+    }
+}
+
+echo "== 1. baseline (fault-free reference) =="
+run_scenario baseline 0
+reference=$(cat "$workdir/baseline.out")
+printf '%s\n' "$reference"
+
+echo "== 2. crash-recover: recovered storm is bit-identical =="
+run_scenario crash-recover 0
+[ "$(cat "$workdir/crash-recover.out")" = "$reference" ] || \
+    fail "crash-recover statistics differ from the baseline
+  baseline: $reference
+  storm:    $(cat "$workdir/crash-recover.out")"
+grep -q 'recovered=0 ' "$workdir/crash-recover.err" && \
+    fail "crash-recover recovered no faults (storm never fired)"
+grep -o 'recovered=[0-9]*' "$workdir/crash-recover.err"
+
+echo "== 3. crash-unsupervised: typed fault, nonzero exit =="
+run_scenario crash-unsupervised 1
+grep -q 'unrecovered classical fault: classical-fault-layer' \
+    "$workdir/crash-unsupervised.err" || \
+    fail "crash-unsupervised died without the typed fault message"
+
+echo "== 4. crash-escalate: typed escalation with incident record =="
+run_scenario crash-escalate 1
+grep -q 'supervision escalation: supervisor:' \
+    "$workdir/crash-escalate.err" || \
+    fail "crash-escalate died without a SupervisionError"
+grep -q '^#1 ' "$workdir/crash-escalate.err" || \
+    fail "crash-escalate escalated without an incident record"
+
+echo "== 5. stall-degrade: deterministic skip-decode degradation =="
+run_scenario stall-degrade 0
+mv "$workdir/stall-degrade.out" "$workdir/stall-degrade.first"
+grep -q 'overruns=0 ' "$workdir/stall-degrade.err" && \
+    fail "stall-degrade saw no deadline overruns (storm never fired)"
+grep -o 'overruns=[0-9]* skipped_decodes=[0-9]*' "$workdir/stall-degrade.err"
+run_scenario stall-degrade 0
+cmp -s "$workdir/stall-degrade.first" "$workdir/stall-degrade.out" || \
+    fail "two stall-degrade runs differ (modeled time is not deterministic)"
+
+echo "== 6. stall-escalate: overrun budget, typed escalation =="
+run_scenario stall-escalate 1
+grep -q 'supervision escalation: supervisor: deadline overrun budget' \
+    "$workdir/stall-escalate.err" || \
+    fail "stall-escalate died without the deadline escalation"
+
+echo "== 7. hard kill: SIGKILL mid-storm, resume to the baseline =="
+dir="$workdir/sigkill"
+$qpf_chaos --scenario=crash-recover $args --state-dir="$dir" \
+    --checkpoint-every=40 >/dev/null 2>&1 &
+pid=$!
+sleep 0.4
+kill -KILL "$pid" 2>/dev/null || true
+set +e
+wait "$pid" 2>/dev/null
+set -e
+run_scenario crash-recover 0 --state-dir="$dir" --checkpoint-every=40
+[ "$(cat "$workdir/crash-recover.out")" = "$reference" ] || \
+    fail "post-SIGKILL resume differs from the baseline
+  baseline: $reference
+  resumed:  $(cat "$workdir/crash-recover.out")"
+
+echo "== 8. corruption: bit-flipped checkpoint, resume to the baseline =="
+dir="$workdir/corrupt"
+$qpf_chaos --scenario=crash-recover $args --state-dir="$dir" \
+    --checkpoint-every=40 >/dev/null 2>&1 &
+pid=$!
+sleep 0.4
+kill -KILL "$pid" 2>/dev/null || true
+set +e
+wait "$pid" 2>/dev/null
+set -e
+if [ -f "$dir/stack.ckpt" ]; then
+    size=$(wc -c < "$dir/stack.ckpt")
+    printf '\377' | dd of="$dir/stack.ckpt" bs=1 seek=$((size / 2)) \
+        count=1 conv=notrunc 2>/dev/null
+    echo "(checkpoint bit-flipped at byte $((size / 2)) of $size)"
+else
+    echo "(no mid-trial checkpoint on disk at kill time; journal-only resume)"
+fi
+run_scenario crash-recover 0 --state-dir="$dir" --checkpoint-every=40
+[ "$(cat "$workdir/crash-recover.out")" = "$reference" ] || \
+    fail "post-corruption resume differs from the baseline
+  baseline: $reference
+  resumed:  $(cat "$workdir/crash-recover.out")"
+
+echo "check_chaos.sh: PASS (8 scenarios: recovered storms bit-identical, failures typed)"

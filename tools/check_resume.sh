@@ -25,7 +25,18 @@ if [ ! -x "$qpf_ler" ]; then
 fi
 
 workdir=$(mktemp -d "${TMPDIR:-/tmp}/qpf_resume.XXXXXX")
-trap 'rm -rf "$workdir"' EXIT INT TERM
+
+# Cleanup always; on a nonzero exit (including a crashed child under
+# set -e) say so loudly, so CTest can never report a green run whose
+# tail silently died.  Signals re-raise through the standard codes.
+cleanup() {
+    code=$?
+    rm -rf "$workdir"
+    [ "$code" -eq 0 ] || echo "check_resume.sh: FAIL (exit $code)" >&2
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 # A campaign long enough to be killed mid-flight (~seconds), small
 # enough to finish quickly once resumed.

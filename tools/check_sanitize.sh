@@ -19,10 +19,10 @@ mode=${QPF_SANITIZE:-ON}
 
 if [ "$mode" = "thread" ]; then
   build_dir=${1:-"$repo_root/build-tsan"}
-  filter=${QPF_SANITIZE_FILTER:-'ParallelCampaign|LerStack|Resume'}
+  filter=${QPF_SANITIZE_FILTER:-'ParallelCampaign|LerStack|Resume|Supervisor|Chaos'}
 else
   build_dir=${1:-"$repo_root/build-sanitize"}
-  filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile'}
+  filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile|Supervisor|Chaos|Corruption|TimingLayer'}
 fi
 
 cmake -B "$build_dir" -S "$repo_root" -DQPF_SANITIZE="$mode"
