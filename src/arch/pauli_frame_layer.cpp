@@ -1,5 +1,6 @@
 #include "arch/pauli_frame_layer.h"
 
+#include "circuit/bug_plant.h"
 #include "circuit/error.h"
 
 namespace qpf::arch {
@@ -29,8 +30,11 @@ BinaryState PauliFrameLayer::get_state() const {
       continue;
     }
     const bool raw = state[q] == BinaryValue::kOne;
-    state[q] = frame_->correct_measurement(q, raw) ? BinaryValue::kOne
-                                                   : BinaryValue::kZero;
+    bool corrected = frame_->correct_measurement(q, raw);
+    if (plant::bug(6)) {  // mutation hook: correct with Z instead of X
+      corrected = raw != pf::has_z(frame_->record(q));
+    }
+    state[q] = corrected ? BinaryValue::kOne : BinaryValue::kZero;
   }
   return state;
 }

@@ -1,0 +1,74 @@
+#include "circuit/bug_plant.h"
+
+#include <cstdlib>
+
+namespace qpf::plant {
+
+namespace {
+
+int g_override = -1;  // < 0: defer to the environment
+
+[[nodiscard]] int from_environment() noexcept {
+  const char* env = std::getenv("QPF_PLANT_BUG");
+  if (env == nullptr) {
+    return 0;
+  }
+  const int n = std::atoi(env);
+  return (n >= 1 && n <= kCount) ? n : 0;
+}
+
+}  // namespace
+
+int active() noexcept {
+  if (g_override >= 0) {
+    return g_override;
+  }
+  static const int env_value = from_environment();
+  return env_value;
+}
+
+void set_for_testing(int n) noexcept {
+  g_override = (n <= kCount) ? n : 0;
+}
+
+const char* describe(int n) noexcept {
+  switch (n) {
+    case 1:
+      return "frame-h-row: H conjugation leaves the record unchanged "
+             "(Table 3.4 H row dropped)";
+    case 2:
+      return "frame-s-row: S conjugation keeps Z instead of Z^=X "
+             "(Table 3.4 S row wrong)";
+    case 3:
+      return "frame-cnot-swap: CNOT conjugation swaps control and target "
+             "records (Table 3.5 reversed)";
+    case 4:
+      return "frame-skip-flush: non-Clifford gates pass through without "
+             "flushing pending records (Table 3.1 row e skipped)";
+    case 5:
+      return "frame-reset-keeps-record: preparation forwards without "
+             "resetting the record to I (Table 3.1 row a half-applied)";
+    case 6:
+      return "layer-measure-z-correct: measurement results corrected by the "
+             "Z component instead of X (Table 3.2 wrong column)";
+    case 7:
+      return "tableau-h-sign: the word-parallel H kernel skips the packed "
+             "sign-column update";
+    case 8:
+      return "lut-window-shift: the 3-round decode window compares carried "
+             "vs r1 instead of r1 vs r2 (off-by-one round, Fig 5.9)";
+    case 9:
+      return "supervisor-replay-drop: recovery replay skips the first "
+             "pending circuit after a snapshot restore";
+    case 10:
+      return "frame-snapshot-drop: the frame snapshot serializes qubit 0's "
+             "record as I";
+    case 11:
+      return "arbiter-pauli-forward: the arbiter forwards Pauli gates to "
+             "the PEL besides absorbing them (Fig 3.12 route c violated)";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace qpf::plant

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "circuit/bug_plant.h"
 #include "circuit/error.h"
 #include <utility>
 
@@ -45,6 +46,9 @@ Route PauliArbiter::submit(const Operation& op) {
       route = Route::kPauliToPfu;
       if (op.gate() != GateType::kI) {
         frame.track(op.gate(), op.qubit(0));
+      }
+      if (plant::bug(11)) {  // mutation hook: absorbed gate leaks to PEL
+        forward(op, rec);
       }
       break;
     case GateCategory::kClifford:

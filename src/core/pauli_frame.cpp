@@ -1,5 +1,6 @@
 #include "core/pauli_frame.h"
 
+#include "circuit/bug_plant.h"
 #include "circuit/error.h"
 
 namespace qpf::pf {
@@ -114,13 +115,27 @@ void PauliFrame::track(GateType pauli, Qubit q) {
 void PauliFrame::apply_clifford(const Operation& op) {
   switch (op.gate()) {
     case GateType::kH:
+      if (plant::bug(1)) {  // mutation hook: drop the Table 3.4 H row
+        store(op.qubit(0), load(op.qubit(0)));
+        return;
+      }
       store(op.qubit(0), map_h(load(op.qubit(0))));
       return;
     case GateType::kS:
     case GateType::kSdag:
+      if (plant::bug(2)) {  // mutation hook: wrong Table 3.4 S row
+        store(op.qubit(0), load(op.qubit(0)));
+        return;
+      }
       store(op.qubit(0), map_s(load(op.qubit(0))));
       return;
     case GateType::kCnot: {
+      if (plant::bug(3)) {  // mutation hook: Table 3.5 operands reversed
+        const auto [rt, rc] = map_cnot(load(op.target()), load(op.control()));
+        store(op.control(), rc);
+        store(op.target(), rt);
+        return;
+      }
       const auto [rc, rt] = map_cnot(load(op.control()), load(op.target()));
       store(op.control(), rc);
       store(op.target(), rt);
@@ -188,7 +203,9 @@ Circuit PauliFrame::process(const Circuit& circuit) {
     for (const Operation& op : slot) {
       switch (category(op.gate())) {
         case GateCategory::kInitialization:
-          store(op.qubit(0), PauliRecord::kI);
+          if (!plant::bug(5)) {  // mutation hook: reset keeps the record
+            store(op.qubit(0), PauliRecord::kI);
+          }
           forwarded.add(op);
           break;
         case GateCategory::kMeasurement:
@@ -205,6 +222,10 @@ Circuit PauliFrame::process(const Circuit& circuit) {
           forwarded.add(op);
           break;
         case GateCategory::kNonClifford:
+          if (plant::bug(4)) {  // mutation hook: skip the Table 3.1 flush
+            forwarded.add(op);
+            break;
+          }
           for (int i = 0; i < op.arity(); ++i) {
             for (const Operation& pending : flush(op.qubit(i))) {
               flush_ops.append(pending);
@@ -257,7 +278,14 @@ std::vector<PauliRecord> read_bank(journal::SnapshotReader& in) {
 void PauliFrame::save(journal::SnapshotWriter& out) const {
   out.tag("pauli-frame");
   out.write_u8(static_cast<std::uint8_t>(protection_));
-  write_bank(out, records_);
+  if (plant::bug(10) && !records_.empty()) {
+    // mutation hook: qubit 0's record is lost in the snapshot
+    std::vector<PauliRecord> dropped = records_;
+    dropped[0] = PauliRecord::kI;
+    write_bank(out, dropped);
+  } else {
+    write_bank(out, records_);
+  }
   out.write_size(guard_.size());
   if (!guard_.empty()) {
     out.write_bytes(guard_.data(), guard_.size());

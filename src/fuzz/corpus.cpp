@@ -1,0 +1,114 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/error.h"
+#include "circuit/qasm.h"
+
+namespace qpf::fuzz {
+
+namespace {
+
+constexpr const char* kHeaderMagic = "# qpf-fuzz reproducer v1";
+
+/// Value of a "# key: value" header line, or empty.
+std::string header_value(const std::string& line, const std::string& key) {
+  const std::string prefix = "# " + key + ": ";
+  if (line.rfind(prefix, 0) == 0) {
+    return line.substr(prefix.size());
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string to_text(const Reproducer& reproducer) {
+  std::ostringstream out;
+  out << kHeaderMagic << "\n";
+  out << "# oracle: " << reproducer.oracle << "\n";
+  out << "# case-seed: " << reproducer.case_seed << "\n";
+  if (!reproducer.detail.empty()) {
+    std::string one_line = reproducer.detail;
+    std::replace(one_line.begin(), one_line.end(), '\n', ' ');
+    out << "# detail: " << one_line << "\n";
+  }
+  out << to_qasm(reproducer.circuit);
+  return out.str();
+}
+
+Reproducer parse_reproducer(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeaderMagic) {
+    throw Error("corpus: missing '# qpf-fuzz reproducer v1' header");
+  }
+  Reproducer rep;
+  bool have_seed = false;
+  std::ostringstream body;
+  while (std::getline(in, line)) {
+    if (std::string v = header_value(line, "oracle"); !v.empty()) {
+      rep.oracle = v;
+      continue;
+    }
+    if (std::string v = header_value(line, "case-seed"); !v.empty()) {
+      rep.case_seed = std::stoull(v);
+      have_seed = true;
+      continue;
+    }
+    if (std::string v = header_value(line, "detail"); !v.empty()) {
+      rep.detail = v;
+      continue;
+    }
+    body << line << "\n";
+  }
+  if (rep.oracle.empty() || !have_seed) {
+    throw Error("corpus: reproducer header lacks oracle or case-seed");
+  }
+  rep.circuit = from_qasm(body.str());
+  return rep;
+}
+
+Reproducer load_reproducer(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("corpus: cannot open reproducer: " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_reproducer(text.str());
+}
+
+void save_reproducer(const std::string& path, const Reproducer& reproducer) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("corpus: cannot write reproducer: " + path);
+  }
+  out << to_text(reproducer);
+  if (!out) {
+    throw Error("corpus: short write on reproducer: " + path);
+  }
+}
+
+std::string corpus_file_name(const Reproducer& reproducer) {
+  std::ostringstream name;
+  name << reproducer.oracle << "-" << std::hex << reproducer.case_seed
+       << ".qasm";
+  return name.str();
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".qasm") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace qpf::fuzz

@@ -1,0 +1,57 @@
+// Reproducer corpus: shrunk failing circuits as self-describing QASM.
+//
+// A reproducer is the circuit an oracle consumed plus the metadata
+// needed to re-run that oracle exactly: the oracle name and the case
+// seed (all of an oracle's internal draws derive from the seed, so
+// (oracle, seed, circuit) replays bit-identically).  Files are the
+// repo's QASM dialect with a structured comment header:
+//
+//   # qpf-fuzz reproducer v1
+//   # oracle: metamorphic
+//   # case-seed: 1234567890123456789
+//   # detail: <one-line description of the original failure>
+//   qubits 3
+//   h q0
+//   ...
+//
+// Shrunk reproducers from planted-bug runs are committed under
+// tests/corpus/ and replayed by test_corpus_replay as regression cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qpf::fuzz {
+
+struct Reproducer {
+  std::string oracle;
+  std::uint64_t case_seed = 0;
+  std::string detail;  ///< original failure description (informational)
+  Circuit circuit;
+};
+
+/// Render a reproducer (header comments + QASM body).
+[[nodiscard]] std::string to_text(const Reproducer& reproducer);
+
+/// Parse a reproducer file.  Throws qpf::Error on a missing/malformed
+/// header and QasmParseError on a bad circuit body.
+[[nodiscard]] Reproducer parse_reproducer(const std::string& text);
+
+/// Load and parse a reproducer from disk; throws qpf::Error on I/O
+/// failure.
+[[nodiscard]] Reproducer load_reproducer(const std::string& path);
+
+/// Write a reproducer file (plain write; corpus files are not
+/// crash-critical).  Throws qpf::Error on I/O failure.
+void save_reproducer(const std::string& path, const Reproducer& reproducer);
+
+/// Deterministic corpus file name: "<oracle>-<seed hex>.qasm".
+[[nodiscard]] std::string corpus_file_name(const Reproducer& reproducer);
+
+/// All *.qasm files directly inside a directory, sorted by name.
+[[nodiscard]] std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace qpf::fuzz

@@ -1,0 +1,202 @@
+#include "fuzz/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "circuit/error.h"
+#include "fuzz/seeds.h"
+#include "fuzz/shrinker.h"
+
+namespace qpf::fuzz {
+
+namespace {
+
+/// Empty circuit handed to seed-only oracles.
+const Circuit& empty_circuit() {
+  static const Circuit kEmpty;
+  return kEmpty;
+}
+
+bool oracle_enabled(const FuzzOptions& opt, const OracleSpec& spec) {
+  if (!opt.oracles.empty()) {
+    return std::find(opt.oracles.begin(), opt.oracles.end(),
+                     std::string(spec.name)) != opt.oracles.end();
+  }
+  const std::string name = spec.name;
+  if (!opt.with_qx &&
+      (name == "semantics" || name == "mirror-qx" || name == "backend-diff")) {
+    return false;
+  }
+  if (!opt.with_chaos && name == "chaos") {
+    return false;
+  }
+  return true;
+}
+
+/// JSON string escaping (the report embeds QASM with newlines).
+void append_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+              << "0123456789abcdef"[c & 0xf];
+        } else {
+          out << c;
+        }
+        break;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const Circuit& circuit_for(const FuzzCase& fc, CircuitKind kind) {
+  switch (kind) {
+    case CircuitKind::kUnitary:
+      return fc.unitary;
+    case CircuitKind::kUnitaryT:
+      return fc.unitary_t;
+    case CircuitKind::kMeasured:
+      return fc.measured;
+    case CircuitKind::kStream:
+      return fc.stream;
+    case CircuitKind::kNone:
+      break;
+  }
+  return empty_circuit();
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  FuzzReport report;
+  report.seed = options.seed;
+  report.cases = options.cases;
+
+  for (std::size_t index = 0; index < options.cases; ++index) {
+    const std::uint64_t case_seed = derive_seed(options.seed, index);
+    const FuzzCase fc = generate_case(case_seed, options.generator);
+
+    for (const OracleSpec& spec : all_oracles()) {
+      if (!oracle_enabled(options, spec)) {
+        continue;
+      }
+      if (spec.once_per_run && index != 0) {
+        continue;
+      }
+      const std::uint64_t oracle_seed =
+          derive_seed(case_seed, label_hash(spec.name));
+      const Circuit& consumed = circuit_for(fc, spec.kind);
+      const OracleOutcome outcome =
+          spec.run(consumed, oracle_seed, options.tuning);
+      ++report.oracle_runs;
+      if (outcome.skipped) {
+        ++report.skips;
+        continue;
+      }
+      if (outcome.passed) {
+        ++report.passes;
+        continue;
+      }
+
+      FuzzFailure failure;
+      failure.oracle = spec.name;
+      failure.case_index = index;
+      failure.case_seed = case_seed;
+      failure.detail = outcome.detail;
+      failure.original_gates = consumed.num_operations();
+
+      if (spec.kind != CircuitKind::kNone) {
+        Circuit witness = consumed;
+        if (options.shrink) {
+          const auto still_fails = [&](const Circuit& candidate) {
+            const OracleOutcome o =
+                spec.run(candidate, oracle_seed, options.tuning);
+            return !o.skipped && !o.passed;
+          };
+          const ShrinkResult shrunk = shrink_circuit(
+              consumed, still_fails, options.max_shrink_evaluations);
+          witness = shrunk.circuit;
+          failure.shrink_evaluations = shrunk.evaluations;
+        }
+        failure.shrunk_gates = witness.num_operations();
+        Reproducer rep;
+        rep.oracle = spec.name;
+        rep.case_seed = case_seed;
+        rep.detail = outcome.detail;
+        rep.circuit = witness;
+        failure.reproducer = to_text(rep);
+      }
+      report.failures.push_back(std::move(failure));
+      if (options.max_failures != 0 &&
+          report.failures.size() >= options.max_failures) {
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+std::string to_json(const FuzzReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"" << kTriageSchema << "\",\n";
+  out << "  \"seed\": " << report.seed << ",\n";
+  out << "  \"cases\": " << report.cases << ",\n";
+  out << "  \"oracle_runs\": " << report.oracle_runs << ",\n";
+  out << "  \"passes\": " << report.passes << ",\n";
+  out << "  \"skips\": " << report.skips << ",\n";
+  out << "  \"failures\": [";
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const FuzzFailure& f = report.failures[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\n";
+    out << "      \"oracle\": ";
+    append_json_string(out, f.oracle);
+    out << ",\n";
+    out << "      \"case_index\": " << f.case_index << ",\n";
+    out << "      \"case_seed\": " << f.case_seed << ",\n";
+    out << "      \"detail\": ";
+    append_json_string(out, f.detail);
+    out << ",\n";
+    out << "      \"original_gates\": " << f.original_gates << ",\n";
+    out << "      \"shrunk_gates\": " << f.shrunk_gates << ",\n";
+    out << "      \"shrink_evaluations\": " << f.shrink_evaluations << ",\n";
+    out << "      \"reproducer\": ";
+    append_json_string(out, f.reproducer);
+    out << "\n    }";
+  }
+  out << (report.failures.empty() ? "]" : "\n  ]") << ",\n";
+  out << "  \"verdict\": \"" << (report.pass() ? "PASS" : "FAIL") << "\"\n";
+  out << "}\n";
+  return out.str();
+}
+
+OracleOutcome replay_reproducer(const Reproducer& reproducer,
+                                const OracleTuning& tuning) {
+  const OracleSpec* spec = find_oracle(reproducer.oracle);
+  if (spec == nullptr) {
+    throw Error("replay: unknown oracle '" + reproducer.oracle + "'");
+  }
+  const std::uint64_t oracle_seed =
+      derive_seed(reproducer.case_seed, label_hash(spec->name));
+  return spec->run(reproducer.circuit, oracle_seed, tuning);
+}
+
+}  // namespace qpf::fuzz

@@ -1,0 +1,900 @@
+#include "fuzz/oracles.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "arch/chp_core.h"
+#include "arch/classical_fault_layer.h"
+#include "arch/pauli_frame_layer.h"
+#include "arch/qx_core.h"
+#include "arch/supervisor_layer.h"
+#include "circuit/error.h"
+#include "core/arbiter.h"
+#include "core/pauli_frame.h"
+#include "fuzz/generator.h"
+#include "fuzz/seeds.h"
+#include "qec/ninja_star.h"
+#include "qec/sc17.h"
+#include "stabilizer/tableau.h"
+#include "statevector/simulator.h"
+
+namespace qpf::fuzz {
+
+namespace {
+
+using arch::BinaryState;
+using arch::BinaryValue;
+using pf::PauliRecord;
+
+std::string render(const BinaryState& state) {
+  std::string out;
+  out.reserve(state.size());
+  for (const BinaryValue v : state) {
+    out.push_back(arch::to_char(v));
+  }
+  return out;
+}
+
+/// Slots [lo, hi) of a circuit, preserving slot structure.
+Circuit slice(const Circuit& circuit, std::size_t lo, std::size_t hi) {
+  Circuit out;
+  const auto& slots = circuit.slots();
+  for (std::size_t s = lo; s < hi && s < slots.size(); ++s) {
+    out.append_slot(slots[s]);
+  }
+  return out;
+}
+
+/// Record applied as explicit gates (X before Z, ascending qubits).
+void apply_records(sv::Simulator& sim, const std::vector<PauliRecord>& recs) {
+  for (std::size_t q = 0; q < recs.size(); ++q) {
+    if (pf::has_x(recs[q])) {
+      sim.execute(Operation{GateType::kX, static_cast<Qubit>(q)});
+    }
+    if (pf::has_z(recs[q])) {
+      sim.execute(Operation{GateType::kZ, static_cast<Qubit>(q)});
+    }
+  }
+}
+
+/// Small seed-derived Clifford scrambler so semantic checks run on a
+/// generic stabilizer state instead of |0...0>.
+Circuit scramble_circuit(std::size_t n, std::uint64_t seed) {
+  SplitMix rng(seed);
+  Circuit out;
+  for (std::size_t q = 0; q < n; ++q) {
+    switch (rng.below(3)) {
+      case 0:
+        out.append(GateType::kH, static_cast<Qubit>(q));
+        break;
+      case 1:
+        out.append(GateType::kS, static_cast<Qubit>(q));
+        out.append(GateType::kH, static_cast<Qubit>(q));
+        break;
+      default:
+        break;
+    }
+  }
+  for (std::size_t q = 0; q + 1 < n; ++q) {
+    if (rng.chance(0.5)) {
+      out.append(GateType::kCnot, static_cast<Qubit>(q),
+                 static_cast<Qubit>(q + 1));
+    }
+  }
+  return out;
+}
+
+/// Conjugated image of a record through a gate, read off a tableau: the
+/// destabilizer rows carry U X_i U† and the stabilizer rows U Z_i U†
+/// (signs dropped — records are phase-free by construction).
+template <std::size_t N>
+std::array<PauliRecord, N> conjugate_via_tableau(
+    const stab::Tableau& after, const std::array<PauliRecord, N>& records) {
+  std::array<bool, N> x_acc{};
+  std::array<bool, N> z_acc{};
+  for (std::size_t q = 0; q < N; ++q) {
+    if (pf::has_x(records[q])) {
+      const stab::PauliString image = after.destabilizer(q);
+      for (std::size_t t = 0; t < N; ++t) {
+        x_acc[t] = x_acc[t] != image.x_bit(t);
+        z_acc[t] = z_acc[t] != image.z_bit(t);
+      }
+    }
+    if (pf::has_z(records[q])) {
+      const stab::PauliString image = after.stabilizer(q);
+      for (std::size_t t = 0; t < N; ++t) {
+        x_acc[t] = x_acc[t] != image.x_bit(t);
+        z_acc[t] = z_acc[t] != image.z_bit(t);
+      }
+    }
+  }
+  std::array<PauliRecord, N> out{};
+  for (std::size_t t = 0; t < N; ++t) {
+    out[t] = pf::make_record(x_acc[t], z_acc[t]);
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- conjugation ------------------------------------------------------
+
+OracleOutcome check_conjugation_tables() {
+  // Table 3.3: Pauli tracking is componentwise XOR.
+  for (const GateType p :
+       {GateType::kI, GateType::kX, GateType::kY, GateType::kZ}) {
+    for (const PauliRecord r : pf::kAllRecords) {
+      pf::PauliFrame frame(1);
+      frame.set_record(0, r);
+      frame.track(p, 0);
+      const bool px = p == GateType::kX || p == GateType::kY;
+      const bool pz = p == GateType::kZ || p == GateType::kY;
+      const PauliRecord expected =
+          pf::make_record(pf::has_x(r) != px, pf::has_z(r) != pz);
+      if (frame.record(0) != expected) {
+        std::ostringstream why;
+        why << "track(" << name(p) << ") on " << pf::name(r) << ": got "
+            << pf::name(frame.record(0)) << ", table says "
+            << pf::name(expected);
+        return OracleOutcome::fail(why.str());
+      }
+    }
+  }
+  // Table 3.2: the X component flips a Z-basis result.
+  for (const PauliRecord r : pf::kAllRecords) {
+    pf::PauliFrame frame(1);
+    frame.set_record(0, r);
+    for (const bool raw : {false, true}) {
+      if (frame.correct_measurement(0, raw) != (raw != pf::has_x(r))) {
+        std::ostringstream why;
+        why << "measurement map on " << pf::name(r) << " raw=" << raw
+            << " disagrees with Table 3.2";
+        return OracleOutcome::fail(why.str());
+      }
+    }
+  }
+  // Table 3.4: single-qubit Clifford conjugation vs the tableau rows.
+  for (const GateType g : {GateType::kH, GateType::kS, GateType::kSdag}) {
+    stab::Tableau tab(1);
+    tab.apply_unitary(Operation{g, 0});
+    for (const PauliRecord r : pf::kAllRecords) {
+      pf::PauliFrame frame(1);
+      frame.set_record(0, r);
+      frame.apply_clifford(Operation{g, 0});
+      const auto expected = conjugate_via_tableau<1>(tab, {r});
+      if (frame.record(0) != expected[0]) {
+        std::ostringstream why;
+        why << name(g) << " conjugation of " << pf::name(r) << ": frame says "
+            << pf::name(frame.record(0)) << ", tableau says "
+            << pf::name(expected[0]);
+        return OracleOutcome::fail(why.str());
+      }
+    }
+  }
+  // Table 3.5 (+ CZ / SWAP analogues), both operand orders.
+  for (const GateType g : {GateType::kCnot, GateType::kCz, GateType::kSwap}) {
+    for (const bool reversed : {false, true}) {
+      const Qubit a = reversed ? 1 : 0;
+      const Qubit b = reversed ? 0 : 1;
+      stab::Tableau tab(2);
+      tab.apply_unitary(Operation{g, a, b});
+      for (const PauliRecord r0 : pf::kAllRecords) {
+        for (const PauliRecord r1 : pf::kAllRecords) {
+          pf::PauliFrame frame(2);
+          frame.set_record(0, r0);
+          frame.set_record(1, r1);
+          frame.apply_clifford(Operation{g, a, b});
+          const auto expected = conjugate_via_tableau<2>(tab, {r0, r1});
+          for (Qubit q = 0; q < 2; ++q) {
+            if (frame.record(q) != expected[q]) {
+              std::ostringstream why;
+              why << name(g) << " q" << a << ",q" << b << " on ("
+                  << pf::name(r0) << "," << pf::name(r1) << "): record q" << q
+                  << " is " << pf::name(frame.record(q)) << ", tableau says "
+                  << pf::name(expected[q]);
+              return OracleOutcome::fail(why.str());
+            }
+          }
+        }
+      }
+    }
+  }
+  return OracleOutcome::pass();
+}
+
+// --- arbiter ----------------------------------------------------------
+
+OracleOutcome check_arbiter_stream(const Circuit& stream, std::uint64_t seed,
+                                   const OracleTuning& tuning) {
+  (void)seed;
+  (void)tuning;
+  const std::size_t n = register_size(stream, 2);
+  pf::PauliFrameUnit pfu(n);
+  std::size_t sunk = 0;
+  pf::PauliArbiter arbiter(pfu, [&sunk](const Operation&) { ++sunk; }, true);
+
+  std::size_t index = 0;
+  for (const TimeSlot& slot : stream) {
+    for (const Operation& op : slot) {
+      std::vector<PauliRecord> pre;
+      for (int i = 0; i < op.arity(); ++i) {
+        pre.push_back(pfu.frame().record(op.qubit(i)));
+      }
+      const pf::Route route = arbiter.submit(op);
+      const pf::TraceEntry& entry = arbiter.trace().back();
+      std::ostringstream why;
+      why << "op #" << index << " (" << op.str() << "): ";
+      switch (category(op.gate())) {
+        case GateCategory::kPauli:
+          if (route != pf::Route::kPauliToPfu || !entry.forwarded.empty()) {
+            why << "Pauli must be absorbed by the PFU, but "
+                << entry.forwarded.size() << " op(s) reached the PEL via route "
+                << name(route);
+            return OracleOutcome::fail(why.str());
+          }
+          break;
+        case GateCategory::kClifford:
+          if (route != pf::Route::kCliffordBoth ||
+              entry.forwarded != std::vector<Operation>{op}) {
+            why << "Clifford must forward verbatim (route " << name(route)
+                << ", " << entry.forwarded.size() << " forwarded)";
+            return OracleOutcome::fail(why.str());
+          }
+          break;
+        case GateCategory::kInitialization:
+          if (route != pf::Route::kResetBoth ||
+              entry.forwarded != std::vector<Operation>{op} ||
+              pfu.frame().record(op.qubit(0)) != PauliRecord::kI) {
+            why << "reset must forward and clear the record (record now "
+                << pf::name(pfu.frame().record(op.qubit(0))) << ")";
+            return OracleOutcome::fail(why.str());
+          }
+          break;
+        case GateCategory::kMeasurement:
+          if (route != pf::Route::kMeasureToPel ||
+              entry.forwarded != std::vector<Operation>{op}) {
+            why << "measurement must forward unmodified";
+            return OracleOutcome::fail(why.str());
+          }
+          break;
+        case GateCategory::kNonClifford: {
+          // Expected PEL stream: per operand, the pending record's flush
+          // (X before Z), then the gate itself; records left clean.
+          std::vector<Operation> expected;
+          for (int i = 0; i < op.arity(); ++i) {
+            if (pf::has_x(pre[i])) {
+              expected.emplace_back(GateType::kX, op.qubit(i));
+            }
+            if (pf::has_z(pre[i])) {
+              expected.emplace_back(GateType::kZ, op.qubit(i));
+            }
+          }
+          expected.push_back(op);
+          bool clean = true;
+          for (int i = 0; i < op.arity(); ++i) {
+            clean = clean && pfu.frame().record(op.qubit(i)) == PauliRecord::kI;
+          }
+          if (route != pf::Route::kFlushThenPel || entry.forwarded != expected ||
+              !clean) {
+            why << "non-Clifford flush ordering broken: expected "
+                << expected.size() << " forwarded op(s), saw "
+                << entry.forwarded.size() << " via route " << name(route)
+                << (clean ? "" : ", record not cleared");
+            return OracleOutcome::fail(why.str());
+          }
+          break;
+        }
+      }
+      ++index;
+    }
+  }
+  // PEL sink integrity: the sink saw exactly what the trace recorded.
+  std::size_t traced = 0;
+  for (const pf::TraceEntry& entry : arbiter.trace()) {
+    traced += entry.forwarded.size();
+  }
+  if (traced != sunk) {
+    std::ostringstream why;
+    why << "PEL sink saw " << sunk << " op(s) but the trace recorded "
+        << traced;
+    return OracleOutcome::fail(why.str());
+  }
+  return OracleOutcome::pass();
+}
+
+// --- semantics --------------------------------------------------------
+
+OracleOutcome check_frame_semantics(const Circuit& unitary, std::uint64_t seed,
+                                    const OracleTuning& tuning) {
+  const std::size_t n = register_size(unitary, 2);
+  if (n > tuning.max_sv_qubits) {
+    return OracleOutcome::skip("register too large for the dense simulator");
+  }
+  SplitMix rng(derive_seed(seed, label_hash("records")));
+  std::vector<PauliRecord> r0(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    r0[q] = static_cast<PauliRecord>(rng.below(4));
+  }
+  const Circuit scramble =
+      scramble_circuit(n, derive_seed(seed, label_hash("scramble")));
+
+  pf::PauliFrame frame(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    frame.set_record(static_cast<Qubit>(q), r0[q]);
+  }
+  const Circuit processed = frame.process(unitary);
+  std::vector<PauliRecord> r1(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    r1[q] = frame.record(static_cast<Qubit>(q));
+  }
+
+  // Path A: C ∘ R0 on a scrambled state; path B: R1 ∘ C'.
+  sv::Simulator a(n, 1);
+  a.execute(scramble);
+  apply_records(a, r0);
+  a.execute(unitary);
+
+  sv::Simulator b(n, 1);
+  b.execute(scramble);
+  b.execute(processed);
+  apply_records(b, r1);
+
+  if (!a.state().equals_up_to_global_phase(b.state(), 1e-6)) {
+    std::ostringstream why;
+    why << "frame identity R1∘C' = C∘R0 violated on " << n
+        << " qubits (fidelity " << a.state().fidelity(b.state()) << ")";
+    return OracleOutcome::fail(why.str());
+  }
+  return OracleOutcome::pass();
+}
+
+// --- mirror -----------------------------------------------------------
+
+namespace {
+
+OracleOutcome run_mirror(const Circuit& body, std::uint64_t seed,
+                         bool use_qx, const OracleTuning& tuning) {
+  const std::size_t n = register_size(body, 2);
+  if (use_qx && n > tuning.max_sv_qubits) {
+    return OracleOutcome::skip("register too large for the dense simulator");
+  }
+  const Circuit full =
+      mirror_circuit(body, n, derive_seed(seed, label_hash("mirror")));
+  for (const bool frame_on : {false, true}) {
+    const std::uint64_t core_seed =
+        derive_seed(seed, label_hash(frame_on ? "core-on" : "core-off"));
+    arch::ChpCore chp(core_seed);
+    arch::QxCore qx(core_seed);
+    arch::Core& core =
+        use_qx ? static_cast<arch::Core&>(qx) : static_cast<arch::Core&>(chp);
+    arch::PauliFrameLayer layer(&core);
+    arch::Core& top =
+        frame_on ? static_cast<arch::Core&>(layer) : core;
+    top.create_qubits(n);
+    top.add(full);
+    top.execute();
+    const BinaryState state = top.get_state();
+    for (std::size_t q = 0; q < state.size(); ++q) {
+      if (state[q] != BinaryValue::kZero) {
+        std::ostringstream why;
+        why << "mirror outcome must be all-zero but qubit " << q << " read '"
+            << arch::to_char(state[q]) << "' (" << (use_qx ? "qx" : "chp")
+            << ", frame " << (frame_on ? "on" : "off") << ", state "
+            << render(state) << ")";
+        return OracleOutcome::fail(why.str());
+      }
+    }
+  }
+  return OracleOutcome::pass();
+}
+
+}  // namespace
+
+OracleOutcome check_mirror_chp(const Circuit& body, std::uint64_t seed,
+                               const OracleTuning& tuning) {
+  return run_mirror(body, seed, false, tuning);
+}
+
+OracleOutcome check_mirror_qx(const Circuit& body, std::uint64_t seed,
+                              const OracleTuning& tuning) {
+  return run_mirror(body, seed, true, tuning);
+}
+
+// --- sampling ---------------------------------------------------------
+
+OracleOutcome check_sampling(const Circuit& measured, std::uint64_t seed,
+                             const OracleTuning& tuning) {
+  const std::size_t n = register_size(measured, 2);
+  // Independent per-shot seed streams for the two configurations.
+  // Sharing one stream looks harmless but can make the runs perfectly
+  // anti-correlated (the frame absorbs Paulis, so the two cores draw
+  // the same random bits for physically different states), doubling
+  // the variance of the frequency gap and turning the tolerance into
+  // a ~3-sigma test that a long clean soak is guaranteed to trip.
+  const std::uint64_t off_stream = derive_seed(seed, label_hash("frame-off"));
+  const std::uint64_t on_stream = derive_seed(seed, label_hash("frame-on"));
+  std::vector<std::size_t> ones_off(n, 0);
+  std::vector<std::size_t> ones_on(n, 0);
+  for (std::size_t shot = 0; shot < tuning.shots; ++shot) {
+    arch::ChpCore off(derive_seed(off_stream, shot));
+    off.create_qubits(n);
+    arch::run(off, measured);
+    const BinaryState so = off.get_state();
+
+    arch::ChpCore core(derive_seed(on_stream, shot));
+    arch::PauliFrameLayer layer(&core);
+    layer.create_qubits(n);
+    arch::run(layer, measured);
+    const BinaryState sf = layer.get_state();
+
+    for (std::size_t q = 0; q < n; ++q) {
+      if (so[q] == BinaryValue::kUnknown || sf[q] == BinaryValue::kUnknown) {
+        // Not every qubit is measured (the shrinker may have dropped a
+        // measure slot): there is no statistic to compare.  Skipping —
+        // instead of failing — keeps degenerate circuits out of the
+        // shrinker's witness set.
+        std::ostringstream why;
+        why << "qubit " << q << " is never measured; no statistic";
+        return OracleOutcome::skip(why.str());
+      }
+      ones_off[q] += so[q] == BinaryValue::kOne ? 1 : 0;
+      ones_on[q] += sf[q] == BinaryValue::kOne ? 1 : 0;
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    const double fo =
+        static_cast<double>(ones_off[q]) / static_cast<double>(tuning.shots);
+    const double ff =
+        static_cast<double>(ones_on[q]) / static_cast<double>(tuning.shots);
+    const double gap = fo > ff ? fo - ff : ff - fo;
+    if (gap > tuning.frequency_tolerance) {
+      std::ostringstream why;
+      why << "frame on/off outcome frequencies diverge on qubit " << q << ": "
+          << fo << " (off) vs " << ff << " (on) over " << tuning.shots
+          << " shots";
+      return OracleOutcome::fail(why.str());
+    }
+  }
+  return OracleOutcome::pass();
+}
+
+// --- backend-diff -----------------------------------------------------
+
+OracleOutcome check_backend_diff(const Circuit& unitary, std::uint64_t seed,
+                                 const OracleTuning& tuning) {
+  const std::size_t n = register_size(unitary, 2);
+  if (n > tuning.max_sv_qubits) {
+    std::ostringstream why;
+    why << n << " qubits exceeds the dense-simulator ceiling";
+    return OracleOutcome::skip(why.str());
+  }
+  // Stage 1 — stabilizer eigenstate check.  Run the pure-Clifford
+  // unitary on a raw tableau and on the dense simulator, then verify
+  // every stabilizer row *including its sign*: (±P)|ψ⟩ must equal |ψ⟩
+  // exactly.  This is the only check sensitive to a mis-signed tableau
+  // row: sign errors from self-inverse gates cancel in pairs through
+  // any mirror, chp-vs-chp comparisons plant the same bug on both
+  // sides, and a mid-circuit random-outcome collapse re-derives the
+  // collapsed row's sign from the outcome, silently absorbing the
+  // error — hence the unitary circuit, not the measured one.
+  {
+    stab::Tableau tab(n);
+    sv::Simulator sim(n, 1);
+    for (const TimeSlot& slot : unitary.slots()) {
+      for (const Operation& op : slot) {
+        tab.apply_unitary(op);
+        sim.apply_unitary(op);
+      }
+    }
+    const auto& psi = sim.state().amplitudes();
+    for (std::size_t i = 0; i < n; ++i) {
+      const stab::PauliString row = tab.stabilizer(i);
+      sv::Simulator scratch(n, 1);
+      scratch.mutable_state() = sim.state();
+      for (std::size_t q = 0; q < n; ++q) {
+        switch (row.pauli(q)) {
+          case stab::Pauli::kX:
+            scratch.apply_unitary(Operation{GateType::kX,
+                                            static_cast<Qubit>(q)});
+            break;
+          case stab::Pauli::kY:
+            scratch.apply_unitary(Operation{GateType::kY,
+                                            static_cast<Qubit>(q)});
+            break;
+          case stab::Pauli::kZ:
+            scratch.apply_unitary(Operation{GateType::kZ,
+                                            static_cast<Qubit>(q)});
+            break;
+          case stab::Pauli::kI:
+            break;
+        }
+      }
+      const auto& img = scratch.state().amplitudes();
+      const double sign = row.sign() > 0 ? 1.0 : -1.0;
+      double err = 0.0;
+      for (std::size_t k = 0; k < psi.size(); ++k) {
+        err = std::max(err, std::abs(sign * img[k] - psi[k]));
+      }
+      if (err > 1e-6) {
+        std::ostringstream why;
+        why << "tableau claims stabilizer " << row.str()
+            << " but the dense state is not a +1 eigenstate (max amplitude "
+               "error "
+            << err << ")";
+        return OracleOutcome::fail(why.str());
+      }
+    }
+  }
+  // Stage 2 — frame off on both backends, unitary + measure-all: the
+  // CHP tableau and the state vector must agree on every deterministic
+  // outcome (individual random outcomes differ shot to shot, so
+  // compare per-qubit frequencies).
+  Circuit program = unitary;
+  TimeSlot readout;
+  for (std::size_t q = 0; q < n; ++q) {
+    readout.add(Operation{GateType::kMeasureZ, static_cast<Qubit>(q)});
+  }
+  program.append_slot(std::move(readout));
+
+  std::vector<std::size_t> ones_chp(n, 0);
+  std::vector<std::size_t> ones_qx(n, 0);
+  // Independent per-shot streams per backend (see check_sampling for
+  // why sharing one stream inflates the gap variance).
+  const std::uint64_t chp_stream = derive_seed(seed, label_hash("chp"));
+  const std::uint64_t qx_stream = derive_seed(seed, label_hash("qx"));
+  for (std::size_t shot = 0; shot < tuning.shots; ++shot) {
+    arch::ChpCore chp(derive_seed(chp_stream, shot));
+    chp.create_qubits(n);
+    arch::run(chp, program);
+    const BinaryState sc = chp.get_state();
+
+    arch::QxCore qx(derive_seed(qx_stream, shot));
+    qx.create_qubits(n);
+    arch::run(qx, program);
+    const BinaryState sq = qx.get_state();
+
+    for (std::size_t q = 0; q < n; ++q) {
+      if (sc[q] == BinaryValue::kUnknown || sq[q] == BinaryValue::kUnknown) {
+        std::ostringstream why;
+        why << "qubit " << q << " is never measured; no statistic";
+        return OracleOutcome::skip(why.str());
+      }
+      ones_chp[q] += sc[q] == BinaryValue::kOne ? 1 : 0;
+      ones_qx[q] += sq[q] == BinaryValue::kOne ? 1 : 0;
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    const double fc =
+        static_cast<double>(ones_chp[q]) / static_cast<double>(tuning.shots);
+    const double fq =
+        static_cast<double>(ones_qx[q]) / static_cast<double>(tuning.shots);
+    const double gap = fc > fq ? fc - fq : fq - fc;
+    if (gap > tuning.frequency_tolerance) {
+      std::ostringstream why;
+      why << "chp/qx outcome frequencies diverge on qubit " << q << ": " << fc
+          << " (chp) vs " << fq << " (qx) over " << tuning.shots << " shots";
+      return OracleOutcome::fail(why.str());
+    }
+  }
+  return OracleOutcome::pass();
+}
+
+// --- metamorphic ------------------------------------------------------
+
+OracleOutcome check_metamorphic_injection(const Circuit& body,
+                                          std::uint64_t seed,
+                                          const OracleTuning& tuning) {
+  (void)tuning;
+  const std::size_t n = register_size(body, 2);
+  Circuit full = body;
+  full.append_circuit(inverse_of(body));
+  const std::size_t unitary_slots = full.num_slots();
+  TimeSlot measures;
+  for (std::size_t q = 0; q < n; ++q) {
+    measures.add(Operation{GateType::kMeasureZ, static_cast<Qubit>(q)});
+  }
+  full.append_slot(std::move(measures));
+
+  SplitMix rng(derive_seed(seed, label_hash("inject")));
+  const std::size_t cut = rng.below(unitary_slots + 1);
+  const Qubit target = static_cast<Qubit>(rng.below(n));
+  constexpr GateType kInjectable[] = {GateType::kX, GateType::kY,
+                                      GateType::kZ};
+  const GateType pauli = kInjectable[rng.below(3)];
+
+  arch::ChpCore core(derive_seed(seed, label_hash("core")));
+  arch::PauliFrameLayer layer(&core);
+  layer.create_qubits(n);
+  layer.add(slice(full, 0, cut));
+  // The metamorphic move: apply P to the hardware *and* track P in the
+  // frame.  physical = record × ideal is preserved, so every corrected
+  // outcome must be unchanged — and mirror outcomes are all-zero.
+  layer.frame().track(pauli, target);
+  Circuit injection;
+  injection.append(pauli, target);
+  core.add(injection);
+  layer.add(slice(full, cut, full.num_slots()));
+  layer.execute();
+
+  const BinaryState state = layer.get_state();
+  for (std::size_t q = 0; q < state.size(); ++q) {
+    if (state[q] != BinaryValue::kZero) {
+      std::ostringstream why;
+      why << "injecting " << name(pauli) << " on q" << target
+          << " before slot " << cut
+          << " changed corrected outcomes: qubit " << q << " read '"
+          << arch::to_char(state[q]) << "' (state " << render(state) << ")";
+      return OracleOutcome::fail(why.str());
+    }
+  }
+  return OracleOutcome::pass();
+}
+
+// --- snapshot ---------------------------------------------------------
+
+OracleOutcome check_snapshot_roundtrip(const Circuit& body, std::uint64_t seed,
+                                       const OracleTuning& tuning) {
+  (void)tuning;
+  const std::size_t n = register_size(body, 2);
+  const Circuit full =
+      mirror_circuit(body, n, derive_seed(seed, label_hash("mirror")));
+  if (full.num_slots() < 2) {
+    return OracleOutcome::skip("circuit too short for a snapshot cut");
+  }
+  SplitMix rng(derive_seed(seed, label_hash("cut")));
+  const std::size_t cut = 1 + rng.below(full.num_slots() - 1);
+
+  // Rotate the stack flavour: bare core, then each record protection.
+  constexpr pf::Protection kModes[] = {pf::Protection::kNone,
+                                       pf::Protection::kParity,
+                                       pf::Protection::kVote};
+  const std::uint64_t variant = rng.below(4);
+
+  arch::ChpCore core(derive_seed(seed, label_hash("core")));
+  std::optional<arch::PauliFrameLayer> layer;
+  arch::Core* top = &core;
+  if (variant > 0) {
+    layer.emplace(&core, kModes[variant - 1]);
+    top = &*layer;
+  }
+  top->create_qubits(n);
+  top->add(slice(full, 0, cut));
+  top->execute();
+
+  journal::SnapshotWriter at_cut;
+  top->save_state(at_cut);
+
+  const Circuit suffix = slice(full, cut, full.num_slots());
+  top->add(suffix);
+  top->execute();
+  const BinaryState state_a = top->get_state();
+  journal::SnapshotWriter final_a;
+  top->save_state(final_a);
+
+  journal::SnapshotReader reader(at_cut.bytes());
+  top->load_state(reader);
+  top->add(suffix);
+  top->execute();
+  const BinaryState state_b = top->get_state();
+  journal::SnapshotWriter final_b;
+  top->save_state(final_b);
+
+  if (state_a != state_b) {
+    std::ostringstream why;
+    why << "restored run diverged: " << render(state_a) << " vs "
+        << render(state_b) << " (cut at slot " << cut << ", variant "
+        << variant << ")";
+    return OracleOutcome::fail(why.str());
+  }
+  if (final_a.bytes() != final_b.bytes()) {
+    std::ostringstream why;
+    why << "final snapshots differ after a bit-exact restore (cut at slot "
+        << cut << ", variant " << variant << ", " << final_a.bytes().size()
+        << " vs " << final_b.bytes().size() << " bytes)";
+    return OracleOutcome::fail(why.str());
+  }
+  return OracleOutcome::pass();
+}
+
+// --- chaos ------------------------------------------------------------
+
+OracleOutcome check_chaos_convergence(const Circuit& measured,
+                                      std::uint64_t seed,
+                                      const OracleTuning& tuning) {
+  const std::size_t n = register_size(measured, 2);
+  const std::uint64_t core_seed = derive_seed(seed, label_hash("core"));
+
+  const std::size_t segments =
+      std::max<std::size_t>(1, std::min(tuning.chaos_segments,
+                                        measured.num_slots()));
+  const std::size_t stride =
+      (measured.num_slots() + segments - 1) / segments;
+
+  // Fault-free reference transcript.
+  arch::ChpCore ref_core(core_seed);
+  arch::PauliFrameLayer ref_frame(&ref_core);
+  ref_frame.create_qubits(n);
+  for (std::size_t s = 0; s < measured.num_slots(); s += stride) {
+    ref_frame.add(slice(measured, s, s + stride));
+    ref_frame.execute();
+  }
+  const BinaryState reference = ref_frame.get_state();
+
+  // Supervised run under a scripted crash schedule.
+  arch::ChaosConfig chaos;
+  chaos.seed = derive_seed(seed, label_hash("chaos"));
+  chaos.min_gap = 2;
+  chaos.max_gap = 6;
+  chaos.crash_weight = 1;
+
+  arch::SupervisorOptions options;
+  options.max_retries = 8;
+  options.escalate_after = 3;
+  options.rearm_after = 1;
+  options.seed = derive_seed(seed, label_hash("backoff"));
+
+  arch::ChpCore core(core_seed);
+  arch::ClassicalFaultLayer faults(&core, arch::ClassicalFaultRates{},
+                                   derive_seed(seed, label_hash("fault-rng")),
+                                   chaos);
+  arch::PauliFrameLayer frame(&faults);
+  arch::SupervisorLayer supervisor(&frame, options);
+  supervisor.set_frame(&frame);
+
+  try {
+    supervisor.create_qubits(n);
+    for (std::size_t s = 0; s < measured.num_slots(); s += stride) {
+      supervisor.add(slice(measured, s, s + stride));
+      supervisor.execute();
+    }
+  } catch (const SupervisionError&) {
+    // Typed escalation is an accepted terminal outcome.
+    return OracleOutcome::pass();
+  }
+  if (supervisor.stats().episodes > 0) {
+    // Degraded mode legitimately abandons work; the transcript is no
+    // longer comparable to the fault-free run.
+    return OracleOutcome::pass();
+  }
+  const BinaryState recovered = supervisor.get_state();
+  if (recovered != reference) {
+    std::ostringstream why;
+    why << "recovered transcript diverged from the fault-free run: "
+        << render(recovered) << " vs " << render(reference) << " after "
+        << supervisor.stats().recoveries << " recovery(ies), "
+        << supervisor.stats().faults_seen << " fault(s)";
+    return OracleOutcome::fail(why.str());
+  }
+  return OracleOutcome::pass();
+}
+
+// --- lut-window -------------------------------------------------------
+
+OracleOutcome check_lut_window(std::uint64_t seed,
+                               const OracleTuning& tuning) {
+  using qec::CheckType;
+  using qec::Sc17Layout;
+  using qec::Syndrome;
+
+  Sc17Layout layout;
+  qec::NinjaStar star(0, &layout);
+  SplitMix rng(derive_seed(seed, label_hash("syndromes")));
+
+  Syndrome carried = static_cast<Syndrome>(rng.below(256));
+  star.set_carried_syndrome(carried);
+
+  const auto extract = [](Syndrome s, const std::array<int, 4>& anc) {
+    unsigned out = 0;
+    for (unsigned bit = 0; bit < 4; ++bit) {
+      if ((s & (1u << anc[bit])) != 0) {
+        out |= 1u << bit;
+      }
+    }
+    return out;
+  };
+
+  for (std::size_t w = 0; w < tuning.lut_windows; ++w) {
+    if (rng.chance(0.25)) {
+      star.on_logical_h();  // rotate: the check groups swap roles
+    }
+    const Syndrome r1 = static_cast<Syndrome>(rng.below(256));
+    const Syndrome r2 = static_cast<Syndrome>(rng.below(256));
+
+    // Independent reference decode: same carried round, fresh logic.
+    Syndrome expected_carry = r2;
+    std::map<Qubit, unsigned> expected;  // qubit -> x|z correction mask
+    for (const CheckType basis : {CheckType::kZ, CheckType::kX}) {
+      const std::array<int, 4> anc = star.group_ancillas(basis);
+      const qec::LutDecoder& lut = star.lut(basis);
+      const unsigned s0 = extract(carried, anc);
+      const unsigned s1 = extract(r1, anc);
+      const unsigned s2 = extract(r2, anc);
+      if (s1 != s2) {
+        continue;  // the two fresh rounds disagree: defer one round
+      }
+      const unsigned voted = qec::majority_syndrome(s0, s1, s2);
+      const std::vector<int>& data = lut.decode(voted);
+      const unsigned mask = basis == CheckType::kZ ? 1u : 2u;  // X : Z fix
+      for (const int d : data) {
+        expected[Sc17Layout::data_qubit(0, d)] |= mask;
+      }
+      const unsigned sig = lut.signature(data);
+      for (unsigned bit = 0; bit < 4; ++bit) {
+        if ((sig & (1u << bit)) != 0) {
+          expected_carry = static_cast<Syndrome>(
+              expected_carry ^ (1u << anc[bit]));
+        }
+      }
+    }
+
+    const std::vector<Operation> got = star.decode_window(r1, r2);
+    std::map<Qubit, unsigned> actual;
+    for (const Operation& op : got) {
+      const unsigned mask = op.gate() == GateType::kX   ? 1u
+                            : op.gate() == GateType::kZ ? 2u
+                                                        : 3u;  // Y = X and Z
+      actual[op.qubit(0)] |= mask;
+    }
+    if (actual != expected || star.carried_syndrome() != expected_carry) {
+      std::ostringstream why;
+      why << "window " << w << " (carried=" << static_cast<unsigned>(carried)
+          << " r1=" << static_cast<unsigned>(r1)
+          << " r2=" << static_cast<unsigned>(r2) << "): decoder emitted "
+          << got.size() << " correction(s) with carry "
+          << static_cast<unsigned>(star.carried_syndrome())
+          << ", reference expects " << expected.size() << " with carry "
+          << static_cast<unsigned>(expected_carry);
+      return OracleOutcome::fail(why.str());
+    }
+    carried = expected_carry;
+  }
+  return OracleOutcome::pass();
+}
+
+// --- registry ---------------------------------------------------------
+
+namespace {
+
+OracleOutcome conjugation_adapter(const Circuit&, std::uint64_t,
+                                  const OracleTuning&) {
+  return check_conjugation_tables();
+}
+
+OracleOutcome lut_window_adapter(const Circuit&, std::uint64_t seed,
+                                 const OracleTuning& tuning) {
+  return check_lut_window(seed, tuning);
+}
+
+}  // namespace
+
+const std::vector<OracleSpec>& all_oracles() {
+  static const std::vector<OracleSpec> kOracles = {
+      {"conjugation", CircuitKind::kNone, conjugation_adapter, true},
+      {"arbiter", CircuitKind::kStream, check_arbiter_stream, false},
+      {"semantics", CircuitKind::kUnitaryT, check_frame_semantics, false},
+      {"mirror-chp", CircuitKind::kUnitary, check_mirror_chp, false},
+      {"mirror-qx", CircuitKind::kUnitaryT, check_mirror_qx, false},
+      {"sampling", CircuitKind::kMeasured, check_sampling, false},
+      {"backend-diff", CircuitKind::kUnitary, check_backend_diff, false},
+      {"metamorphic", CircuitKind::kUnitary, check_metamorphic_injection,
+       false},
+      {"snapshot", CircuitKind::kUnitary, check_snapshot_roundtrip, false},
+      {"chaos", CircuitKind::kMeasured, check_chaos_convergence, false},
+      {"lut-window", CircuitKind::kNone, lut_window_adapter, false},
+  };
+  return kOracles;
+}
+
+const OracleSpec* find_oracle(const std::string& name) {
+  for (const OracleSpec& spec : all_oracles()) {
+    if (name == spec.name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace qpf::fuzz

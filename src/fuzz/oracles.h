@@ -1,0 +1,135 @@
+// The oracle set of the differential fuzzing engine.
+//
+// Each oracle is a pure, seed-deterministic property check.  Most
+// consume a circuit produced by the generator (and are therefore
+// shrinkable: any sub-circuit that still fails is a smaller witness);
+// two are self-contained sweeps driven only by the seed.
+//
+//   conjugation — Tables 3.3–3.5 gate-by-gate: PauliFrame's record
+//                 updates vs the stabilizer tableau's conjugation of
+//                 the X/Z generators (phases ignored; records are
+//                 phase-free).  Exhaustive over gates × records.
+//   arbiter     — Fig 3.12 routing invariants on an unconstrained ISA
+//                 stream: Paulis never reach the PEL, Cliffords pass
+//                 through verbatim, non-Cliffords are preceded by
+//                 exactly the pending record's flush and leave clean
+//                 records, resets clear records.
+//   semantics   — the frame identity R1 ∘ C' = C ∘ R0 checked as state
+//                 equality (up to global phase) on the dense simulator,
+//                 for circuits including T (flush paths).
+//   mirror      — self-checking mirror programs (U U† [prep] measure):
+//                 every corrected outcome must be 0, for chp/qx cores
+//                 with the frame on and off.
+//   sampling    — frame-on vs frame-off outcome statistics on circuits
+//                 with mid-circuit measurement, fixed seed chain.
+//   backend-diff— chp vs qx outcome statistics, frame off: the only
+//                 oracle sensitive to mis-signed tableau rows (sign
+//                 errors pair-cancel through mirrors and hit both
+//                 sides of chp-vs-chp comparisons).
+//   metamorphic — injecting a Pauli into the frame *and* onto the
+//                 hardware mid-program leaves corrected outcomes
+//                 invariant (physical = record × ideal).
+//   snapshot    — save/restore at a random cut is bit-exact: identical
+//                 downstream outcomes and identical re-snapshot bytes.
+//   chaos       — a supervised stack under a scripted crash schedule
+//                 either converges to the fault-free transcript,
+//                 degrades visibly, or raises a typed SupervisionError.
+//   lut-window  — NinjaStar::decode_window vs an independent reference
+//                 decoder, window by window, on random syndrome
+//                 streams (correction sets and carried rounds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qpf::fuzz {
+
+/// Verdict of one oracle application.
+struct OracleOutcome {
+  bool passed = true;
+  bool skipped = false;   ///< not applicable (e.g. too many qubits for qx)
+  std::string detail;     ///< human-readable failure description
+
+  static OracleOutcome pass() { return {}; }
+  static OracleOutcome skip(std::string why) {
+    return OracleOutcome{true, true, std::move(why)};
+  }
+  static OracleOutcome fail(std::string why) {
+    return OracleOutcome{false, false, std::move(why)};
+  }
+};
+
+/// Per-oracle knobs shared by the engine, the CLI, and corpus replay.
+/// The shots/tolerance pair is sized so a clean soak stays clean: with
+/// independent 256-shot samples the frequency-gap standard deviation
+/// is at most ~0.044, putting the 0.4 tolerance at ~9 sigma.
+struct OracleTuning {
+  std::size_t shots = 256;         ///< sampling oracle shot count
+  double frequency_tolerance = 0.4;///< sampling per-qubit frequency gap
+  std::size_t max_sv_qubits = 8;   ///< dense-simulator ceiling
+  std::size_t chaos_segments = 3;  ///< circuit segments in the chaos run
+  std::size_t lut_windows = 8;     ///< decode windows per lut-window run
+};
+
+/// Which generated circuit an oracle consumes.
+enum class CircuitKind : std::uint8_t {
+  kNone,      ///< seed-driven sweep, no circuit input
+  kUnitary,   ///< FuzzCase::unitary
+  kUnitaryT,  ///< FuzzCase::unitary_t
+  kMeasured,  ///< FuzzCase::measured
+  kStream,    ///< FuzzCase::stream
+};
+
+// --- The oracles ------------------------------------------------------
+// Circuit-consuming oracles take (circuit, seed, tuning); `seed` drives
+// every internal draw, so (circuit, seed) fully reproduces a failure.
+
+[[nodiscard]] OracleOutcome check_conjugation_tables();
+[[nodiscard]] OracleOutcome check_arbiter_stream(const Circuit& stream,
+                                                 std::uint64_t seed,
+                                                 const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_frame_semantics(const Circuit& unitary,
+                                                  std::uint64_t seed,
+                                                  const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_mirror_chp(const Circuit& body,
+                                             std::uint64_t seed,
+                                             const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_mirror_qx(const Circuit& body,
+                                            std::uint64_t seed,
+                                            const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_sampling(const Circuit& measured,
+                                           std::uint64_t seed,
+                                           const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_backend_diff(const Circuit& unitary,
+                                               std::uint64_t seed,
+                                               const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_metamorphic_injection(
+    const Circuit& body, std::uint64_t seed, const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_snapshot_roundtrip(
+    const Circuit& body, std::uint64_t seed, const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_chaos_convergence(
+    const Circuit& measured, std::uint64_t seed, const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_lut_window(std::uint64_t seed,
+                                             const OracleTuning& tuning);
+
+// --- Registry ---------------------------------------------------------
+
+struct OracleSpec {
+  const char* name;
+  CircuitKind kind;
+  /// Run the oracle on its consumed circuit (ignored for kNone).
+  OracleOutcome (*run)(const Circuit&, std::uint64_t, const OracleTuning&);
+  /// Run once per engine invocation instead of once per case.
+  bool once_per_run = false;
+};
+
+/// All registered oracles, in deterministic execution order.
+[[nodiscard]] const std::vector<OracleSpec>& all_oracles();
+
+/// Look up a spec by name; nullptr if unknown.
+[[nodiscard]] const OracleSpec* find_oracle(const std::string& name);
+
+}  // namespace qpf::fuzz

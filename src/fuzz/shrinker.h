@@ -1,0 +1,35 @@
+// Delta-debugging circuit shrinker.
+//
+// Given a failing circuit and a deterministic "still fails?" predicate,
+// reduce the witness with three passes inside a bounded evaluation
+// budget:
+//   1. slot ddmin   — drop contiguous runs of time slots, halving the
+//                     chunk size (classic delta debugging),
+//   2. gate pruning — drop individual operations until a fixpoint,
+//   3. qubit compaction — remap the surviving qubits to a dense prefix.
+// Every accepted candidate still fails, so the result is always a valid
+// (smaller or equal) reproducer.  The predicate must be pure: oracles
+// re-derive all their randomness from a fixed seed per evaluation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "circuit/circuit.h"
+
+namespace qpf::fuzz {
+
+struct ShrinkResult {
+  Circuit circuit;          ///< smallest circuit found that still fails
+  std::size_t evaluations = 0;
+};
+
+/// Shrink `failing` under `still_fails` within `max_evaluations` calls.
+/// `failing` itself is assumed to fail and is returned unchanged when
+/// nothing smaller reproduces.
+[[nodiscard]] ShrinkResult shrink_circuit(
+    const Circuit& failing,
+    const std::function<bool(const Circuit&)>& still_fails,
+    std::size_t max_evaluations = 400);
+
+}  // namespace qpf::fuzz

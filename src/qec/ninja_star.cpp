@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "circuit/bug_plant.h"
+
 namespace qpf::qec {
 
 namespace {
@@ -229,6 +231,20 @@ unsigned NinjaStar::extract(Syndrome s, const std::array<const Check*, 4>& g) {
   return out;
 }
 
+const LutDecoder& NinjaStar::lut(CheckType basis) const {
+  const auto g = group(basis);
+  return g[0]->ancilla < 4 ? lut_low_ : lut_high_;
+}
+
+std::array<int, 4> NinjaStar::group_ancillas(CheckType basis) const {
+  const auto g = group(basis);
+  std::array<int, 4> out{};
+  for (std::size_t bit = 0; bit < 4; ++bit) {
+    out[bit] = g[bit]->ancilla;
+  }
+  return out;
+}
+
 std::vector<Operation> NinjaStar::decode_window(Syndrome r1, Syndrome r2) {
   std::vector<Operation> corrections;
   Syndrome new_carry = r2;
@@ -239,7 +255,9 @@ std::vector<Operation> NinjaStar::decode_window(Syndrome r1, Syndrome r2) {
     const unsigned s0 = extract(carried_, g);
     const unsigned s1 = extract(r1, g);
     const unsigned s2 = extract(r2, g);
-    if (s1 != s2) {
+    // mutation hook 8: the agreement window slides one round back,
+    // comparing the carried round against r1 instead of r1 vs r2.
+    if (plant::bug(8) ? s0 != s1 : s1 != s2) {
       // The two rounds disagree: either a measurement error or an error
       // that struck mid-round (seen by only part of the group).  Acting
       // now on partial information can walk a correction chain into a

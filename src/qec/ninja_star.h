@@ -133,6 +133,15 @@ class NinjaStar {
   [[nodiscard]] Syndrome signature(const std::vector<int>& data_locals,
                                    CheckType error_basis) const;
 
+  // --- Verification support (src/fuzz lut-window oracle) --------------
+  /// The spatial LUT serving the basis' check group in the current
+  /// orientation — the same object decode_window consults, so an
+  /// independent reference decoder can be diffed against the real one.
+  [[nodiscard]] const LutDecoder& lut(CheckType basis) const;
+  /// Local ancilla indices of the basis' check group, in LUT bit order
+  /// (bit b of a group syndrome is ancilla group_ancillas(basis)[b]).
+  [[nodiscard]] std::array<int, 4> group_ancillas(CheckType basis) const;
+
   // --- Snapshot / restore (crash-safe experiment engine) -------------
   /// Serialize the Table 5.2 run-time properties and the decoder's
   /// carried round.  The LUTs are pure functions of the layout and are

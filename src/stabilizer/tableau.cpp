@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "circuit/bug_plant.h"
 #include "core/bits.h"
 
 namespace qpf::stab {
@@ -190,10 +191,13 @@ void Tableau::apply_h(Qubit q) {
   check_qubit(q);
   std::uint64_t* x = x_col(q);
   std::uint64_t* z = z_col(q);
+  const bool drop_signs = plant::bug(7);  // mutation hook: lost sign word
   for (std::size_t w = 0; w < cw_; ++w) {
     const std::uint64_t xw = x[w];
     const std::uint64_t zw = z[w];
-    rs_[w] ^= xw & zw;
+    if (!drop_signs) {
+      rs_[w] ^= xw & zw;
+    }
     x[w] = zw;
     z[w] = xw;
   }

@@ -1,0 +1,6 @@
+# qpf-fuzz reproducer v1
+# oracle: arbiter
+# case-seed: 3239196137167886804
+# detail: op #2 (i q0): Pauli must be absorbed by the PFU, but 1 op(s) reached the PEL via route pauli-to-pfu
+qubits 1
+y q0

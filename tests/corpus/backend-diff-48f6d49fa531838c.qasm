@@ -1,0 +1,10 @@
+# qpf-fuzz reproducer v1
+# oracle: backend-diff
+# case-seed: 5257623397138006924
+# detail: tableau claims stabilizer -Y0 but the dense state is not a +1 eigenstate (max amplitude error 1.41421)
+qubits 1
+h q0
+|
+sdag q0
+|
+h q0

@@ -1,0 +1,8 @@
+# qpf-fuzz reproducer v1
+# oracle: chaos
+# case-seed: 3239196137167886804
+# detail: recovered transcript diverged from the fault-free run: xxxxx vs 10000 after 2 recovery(ies), 2 fault(s)
+qubits 2
+y q0
+|
+h q1

@@ -1,0 +1,10 @@
+# qpf-fuzz reproducer v1
+# oracle: mirror-qx
+# case-seed: 6513103523052118180
+# detail: mirror outcome must be all-zero but qubit 0 read '1' (qx, frame on, state 1000)
+qubits 2
+swap q0,q1
+|
+y q1
+|
+t q1

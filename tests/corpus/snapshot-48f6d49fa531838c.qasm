@@ -1,0 +1,12 @@
+# qpf-fuzz reproducer v1
+# oracle: snapshot
+# case-seed: 5257623397138006924
+# detail: restored run diverged: 0000 vs 000x (cut at slot 10, variant 2)
+qubits 3
+cnot q0,q2
+|
+x q1
+|
+x q0
+|
+h q0

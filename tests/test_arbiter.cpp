@@ -101,6 +101,74 @@ TEST(PauliArbiterTest, SubmitCircuitRunsInProgramOrder) {
   EXPECT_TRUE(f.arbiter.on_measurement_result(0, false));
 }
 
+TEST(PauliArbiterTest, InterleavedNonCliffordFlushesOnlyOperands) {
+  Fixture f;
+  // Pending records on three qubits; the T on q1 must flush q1 alone.
+  f.pfu.frame().set_record(0, PauliRecord::kX);
+  f.pfu.frame().set_record(1, PauliRecord::kXZ);
+  f.pfu.frame().set_record(2, PauliRecord::kZ);
+  f.arbiter.submit(Operation{GateType::kT, 1});
+  ASSERT_EQ(f.pel.size(), 3u);
+  EXPECT_EQ(f.pel[0], (Operation{GateType::kX, 1}));
+  EXPECT_EQ(f.pel[1], (Operation{GateType::kZ, 1}));
+  EXPECT_EQ(f.pel[2], (Operation{GateType::kT, 1}));
+  // Only the operand's record is consumed by the flush.
+  EXPECT_EQ(f.pfu.frame().record(0), PauliRecord::kX);
+  EXPECT_EQ(f.pfu.frame().record(1), PauliRecord::kI);
+  EXPECT_EQ(f.pfu.frame().record(2), PauliRecord::kZ);
+}
+
+TEST(PauliArbiterTest, InterleavedNonCliffordFlushOrdering) {
+  Fixture f;
+  // A stream that interleaves Paulis, Cliffords, and non-Cliffords on
+  // different qubits.  Every flush must reflect the record at the time
+  // the non-Clifford reaches the arbiter (X before Z per qubit), and
+  // records on untouched qubits must ride through unflushed.
+  f.arbiter.submit(Operation{GateType::kY, 0});   // record q0 = XZ
+  f.arbiter.submit(Operation{GateType::kX, 1});   // record q1 = X
+  f.arbiter.submit(Operation{GateType::kT, 0});   // flush q0: X, Z, T
+  f.arbiter.submit(Operation{GateType::kH, 1});   // q1 record X -> Z
+  f.arbiter.submit(Operation{GateType::kTdag, 1});// flush q1: Z, Tdag
+  f.arbiter.submit(Operation{GateType::kT, 0});   // q0 clean: bare T
+  const std::vector<Operation> expected{
+      Operation{GateType::kX, 0}, Operation{GateType::kZ, 0},
+      Operation{GateType::kT, 0}, Operation{GateType::kH, 1},
+      Operation{GateType::kZ, 1}, Operation{GateType::kTdag, 1},
+      Operation{GateType::kT, 0}};
+  EXPECT_EQ(f.pel, expected);
+  EXPECT_EQ(f.pfu.frame().record(0), PauliRecord::kI);
+  EXPECT_EQ(f.pfu.frame().record(1), PauliRecord::kI);
+  // The trace mirrors the PEL stream decision by decision.
+  const auto& trace = f.arbiter.trace();
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[2].route, Route::kFlushThenPel);
+  ASSERT_EQ(trace[2].forwarded.size(), 3u);
+  EXPECT_EQ(trace[2].forwarded[0], (Operation{GateType::kX, 0}));
+  EXPECT_EQ(trace[4].route, Route::kFlushThenPel);
+  ASSERT_EQ(trace[4].forwarded.size(), 2u);
+  EXPECT_EQ(trace[4].forwarded[0], (Operation{GateType::kZ, 1}));
+  EXPECT_EQ(trace[5].route, Route::kFlushThenPel);
+  ASSERT_EQ(trace[5].forwarded.size(), 1u);
+}
+
+TEST(PauliArbiterTest, SlotPackedNonCliffordsFlushIndependently) {
+  Fixture f;
+  // Two T gates packed into one slot, each with a different pending
+  // record: each flush stays scoped to its own operand.
+  Circuit c;
+  c.append(GateType::kX, 0);
+  c.append(GateType::kZ, 1);
+  TimeSlot slot;
+  slot.add(Operation{GateType::kT, 0});
+  slot.add(Operation{GateType::kT, 1});
+  c.append_slot(std::move(slot));
+  f.arbiter.submit(c);
+  const std::vector<Operation> expected{
+      Operation{GateType::kX, 0}, Operation{GateType::kT, 0},
+      Operation{GateType::kZ, 1}, Operation{GateType::kT, 1}};
+  EXPECT_EQ(f.pel, expected);
+}
+
 TEST(PauliArbiterTest, NullSinkRejected) {
   PauliFrameUnit pfu(1);
   EXPECT_THROW(PauliArbiter(pfu, nullptr), StackConfigError);

@@ -103,5 +103,18 @@ TEST(MajorityVoteTest, FiltersSingleMeasurementErrors) {
   EXPECT_EQ(majority_syndrome(0b0011, 0b0110, 0b1100), 0b0110u);
 }
 
+TEST(MajorityVoteTest, WindowBoundaryRounds) {
+  // First round of the window: a carried-only bit is outvoted.
+  EXPECT_EQ(majority_syndrome(0b0100, 0b0000, 0b0000), 0b0000u);
+  // First two rounds: carried + r1 outvote a clean last round.
+  EXPECT_EQ(majority_syndrome(0b0100, 0b0100, 0b0000), 0b0100u);
+  // Straddling the boundary: carried + r2 with a clean middle round.
+  EXPECT_EQ(majority_syndrome(0b0100, 0b0000, 0b0100), 0b0100u);
+  // Last two rounds only: the error entered after the carried round.
+  EXPECT_EQ(majority_syndrome(0b0000, 0b0100, 0b0100), 0b0100u);
+  // All bits high in every round.
+  EXPECT_EQ(majority_syndrome(0b1111, 0b1111, 0b1111), 0b1111u);
+}
+
 }  // namespace
 }  // namespace qpf::qec

@@ -195,6 +195,67 @@ TEST_F(NinjaStarTest, LastRoundErrorIsDeferredThenCorrected) {
   EXPECT_EQ(star_.carried_syndrome(), 0);
 }
 
+TEST_F(NinjaStarTest, FirstRoundOnlyErrorIsOutvoted) {
+  // Window boundary: a bit present only in the carried (first) round of
+  // the 3-round window {carried, r1, r2} is outvoted 1-against-2 and
+  // must not produce a correction or survive into the next carry.
+  star_.on_reset();
+  star_.set_carried_syndrome(syndrome_of({4}));
+  EXPECT_TRUE(star_.decode_window(0, 0).empty());
+  EXPECT_EQ(star_.carried_syndrome(), 0);
+}
+
+TEST_F(NinjaStarTest, CarriedPlusFirstRoundStillDefers) {
+  // Window boundary: carried and r1 agree but r2 differs.  A naive
+  // majority vote would correct (2 of 3 rounds), but acting while the
+  // two fresh rounds disagree can walk a chain into a logical
+  // operator, so the decoder defers and carries r2.  (This is exactly
+  // the boundary the planted bug 8 shifts: comparing carried vs r1
+  // would vote here.)
+  star_.on_reset();
+  const Syndrome s = syndrome_of({4});
+  star_.set_carried_syndrome(s);
+  EXPECT_TRUE(star_.decode_window(s, 0).empty());
+  EXPECT_EQ(star_.carried_syndrome(), 0);  // carry tracks r2
+}
+
+TEST_F(NinjaStarTest, LastRoundDisagreementDefersBothGroups) {
+  // Last-round boundary in both check groups at once: each group sees
+  // r1 != r2 in its own ancilla window and must defer independently.
+  star_.on_reset();
+  const Syndrome z_only = syndrome_of({4});  // Z-check group ancilla
+  const Syndrome x_only = syndrome_of({1});  // X-check group ancilla
+  EXPECT_TRUE(star_.decode_window(z_only, x_only).empty());
+  EXPECT_EQ(star_.carried_syndrome(), x_only);
+}
+
+TEST_F(NinjaStarTest, FullThreeRoundAgreementCorrectsAndClearsCarry) {
+  // All three rounds of the window agree: the correction is emitted
+  // and its signature cancels the carried round exactly.
+  star_.on_reset();
+  const Syndrome s = syndrome_of({4});
+  star_.set_carried_syndrome(s);
+  const auto corrections = star_.decode_window(s, s);
+  ASSERT_EQ(corrections.size(), 1u);
+  EXPECT_EQ(corrections[0].gate(), GateType::kX);
+  EXPECT_EQ(corrections[0].qubit(0), 0u);
+  EXPECT_EQ(star_.carried_syndrome(), 0);
+}
+
+TEST_F(NinjaStarTest, MixedBoundaryOneGroupVotesOtherDefers) {
+  // The Z-check group sees a persistent error (r1 == r2) while the
+  // X-check group sees a last-round-only bit: one correction, and the
+  // deferred bit alone survives in the carry.
+  star_.on_reset();
+  const Syndrome persistent = syndrome_of({4});
+  const Syndrome late = syndrome_of({1});
+  const auto corrections = star_.decode_window(
+      persistent, static_cast<Syndrome>(persistent | late));
+  ASSERT_EQ(corrections.size(), 1u);
+  EXPECT_EQ(corrections[0].gate(), GateType::kX);
+  EXPECT_EQ(star_.carried_syndrome(), late);
+}
+
 TEST_F(NinjaStarTest, WeightTwoSyndromeDecoded) {
   star_.on_reset();
   // X on D4 flips Z-checks on ancillas 5 and 6.

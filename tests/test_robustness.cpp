@@ -138,10 +138,15 @@ TEST(RobustnessTest, DistanceFiveSurvivesScatteredFaultBursts) {
 
 TEST(RobustnessTest, SteaneLayerSurvivesModerateNoise) {
   int correct = 0;
-  QPF_ANNOUNCE_SEED(41);  // per-iteration seeds are 41+i / 43+i
+  // Per-iteration core/noise seeds are labelled sub-streams of the
+  // announced seed (the old 41+i / 43+i scheme made the streams
+  // overlap: 41+2 == 43+0).
+  const std::uint64_t base = test::test_seed(41);
+  QPF_ANNOUNCE_SEED(base);
   for (std::uint64_t seed = 0; seed < 20; ++seed) {
-    ChpCore core(41 + seed);
-    ErrorLayer noisy(&core, 3e-4, 43 + seed);
+    ChpCore core(fuzz::derive_seed(test::stream_seed(base, "core"), seed));
+    ErrorLayer noisy(&core, 3e-4,
+                     fuzz::derive_seed(test::stream_seed(base, "noise"), seed));
     SteaneLayer steane(&noisy);
     steane.create_qubits(1);
     steane.initialize(0);

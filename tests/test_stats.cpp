@@ -6,6 +6,8 @@
 
 #include <random>
 
+#include "seed_support.h"
+
 namespace qpf::stats {
 namespace {
 
@@ -112,7 +114,9 @@ TEST(TTestValidation, SizeRequirements) {
 // Property: for same-distribution samples the p-value is roughly
 // uniform, so ~5% of tests land below 0.05.
 TEST(TTestProperty, FalsePositiveRateNearAlpha) {
-  std::mt19937_64 rng(12);
+  const std::uint64_t seed = qpf::test::test_seed(12);
+  QPF_ANNOUNCE_SEED(seed);
+  std::mt19937_64 rng(seed);
   std::normal_distribution<double> dist(0.0, 1.0);
   int below = 0;
   const int trials = 400;

@@ -7,6 +7,7 @@
 #include "circuit/error.h"
 
 #include <random>
+#include "seed_support.h"
 #include <set>
 
 #include "qec/surface_code_patch.h"
@@ -147,7 +148,9 @@ TEST_P(MatchingDecoderTest, SingleErrorsAreDecodedExactly) {
 
 TEST_P(MatchingDecoderTest, RandomErrorSetsAlwaysCleared) {
   const SurfaceCodeLayout layout(GetParam());
-  std::mt19937_64 rng(11);
+  const std::uint64_t seed = qpf::test::test_seed(11);
+  QPF_ANNOUNCE_SEED(seed);
+  std::mt19937_64 rng(seed);
   for (CheckType basis : {CheckType::kX, CheckType::kZ}) {
     const MatchingDecoder decoder(layout, basis);
     for (int trial = 0; trial < 50; ++trial) {
@@ -222,7 +225,9 @@ TEST(SurfaceCodePatchTest, PersistentErrorCorrectedDisagreementDeferred) {
 TEST(SurfaceCodePatchTest, InitializationClearsEverything) {
   const SurfaceCodeLayout layout(5);
   SurfaceCodePatch patch(&layout, 0);
-  std::mt19937_64 rng(3);
+  const std::uint64_t seed = qpf::test::test_seed(3);
+  QPF_ANNOUNCE_SEED(seed);
+  std::mt19937_64 rng(seed);
   SurfaceCodePatch::Bits round(layout.num_checks(), 0);
   for (auto& bit : round) {
     bit = rng() % 2;

@@ -84,4 +84,45 @@ if [ "$count" -lt 10 ]; then
     exit 1
 fi
 
-echo "check_bench.sh: PASS ($count bench reports validated)"
+# The fuzzer's --json triage report is the other machine-readable
+# schema shipped by tools/: validate it the same way, once clean
+# (verdict PASS, no failures) and once with a planted mutation
+# (verdict FAIL, every failure row fully triaged and shrunk).
+fuzz="$build_dir/tools/qpf_fuzz"
+if [ ! -x "$fuzz" ]; then
+    echo "check_bench.sh: $fuzz not built" >&2
+    exit 1
+fi
+echo "check_bench.sh: qpf_fuzz triage schema"
+"$fuzz" --seed=1 --cases=5 --json > "$workdir/fuzz-clean.json" 2> /dev/null
+QPF_PLANT_BUG=2 "$fuzz" --seed=7 --cases=25 --max-failures=2 --json \
+    > "$workdir/fuzz-planted.json" 2> /dev/null && {
+    echo "check_bench.sh: planted fuzz run unexpectedly passed" >&2
+    exit 1
+}
+python3 - "$workdir/fuzz-clean.json" "$workdir/fuzz-planted.json" <<'EOF'
+import json, sys
+expected = {"schema", "seed", "cases", "oracle_runs", "passes", "skips",
+            "failures", "verdict"}
+row_keys = {"oracle", "case_index", "case_seed", "detail", "original_gates",
+            "shrunk_gates", "shrink_evaluations", "reproducer"}
+for path, verdict in zip(sys.argv[1:3], ("PASS", "FAIL")):
+    with open(path) as f:
+        report = json.load(f)
+    assert set(report) == expected, f"{path}: keys {sorted(report)}"
+    assert report["schema"] == "qpf-fuzz-triage-v1", path
+    assert report["verdict"] == verdict, f"{path}: {report['verdict']}"
+    for key in ("seed", "cases", "oracle_runs", "passes", "skips"):
+        assert isinstance(report[key], int) and report[key] >= 0, path
+    assert report["oracle_runs"] == report["passes"] + report["skips"] + \
+        len(report["failures"]), path
+    assert isinstance(report["failures"], list), path
+    assert bool(report["failures"]) == (verdict == "FAIL"), path
+    for row in report["failures"]:
+        assert set(row) == row_keys, f"{path}: failure keys {sorted(row)}"
+        assert isinstance(row["oracle"], str) and row["oracle"], path
+        assert isinstance(row["detail"], str) and row["detail"], path
+        assert row["shrunk_gates"] <= max(row["original_gates"], 1), path
+EOF
+
+echo "check_bench.sh: PASS ($count bench reports + fuzz triage validated)"

@@ -1,0 +1,129 @@
+#!/bin/sh
+# Deterministic fuzz smoke for the Pauli-frame stack (CTest target
+# fuzz_smoke).  Runs tools/qpf_fuzz over a fixed seed list in three
+# configurations — every oracle (chp + qx substrates, frame on/off
+# inside each oracle), --no-qx (tableau substrate only), and
+# --no-chaos — each within a bounded ~30 s budget, then asserts:
+#
+#   1. a clean build reports zero oracle failures in every config;
+#   2. identical seeds produce byte-identical JSON triage reports;
+#   3. a planted mutation (QPF_PLANT_BUG, the environment path) is
+#      caught within the same budget, its witness shrinks to <= 8
+#      gates, and the written reproducer replays to a failure;
+#   4. every committed corpus reproducer replays cleanly.
+#
+# Usage: tools/check_fuzz.sh [build-dir]        (default: ./build)
+#        tools/check_fuzz.sh --minutes M [dir]  nightly soak: loop over
+#                                               fresh seeds for ~M min
+#                                               per config instead of
+#                                               the fixed seed list
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+minutes=""
+if [ "${1:-}" = "--minutes" ]; then
+    minutes=$2
+    shift 2
+fi
+build_dir=${1:-"$repo_root/build"}
+fuzz="$build_dir/tools/qpf_fuzz"
+
+if [ ! -x "$fuzz" ]; then
+    echo "check_fuzz.sh: $fuzz not built" >&2
+    exit 1
+fi
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/qpf_fuzz.XXXXXX")
+cleanup() {
+    code=$?
+    rm -rf "$workdir"
+    [ "$code" -eq 0 ] || echo "check_fuzz.sh: FAIL (exit $code)" >&2
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+seeds="1 7 2026"
+cases=25
+
+run_config() {
+    config_name=$1
+    shift
+    if [ -n "$minutes" ]; then
+        echo "check_fuzz.sh: soak $config_name (~$minutes min)"
+        "$fuzz" --seed=1 --cases=$cases --minutes="$minutes" "$@" \
+            > /dev/null 2>> "$workdir/soak.log"
+        return
+    fi
+    for seed in $seeds; do
+        echo "check_fuzz.sh: $config_name seed=$seed"
+        "$fuzz" --seed="$seed" --cases=$cases --json "$@" \
+            > "$workdir/$config_name-$seed.json" 2> "$workdir/last.log" || {
+            status=$?
+            echo "check_fuzz.sh: $config_name seed=$seed FAILED" >&2
+            cat "$workdir/last.log" >&2
+            tail -40 "$workdir/$config_name-$seed.json" >&2
+            exit "$status"
+        }
+        grep -q '"verdict": "PASS"' "$workdir/$config_name-$seed.json"
+    done
+}
+
+# 1. Clean build, three configurations.
+run_config all
+run_config no-qx --no-qx
+run_config no-chaos --no-chaos
+[ -n "$minutes" ] && { echo "check_fuzz.sh: PASS (soak)"; exit 0; }
+
+# 2. Determinism: same seed, byte-identical triage report.
+"$fuzz" --seed=7 --cases=$cases --json > "$workdir/det-a.json" 2> /dev/null
+cmp -s "$workdir/all-7.json" "$workdir/det-a.json" || {
+    echo "check_fuzz.sh: triage report not deterministic for seed 7" >&2
+    exit 1
+}
+
+# 3. Mutation path through the environment variable: plant a bug, the
+#    fuzzer must catch it, shrink it small, and leave a replayable
+#    reproducer.
+mkdir -p "$workdir/corpus"
+if QPF_PLANT_BUG=3 "$fuzz" --seed=7 --cases=$cases --max-failures=1 \
+        --corpus="$workdir/corpus" --json \
+        > "$workdir/planted.json" 2> /dev/null; then
+    echo "check_fuzz.sh: planted bug 3 escaped the smoke budget" >&2
+    exit 1
+fi
+grep -q '"verdict": "FAIL"' "$workdir/planted.json"
+python3 - "$workdir/planted.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["failures"], "planted run reported no failures"
+for f in report["failures"]:
+    assert f["shrunk_gates"] <= 8, f"witness too big: {f['shrunk_gates']}"
+EOF
+for rep in "$workdir/corpus"/*.qasm; do
+    [ -f "$rep" ] || continue
+    # With the bug still planted the reproducer must fail ...
+    if QPF_PLANT_BUG=3 "$fuzz" --replay="$rep" > /dev/null 2>&1; then
+        echo "check_fuzz.sh: reproducer $rep lost its bite" >&2
+        exit 1
+    fi
+    # ... and on the clean build it must pass.
+    "$fuzz" --replay="$rep" > /dev/null 2> /dev/null
+done
+
+# 4. The committed corpus replays cleanly on this build.
+corpus_count=0
+for rep in "$repo_root"/tests/corpus/*.qasm; do
+    [ -f "$rep" ] || continue
+    "$fuzz" --replay="$rep" > /dev/null 2> /dev/null || {
+        echo "check_fuzz.sh: committed reproducer $rep regressed" >&2
+        exit 1
+    }
+    corpus_count=$((corpus_count + 1))
+done
+if [ "$corpus_count" -lt 3 ]; then
+    echo "check_fuzz.sh: only $corpus_count committed reproducers" >&2
+    exit 1
+fi
+
+echo "check_fuzz.sh: PASS"

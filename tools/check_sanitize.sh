@@ -9,9 +9,9 @@
 #                                                (default: build-tsan)
 #
 # Pass QPF_SANITIZE_FILTER to override the test selection; by default
-# only the fault/robustness suites run (ASan) or the threaded-campaign
-# suites (TSan), which keeps the sanitized run fast while still
-# covering every new mutation path.
+# only the fault/robustness and fuzz suites run (ASan) or the
+# threaded-campaign and fuzz suites (TSan), which keeps the sanitized
+# run fast while still covering every new mutation path.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -19,10 +19,10 @@ mode=${QPF_SANITIZE:-ON}
 
 if [ "$mode" = "thread" ]; then
   build_dir=${1:-"$repo_root/build-tsan"}
-  filter=${QPF_SANITIZE_FILTER:-'ParallelCampaign|LerStack|Resume|Supervisor|Chaos'}
+  filter=${QPF_SANITIZE_FILTER:-'ParallelCampaign|LerStack|Resume|Supervisor|Chaos|Fuzz|MutationSmoke|CorpusReplay'}
 else
   build_dir=${1:-"$repo_root/build-sanitize"}
-  filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile|Supervisor|Chaos|Corruption|TimingLayer'}
+  filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile|Supervisor|Chaos|Corruption|TimingLayer|Fuzz|MutationSmoke|CorpusReplay'}
 fi
 
 cmake -B "$build_dir" -S "$repo_root" -DQPF_SANITIZE="$mode"
