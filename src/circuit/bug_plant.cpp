@@ -66,6 +66,10 @@ const char* describe(int n) noexcept {
     case 11:
       return "arbiter-pauli-forward: the arbiter forwards Pauli gates to "
              "the PEL besides absorbing them (Fig 3.12 route c violated)";
+    case 12:
+      return "serve-codec-crc-skip: the wire-frame decoder trusts frames "
+             "without verifying the body CRC, so bit-flipped bodies are "
+             "accepted";
     default:
       return "?";
   }

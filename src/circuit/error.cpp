@@ -64,6 +64,19 @@ TransientFaultError::TransientFaultError(const std::string& component,
     : Error(message, ErrorContext{component, slot, std::nullopt,
                                   std::nullopt}) {}
 
+IoError::IoError(const std::string& target, const std::string& message)
+    : Error(message, ErrorContext{target, std::nullopt, std::nullopt,
+                                  std::nullopt}) {}
+
+ProtocolError::ProtocolError(const std::string& message,
+                             std::optional<std::size_t> offset)
+    : Error(offset.has_value()
+                ? message + " at stream offset " + std::to_string(*offset)
+                : message,
+            ErrorContext{"protocol", std::nullopt, std::nullopt,
+                         std::nullopt}),
+      offset_(offset) {}
+
 SupervisionError::SupervisionError(const std::string& message,
                                    std::string incident_report,
                                    std::size_t episodes)

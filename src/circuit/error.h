@@ -18,7 +18,16 @@
 //                         control-path fault: the operation can be
 //                         retried, the machine state may need restoring,
 //   SupervisionError    — the supervision layer exhausted its recovery
-//                         budget; carries the full incident record.
+//                         budget; carries the full incident record,
+//   IoError             — an ordinary I/O path failed (a broken stdout
+//                         pipe, a socket write); distinct from
+//                         CheckpointError so callers can tell "my report
+//                         never reached the reader" from "durable state
+//                         is at risk",
+//   ProtocolError       — a wire-protocol frame was malformed (bad
+//                         magic, CRC mismatch, oversized, truncated,
+//                         unknown type/version); carries the byte
+//                         offset where the stream went bad.
 #pragma once
 
 #include <cstddef>
@@ -102,6 +111,31 @@ class TransientFaultError : public Error {
  public:
   TransientFaultError(const std::string& component, const std::string& message,
                       std::optional<std::size_t> slot = std::nullopt);
+};
+
+/// An ordinary (non-checkpoint) I/O failure: a broken stdout pipe while
+/// rendering a report, a socket that went away mid-write.  `target` is
+/// the stream or peer involved.
+class IoError : public Error {
+ public:
+  IoError(const std::string& target, const std::string& message);
+};
+
+/// A malformed wire-protocol frame: bad magic, frame CRC mismatch,
+/// oversized or truncated frame, unknown message type, or an
+/// unsupported protocol version.  `offset` is the connection-stream
+/// byte offset where the violation was detected, when known.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& message,
+                         std::optional<std::size_t> offset = std::nullopt);
+
+  [[nodiscard]] const std::optional<std::size_t>& offset() const noexcept {
+    return offset_;
+  }
+
+ private:
+  std::optional<std::size_t> offset_;
 };
 
 /// The supervision layer exhausted its recovery budget (retries, then

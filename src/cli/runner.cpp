@@ -1092,6 +1092,16 @@ int run_tool(const std::vector<std::string>& arguments, std::ostream& out,
     err << "qpf_run: " << exception.what() << "\n";
     return 1;
   }
+  // With SIGPIPE ignored (tools/qpf_run.cpp), a reader that exited
+  // early shows up as a failed stream here, after the journal tail is
+  // already safe on disk — report it typed instead of dying mid-write.
+  out.flush();
+  if (!out) {
+    const IoError io_error("stdout",
+                           "write failed; output truncated (broken pipe?)");
+    err << "qpf_run: " << io_error.what() << "\n";
+    return 1;
+  }
   if (interrupted) {
     // The in-flight shot was drained and the journal tail persisted;
     // 128+SIGINT mirrors shell convention for an interrupted process.

@@ -1,0 +1,42 @@
+// Pipeline-safe stdout for the CLI tools (tools/*.cpp).
+//
+// Every tool is meant to be piped: `qpf_fuzz --json | head` or
+// `qpf_ler ... | tee` must not kill the process with SIGPIPE the
+// moment the reader exits — under the default disposition the kernel
+// terminates the writer (exit 141) wherever it happens to be, which
+// for the journaled tools can be mid-checkpoint.  Each tool therefore
+// ignores SIGPIPE at startup and checks its output stream explicitly:
+// a closed pipe then surfaces as EPIPE on write, which the helpers
+// below convert into a typed qpf::IoError so the tool exits through
+// its ordinary error path (exit 1) with all durable state intact.
+#pragma once
+
+#include <csignal>
+#include <cstdio>
+#include <ostream>
+
+#include "circuit/error.h"
+
+namespace qpf::cli {
+
+/// Ignore SIGPIPE process-wide so a closed-pipe write reports EPIPE
+/// instead of killing the process.  Call once at the top of main().
+inline void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+/// Flush `out` and throw IoError if any write on it failed (e.g. the
+/// downstream reader exited).  `target` names the stream ("stdout").
+inline void require_stream_ok(std::ostream& out, const char* target) {
+  out.flush();
+  if (!out) {
+    throw IoError(target, "write failed; output truncated (broken pipe?)");
+  }
+}
+
+/// C-stdio variant for tools that printf their report.
+inline void require_stdout_ok() {
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+    throw IoError("stdout", "write failed; output truncated (broken pipe?)");
+  }
+}
+
+}  // namespace qpf::cli

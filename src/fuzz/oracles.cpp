@@ -16,8 +16,10 @@
 #include "core/pauli_frame.h"
 #include "fuzz/generator.h"
 #include "fuzz/seeds.h"
+#include "circuit/qasm.h"
 #include "qec/ninja_star.h"
 #include "qec/sc17.h"
+#include "serve/protocol.h"
 #include "stabilizer/tableau.h"
 #include "statevector/simulator.h"
 
@@ -854,6 +856,118 @@ OracleOutcome check_lut_window(std::uint64_t seed,
   return OracleOutcome::pass();
 }
 
+// --- serve-codec ------------------------------------------------------
+//
+// The qpf_serve wire armor must satisfy two properties no matter how a
+// frame is cut up or damaged in flight:
+//   1. round trip — encode → feed in seed-driven fragments → decode is
+//      the identity, and the carried QASM survives bit-exactly;
+//   2. no silent acceptance — a corrupted or truncated byte stream may
+//      stall (incomplete frame) or raise ProtocolError, but must never
+//      yield a frame that differs from what was sent.
+// The corruption sweep walks every bit of the body header (where a
+// CRC-skipping decoder would accept silently-wrong session/request
+// ids) plus seed-driven flips across the whole frame, and a truncation
+// sweep over seed-driven prefixes.
+
+OracleOutcome check_serve_codec(const Circuit& stream, std::uint64_t seed,
+                                const OracleTuning&) {
+  namespace srv = qpf::serve;
+  SplitMix draw(derive_seed(seed, label_hash("serve-codec")));
+
+  srv::Frame original;
+  original.type = srv::MsgType::kSubmitQasm;
+  original.session = draw.next() | 1;
+  original.request = static_cast<std::uint32_t>(draw.next());
+  original.payload = srv::encode_submit_qasm(to_qasm(stream));
+  const std::vector<std::uint8_t> wire = srv::encode_frame(original);
+
+  const auto same = [](const srv::Frame& a, const srv::Frame& b) {
+    return a.version == b.version && a.type == b.type &&
+           a.session == b.session && a.request == b.request &&
+           a.payload == b.payload;
+  };
+
+  // 1. Round trip under random fragmentation (twice, so a frame
+  // following a frame also parses).
+  try {
+    srv::FrameDecoder decoder;
+    for (int pass = 0; pass < 2; ++pass) {
+      std::size_t off = 0;
+      while (off < wire.size()) {
+        const std::size_t chunk = std::min<std::size_t>(
+            1 + draw.below(13), wire.size() - off);
+        decoder.feed(wire.data() + off, chunk);
+        off += chunk;
+      }
+      const std::optional<srv::Frame> got = decoder.next();
+      if (!got.has_value()) {
+        return OracleOutcome::fail(
+            "decoder stalled on a complete, well-formed frame");
+      }
+      if (!same(*got, original)) {
+        return OracleOutcome::fail("frame round trip is not the identity");
+      }
+      if (srv::decode_submit_qasm(got->payload) != to_qasm(stream)) {
+        return OracleOutcome::fail("submit_qasm payload round trip mangled "
+                                   "the program text");
+      }
+    }
+  } catch (const ProtocolError& e) {
+    return OracleOutcome::fail(std::string("clean frame rejected: ") +
+                               e.what());
+  }
+
+  // 2. Single-bit corruption: every bit of the armor + body header
+  // (offsets 0..23 cover magic, length, version, type, reserved,
+  // session, request), plus seed-driven flips anywhere in the frame.
+  std::vector<std::size_t> corrupt_bits;
+  for (std::size_t byte = 0; byte < std::min<std::size_t>(24, wire.size());
+       ++byte) {
+    for (std::size_t bit = 0; bit < 8; ++bit) {
+      corrupt_bits.push_back(byte * 8 + bit);
+    }
+  }
+  for (int extra = 0; extra < 64; ++extra) {
+    corrupt_bits.push_back(draw.below(wire.size() * 8));
+  }
+  for (const std::size_t target : corrupt_bits) {
+    std::vector<std::uint8_t> damaged = wire;
+    damaged[target / 8] ^= static_cast<std::uint8_t>(1u << (target % 8));
+    srv::FrameDecoder decoder;
+    try {
+      decoder.feed(damaged.data(), damaged.size());
+      while (const std::optional<srv::Frame> got = decoder.next()) {
+        if (!same(*got, original)) {
+          return OracleOutcome::fail(
+              "decoder accepted a corrupted frame (bit " +
+              std::to_string(target) + " flipped) without a ProtocolError");
+        }
+      }
+    } catch (const ProtocolError&) {
+      // Expected: the armor caught the damage.
+    }
+  }
+
+  // 3. Truncation: a prefix must stall or error, never decode.
+  for (int cut = 0; cut < 16; ++cut) {
+    const std::size_t keep = draw.below(wire.size());
+    srv::FrameDecoder decoder;
+    try {
+      decoder.feed(wire.data(), keep);
+      if (decoder.next().has_value()) {
+        return OracleOutcome::fail(
+            "decoder produced a frame from a " + std::to_string(keep) +
+            "-byte prefix of a " + std::to_string(wire.size()) +
+            "-byte frame");
+      }
+    } catch (const ProtocolError&) {
+      // Acceptable: truncation surfaced as a typed violation.
+    }
+  }
+  return OracleOutcome::pass();
+}
+
 // --- registry ---------------------------------------------------------
 
 namespace {
@@ -884,6 +998,7 @@ const std::vector<OracleSpec>& all_oracles() {
       {"snapshot", CircuitKind::kUnitary, check_snapshot_roundtrip, false},
       {"chaos", CircuitKind::kMeasured, check_chaos_convergence, false},
       {"lut-window", CircuitKind::kNone, lut_window_adapter, false},
+      {"serve-codec", CircuitKind::kStream, check_serve_codec, false},
   };
   return kOracles;
 }

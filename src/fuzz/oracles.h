@@ -37,6 +37,10 @@
 //   lut-window  — NinjaStar::decode_window vs an independent reference
 //                 decoder, window by window, on random syndrome
 //                 streams (correction sets and carried rounds).
+//   serve-codec — qpf_serve wire-protocol armor: frames round-trip
+//                 bit-exactly through arbitrary fragmentation, and no
+//                 single-bit corruption or truncation is ever decoded
+//                 into a different frame without a ProtocolError.
 #pragma once
 
 #include <cstdint>
@@ -114,6 +118,9 @@ enum class CircuitKind : std::uint8_t {
     const Circuit& measured, std::uint64_t seed, const OracleTuning& tuning);
 [[nodiscard]] OracleOutcome check_lut_window(std::uint64_t seed,
                                              const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_serve_codec(const Circuit& stream,
+                                              std::uint64_t seed,
+                                              const OracleTuning& tuning);
 
 // --- Registry ---------------------------------------------------------
 

@@ -412,19 +412,37 @@ void throw_errno(const std::string& what, const std::string& path) {
   throw CheckpointError(what + ": " + std::strerror(errno), path);
 }
 
-// fsync the directory containing `path` so the rename itself is durable.
+void (*g_directory_sync_hook)(const std::string& dir) = nullptr;
+
+// fsync the directory containing `path` so the rename itself is
+// durable.  A crash between rename(2) and the directory fsync can roll
+// the rename back on power loss — the new checkpoint would silently
+// vanish — so a failure here is a CheckpointError, not best effort.
 void sync_parent_directory(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const std::string dir_path = dir.empty() ? "/" : dir;
+  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
-    return;  // best effort; some filesystems refuse directory opens
+    throw_errno("cannot open checkpoint directory for fsync", dir_path);
   }
-  ::fsync(fd);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("checkpoint directory fsync failed", dir_path);
+  }
   ::close(fd);
+  if (g_directory_sync_hook != nullptr) {
+    g_directory_sync_hook(dir_path);
+  }
 }
 
 }  // namespace
+
+void set_directory_sync_hook_for_testing(void (*hook)(const std::string&)) {
+  g_directory_sync_hook = hook;
+}
 
 bool file_exists(const std::string& path) {
   struct stat st{};

@@ -1,0 +1,75 @@
+// Blocking qpf_serve client, used by the load generator, the serve
+// test suite, and check_serve.sh.
+//
+// The client is deliberately simple — one socket, synchronous
+// send/recv, no retries — because its second job is to be a *witness*:
+// every byte received is appended to an in-memory transcript, and the
+// chaos isolation test compares healthy sessions' transcripts across a
+// fault-free and a poisoned server run byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace qpf::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to 127.0.0.1:port.  Throws IoError.
+  void connect(std::uint16_t port);
+  void disconnect();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Send one frame (blocking until fully written).  Throws IoError.
+  void send(const Frame& frame);
+
+  /// Receive the next frame (blocking).  Returns nullopt on a clean
+  /// peer close; throws IoError on socket errors and ProtocolError on
+  /// malformed server bytes.
+  [[nodiscard]] std::optional<Frame> recv();
+
+  /// Send `request` and wait for the reply carrying the same request
+  /// id.  Out-of-band replies for other ids (pipelined traffic) are an
+  /// IoError here — the lockstep helpers are for lockstep clients.
+  [[nodiscard]] Frame transact(const Frame& request);
+
+  // Lockstep helpers.  Each returns the server's error reply when one
+  // came back, encoded as an ErrorReply, or performs the happy path.
+  struct Result {
+    Frame reply;
+    std::optional<ErrorReply> error;  ///< set when reply.type == kError
+  };
+  [[nodiscard]] Result hello(const std::string& client_name);
+  [[nodiscard]] Result open_session(const SessionConfig& config);
+  [[nodiscard]] Result submit_qasm(std::uint64_t session,
+                                   const std::string& qasm);
+  [[nodiscard]] Result measure(std::uint64_t session);
+  [[nodiscard]] Result snapshot(std::uint64_t session);
+  [[nodiscard]] Result close_session(std::uint64_t session);
+
+  /// Every byte received so far, in arrival order — the reply stream
+  /// this connection witnessed.
+  [[nodiscard]] const std::vector<std::uint8_t>& transcript() const noexcept {
+    return transcript_;
+  }
+
+ private:
+  [[nodiscard]] Result run_request(Frame request);
+
+  int fd_ = -1;
+  std::uint32_t next_request_ = 1;
+  FrameDecoder decoder_;
+  std::vector<std::uint8_t> transcript_;
+};
+
+}  // namespace qpf::serve

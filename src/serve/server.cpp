@@ -1,0 +1,709 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace qpf::serve {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw IoError("socket", "fcntl(O_NONBLOCK) failed: " +
+                                std::string(std::strerror(errno)));
+  }
+}
+
+void make_pipe(int fds[2]) {
+  if (::pipe(fds) != 0) {
+    throw IoError("pipe",
+                  "pipe() failed: " + std::string(std::strerror(errno)));
+  }
+  set_nonblocking(fds[0]);
+  set_nonblocking(fds[1]);
+}
+
+void drain_pipe(int fd) {
+  char sink[256];
+  while (::read(fd, sink, sizeof sink) > 0) {
+  }
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      table_(options_.max_sessions, options_.state_dir) {}
+
+Server::~Server() {
+  close_fd(listen_fd_);
+  close_fd(shutdown_pipe_[0]);
+  close_fd(shutdown_pipe_[1]);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+std::uint64_t Server::now_ms() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Server::start() {
+  make_pipe(shutdown_pipe_);
+  make_pipe(wake_pipe_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError("socket",
+                  "socket() failed: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw IoError("socket",
+                  "bind() failed: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw IoError("socket",
+                  "listen() failed: " + std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw IoError("socket",
+                  "getsockname() failed: " + std::string(std::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+}
+
+void Server::shutdown() {
+  const char byte = 'S';
+  [[maybe_unused]] const ssize_t n = ::write(shutdown_pipe_[1], &byte, 1);
+}
+
+void Server::wake_reactor() {
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Server::serve() {
+  if (listen_fd_ < 0) {
+    throw IoError("server", "serve() called before start()");
+  }
+  stopping_ = false;
+  for (std::size_t i = 0; i < std::max<std::size_t>(options_.executor_threads,
+                                                    1);
+       ++i) {
+    executors_.emplace_back([this] { executor_main(); });
+  }
+
+  poll_loop();
+
+  // Drain finished: every queue is idle and every flushable reply has
+  // been flushed.  Retire the executors, then checkpoint what is left.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : executors_) {
+    t.join();
+  }
+  executors_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.sessions_parked += table_.checkpoint_all();
+    for (auto& [id, conn] : connections_) {
+      ::close(conn.fd);
+    }
+    connections_.clear();
+    conn_by_fd_.clear();
+  }
+}
+
+bool Server::all_queues_idle() const {
+  for (const auto& [id, st] : exec_) {
+    if (st.running || !st.pending.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::poll_loop() {
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{shutdown_pipe_[0], POLLIN, 0});
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    bool drain_candidate;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!draining_) {
+        fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      }
+      for (const auto& [id, conn] : connections_) {
+        short events = 0;
+        if (!conn.doomed) {
+          events |= POLLIN;
+        }
+        if (conn.tx_offset < conn.tx.size()) {
+          events |= POLLOUT;
+        }
+        if (events != 0) {
+          fds.push_back(pollfd{conn.fd, events, 0});
+        }
+      }
+      drain_candidate = draining_ && all_queues_idle();
+    }
+
+    const int timeout_ms = drain_candidate ? 10 : 100;
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      throw IoError("server",
+                    "poll() failed: " + std::string(std::strerror(errno)));
+    }
+
+    if (fds[0].revents & POLLIN) {
+      drain_pipe(shutdown_pipe_[0]);
+      std::lock_guard<std::mutex> lock(mutex_);
+      draining_ = true;
+    }
+    if (fds[1].revents & POLLIN) {
+      drain_pipe(wake_pipe_[0]);
+    }
+
+    const std::uint64_t now = now_ms();
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const pollfd& p = fds[i];
+      if (p.fd == listen_fd_) {
+        if (p.revents & POLLIN) {
+          accept_clients();
+        }
+        continue;
+      }
+      std::uint64_t conn_id = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = conn_by_fd_.find(p.fd);
+        if (it == conn_by_fd_.end()) {
+          continue;
+        }
+        conn_id = it->second;
+      }
+      if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        drop_connection(conn_id, now);
+        continue;
+      }
+      if (p.revents & POLLOUT) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = connections_.find(conn_id);
+        if (it != connections_.end()) {
+          write_client(it->second, now);
+        }
+      }
+      if (p.revents & POLLIN) {
+        read_client_by_id(conn_id, now);
+      }
+    }
+
+    // Housekeeping: slow readers, doomed-and-flushed connections, idle
+    // parking, drain completion.
+    std::vector<std::uint64_t> to_drop;
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& [id, conn] : connections_) {
+        const bool tx_pending = conn.tx_offset < conn.tx.size();
+        if (conn.doomed && !tx_pending) {
+          to_drop.push_back(id);
+        } else if (tx_pending && options_.write_timeout_ms > 0 &&
+                   now > conn.last_write_progress_ms +
+                             options_.write_timeout_ms) {
+          ++stats_.connections_dropped;
+          to_drop.push_back(id);
+        }
+      }
+      if (options_.idle_evict_ms > 0) {
+        stats_.sessions_parked += table_.park_idle(
+            now, options_.idle_evict_ms, [this](std::uint64_t id) {
+              auto it = exec_.find(id);
+              return it != exec_.end() &&
+                     (it->second.running || !it->second.pending.empty());
+            });
+      }
+      if (draining_ && all_queues_idle()) {
+        bool flushed = true;
+        for (const auto& [id, conn] : connections_) {
+          if (conn.tx_offset < conn.tx.size()) {
+            flushed = false;
+            break;
+          }
+        }
+        drained = flushed;
+      }
+    }
+    for (const std::uint64_t id : to_drop) {
+      drop_connection(id, now);
+    }
+    if (drained) {
+      return;
+    }
+  }
+}
+
+void Server::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient accept failure: poll again
+    }
+    set_nonblocking(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Connection conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    conn.decoder = FrameDecoder(options_.max_frame_bytes);
+    conn.last_write_progress_ms = now_ms();
+    conn_by_fd_[fd] = conn.id;
+    ++stats_.connections_accepted;
+    connections_.emplace(conn.id, std::move(conn));
+  }
+}
+
+void Server::read_client_by_id(std::uint64_t conn_id, std::uint64_t now) {
+  char buffer[65536];
+  while (true) {
+    int fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = connections_.find(conn_id);
+      if (it == connections_.end() || it->second.doomed) {
+        return;
+      }
+      fd = it->second.fd;
+    }
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n == 0) {
+      drop_connection(conn_id, now);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      drop_connection(conn_id, now);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) {
+      return;
+    }
+    Connection& conn = it->second;
+    try {
+      conn.decoder.feed(buffer, static_cast<std::size_t>(n));
+      while (std::optional<Frame> frame = conn.decoder.next()) {
+        handle_frame(conn, std::move(*frame), now);
+      }
+    } catch (const ProtocolError& e) {
+      // The stream is desynchronized: answer with a typed error frame
+      // and close once it flushes.  Only this connection is affected.
+      Frame request;  // no trustworthy ids at this point
+      send_error(conn.id, request, "protocol", e.what());
+      conn.doomed = true;
+      ++stats_.connections_dropped;
+      return;
+    }
+    if (static_cast<std::size_t>(n) < sizeof buffer) {
+      return;
+    }
+  }
+}
+
+void Server::write_client(Connection& conn, std::uint64_t now) {
+  while (conn.tx_offset < conn.tx.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.tx.data() + conn.tx_offset,
+               conn.tx.size() - conn.tx_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      // Peer is gone; stop flushing and let housekeeping reap us.
+      conn.tx.clear();
+      conn.tx_offset = 0;
+      conn.doomed = true;
+      return;
+    }
+    conn.tx_offset += static_cast<std::size_t>(n);
+    conn.last_write_progress_ms = now;
+  }
+  conn.tx.clear();
+  conn.tx_offset = 0;
+}
+
+void Server::drop_connection(std::uint64_t conn_id, std::uint64_t now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) {
+    return;
+  }
+  Connection& conn = it->second;
+  for (const std::uint64_t session : conn.sessions) {
+    table_.detach(session, now);
+  }
+  conn_by_fd_.erase(conn.fd);
+  ::close(conn.fd);
+  connections_.erase(it);
+}
+
+void Server::enqueue_reply(std::uint64_t conn_id, const Frame& reply) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end() || it->second.doomed) {
+    return;  // client left; the reply evaporates
+  }
+  Connection& conn = it->second;
+  const std::vector<std::uint8_t> bytes = encode_frame(reply);
+  if (conn.tx.size() - conn.tx_offset + bytes.size() >
+      options_.write_buffer_cap) {
+    // The client has stopped reading; buffering more would let one
+    // slow reader hold server memory hostage.
+    conn.tx.clear();
+    conn.tx_offset = 0;
+    conn.doomed = true;
+    ++stats_.connections_dropped;
+    return;
+  }
+  conn.tx.insert(conn.tx.end(), bytes.begin(), bytes.end());
+  wake_reactor();
+}
+
+void Server::send_error(std::uint64_t conn_id, const Frame& request,
+                        const std::string& code, const std::string& message) {
+  Frame reply;
+  reply.type = MsgType::kError;
+  reply.session = request.session;
+  reply.request = request.request;
+  reply.payload = encode_error_reply(ErrorReply{code, message});
+  enqueue_reply(conn_id, reply);
+}
+
+void Server::handle_frame(Connection& conn, Frame frame, std::uint64_t now) {
+  if (!is_client_message(frame.type)) {
+    send_error(conn.id, frame, "protocol",
+               std::string("unexpected ") + type_name(frame.type) +
+                   " from a client");
+    conn.doomed = true;
+    return;
+  }
+  if (!conn.hello_done && frame.type != MsgType::kHello) {
+    send_error(conn.id, frame, "protocol",
+               "first message on a connection must be hello");
+    conn.doomed = true;
+    return;
+  }
+  switch (frame.type) {
+    case MsgType::kHello:
+      handle_hello(conn, frame);
+      return;
+    case MsgType::kOpenSession:
+      handle_open_session(conn, frame, now);
+      return;
+    default:
+      break;
+  }
+
+  // Session-scoped request: admission control happens here, before the
+  // stack is touched, so refusals never perturb session state.
+  Session* session = table_.find(frame.session, now);
+  if (session == nullptr) {
+    const bool was_evicted =
+        std::find(evicted_.begin(), evicted_.end(), frame.session) !=
+        evicted_.end();
+    send_error(conn.id, frame, was_evicted ? "evicted" : "unknown-session",
+               was_evicted ? "session was evicted after escalation"
+                           : "no such session");
+    return;
+  }
+  if (draining_) {
+    send_error(conn.id, frame, "draining",
+               "server is draining; queued work will finish");
+    return;
+  }
+  ExecState& st = exec_[frame.session];
+  const SessionQuota& quota = options_.quota;
+  if ((quota.max_requests != 0 && st.requests_admitted >= quota.max_requests) ||
+      (quota.max_bytes != 0 &&
+       st.bytes_admitted + frame.payload.size() > quota.max_bytes)) {
+    ++stats_.quota_refusals;
+    send_error(conn.id, frame, "quota", "session budget exhausted");
+    return;
+  }
+  if (st.pending.size() >= options_.queue_depth) {
+    // Deterministic reject-newest: everything already admitted keeps
+    // its order, so healthy reply streams stay reproducible.
+    ++stats_.requests_shed;
+    send_error(conn.id, frame, "overloaded",
+               "session queue is full (" +
+                   std::to_string(options_.queue_depth) + ")");
+    return;
+  }
+  const std::uint64_t sid = frame.session;
+  ++st.requests_admitted;
+  st.bytes_admitted += frame.payload.size();
+  st.pending.push_back(Job{conn.id, std::move(frame)});
+  if (!st.running && st.pending.size() == 1) {
+    ready_.push_back(sid);
+    work_ready_.notify_one();
+  }
+}
+
+void Server::handle_hello(Connection& conn, const Frame& frame) {
+  Hello hello;
+  try {
+    hello = decode_hello(frame.payload);
+  } catch (const ProtocolError& e) {
+    send_error(conn.id, frame, "protocol", e.what());
+    conn.doomed = true;
+    return;
+  }
+  if (hello.min_version > kProtocolVersion ||
+      hello.max_version < kProtocolVersion) {
+    send_error(conn.id, frame, "version",
+               "server speaks protocol version " +
+                   std::to_string(kProtocolVersion));
+    conn.doomed = true;
+    return;
+  }
+  conn.hello_done = true;
+  Frame reply;
+  reply.type = MsgType::kWelcome;
+  reply.request = frame.request;
+  reply.payload = encode_welcome(
+      Welcome{kProtocolVersion, options_.server_name,
+              options_.max_frame_bytes, options_.queue_depth});
+  enqueue_reply(conn.id, reply);
+}
+
+void Server::handle_open_session(Connection& conn, const Frame& frame,
+                                 std::uint64_t now) {
+  if (draining_) {
+    send_error(conn.id, frame, "draining", "server is draining");
+    return;
+  }
+  SessionConfig config;
+  try {
+    config = decode_session_config(frame.payload);
+  } catch (const ProtocolError& e) {
+    send_error(conn.id, frame, "protocol", e.what());
+    return;
+  }
+  try {
+    const SessionTable::Opened opened = table_.open(config, now);
+    const std::uint64_t id = opened.session->id();
+    conn.sessions.push_back(id);
+    evicted_.erase(std::remove(evicted_.begin(), evicted_.end(), id),
+                   evicted_.end());
+    ExecState& st = exec_[id];
+    st.requests_admitted = opened.session->requests_served();
+    st.bytes_admitted = opened.session->bytes_received();
+    if (opened.restored) {
+      ++stats_.sessions_restored;
+    }
+    Frame reply;
+    reply.type = MsgType::kSessionOpened;
+    reply.session = id;
+    reply.request = frame.request;
+    reply.payload =
+        encode_session_opened(SessionOpened{id, opened.restored});
+    enqueue_reply(conn.id, reply);
+  } catch (const StackConfigError& e) {
+    const std::string& component = e.context().component;
+    const std::string code =
+        (component == "session-busy" || component == "session-limit")
+            ? component
+            : "stack-config";
+    send_error(conn.id, frame, code, e.message());
+  } catch (const CheckpointError& e) {
+    send_error(conn.id, frame, "checkpoint", e.what());
+  }
+}
+
+void Server::executor_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      if (stopping_) {
+        return;
+      }
+      continue;
+    }
+    const std::uint64_t sid = ready_.front();
+    ready_.pop_front();
+    ExecState& st = exec_[sid];
+    if (st.pending.empty()) {
+      continue;
+    }
+    Job job = std::move(st.pending.front());
+    st.pending.pop_front();
+    st.running = true;
+    lock.unlock();
+
+    execute_job(job);
+
+    lock.lock();
+    ExecState& st2 = exec_[sid];
+    st2.running = false;
+    ++stats_.requests_executed;
+    if (!st2.pending.empty()) {
+      ready_.push_back(sid);
+      work_ready_.notify_one();
+    }
+    work_done_.notify_all();
+  }
+}
+
+void Server::execute_job(const Job& job) {
+  const Frame& frame = job.frame;
+  const std::uint64_t sid = frame.session;
+  Session* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    session = table_.find(sid, now_ms());
+    if (session == nullptr) {
+      const bool was_evicted =
+          std::find(evicted_.begin(), evicted_.end(), sid) != evicted_.end();
+      send_error(job.conn_id, frame,
+                 was_evicted ? "evicted" : "unknown-session",
+                 was_evicted ? "session was evicted after escalation"
+                             : "session closed before the request ran");
+      return;
+    }
+  }
+
+  // The stack runs OUTSIDE the lock: per-session serialization (the
+  // running flag) is the only execution ordering, and the reactor never
+  // touches a stack — so one slow or faulting tenant cannot block the
+  // accept path or any other session.
+  try {
+    switch (frame.type) {
+      case MsgType::kSubmitQasm: {
+        const std::string qasm = decode_submit_qasm(frame.payload);
+        (void)session->charge(SessionQuota{}, frame.payload.size());
+        const RunReply result = session->submit_qasm(qasm);
+        Frame reply;
+        reply.type = MsgType::kRunReply;
+        reply.session = sid;
+        reply.request = frame.request;
+        reply.payload = encode_run_reply(result);
+        std::lock_guard<std::mutex> lock(mutex_);
+        enqueue_reply(job.conn_id, reply);
+        return;
+      }
+      case MsgType::kMeasure: {
+        Frame reply;
+        reply.type = MsgType::kMeasureReply;
+        reply.session = sid;
+        reply.request = frame.request;
+        reply.payload = encode_measure_reply(session->measure());
+        std::lock_guard<std::mutex> lock(mutex_);
+        enqueue_reply(job.conn_id, reply);
+        return;
+      }
+      case MsgType::kSnapshot: {
+        const std::vector<std::uint8_t> snapshot = session->park();
+        Frame reply;
+        reply.type = MsgType::kSnapshotReply;
+        reply.session = sid;
+        reply.request = frame.request;
+        reply.payload = encode_snapshot_reply(SnapshotReply{
+            snapshot.size(),
+            journal::crc32(snapshot.data(), snapshot.size())});
+        std::lock_guard<std::mutex> lock(mutex_);
+        enqueue_reply(job.conn_id, reply);
+        return;
+      }
+      case MsgType::kClose: {
+        Frame reply;
+        reply.type = MsgType::kClosed;
+        reply.session = sid;
+        reply.request = frame.request;
+        reply.payload =
+            encode_closed(Closed{session->requests_served()});
+        std::lock_guard<std::mutex> lock(mutex_);
+        table_.evict(sid);
+        enqueue_reply(job.conn_id, reply);
+        return;
+      }
+      default: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        send_error(job.conn_id, frame, "internal",
+                   "unroutable message type");
+        return;
+      }
+    }
+  } catch (const SupervisionError& e) {
+    // The session's recovery budget is spent; its stack can no longer
+    // be trusted.  Evict it — every other session is untouched.
+    std::lock_guard<std::mutex> lock(mutex_);
+    table_.evict(sid);
+    evicted_.push_back(sid);
+    ++stats_.sessions_evicted;
+    send_error(job.conn_id, frame, "supervision", e.what());
+  } catch (const QasmParseError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    send_error(job.conn_id, frame, "qasm-parse", e.what());
+  } catch (const ProtocolError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    send_error(job.conn_id, frame, "protocol", e.what());
+  } catch (const TransientFaultError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    send_error(job.conn_id, frame, "transient", e.what());
+  } catch (const CheckpointError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    send_error(job.conn_id, frame, "checkpoint", e.what());
+  } catch (const StackConfigError& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    send_error(job.conn_id, frame, "stack-config", e.what());
+  } catch (const Error& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    send_error(job.conn_id, frame, "internal", e.what());
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    send_error(job.conn_id, frame, "internal", e.what());
+  }
+}
+
+}  // namespace qpf::serve

@@ -1,0 +1,151 @@
+#include "serve/session.h"
+
+#include <algorithm>
+
+#include "circuit/qasm.h"
+#include "journal/snapshot.h"
+
+namespace qpf::serve {
+
+namespace {
+
+// Seed salts mirror the CLI runner's, so a session behaves like one
+// long-lived shot of the same stack.
+constexpr std::uint64_t kFaultSalt = 0xfa017ull;
+constexpr std::uint64_t kSupervisorSalt = 0xa24baed4963ee407ull;
+
+}  // namespace
+
+Session::Session(SessionConfig config)
+    : config_(std::move(config)), id_(session_id_for(config_.name)) {
+  if (config_.name.empty()) {
+    throw StackConfigError("session", "session name must not be empty");
+  }
+  if (config_.qubits == 0) {
+    throw StackConfigError("session", "session needs at least one qubit");
+  }
+  build_stack();
+  top_->create_qubits(static_cast<std::size_t>(config_.qubits));
+}
+
+void Session::build_stack() {
+  core_ = std::make_unique<arch::ChpCore>(config_.seed);
+  top_ = core_.get();
+  if (config_.chaos.any()) {
+    faults_ = std::make_unique<arch::ClassicalFaultLayer>(
+        top_, arch::ClassicalFaultRates::uniform(0.0),
+        config_.seed ^ kFaultSalt, config_.chaos);
+    top_ = faults_.get();
+  }
+  if (config_.pauli_frame) {
+    frame_ = std::make_unique<arch::PauliFrameLayer>(top_);
+    top_ = frame_.get();
+  }
+  if (config_.supervise) {
+    arch::SupervisorOptions policy;
+    policy.max_retries = static_cast<std::size_t>(config_.max_retries);
+    policy.escalate_after = static_cast<std::size_t>(config_.escalate_after);
+    policy.seed = config_.seed ^ kSupervisorSalt;
+    supervisor_ = std::make_unique<arch::SupervisorLayer>(top_, policy);
+    supervisor_->set_frame(frame_.get());
+    top_ = supervisor_.get();
+  }
+}
+
+RunReply Session::submit_qasm(const std::string& qasm) {
+  if (escalated_) {
+    throw StackConfigError("session",
+                           "session '" + config_.name + "' is escalated");
+  }
+  const Circuit circuit = from_qasm(qasm);
+  if (circuit.min_register_size() > static_cast<std::size_t>(config_.qubits)) {
+    throw StackConfigError(
+        "session", "program touches qubit beyond the session register (" +
+                       std::to_string(circuit.min_register_size()) + " > " +
+                       std::to_string(config_.qubits) + ")");
+  }
+  try {
+    top_->add(circuit);
+    top_->execute();
+  } catch (const SupervisionError&) {
+    escalated_ = true;
+    throw;
+  }
+  ++requests_served_;
+  RunReply reply;
+  reply.bits = measure();
+  reply.operations = circuit.num_operations();
+  reply.supervisor_state = supervisor_state();
+  return reply;
+}
+
+std::string Session::measure() const {
+  const arch::BinaryState state = top_->get_state();
+  std::string bits;
+  bits.reserve(state.size());
+  for (std::size_t q = state.size(); q-- > 0;) {
+    bits += arch::to_char(state[q]);
+  }
+  return bits;
+}
+
+std::uint8_t Session::supervisor_state() const noexcept {
+  if (escalated_) {
+    return static_cast<std::uint8_t>(arch::SupervisionState::kEscalated);
+  }
+  return supervisor_
+             ? static_cast<std::uint8_t>(supervisor_->state())
+             : static_cast<std::uint8_t>(arch::SupervisionState::kNormal);
+}
+
+std::vector<std::uint8_t> Session::park() const {
+  if (escalated_) {
+    throw CheckpointError("cannot park an escalated session",
+                          config_.name);
+  }
+  journal::SnapshotWriter w;
+  w.tag("serve-session");
+  write_session_config(w, config_);
+  w.write_u64(requests_served_);
+  w.write_u64(bytes_received_);
+  top_->save_state(w);
+  return w.bytes();
+}
+
+std::unique_ptr<Session> Session::unpark(
+    const SessionConfig& config, const std::vector<std::uint8_t>& payload) {
+  journal::SnapshotReader r(payload);
+  r.expect_tag("serve-session");
+  const SessionConfig parked = read_session_config(r);
+  if (parked.name != config.name || parked.seed != config.seed ||
+      parked.qubits != config.qubits ||
+      parked.pauli_frame != config.pauli_frame ||
+      parked.supervise != config.supervise) {
+    throw CheckpointError(
+        "session config does not match the parked snapshot", config.name);
+  }
+  auto session = std::make_unique<Session>(parked);
+  session->requests_served_ = r.read_u64();
+  session->bytes_received_ = r.read_u64();
+  session->top_->load_state(r);
+  if (!r.exhausted()) {
+    throw CheckpointError("trailing bytes after session snapshot",
+                          config.name);
+  }
+  return session;
+}
+
+bool Session::charge(const SessionQuota& quota,
+                     std::uint64_t payload_bytes) noexcept {
+  if (quota.max_requests != 0 && requests_served_ >= quota.max_requests) {
+    return false;
+  }
+  if (quota.max_bytes != 0 &&
+      bytes_received_ + payload_bytes > quota.max_bytes) {
+    return false;
+  }
+  bytes_received_ += payload_bytes;
+  return true;
+}
+
+}  // namespace qpf::serve

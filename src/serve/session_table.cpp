@@ -1,0 +1,108 @@
+#include "serve/session_table.h"
+
+#include <cstdio>
+
+#include "journal/snapshot.h"
+
+namespace qpf::serve {
+
+namespace {
+
+/// Hex rendering of a session id for stable on-disk file names.
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0; v >>= 4) {
+    out[i] = digits[v & 0xf];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SessionTable::park_path(const std::string& name) const {
+  return state_dir_ + "/" + hex64(session_id_for(name)) + ".session";
+}
+
+SessionTable::Opened SessionTable::open(const SessionConfig& config,
+                                        std::uint64_t now_ms) {
+  const std::uint64_t id = session_id_for(config.name);
+  if (auto it = sessions_.find(id); it != sessions_.end()) {
+    if (it->second.attached) {
+      throw StackConfigError(
+          "session-busy", "session '" + config.name +
+                              "' is attached to another connection");
+    }
+    // Warm re-attach: the stack never left memory.
+    it->second.attached = true;
+    it->second.last_active_ms = now_ms;
+    return Opened{it->second.session.get(), true};
+  }
+
+  if (sessions_.size() >= max_sessions_) {
+    throw StackConfigError(
+        "session-limit",
+        "session table is full (" + std::to_string(max_sessions_) + ")");
+  }
+
+  Opened opened;
+  if (config.resume && !state_dir_.empty()) {
+    const std::string path = park_path(config.name);
+    if (journal::file_exists(path)) {
+      const std::vector<std::uint8_t> payload =
+          journal::read_checkpoint_file(path);
+      auto session = Session::unpark(config, payload);
+      opened.session = session.get();
+      opened.restored = true;
+      sessions_.emplace(id, Entry{std::move(session), now_ms, true});
+      std::remove(path.c_str());
+      return opened;
+    }
+  }
+
+  auto session = std::make_unique<Session>(config);
+  opened.session = session.get();
+  sessions_.emplace(id, Entry{std::move(session), now_ms, true});
+  return opened;
+}
+
+Session* SessionTable::find(std::uint64_t id, std::uint64_t now_ms) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return nullptr;
+  }
+  it->second.last_active_ms = now_ms;
+  return it->second.session.get();
+}
+
+void SessionTable::detach(std::uint64_t id, std::uint64_t now_ms) {
+  auto it = sessions_.find(id);
+  if (it != sessions_.end()) {
+    it->second.attached = false;
+    it->second.last_active_ms = now_ms;
+  }
+}
+
+bool SessionTable::park_entry(const Entry& entry) const {
+  if (state_dir_.empty() || entry.session->escalated()) {
+    return false;
+  }
+  journal::write_checkpoint_file(park_path(entry.session->config().name),
+                                 entry.session->park());
+  return true;
+}
+
+std::size_t SessionTable::checkpoint_all() {
+  std::size_t parked = 0;
+  for (const auto& [id, entry] : sessions_) {
+    if (park_entry(entry)) {
+      ++parked;
+    }
+  }
+  sessions_.clear();
+  return parked;
+}
+
+void SessionTable::evict(std::uint64_t id) { sessions_.erase(id); }
+
+}  // namespace qpf::serve

@@ -1,0 +1,117 @@
+// Name-keyed table of live sessions plus the parking lot on disk.
+//
+// The table is the single authority for session lifecycle:
+//
+//   open    — admit a new session (bounded by max_sessions), re-attach
+//             a live detached one, or transparently unpark an evicted
+//             one from `state_dir` when the client asks to resume;
+//   detach  — the owning connection went away; the stack stays warm
+//             until the idle deadline;
+//   park_idle — serialize detached sessions idle past `idle_ms` into
+//             `state_dir` (PR 2 checkpoint armor) and free the stack;
+//   checkpoint_all — the SIGTERM drain: park every live session so a
+//             restart can resume all of them bit-identically;
+//   evict   — drop an escalated session (its stack is untrustworthy;
+//             nothing is parked).
+//
+// Time is always an explicit `now_ms` parameter — the table never reads
+// a clock — so eviction behavior is deterministic under test.  The
+// table is not itself thread-safe; the server serializes access under
+// its state mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace qpf::serve {
+
+class SessionTable {
+ public:
+  /// `state_dir` empty disables parking (idle sessions are dropped).
+  SessionTable(std::size_t max_sessions, std::string state_dir)
+      : max_sessions_(max_sessions), state_dir_(std::move(state_dir)) {}
+
+  struct Opened {
+    Session* session = nullptr;
+    bool restored = false;
+  };
+
+  /// Admit / re-attach / unpark.  Throws:
+  ///   StackConfigError  — table full ("session-limit") or the name is
+  ///                       attached to another live connection
+  ///                       ("session-busy" — message prefix tells the
+  ///                       server which code to reply),
+  ///   CheckpointError   — resume requested but the parked snapshot is
+  ///                       corrupt or the config mismatches.
+  [[nodiscard]] Opened open(const SessionConfig& config,
+                            std::uint64_t now_ms);
+
+  /// Live session by id, nullptr when unknown.  Touches last-active.
+  [[nodiscard]] Session* find(std::uint64_t id, std::uint64_t now_ms);
+
+  /// The owning connection dropped; keep the stack warm for re-attach.
+  void detach(std::uint64_t id, std::uint64_t now_ms);
+
+  /// Park detached sessions idle for >= idle_ms, skipping any for which
+  /// `busy(id)` is true (queued or running work — parking would free a
+  /// stack an executor still references).  Returns how many were parked
+  /// (or dropped when parking is disabled / fails).
+  template <typename Busy>
+  std::size_t park_idle(std::uint64_t now_ms, std::uint64_t idle_ms,
+                        Busy busy) {
+    if (idle_ms == 0) {
+      return 0;
+    }
+    std::size_t parked = 0;
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const Entry& entry = it->second;
+      if (!entry.attached && now_ms >= entry.last_active_ms + idle_ms &&
+          !busy(it->first)) {
+        if (park_entry(entry)) {
+          ++parked;
+        }
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return parked;
+  }
+
+  /// Drain: park every live, non-escalated session.  Returns how many
+  /// checkpoint files were written.
+  std::size_t checkpoint_all();
+
+  /// Remove a session outright (escalation, close, quota kill).
+  void evict(std::uint64_t id);
+
+  [[nodiscard]] std::size_t live_sessions() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] const std::string& state_dir() const noexcept {
+    return state_dir_;
+  }
+
+  /// Path of the parking file for a session name.
+  [[nodiscard]] std::string park_path(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Session> session;
+    std::uint64_t last_active_ms = 0;
+    bool attached = true;
+  };
+
+  [[nodiscard]] bool park_entry(const Entry& entry) const;
+
+  std::size_t max_sessions_;
+  std::string state_dir_;
+  std::map<std::uint64_t, Entry> sessions_;
+};
+
+}  // namespace qpf::serve

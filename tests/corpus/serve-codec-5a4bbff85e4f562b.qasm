@@ -1,0 +1,6 @@
+# qpf-fuzz reproducer v1
+# oracle: serve-codec
+# case-seed: 6506505160121865771
+# detail: decoder accepted a corrupted frame (bit 32 flipped) without a ProtocolError
+qubits 1
+i q0

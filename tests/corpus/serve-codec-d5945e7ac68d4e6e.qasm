@@ -1,0 +1,6 @@
+# qpf-fuzz reproducer v1
+# oracle: serve-codec
+# case-seed: 15390029708041997934
+# detail: decoder accepted a corrupted frame (bit 32 flipped) without a ProtocolError
+qubits 1
+measure q0

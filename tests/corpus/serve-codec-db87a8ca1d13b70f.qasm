@@ -1,0 +1,6 @@
+# qpf-fuzz reproducer v1
+# oracle: serve-codec
+# case-seed: 15818797802186848015
+# detail: decoder accepted a corrupted frame (bit 33 flipped) without a ProtocolError
+qubits 1
+prep_z q0

@@ -58,6 +58,8 @@ std::vector<std::string> expected_oracles(int bug) {
       return {"snapshot"};
     case 11:  // arbiter forwards absorbed Paulis to the PEL
       return {"arbiter", "mirror-chp", "mirror-qx"};
+    case 12:  // wire-frame decoder skips the body CRC
+      return {"serve-codec"};
     default:
       return {};
   }

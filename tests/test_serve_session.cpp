@@ -1,0 +1,255 @@
+// Session and SessionTable tests for qpf_serve: deterministic replies,
+// park/unpark bit-fidelity, quota accounting, escalation semantics,
+// and the explicit-clock idle-eviction lifecycle.
+#include "serve/session.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/error.h"
+#include "journal/snapshot.h"
+#include "serve/session_table.h"
+
+namespace qpf::serve {
+namespace {
+
+SessionConfig basic_config(const std::string& name) {
+  SessionConfig config;
+  config.name = name;
+  config.seed = 11;
+  config.qubits = 3;
+  config.pauli_frame = true;
+  return config;
+}
+
+/// A poisoned tenant: a crash every layer call with no retry budget
+/// escalates within a few requests (the qpf_serve_load recipe).
+SessionConfig poisoned_config(const std::string& name) {
+  SessionConfig config = basic_config(name);
+  config.supervise = true;
+  config.max_retries = 1;
+  config.escalate_after = 1;
+  config.chaos.seed = config.seed ^ 0xdead;
+  config.chaos.min_gap = 1;
+  config.chaos.max_gap = 1;
+  config.chaos.crash_weight = 1;
+  return config;
+}
+
+const char* kProgram =
+    "qubits 3\n"
+    "h q0\n"
+    "cnot q0,q1\n"
+    "cnot q1,q2\n"
+    "measure q0\n"
+    "measure q1\n"
+    "measure q2\n";
+
+TEST(ServeSessionTest, RepliesAreAPureFunctionOfConfigAndHistory) {
+  Session a(basic_config("t"));
+  Session b(basic_config("t"));
+  for (int i = 0; i < 8; ++i) {
+    const RunReply ra = a.submit_qasm(kProgram);
+    const RunReply rb = b.submit_qasm(kProgram);
+    EXPECT_EQ(ra.bits, rb.bits) << "request " << i;
+    EXPECT_EQ(ra.operations, rb.operations);
+    EXPECT_EQ(a.measure(), b.measure());
+  }
+  EXPECT_EQ(a.requests_served(), 8u);
+}
+
+TEST(ServeSessionTest, ParkUnparkContinuesBitIdentically) {
+  Session uninterrupted(basic_config("t"));
+  Session parked_one(basic_config("t"));
+  for (int i = 0; i < 4; ++i) {
+    (void)uninterrupted.submit_qasm(kProgram);
+    (void)parked_one.submit_qasm(kProgram);
+  }
+  const std::vector<std::uint8_t> snapshot = parked_one.park();
+  std::unique_ptr<Session> restored =
+      Session::unpark(basic_config("t"), snapshot);
+  EXPECT_EQ(restored->requests_served(), 4u);
+  // The restored stack must continue exactly where the original would
+  // have gone — same RNG tail, same frame state, same bits.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(restored->submit_qasm(kProgram).bits,
+              uninterrupted.submit_qasm(kProgram).bits)
+        << "post-restore request " << i;
+  }
+}
+
+TEST(ServeSessionTest, UnparkRejectsMismatchedConfig) {
+  Session session(basic_config("t"));
+  (void)session.submit_qasm(kProgram);
+  const std::vector<std::uint8_t> snapshot = session.park();
+
+  SessionConfig other_seed = basic_config("t");
+  other_seed.seed = 999;
+  EXPECT_THROW((void)Session::unpark(other_seed, snapshot), CheckpointError);
+
+  SessionConfig other_shape = basic_config("t");
+  other_shape.pauli_frame = false;
+  EXPECT_THROW((void)Session::unpark(other_shape, snapshot), CheckpointError);
+
+  std::vector<std::uint8_t> truncated = snapshot;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW((void)Session::unpark(basic_config("t"), truncated),
+               CheckpointError);
+}
+
+TEST(ServeSessionTest, QuotaRefusesBeforeTouchingTheStack) {
+  Session session(basic_config("t"));
+  SessionQuota quota;
+  quota.max_bytes = 100;
+  EXPECT_TRUE(session.charge(quota, 60));
+  EXPECT_FALSE(session.charge(quota, 60));  // would cross the budget
+  EXPECT_EQ(session.bytes_received(), 60u);
+
+  quota = SessionQuota{};
+  quota.max_requests = 1;
+  (void)session.submit_qasm(kProgram);
+  EXPECT_FALSE(session.charge(quota, 1));  // request budget exhausted
+}
+
+TEST(ServeSessionTest, ProgramBeyondRegisterIsATypedRefusal) {
+  Session session(basic_config("t"));
+  EXPECT_THROW((void)session.submit_qasm("qubits 9\nh q8\n"),
+               StackConfigError);
+  EXPECT_THROW((void)session.submit_qasm("this is not qasm"),
+               QasmParseError);
+  // Neither refusal perturbed the stack: the next good program answers
+  // exactly like a fresh session's first request.
+  Session fresh(basic_config("t"));
+  EXPECT_EQ(session.submit_qasm(kProgram).bits,
+            fresh.submit_qasm(kProgram).bits);
+}
+
+TEST(ServeSessionTest, EscalationMarksTheSessionAndRefusesTraffic) {
+  Session session(poisoned_config("victim"));
+  bool escalated = false;
+  for (int i = 0; i < 64 && !escalated; ++i) {
+    try {
+      (void)session.submit_qasm(kProgram);
+    } catch (const SupervisionError&) {
+      escalated = true;
+    }
+  }
+  ASSERT_TRUE(escalated) << "poisoned session never escalated";
+  EXPECT_TRUE(session.escalated());
+  // An escalated stack is untrustworthy: no further traffic, no park.
+  EXPECT_THROW((void)session.submit_qasm(kProgram), StackConfigError);
+  EXPECT_THROW((void)session.park(), CheckpointError);
+}
+
+// --- SessionTable lifecycle -----------------------------------------
+
+class ServeSessionTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()) +
+           ".park";
+    (void)std::remove(park_file().c_str());
+    ::rmdir(dir_.c_str());
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+  }
+  void TearDown() override {
+    (void)std::remove(park_file().c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  [[nodiscard]] std::string park_file() const {
+    const SessionTable table(4, dir_);
+    return table.park_path("t");
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServeSessionTableTest, CapacityIsEnforcedAsTypedRefusal) {
+  SessionTable table(2, dir_);
+  (void)table.open(basic_config("a"), 0);
+  (void)table.open(basic_config("b"), 0);
+  try {
+    (void)table.open(basic_config("c"), 0);
+    FAIL() << "third session admitted past max_sessions=2";
+  } catch (const StackConfigError& error) {
+    EXPECT_EQ(error.context().component, "session-limit");
+  }
+  EXPECT_EQ(table.live_sessions(), 2u);
+}
+
+TEST_F(ServeSessionTableTest, ReopeningAnAttachedNameIsBusy) {
+  SessionTable table(4, dir_);
+  (void)table.open(basic_config("t"), 0);
+  try {
+    (void)table.open(basic_config("t"), 0);
+    FAIL() << "attached session re-opened";
+  } catch (const StackConfigError& error) {
+    EXPECT_EQ(error.context().component, "session-busy");
+  }
+  // After a detach (connection dropped) the same name re-attaches —
+  // warm, with its state intact, which the client sees as restored.
+  table.detach(session_id_for("t"), 1);
+  const SessionTable::Opened again = table.open(basic_config("t"), 2);
+  EXPECT_NE(again.session, nullptr);
+  EXPECT_TRUE(again.restored);
+}
+
+TEST_F(ServeSessionTableTest, IdleParkAndResumeRoundTrip) {
+  std::string expected_bits;
+  {
+    SessionTable table(4, dir_);
+    const SessionTable::Opened opened = table.open(basic_config("t"), 0);
+    (void)opened.session->submit_qasm(kProgram);
+    expected_bits = opened.session->measure();
+    table.detach(opened.session->id(), 10);
+    // Busy sessions are never parked out from under an executor.
+    EXPECT_EQ(table.park_idle(10'000, 100, [](std::uint64_t) { return true; }),
+              0u);
+    EXPECT_EQ(table.park_idle(10'000, 100, [](std::uint64_t) { return false; }),
+              1u);
+    EXPECT_EQ(table.live_sessions(), 0u);
+  }
+  EXPECT_TRUE(journal::file_exists(park_file()));
+
+  SessionTable table(4, dir_);
+  SessionConfig resume = basic_config("t");
+  resume.resume = true;
+  const SessionTable::Opened restored = table.open(resume, 0);
+  ASSERT_NE(restored.session, nullptr);
+  EXPECT_TRUE(restored.restored);
+  EXPECT_EQ(restored.session->measure(), expected_bits);
+  EXPECT_EQ(restored.session->requests_served(), 1u);
+  // The parking file is consumed by the restore.
+  EXPECT_FALSE(journal::file_exists(park_file()));
+}
+
+TEST_F(ServeSessionTableTest, CheckpointAllParksEveryHealthySession) {
+  SessionTable table(4, dir_);
+  (void)table.open(basic_config("t"), 0);
+  const SessionTable::Opened b = table.open(basic_config("u"), 0);
+  (void)b.session->submit_qasm(kProgram);
+  EXPECT_EQ(table.checkpoint_all(), 2u);
+  EXPECT_EQ(table.live_sessions(), 0u);
+  EXPECT_TRUE(journal::file_exists(park_file()));
+  (void)std::remove(table.park_path("u").c_str());
+}
+
+TEST_F(ServeSessionTableTest, EvictDropsWithoutParking) {
+  SessionTable table(4, dir_);
+  const SessionTable::Opened opened = table.open(basic_config("t"), 0);
+  table.evict(opened.session->id());
+  EXPECT_EQ(table.live_sessions(), 0u);
+  EXPECT_FALSE(journal::file_exists(park_file()));
+}
+
+}  // namespace
+}  // namespace qpf::serve

@@ -8,6 +8,8 @@
 #include "journal/snapshot.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -358,6 +360,74 @@ TEST_F(CheckpointFileTest, WriteLeavesNoTempFileBehind) {
   if (tmp != nullptr) {
     std::fclose(tmp);
   }
+}
+
+// The hook is a plain function pointer, so the observation lands in a
+// file-scope sink the durability tests reset around each use.
+std::vector<std::string>* g_synced_dirs = nullptr;
+
+void record_synced_dir(const std::string& dir) {
+  if (g_synced_dirs != nullptr) {
+    g_synced_dirs->push_back(dir);
+  }
+}
+
+/// RAII: install the directory-sync observer and always clear it, even
+/// when an assertion fails mid-test.
+struct DirSyncCapture {
+  DirSyncCapture() {
+    g_synced_dirs = &dirs;
+    journal::set_directory_sync_hook_for_testing(&record_synced_dir);
+  }
+  ~DirSyncCapture() {
+    journal::set_directory_sync_hook_for_testing(nullptr);
+    g_synced_dirs = nullptr;
+  }
+  std::vector<std::string> dirs;
+};
+
+TEST_F(CheckpointFileTest, RenameIsFollowedByParentDirectoryFsync) {
+  // A rename alone is not durable: until the parent directory's metadata
+  // hits disk, power loss can roll the rename back and the "committed"
+  // checkpoint silently vanishes.  The write path must therefore fsync
+  // the parent directory after every rename — observed here through the
+  // post-fsync hook, which only fires once fsync(2) on the directory fd
+  // succeeded.
+  DirSyncCapture capture;
+  journal::write_checkpoint_file(path_, sample_payload());
+  ASSERT_EQ(capture.dirs.size(), 1u);
+  EXPECT_EQ(capture.dirs[0], ".");  // path_ is relative to the test cwd
+}
+
+TEST_F(CheckpointFileTest, DirectoryFsyncTargetsTheCheckpointParent) {
+  DirSyncCapture capture;
+  const std::string dir = path_ + ".dir";
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  const std::string nested = dir + "/nested.ckpt";
+  journal::write_checkpoint_file(nested, sample_payload());
+  ASSERT_EQ(capture.dirs.size(), 1u);
+  EXPECT_EQ(capture.dirs[0], dir);
+  // Every write syncs its own parent: a second checkpoint elsewhere
+  // must not coalesce with or replace the first observation.
+  journal::write_checkpoint_file(path_, sample_payload());
+  ASSERT_EQ(capture.dirs.size(), 2u);
+  EXPECT_EQ(capture.dirs[1], ".");
+  std::remove(nested.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST_F(CheckpointFileTest, MissingParentDirectoryThrowsNotSilentlyDrops) {
+  // If the parent directory cannot even be opened for fsync, the
+  // checkpoint's durability cannot be guaranteed; that must surface as
+  // a CheckpointError, not a best-effort shrug.  (The data file itself
+  // can't exist without a parent, so this trips on the tmp-file write —
+  // the point is that no path through write_checkpoint_file reports
+  // success without a synced parent.)
+  DirSyncCapture capture;
+  EXPECT_THROW(
+      journal::write_checkpoint_file("no_such_dir/x.ckpt", sample_payload()),
+      CheckpointError);
+  EXPECT_TRUE(capture.dirs.empty());
 }
 
 // --- Whole-experiment checkpoint ------------------------------------

@@ -1,0 +1,104 @@
+#!/bin/sh
+# SIGPIPE robustness check for the pipeline-facing CLI tools.
+#
+# Every tool is routinely piped into head / tee / jq; a reader that
+# exits early must not kill the tool with SIGPIPE (shell exit 141) —
+# under the default disposition that can land mid-checkpoint and tear
+# durable state.  The tools ignore SIGPIPE and detect the broken pipe
+# as a failed write instead, exiting through the typed IoError path.
+#
+# Each tool runs with stdout piped into `head -c 0`, a reader that
+# exits immediately: every later write to the pipe sees EPIPE.  The
+# script asserts the tool (1) is not SIGPIPE-killed (would be 141),
+# (2) exits through a documented code (1 via IoError once the report
+# write fails; 0 only if the tool won the tiny startup race), and
+# (3) for the journaled tools, leaves its state dir loadable — a
+# follow-up un-piped run over the same journal completes with exit 0.
+#
+# Usage: tools/check_sigpipe.sh [build-dir]     (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+for tool in qpf_run qpf_ler qpf_chaos qpf_fuzz; do
+    if [ ! -x "$build_dir/tools/$tool" ]; then
+        echo "check_sigpipe.sh: $build_dir/tools/$tool not built" >&2
+        exit 1
+    fi
+done
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/qpf_sigpipe.XXXXXX")
+
+cleanup() {
+    code=$?
+    rm -rf "$workdir"
+    [ "$code" -eq 0 ] || echo "check_sigpipe.sh: FAIL (exit $code)" >&2
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+# run_piped <label> <command...>: pipe stdout into a reader that exits
+# at once and check the tool's own exit status (PIPESTATUS is
+# bash-only, so the status travels through a file).
+run_piped() {
+    label="$1"
+    shift
+    { "$@" 2>"$workdir/$label.err"; echo $? >"$workdir/$label.status"; } \
+        | head -c 0 >/dev/null || true
+    status=$(cat "$workdir/$label.status")
+    if [ "$status" -eq 141 ]; then
+        echo "check_sigpipe.sh: $label killed by SIGPIPE" >&2
+        exit 1
+    fi
+    if [ "$status" -ne 0 ] && [ "$status" -ne 1 ]; then
+        echo "check_sigpipe.sh: $label exited $status (want 0 or 1)" >&2
+        cat "$workdir/$label.err" >&2
+        exit 1
+    fi
+    echo "  $label: exit $status (not SIGPIPE)"
+}
+
+cat >"$workdir/program.qasm" <<'EOF'
+qubits 4
+h q0
+cnot q0,q1
+cnot q1,q2
+cnot q2,q3
+measure q0
+measure q1
+measure q2
+measure q3
+EOF
+
+echo "check_sigpipe.sh: build $build_dir"
+
+run_piped qpf_run "$build_dir/tools/qpf_run" "$workdir/program.qasm" \
+    --shots=200 --seed=7 --pauli-frame
+
+# qpf_run with a journal: the broken pipe must not tear the shot
+# journal — a --resume over the same directory completes cleanly.
+run_piped qpf_run_journal "$build_dir/tools/qpf_run" \
+    "$workdir/program.qasm" --shots=200 --seed=7 --pauli-frame \
+    --checkpoint-dir="$workdir/run_state"
+"$build_dir/tools/qpf_run" "$workdir/program.qasm" --shots=200 --seed=7 \
+    --pauli-frame --resume="$workdir/run_state" >/dev/null 2>&1 \
+    || { echo "check_sigpipe.sh: qpf_run journal unusable after broken pipe" >&2; exit 1; }
+echo "  qpf_run: journal resumable after broken pipe"
+
+run_piped qpf_ler "$build_dir/tools/qpf_ler" --per=2e-3 --runs=1 \
+    --errors=2 --max-windows=500 --seed=11 \
+    --state-dir="$workdir/ler_state"
+"$build_dir/tools/qpf_ler" --per=2e-3 --runs=1 --errors=2 \
+    --max-windows=500 --seed=11 --state-dir="$workdir/ler_state" \
+    >/dev/null 2>&1 \
+    || { echo "check_sigpipe.sh: qpf_ler state dir unusable after broken pipe" >&2; exit 1; }
+echo "  qpf_ler: journal resumable after broken pipe"
+
+run_piped qpf_chaos "$build_dir/tools/qpf_chaos" --scenario=crash-recover \
+    --runs=1 --errors=2 --max-windows=500
+
+run_piped qpf_fuzz "$build_dir/tools/qpf_fuzz" --json --seed=7 --cases=25
+
+echo "check_sigpipe.sh: PASS"

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "circuit/error.h"
+#include "cli/stdio_guard.h"
 #include "ler_common.h"
 
 namespace {
@@ -148,6 +149,7 @@ int main(int argc, char** argv) {
   using qpf::bench::CampaignOptions;
   using qpf::bench::CampaignResult;
 
+  qpf::cli::ignore_sigpipe();
   CampaignOptions options;
   options.config.physical_error_rate = 2e-3;
   options.config.target_logical_errors = 4;
@@ -262,7 +264,14 @@ int main(int argc, char** argv) {
               result.point.mean_ler, result.point.stddev_ler,
               result.point.window_cv, result.point.saved_gates,
               result.point.saved_slots, result.trials_timed_out);
-  std::fflush(stdout);
+  try {
+    qpf::cli::require_stdout_ok();
+  } catch (const qpf::Error& error) {
+    // Journal and checkpoint are already durable; only the report line
+    // was lost to the closed pipe.
+    std::cerr << "qpf_chaos: " << error.what() << "\n";
+    return 1;
+  }
 
   if (result.interrupted) {
     std::cerr << "qpf_chaos: interrupted after " << result.trials_completed

@@ -24,6 +24,7 @@
 
 #include "circuit/bug_plant.h"
 #include "circuit/error.h"
+#include "cli/stdio_guard.h"
 #include "fuzz/engine.h"
 #include "fuzz/seeds.h"
 
@@ -144,6 +145,7 @@ void save_failures(const FuzzReport& report, const std::string& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  qpf::cli::ignore_sigpipe();
   FuzzOptions options;
   bool json = false;
   double minutes = 0.0;
@@ -260,6 +262,9 @@ int main(int argc, char** argv) {
     } else {
       print_summary(report, std::cout);
     }
+    // A reader that exited early (| head) must not pass as a clean
+    // run whose report nobody saw: surface the truncation as IoError.
+    qpf::cli::require_stream_ok(std::cout, "stdout");
     return report.pass() ? 0 : 1;
   } catch (const qpf::Error& e) {
     std::cerr << "qpf_fuzz: error: " << e.what() << "\n";

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "circuit/error.h"
+#include "cli/stdio_guard.h"
 #include "ler_common.h"
 
 namespace {
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   using qpf::bench::CampaignOptions;
   using qpf::bench::CampaignResult;
 
+  qpf::cli::ignore_sigpipe();
   CampaignOptions options;
   options.checkpoint_every_windows = 256;
   for (int i = 1; i < argc; ++i) {
@@ -150,7 +152,14 @@ int main(int argc, char** argv) {
               result.point.mean_ler, result.point.stddev_ler,
               result.point.window_cv, result.point.saved_gates,
               result.point.saved_slots, result.trials_timed_out);
-  std::fflush(stdout);
+  try {
+    qpf::cli::require_stdout_ok();
+  } catch (const qpf::Error& error) {
+    // Journal and checkpoint are already durable; only the report line
+    // was lost to the closed pipe.
+    std::cerr << "qpf_ler: " << error.what() << "\n";
+    return 1;
+  }
 
   if (result.interrupted) {
     std::cerr << "qpf_ler: interrupted after " << result.trials_completed

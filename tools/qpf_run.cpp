@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cli/runner.h"
+#include "cli/stdio_guard.h"
 
 namespace {
 volatile std::sig_atomic_t g_stop = 0;
@@ -16,6 +17,7 @@ void handle_stop(int) { g_stop = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
+  qpf::cli::ignore_sigpipe();
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
   const std::vector<std::string> arguments(argv + 1, argv + argc);

@@ -1,0 +1,358 @@
+// qpf_serve_load: load generator and isolation witness for qpf_serve.
+//
+// Spawns --sessions concurrent client connections, each owning one
+// session and running --requests lockstep QASM submissions.  The first
+// --poison sessions are configured to die: a supervised stack with a
+// one-strike escalation budget under a continuous chaos schedule, so
+// the supervisor exhausts its retries and the server evicts the
+// session with a typed `supervision` reply.
+//
+// Every connection's raw received byte stream can be dumped with
+// --transcript-dir; check_serve.sh diffs healthy sessions' transcripts
+// between a --poison=0 and a --poison=1 run to prove fault isolation
+// bit-for-bit.
+//
+// --json emits the BENCH_serve.json report (schema
+// qpf-serve-bench-v1): p50/p99/p999 request latency, requests/sec and
+// sessions/sec, plus reply-code counters.
+//
+// Exit codes: 0 when every healthy session completed cleanly (poisoned
+// sessions are REQUIRED to be evicted — a poisoned session that
+// survives is a failure), 1 on contract violations, 2 on bad args.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/error.h"
+#include "serve/client.h"
+
+namespace {
+
+using qpf::serve::Client;
+using qpf::serve::SessionConfig;
+
+struct LoadOptions {
+  std::uint16_t port = 0;
+  std::size_t sessions = 8;
+  std::size_t requests = 16;
+  std::size_t poison = 0;
+  std::uint64_t qubits = 4;
+  std::uint64_t hold_ms = 0;      ///< keep connections open before close
+  bool resume = false;            ///< open sessions with resume=true
+  bool close_sessions = true;
+  std::string prefix = "tenant";
+  std::string transcript_dir;
+  bool json = false;
+};
+
+struct SessionOutcome {
+  bool ok = false;
+  bool evicted = false;
+  std::size_t replies_ok = 0;
+  std::size_t replies_error = 0;
+  std::vector<double> latencies_ms;
+  std::string failure;
+  std::vector<std::uint8_t> transcript;
+};
+
+/// Deterministic per-(session, request) program: a Clifford mix over
+/// the session register with a trailing measurement, derived only from
+/// the indices so the traffic is identical run to run.
+std::string make_qasm(std::uint64_t qubits, std::size_t session,
+                      std::size_t request) {
+  const std::uint64_t salt =
+      (static_cast<std::uint64_t>(session) << 32) ^ request ^ 0x9e3779b9ull;
+  std::string qasm = "qubits " + std::to_string(qubits) + "\n";
+  const std::uint64_t a = salt % qubits;
+  const std::uint64_t b = (salt / qubits) % qubits;
+  qasm += "h q" + std::to_string(a) + "\n";
+  if (a != b) {
+    qasm += "cnot q" + std::to_string(a) + ",q" + std::to_string(b) + "\n";
+  }
+  qasm += "s q" + std::to_string(b) + "\n";
+  if ((salt & 1) != 0) {
+    qasm += "measure q" + std::to_string(a) + "\n";
+  }
+  return qasm;
+}
+
+SessionConfig make_config(const LoadOptions& options, std::size_t index) {
+  SessionConfig config;
+  config.name = options.prefix + "-" + std::to_string(index);
+  config.seed = static_cast<std::uint64_t>(index) + 1;
+  config.qubits = options.qubits;
+  config.resume = options.resume;
+  if (index < options.poison) {
+    // A stack built to fail: every layer call draws a chaos event and
+    // the supervisor escalates on the first abandoned operation.
+    config.supervise = true;
+    config.max_retries = 1;
+    config.escalate_after = 1;
+    config.chaos.seed = config.seed ^ 0xdeadull;
+    config.chaos.min_gap = 1;
+    config.chaos.max_gap = 1;
+    config.chaos.crash_weight = 1;
+  }
+  return config;
+}
+
+void run_session(const LoadOptions& options, std::size_t index,
+                 SessionOutcome& outcome) {
+  const bool poisoned = index < options.poison;
+  Client client;
+  try {
+    client.connect(options.port);
+    Client::Result r = client.hello(options.prefix);
+    if (r.error.has_value()) {
+      outcome.failure = "hello refused: " + r.error->message;
+      outcome.transcript = client.transcript();
+      return;
+    }
+    r = client.open_session(make_config(options, index));
+    if (r.error.has_value()) {
+      outcome.failure = "open refused: " + r.error->code;
+      outcome.transcript = client.transcript();
+      return;
+    }
+    const qpf::serve::SessionOpened opened =
+        qpf::serve::decode_session_opened(r.reply.payload);
+
+    for (std::size_t request = 0; request < options.requests; ++request) {
+      const std::string qasm =
+          make_qasm(options.qubits, index, request);
+      const auto t0 = std::chrono::steady_clock::now();
+      r = client.submit_qasm(opened.session, qasm);
+      const auto t1 = std::chrono::steady_clock::now();
+      outcome.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      if (r.error.has_value()) {
+        ++outcome.replies_error;
+        if (r.error->code == "supervision" || r.error->code == "evicted") {
+          outcome.evicted = true;
+        }
+      } else {
+        ++outcome.replies_ok;
+      }
+    }
+
+    if (options.hold_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.hold_ms));
+    }
+    if (options.close_sessions && !outcome.evicted) {
+      r = client.close_session(opened.session);
+      if (r.error.has_value()) {
+        outcome.failure = "close refused: " + r.error->code;
+        outcome.transcript = client.transcript();
+        return;
+      }
+    }
+    // Contract: healthy sessions answer everything; poisoned sessions
+    // must have been evicted by the supervisor.
+    outcome.ok = poisoned
+                     ? outcome.evicted
+                     : outcome.replies_error == 0 &&
+                           outcome.replies_ok == options.requests;
+    if (!outcome.ok && outcome.failure.empty()) {
+      outcome.failure = poisoned ? "poisoned session was never evicted"
+                                 : "healthy session saw error replies";
+    }
+  } catch (const qpf::Error& e) {
+    // During a drain/hold test the server may vanish mid-conversation;
+    // that is only a failure for sessions that still expected replies.
+    outcome.failure = e.what();
+    outcome.ok = options.hold_ms > 0 &&
+                 (poisoned ? outcome.evicted
+                           : outcome.replies_ok == options.requests);
+  }
+  outcome.transcript = client.transcript();
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+bool consume_prefix(const std::string& argument, const std::string& prefix,
+                    std::string& value) {
+  if (argument.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  value = argument.substr(prefix.size());
+  return true;
+}
+
+int usage(std::ostream& out) {
+  out << "usage: qpf_serve_load --port=N [options]\n"
+         "  --sessions=N        concurrent sessions (default 8)\n"
+         "  --requests=N        lockstep requests per session (default 16)\n"
+         "  --poison=K          first K sessions get a fatal chaos stack\n"
+         "  --qubits=N          session register size (default 4)\n"
+         "  --hold-ms=N         keep connections open N ms before close\n"
+         "                      (drain tests; server death tolerated)\n"
+         "  --resume            open sessions with resume=true\n"
+         "  --no-close          leave sessions open (park/drain tests)\n"
+         "  --prefix=NAME       session name prefix (default tenant)\n"
+         "  --transcript-dir=D  write DIR/<name>.transcript witnesses\n"
+         "  --json              emit BENCH_serve.json on stdout\n"
+         "  --help              this text\n";
+  return &out == &std::cerr ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  LoadOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string value;
+      if (arg == "--help" || arg == "-h") {
+        return usage(std::cout);
+      } else if (arg == "--json") {
+        options.json = true;
+      } else if (arg == "--resume") {
+        options.resume = true;
+      } else if (arg == "--no-close") {
+        options.close_sessions = false;
+      } else if (consume_prefix(arg, "--port=", value)) {
+        options.port = static_cast<std::uint16_t>(std::stoul(value));
+      } else if (consume_prefix(arg, "--sessions=", value)) {
+        options.sessions = std::stoull(value);
+      } else if (consume_prefix(arg, "--requests=", value)) {
+        options.requests = std::stoull(value);
+      } else if (consume_prefix(arg, "--poison=", value)) {
+        options.poison = std::stoull(value);
+      } else if (consume_prefix(arg, "--qubits=", value)) {
+        options.qubits = std::stoull(value);
+      } else if (consume_prefix(arg, "--hold-ms=", value)) {
+        options.hold_ms = std::stoull(value);
+      } else if (consume_prefix(arg, "--prefix=", value)) {
+        options.prefix = value;
+      } else if (consume_prefix(arg, "--transcript-dir=", value)) {
+        options.transcript_dir = value;
+      } else {
+        std::cerr << "qpf_serve_load: unknown argument '" << arg << "'\n";
+        return usage(std::cerr);
+      }
+    }
+    if (options.port == 0) {
+      std::cerr << "qpf_serve_load: --port is required\n";
+      return 2;
+    }
+    if (options.poison > options.sessions) {
+      std::cerr << "qpf_serve_load: --poison exceeds --sessions\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "qpf_serve_load: bad argument: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::vector<SessionOutcome> outcomes(options.sessions);
+  const auto wall0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(options.sessions);
+    for (std::size_t i = 0; i < options.sessions; ++i) {
+      threads.emplace_back(
+          [&options, &outcomes, i] { run_session(options, i, outcomes[i]); });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall0)
+                             .count();
+
+  if (!options.transcript_dir.empty()) {
+    for (std::size_t i = 0; i < options.sessions; ++i) {
+      const std::string path = options.transcript_dir + "/" + options.prefix +
+                               "-" + std::to_string(i) + ".transcript";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(outcomes[i].transcript.data()),
+                static_cast<std::streamsize>(outcomes[i].transcript.size()));
+      if (!out) {
+        std::cerr << "qpf_serve_load: cannot write " << path << "\n";
+        return 1;
+      }
+    }
+  }
+
+  std::vector<double> healthy_latencies;
+  std::size_t ok_sessions = 0;
+  std::size_t evicted = 0;
+  std::uint64_t replies_ok = 0;
+  std::uint64_t replies_error = 0;
+  for (std::size_t i = 0; i < options.sessions; ++i) {
+    const SessionOutcome& o = outcomes[i];
+    if (o.ok) {
+      ++ok_sessions;
+    } else {
+      std::cerr << "qpf_serve_load: session " << i << " FAILED: " << o.failure
+                << "\n";
+    }
+    if (o.evicted) {
+      ++evicted;
+    }
+    replies_ok += o.replies_ok;
+    replies_error += o.replies_error;
+    if (i >= options.poison) {
+      healthy_latencies.insert(healthy_latencies.end(),
+                               o.latencies_ms.begin(), o.latencies_ms.end());
+    }
+  }
+
+  const double wall_s = wall_ms / 1000.0;
+  const double p50 = percentile(healthy_latencies, 0.50);
+  const double p99 = percentile(healthy_latencies, 0.99);
+  const double p999 = percentile(healthy_latencies, 0.999);
+  const double rps =
+      wall_s > 0.0 ? static_cast<double>(healthy_latencies.size()) / wall_s
+                   : 0.0;
+  const double sps =
+      wall_s > 0.0 ? static_cast<double>(options.sessions) / wall_s : 0.0;
+
+  if (options.json) {
+    std::cout << "{\n"
+              << "  \"schema\": \"qpf-serve-bench-v1\",\n"
+              << "  \"sessions\": " << options.sessions << ",\n"
+              << "  \"requests_per_session\": " << options.requests << ",\n"
+              << "  \"poisoned\": " << options.poison << ",\n"
+              << "  \"sessions_ok\": " << ok_sessions << ",\n"
+              << "  \"sessions_evicted\": " << evicted << ",\n"
+              << "  \"replies_ok\": " << replies_ok << ",\n"
+              << "  \"replies_error\": " << replies_error << ",\n"
+              << "  \"wall_ms\": " << wall_ms << ",\n"
+              << "  \"latency_ms\": {\"p50\": " << p50 << ", \"p99\": " << p99
+              << ", \"p999\": " << p999 << "},\n"
+              << "  \"requests_per_sec\": " << rps << ",\n"
+              << "  \"sessions_per_sec\": " << sps << "\n"
+              << "}\n";
+    std::cout.flush();
+    if (!std::cout) {
+      std::cerr << "qpf_serve_load: error: stdout write failed\n";
+      return 1;
+    }
+  }
+  std::cerr << "qpf_serve_load: sessions=" << options.sessions << " ok="
+            << ok_sessions << " evicted=" << evicted << " p50=" << p50
+            << "ms p99=" << p99 << "ms\n";
+  return ok_sessions == options.sessions ? 0 : 1;
+}
