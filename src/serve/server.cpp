@@ -127,19 +127,19 @@ void Server::serve() {
     executors_.emplace_back([this] { executor_main(); });
   }
 
-  poll_loop();
+  try {
+    poll_loop();
+  } catch (...) {
+    // The reactor died (poll/fcntl IoError).  Retire the executor pool
+    // before the typed error propagates — otherwise the joinable
+    // std::thread members terminate the process in ~Server.
+    stop_executors();
+    throw;
+  }
 
   // Drain finished: every queue is idle and every flushable reply has
   // been flushed.  Retire the executors, then checkpoint what is left.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  work_ready_.notify_all();
-  for (std::thread& t : executors_) {
-    t.join();
-  }
-  executors_.clear();
+  stop_executors();
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -150,6 +150,18 @@ void Server::serve() {
     connections_.clear();
     conn_by_fd_.clear();
   }
+}
+
+void Server::stop_executors() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : executors_) {
+    t.join();
+  }
+  executors_.clear();
 }
 
 bool Server::all_queues_idle() const {
@@ -261,6 +273,19 @@ void Server::poll_loop() {
               return it != exec_.end() &&
                      (it->second.running || !it->second.pending.empty());
             });
+      }
+      // Retire execution state for sessions that are gone (closed,
+      // evicted, or parked) once their queue has drained — otherwise
+      // exec_ keeps one entry per session id for the life of the
+      // server.  A running/queued entry is never touched; reopening a
+      // name simply recreates the entry from the session accounting.
+      for (auto it = exec_.begin(); it != exec_.end();) {
+        if (!it->second.running && it->second.pending.empty() &&
+            !table_.contains(it->first)) {
+          it = exec_.erase(it);
+        } else {
+          ++it;
+        }
       }
       if (draining_ && all_queues_idle()) {
         bool flushed = true;
@@ -405,8 +430,44 @@ void Server::enqueue_reply(std::uint64_t conn_id, const Frame& reply) {
     ++stats_.connections_dropped;
     return;
   }
+  // The write-stall clock starts when the buffer goes from idle to
+  // pending: a connection that sat idle longer than write_timeout_ms
+  // must not be reaped before the very first write is even attempted.
+  if (conn.tx_offset >= conn.tx.size()) {
+    conn.last_write_progress_ms = now_ms();
+  }
   conn.tx.insert(conn.tx.end(), bytes.begin(), bytes.end());
   wake_reactor();
+}
+
+void Server::note_evicted(std::uint64_t session_id) {
+  // Bounded memory of escalated ids (better refusal messages); the
+  // oldest are forgotten once the ring is full.
+  static constexpr std::size_t kEvictedCap = 1024;
+  if (evicted_.insert(session_id).second) {
+    evicted_order_.push_back(session_id);
+    while (evicted_order_.size() > kEvictedCap) {
+      evicted_.erase(evicted_order_.front());
+      evicted_order_.pop_front();
+    }
+  }
+}
+
+void Server::forget_evicted(std::uint64_t session_id) {
+  if (evicted_.erase(session_id) != 0) {
+    evicted_order_.erase(std::find(evicted_order_.begin(),
+                                   evicted_order_.end(), session_id));
+  }
+}
+
+void Server::release_session(std::uint64_t conn_id,
+                             std::uint64_t session_id) {
+  auto it = connections_.find(conn_id);
+  if (it != connections_.end()) {
+    auto& owned = it->second.sessions;
+    owned.erase(std::remove(owned.begin(), owned.end(), session_id),
+                owned.end());
+  }
 }
 
 void Server::send_error(std::uint64_t conn_id, const Frame& request,
@@ -448,12 +509,19 @@ void Server::handle_frame(Connection& conn, Frame frame, std::uint64_t now) {
   // stack is touched, so refusals never perturb session state.
   Session* session = table_.find(frame.session, now);
   if (session == nullptr) {
-    const bool was_evicted =
-        std::find(evicted_.begin(), evicted_.end(), frame.session) !=
-        evicted_.end();
+    const bool was_evicted = evicted_.count(frame.session) != 0;
     send_error(conn.id, frame, was_evicted ? "evicted" : "unknown-session",
                was_evicted ? "session was evicted after escalation"
                            : "no such session");
+    return;
+  }
+  // Session ids are deterministic (FNV-1a of the public name), so
+  // knowing an id must not grant access: only the connection the
+  // session is attached to may drive it.
+  if (std::find(conn.sessions.begin(), conn.sessions.end(),
+                frame.session) == conn.sessions.end()) {
+    send_error(conn.id, frame, "session-busy",
+               "session is not attached to this connection");
     return;
   }
   if (draining_) {
@@ -533,8 +601,7 @@ void Server::handle_open_session(Connection& conn, const Frame& frame,
     const SessionTable::Opened opened = table_.open(config, now);
     const std::uint64_t id = opened.session->id();
     conn.sessions.push_back(id);
-    evicted_.erase(std::remove(evicted_.begin(), evicted_.end(), id),
-                   evicted_.end());
+    forget_evicted(id);
     ExecState& st = exec_[id];
     st.requests_admitted = opened.session->requests_served();
     st.bytes_admitted = opened.session->bytes_received();
@@ -603,8 +670,7 @@ void Server::execute_job(const Job& job) {
     std::lock_guard<std::mutex> lock(mutex_);
     session = table_.find(sid, now_ms());
     if (session == nullptr) {
-      const bool was_evicted =
-          std::find(evicted_.begin(), evicted_.end(), sid) != evicted_.end();
+      const bool was_evicted = evicted_.count(sid) != 0;
       send_error(job.conn_id, frame,
                  was_evicted ? "evicted" : "unknown-session",
                  was_evicted ? "session was evicted after escalation"
@@ -664,6 +730,7 @@ void Server::execute_job(const Job& job) {
             encode_closed(Closed{session->requests_served()});
         std::lock_guard<std::mutex> lock(mutex_);
         table_.evict(sid);
+        release_session(job.conn_id, sid);
         enqueue_reply(job.conn_id, reply);
         return;
       }
@@ -679,7 +746,8 @@ void Server::execute_job(const Job& job) {
     // be trusted.  Evict it — every other session is untouched.
     std::lock_guard<std::mutex> lock(mutex_);
     table_.evict(sid);
-    evicted_.push_back(sid);
+    release_session(job.conn_id, sid);
+    note_evicted(sid);
     ++stats_.sessions_evicted;
     send_error(job.conn_id, frame, "supervision", e.what());
   } catch (const QasmParseError& e) {

@@ -37,6 +37,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -139,12 +140,16 @@ class Server {
   // Executor side.
   void executor_main();
   void execute_job(const Job& job);
+  void stop_executors();  // set stopping_, wake and join the pool
 
   // Shared helpers (caller holds mutex_ unless noted).
   void enqueue_reply(std::uint64_t conn_id, const Frame& reply);
   void send_error(std::uint64_t conn_id, const Frame& request,
                   const std::string& code, const std::string& message);
   void wake_reactor();  // lock-free: one byte down the wake pipe
+  void note_evicted(std::uint64_t session_id);
+  void forget_evicted(std::uint64_t session_id);
+  void release_session(std::uint64_t conn_id, std::uint64_t session_id);
 
   [[nodiscard]] static std::uint64_t now_ms() noexcept;
 
@@ -162,7 +167,12 @@ class Server {
   std::map<int, std::uint64_t> conn_by_fd_;
   std::map<std::uint64_t, ExecState> exec_;          // by session id
   std::deque<std::uint64_t> ready_;                  // session ids with work
-  std::vector<std::uint64_t> evicted_;               // escalated session ids
+  // Escalated session ids, kept so later requests get an `evicted`
+  // reply instead of `unknown-session`.  Bounded: the deque records
+  // insertion order and the oldest ids are forgotten past the cap, so
+  // a long-running server cannot leak memory per escalation.
+  std::set<std::uint64_t> evicted_;
+  std::deque<std::uint64_t> evicted_order_;
   ServeStats stats_;
   std::uint64_t next_conn_id_ = 1;
   bool draining_ = false;

@@ -33,7 +33,17 @@ SessionTable::Opened SessionTable::open(const SessionConfig& config,
           "session-busy", "session '" + config.name +
                               "' is attached to another connection");
     }
-    // Warm re-attach: the stack never left memory.
+    // Warm re-attach: the stack never left memory.  The presented
+    // config must match the live one — same contract as unpark(), so a
+    // client cannot silently inherit a stack built from different
+    // parameters just because it stayed warm.
+    const SessionConfig& live = it->second.session->config();
+    if (live.seed != config.seed || live.qubits != config.qubits ||
+        live.pauli_frame != config.pauli_frame ||
+        live.supervise != config.supervise) {
+      throw CheckpointError(
+          "session config does not match the live session", config.name);
+    }
     it->second.attached = true;
     it->second.last_active_ms = now_ms;
     return Opened{it->second.session.get(), true};

@@ -46,8 +46,9 @@ class SessionTable {
   ///                       attached to another live connection
   ///                       ("session-busy" — message prefix tells the
   ///                       server which code to reply),
-  ///   CheckpointError   — resume requested but the parked snapshot is
-  ///                       corrupt or the config mismatches.
+  ///   CheckpointError   — the presented config does not match the live
+  ///                       (warm re-attach) or parked session, or the
+  ///                       parked snapshot is corrupt.
   [[nodiscard]] Opened open(const SessionConfig& config,
                             std::uint64_t now_ms);
 
@@ -89,6 +90,11 @@ class SessionTable {
 
   /// Remove a session outright (escalation, close, quota kill).
   void evict(std::uint64_t id);
+
+  /// Whether `id` is live, without touching its last-active time.
+  [[nodiscard]] bool contains(std::uint64_t id) const noexcept {
+    return sessions_.find(id) != sessions_.end();
+  }
 
   [[nodiscard]] std::size_t live_sessions() const noexcept {
     return sessions_.size();

@@ -10,6 +10,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -305,6 +306,97 @@ TEST(ServeServerTest, EscalatingTenantIsEvictedOthersUnaffected) {
     EXPECT_EQ(healthy_bits[i], reference.submit_qasm(kProgram).bits)
         << "healthy reply " << i << " diverged while neighbor escalated";
   }
+}
+
+TEST(ServeServerTest, IdleConnectionSurvivesReactorSynchronousReply) {
+  // Regression: the slow-reader timeout must measure write *stall*, not
+  // idle time.  A healthy client that goes quiet for longer than
+  // write_timeout_ms and then sends a request used to be dropped in the
+  // same reactor iteration that enqueued the reply — before a single
+  // write was attempted — because the progress timestamp only advanced
+  // on actual socket writes.
+  ServeOptions options;
+  options.write_timeout_ms = 50;
+  ServerFixture fixture{options};
+  Client client;
+  handshake(client, fixture.port());
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const Client::Result opened = client.open_session(basic_config("t"));
+  ASSERT_FALSE(opened.error.has_value())
+      << "idle-but-healthy connection was dropped: "
+      << (opened.error ? opened.error->message : "");
+  const Client::Result run =
+      client.submit_qasm(session_id_for("t"), kProgram);
+  EXPECT_FALSE(run.error.has_value());
+}
+
+TEST(ServeServerTest, SessionIsPrivateToItsConnection) {
+  // Session ids are a deterministic hash of the public name, so a
+  // second connection can compute them; it must still be refused —
+  // submit, snapshot, and close all require the attached connection.
+  ServerFixture fixture{ServeOptions{}};
+  Client owner;
+  handshake(owner, fixture.port());
+  ASSERT_FALSE(owner.open_session(basic_config("t")).error.has_value());
+  const std::uint64_t id = session_id_for("t");
+
+  Client intruder;
+  handshake(intruder, fixture.port());
+  for (const Client::Result& attempt :
+       {intruder.submit_qasm(id, kProgram), intruder.snapshot(id),
+        intruder.close_session(id)}) {
+    ASSERT_TRUE(attempt.error.has_value());
+    EXPECT_EQ(attempt.error->code, "session-busy");
+  }
+
+  // The owner is untouched: its session still accepts traffic.
+  const Client::Result run = owner.submit_qasm(id, kProgram);
+  EXPECT_FALSE(run.error.has_value());
+}
+
+TEST(ServeServerTest, WarmReattachRequiresMatchingConfig) {
+  // Re-attaching to a warm (detached, still in memory) session must
+  // enforce the same config-match contract as unparking a snapshot:
+  // a different seed/topology is a typed `checkpoint` refusal, never a
+  // silent hand-over of the old stack.
+  ServerFixture fixture{ServeOptions{}};
+  std::string bits_before;
+  {
+    Client first;
+    handshake(first, fixture.port());
+    ASSERT_FALSE(first.open_session(basic_config("t")).error.has_value());
+    const Client::Result run =
+        first.submit_qasm(session_id_for("t"), kProgram);
+    ASSERT_FALSE(run.error.has_value());
+    bits_before = decode_run_reply(run.reply.payload).bits;
+    first.disconnect();
+  }
+
+  Client second;
+  handshake(second, fixture.port());
+  SessionConfig mismatched = basic_config("t");
+  mismatched.seed += 1;
+  // The server detaches the session when it notices the first client's
+  // close; until then re-opening the name reports `session-busy`.
+  Client::Result reopened = second.open_session(mismatched);
+  for (int i = 0; i < 200 && reopened.error.has_value() &&
+                  reopened.error->code == "session-busy";
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    reopened = second.open_session(mismatched);
+  }
+  ASSERT_TRUE(reopened.error.has_value())
+      << "mismatched config silently re-attached the warm session";
+  EXPECT_EQ(reopened.error->code, "checkpoint");
+
+  // The matching config re-attaches the same warm stack (restored=true,
+  // state intact).
+  const Client::Result matched = second.open_session(basic_config("t"));
+  ASSERT_FALSE(matched.error.has_value()) << matched.error->message;
+  EXPECT_TRUE(decode_session_opened(matched.reply.payload).restored);
+  const Client::Result measured = second.measure(session_id_for("t"));
+  ASSERT_FALSE(measured.error.has_value());
+  EXPECT_EQ(decode_measure_reply(measured.reply.payload), bits_before);
 }
 
 class ServeServerDrainTest : public ::testing::Test {
