@@ -166,6 +166,8 @@ void SupervisorLayer::add(const Circuit& circuit) {
       lower().add(circuit);
     } catch (const SupervisionError&) {
       throw;
+    } catch (const IoError& e) {
+      escalate_on_io(e, "add");
     } catch (const Error& e) {
       abandon_degraded(e, "add");
     }
@@ -176,6 +178,8 @@ void SupervisorLayer::add(const Circuit& circuit) {
     lower().add(circuit);
   } catch (const SupervisionError&) {
     throw;
+  } catch (const IoError& e) {
+    escalate_on_io(e, "add");
   } catch (const Error& e) {
     (void)recover(e, /*then_execute=*/false, "add");
   }
@@ -201,6 +205,8 @@ void SupervisorLayer::execute() {
       }
     } catch (const SupervisionError&) {
       throw;
+    } catch (const IoError& e) {
+      escalate_on_io(e, "execute");
     } catch (const Error& e) {
       abandon_degraded(e, "execute");
     }
@@ -212,6 +218,8 @@ void SupervisorLayer::execute() {
     lower().execute();
   } catch (const SupervisionError&) {
     throw;
+  } catch (const IoError& e) {
+    escalate_on_io(e, "execute");
   } catch (const Error& e) {
     clean = recover(e, /*then_execute=*/true, "execute");
   }
@@ -265,6 +273,23 @@ bool SupervisorLayer::recover(const Error& cause, bool then_execute,
   }
   degrade(std::move(inc));
   return false;
+}
+
+void SupervisorLayer::escalate_on_io(const Error& cause, const char* phase) {
+  // A typed IoError means the durable substrate (journal, checkpoint,
+  // state dir) failed underneath the stack.  Retry/replay cannot help —
+  // the quantum state is fine, the disk is not — and degrading would
+  // keep journaling onto a broken device.  Escalate immediately so the
+  // operator-facing layer (server eviction, CLI exit 1) takes over.
+  ++stats_.faults_seen;
+  ++stats_.episodes;
+  SupervisorIncident inc;
+  inc.ordinal = stats_.faults_seen;
+  inc.phase = phase;
+  inc.error = cause.what();
+  inc.outcome = "escalated";
+  record(std::move(inc));
+  throw_escalated("durable I/O failure (retries cannot repair storage)");
 }
 
 void SupervisorLayer::degrade(SupervisorIncident incident) {

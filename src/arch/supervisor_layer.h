@@ -134,6 +134,7 @@ class SupervisorLayer final : public Layer {
   /// Retry loop: restore + replay (+ execute).  Returns true on
   /// recovery; false after degrading.  Throws on escalation.
   bool recover(const Error& cause, bool then_execute, const char* phase);
+  [[noreturn]] void escalate_on_io(const Error& cause, const char* phase);
   void degrade(SupervisorIncident incident);
   void abandon_degraded(const Error& cause, const char* phase);
   void maybe_escalate(const char* reason);

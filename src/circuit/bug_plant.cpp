@@ -70,6 +70,10 @@ const char* describe(int n) noexcept {
       return "serve-codec-crc-skip: the wire-frame decoder trusts frames "
              "without verifying the body CRC, so bit-flipped bodies are "
              "accepted";
+    case 13:
+      return "checkpoint-skip-dir-fsync: write_checkpoint_file returns "
+             "without fsyncing the parent directory, so a power loss after "
+             "rename can roll the checkpoint back";
     default:
       return "?";
   }

@@ -1,5 +1,7 @@
 #include "fuzz/oracles.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <map>
@@ -17,6 +19,8 @@
 #include "fuzz/generator.h"
 #include "fuzz/seeds.h"
 #include "circuit/qasm.h"
+#include "io/fault_fs.h"
+#include "journal/snapshot.h"
 #include "qec/ninja_star.h"
 #include "qec/sc17.h"
 #include "serve/protocol.h"
@@ -968,6 +972,191 @@ OracleOutcome check_serve_codec(const Circuit& stream, std::uint64_t seed,
   return OracleOutcome::pass();
 }
 
+// --- io-fault ---------------------------------------------------------
+
+namespace {
+
+/// Durable ops parsed back from a FaultFs counting log.
+struct LoggedOp {
+  std::string kind;
+  std::string path;
+};
+
+std::vector<LoggedOp> parse_op_log(const std::string& log_path) {
+  std::vector<LoggedOp> ops;
+  std::string contents;
+  {
+    std::FILE* f = std::fopen(log_path.c_str(), "rb");
+    if (f == nullptr) {
+      return ops;
+    }
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  std::istringstream lines(contents);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string ordinal;
+    LoggedOp op;
+    fields >> ordinal >> op.kind;
+    std::getline(fields, op.path);
+    if (!op.path.empty() && op.path.front() == ' ') {
+      op.path.erase(0, 1);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace
+
+OracleOutcome check_io_fault(const Circuit& body, std::uint64_t seed,
+                             const OracleTuning& tuning) {
+  (void)tuning;
+  // Two distinct, deterministic payloads derived from the generated
+  // circuit: the checkpoint on disk ("old") and the overwrite ("new").
+  const std::size_t n = register_size(body, 2);
+  arch::ChpCore core(derive_seed(seed, label_hash("core")));
+  core.create_qubits(n);
+  core.add(body);
+  core.execute();
+  journal::SnapshotWriter old_state;
+  core.save_state(old_state);
+  core.add(body);
+  core.execute();
+  journal::SnapshotWriter new_state;
+  core.save_state(new_state);
+  const std::vector<std::uint8_t>& old_payload = old_state.bytes();
+  std::vector<std::uint8_t> new_payload = new_state.bytes();
+  new_payload.push_back(0x5a);  // never byte-identical to old_payload
+
+  // Scratch names carry the pid: parallel ctest jobs share a working
+  // directory, and a seed-only name would let them clobber each other.
+  char name[64];
+  std::snprintf(name, sizeof name, "io_fault_oracle_%d_%016llx",
+                static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(seed));
+  const std::string path = name + std::string(".ckpt");
+  const std::string log = name + std::string(".oplog");
+  const auto cleanup = [&] {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    std::remove(log.c_str());
+  };
+  cleanup();
+
+  // 1. Counting pass: record every durable op of one checkpoint write
+  //    and check durability-protocol conformance — the rename must be
+  //    followed by a parent-directory fsync before the call returns
+  //    (planted bug 13 drops exactly that op).
+  std::uint64_t total_ops = 0;
+  {
+    io::FaultPlan plan;
+    plan.mode = io::FaultPlan::Mode::kCount;
+    plan.log_path = log;
+    io::FaultFs fs(plan);
+    io::FaultFsGuard guard(fs);
+    try {
+      journal::write_checkpoint_file(path, old_payload);
+    } catch (const std::exception& e) {
+      cleanup();
+      return OracleOutcome::fail(
+          std::string("clean counting pass failed: ") + e.what());
+    }
+    total_ops = fs.durable_ops();
+  }
+  const std::vector<LoggedOp> ops = parse_op_log(log);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != "rename") {
+      continue;
+    }
+    if (i + 1 >= ops.size() || ops[i + 1].kind != "fsync") {
+      cleanup();
+      return OracleOutcome::fail(
+          "durability protocol violation: rename at durable op " +
+          std::to_string(i + 1) +
+          " is not followed by a parent-directory fsync (a power loss "
+          "could roll the checkpoint back)");
+    }
+  }
+  if (total_ops == 0 || ops.empty()) {
+    cleanup();
+    return OracleOutcome::fail("counting pass recorded no durable ops");
+  }
+
+  // 2. Crash-point sweep: overwrite the checkpoint with the fault
+  //    armed at every durable op k, sticky (every later op fails too —
+  //    an in-process model of the filesystem dying mid-protocol), with
+  //    seed-drawn errno and occasional torn/short writes.  Outcome must
+  //    be binary: the write either reports success and the file reads
+  //    back as the NEW payload, or throws a typed CheckpointError and
+  //    the file reads back as a complete OLD or NEW checkpoint.  A mix,
+  //    a CRC surprise, or a foreign exception is a finding.
+  SplitMix rng(derive_seed(seed, label_hash("faults")));
+  for (std::uint64_t k = 1; k <= total_ops; ++k) {
+    io::FaultPlan plan;
+    plan.mode = io::FaultPlan::Mode::kFailAt;
+    plan.at = k;
+    plan.error = rng.below(2) == 0 ? EIO : ENOSPC;
+    plan.sticky = true;
+    if (rng.below(3) == 0) {
+      // Torn final write: deliver a seed-drawn prefix, then the sticky
+      // failure kills the rest of the protocol.
+      plan.torn_bytes = static_cast<std::int64_t>(rng.below(64));
+    }
+    bool threw = false;
+    try {
+      io::FaultFs fs(plan);
+      io::FaultFsGuard guard(fs);
+      journal::write_checkpoint_file(path, new_payload);
+    } catch (const CheckpointError&) {
+      threw = true;
+    } catch (const std::exception& e) {
+      cleanup();
+      return OracleOutcome::fail(
+          "fault at durable op " + std::to_string(k) +
+          " surfaced as a non-typed exception: " + e.what());
+    }
+    std::vector<std::uint8_t> recovered;
+    try {
+      recovered = journal::read_checkpoint_file(path);
+    } catch (const CheckpointError& e) {
+      cleanup();
+      return OracleOutcome::fail(
+          "corrupt checkpoint after fault at durable op " +
+          std::to_string(k) + ": " + e.what());
+    }
+    if (!threw && recovered != new_payload) {
+      cleanup();
+      return OracleOutcome::fail(
+          "silent divergence: write reported success under fault at op " +
+          std::to_string(k) + " but the file holds different bytes");
+    }
+    if (threw && recovered != old_payload && recovered != new_payload) {
+      cleanup();
+      return OracleOutcome::fail(
+          "atomicity violation at durable op " + std::to_string(k) +
+          ": file is neither the old nor the new checkpoint");
+    }
+    // Reset to a known-good OLD checkpoint for the next crash point.
+    try {
+      journal::write_checkpoint_file(path, old_payload);
+    } catch (const std::exception& e) {
+      cleanup();
+      return OracleOutcome::fail(
+          std::string("clean rewrite between crash points failed: ") +
+          e.what());
+    }
+  }
+  cleanup();
+  return OracleOutcome::pass();
+}
+
 // --- registry ---------------------------------------------------------
 
 namespace {
@@ -999,6 +1188,7 @@ const std::vector<OracleSpec>& all_oracles() {
       {"chaos", CircuitKind::kMeasured, check_chaos_convergence, false},
       {"lut-window", CircuitKind::kNone, lut_window_adapter, false},
       {"serve-codec", CircuitKind::kStream, check_serve_codec, false},
+      {"io-fault", CircuitKind::kUnitary, check_io_fault, false},
   };
   return kOracles;
 }

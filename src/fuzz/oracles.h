@@ -41,6 +41,14 @@
 //                 bit-exactly through arbitrary fragmentation, and no
 //                 single-bit corruption or truncation is ever decoded
 //                 into a different frame without a ProtocolError.
+//   io-fault    — checkpoint crash-consistency under a seeded FaultFs
+//                 schedule: a counting pass proves durability-protocol
+//                 conformance (every rename is followed by a parent-dir
+//                 fsync — planted bug 13 drops it), then a sticky
+//                 fail-at-op-k sweep over every durable op must yield
+//                 either success with the new bytes or a typed
+//                 CheckpointError with a complete old/new checkpoint on
+//                 disk — never a torn mix, never a foreign exception.
 #pragma once
 
 #include <cstdint>
@@ -121,6 +129,9 @@ enum class CircuitKind : std::uint8_t {
 [[nodiscard]] OracleOutcome check_serve_codec(const Circuit& stream,
                                               std::uint64_t seed,
                                               const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_io_fault(const Circuit& body,
+                                           std::uint64_t seed,
+                                           const OracleTuning& tuning);
 
 // --- Registry ---------------------------------------------------------
 

@@ -1,0 +1,409 @@
+#include "io/fault_fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace qpf::io {
+
+namespace {
+
+using Mode = FaultPlan::Mode;
+
+[[noreturn]] void die(const std::string& spec, const std::string& why) {
+  std::fprintf(stderr, "qpf: malformed QPF_FAULTFS spec '%s': %s\n",
+               spec.c_str(), why.c_str());
+  std::fflush(stderr);
+  ::_exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& text,
+                        const std::string& what) {
+  if (text.empty()) {
+    die(spec, what + " needs a number");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      die(spec, what + " is not a number: '" + text + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+int errno_by_name(const std::string& spec, const std::string& name) {
+  if (name == "EIO") return EIO;
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EINTR") return EINTR;
+  if (name == "EDQUOT") return EDQUOT;
+  if (name == "EROFS") return EROFS;
+  if (name == "ENOENT") return ENOENT;
+  die(spec, "unknown errno name '" + name + "'");
+}
+
+std::vector<std::string> split_colon(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t sep = spec.find(':', start);
+    if (sep == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      return parts;
+    }
+    parts.push_back(spec.substr(start, sep - start));
+    start = sep + 1;
+  }
+}
+
+bool opens_for_write(int flags) noexcept {
+  return (flags & (O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND)) != 0;
+}
+
+}  // namespace
+
+FaultFs::FaultFs(FaultPlan plan)
+    : plan_(std::move(plan)), eintr_state_(plan_.seed) {}
+
+FaultFs::~FaultFs() {
+  if (log_fd_ >= 0) {
+    ::close(log_fd_);
+  }
+}
+
+FaultPlan FaultFs::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.rfind("count:", 0) == 0) {
+    plan.mode = Mode::kCount;
+    plan.log_path = spec.substr(6);
+    if (plan.log_path.empty()) {
+      die(spec, "count: needs a log path");
+    }
+    return plan;
+  }
+  if (spec.rfind("enospc-under=", 0) == 0) {
+    plan.mode = Mode::kEnospcUnder;
+    plan.path_prefix = spec.substr(std::strlen("enospc-under="));
+    if (plan.path_prefix.empty()) {
+      die(spec, "enospc-under= needs a directory prefix");
+    }
+    return plan;
+  }
+
+  const std::vector<std::string> parts = split_colon(spec);
+  const std::string& head = parts[0];
+  if (head.rfind("kill@", 0) == 0) {
+    plan.mode = Mode::kKillAt;
+    plan.at = parse_u64(spec, head.substr(5), "kill@ ordinal");
+  } else if (head.rfind("fail@", 0) == 0) {
+    plan.mode = Mode::kFailAt;
+    plan.at = parse_u64(spec, head.substr(5), "fail@ ordinal");
+    plan.error = EIO;
+  } else if (head == "eintr") {
+    plan.mode = Mode::kEintr;
+  } else {
+    die(spec, "unknown mode '" + head + "'");
+  }
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& option = parts[i];
+    if (plan.mode == Mode::kKillAt && option.rfind("torn=", 0) == 0) {
+      plan.torn_bytes = static_cast<std::int64_t>(
+          parse_u64(spec, option.substr(5), "torn="));
+    } else if (plan.mode == Mode::kFailAt && option.rfind("errno=", 0) == 0) {
+      plan.error = errno_by_name(spec, option.substr(6));
+    } else if (plan.mode == Mode::kFailAt && option.rfind("short=", 0) == 0) {
+      plan.torn_bytes = static_cast<std::int64_t>(
+          parse_u64(spec, option.substr(6), "short="));
+    } else if (plan.mode == Mode::kFailAt && option == "sticky") {
+      plan.sticky = true;
+    } else if (plan.mode == Mode::kEintr && option.rfind("seed=", 0) == 0) {
+      plan.seed = parse_u64(spec, option.substr(5), "seed=");
+    } else if (plan.mode == Mode::kEintr && option.rfind("gap=", 0) == 0) {
+      plan.gap = static_cast<std::uint32_t>(
+          parse_u64(spec, option.substr(4), "gap="));
+    } else {
+      die(spec, "unknown option '" + option + "' for mode '" + head + "'");
+    }
+  }
+
+  if ((plan.mode == Mode::kKillAt || plan.mode == Mode::kFailAt) &&
+      plan.at == 0) {
+    die(spec, "op ordinal must be >= 1");
+  }
+  if (plan.mode == Mode::kEintr && plan.gap < 2) {
+    die(spec, "gap must be >= 2 (gap=1 would starve every retry loop)");
+  }
+  return plan;
+}
+
+// --- durable-op policy -------------------------------------------------
+
+FaultFs::Verdict FaultFs::arm(const char* kind,
+                              const std::string& path) noexcept {
+  const std::uint64_t ordinal =
+      counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Verdict verdict;
+  switch (plan_.mode) {
+    case Mode::kOff:
+    case Mode::kEintr:
+      break;
+    case Mode::kCount:
+      log_line(ordinal, kind, path);
+      break;
+    case Mode::kKillAt:
+      if (ordinal == plan_.at) {
+        if (plan_.torn_bytes >= 0 && std::strcmp(kind, "write") == 0) {
+          verdict.torn_bytes = plan_.torn_bytes;
+          verdict.kill_after_torn = true;
+        } else {
+          ::_exit(137);
+        }
+      }
+      break;
+    case Mode::kFailAt:
+      if (ordinal == plan_.at) {
+        if (plan_.torn_bytes >= 0 && std::strcmp(kind, "write") == 0) {
+          verdict.torn_bytes = plan_.torn_bytes;
+        } else {
+          verdict.fail = true;
+          verdict.error = plan_.error;
+        }
+      } else if (plan_.sticky && ordinal > plan_.at) {
+        verdict.fail = true;
+        verdict.error = plan_.error;
+      }
+      break;
+    case Mode::kEnospcUnder:
+      // unlink frees space and truncate only ever shrinks here (torn-
+      // tail repair): real filesystems let both succeed on a full disk,
+      // and degraded-mode cleanup depends on that.
+      if (std::strcmp(kind, "unlink") != 0 &&
+          std::strcmp(kind, "truncate") != 0 && under_prefix(path)) {
+        verdict.fail = true;
+        verdict.error = ENOSPC;
+      }
+      break;
+  }
+  return verdict;
+}
+
+bool FaultFs::under_prefix(const std::string& path) const noexcept {
+  const std::string& prefix = plan_.path_prefix;
+  if (prefix.empty() || path.size() < prefix.size() ||
+      path.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return path.size() == prefix.size() || prefix.back() == '/' ||
+         path[prefix.size()] == '/';
+}
+
+std::string FaultFs::fd_path(int fd) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = fd_paths_.find(fd);
+  return it != fd_paths_.end() ? it->second : std::string();
+}
+
+void FaultFs::log_line(std::uint64_t ordinal, const char* kind,
+                       const std::string& path) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (log_fd_ < 0) {
+    log_fd_ = ::open(plan_.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                     0644);
+    if (log_fd_ < 0) {
+      return;
+    }
+  }
+  // Raw immediate append: the log must survive the scenario crashing at
+  // the very next op, so no buffering of any kind.
+  std::string line = std::to_string(ordinal);
+  line += ' ';
+  line += kind;
+  line += ' ';
+  line += path;
+  line += '\n';
+  std::size_t done = 0;
+  while (done < line.size()) {
+    const ssize_t n = ::write(log_fd_, line.data() + done, line.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t FaultFs::next_draw() noexcept {
+  std::uint64_t x = eintr_state_.fetch_add(0x9e3779b97f4a7c15ULL,
+                                           std::memory_order_relaxed) +
+                    0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// --- path ops ----------------------------------------------------------
+
+int FaultFs::open(const char* path, int flags, unsigned mode) noexcept {
+  if (opens_for_write(flags)) {
+    const Verdict verdict = arm("open-w", path);
+    if (verdict.fail) {
+      errno = verdict.error;
+      return -1;
+    }
+  }
+  const int fd = FileOps::open(path, flags, mode);
+  if (fd >= 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_[fd] = path;
+  }
+  return fd;
+}
+
+int FaultFs::rename(const char* from, const char* to) noexcept {
+  // Policy keys off the destination; the log shows both ends.
+  const Verdict verdict =
+      arm("rename", std::string(from) + " -> " + to);
+  if (!verdict.fail && plan_.mode == Mode::kEnospcUnder &&
+      under_prefix(to)) {
+    errno = ENOSPC;
+    return -1;
+  }
+  if (verdict.fail) {
+    errno = verdict.error;
+    return -1;
+  }
+  return FileOps::rename(from, to);
+}
+
+int FaultFs::unlink(const char* path) noexcept {
+  const Verdict verdict = arm("unlink", path);
+  if (verdict.fail) {
+    errno = verdict.error;
+    return -1;
+  }
+  return FileOps::unlink(path);
+}
+
+int FaultFs::truncate(const char* path, long length) noexcept {
+  const Verdict verdict = arm("truncate", path);
+  if (verdict.fail) {
+    errno = verdict.error;
+    return -1;
+  }
+  return FileOps::truncate(path, length);
+}
+
+// --- fd ops ------------------------------------------------------------
+
+ssize_t FaultFs::read(int fd, void* buffer, std::size_t count) noexcept {
+  if (plan_.mode == Mode::kEintr && count > 0 && fd_path(fd).empty()) {
+    const std::uint64_t draw = next_draw();
+    if (draw % plan_.gap == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    if (draw % plan_.gap == 1) {
+      // Partial transfer: deliver [1, count] bytes.
+      count = 1 + static_cast<std::size_t>((draw >> 8) % count);
+    }
+  }
+  return FileOps::read(fd, buffer, count);
+}
+
+ssize_t FaultFs::write(int fd, const void* buffer,
+                       std::size_t count) noexcept {
+  const std::string path = fd_path(fd);
+  if (path.empty()) {
+    return FileOps::write(fd, buffer, count);  // transient: pipes
+  }
+  const Verdict verdict = arm("write", path);
+  if (verdict.fail) {
+    errno = verdict.error;
+    return -1;
+  }
+  if (verdict.torn_bytes >= 0) {
+    const std::size_t torn = std::min(
+        count, static_cast<std::size_t>(verdict.torn_bytes));
+    const ssize_t n = torn > 0 ? FileOps::write(fd, buffer, torn) : 0;
+    if (verdict.kill_after_torn) {
+      ::_exit(137);
+    }
+    return n;  // short write, reported as success: callers must loop
+  }
+  return FileOps::write(fd, buffer, count);
+}
+
+int FaultFs::fsync(int fd) noexcept {
+  const std::string path = fd_path(fd);
+  if (path.empty()) {
+    return FileOps::fsync(fd);
+  }
+  const Verdict verdict = arm("fsync", path);
+  if (verdict.fail) {
+    errno = verdict.error;
+    return -1;
+  }
+  return FileOps::fsync(fd);
+}
+
+int FaultFs::close(int fd) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_paths_.erase(fd);
+  }
+  return FileOps::close(fd);
+}
+
+// --- reactor ops -------------------------------------------------------
+
+ssize_t FaultFs::send(int fd, const void* buffer, std::size_t count,
+                      int flags) noexcept {
+  if (plan_.mode == Mode::kEintr && count > 0) {
+    const std::uint64_t draw = next_draw();
+    if (draw % plan_.gap == 0) {
+      errno = EINTR;
+      return -1;
+    }
+    if (draw % plan_.gap == 1) {
+      count = 1 + static_cast<std::size_t>((draw >> 8) % count);
+    }
+  }
+  return FileOps::send(fd, buffer, count, flags);
+}
+
+int FaultFs::poll(struct pollfd* fds, nfds_t nfds, int timeout) noexcept {
+  if (plan_.mode == Mode::kEintr) {
+    const std::uint64_t draw = next_draw();
+    if (draw % plan_.gap == 0) {
+      errno = EINTR;
+      return -1;
+    }
+  }
+  return FileOps::poll(fds, nfds, timeout);
+}
+
+int FaultFs::accept(int fd, struct sockaddr* address,
+                    socklen_t* length) noexcept {
+  if (plan_.mode == Mode::kEintr) {
+    const std::uint64_t draw = next_draw();
+    if (draw % plan_.gap == 0) {
+      errno = EINTR;
+      return -1;
+    }
+  }
+  return FileOps::accept(fd, address, length);
+}
+
+}  // namespace qpf::io

@@ -1,0 +1,160 @@
+// FaultFs: the deterministic fault-injecting FileOps backend.
+//
+// Every durable operation the process performs through qpf::io::ops()
+// gets a 1-based ordinal; the plan decides what happens at each one.
+// "Durable" operations are the ones whose loss or failure can affect
+// on-disk state:
+//
+//   open-w   open with write intent (O_WRONLY/O_RDWR/O_CREAT/O_TRUNC/
+//            O_APPEND)
+//   write    write(2) on an fd obtained through the shim
+//   fsync    fsync(2) on a shim fd (data files AND directory fds —
+//            the post-rename directory fsync is an enumerable op)
+//   rename   rename(2)
+//   unlink   unlink(2)
+//   truncate truncate(2) — the journal's torn-tail repair on reopen
+//
+// Reads, and any operation on an fd that was NOT opened through the
+// shim (sockets, pipes), are "transient": they are passed through in
+// every durable-fault mode and are the target of the EINTR /
+// partial-transfer mode instead.  This split keeps crash-point
+// enumeration deterministic — reactor traffic never shifts the durable
+// ordinals.
+//
+// Modes (QPF_FAULTFS grammar, also buildable in-process via FaultPlan):
+//
+//   count:<log>         perform everything; append one line
+//                       "<ordinal> <kind> <path>" per durable op to
+//                       <log> with raw syscalls (crash-proof, append)
+//   kill@<K>            _exit(137) immediately BEFORE durable op K
+//   kill@<K>:torn=<B>   if op K is a write: write only B bytes, then
+//                       _exit(137) — a torn final write
+//   fail@<K>            durable op K fails with EIO
+//     :errno=<NAME>     ... with ENOSPC / EIO / EINTR / EDQUOT / ENOSPC
+//     :short=<B>        if op K is a write: short write of B bytes
+//                       (returned as success — callers must loop)
+//     :sticky           every durable op AFTER K also fails (simulated
+//                       dead disk; pairs with :short to model a torn
+//                       write followed by a crash, in-process)
+//   enospc-under=<dir>  every durable op touching a path under <dir>
+//                       fails with ENOSPC, indefinitely
+//   eintr[:seed=<S>][:gap=<G>]
+//                       transient ops (reactor read/send/poll/accept)
+//                       get a seed-deterministic EINTR roughly every
+//                       G-th call, and reads/sends are occasionally cut
+//                       short — partial-transfer injection
+//
+// Thread safety: the ordinal is a single atomic counter and the fd
+// registry is mutex-guarded, so the backend is safe to install while
+// server executor threads run (and is TSan-clean).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "io/file_ops.h"
+
+namespace qpf::io {
+
+struct FaultPlan {
+  enum class Mode {
+    kOff,          ///< pass-through (still counts ordinals)
+    kCount,        ///< pass-through + durable-op log
+    kFailAt,       ///< durable op `at` fails (errno / short write)
+    kKillAt,       ///< _exit(137) at durable op `at` (optionally torn)
+    kEnospcUnder,  ///< paths under `path_prefix` fail ENOSPC
+    kEintr,        ///< EINTR + partial transfers on transient ops
+  };
+
+  Mode mode = Mode::kOff;
+  std::uint64_t at = 0;           ///< 1-based durable-op ordinal
+  int error = 0;                  ///< injected errno (default EIO)
+  std::int64_t torn_bytes = -1;   ///< kill/fail: short-write length
+  bool sticky = false;            ///< fail: ops > `at` fail too
+  std::string path_prefix;        ///< enospc-under subtree
+  std::uint64_t seed = 1;         ///< eintr schedule seed
+  std::uint32_t gap = 3;          ///< eintr: inject ~every gap-th op
+  std::string log_path;           ///< count: durable-op log file
+};
+
+class FaultFs final : public FileOps {
+ public:
+  explicit FaultFs(FaultPlan plan);
+  ~FaultFs() override;
+
+  FaultFs(const FaultFs&) = delete;
+  FaultFs& operator=(const FaultFs&) = delete;
+
+  /// Parse the QPF_FAULTFS grammar documented above.  On a malformed
+  /// spec prints a diagnostic to stderr and _exit(2)s: a typo in a
+  /// harness must never silently run un-injected.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Durable operations seen so far (the counting pass's N).
+  [[nodiscard]] std::uint64_t durable_ops() const noexcept {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+  int open(const char* path, int flags, unsigned mode) noexcept override;
+  int rename(const char* from, const char* to) noexcept override;
+  int unlink(const char* path) noexcept override;
+  int truncate(const char* path, long length) noexcept override;
+  ssize_t read(int fd, void* buffer, std::size_t count) noexcept override;
+  ssize_t write(int fd, const void* buffer,
+                std::size_t count) noexcept override;
+  int fsync(int fd) noexcept override;
+  int close(int fd) noexcept override;
+  ssize_t send(int fd, const void* buffer, std::size_t count,
+               int flags) noexcept override;
+  int poll(struct pollfd* fds, nfds_t nfds, int timeout) noexcept override;
+  int accept(int fd, struct sockaddr* address,
+             socklen_t* length) noexcept override;
+
+ private:
+  /// Verdict for one durable op, decided under the plan.
+  struct Verdict {
+    bool fail = false;           ///< return -1 with `error`
+    int error = 0;
+    std::int64_t torn_bytes = -1;  ///< >= 0: truncate this write
+    bool kill_after_torn = false;  ///< _exit(137) after the torn write
+  };
+
+  /// Advance the durable ordinal, log in counting mode, kill in kill
+  /// mode, and return the fail/short verdict otherwise.  `path` is the
+  /// best available name for the log line.
+  Verdict arm(const char* kind, const std::string& path) noexcept;
+
+  [[nodiscard]] bool under_prefix(const std::string& path) const noexcept;
+  [[nodiscard]] std::string fd_path(int fd) noexcept;
+  void log_line(std::uint64_t ordinal, const char* kind,
+                const std::string& path) noexcept;
+
+  /// Seed-deterministic draw for the transient (EINTR) schedule.
+  [[nodiscard]] std::uint64_t next_draw() noexcept;
+
+  FaultPlan plan_;
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<std::uint64_t> eintr_state_;
+  std::mutex mutex_;                     // fd registry + log fd
+  std::map<int, std::string> fd_paths_;  // fds opened through the shim
+  int log_fd_ = -1;
+};
+
+/// RAII installer for tests: installs `fs` on construction, restores
+/// the previous backend on destruction (exception-safe).
+class FaultFsGuard {
+ public:
+  explicit FaultFsGuard(FaultFs& fs) : previous_(set_backend(&fs)) {}
+  ~FaultFsGuard() { set_backend(previous_); }
+
+  FaultFsGuard(const FaultFsGuard&) = delete;
+  FaultFsGuard& operator=(const FaultFsGuard&) = delete;
+
+ private:
+  FileOps* previous_;
+};
+
+}  // namespace qpf::io

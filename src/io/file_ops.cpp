@@ -1,0 +1,151 @@
+#include "io/file_ops.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/fault_fs.h"
+
+namespace qpf::io {
+
+int FileOps::open(const char* path, int flags, unsigned mode) noexcept {
+  return ::open(path, flags, static_cast<mode_t>(mode));
+}
+
+int FileOps::rename(const char* from, const char* to) noexcept {
+  return ::rename(from, to);
+}
+
+int FileOps::unlink(const char* path) noexcept { return ::unlink(path); }
+
+int FileOps::truncate(const char* path, long length) noexcept {
+  return ::truncate(path, static_cast<off_t>(length));
+}
+
+ssize_t FileOps::read(int fd, void* buffer, std::size_t count) noexcept {
+  return ::read(fd, buffer, count);
+}
+
+ssize_t FileOps::write(int fd, const void* buffer,
+                       std::size_t count) noexcept {
+  return ::write(fd, buffer, count);
+}
+
+int FileOps::fsync(int fd) noexcept { return ::fsync(fd); }
+
+int FileOps::close(int fd) noexcept { return ::close(fd); }
+
+ssize_t FileOps::send(int fd, const void* buffer, std::size_t count,
+                      int flags) noexcept {
+  return ::send(fd, buffer, count, flags);
+}
+
+int FileOps::poll(struct pollfd* fds, nfds_t nfds, int timeout) noexcept {
+  return ::poll(fds, nfds, timeout);
+}
+
+int FileOps::accept(int fd, struct sockaddr* address,
+                    socklen_t* length) noexcept {
+  return ::accept(fd, address, length);
+}
+
+namespace {
+
+FileOps& real_backend() noexcept {
+  static FileOps real;
+  return real;
+}
+
+std::atomic<FileOps*> g_backend{nullptr};
+
+}  // namespace
+
+FileOps& ops() noexcept {
+  FileOps* backend = g_backend.load(std::memory_order_acquire);
+  return backend != nullptr ? *backend : real_backend();
+}
+
+FileOps* set_backend(FileOps* backend) noexcept {
+  return g_backend.exchange(backend, std::memory_order_acq_rel);
+}
+
+bool install_faultfs_from_environment() {
+  const char* spec = std::getenv("QPF_FAULTFS");
+  if (spec == nullptr || spec[0] == '\0') {
+    return false;
+  }
+  // Deliberately leaked: the injector must outlive every I/O call in
+  // the process, including static destructors that flush state.
+  auto* fs = new FaultFs(FaultFs::parse(spec));
+  set_backend(fs);
+  return true;
+}
+
+// --- EINTR-safe wrappers ----------------------------------------------
+
+ssize_t read_retry(int fd, void* buffer, std::size_t count) noexcept {
+  for (;;) {
+    const ssize_t n = ops().read(fd, buffer, count);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+ssize_t send_retry(int fd, const void* buffer, std::size_t count,
+                   int flags) noexcept {
+  for (;;) {
+    const ssize_t n = ops().send(fd, buffer, count, flags);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+ssize_t write_retry(int fd, const void* buffer, std::size_t count) noexcept {
+  for (;;) {
+    const ssize_t n = ops().write(fd, buffer, count);
+    if (n >= 0 || errno != EINTR) {
+      return n;
+    }
+  }
+}
+
+int poll_retry(struct pollfd* fds, nfds_t nfds, int timeout) noexcept {
+  for (;;) {
+    const int rc = ops().poll(fds, nfds, timeout);
+    if (rc >= 0 || errno != EINTR) {
+      return rc;
+    }
+  }
+}
+
+int accept_retry(int fd, struct sockaddr* address,
+                 socklen_t* length) noexcept {
+  for (;;) {
+    const int rc = ops().accept(fd, address, length);
+    if (rc >= 0 || errno != EINTR) {
+      return rc;
+    }
+  }
+}
+
+bool write_all(int fd, const void* data, std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = write_retry(fd, bytes + done, size - done);
+    if (n < 0) {
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace qpf::io

@@ -1,0 +1,109 @@
+// qpf::io — the process-wide seam every durable (and reactor) syscall
+// goes through.
+//
+// The paper moves error management into classical control software,
+// which makes the classical stack's durability the reliability floor of
+// the whole architecture.  PRs 2/4/6 built fsync'd journals, CRC-armored
+// checkpoint rotation, and a parking multi-tenant server — but their
+// crash-consistency was only provable where a hand-built corruption
+// corpus or a bespoke observer hook happened to look.  This seam makes
+// it provable everywhere: all file I/O in src/journal/ (RunJournal
+// appends, checkpoint write/rename/dir-fsync) and the socket I/O of the
+// qpf_serve reactor route through the FileOps backend installed here,
+// so a deterministic fault injector (FaultFs, fault_fs.h) can
+//
+//   * enumerate every durable operation of a scenario (counting mode),
+//   * fail exactly operation k with a chosen errno or a short write,
+//   * kill the process exactly at operation k — including a torn final
+//     write — for ALICE/CrashMonkey-style crash-point enumeration,
+//   * starve a directory subtree with sustained ENOSPC,
+//   * inject EINTR and partial transfers on the reactor's socket path.
+//
+// The default backend is the identity: FileOps' virtual methods call
+// the real syscalls, return raw results, and set errno exactly like
+// the kernel does.  Durability-critical callers keep their own typed
+// error mapping (CheckpointError / IoError); this layer never throws.
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace qpf::io {
+
+/// Virtual syscall table.  The base class *is* the real backend: every
+/// method forwards to the kernel.  FaultFs overrides selected entry
+/// points.  All methods follow syscall conventions (-1 + errno on
+/// failure) and never throw.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  // --- file path ops (durable-state side) ---------------------------
+  virtual int open(const char* path, int flags, unsigned mode) noexcept;
+  virtual int rename(const char* from, const char* to) noexcept;
+  virtual int unlink(const char* path) noexcept;
+  virtual int truncate(const char* path, long length) noexcept;
+
+  // --- fd ops --------------------------------------------------------
+  virtual ssize_t read(int fd, void* buffer, std::size_t count) noexcept;
+  virtual ssize_t write(int fd, const void* buffer,
+                        std::size_t count) noexcept;
+  virtual int fsync(int fd) noexcept;
+  virtual int close(int fd) noexcept;
+
+  // --- reactor ops (sockets / pipes) ---------------------------------
+  virtual ssize_t send(int fd, const void* buffer, std::size_t count,
+                       int flags) noexcept;
+  virtual int poll(struct pollfd* fds, nfds_t nfds, int timeout) noexcept;
+  virtual int accept(int fd, struct sockaddr* address,
+                     socklen_t* length) noexcept;
+};
+
+/// The currently installed backend (the real FileOps unless a test or
+/// QPF_FAULTFS installed an injector).  Always valid.
+[[nodiscard]] FileOps& ops() noexcept;
+
+/// Install `backend` process-wide and return the previous one; nullptr
+/// restores the real backend.  Callers that install a scoped injector
+/// must restore the previous backend (see FaultFsGuard in fault_fs.h).
+FileOps* set_backend(FileOps* backend) noexcept;
+
+/// Install a FaultFs described by the QPF_FAULTFS environment variable
+/// (grammar in fault_fs.h).  Returns true when an injector was
+/// installed, false when the variable is unset or empty.  A malformed
+/// spec prints a diagnostic and exits 2 — a harness typo must never
+/// degrade into an un-injected run that "passes".
+bool install_faultfs_from_environment();
+
+// --- EINTR-safe wrappers ----------------------------------------------
+// Every raw ::read/::write/::poll/::accept in the serve layer and the
+// CLI tools goes through these, so a stray signal can never surface as
+// a spurious IoError or a dropped connection.  Each routes through the
+// installed backend (and is therefore injectable) and retries EINTR.
+
+/// read(2), retrying EINTR.  Returns the syscall result otherwise.
+ssize_t read_retry(int fd, void* buffer, std::size_t count) noexcept;
+
+/// send(2), retrying EINTR.  Partial sends are returned to the caller
+/// (loop or buffer at the call site).
+ssize_t send_retry(int fd, const void* buffer, std::size_t count,
+                   int flags) noexcept;
+
+/// write(2), retrying EINTR; partial writes are returned.
+ssize_t write_retry(int fd, const void* buffer, std::size_t count) noexcept;
+
+/// poll(2), retrying EINTR with the same (coarse housekeeping) timeout.
+int poll_retry(struct pollfd* fds, nfds_t nfds, int timeout) noexcept;
+
+/// accept(2), retrying EINTR.
+int accept_retry(int fd, struct sockaddr* address,
+                 socklen_t* length) noexcept;
+
+/// Write the whole buffer, looping over short writes and EINTR.
+/// Returns true on success; on failure errno holds the cause.
+bool write_all(int fd, const void* data, std::size_t size) noexcept;
+
+}  // namespace qpf::io

@@ -7,10 +7,10 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
 #include "circuit/error.h"
+#include "io/file_ops.h"
 #include "journal/snapshot.h"
 
 namespace qpf::journal {
@@ -174,6 +174,78 @@ bool parse_line(const std::string& line, JournalEntry& entry) {
   return i < line.size() && line[i] == '}';
 }
 
+// Read the whole file through the io seam; returns false when the file
+// cannot be opened (a missing journal is "no entries", like before).
+bool slurp_file(const std::string& path, std::string& out) {
+  io::FileOps& fs = io::ops();
+  const int fd = fs.open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    return false;
+  }
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = io::read_retry(fd, buffer, sizeof(buffer));
+    if (n <= 0) {
+      break;
+    }
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  fs.close(fd);
+  return true;
+}
+
+struct JournalScan {
+  std::vector<JournalEntry> entries;
+  std::size_t dropped = 0;      ///< lines past the valid prefix
+  std::size_t valid_bytes = 0;  ///< byte length of the valid prefix
+  /// The final valid line is durable but missing its '\n' (a crash cut
+  /// exactly the terminator); an append right after it would glue on.
+  bool unterminated_tail = false;
+};
+
+JournalScan scan_journal(const std::string& contents) {
+  JournalScan scan;
+  bool valid = true;
+  std::size_t start = 0;
+  while (start < contents.size()) {
+    std::size_t end = contents.find('\n', start);
+    bool terminated = true;
+    if (end == std::string::npos) {
+      end = contents.size();  // torn final line without a newline
+      terminated = false;
+    }
+    const std::string line = contents.substr(start, end - start);
+    start = end + 1;
+    if (!valid) {
+      ++scan.dropped;
+      continue;
+    }
+    JournalEntry entry;
+    // The checksummed prefix is everything before `,"crc":"..."}`;
+    // recompute and compare.
+    const std::string marker = ",\"crc\":\"";
+    const std::size_t at = line.rfind(marker);
+    bool ok = false;
+    if (at != std::string::npos &&
+        line.size() == at + marker.size() + 8 + 2 &&
+        line.compare(line.size() - 2, 2, "\"}") == 0) {
+      const std::string prefix = line.substr(0, at);
+      const std::string crc_hex = line.substr(at + marker.size(), 8);
+      ok = hex32(crc32(prefix)) == crc_hex && parse_line(line, entry);
+    }
+    if (ok) {
+      scan.entries.push_back(std::move(entry));
+      scan.valid_bytes = terminated ? end + 1 : end;
+      scan.unterminated_tail = !terminated;
+    } else {
+      // First bad line: everything from here on is the torn tail.
+      valid = false;
+      ++scan.dropped;
+    }
+  }
+  return scan;
+}
+
 }  // namespace
 
 std::string JournalEntry::get(const std::string& key,
@@ -201,9 +273,35 @@ double JournalEntry::get_double(const std::string& key,
 }
 
 RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  // Repair the torn tail a crash mid-append leaves behind BEFORE
+  // opening for append.  O_APPEND would glue the next record onto the
+  // torn bytes, merging both into one CRC-invalid line — so the record
+  // that re-ran the lost trial would itself be unreadable on the next
+  // resume.  Truncating to the valid prefix (and completing a final
+  // line whose '\n' the crash cut) makes a resumed journal
+  // byte-identical to one that never crashed.
+  std::string contents;
+  bool complete_newline = false;
+  if (slurp_file(path_, contents) && !contents.empty()) {
+    const JournalScan scan = scan_journal(contents);
+    if (scan.valid_bytes < contents.size() &&
+        io::ops().truncate(path_.c_str(),
+                           static_cast<long>(scan.valid_bytes)) != 0) {
+      throw CheckpointError(std::string("cannot repair torn journal tail: ") +
+                                std::strerror(errno),
+                            path_);
+    }
+    complete_newline = scan.unterminated_tail;
+  }
+  fd_ = io::ops().open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) {
     throw CheckpointError(std::string("cannot open journal: ") +
+                              std::strerror(errno),
+                          path_);
+  }
+  if (complete_newline &&
+      (!io::write_all(fd_, "\n", 1) || io::ops().fsync(fd_) != 0)) {
+    throw CheckpointError(std::string("cannot repair torn journal tail: ") +
                               std::strerror(errno),
                           path_);
   }
@@ -211,7 +309,7 @@ RunJournal::RunJournal(std::string path) : path_(std::move(path)) {
 
 RunJournal::~RunJournal() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    io::ops().close(fd_);
   }
 }
 
@@ -222,20 +320,12 @@ void RunJournal::append(const JournalEntry& entry) {
   line += hex32(crc);
   line += "\"}\n";
 
-  std::size_t done = 0;
-  while (done < line.size()) {
-    const ssize_t n = ::write(fd_, line.data() + done, line.size() - done);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      throw CheckpointError(std::string("journal write failed: ") +
-                                std::strerror(errno),
-                            path_);
-    }
-    done += static_cast<std::size_t>(n);
+  if (!io::write_all(fd_, line.data(), line.size())) {
+    throw CheckpointError(std::string("journal write failed: ") +
+                              std::strerror(errno),
+                          path_);
   }
-  if (::fsync(fd_) != 0) {
+  if (io::ops().fsync(fd_) != 0) {
     throw CheckpointError(std::string("journal fsync failed: ") +
                               std::strerror(errno),
                           path_);
@@ -245,43 +335,15 @@ void RunJournal::append(const JournalEntry& entry) {
 
 std::vector<JournalEntry> read_journal(const std::string& path,
                                        std::size_t* dropped_tail) {
-  std::vector<JournalEntry> entries;
-  std::size_t dropped = 0;
-  std::ifstream file(path);
-  if (file) {
-    std::string line;
-    bool valid = true;
-    while (std::getline(file, line)) {
-      if (!valid) {
-        ++dropped;
-        continue;
-      }
-      JournalEntry entry;
-      // The checksummed prefix is everything before `,"crc":"..."}`;
-      // recompute and compare.
-      const std::string marker = ",\"crc\":\"";
-      const std::size_t at = line.rfind(marker);
-      bool ok = false;
-      if (at != std::string::npos &&
-          line.size() == at + marker.size() + 8 + 2 &&
-          line.compare(line.size() - 2, 2, "\"}") == 0) {
-        const std::string prefix = line.substr(0, at);
-        const std::string crc_hex = line.substr(at + marker.size(), 8);
-        ok = hex32(crc32(prefix)) == crc_hex && parse_line(line, entry);
-      }
-      if (ok) {
-        entries.push_back(std::move(entry));
-      } else {
-        // First bad line: everything from here on is the torn tail.
-        valid = false;
-        ++dropped;
-      }
-    }
+  std::string contents;
+  JournalScan scan;
+  if (slurp_file(path, contents)) {
+    scan = scan_journal(contents);
   }
   if (dropped_tail != nullptr) {
-    *dropped_tail = dropped;
+    *dropped_tail = scan.dropped;
   }
-  return entries;
+  return std::move(scan.entries);
 }
 
 }  // namespace qpf::journal

@@ -9,6 +9,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "circuit/bug_plant.h"
+#include "io/file_ops.h"
+
 namespace qpf::journal {
 
 namespace {
@@ -412,37 +415,35 @@ void throw_errno(const std::string& what, const std::string& path) {
   throw CheckpointError(what + ": " + std::strerror(errno), path);
 }
 
-void (*g_directory_sync_hook)(const std::string& dir) = nullptr;
-
 // fsync the directory containing `path` so the rename itself is
 // durable.  A crash between rename(2) and the directory fsync can roll
 // the rename back on power loss — the new checkpoint would silently
 // vanish — so a failure here is a CheckpointError, not best effort.
+// Routed through qpf::io so the fault harness can observe, fail, and
+// crash at this exact step (the durability contract is now proved by
+// FaultFs op-log conformance instead of an observer hook).
 void sync_parent_directory(const std::string& path) {
+  if (plant::bug(13)) {
+    return;  // checkpoint-skip-dir-fsync: rename left volatile
+  }
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   const std::string dir_path = dir.empty() ? "/" : dir;
-  const int fd = ::open(dir_path.c_str(), O_RDONLY | O_DIRECTORY);
+  io::FileOps& fs = io::ops();
+  const int fd = fs.open(dir_path.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (fd < 0) {
     throw_errno("cannot open checkpoint directory for fsync", dir_path);
   }
-  if (::fsync(fd) != 0) {
+  if (fs.fsync(fd) != 0) {
     const int saved = errno;
-    ::close(fd);
+    fs.close(fd);
     errno = saved;
     throw_errno("checkpoint directory fsync failed", dir_path);
   }
-  ::close(fd);
-  if (g_directory_sync_hook != nullptr) {
-    g_directory_sync_hook(dir_path);
-  }
+  fs.close(fd);
 }
 
 }  // namespace
-
-void set_directory_sync_hook_for_testing(void (*hook)(const std::string&)) {
-  g_directory_sync_hook = hook;
-}
 
 bool file_exists(const std::string& path) {
   struct stat st{};
@@ -460,51 +461,45 @@ void write_checkpoint_file(const std::string& path,
   store_u32(header.data() + 28, crc32(header.data(), 28));
 
   const std::string temp = path + ".tmp";
-  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  io::FileOps& fs = io::ops();
+  const int fd = fs.open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     throw_errno("cannot create checkpoint temp file", temp);
   }
-  auto write_all = [&](const std::uint8_t* data, std::size_t size) {
-    std::size_t done = 0;
-    while (done < size) {
-      const ssize_t n = ::write(fd, data + done, size - done);
-      if (n < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        ::close(fd);
-        throw_errno("checkpoint write failed", temp);
-      }
-      done += static_cast<std::size_t>(n);
-    }
-  };
-  write_all(header.data(), header.size());
-  write_all(payload.data(), payload.size());
-  if (::fsync(fd) != 0) {
-    ::close(fd);
+  if (!io::write_all(fd, header.data(), header.size()) ||
+      !io::write_all(fd, payload.data(), payload.size())) {
+    const int saved = errno;
+    fs.close(fd);
+    errno = saved;
+    throw_errno("checkpoint write failed", temp);
+  }
+  if (fs.fsync(fd) != 0) {
+    const int saved = errno;
+    fs.close(fd);
+    errno = saved;
     throw_errno("checkpoint fsync failed", temp);
   }
-  ::close(fd);
-  if (::rename(temp.c_str(), path.c_str()) != 0) {
+  fs.close(fd);
+  if (fs.rename(temp.c_str(), path.c_str()) != 0) {
     throw_errno("checkpoint rename failed", path);
   }
   sync_parent_directory(path);
 }
 
 std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  io::FileOps& fs = io::ops();
+  const int fd = fs.open(path.c_str(), O_RDONLY, 0);
   if (fd < 0) {
     throw_errno("cannot open checkpoint", path);
   }
   std::vector<std::uint8_t> bytes;
   std::uint8_t buffer[1 << 16];
   for (;;) {
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    const ssize_t n = io::read_retry(fd, buffer, sizeof(buffer));
     if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(fd);
+      const int saved = errno;
+      fs.close(fd);
+      errno = saved;
       throw_errno("checkpoint read failed", path);
     }
     if (n == 0) {
@@ -512,7 +507,7 @@ std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {
     }
     bytes.insert(bytes.end(), buffer, buffer + n);
   }
-  ::close(fd);
+  fs.close(fd);
 
   if (bytes.size() < kHeaderSize) {
     throw CheckpointError("checkpoint truncated: " +

@@ -145,10 +145,4 @@ void write_checkpoint_file(const std::string& path,
 /// True if `path` exists and is a regular file.
 [[nodiscard]] bool file_exists(const std::string& path);
 
-/// Test observer for the durability contract: after every successful
-/// post-rename directory fsync in write_checkpoint_file, the hook is
-/// invoked with the directory that was synced.  Pass nullptr to clear.
-/// Test-only; not thread-safe against concurrent checkpoint writers.
-void set_directory_sync_hook_for_testing(void (*hook)(const std::string&));
-
 }  // namespace qpf::journal

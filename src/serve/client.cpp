@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "io/file_ops.h"
+
 namespace qpf::serve {
 
 Client::~Client() { disconnect(); }
@@ -43,12 +45,9 @@ void Client::send(const Frame& frame) {
   const std::vector<std::uint8_t> bytes = encode_frame(frame);
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    const ssize_t n = io::send_retry(fd_, bytes.data() + off,
+                                     bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
       throw IoError("client",
                     "send() failed: " + std::string(std::strerror(errno)));
     }
@@ -62,14 +61,11 @@ std::optional<Frame> Client::recv() {
       return frame;
     }
     char buffer[65536];
-    const ssize_t n = ::read(fd_, buffer, sizeof buffer);
+    const ssize_t n = io::read_retry(fd_, buffer, sizeof buffer);
     if (n == 0) {
       return std::nullopt;
     }
     if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
       throw IoError("client",
                     "read() failed: " + std::string(std::strerror(errno)));
     }

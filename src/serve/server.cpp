@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "io/file_ops.h"
+
 namespace qpf::serve {
 
 namespace {
@@ -34,7 +36,7 @@ void make_pipe(int fds[2]) {
 
 void drain_pipe(int fd) {
   char sink[256];
-  while (::read(fd, sink, sizeof sink) > 0) {
+  while (io::read_retry(fd, sink, sizeof sink) > 0) {
   }
 }
 
@@ -103,12 +105,13 @@ void Server::start() {
 
 void Server::shutdown() {
   const char byte = 'S';
-  [[maybe_unused]] const ssize_t n = ::write(shutdown_pipe_[1], &byte, 1);
+  [[maybe_unused]] const ssize_t n =
+      io::write_retry(shutdown_pipe_[1], &byte, 1);
 }
 
 void Server::wake_reactor() {
   const char byte = 'w';
-  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  [[maybe_unused]] const ssize_t n = io::write_retry(wake_pipe_[1], &byte, 1);
 }
 
 ServeStats Server::stats() const {
@@ -143,7 +146,9 @@ void Server::serve() {
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats_.sessions_parked += table_.checkpoint_all();
+    std::size_t failed = 0;
+    stats_.sessions_parked += table_.checkpoint_all(&failed);
+    stats_.park_failures += failed;
     for (auto& [id, conn] : connections_) {
       ::close(conn.fd);
     }
@@ -200,8 +205,8 @@ void Server::poll_loop() {
     }
 
     const int timeout_ms = drain_candidate ? 10 : 100;
-    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (rc < 0 && errno != EINTR) {
+    const int rc = io::poll_retry(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0) {
       throw IoError("server",
                     "poll() failed: " + std::string(std::strerror(errno)));
     }
@@ -267,12 +272,23 @@ void Server::poll_loop() {
         }
       }
       if (options_.idle_evict_ms > 0) {
+        std::vector<std::uint64_t> park_failed;
         stats_.sessions_parked += table_.park_idle(
-            now, options_.idle_evict_ms, [this](std::uint64_t id) {
+            now, options_.idle_evict_ms,
+            [this](std::uint64_t id) {
               auto it = exec_.find(id);
               return it != exec_.end() &&
                      (it->second.running || !it->second.pending.empty());
-            });
+            },
+            &park_failed);
+        // Graceful degradation under a full/unwritable state dir: the
+        // session could not be parked, so its stack was dropped.  Mark
+        // the id so later requests get a typed `io-degraded` refusal;
+        // every healthy tenant is untouched.
+        for (const std::uint64_t id : park_failed) {
+          note_evicted(id, "io-degraded");
+          ++stats_.park_failures;
+        }
       }
       // Retire execution state for sessions that are gone (closed,
       // evicted, or parked) once their queue has drained — otherwise
@@ -309,7 +325,7 @@ void Server::poll_loop() {
 
 void Server::accept_clients() {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = io::accept_retry(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       return;  // EAGAIN or transient accept failure: poll again
     }
@@ -338,7 +354,9 @@ void Server::read_client_by_id(std::uint64_t conn_id, std::uint64_t now) {
       }
       fd = it->second.fd;
     }
-    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    // read_retry absorbs EINTR: before this audit a stray signal here
+    // looked like a dead peer and dropped a healthy connection.
+    const ssize_t n = io::read_retry(fd, buffer, sizeof buffer);
     if (n == 0) {
       drop_connection(conn_id, now);
       return;
@@ -379,8 +397,8 @@ void Server::read_client_by_id(std::uint64_t conn_id, std::uint64_t now) {
 void Server::write_client(Connection& conn, std::uint64_t now) {
   while (conn.tx_offset < conn.tx.size()) {
     const ssize_t n =
-        ::send(conn.fd, conn.tx.data() + conn.tx_offset,
-               conn.tx.size() - conn.tx_offset, MSG_NOSIGNAL);
+        io::send_retry(conn.fd, conn.tx.data() + conn.tx_offset,
+                       conn.tx.size() - conn.tx_offset, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return;
@@ -440,17 +458,26 @@ void Server::enqueue_reply(std::uint64_t conn_id, const Frame& reply) {
   wake_reactor();
 }
 
-void Server::note_evicted(std::uint64_t session_id) {
-  // Bounded memory of escalated ids (better refusal messages); the
+void Server::note_evicted(std::uint64_t session_id, std::string reason) {
+  // Bounded memory of evicted ids (better refusal messages); the
   // oldest are forgotten once the ring is full.
   static constexpr std::size_t kEvictedCap = 1024;
-  if (evicted_.insert(session_id).second) {
+  if (evicted_.emplace(session_id, std::move(reason)).second) {
     evicted_order_.push_back(session_id);
     while (evicted_order_.size() > kEvictedCap) {
       evicted_.erase(evicted_order_.front());
       evicted_order_.pop_front();
     }
   }
+}
+
+void Server::send_evicted_error(std::uint64_t conn_id, const Frame& request,
+                                const std::string& reason) {
+  send_error(conn_id, request, reason,
+             reason == "io-degraded"
+                 ? "session was evicted: parking failed, state dir is "
+                   "unwritable (reopen to rebuild)"
+                 : "session was evicted after escalation");
 }
 
 void Server::forget_evicted(std::uint64_t session_id) {
@@ -509,10 +536,12 @@ void Server::handle_frame(Connection& conn, Frame frame, std::uint64_t now) {
   // stack is touched, so refusals never perturb session state.
   Session* session = table_.find(frame.session, now);
   if (session == nullptr) {
-    const bool was_evicted = evicted_.count(frame.session) != 0;
-    send_error(conn.id, frame, was_evicted ? "evicted" : "unknown-session",
-               was_evicted ? "session was evicted after escalation"
-                           : "no such session");
+    const auto ev = evicted_.find(frame.session);
+    if (ev != evicted_.end()) {
+      send_evicted_error(conn.id, frame, ev->second);
+    } else {
+      send_error(conn.id, frame, "unknown-session", "no such session");
+    }
     return;
   }
   // Session ids are deterministic (FNV-1a of the public name), so
@@ -670,11 +699,13 @@ void Server::execute_job(const Job& job) {
     std::lock_guard<std::mutex> lock(mutex_);
     session = table_.find(sid, now_ms());
     if (session == nullptr) {
-      const bool was_evicted = evicted_.count(sid) != 0;
-      send_error(job.conn_id, frame,
-                 was_evicted ? "evicted" : "unknown-session",
-                 was_evicted ? "session was evicted after escalation"
-                             : "session closed before the request ran");
+      const auto ev = evicted_.find(sid);
+      if (ev != evicted_.end()) {
+        send_evicted_error(job.conn_id, frame, ev->second);
+      } else {
+        send_error(job.conn_id, frame, "unknown-session",
+                   "session closed before the request ran");
+      }
       return;
     }
   }
@@ -747,7 +778,7 @@ void Server::execute_job(const Job& job) {
     std::lock_guard<std::mutex> lock(mutex_);
     table_.evict(sid);
     release_session(job.conn_id, sid);
-    note_evicted(sid);
+    note_evicted(sid, "evicted");
     ++stats_.sessions_evicted;
     send_error(job.conn_id, frame, "supervision", e.what());
   } catch (const QasmParseError& e) {

@@ -37,7 +37,6 @@
 #include <deque>
 #include <map>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -70,6 +69,7 @@ struct ServeStats {
   std::uint64_t sessions_evicted = 0;     ///< supervision escalations
   std::uint64_t sessions_parked = 0;
   std::uint64_t sessions_restored = 0;
+  std::uint64_t park_failures = 0;        ///< `io-degraded` evictions
 };
 
 class Server {
@@ -147,8 +147,10 @@ class Server {
   void send_error(std::uint64_t conn_id, const Frame& request,
                   const std::string& code, const std::string& message);
   void wake_reactor();  // lock-free: one byte down the wake pipe
-  void note_evicted(std::uint64_t session_id);
+  void note_evicted(std::uint64_t session_id, std::string reason);
   void forget_evicted(std::uint64_t session_id);
+  void send_evicted_error(std::uint64_t conn_id, const Frame& request,
+                          const std::string& reason);
   void release_session(std::uint64_t conn_id, std::uint64_t session_id);
 
   [[nodiscard]] static std::uint64_t now_ms() noexcept;
@@ -167,11 +169,13 @@ class Server {
   std::map<int, std::uint64_t> conn_by_fd_;
   std::map<std::uint64_t, ExecState> exec_;          // by session id
   std::deque<std::uint64_t> ready_;                  // session ids with work
-  // Escalated session ids, kept so later requests get an `evicted`
-  // reply instead of `unknown-session`.  Bounded: the deque records
+  // Evicted session ids with the reason code the client should see:
+  // "evicted" (supervision escalation) or "io-degraded" (parking the
+  // session failed — the state dir is unwritable — so the stack was
+  // dropped to protect server memory).  Bounded: the deque records
   // insertion order and the oldest ids are forgotten past the cap, so
-  // a long-running server cannot leak memory per escalation.
-  std::set<std::uint64_t> evicted_;
+  // a long-running server cannot leak memory per eviction.
+  std::map<std::uint64_t, std::string> evicted_;
   std::deque<std::uint64_t> evicted_order_;
   ServeStats stats_;
   std::uint64_t next_conn_id_ = 1;

@@ -1,7 +1,6 @@
 #include "serve/session_table.h"
 
-#include <cstdio>
-
+#include "io/file_ops.h"
 #include "journal/snapshot.h"
 
 namespace qpf::serve {
@@ -65,7 +64,7 @@ SessionTable::Opened SessionTable::open(const SessionConfig& config,
       opened.session = session.get();
       opened.restored = true;
       sessions_.emplace(id, Entry{std::move(session), now_ms, true});
-      std::remove(path.c_str());
+      io::ops().unlink(path.c_str());
       return opened;
     }
   }
@@ -93,23 +92,43 @@ void SessionTable::detach(std::uint64_t id, std::uint64_t now_ms) {
   }
 }
 
-bool SessionTable::park_entry(const Entry& entry) const {
+SessionTable::ParkOutcome SessionTable::park_entry(const Entry& entry) const {
   if (state_dir_.empty() || entry.session->escalated()) {
-    return false;
+    return ParkOutcome::kSkipped;
   }
-  journal::write_checkpoint_file(park_path(entry.session->config().name),
-                                 entry.session->park());
-  return true;
+  const std::string path = park_path(entry.session->config().name);
+  try {
+    journal::write_checkpoint_file(path, entry.session->park());
+  } catch (const Error&) {
+    // The write-tmp/rename protocol failed partway (ENOSPC, EIO, ...).
+    // write_checkpoint_file never renames a bad file into place, so the
+    // worst on disk is a stale .tmp; remove it and report the failure
+    // instead of letting a CheckpointError unwind the reactor loop.
+    io::ops().unlink((path + ".tmp").c_str());
+    return ParkOutcome::kFailed;
+  }
+  return ParkOutcome::kParked;
 }
 
-std::size_t SessionTable::checkpoint_all() {
+std::size_t SessionTable::checkpoint_all(std::size_t* failed) {
   std::size_t parked = 0;
+  std::size_t bad = 0;
   for (const auto& [id, entry] : sessions_) {
-    if (park_entry(entry)) {
-      ++parked;
+    switch (park_entry(entry)) {
+      case ParkOutcome::kParked:
+        ++parked;
+        break;
+      case ParkOutcome::kFailed:
+        ++bad;
+        break;
+      case ParkOutcome::kSkipped:
+        break;
     }
   }
   sessions_.clear();
+  if (failed != nullptr) {
+    *failed = bad;
+  }
   return parked;
 }
 

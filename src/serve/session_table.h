@@ -58,13 +58,22 @@ class SessionTable {
   /// The owning connection dropped; keep the stack warm for re-attach.
   void detach(std::uint64_t id, std::uint64_t now_ms);
 
+  /// One park attempt's result: parked to disk, skipped by policy
+  /// (parking disabled / escalated stack), or failed on I/O — the
+  /// checkpoint write threw, the state dir is unwritable.
+  enum class ParkOutcome { kParked, kSkipped, kFailed };
+
   /// Park detached sessions idle for >= idle_ms, skipping any for which
   /// `busy(id)` is true (queued or running work — parking would free a
-  /// stack an executor still references).  Returns how many were parked
-  /// (or dropped when parking is disabled / fails).
+  /// stack an executor still references).  Returns how many were parked.
+  /// A session whose park attempt FAILS is still removed — keeping it
+  /// would leak stacks for as long as the disk stays full — and its id
+  /// is appended to `failed_ids` (when non-null) so the server can mark
+  /// it `io-degraded` instead of `unknown-session`.
   template <typename Busy>
   std::size_t park_idle(std::uint64_t now_ms, std::uint64_t idle_ms,
-                        Busy busy) {
+                        Busy busy,
+                        std::vector<std::uint64_t>* failed_ids = nullptr) {
     if (idle_ms == 0) {
       return 0;
     }
@@ -73,8 +82,12 @@ class SessionTable {
       const Entry& entry = it->second;
       if (!entry.attached && now_ms >= entry.last_active_ms + idle_ms &&
           !busy(it->first)) {
-        if (park_entry(entry)) {
+        const ParkOutcome outcome = park_entry(entry);
+        if (outcome == ParkOutcome::kParked) {
           ++parked;
+        } else if (outcome == ParkOutcome::kFailed &&
+                   failed_ids != nullptr) {
+          failed_ids->push_back(it->first);
         }
         it = sessions_.erase(it);
       } else {
@@ -85,8 +98,9 @@ class SessionTable {
   }
 
   /// Drain: park every live, non-escalated session.  Returns how many
-  /// checkpoint files were written.
-  std::size_t checkpoint_all();
+  /// checkpoint files were written; `failed` (when non-null) receives
+  /// the number of park attempts that failed on I/O.
+  std::size_t checkpoint_all(std::size_t* failed = nullptr);
 
   /// Remove a session outright (escalation, close, quota kill).
   void evict(std::uint64_t id);
@@ -113,7 +127,7 @@ class SessionTable {
     bool attached = true;
   };
 
-  [[nodiscard]] bool park_entry(const Entry& entry) const;
+  [[nodiscard]] ParkOutcome park_entry(const Entry& entry) const;
 
   std::size_t max_sessions_;
   std::string state_dir_;

@@ -60,6 +60,8 @@ std::vector<std::string> expected_oracles(int bug) {
       return {"arbiter", "mirror-chp", "mirror-qx"};
     case 12:  // wire-frame decoder skips the body CRC
       return {"serve-codec"};
+    case 13:  // checkpoint write skips the parent-directory fsync
+      return {"io-fault"};
     default:
       return {};
   }

@@ -1,0 +1,481 @@
+// Tests for the qpf::io seam and the FaultFs injector (PR 7): plan
+// grammar, durable-op classification and counting, the crash-point
+// sweep over the checkpoint protocol (fail@k and kill@k at every
+// durable op), the journal's torn-tail repair driven through short-
+// write injection, ENOSPC subtree policy, EINTR/partial-transfer
+// retry helpers, and the supervisor's IoError escalation.  Suite names
+// start with "IoFault" so check_sanitize.sh runs them under both
+// sanitizers.
+#include "io/fault_fs.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/chp_core.h"
+#include "arch/supervisor_layer.h"
+#include "circuit/error.h"
+#include "journal/run_journal.h"
+#include "journal/snapshot.h"
+
+namespace qpf::io {
+namespace {
+
+std::string test_name() {
+  return ::testing::UnitTest::GetInstance()->current_test_info()->name();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+struct LoggedOp {
+  std::uint64_t ordinal = 0;
+  std::string kind;
+  std::string path;
+};
+
+std::vector<LoggedOp> read_op_log(const std::string& path) {
+  std::vector<LoggedOp> ops;
+  std::istringstream in(slurp(path));
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    LoggedOp op;
+    fields >> op.ordinal >> op.kind;
+    std::getline(fields, op.path);
+    if (!op.path.empty() && op.path.front() == ' ') {
+      op.path.erase(0, 1);
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+TEST(IoFaultTest, ParseAcceptsTheDocumentedGrammar) {
+  FaultPlan plan = FaultFs::parse("count:ops.log");
+  EXPECT_EQ(plan.mode, FaultPlan::Mode::kCount);
+  EXPECT_EQ(plan.log_path, "ops.log");
+
+  plan = FaultFs::parse("kill@5");
+  EXPECT_EQ(plan.mode, FaultPlan::Mode::kKillAt);
+  EXPECT_EQ(plan.at, 5u);
+  EXPECT_EQ(plan.torn_bytes, -1);
+
+  plan = FaultFs::parse("kill@9:torn=3");
+  EXPECT_EQ(plan.torn_bytes, 3);
+
+  plan = FaultFs::parse("fail@7:errno=ENOSPC:short=2:sticky");
+  EXPECT_EQ(plan.mode, FaultPlan::Mode::kFailAt);
+  EXPECT_EQ(plan.at, 7u);
+  EXPECT_EQ(plan.error, ENOSPC);
+  EXPECT_EQ(plan.torn_bytes, 2);
+  EXPECT_TRUE(plan.sticky);
+
+  plan = FaultFs::parse("enospc-under=state.dir");
+  EXPECT_EQ(plan.mode, FaultPlan::Mode::kEnospcUnder);
+  EXPECT_EQ(plan.path_prefix, "state.dir");
+
+  plan = FaultFs::parse("eintr:seed=11:gap=4");
+  EXPECT_EQ(plan.mode, FaultPlan::Mode::kEintr);
+  EXPECT_EQ(plan.seed, 11u);
+  EXPECT_EQ(plan.gap, 4u);
+}
+
+TEST(IoFaultDeathTest, MalformedSpecsExitLoudly) {
+  // A typo in a harness must never degrade into an un-injected run
+  // that "passes"; parse prints a diagnostic and exits 2.
+  EXPECT_EXIT((void)FaultFs::parse("kll@5"), ::testing::ExitedWithCode(2),
+              "malformed QPF_FAULTFS");
+  EXPECT_EXIT((void)FaultFs::parse("fail@0"), ::testing::ExitedWithCode(2),
+              "ordinal");
+  EXPECT_EXIT((void)FaultFs::parse("eintr:gap=1"),
+              ::testing::ExitedWithCode(2), "gap");
+  EXPECT_EXIT((void)FaultFs::parse("fail@3:errno=EWHAT"),
+              ::testing::ExitedWithCode(2), "errno");
+  EXPECT_EXIT((void)FaultFs::parse("count:"), ::testing::ExitedWithCode(2),
+              "log path");
+}
+
+TEST(IoFaultTest, CountsDurableOpsAndIgnoresTransientOnes) {
+  const std::string file = test_name() + ".dat";
+  const std::string moved = test_name() + ".moved";
+  const std::string log = test_name() + ".oplog";
+  std::remove(log.c_str());
+  {
+    FaultPlan plan;
+    plan.mode = FaultPlan::Mode::kCount;
+    plan.log_path = log;
+    FaultFs fs(plan);
+    FaultFsGuard guard(fs);
+
+    const int fd = ops().open(file.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                              0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(write_all(fd, "hello", 5));
+    ASSERT_EQ(ops().fsync(fd), 0);
+    ASSERT_EQ(ops().close(fd), 0);
+    ASSERT_EQ(ops().rename(file.c_str(), moved.c_str()), 0);
+
+    // Read-only traffic and fds the shim never opened are transient:
+    // the read below and pipe write must not shift the ordinals.
+    const int ro = ops().open(moved.c_str(), O_RDONLY, 0);
+    ASSERT_GE(ro, 0);
+    char buffer[8];
+    EXPECT_EQ(read_retry(ro, buffer, sizeof(buffer)), 5);
+    ASSERT_EQ(ops().close(ro), 0);
+    int pipe_fds[2];
+    ASSERT_EQ(::pipe(pipe_fds), 0);
+    EXPECT_EQ(ops().write(pipe_fds[1], "x", 1), 1);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+
+    ASSERT_EQ(ops().truncate(moved.c_str(), 2), 0);
+    ASSERT_EQ(ops().unlink(moved.c_str()), 0);
+    EXPECT_EQ(fs.durable_ops(), 6u);
+  }
+  const std::vector<LoggedOp> log_ops = read_op_log(log);
+  ASSERT_EQ(log_ops.size(), 6u);
+  const char* expected[] = {"open-w", "write",    "fsync",
+                            "rename", "truncate", "unlink"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(log_ops[i].ordinal, i + 1);
+    EXPECT_EQ(log_ops[i].kind, expected[i]);
+  }
+  std::remove(log.c_str());
+}
+
+// Number of durable ops one write_checkpoint_file performs, measured
+// with a counting pass (open-w, write, fsync, close is uncounted,
+// rename, directory open is read-only, fsync(dir)).
+std::uint64_t count_checkpoint_ops(const std::string& path,
+                                   const std::vector<std::uint8_t>& payload) {
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kOff;
+  FaultFs fs(plan);
+  FaultFsGuard guard(fs);
+  journal::write_checkpoint_file(path, payload);
+  return fs.durable_ops();
+}
+
+TEST(IoFaultTest, FailAtEveryDurableOpKeepsTheCheckpointAtomic) {
+  const std::string path = test_name() + ".ckpt";
+  const std::vector<std::uint8_t> old_payload = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> new_payload = {9, 8, 7, 6, 5};
+
+  journal::write_checkpoint_file(path, old_payload);
+  const std::uint64_t total = count_checkpoint_ops(path, old_payload);
+  ASSERT_GE(total, 5u);
+
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    bool threw = false;
+    {
+      FaultPlan plan;
+      plan.mode = FaultPlan::Mode::kFailAt;
+      plan.at = k;
+      plan.error = (k % 2 == 0) ? ENOSPC : EIO;
+      plan.sticky = true;  // post-failure, the "disk" stays dead
+      FaultFs fs(plan);
+      FaultFsGuard guard(fs);
+      try {
+        journal::write_checkpoint_file(path, new_payload);
+      } catch (const CheckpointError&) {
+        threw = true;
+      }
+    }
+    // Atomicity: the visible checkpoint is a COMPLETE old or new
+    // payload, whichever side of the rename the failure landed on —
+    // never a torn mix, never unreadable.
+    const std::vector<std::uint8_t> visible =
+        journal::read_checkpoint_file(path);
+    if (threw) {
+      EXPECT_TRUE(visible == old_payload || visible == new_payload)
+          << "fault at durable op " << k << " tore the checkpoint";
+    } else {
+      EXPECT_EQ(visible, new_payload) << "silent divergence at op " << k;
+    }
+    std::remove((path + ".tmp").c_str());
+    journal::write_checkpoint_file(path, old_payload);  // reset
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoFaultDeathTest, KillAtEveryDurableOpLeavesARecoverableCheckpoint) {
+  const std::string path = test_name() + ".ckpt";
+  const std::vector<std::uint8_t> old_payload = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> new_payload = {9, 8, 7, 6, 5};
+
+  journal::write_checkpoint_file(path, old_payload);
+  const std::uint64_t total = count_checkpoint_ops(path, old_payload);
+
+  for (std::uint64_t k = 1; k <= total; ++k) {
+    // The gtest death harness forks; the child dies at exactly durable
+    // op k — with a torn final write every third point — modeling
+    // SIGKILL mid-protocol.  The parent then recovers.
+    EXPECT_EXIT(
+        {
+          FaultPlan plan;
+          plan.mode = FaultPlan::Mode::kKillAt;
+          plan.at = k;
+          if (k % 3 == 0) {
+            plan.torn_bytes = 2;
+          }
+          auto* fs = new FaultFs(plan);  // leaked: the child _exits
+          set_backend(fs);
+          try {
+            journal::write_checkpoint_file(path, new_payload);
+          } catch (const CheckpointError&) {
+            // A torn-write kill point may surface as a failure first
+            // (short write looped into the kill); either way the
+            // process must die at op k, which EXPECT_EXIT asserts.
+          }
+          ::_exit(0);
+        },
+        ::testing::ExitedWithCode(137), "")
+        << "durable op " << k << " was never reached";
+    const std::vector<std::uint8_t> visible =
+        journal::read_checkpoint_file(path);
+    EXPECT_TRUE(visible == old_payload || visible == new_payload)
+        << "kill at durable op " << k << " tore the checkpoint";
+    std::remove((path + ".tmp").c_str());
+    journal::write_checkpoint_file(path, old_payload);  // reset
+  }
+  std::remove(path.c_str());
+}
+
+journal::JournalEntry trial_entry(std::uint64_t index) {
+  journal::JournalEntry entry;
+  entry.fields["kind"] = "trial";
+  entry.fields["trial"] = std::to_string(index);
+  entry.fields["ler"] = "0.125";
+  return entry;
+}
+
+TEST(IoFaultTest, JournalTornTailRepairsToBitIdenticalResume) {
+  const std::string path = test_name() + ".jsonl";
+  std::remove(path.c_str());
+
+  // Reference: the bytes a crash-free three-entry journal holds.
+  {
+    journal::RunJournal journal(path);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      journal.append(trial_entry(i));
+    }
+  }
+  const std::string clean = slurp(path);
+  const std::size_t second_end = clean.find('\n', clean.find('\n') + 1) + 1;
+  const std::size_t last_len = clean.size() - second_end;
+  ASSERT_GT(last_len, 0u);
+
+  // Tear the final append at every byte length B: the torn write
+  // delivers B bytes, then the sticky failure kills the rest (a short
+  // write followed by a dead disk — the in-process model of a crash).
+  // Ordinals: open-w(1), then [write, fsync] per append => the third
+  // append's write is durable op 6.
+  for (std::size_t torn = 0; torn < last_len; ++torn) {
+    std::remove(path.c_str());
+    bool threw = false;
+    {
+      FaultPlan plan;
+      plan.mode = FaultPlan::Mode::kFailAt;
+      plan.at = 6;
+      plan.torn_bytes = static_cast<std::int64_t>(torn);
+      plan.sticky = true;
+      FaultFs fs(plan);
+      FaultFsGuard guard(fs);
+      journal::RunJournal journal(path);
+      journal.append(trial_entry(0));
+      journal.append(trial_entry(1));
+      try {
+        journal.append(trial_entry(2));
+      } catch (const CheckpointError&) {
+        threw = true;
+      }
+    }
+    ASSERT_TRUE(threw) << "torn=" << torn;
+    ASSERT_EQ(slurp(path).size(), second_end + torn);
+
+    // Valid-prefix load: the two durable entries survive — except when
+    // the tear cut exactly the final newline, in which case the third
+    // record is complete and therefore durable too.
+    const bool third_durable = torn == last_len - 1;
+    std::size_t dropped = 0;
+    const auto entries = journal::read_journal(path, &dropped);
+    ASSERT_EQ(entries.size(), third_durable ? 3u : 2u) << "torn=" << torn;
+    EXPECT_EQ(entries[1].get_u64("trial"), 1u);
+    EXPECT_EQ(dropped, (torn > 0 && !third_durable) ? 1u : 0u);
+
+    // Resume: reopening repairs the tail, and re-appending whatever the
+    // valid prefix is missing reproduces the crash-free journal bit for
+    // bit.
+    {
+      journal::RunJournal journal(path);
+      for (std::uint64_t i = entries.size(); i < 3; ++i) {
+        journal.append(trial_entry(i));
+      }
+    }
+    EXPECT_EQ(slurp(path), clean) << "resume diverged at torn=" << torn;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoFaultTest, JournalRepairCompletesACutFinalNewline) {
+  // A crash that cuts exactly the terminator leaves a durable record
+  // read_journal accepts; the repair must complete the '\n' instead of
+  // discarding the record (or gluing the next append onto it).
+  const std::string path = test_name() + ".jsonl";
+  std::remove(path.c_str());
+  {
+    journal::RunJournal journal(path);
+    journal.append(trial_entry(0));
+  }
+  const std::string clean_one = slurp(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << clean_one.substr(0, clean_one.size() - 1);  // cut the '\n'
+  }
+  {
+    journal::RunJournal journal(path);
+    journal.append(trial_entry(1));
+  }
+  const auto entries = journal::read_journal(path);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].get_u64("trial"), 0u);
+  EXPECT_EQ(entries[1].get_u64("trial"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IoFaultTest, EnospcUnderStarvesTheSubtreeOnly) {
+  const std::string dir = test_name() + ".dir";
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  const std::string inside = dir + "/victim.dat";
+  const std::string outside = test_name() + ".ok";
+  // Pre-create the inside file so unlink has something to remove.
+  { std::ofstream out(inside, std::ios::binary); out << "x"; }
+
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kEnospcUnder;
+  plan.path_prefix = dir;
+  FaultFs fs(plan);
+  FaultFsGuard guard(fs);
+
+  errno = 0;
+  EXPECT_LT(ops().open(inside.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644),
+            0);
+  EXPECT_EQ(errno, ENOSPC);
+  EXPECT_LT(ops().rename(outside.c_str(), inside.c_str()), 0);
+
+  // A sibling named "<dir>suffix" must NOT match the prefix.
+  const std::string sibling = dir + "sibling.dat";
+  const int sib = ops().open(sibling.c_str(), O_WRONLY | O_CREAT, 0644);
+  EXPECT_GE(sib, 0);
+  ops().close(sib);
+  std::remove(sibling.c_str());
+
+  // Healthy paths are untouched; unlink under the full subtree still
+  // succeeds (space can always be freed).
+  const int fd = ops().open(outside.c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(write_all(fd, "fine", 4));
+  ops().close(fd);
+  EXPECT_EQ(ops().unlink(inside.c_str()), 0);
+
+  std::remove(outside.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(IoFaultTest, RetryHelpersSurviveInjectedEintrAndPartialTransfers) {
+  FaultPlan plan;
+  plan.mode = FaultPlan::Mode::kEintr;
+  plan.seed = 42;
+  plan.gap = 2;  // the most hostile legal schedule
+  FaultFs fs(plan);
+  FaultFsGuard guard(fs);
+
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  const std::string message = "pauli-frames-move-error-management";
+  std::size_t sent = 0;
+  while (sent < message.size()) {
+    const ssize_t n = send_retry(pair[0], message.data() + sent,
+                                 message.size() - sent, 0);
+    ASSERT_GT(n, 0) << "send_retry surfaced errno " << errno;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string received;
+  char buffer[64];
+  while (received.size() < message.size()) {
+    struct pollfd pfd = {pair[1], POLLIN, 0};
+    ASSERT_GE(poll_retry(&pfd, 1, 1000), 0);
+    const ssize_t n = read_retry(pair[1], buffer, sizeof(buffer));
+    ASSERT_GT(n, 0) << "read_retry surfaced errno " << errno;
+    received.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(received, message);
+  ::close(pair[0]);
+  ::close(pair[1]);
+}
+
+// A layer that throws IoError from execute() on demand, modeling a
+// durable-I/O failure escaping the chain below the supervisor.
+class IoFaultingLayer final : public arch::Layer {
+ public:
+  explicit IoFaultingLayer(arch::Core* lower) : arch::Layer(lower) {}
+  void fail_next(bool on) { fail_ = on; }
+  void execute() override {
+    if (fail_) {
+      throw IoError("journal", "append failed: No space left on device");
+    }
+    lower().execute();
+  }
+
+ private:
+  bool fail_ = false;
+};
+
+TEST(IoFaultTest, SupervisorEscalatesImmediatelyOnIoError) {
+  // Retries replay compute; they cannot repair storage.  An IoError
+  // must escalate on the spot — no retry/degrade cycle that would keep
+  // journaling onto a broken device — with the incident recorded.
+  arch::ChpCore core(5);
+  IoFaultingLayer faulty(&core);
+  arch::SupervisorOptions options;
+  options.max_retries = 3;
+  options.escalate_after = 3;
+  arch::SupervisorLayer supervisor(&faulty, options);
+  supervisor.create_qubits(2);
+
+  Circuit step;
+  step.append(GateType::kH, 0);
+  supervisor.add(step);
+  supervisor.execute();
+  EXPECT_EQ(supervisor.state(), arch::SupervisionState::kNormal);
+
+  faulty.fail_next(true);
+  supervisor.add(step);
+  EXPECT_THROW(supervisor.execute(), SupervisionError);
+  EXPECT_EQ(supervisor.state(), arch::SupervisionState::kEscalated);
+  EXPECT_EQ(supervisor.stats().retries, 0u)
+      << "supervisor wasted retries on a storage failure";
+  ASSERT_FALSE(supervisor.incidents().empty());
+  EXPECT_EQ(supervisor.incidents().back().outcome, "escalated");
+
+  // Escalated means escalated: traffic is refused from then on.
+  faulty.fail_next(false);
+  EXPECT_THROW(supervisor.add(step), SupervisionError);
+}
+
+}  // namespace
+}  // namespace qpf::io

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuit/error.h"
+#include "io/fault_fs.h"
 #include "journal/snapshot.h"
 #include "serve/client.h"
 
@@ -411,6 +412,7 @@ class ServeServerDrainTest : public ::testing::Test {
   void TearDown() override {
     SessionTable table(1, dir_);
     (void)std::remove(table.park_path("t").c_str());
+    (void)std::remove(table.park_path("good").c_str());
     ::rmdir(dir_.c_str());
   }
   std::string dir_;
@@ -454,6 +456,77 @@ TEST_F(ServeServerDrainTest, DrainParksSessionsAndRestartRestores) {
   ASSERT_FALSE(measured.error.has_value());
   EXPECT_EQ(decode_measure_reply(measured.reply.payload), bits_before);
   EXPECT_EQ(fixture.server().stats().sessions_restored, 1u);
+}
+
+TEST_F(ServeServerDrainTest, ParkFailureEvictsWithIoDegradedNotCorruption) {
+  // Sustained ENOSPC on the state dir: parking an idle session fails,
+  // so the server must evict it (keeping the stack would leak memory
+  // for as long as the disk stays full) and answer later requests for
+  // it with a typed `io-degraded` refusal — while a healthy attached
+  // tenant stays byte-identical to an unperturbed reference.
+  ServeOptions options;
+  options.state_dir = dir_;
+  options.idle_evict_ms = 20;
+  ServerFixture fixture{options};
+
+  Client healthy;
+  handshake(healthy, fixture.port());
+  ASSERT_FALSE(healthy.open_session(basic_config("good")).error.has_value());
+  const std::uint64_t good = session_id_for("good");
+
+  const std::uint64_t victim = session_id_for("t");
+  {
+    Client owner;
+    handshake(owner, fixture.port());
+    ASSERT_FALSE(owner.open_session(basic_config("t")).error.has_value());
+    ASSERT_FALSE(owner.submit_qasm(victim, kProgram).error.has_value());
+    owner.disconnect();  // detach; the idle deadline starts ticking
+  }
+
+  io::FaultPlan plan;
+  plan.mode = io::FaultPlan::Mode::kEnospcUnder;
+  plan.path_prefix = dir_;
+  io::FaultFs fs(plan);
+  std::vector<std::string> healthy_bits;
+  {
+    io::FaultFsGuard guard(fs);
+    // Drive healthy traffic until housekeeping hits the dead state dir
+    // and records the failed park.
+    for (int i = 0; i < 400 && fixture.server().stats().park_failures == 0;
+         ++i) {
+      const Client::Result run = healthy.submit_qasm(good, kProgram);
+      ASSERT_FALSE(run.error.has_value()) << run.error->message;
+      healthy_bits.push_back(decode_run_reply(run.reply.payload).bits);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(fixture.server().stats().park_failures, 1u)
+        << "housekeeping never attempted the failing park";
+
+    // The evicted id gets the typed refusal, not `unknown-session` and
+    // not a hung or crashed server.
+    Client later;
+    handshake(later, fixture.port());
+    const Client::Result refused = later.submit_qasm(victim, kProgram);
+    ASSERT_TRUE(refused.error.has_value());
+    EXPECT_EQ(refused.error->code, "io-degraded");
+  }
+
+  // Isolation: the healthy tenant's replies are byte-identical to an
+  // unperturbed reference session with the same request history.
+  ASSERT_FALSE(healthy_bits.empty());
+  Session reference(basic_config("good"));
+  for (std::size_t i = 0; i < healthy_bits.size(); ++i) {
+    EXPECT_EQ(healthy_bits[i], reference.submit_qasm(kProgram).bits)
+        << "healthy reply " << i << " diverged beside the faulted park";
+  }
+
+  // The disk came back: reopening the name forgets the io-degraded
+  // mark and builds a fresh session.
+  Client fresh;
+  handshake(fresh, fixture.port());
+  const Client::Result reopened = fresh.open_session(basic_config("t"));
+  ASSERT_FALSE(reopened.error.has_value()) << reopened.error->message;
+  EXPECT_FALSE(decode_session_opened(reopened.reply.payload).restored);
 }
 
 TEST_F(ServeServerDrainTest, DrainingServerRefusesNewSessions) {

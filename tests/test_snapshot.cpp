@@ -13,15 +13,19 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "arch/chp_core.h"
 #include "arch/qx_core.h"
 #include "arch/surface_code_experiment.h"
+#include "circuit/bug_plant.h"
 #include "circuit/error.h"
 #include "core/pauli_frame.h"
+#include "io/fault_fs.h"
 #include "stabilizer/tableau.h"
 #include "statevector/state.h"
 #include "seed_support.h"
@@ -362,28 +366,51 @@ TEST_F(CheckpointFileTest, WriteLeavesNoTempFileBehind) {
   }
 }
 
-// The hook is a plain function pointer, so the observation lands in a
-// file-scope sink the durability tests reset around each use.
-std::vector<std::string>* g_synced_dirs = nullptr;
+/// RAII: install a counting FaultFs so every durable op the code under
+/// test performs lands in an op log, then parse the log back.  This
+/// replaces the old observer hook in write_checkpoint_file — the seam
+/// sees *all* durable I/O, so the durability protocol itself (not just
+/// one hook site) is what the assertions check.
+struct OpLogCapture {
+  explicit OpLogCapture(std::string log_path)
+      : log_path_(std::move(log_path)),
+        fs_(make_plan(log_path_)),
+        guard_(fs_) {}
+  ~OpLogCapture() { std::remove(log_path_.c_str()); }
 
-void record_synced_dir(const std::string& dir) {
-  if (g_synced_dirs != nullptr) {
-    g_synced_dirs->push_back(dir);
+  static io::FaultPlan make_plan(const std::string& log) {
+    io::FaultPlan plan;
+    plan.mode = io::FaultPlan::Mode::kCount;
+    plan.log_path = log;
+    return plan;
   }
-}
 
-/// RAII: install the directory-sync observer and always clear it, even
-/// when an assertion fails mid-test.
-struct DirSyncCapture {
-  DirSyncCapture() {
-    g_synced_dirs = &dirs;
-    journal::set_directory_sync_hook_for_testing(&record_synced_dir);
+  struct Op {
+    std::string kind;
+    std::string path;
+  };
+
+  [[nodiscard]] std::vector<Op> ops() const {
+    std::vector<Op> out;
+    std::ifstream in(log_path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream fields(line);
+      std::string ordinal;
+      Op op;
+      fields >> ordinal >> op.kind;
+      std::getline(fields, op.path);
+      if (!op.path.empty() && op.path.front() == ' ') {
+        op.path.erase(0, 1);
+      }
+      out.push_back(std::move(op));
+    }
+    return out;
   }
-  ~DirSyncCapture() {
-    journal::set_directory_sync_hook_for_testing(nullptr);
-    g_synced_dirs = nullptr;
-  }
-  std::vector<std::string> dirs;
+
+  std::string log_path_;
+  io::FaultFs fs_;
+  io::FaultFsGuard guard_;
 };
 
 TEST_F(CheckpointFileTest, RenameIsFollowedByParentDirectoryFsync) {
@@ -391,43 +418,66 @@ TEST_F(CheckpointFileTest, RenameIsFollowedByParentDirectoryFsync) {
   // hits disk, power loss can roll the rename back and the "committed"
   // checkpoint silently vanishes.  The write path must therefore fsync
   // the parent directory after every rename — observed here through the
-  // post-fsync hook, which only fires once fsync(2) on the directory fd
-  // succeeded.
-  DirSyncCapture capture;
+  // FaultFs op log, which records every durable operation in order.
+  OpLogCapture capture(path_ + ".oplog");
   journal::write_checkpoint_file(path_, sample_payload());
-  ASSERT_EQ(capture.dirs.size(), 1u);
-  EXPECT_EQ(capture.dirs[0], ".");  // path_ is relative to the test cwd
+  const auto ops = capture.ops();
+  ASSERT_GE(ops.size(), 2u);
+  EXPECT_EQ(ops[ops.size() - 2].kind, "rename");
+  EXPECT_EQ(ops.back().kind, "fsync");
+  EXPECT_EQ(ops.back().path, ".");  // path_ is relative to the test cwd
 }
 
 TEST_F(CheckpointFileTest, DirectoryFsyncTargetsTheCheckpointParent) {
-  DirSyncCapture capture;
+  OpLogCapture capture(path_ + ".oplog");
   const std::string dir = path_ + ".dir";
   ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
   const std::string nested = dir + "/nested.ckpt";
   journal::write_checkpoint_file(nested, sample_payload());
-  ASSERT_EQ(capture.dirs.size(), 1u);
-  EXPECT_EQ(capture.dirs[0], dir);
+  auto ops = capture.ops();
+  ASSERT_GE(ops.size(), 2u);
+  EXPECT_EQ(ops.back().kind, "fsync");
+  EXPECT_EQ(ops.back().path, dir);
   // Every write syncs its own parent: a second checkpoint elsewhere
   // must not coalesce with or replace the first observation.
   journal::write_checkpoint_file(path_, sample_payload());
-  ASSERT_EQ(capture.dirs.size(), 2u);
-  EXPECT_EQ(capture.dirs[1], ".");
+  ops = capture.ops();
+  EXPECT_EQ(ops.back().kind, "fsync");
+  EXPECT_EQ(ops.back().path, ".");
   std::remove(nested.c_str());
   ::rmdir(dir.c_str());
 }
 
 TEST_F(CheckpointFileTest, MissingParentDirectoryThrowsNotSilentlyDrops) {
-  // If the parent directory cannot even be opened for fsync, the
-  // checkpoint's durability cannot be guaranteed; that must surface as
-  // a CheckpointError, not a best-effort shrug.  (The data file itself
-  // can't exist without a parent, so this trips on the tmp-file write —
-  // the point is that no path through write_checkpoint_file reports
-  // success without a synced parent.)
-  DirSyncCapture capture;
+  // If the parent directory cannot even be opened, the checkpoint's
+  // durability cannot be guaranteed; that must surface as a
+  // CheckpointError, not a best-effort shrug.  The op log proves no
+  // rename (and hence no false "committed" state) ever happened.
+  OpLogCapture capture(path_ + ".oplog");
   EXPECT_THROW(
       journal::write_checkpoint_file("no_such_dir/x.ckpt", sample_payload()),
       CheckpointError);
-  EXPECT_TRUE(capture.dirs.empty());
+  for (const auto& op : capture.ops()) {
+    EXPECT_NE(op.kind, "rename");
+    EXPECT_NE(op.kind, "fsync");
+  }
+}
+
+TEST_F(CheckpointFileTest, PlantedBug13DropsTheDirectoryFsync) {
+  // Mutation self-check: planted bug 13 skips the parent-directory
+  // fsync.  The conformance signal the io-fault fuzz oracle relies on —
+  // "a rename is always followed by a parent-dir fsync" — must actually
+  // distinguish the mutant from the clean build.
+  struct PlantGuard {
+    explicit PlantGuard(int n) { plant::set_for_testing(n); }
+    ~PlantGuard() { plant::set_for_testing(0); }
+  } planted(13);
+  OpLogCapture capture(path_ + ".oplog");
+  journal::write_checkpoint_file(path_, sample_payload());
+  const auto ops = capture.ops();
+  ASSERT_FALSE(ops.empty());
+  EXPECT_EQ(ops.back().kind, "rename")
+      << "bug 13 should leave the rename as the final durable op";
 }
 
 // --- Whole-experiment checkpoint ------------------------------------

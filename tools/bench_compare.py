@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Compare fresh --json bench reports against the committed baselines.
+
+The bench binaries (bench/) write machine-readable reports; the repo
+pins one blessed report per bench at the root (BENCH_micro.json,
+BENCH_ler.json, BENCH_serve.json).  This tool re-reads a fresh report,
+pairs it with its baseline by report shape, and flags performance
+regressions beyond a relative threshold (default 30% — wide enough to
+absorb machine-to-machine noise, tight enough to catch a lost
+optimisation).
+
+Only *performance* metrics are compared.  Physics results (LER values,
+standard deviations) vary legitimately with seeds and trial counts and
+are the province of tools/check_bench.sh, not this tool.
+
+Usage:
+  tools/bench_compare.py FRESH.json [FRESH2.json ...]
+      [--baseline-dir DIR]   directory holding BENCH_*.json (default:
+                             the repository root, next to tools/)
+      [--threshold PCT]      relative regression threshold in percent
+                             (default 30)
+
+Exit codes: 0 all metrics within threshold, 1 regression found,
+2 usage / malformed report.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Metric tables: (json key path, direction).  "higher" means a drop is
+# a regression; "lower" means growth is a regression.  Keys absent from
+# either report are skipped (benches grow fields over time).
+TOP_LEVEL_METRICS = {
+    "bench_micro": [
+        (("gate_ops_per_sec",), "higher"),
+    ],
+    "bench_ler": [
+        (("trials_per_sec",), "higher"),
+    ],
+    "qpf-serve-bench-v1": [
+        (("requests_per_sec",), "higher"),
+        (("sessions_per_sec",), "higher"),
+        (("latency_ms", "p50"), "lower"),
+        (("latency_ms", "p99"), "lower"),
+    ],
+}
+
+BASELINE_FILES = {
+    "bench_micro": "BENCH_micro.json",
+    "bench_ler": "BENCH_ler.json",
+    "qpf-serve-bench-v1": "BENCH_serve.json",
+}
+
+
+def report_kind(report):
+    """Identify which bench produced a report, or None."""
+    if report.get("schema") == "qpf-serve-bench-v1":
+        return "qpf-serve-bench-v1"
+    name = report.get("name")
+    if name in ("bench_micro", "bench_ler"):
+        return name
+    return None
+
+
+def lookup(report, path):
+    value = report
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value if isinstance(value, (int, float)) else None
+
+
+def relative_change(baseline, fresh, direction):
+    """Signed regression fraction: positive means worse."""
+    if baseline == 0:
+        return 0.0
+    if direction == "higher":
+        return (baseline - fresh) / baseline
+    return (fresh - baseline) / baseline
+
+
+def micro_kernel_metrics(baseline, fresh):
+    """Per-kernel ns/op pairs from bench_micro stats, keyed (kernel, n)."""
+    def as_map(report):
+        table = {}
+        for row in report.get("stats", []):
+            key = (row.get("kernel"), row.get("n"))
+            value = row.get("word_parallel_ns_op")
+            if None not in key and isinstance(value, (int, float)):
+                table[key] = value
+        return table
+
+    base_map, fresh_map = as_map(baseline), as_map(fresh)
+    for key in sorted(base_map.keys() & fresh_map.keys()):
+        label = "word_parallel_ns_op[%s,n=%d]" % key
+        yield label, base_map[key], fresh_map[key], "lower"
+
+
+def compare(baseline, fresh, kind, threshold):
+    """Yield (label, base, fresh, regression_fraction, is_regression)."""
+    rows = []
+    for path, direction in TOP_LEVEL_METRICS[kind]:
+        base_value = lookup(baseline, path)
+        fresh_value = lookup(fresh, path)
+        if base_value is None or fresh_value is None:
+            continue
+        rows.append((".".join(path), base_value, fresh_value, direction))
+    if kind == "bench_micro":
+        rows.extend(micro_kernel_metrics(baseline, fresh))
+    for label, base_value, fresh_value, direction in rows:
+        change = relative_change(base_value, fresh_value, direction)
+        yield label, base_value, fresh_value, change, change > threshold
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="flag >threshold%% perf regressions vs BENCH_*.json")
+    parser.add_argument("reports", nargs="+", metavar="FRESH.json")
+    parser.add_argument("--baseline-dir",
+                        default=os.path.join(os.path.dirname(
+                            os.path.abspath(__file__)), os.pardir))
+    parser.add_argument("--threshold", type=float, default=30.0,
+                        help="regression threshold in percent (default 30)")
+    args = parser.parse_args(argv)
+    threshold = args.threshold / 100.0
+
+    regressions = 0
+    compared = 0
+    for path in args.reports:
+        try:
+            with open(path) as handle:
+                fresh = json.load(handle)
+        except (OSError, ValueError) as error:
+            print("bench_compare: cannot read %s: %s" % (path, error),
+                  file=sys.stderr)
+            return 2
+        kind = report_kind(fresh)
+        if kind is None:
+            print("bench_compare: %s is not a recognised bench report"
+                  % path, file=sys.stderr)
+            return 2
+        baseline_path = os.path.join(args.baseline_dir, BASELINE_FILES[kind])
+        try:
+            with open(baseline_path) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            print("bench_compare: cannot read baseline %s: %s"
+                  % (baseline_path, error), file=sys.stderr)
+            return 2
+
+        print("%s vs %s:" % (path, os.path.basename(baseline_path)))
+        for label, base_value, fresh_value, change, regressed in \
+                compare(baseline, fresh, kind, threshold):
+            compared += 1
+            marker = "REGRESSION" if regressed else "ok"
+            print("  %-34s %14.6g -> %14.6g  %+7.1f%%  %s"
+                  % (label, base_value, fresh_value, change * 100.0, marker))
+            if regressed:
+                regressions += 1
+
+    if compared == 0:
+        print("bench_compare: no comparable metrics found", file=sys.stderr)
+        return 2
+    if regressions:
+        print("bench_compare: %d metric(s) regressed more than %.0f%%"
+              % (regressions, args.threshold))
+        return 1
+    print("bench_compare: %d metric(s) within %.0f%% of baseline"
+          % (compared, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

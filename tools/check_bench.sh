@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Smoke-run every bench binary at a tiny workload and validate the
 # machine-readable report each one writes via --json.
 #
@@ -11,7 +11,7 @@
 #      flat objects.
 #
 # Usage: tools/check_bench.sh [build-dir]     (default: ./build)
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}

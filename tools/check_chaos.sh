@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Deterministic chaos scenarios over the supervised control stack.
 #
 # Every scenario must end in exactly one of two ways — bit-identical
@@ -22,7 +22,7 @@
 #                          resume warns, falls back, and still prints R
 #
 # Usage: tools/check_chaos.sh [build-dir]     (default: ./build)
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Deterministic fuzz smoke for the Pauli-frame stack (CTest target
 # fuzz_smoke).  Runs tools/qpf_fuzz over a fixed seed list in three
 # configurations — every oracle (chp + qx substrates, frame on/off
@@ -17,7 +17,7 @@
 #                                               fresh seeds for ~M min
 #                                               per config instead of
 #                                               the fixed seed list
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 minutes=""

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # End-to-end crash/resume check for the durable experiment engine.
 #
 # Exercises the PR's headline guarantee with real processes and real
@@ -13,7 +13,7 @@
 #                  warns, falls back to the journal, and still prints R
 #
 # Usage: tools/check_resume.sh [build-dir]     (default: ./build)
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}

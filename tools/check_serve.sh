@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Chaos-proven session isolation for qpf_serve, with real processes.
 #
 # The robustness contract under test:
@@ -18,7 +18,7 @@
 #      transparently for a --resume client (exit 0 end to end).
 #
 # Usage: tools/check_serve.sh [build-dir]     (default: ./build)
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}

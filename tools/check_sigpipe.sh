@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # SIGPIPE robustness check for the pipeline-facing CLI tools.
 #
 # Every tool is routinely piped into head / tee / jq; a reader that
@@ -16,7 +16,7 @@
 # follow-up un-piped run over the same journal completes with exit 0.
 #
 # Usage: tools/check_sigpipe.sh [build-dir]     (default: ./build)
-set -eu
+set -euo pipefail
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}

@@ -24,6 +24,7 @@
 
 #include "circuit/error.h"
 #include "cli/stdio_guard.h"
+#include "io/file_ops.h"
 #include "ler_common.h"
 
 namespace {
@@ -150,6 +151,7 @@ int main(int argc, char** argv) {
   using qpf::bench::CampaignResult;
 
   qpf::cli::ignore_sigpipe();
+  qpf::io::install_faultfs_from_environment();
   CampaignOptions options;
   options.config.physical_error_rate = 2e-3;
   options.config.target_logical_errors = 4;

@@ -17,6 +17,7 @@
 
 #include "circuit/error.h"
 #include "cli/stdio_guard.h"
+#include "io/file_ops.h"
 #include "ler_common.h"
 
 namespace {
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   using qpf::bench::CampaignResult;
 
   qpf::cli::ignore_sigpipe();
+  qpf::io::install_faultfs_from_environment();
   CampaignOptions options;
   options.checkpoint_every_windows = 256;
   for (int i = 1; i < argc; ++i) {

@@ -10,6 +10,7 @@
 
 #include "cli/runner.h"
 #include "cli/stdio_guard.h"
+#include "io/file_ops.h"
 
 namespace {
 volatile std::sig_atomic_t g_stop = 0;
@@ -18,6 +19,7 @@ void handle_stop(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   qpf::cli::ignore_sigpipe();
+  qpf::io::install_faultfs_from_environment();
   std::signal(SIGINT, handle_stop);
   std::signal(SIGTERM, handle_stop);
   const std::vector<std::string> arguments(argv + 1, argv + argc);

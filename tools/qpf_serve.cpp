@@ -22,6 +22,7 @@
 #include <string>
 
 #include "circuit/error.h"
+#include "io/file_ops.h"
 #include "serve/server.h"
 
 namespace {
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
   // A dying client must never kill the server (or a checkpoint) with
   // SIGPIPE; every write path checks its return value instead.
   std::signal(SIGPIPE, SIG_IGN);
+  qpf::io::install_faultfs_from_environment();
 
   qpf::serve::ServeOptions options;
   try {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "circuit/error.h"
+#include "io/file_ops.h"
 #include "serve/client.h"
 
 namespace {
@@ -217,6 +218,7 @@ int usage(std::ostream& out) {
 
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
+  qpf::io::install_faultfs_from_environment();
   LoadOptions options;
   try {
     for (int i = 1; i < argc; ++i) {
