@@ -74,6 +74,10 @@ const char* describe(int n) noexcept {
       return "checkpoint-skip-dir-fsync: write_checkpoint_file returns "
              "without fsyncing the parent directory, so a power loss after "
              "rename can roll the checkpoint back";
+    case 14:
+      return "serve-dedup-skip: the server's per-session idempotency "
+             "window (and close tombstones) are silently bypassed, so "
+             "retried requests re-execute against the tenant's stack";
     default:
       return "?";
   }

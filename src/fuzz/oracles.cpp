@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <array>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "arch/chp_core.h"
@@ -20,10 +22,13 @@
 #include "fuzz/seeds.h"
 #include "circuit/qasm.h"
 #include "io/fault_fs.h"
+#include "io/fault_net.h"
 #include "journal/snapshot.h"
 #include "qec/ninja_star.h"
 #include "qec/sc17.h"
 #include "serve/protocol.h"
+#include "serve/retry_client.h"
+#include "serve/server.h"
 #include "stabilizer/tableau.h"
 #include "statevector/simulator.h"
 
@@ -1157,6 +1162,170 @@ OracleOutcome check_io_fault(const Circuit& body, std::uint64_t seed,
   return OracleOutcome::pass();
 }
 
+// --- net-fault --------------------------------------------------------
+
+namespace {
+
+/// One in-process qpf_serve conversation: submit the generated program
+/// twice, then close, through a RetryClient, with an optional FaultNet
+/// schedule installed for the duration of the client's socket traffic.
+/// The transcript is the sequence of replies handed to the caller,
+/// re-encoded — the exactly-once contract says it must not depend on
+/// what the network did.
+struct NetRun {
+  std::vector<std::uint8_t> transcript;
+  std::string error;  ///< non-empty: the conversation itself failed
+};
+
+NetRun run_net_workload(const std::string& qasm, std::size_t qubits,
+                        std::uint64_t seed, const io::NetFaultPlan* plan) {
+  NetRun out;
+  serve::ServeOptions options;
+  options.port = 0;
+  options.executor_threads = 1;
+  serve::Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    out.error = std::string("server failed to start: ") + e.what();
+    return out;
+  }
+  // The injector must outlive every server thread: the reactor can be
+  // inside a FaultNet::read when the guard is popped, so the backend
+  // object itself is only destroyed after shutdown()+join() below.
+  std::optional<io::FaultNet> net;
+  std::thread reactor([&server] { server.serve(); });
+  {
+    // Guard scope: the injector covers the client conversation only and
+    // is uninstalled (in-progress one-shots included) before the drain.
+    std::optional<io::FaultNetGuard> guard;
+    if (plan != nullptr) {
+      net.emplace(*plan);
+      guard.emplace(*net);
+    }
+    try {
+      serve::SessionConfig config;
+      config.name = "net-fault-oracle";
+      config.seed = derive_seed(seed, label_hash("session"));
+      config.qubits = qubits;
+      serve::RetryOptions retry;
+      retry.client_name = "net-fault-oracle";
+      retry.seed = derive_seed(seed, label_hash("retry"));
+      retry.max_attempts = 12;
+      retry.backoff_base_ms = 1;
+      retry.backoff_cap_ms = 20;
+      retry.recv_timeout_ms = 500;
+      retry.connect_budget_ms = 2000;
+      serve::RetryClient client(server.port(), config, retry);
+      (void)client.submit_qasm(qasm);
+      (void)client.submit_qasm(qasm);
+      (void)client.close();
+      out.transcript = client.transcript();
+    } catch (const Error& e) {
+      out.error = e.what();
+    } catch (const std::exception& e) {
+      out.error = std::string("foreign exception: ") + e.what();
+    }
+  }
+  server.shutdown();
+  reactor.join();
+  return out;
+}
+
+}  // namespace
+
+OracleOutcome check_net_fault(const Circuit& body, std::uint64_t seed,
+                              const OracleTuning&) {
+  const std::string qasm = to_qasm(body);
+  const std::size_t qubits = register_size(body, 2);
+
+  // Fault-free reference conversation.
+  const NetRun reference = run_net_workload(qasm, qubits, seed, nullptr);
+  if (!reference.error.empty()) {
+    return OracleOutcome::fail("fault-free reference run failed: " +
+                               reference.error);
+  }
+  if (reference.transcript.empty()) {
+    return OracleOutcome::fail(
+        "fault-free reference produced an empty transcript");
+  }
+
+  // The client's op ordinals are fixed by the workload: hello is send 1 /
+  // read 2, open-session 3/4, the first submit 5/6, the second 7/8, the
+  // close 9/10.  Reads are even, sends odd; for the @K modes the client
+  // connection deterministically reaches an odd K before the server's
+  // accepted connection does (the server only touches the socket after
+  // poll reports the client's bytes).
+  struct Schedule {
+    const char* name;
+    io::NetFaultPlan plan;
+  };
+  std::vector<Schedule> schedules;
+
+  // reset@6: the first submit executes but its reply read dies, so the
+  // resent request id must be answered from the dedup window — a server
+  // that re-executes (planted bug 14) serves one extra request and the
+  // final kClosed payload diverges.
+  {
+    io::NetFaultPlan plan;
+    plan.mode = io::NetFaultPlan::Mode::kResetAt;
+    plan.at = 6;
+    schedules.push_back({"reset@6", plan});
+  }
+
+  // garble@5: flip one bit of the "qubits" keyword inside the first
+  // submit frame's QASM text.  The CRC armor must reject the frame (the
+  // client then resends it intact); a decoder that skips the CRC
+  // (planted bug 12) accepts the damage and the program no longer
+  // parses, turning the reference's run reply into a `parse` error.
+  {
+    serve::Frame probe;
+    probe.type = serve::MsgType::kSubmitQasm;
+    probe.payload = serve::encode_submit_qasm(qasm);
+    const std::vector<std::uint8_t> wire = serve::encode_frame(probe);
+    const std::vector<std::uint8_t> needle(qasm.begin(), qasm.end());
+    const auto at = std::search(wire.begin(), wire.end(), needle.begin(),
+                                needle.end());
+    const std::size_t keyword = qasm.find("qubits ");
+    if (at != wire.end() && keyword != std::string::npos) {
+      const std::size_t target =
+          static_cast<std::size_t>(at - wire.begin()) + keyword;
+      io::NetFaultPlan plan;
+      plan.mode = io::NetFaultPlan::Mode::kGarbleAt;
+      plan.at = 5;
+      plan.bit = static_cast<std::uint32_t>(8 * target);  // 'q' -> 'p'
+      schedules.push_back({"garble@5", plan});
+    }
+  }
+
+  // short-send: roughly every other send is cut to a seeded prefix;
+  // both peers' send loops must reassemble the stream bit-exactly.
+  {
+    io::NetFaultPlan plan;
+    plan.mode = io::NetFaultPlan::Mode::kShortSend;
+    plan.seed = derive_seed(seed, label_hash("short-send"));
+    plan.gap = 2;
+    schedules.push_back({"short-send", plan});
+  }
+
+  for (const Schedule& schedule : schedules) {
+    const NetRun run = run_net_workload(qasm, qubits, seed, &schedule.plan);
+    if (!run.error.empty()) {
+      return OracleOutcome::fail(std::string("under ") + schedule.name +
+                                 " the conversation failed: " + run.error);
+    }
+    if (run.transcript != reference.transcript) {
+      return OracleOutcome::fail(
+          std::string("under ") + schedule.name +
+          " the client transcript diverged from the fault-free reference (" +
+          std::to_string(run.transcript.size()) + " vs " +
+          std::to_string(reference.transcript.size()) +
+          " bytes) — recovery was not exactly-once");
+    }
+  }
+  return OracleOutcome::pass();
+}
+
 // --- registry ---------------------------------------------------------
 
 namespace {
@@ -1189,6 +1358,7 @@ const std::vector<OracleSpec>& all_oracles() {
       {"lut-window", CircuitKind::kNone, lut_window_adapter, false},
       {"serve-codec", CircuitKind::kStream, check_serve_codec, false},
       {"io-fault", CircuitKind::kUnitary, check_io_fault, false},
+      {"net-fault", CircuitKind::kUnitary, check_net_fault, false},
   };
   return kOracles;
 }

@@ -49,6 +49,16 @@
 //                 either success with the new bytes or a typed
 //                 CheckpointError with a complete old/new checkpoint on
 //                 disk — never a torn mix, never a foreign exception.
+//   net-fault   — exactly-once recovery under a FaultNet schedule: an
+//                 in-process qpf_serve conversation (submit the program
+//                 twice, close) through a RetryClient must produce a
+//                 transcript byte-identical to the fault-free reference
+//                 when a reply read is reset mid-stream (the resent id
+//                 must replay from the dedup window — planted bug 14
+//                 re-executes instead), when a submit frame is garbled
+//                 on the wire (the CRC armor must reject it — planted
+//                 bug 12 accepts the damage), and under seeded short
+//                 sends.
 #pragma once
 
 #include <cstdint>
@@ -132,6 +142,9 @@ enum class CircuitKind : std::uint8_t {
 [[nodiscard]] OracleOutcome check_io_fault(const Circuit& body,
                                            std::uint64_t seed,
                                            const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_net_fault(const Circuit& body,
+                                            std::uint64_t seed,
+                                            const OracleTuning& tuning);
 
 // --- Registry ---------------------------------------------------------
 

@@ -1,0 +1,349 @@
+#include "io/fault_net.h"
+
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace qpf::io {
+
+namespace {
+
+using Mode = NetFaultPlan::Mode;
+
+// A bad spec means the harness is not injecting what the operator
+// thinks it is; exiting 2 keeps that from reading as a green run.
+[[noreturn]] void die(const std::string& spec, const std::string& why) {
+  std::fprintf(stderr, "qpf: malformed QPF_FAULTNET spec '%s': %s\n",
+               spec.c_str(), why.c_str());
+  ::_exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& text,
+                        const char* what) {
+  if (text.empty()) die(spec, std::string(what) + " is empty");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9')
+      die(spec, std::string(what) + " '" + text + "' is not a number");
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10)
+      die(spec, std::string(what) + " '" + text + "' overflows");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::vector<std::string> split_colon(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (true) {
+    const std::string::size_type pos = text.find(':', start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void sleep_ms(std::uint64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+NetFaultPlan FaultNet::parse(const std::string& spec) {
+  NetFaultPlan plan;
+  if (spec.empty()) die(spec, "empty spec");
+
+  if (spec.rfind("count:", 0) == 0) {
+    plan.mode = Mode::kCount;
+    plan.log_path = spec.substr(6);
+    if (plan.log_path.empty()) die(spec, "count mode needs a log path");
+    return plan;
+  }
+
+  const std::vector<std::string> parts = split_colon(spec);
+  const std::string& head = parts.front();
+  bool has_at = false;
+  if (head.rfind("reset@", 0) == 0) {
+    plan.mode = Mode::kResetAt;
+    plan.at = parse_u64(spec, head.substr(6), "reset op ordinal");
+    has_at = true;
+  } else if (head.rfind("blackhole@", 0) == 0) {
+    plan.mode = Mode::kBlackholeAt;
+    plan.at = parse_u64(spec, head.substr(10), "blackhole op ordinal");
+    has_at = true;
+  } else if (head.rfind("garble@", 0) == 0) {
+    plan.mode = Mode::kGarbleAt;
+    plan.at = parse_u64(spec, head.substr(7), "garble op ordinal");
+    has_at = true;
+  } else if (head == "short-send") {
+    plan.mode = Mode::kShortSend;
+  } else if (head == "delay") {
+    plan.mode = Mode::kDelay;
+  } else {
+    die(spec, "unknown mode '" + head + "'");
+  }
+  if (has_at && plan.at == 0)
+    die(spec, "op ordinals are 1-based; '@0' would never fire");
+
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string& option = parts[i];
+    const std::string::size_type eq = option.find('=');
+    if (eq == std::string::npos)
+      die(spec, "option '" + option + "' is not key=value");
+    const std::string key = option.substr(0, eq);
+    const std::string value = option.substr(eq + 1);
+    if (key == "seed" &&
+        (plan.mode == Mode::kShortSend || plan.mode == Mode::kDelay)) {
+      plan.seed = parse_u64(spec, value, "seed");
+    } else if (key == "gap" &&
+               (plan.mode == Mode::kShortSend || plan.mode == Mode::kDelay)) {
+      plan.gap = static_cast<std::uint32_t>(parse_u64(spec, value, "gap"));
+      if (plan.gap < 2)
+        die(spec, "gap must be >= 2 (gap=1 would starve every retry loop)");
+    } else if (key == "ms" && plan.mode == Mode::kDelay) {
+      plan.delay_ms = parse_u64(spec, value, "ms");
+    } else if (key == "bit" && plan.mode == Mode::kGarbleAt) {
+      plan.bit = static_cast<std::uint32_t>(parse_u64(spec, value, "bit"));
+    } else {
+      die(spec, "option '" + key + "' does not apply to mode '" + head + "'");
+    }
+  }
+  return plan;
+}
+
+FaultNet::FaultNet(NetFaultPlan plan) : plan_(std::move(plan)) {
+  if (plan_.mode == Mode::kCount) {
+    log_fd_ = ::open(plan_.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                     0644);
+    if (log_fd_ < 0) {
+      std::fprintf(stderr, "qpf: QPF_FAULTNET count log '%s': %s\n",
+                   plan_.log_path.c_str(), std::strerror(errno));
+      ::_exit(2);
+    }
+  }
+}
+
+FaultNet::~FaultNet() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+}
+
+void FaultNet::register_fd(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Conn conn;
+  conn.index = ++next_index_;
+  conn.armed = fired_ == 0;
+  conn.draw_state = mix64(plan_.seed ^ (conn.index * 0x9e3779b97f4a7c15ULL));
+  conns_[fd] = conn;
+}
+
+int FaultNet::connect(int fd, const struct sockaddr* address,
+                      socklen_t length) noexcept {
+  const int rc = FileOps::connect(fd, address, length);
+  if (rc == 0) register_fd(fd);
+  return rc;
+}
+
+int FaultNet::accept(int fd, struct sockaddr* address,
+                     socklen_t* length) noexcept {
+  const int client = FileOps::accept(fd, address, length);
+  if (client >= 0) register_fd(client);
+  return client;
+}
+
+std::uint64_t FaultNet::next_draw(Conn& conn) {
+  conn.draw_state += 0x9e3779b97f4a7c15ULL;
+  return mix64(conn.draw_state);
+}
+
+void FaultNet::log_line(std::uint64_t conn_index, std::uint64_t ordinal,
+                        const char* kind) {
+  if (log_fd_ < 0) return;
+  char line[96];
+  const int n = std::snprintf(line, sizeof line, "%llu %llu %s\n",
+                              static_cast<unsigned long long>(conn_index),
+                              static_cast<unsigned long long>(ordinal), kind);
+  if (n <= 0) return;
+  std::size_t done = 0;
+  while (done < static_cast<std::size_t>(n)) {
+    const ssize_t wrote = ::write(log_fd_, line + done,
+                                  static_cast<std::size_t>(n) - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+}
+
+FaultNet::Decision FaultNet::decide(int fd, const char* kind, bool is_send,
+                                    std::size_t count) {
+  using Act = Decision::Act;
+  Decision decision;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return decision;
+  Conn& conn = it->second;
+  const std::uint64_t ordinal = ++conn.ordinal;
+
+  if (plan_.mode == Mode::kCount) {
+    log_line(conn.index, ordinal, kind);
+    return decision;
+  }
+  if (conn.dead) {
+    decision.act = Act::kFail;
+    decision.error = ECONNRESET;
+    return decision;
+  }
+
+  switch (plan_.mode) {
+    case Mode::kResetAt:
+      if (conn.armed && ordinal >= plan_.at) {
+        conn.dead = true;
+        ++fired_;
+        decision.act = Act::kFail;
+        decision.error = ECONNRESET;
+      }
+      break;
+    case Mode::kBlackholeAt:
+      if (conn.armed && ordinal >= plan_.at) {
+        if (!conn.swallowing) {
+          conn.swallowing = true;
+          ++fired_;
+        }
+        if (is_send) decision.act = Act::kSwallow;
+      }
+      break;
+    case Mode::kGarbleAt:
+      if (conn.armed && ordinal == plan_.at) {
+        ++fired_;
+        decision.act = Act::kGarble;
+        decision.bit = plan_.bit;
+      }
+      break;
+    case Mode::kShortSend:
+      if (is_send && count > 1) {
+        const std::uint64_t draw = next_draw(conn);
+        if (draw % plan_.gap == 0) {
+          decision.act = Act::kShorten;
+          decision.shortened =
+              1 + static_cast<std::size_t>((draw >> 8) % (count - 1));
+        }
+      }
+      break;
+    case Mode::kDelay: {
+      const std::uint64_t draw = next_draw(conn);
+      if (draw % plan_.gap == 0) decision.stall_ms = plan_.delay_ms;
+      break;
+    }
+    default:
+      break;
+  }
+  return decision;
+}
+
+ssize_t FaultNet::read(int fd, void* buffer, std::size_t count) noexcept {
+  using Act = Decision::Act;
+  const Decision decision = decide(fd, "read", false, count);
+  if (decision.stall_ms != 0) sleep_ms(decision.stall_ms);
+  switch (decision.act) {
+    case Act::kFail:
+      errno = decision.error;
+      return -1;
+    case Act::kGarble: {
+      const ssize_t n = FileOps::read(fd, buffer, count);
+      if (n > 0) {
+        const std::uint64_t bit =
+            decision.bit % (static_cast<std::uint64_t>(n) * 8);
+        static_cast<unsigned char*>(buffer)[bit / 8] ^=
+            static_cast<unsigned char>(1u << (bit % 8));
+      }
+      return n;
+    }
+    default:
+      return FileOps::read(fd, buffer, count);
+  }
+}
+
+ssize_t FaultNet::send(int fd, const void* buffer, std::size_t count,
+                       int flags) noexcept {
+  using Act = Decision::Act;
+  const Decision decision = decide(fd, "send", true, count);
+  if (decision.stall_ms != 0) sleep_ms(decision.stall_ms);
+  switch (decision.act) {
+    case Act::kFail:
+      errno = decision.error;
+      return -1;
+    case Act::kSwallow:
+      return static_cast<ssize_t>(count);
+    case Act::kShorten:
+      return FileOps::send(fd, buffer, decision.shortened, flags);
+    case Act::kGarble: {
+      if (count == 0) return FileOps::send(fd, buffer, count, flags);
+      const auto* bytes = static_cast<const unsigned char*>(buffer);
+      std::vector<unsigned char> garbled(bytes, bytes + count);
+      const std::uint64_t bit =
+          decision.bit % (static_cast<std::uint64_t>(count) * 8);
+      garbled[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+      return FileOps::send(fd, garbled.data(), count, flags);
+    }
+    default:
+      return FileOps::send(fd, buffer, count, flags);
+  }
+}
+
+int FaultNet::close(int fd) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) {
+      const bool swallowing = it->second.swallowing;
+      conns_.erase(it);
+      if (swallowing) {
+        // A blackholed connection must look HALF-OPEN to the peer: a
+        // real close() would send a FIN and let the server detach on
+        // EOF, which is exactly the clean signal a dead peer never
+        // gives.  Leak the descriptor (process lifetime is test-scoped)
+        // so the only way the server learns is a lease expiry.
+        return 0;
+      }
+    }
+  }
+  return FileOps::close(fd);
+}
+
+std::uint64_t FaultNet::connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_index_;
+}
+
+std::uint64_t FaultNet::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fired_;
+}
+
+FaultNetGuard::FaultNetGuard(FaultNet& net) noexcept
+    : previous_(set_backend(&net)) {}
+
+FaultNetGuard::~FaultNetGuard() { set_backend(previous_); }
+
+}  // namespace qpf::io

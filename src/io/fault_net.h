@@ -1,0 +1,173 @@
+// qpf::io::FaultNet — deterministic network fault injection on the
+// FileOps seam.
+//
+// PR 7's FaultFs made storage faults enumerable; this is the same move
+// for the network between tenants and qpf_serve.  Every socket created
+// through the seam's connect()/accept() entry points is registered as a
+// *connection*, and every read()/send() on a registered fd advances
+// that connection's private op ordinal.  Faults fire at ordinals, not
+// at wall-clock times or byte offsets, so a schedule is reproducible
+// across runs and independent of how the kernel slices the stream:
+// "the 7th socket op of connection 3" means the same thing every time.
+//
+// Spec grammar (QPF_FAULTNET or FaultNet::parse):
+//
+//   count:<log-path>        count only: append one "<conn> <ordinal>
+//                           <kind>" line per socket op to <log-path>,
+//                           inject nothing.  The counting pass that
+//                           bounds a reset@K sweep.
+//   reset@K                 at each armed connection's K-th socket op,
+//                           fail with ECONNRESET and keep the
+//                           connection dead (every later op fails the
+//                           same way) until the fd is closed.
+//   short-send[:seed=S][:gap=G]
+//                           roughly every G-th send on a connection is
+//                           cut short to a seeded 1..count prefix;
+//                           callers must loop (write_all / client
+//                           send loops).
+//   delay[:ms=M][:seed=S][:gap=G]
+//                           roughly every G-th socket op first stalls
+//                           for M milliseconds (default 5) — the
+//                           slow-network / stalled-read mode.
+//   blackhole@K             from each armed connection's K-th op on,
+//                           sends pretend to succeed but deliver
+//                           nothing — the silent half-open failure that
+//                           only session leases can detect.
+//   garble@K[:bit=B]        flip bit B (mod 8·len) of the buffer of the
+//                           K-th socket op — single-bit wire corruption
+//                           that the CRC armor must catch.
+//
+// One-shot modes (reset/blackhole/garble) arm only the connections that
+// exist before the first firing: sockets registered afterwards (a
+// RetryClient's reconnect) are exempt, so recovery cannot livelock on
+// the injector re-killing every replacement connection.
+//
+// A malformed spec prints a diagnostic and _exit(2)s, exactly like
+// QPF_FAULTFS: a harness typo must never degrade into an un-injected
+// run that "passes".  File-path ops pass through untouched, so FaultNet
+// composes with real durable state (but not with FaultFs in the same
+// process — install_faultnet_from_environment refuses that).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "io/file_ops.h"
+
+namespace qpf::io {
+
+/// Parsed QPF_FAULTNET schedule.
+struct NetFaultPlan {
+  enum class Mode {
+    kOff,          ///< no spec: everything passes through
+    kCount,        ///< log every socket op, inject nothing
+    kResetAt,      ///< ECONNRESET at op `at` of each armed connection
+    kShortSend,    ///< seeded short sends roughly every `gap` sends
+    kDelay,        ///< seeded `delay_ms` stalls roughly every `gap` ops
+    kBlackholeAt,  ///< silently swallow sends from op `at` on
+    kGarbleAt,     ///< flip `bit` of the op-`at` buffer
+  };
+
+  Mode mode = Mode::kOff;
+  /// Target op ordinal for the @K modes (1-based, per connection).
+  std::uint64_t at = 0;
+  /// Bit index for kGarbleAt, taken mod 8·buffer-length at fire time.
+  std::uint32_t bit = 0;
+  /// Stall length for kDelay.
+  std::uint64_t delay_ms = 5;
+  /// Seed for the short-send/delay draws.
+  std::uint64_t seed = 1;
+  /// Roughly one op in `gap` is affected by the seeded modes (>= 2 so
+  /// retry loops always see forward progress).
+  std::uint32_t gap = 3;
+  /// Op log path for kCount.
+  std::string log_path;
+};
+
+/// The injecting backend.  Thread-safe: the reactor, executor wake
+/// pipe, and any number of client threads may race socket ops; the
+/// policy decision is taken under an internal mutex but the actual
+/// syscall always runs outside it, so an injected stall never blocks
+/// an unrelated connection.
+class FaultNet final : public FileOps {
+ public:
+  explicit FaultNet(NetFaultPlan plan);
+  ~FaultNet() override;
+
+  FaultNet(const FaultNet&) = delete;
+  FaultNet& operator=(const FaultNet&) = delete;
+
+  /// Parse a QPF_FAULTNET spec.  On malformed input prints
+  /// "qpf: malformed QPF_FAULTNET spec ..." to stderr and _exit(2)s.
+  static NetFaultPlan parse(const std::string& spec);
+
+  // Socket registration points.
+  int connect(int fd, const struct sockaddr* address,
+              socklen_t length) noexcept override;
+  int accept(int fd, struct sockaddr* address,
+             socklen_t* length) noexcept override;
+
+  // Faultable socket ops.  Unregistered fds (files, pipes) pass
+  // through to the real backend untouched.
+  ssize_t read(int fd, void* buffer, std::size_t count) noexcept override;
+  ssize_t send(int fd, const void* buffer, std::size_t count,
+               int flags) noexcept override;
+  int close(int fd) noexcept override;
+
+  /// Connections registered so far (diagnostics).
+  [[nodiscard]] std::uint64_t connections() const;
+  /// One-shot firings so far (reset/blackhole/garble).
+  [[nodiscard]] std::uint64_t fired() const;
+
+ private:
+  struct Conn {
+    std::uint64_t index = 0;    ///< 1-based registration order
+    std::uint64_t ordinal = 0;  ///< socket ops seen on this fd
+    std::uint64_t draw_state = 0;
+    bool armed = false;  ///< registered before the first one-shot fired
+    bool dead = false;   ///< reset fired: ECONNRESET until close
+    bool swallowing = false;  ///< blackhole fired: sends vanish
+  };
+
+  struct Decision {
+    enum class Act { kPass, kFail, kSwallow, kShorten, kGarble };
+    Act act = Act::kPass;
+    int error = 0;
+    std::size_t shortened = 0;
+    std::uint32_t bit = 0;
+    std::uint64_t stall_ms = 0;
+  };
+
+  void register_fd(int fd);
+  Decision decide(int fd, const char* kind, bool is_send, std::size_t count);
+  std::uint64_t next_draw(Conn& conn);
+  void log_line(std::uint64_t conn_index, std::uint64_t ordinal,
+                const char* kind);
+
+  NetFaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::map<int, Conn> conns_;
+  std::uint64_t next_index_ = 0;
+  std::uint64_t fired_ = 0;
+  int log_fd_ = -1;
+};
+
+/// RAII installer: constructs nothing itself, installs the given
+/// FaultNet as the process backend and restores the previous backend on
+/// destruction.
+class FaultNetGuard {
+ public:
+  explicit FaultNetGuard(FaultNet& net) noexcept;
+  ~FaultNetGuard();
+
+  FaultNetGuard(const FaultNetGuard&) = delete;
+  FaultNetGuard& operator=(const FaultNetGuard&) = delete;
+
+ private:
+  FileOps* previous_;
+};
+
+}  // namespace qpf::io

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "io/fault_fs.h"
+#include "io/fault_net.h"
 
 namespace qpf::io {
 
@@ -54,6 +55,11 @@ int FileOps::accept(int fd, struct sockaddr* address,
   return ::accept(fd, address, length);
 }
 
+int FileOps::connect(int fd, const struct sockaddr* address,
+                     socklen_t length) noexcept {
+  return ::connect(fd, address, length);
+}
+
 namespace {
 
 FileOps& real_backend() noexcept {
@@ -83,6 +89,25 @@ bool install_faultfs_from_environment() {
   // the process, including static destructors that flush state.
   auto* fs = new FaultFs(FaultFs::parse(spec));
   set_backend(fs);
+  return true;
+}
+
+bool install_faultnet_from_environment() {
+  const char* spec = std::getenv("QPF_FAULTNET");
+  if (spec == nullptr || spec[0] == '\0') {
+    return false;
+  }
+  if (const char* fs = std::getenv("QPF_FAULTFS");
+      fs != nullptr && fs[0] != '\0') {
+    std::fprintf(stderr,
+                 "qpf: QPF_FAULTFS and QPF_FAULTNET are mutually exclusive: "
+                 "only one backend can be installed per process\n");
+    ::_exit(2);
+  }
+  // Deliberately leaked, like the FaultFs path: the injector must
+  // outlive every socket call in the process.
+  auto* net = new FaultNet(FaultNet::parse(spec));
+  set_backend(net);
   return true;
 }
 

@@ -60,6 +60,8 @@ class FileOps {
   virtual int poll(struct pollfd* fds, nfds_t nfds, int timeout) noexcept;
   virtual int accept(int fd, struct sockaddr* address,
                      socklen_t* length) noexcept;
+  virtual int connect(int fd, const struct sockaddr* address,
+                      socklen_t length) noexcept;
 };
 
 /// The currently installed backend (the real FileOps unless a test or
@@ -77,6 +79,16 @@ FileOps* set_backend(FileOps* backend) noexcept;
 /// spec prints a diagnostic and exits 2 — a harness typo must never
 /// degrade into an un-injected run that "passes".
 bool install_faultfs_from_environment();
+
+/// Install a FaultNet described by the QPF_FAULTNET environment
+/// variable (grammar in fault_net.h): deterministic socket-level fault
+/// injection — connection resets, partial sends, stalled ops, silent
+/// drops, single-bit wire corruption — at per-connection op ordinals.
+/// Returns true when an injector was installed, false when the variable
+/// is unset or empty.  A malformed spec prints a diagnostic and exits
+/// 2, and combining QPF_FAULTFS with QPF_FAULTNET is refused the same
+/// way: the two backends would shadow each other silently.
+bool install_faultnet_from_environment();
 
 // --- EINTR-safe wrappers ----------------------------------------------
 // Every raw ::read/::write/::poll/::accept in the serve layer and the

@@ -4,33 +4,68 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "io/file_ops.h"
 
 namespace qpf::serve {
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int connect_with_retry(std::uint16_t port, std::uint64_t seed,
+                       std::uint64_t budget_ms) {
+  std::uint64_t rng = seed ^ 0xc0eec7ull;
+  std::uint64_t backoff_ms = 5;
+  std::uint64_t slept_ms = 0;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw IoError("client",
+                    "socket() failed: " + std::string(std::strerror(errno)));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (io::ops().connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof addr) == 0) {
+      return fd;
+    }
+    const int error = errno;
+    ::close(fd);
+    const bool transient = error == ECONNREFUSED || error == ECONNABORTED ||
+                           error == ETIMEDOUT;
+    if (!transient || slept_ms >= budget_ms) {
+      throw IoError("client", "connect() to port " + std::to_string(port) +
+                                  " failed: " + std::strerror(error));
+    }
+    const std::uint64_t jitter = splitmix64(rng) % (backoff_ms + 1);
+    const std::uint64_t nap = backoff_ms + jitter;
+    std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+    slept_ms += nap;
+    backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 100);
+  }
+}
+
 Client::~Client() { disconnect(); }
 
 void Client::connect(std::uint16_t port) {
   disconnect();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw IoError("client",
-                  "socket() failed: " + std::string(std::strerror(errno)));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const std::string why = std::strerror(errno);
-    disconnect();
-    throw IoError("client", "connect() to port " + std::to_string(port) +
-                                " failed: " + why);
-  }
+  fd_ = connect_with_retry(port);
   decoder_ = FrameDecoder();
 }
 
@@ -90,6 +125,10 @@ Frame Client::transact(const Frame& request) {
 }
 
 Client::Result Client::run_request(Frame request) {
+  // The plain client is pinned to protocol v1: its byte streams (and so
+  // every transcript comparison built on them) are bit-for-bit what
+  // they were before v2 existed.  RetryClient speaks v2.
+  request.version = 1;
   request.request = next_request_++;
   Result result;
   result.reply = transact(request);
@@ -102,8 +141,7 @@ Client::Result Client::run_request(Frame request) {
 Client::Result Client::hello(const std::string& client_name) {
   Frame f;
   f.type = MsgType::kHello;
-  f.payload = encode_hello(
-      Hello{kProtocolVersion, kProtocolVersion, client_name});
+  f.payload = encode_hello(Hello{1, 1, client_name});
   return run_request(std::move(f));
 }
 

@@ -17,6 +17,15 @@
 
 namespace qpf::serve {
 
+/// Dial 127.0.0.1:port through the io seam with a bounded, seeded retry
+/// on ECONNREFUSED / ECONNABORTED / ETIMEDOUT — a freshly exec'd server
+/// may not have reached listen(2) yet, and losing that race is not an
+/// error worth surfacing.  Any other errno throws immediately.  Returns
+/// the connected fd; throws IoError once `budget_ms` is exhausted.
+[[nodiscard]] int connect_with_retry(std::uint16_t port,
+                                     std::uint64_t seed = 1,
+                                     std::uint64_t budget_ms = 3000);
+
 class Client {
  public:
   Client() = default;

@@ -90,6 +90,8 @@ bool is_client_message(MsgType type) noexcept {
     case MsgType::kMeasure:
     case MsgType::kSnapshot:
     case MsgType::kClose:
+    case MsgType::kPing:
+    case MsgType::kStats:
       return true;
     default:
       return false;
@@ -124,6 +126,14 @@ const char* type_name(MsgType type) noexcept {
       return "closed";
     case MsgType::kError:
       return "error";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kPong:
+      return "pong";
+    case MsgType::kStats:
+      return "stats";
+    case MsgType::kStatsReply:
+      return "stats_reply";
   }
   return "?";
 }
@@ -307,11 +317,15 @@ SessionConfig decode_session_config(const std::vector<std::uint8_t>& payload) {
   });
 }
 
-std::vector<std::uint8_t> encode_session_opened(const SessionOpened& m) {
+std::vector<std::uint8_t> encode_session_opened(const SessionOpened& m,
+                                                std::uint32_t version) {
   SnapshotWriter w;
   w.tag("session-opened");
   w.write_u64(m.session);
   w.write_bool(m.restored);
+  if (version >= 2) {
+    w.write_u32(m.last_request_id);
+  }
   return w.bytes();
 }
 
@@ -321,6 +335,9 @@ SessionOpened decode_session_opened(const std::vector<std::uint8_t>& payload) {
     SessionOpened m;
     m.session = r.read_u64();
     m.restored = r.read_bool();
+    if (!r.exhausted()) {
+      m.last_request_id = r.read_u32();
+    }
     return m;
   });
 }
@@ -421,6 +438,40 @@ ErrorReply decode_error_reply(const std::vector<std::uint8_t>& payload) {
     ErrorReply m;
     m.code = r.read_string();
     m.message = r.read_string();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& m) {
+  SnapshotWriter w;
+  w.tag("stats-reply");
+  w.write_u64(m.connections_accepted);
+  w.write_u64(m.connections_dropped);
+  w.write_u64(m.requests_executed);
+  w.write_u64(m.requests_shed);
+  w.write_u64(m.sessions_evicted);
+  w.write_u64(m.sessions_parked);
+  w.write_u64(m.sessions_restored);
+  w.write_u64(m.lease_expired);
+  w.write_u64(m.duplicate_requests);
+  w.write_u64(m.dedup_hits);
+  return w.bytes();
+}
+
+StatsReply decode_stats_reply(const std::vector<std::uint8_t>& payload) {
+  return decode_payload("stats_reply", payload, [](SnapshotReader& r) {
+    r.expect_tag("stats-reply");
+    StatsReply m;
+    m.connections_accepted = r.read_u64();
+    m.connections_dropped = r.read_u64();
+    m.requests_executed = r.read_u64();
+    m.requests_shed = r.read_u64();
+    m.sessions_evicted = r.read_u64();
+    m.sessions_parked = r.read_u64();
+    m.sessions_restored = r.read_u64();
+    m.lease_expired = r.read_u64();
+    m.duplicate_requests = r.read_u64();
+    m.dedup_hits = r.read_u64();
     return m;
   });
 }

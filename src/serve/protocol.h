@@ -46,8 +46,17 @@ class SnapshotReader;
 
 namespace qpf::serve {
 
-/// Protocol version this build speaks.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Protocol version this build speaks.  Version 2 (PR 9) adds the
+/// exactly-once machinery: per-session monotonic request ids with a
+/// server-side dedup window, the `last_request_id` field on
+/// kSessionOpened, and the kPing/kPong/kStats/kStatsReply messages.
+/// Servers still speak version 1 to old clients: replies always echo
+/// the request frame's version and v2-only fields are only written on
+/// v2 frames, so a v1 byte stream is unchanged.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Oldest protocol version this build still serves.
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Frame magic, little-endian "QPFW".
 inline constexpr std::uint32_t kFrameMagic = 0x57465051u;
@@ -74,6 +83,10 @@ enum class MsgType : std::uint8_t {
   kClose = 0x0b,          ///< client -> server: retire the session
   kClosed = 0x0c,         ///< server -> client: final request count
   kError = 0x0d,          ///< server -> client: structured error reply
+  kPing = 0x0e,           ///< client -> server: heartbeat (v2, empty)
+  kPong = 0x0f,           ///< server -> client: heartbeat echo (v2, empty)
+  kStats = 0x10,          ///< client -> server: ask for counters (v2, empty)
+  kStatsReply = 0x11,     ///< server -> client: StatsReply (v2)
 };
 
 /// True for the message types a client may legally send.
@@ -159,6 +172,11 @@ struct SessionConfig {
 struct SessionOpened {
   std::uint64_t session = 0;
   bool restored = false;
+  /// Highest request id the session has already executed (v2 frames
+  /// only; absent — and decoded as 0 — on version-1 streams).  A
+  /// reconnecting RetryClient fast-forwards past it so replayed and
+  /// fresh requests never collide.
+  std::uint32_t last_request_id = 0;
 };
 
 struct RunReply {
@@ -179,10 +197,25 @@ struct Closed {
 /// Structured error reply.  `code` is a stable machine-readable token:
 ///   version | protocol | session-limit | session-busy | unknown-session
 ///   | overloaded | quota | qasm-parse | stack-config | supervision
-///   | checkpoint | draining | evicted | internal
+///   | checkpoint | draining | evicted | io-degraded | dedup | internal
 struct ErrorReply {
   std::string code;
   std::string message;
+};
+
+/// Server counter snapshot carried by kStatsReply (v2).  Field order is
+/// the wire order; additions append.
+struct StatsReply {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dropped = 0;
+  std::uint64_t requests_executed = 0;
+  std::uint64_t requests_shed = 0;
+  std::uint64_t sessions_evicted = 0;
+  std::uint64_t sessions_parked = 0;
+  std::uint64_t sessions_restored = 0;
+  std::uint64_t lease_expired = 0;   ///< half-open connections reaped
+  std::uint64_t duplicate_requests = 0;  ///< retried ids observed
+  std::uint64_t dedup_hits = 0;      ///< replies replayed from the window
 };
 
 // Payload codecs.  Decoders throw qpf::ProtocolError on malformed
@@ -199,8 +232,11 @@ struct ErrorReply {
 // parked session's config round-trips through the same serializer.
 void write_session_config(journal::SnapshotWriter& w, const SessionConfig& m);
 [[nodiscard]] SessionConfig read_session_config(journal::SnapshotReader& r);
+// The session_opened payload is version-dependent: `last_request_id`
+// is appended for version >= 2 only, and the decoder reads it only when
+// the stream carries it, so v1 byte streams are bit-for-bit unchanged.
 [[nodiscard]] std::vector<std::uint8_t> encode_session_opened(
-    const SessionOpened& m);
+    const SessionOpened& m, std::uint32_t version = kProtocolVersion);
 [[nodiscard]] SessionOpened decode_session_opened(
     const std::vector<std::uint8_t>& payload);
 [[nodiscard]] std::vector<std::uint8_t> encode_submit_qasm(
@@ -223,6 +259,10 @@ void write_session_config(journal::SnapshotWriter& w, const SessionConfig& m);
 [[nodiscard]] std::vector<std::uint8_t> encode_error_reply(
     const ErrorReply& m);
 [[nodiscard]] ErrorReply decode_error_reply(
+    const std::vector<std::uint8_t>& payload);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
+    const StatsReply& m);
+[[nodiscard]] StatsReply decode_stats_reply(
     const std::vector<std::uint8_t>& payload);
 
 /// Deterministic session id: FNV-1a of the session name.  Name-derived

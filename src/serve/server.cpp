@@ -11,7 +11,9 @@
 #include <chrono>
 #include <cstring>
 
+#include "circuit/bug_plant.h"
 #include "io/file_ops.h"
+#include "journal/snapshot.h"
 
 namespace qpf::serve {
 
@@ -254,9 +256,10 @@ void Server::poll_loop() {
       }
     }
 
-    // Housekeeping: slow readers, doomed-and-flushed connections, idle
-    // parking, drain completion.
+    // Housekeeping: slow readers, lease-expired half-open connections,
+    // doomed-and-flushed connections, idle parking, drain completion.
     std::vector<std::uint64_t> to_drop;
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint64_t>>> to_reap;
     bool drained = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -269,6 +272,15 @@ void Server::poll_loop() {
                              options_.write_timeout_ms) {
           ++stats_.connections_dropped;
           to_drop.push_back(id);
+        } else if (options_.lease_ms > 0 && !conn.doomed &&
+                   now > conn.last_rx_ms + options_.lease_ms) {
+          // The peer has sent nothing — not even a heartbeat — for a
+          // whole lease.  Treat the connection as half-open (the TCP
+          // peer may be gone without a FIN ever arriving) and reap it.
+          // Its sessions are parked, not evicted: a reconnect with
+          // resume=true restores them with the dedup window intact.
+          ++stats_.lease_expired;
+          to_reap.emplace_back(id, conn.sessions);
         }
       }
       if (options_.idle_evict_ms > 0) {
@@ -317,6 +329,31 @@ void Server::poll_loop() {
     for (const std::uint64_t id : to_drop) {
       drop_connection(id, now);
     }
+    for (const auto& [conn_id, session_ids] : to_reap) {
+      drop_connection(conn_id, now);  // detaches the sessions
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const std::uint64_t sid : session_ids) {
+        // A session with queued or running work stays warm — parking
+        // would free a stack an executor still references; it will be
+        // parked by the idle sweep once its queue drains.
+        auto it = exec_.find(sid);
+        if (it != exec_.end() &&
+            (it->second.running || !it->second.pending.empty())) {
+          continue;
+        }
+        switch (table_.park_session(sid)) {
+          case SessionTable::ParkOutcome::kParked:
+            ++stats_.sessions_parked;
+            break;
+          case SessionTable::ParkOutcome::kFailed:
+            note_evicted(sid, "io-degraded");
+            ++stats_.park_failures;
+            break;
+          case SessionTable::ParkOutcome::kSkipped:
+            break;
+        }
+      }
+    }
     if (drained) {
       return;
     }
@@ -336,6 +373,7 @@ void Server::accept_clients() {
     conn.id = next_conn_id_++;
     conn.decoder = FrameDecoder(options_.max_frame_bytes);
     conn.last_write_progress_ms = now_ms();
+    conn.last_rx_ms = conn.last_write_progress_ms;
     conn_by_fd_[fd] = conn.id;
     ++stats_.connections_accepted;
     connections_.emplace(conn.id, std::move(conn));
@@ -374,6 +412,7 @@ void Server::read_client_by_id(std::uint64_t conn_id, std::uint64_t now) {
       return;
     }
     Connection& conn = it->second;
+    conn.last_rx_ms = now;
     try {
       conn.decoder.feed(buffer, static_cast<std::size_t>(n));
       while (std::optional<Frame> frame = conn.decoder.next()) {
@@ -487,6 +526,77 @@ void Server::forget_evicted(std::uint64_t session_id) {
   }
 }
 
+void Server::note_closed(std::uint64_t session_id, std::uint32_t request,
+                         std::vector<std::uint8_t> payload) {
+  static constexpr std::size_t kClosedCap = 1024;
+  if (closed_.emplace(session_id, ClosedTombstone{request,
+                                                  std::move(payload)})
+          .second) {
+    closed_order_.push_back(session_id);
+    while (closed_order_.size() > kClosedCap) {
+      closed_.erase(closed_order_.front());
+      closed_order_.pop_front();
+    }
+  }
+}
+
+void Server::forget_closed(std::uint64_t session_id) {
+  if (closed_.erase(session_id) != 0) {
+    closed_order_.erase(std::find(closed_order_.begin(),
+                                  closed_order_.end(), session_id));
+  }
+}
+
+bool Server::reply_closed_tombstone(std::uint64_t conn_id,
+                                    const Frame& frame) {
+  if (frame.type != MsgType::kClose) {
+    return false;
+  }
+  const auto it = closed_.find(frame.session);
+  if (it == closed_.end() || it->second.request != frame.request) {
+    return false;
+  }
+  Frame reply;
+  reply.version = frame.version;
+  reply.type = MsgType::kClosed;
+  reply.session = frame.session;
+  reply.request = frame.request;
+  reply.payload = it->second.payload;
+  ++stats_.duplicate_requests;
+  ++stats_.dedup_hits;
+  enqueue_reply(conn_id, reply);
+  return true;
+}
+
+void Server::refund_admission(std::uint64_t session_id,
+                              std::size_t payload_bytes) {
+  auto it = exec_.find(session_id);
+  if (it == exec_.end()) {
+    return;
+  }
+  ExecState& st = it->second;
+  if (st.requests_admitted > 0) {
+    --st.requests_admitted;
+  }
+  st.bytes_admitted -=
+      std::min<std::uint64_t>(st.bytes_admitted, payload_bytes);
+}
+
+StatsReply Server::stats_reply_locked() const {
+  StatsReply m;
+  m.connections_accepted = stats_.connections_accepted;
+  m.connections_dropped = stats_.connections_dropped;
+  m.requests_executed = stats_.requests_executed;
+  m.requests_shed = stats_.requests_shed;
+  m.sessions_evicted = stats_.sessions_evicted;
+  m.sessions_parked = stats_.sessions_parked;
+  m.sessions_restored = stats_.sessions_restored;
+  m.lease_expired = stats_.lease_expired;
+  m.duplicate_requests = stats_.duplicate_requests;
+  m.dedup_hits = stats_.dedup_hits;
+  return m;
+}
+
 void Server::release_session(std::uint64_t conn_id,
                              std::uint64_t session_id) {
   auto it = connections_.find(conn_id);
@@ -500,6 +610,7 @@ void Server::release_session(std::uint64_t conn_id,
 void Server::send_error(std::uint64_t conn_id, const Frame& request,
                         const std::string& code, const std::string& message) {
   Frame reply;
+  reply.version = request.version;
   reply.type = MsgType::kError;
   reply.session = request.session;
   reply.request = request.request;
@@ -528,6 +639,31 @@ void Server::handle_frame(Connection& conn, Frame frame, std::uint64_t now) {
     case MsgType::kOpenSession:
       handle_open_session(conn, frame, now);
       return;
+    case MsgType::kPing: {
+      // Heartbeat: receiving the frame already refreshed the lease
+      // clock (last_rx_ms); touch the session's last-active time too so
+      // heartbeats also hold off idle parking, and answer even while
+      // draining — a drain must not look like a dead server.
+      if (frame.session != 0) {
+        (void)table_.find(frame.session, now);
+      }
+      Frame reply;
+      reply.version = frame.version;
+      reply.type = MsgType::kPong;
+      reply.session = frame.session;
+      reply.request = frame.request;
+      enqueue_reply(conn.id, reply);
+      return;
+    }
+    case MsgType::kStats: {
+      Frame reply;
+      reply.version = frame.version;
+      reply.type = MsgType::kStatsReply;
+      reply.request = frame.request;
+      reply.payload = encode_stats_reply(stats_reply_locked());
+      enqueue_reply(conn.id, reply);
+      return;
+    }
     default:
       break;
   }
@@ -536,6 +672,10 @@ void Server::handle_frame(Connection& conn, Frame frame, std::uint64_t now) {
   // stack is touched, so refusals never perturb session state.
   Session* session = table_.find(frame.session, now);
   if (session == nullptr) {
+    if (frame.version >= 2 && !plant::bug(14) &&
+        reply_closed_tombstone(conn.id, frame)) {
+      return;
+    }
     const auto ev = evicted_.find(frame.session);
     if (ev != evicted_.end()) {
       send_evicted_error(conn.id, frame, ev->second);
@@ -596,19 +736,26 @@ void Server::handle_hello(Connection& conn, const Frame& frame) {
     return;
   }
   if (hello.min_version > kProtocolVersion ||
-      hello.max_version < kProtocolVersion) {
+      hello.max_version < kMinProtocolVersion) {
     send_error(conn.id, frame, "version",
-               "server speaks protocol version " +
+               "server speaks protocol versions " +
+                   std::to_string(kMinProtocolVersion) + ".." +
                    std::to_string(kProtocolVersion));
     conn.doomed = true;
     return;
   }
+  // Serve the newest version both sides speak; version-1 clients keep
+  // getting version-1 frames (replies always echo the request frame's
+  // version), so their byte streams are unchanged.
+  const std::uint32_t chosen =
+      std::min<std::uint32_t>(kProtocolVersion, hello.max_version);
   conn.hello_done = true;
   Frame reply;
+  reply.version = frame.version;
   reply.type = MsgType::kWelcome;
   reply.request = frame.request;
   reply.payload = encode_welcome(
-      Welcome{kProtocolVersion, options_.server_name,
+      Welcome{chosen, options_.server_name,
               options_.max_frame_bytes, options_.queue_depth});
   enqueue_reply(conn.id, reply);
 }
@@ -631,6 +778,7 @@ void Server::handle_open_session(Connection& conn, const Frame& frame,
     const std::uint64_t id = opened.session->id();
     conn.sessions.push_back(id);
     forget_evicted(id);
+    forget_closed(id);
     ExecState& st = exec_[id];
     st.requests_admitted = opened.session->requests_served();
     st.bytes_admitted = opened.session->bytes_received();
@@ -638,11 +786,13 @@ void Server::handle_open_session(Connection& conn, const Frame& frame,
       ++stats_.sessions_restored;
     }
     Frame reply;
+    reply.version = frame.version;
     reply.type = MsgType::kSessionOpened;
     reply.session = id;
     reply.request = frame.request;
-    reply.payload =
-        encode_session_opened(SessionOpened{id, opened.restored});
+    reply.payload = encode_session_opened(
+        SessionOpened{id, opened.restored, opened.session->last_request_id()},
+        frame.version);
     enqueue_reply(conn.id, reply);
   } catch (const StackConfigError& e) {
     const std::string& component = e.context().component;
@@ -694,11 +844,23 @@ void Server::executor_main() {
 void Server::execute_job(const Job& job) {
   const Frame& frame = job.frame;
   const std::uint64_t sid = frame.session;
+  // Exactly-once (protocol v2): a retried request id whose reply is
+  // still in the session's window is answered by replaying the recorded
+  // bytes — the stack never sees the duplicate, so at-least-once
+  // delivery cannot double-execute gates.  The check happens at
+  // execution time, not admission, so a retry queued behind its own
+  // original still dedups.  Planted bug 14 silently bypasses the
+  // window (and the close tombstones): duplicates re-execute and the
+  // final requests_served count diverges.
+  const bool dedupe = frame.version >= 2 && !plant::bug(14);
   Session* session = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     session = table_.find(sid, now_ms());
     if (session == nullptr) {
+      if (dedupe && reply_closed_tombstone(job.conn_id, frame)) {
+        return;
+      }
       const auto ev = evicted_.find(sid);
       if (ev != evicted_.end()) {
         send_evicted_error(job.conn_id, frame, ev->second);
@@ -708,7 +870,60 @@ void Server::execute_job(const Job& job) {
       }
       return;
     }
+    if (dedupe) {
+      if (const Session::RecordedReply* recorded =
+              session->find_reply(frame.request)) {
+        Frame reply;
+        reply.version = frame.version;
+        reply.type = recorded->type;
+        reply.session = sid;
+        reply.request = frame.request;
+        reply.payload = recorded->payload;
+        ++stats_.duplicate_requests;
+        ++stats_.dedup_hits;
+        // The duplicate was admitted (and charged) a second time at
+        // handle_frame; refund it so quotas bill each id once.
+        refund_admission(sid, frame.payload.size());
+        enqueue_reply(job.conn_id, reply);
+        return;
+      }
+      if (frame.request != 0 && frame.request <= session->last_request_id()) {
+        // Executed, but the reply has left the bounded window: refuse
+        // rather than silently re-execute — a typed error is visible,
+        // a double-executed gate sequence is not.
+        ++stats_.duplicate_requests;
+        send_error(job.conn_id, frame, "dedup",
+                   "request id " + std::to_string(frame.request) +
+                       " was already executed and its reply has left the "
+                       "replay window");
+        return;
+      }
+    }
   }
+
+  // Enqueue a reply and — for v2 frames — record it in the session's
+  // window so a retry of this id replays the same bytes.  Error replies
+  // are recorded too: a deterministic failure must stay the same
+  // failure when retried, not re-run.
+  const auto reply_recorded = [&](Frame reply) {
+    reply.version = frame.version;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dedupe) {
+      if (Session* live = table_.find(sid, now_ms())) {
+        live->record_reply(frame.request, reply.type, reply.payload);
+      }
+    }
+    enqueue_reply(job.conn_id, reply);
+  };
+  const auto error_frame = [&](const std::string& code,
+                               const std::string& message) {
+    Frame reply;
+    reply.type = MsgType::kError;
+    reply.session = sid;
+    reply.request = frame.request;
+    reply.payload = encode_error_reply(ErrorReply{code, message});
+    return reply;
+  };
 
   // The stack runs OUTSIDE the lock: per-session serialization (the
   // running flag) is the only execution ordering, and the reactor never
@@ -725,8 +940,7 @@ void Server::execute_job(const Job& job) {
         reply.session = sid;
         reply.request = frame.request;
         reply.payload = encode_run_reply(result);
-        std::lock_guard<std::mutex> lock(mutex_);
-        enqueue_reply(job.conn_id, reply);
+        reply_recorded(std::move(reply));
         return;
       }
       case MsgType::kMeasure: {
@@ -735,8 +949,7 @@ void Server::execute_job(const Job& job) {
         reply.session = sid;
         reply.request = frame.request;
         reply.payload = encode_measure_reply(session->measure());
-        std::lock_guard<std::mutex> lock(mutex_);
-        enqueue_reply(job.conn_id, reply);
+        reply_recorded(std::move(reply));
         return;
       }
       case MsgType::kSnapshot: {
@@ -748,18 +961,23 @@ void Server::execute_job(const Job& job) {
         reply.payload = encode_snapshot_reply(SnapshotReply{
             snapshot.size(),
             journal::crc32(snapshot.data(), snapshot.size())});
-        std::lock_guard<std::mutex> lock(mutex_);
-        enqueue_reply(job.conn_id, reply);
+        reply_recorded(std::move(reply));
         return;
       }
       case MsgType::kClose: {
         Frame reply;
+        reply.version = frame.version;
         reply.type = MsgType::kClosed;
         reply.session = sid;
         reply.request = frame.request;
         reply.payload =
             encode_closed(Closed{session->requests_served()});
         std::lock_guard<std::mutex> lock(mutex_);
+        // The session is gone after this; a tombstone keeps the Closed
+        // bytes around so a retried close still replays them.
+        if (dedupe) {
+          note_closed(sid, frame.request, reply.payload);
+        }
         table_.evict(sid);
         release_session(job.conn_id, sid);
         enqueue_reply(job.conn_id, reply);
@@ -774,7 +992,8 @@ void Server::execute_job(const Job& job) {
     }
   } catch (const SupervisionError& e) {
     // The session's recovery budget is spent; its stack can no longer
-    // be trusted.  Evict it — every other session is untouched.
+    // be trusted.  Evict it — every other session is untouched.  No
+    // reply is recorded: the session (and its window) die here.
     std::lock_guard<std::mutex> lock(mutex_);
     table_.evict(sid);
     release_session(job.conn_id, sid);
@@ -782,26 +1001,19 @@ void Server::execute_job(const Job& job) {
     ++stats_.sessions_evicted;
     send_error(job.conn_id, frame, "supervision", e.what());
   } catch (const QasmParseError& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    send_error(job.conn_id, frame, "qasm-parse", e.what());
+    reply_recorded(error_frame("qasm-parse", e.what()));
   } catch (const ProtocolError& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    send_error(job.conn_id, frame, "protocol", e.what());
+    reply_recorded(error_frame("protocol", e.what()));
   } catch (const TransientFaultError& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    send_error(job.conn_id, frame, "transient", e.what());
+    reply_recorded(error_frame("transient", e.what()));
   } catch (const CheckpointError& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    send_error(job.conn_id, frame, "checkpoint", e.what());
+    reply_recorded(error_frame("checkpoint", e.what()));
   } catch (const StackConfigError& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    send_error(job.conn_id, frame, "stack-config", e.what());
+    reply_recorded(error_frame("stack-config", e.what()));
   } catch (const Error& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    send_error(job.conn_id, frame, "internal", e.what());
+    reply_recorded(error_frame("internal", e.what()));
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    send_error(job.conn_id, frame, "internal", e.what());
+    reply_recorded(error_frame("internal", e.what()));
   }
 }
 

@@ -56,6 +56,11 @@ struct ServeOptions {
   std::uint64_t idle_evict_ms = 0;  ///< 0 disables idle parking
   std::uint64_t write_timeout_ms = 10000;  ///< slow-reader eviction
   std::size_t write_buffer_cap = 8u << 20;
+  /// Session lease: a connection that has sent nothing (not even a
+  /// kPing heartbeat) for this long is considered half-open and reaped;
+  /// its sessions are parked — not evicted — so a reconnect with
+  /// resume=true restores them transparently.  0 disables leases.
+  std::uint64_t lease_ms = 0;
   std::string server_name = "qpf_serve";
 };
 
@@ -70,6 +75,9 @@ struct ServeStats {
   std::uint64_t sessions_parked = 0;
   std::uint64_t sessions_restored = 0;
   std::uint64_t park_failures = 0;        ///< `io-degraded` evictions
+  std::uint64_t lease_expired = 0;        ///< half-open connections reaped
+  std::uint64_t duplicate_requests = 0;   ///< retried request ids observed
+  std::uint64_t dedup_hits = 0;           ///< replies replayed, not re-run
 };
 
 class Server {
@@ -122,6 +130,7 @@ class Server {
     bool hello_done = false;
     bool doomed = false;  ///< flush TX, then close
     std::uint64_t last_write_progress_ms = 0;
+    std::uint64_t last_rx_ms = 0;  ///< lease clock: last bytes received
     std::vector<std::uint64_t> sessions;  ///< ids opened on this connection
   };
 
@@ -152,6 +161,14 @@ class Server {
   void send_evicted_error(std::uint64_t conn_id, const Frame& request,
                           const std::string& reason);
   void release_session(std::uint64_t conn_id, std::uint64_t session_id);
+  void note_closed(std::uint64_t session_id, std::uint32_t request,
+                   std::vector<std::uint8_t> payload);
+  void forget_closed(std::uint64_t session_id);
+  /// Replay the recorded kClosed for a retried close whose session is
+  /// already gone.  True when a tombstone answered the frame.
+  bool reply_closed_tombstone(std::uint64_t conn_id, const Frame& frame);
+  void refund_admission(std::uint64_t session_id, std::size_t payload_bytes);
+  [[nodiscard]] StatsReply stats_reply_locked() const;
 
   [[nodiscard]] static std::uint64_t now_ms() noexcept;
 
@@ -177,6 +194,17 @@ class Server {
   // a long-running server cannot leak memory per eviction.
   std::map<std::uint64_t, std::string> evicted_;
   std::deque<std::uint64_t> evicted_order_;
+  // Close tombstones (v2 exactly-once): the kClosed payload recorded
+  // when a close executed, so a retried close whose reply was lost on
+  // the wire replays byte-identically instead of hitting
+  // `unknown-session` (the session itself is gone by then).  Bounded
+  // like evicted_.
+  struct ClosedTombstone {
+    std::uint32_t request = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  std::map<std::uint64_t, ClosedTombstone> closed_;
+  std::deque<std::uint64_t> closed_order_;
   ServeStats stats_;
   std::uint64_t next_conn_id_ = 1;
   bool draining_ = false;

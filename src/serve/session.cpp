@@ -108,6 +108,14 @@ std::vector<std::uint8_t> Session::park() const {
   write_session_config(w, config_);
   w.write_u64(requests_served_);
   w.write_u64(bytes_received_);
+  w.write_u32(last_request_id_);
+  w.write_u64(static_cast<std::uint64_t>(replies_.size()));
+  for (const RecordedReply& reply : replies_) {
+    w.write_u32(reply.request);
+    w.write_u8(static_cast<std::uint8_t>(reply.type));
+    w.write_u64(static_cast<std::uint64_t>(reply.payload.size()));
+    w.write_bytes(reply.payload.data(), reply.payload.size());
+  }
   top_->save_state(w);
   return w.bytes();
 }
@@ -127,12 +135,49 @@ std::unique_ptr<Session> Session::unpark(
   auto session = std::make_unique<Session>(parked);
   session->requests_served_ = r.read_u64();
   session->bytes_received_ = r.read_u64();
+  session->last_request_id_ = r.read_u32();
+  const std::uint64_t reply_count = r.read_u64();
+  if (reply_count > kDedupWindow) {
+    throw CheckpointError("parked dedup window larger than the cap",
+                          config.name);
+  }
+  for (std::uint64_t i = 0; i < reply_count; ++i) {
+    RecordedReply reply;
+    reply.request = r.read_u32();
+    reply.type = static_cast<MsgType>(r.read_u8());
+    reply.payload.resize(static_cast<std::size_t>(r.read_u64()));
+    r.read_bytes(reply.payload.data(), reply.payload.size());
+    session->replies_.push_back(std::move(reply));
+  }
   session->top_->load_state(r);
   if (!r.exhausted()) {
     throw CheckpointError("trailing bytes after session snapshot",
                           config.name);
   }
   return session;
+}
+
+void Session::record_reply(std::uint32_t request, MsgType type,
+                           std::vector<std::uint8_t> payload) {
+  RecordedReply reply;
+  reply.request = request;
+  reply.type = type;
+  reply.payload = std::move(payload);
+  replies_.push_back(std::move(reply));
+  while (replies_.size() > kDedupWindow) {
+    replies_.pop_front();
+  }
+  last_request_id_ = std::max(last_request_id_, request);
+}
+
+const Session::RecordedReply* Session::find_reply(
+    std::uint32_t request) const noexcept {
+  for (const RecordedReply& reply : replies_) {
+    if (reply.request == request) {
+      return &reply;
+    }
+  }
+  return nullptr;
 }
 
 bool Session::charge(const SessionQuota& quota,

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,6 +89,37 @@ class Session {
   [[nodiscard]] bool escalated() const noexcept { return escalated_; }
   [[nodiscard]] std::uint8_t supervisor_state() const noexcept;
 
+  // --- Idempotency window (protocol v2) -------------------------------
+  // The last kDedupWindow replies, keyed by request id.  A retried
+  // request id whose reply is still in the window is answered by
+  // replaying the recorded bytes instead of re-executing gates, which
+  // is what makes RetryClient's at-least-once delivery exactly-once at
+  // the stack.  The window parks and unparks with the session, so a
+  // retry that straddles a reap/restore cycle still replays.
+
+  struct RecordedReply {
+    std::uint32_t request = 0;
+    MsgType type = MsgType::kError;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Replies retained for replay; bounds the per-session memory.
+  static constexpr std::size_t kDedupWindow = 16;
+
+  /// Remember the reply for `request` and advance last_request_id().
+  void record_reply(std::uint32_t request, MsgType type,
+                    std::vector<std::uint8_t> payload);
+
+  /// The recorded reply for `request`, or nullptr if it has left the
+  /// window (or was never executed).
+  [[nodiscard]] const RecordedReply* find_reply(
+      std::uint32_t request) const noexcept;
+
+  /// Highest request id ever executed on this session (0 = none).
+  [[nodiscard]] std::uint32_t last_request_id() const noexcept {
+    return last_request_id_;
+  }
+
  private:
   void build_stack();
 
@@ -96,6 +128,8 @@ class Session {
   std::uint64_t requests_served_ = 0;
   std::uint64_t bytes_received_ = 0;
   bool escalated_ = false;
+  std::uint32_t last_request_id_ = 0;
+  std::deque<RecordedReply> replies_;
 
   std::unique_ptr<arch::ChpCore> core_;
   std::unique_ptr<arch::ClassicalFaultLayer> faults_;

@@ -132,6 +132,18 @@ std::size_t SessionTable::checkpoint_all(std::size_t* failed) {
   return parked;
 }
 
+SessionTable::ParkOutcome SessionTable::park_session(std::uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second.attached) {
+    return ParkOutcome::kSkipped;
+  }
+  const ParkOutcome outcome = park_entry(it->second);
+  if (outcome != ParkOutcome::kSkipped) {
+    sessions_.erase(it);
+  }
+  return outcome;
+}
+
 void SessionTable::evict(std::uint64_t id) { sessions_.erase(id); }
 
 }  // namespace qpf::serve

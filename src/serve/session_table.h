@@ -102,6 +102,14 @@ class SessionTable {
   /// the number of park attempts that failed on I/O.
   std::size_t checkpoint_all(std::size_t* failed = nullptr);
 
+  /// Park one detached session now (the lease-reaping path: its owning
+  /// connection went half-open and was just dropped).  kSkipped when
+  /// the id is unknown, still attached, or parking is disabled /
+  /// escalated — in those cases the entry stays warm for re-attach.
+  /// kParked and kFailed both remove the entry (kFailed leaks nothing
+  /// but loses the stack; the caller records it as io-degraded).
+  ParkOutcome park_session(std::uint64_t id);
+
   /// Remove a session outright (escalation, close, quota kill).
   void evict(std::uint64_t id);
 

@@ -1,0 +1,285 @@
+// FaultNet unit tests over a raw loopback pair: spec-grammar parsing
+// (malformed specs must die, not degrade), deterministic per-connection
+// op ordinals, and the exact firing semantics of every injection mode —
+// reset kills the connection at its ordinal and keeps it dead, garble
+// flips exactly one bit exactly once, blackhole swallows sends but not
+// reads, short-send cuts to seeded prefixes a write-all loop heals, and
+// connections registered after a one-shot fired are exempt.  Only the
+// client end of each pair goes through the seam, so ordinals advance on
+// exactly one registered connection.  Suite name is in the
+// check_sanitize.sh filters so the modes also run under ASan/TSan.
+#include "io/fault_net.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qpf::io {
+namespace {
+
+/// A loopback pair where ONLY the client fd is registered with the
+/// installed backend (the peer is accepted raw), so a schedule's
+/// ordinals are those of a single connection.
+class LoopbackPair {
+ public:
+  LoopbackPair() {
+    listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_OK(listener_);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_OK(::bind(listener_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr));
+    ASSERT_OK(::listen(listener_, 1));
+    socklen_t len = sizeof addr;
+    ASSERT_OK(::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr),
+                            &len));
+    client_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_OK(client_);
+    ASSERT_OK(ops().connect(client_, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof addr));
+    peer_ = ::accept(listener_, nullptr, nullptr);
+    ASSERT_OK(peer_);
+  }
+
+  ~LoopbackPair() {
+    if (client_ >= 0) {
+      (void)ops().close(client_);
+    }
+    if (peer_ >= 0) {
+      (void)::close(peer_);
+    }
+    if (listener_ >= 0) {
+      (void)::close(listener_);
+    }
+  }
+
+  [[nodiscard]] int client() const { return client_; }
+  [[nodiscard]] int peer() const { return peer_; }
+
+  /// Bytes currently readable on the raw peer end (bounded, non-blocking).
+  [[nodiscard]] std::string drain_peer() {
+    std::string out;
+    char buffer[256];
+    for (;;) {
+      const ssize_t n = ::recv(peer_, buffer, sizeof buffer, MSG_DONTWAIT);
+      if (n <= 0) {
+        break;
+      }
+      out.append(buffer, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  static void ASSERT_OK(int rc) { ASSERT_GE(rc, 0) << std::strerror(errno); }
+
+  int listener_ = -1;
+  int client_ = -1;
+  int peer_ = -1;
+};
+
+TEST(FaultNetTest, ParseAcceptsTheGrammar) {
+  NetFaultPlan plan = FaultNet::parse("reset@7");
+  EXPECT_EQ(plan.mode, NetFaultPlan::Mode::kResetAt);
+  EXPECT_EQ(plan.at, 7u);
+
+  plan = FaultNet::parse("blackhole@3");
+  EXPECT_EQ(plan.mode, NetFaultPlan::Mode::kBlackholeAt);
+  EXPECT_EQ(plan.at, 3u);
+
+  plan = FaultNet::parse("garble@5:bit=12");
+  EXPECT_EQ(plan.mode, NetFaultPlan::Mode::kGarbleAt);
+  EXPECT_EQ(plan.at, 5u);
+  EXPECT_EQ(plan.bit, 12u);
+
+  plan = FaultNet::parse("short-send:seed=9:gap=4");
+  EXPECT_EQ(plan.mode, NetFaultPlan::Mode::kShortSend);
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_EQ(plan.gap, 4u);
+
+  plan = FaultNet::parse("delay:ms=2:seed=3");
+  EXPECT_EQ(plan.mode, NetFaultPlan::Mode::kDelay);
+  EXPECT_EQ(plan.delay_ms, 2u);
+  EXPECT_EQ(plan.seed, 3u);
+
+  plan = FaultNet::parse("count:ordinals.log");
+  EXPECT_EQ(plan.mode, NetFaultPlan::Mode::kCount);
+  EXPECT_EQ(plan.log_path, "ordinals.log");
+}
+
+TEST(FaultNetTest, ParseRejectsMalformedSpecs) {
+  // A harness typo must never degrade into an un-injected "pass".
+  EXPECT_EXIT((void)FaultNet::parse("jitter@5"), ::testing::ExitedWithCode(2),
+              "malformed QPF_FAULTNET");
+  EXPECT_EXIT((void)FaultNet::parse("reset@0"), ::testing::ExitedWithCode(2),
+              "malformed QPF_FAULTNET");
+  EXPECT_EXIT((void)FaultNet::parse("reset@x"), ::testing::ExitedWithCode(2),
+              "malformed QPF_FAULTNET");
+  EXPECT_EXIT((void)FaultNet::parse("short-send:gap=1"),
+              ::testing::ExitedWithCode(2), "gap");
+  EXPECT_EXIT((void)FaultNet::parse("count"), ::testing::ExitedWithCode(2),
+              "malformed QPF_FAULTNET");
+  EXPECT_EXIT((void)FaultNet::parse("garble@2:bat=3"),
+              ::testing::ExitedWithCode(2), "malformed QPF_FAULTNET");
+}
+
+TEST(FaultNetTest, CountModeLogsOrdinalsDeterministically) {
+  char name[64];
+  std::snprintf(name, sizeof name, "fault_net_count_%d.log",
+                static_cast<int>(::getpid()));
+  std::remove(name);
+
+  NetFaultPlan plan;
+  plan.mode = NetFaultPlan::Mode::kCount;
+  plan.log_path = name;
+  {
+    FaultNet net(plan);
+    FaultNetGuard guard(net);
+    LoopbackPair pair;
+    char buffer[8] = {};
+    ASSERT_EQ(ops().send(pair.client(), "ab", 2, 0), 2);
+    ASSERT_EQ(ops().send(pair.client(), "cd", 2, 0), 2);
+    ASSERT_EQ(::send(pair.peer(), "x", 1, 0), 1);
+    ASSERT_EQ(ops().read(pair.client(), buffer, sizeof buffer), 1);
+    ASSERT_EQ(ops().send(pair.client(), "e", 1, 0), 1);
+    EXPECT_EQ(net.connections(), 1u);
+    EXPECT_EQ(net.fired(), 0u);
+  }
+
+  std::ifstream log(name);
+  std::stringstream contents;
+  contents << log.rdbuf();
+  EXPECT_EQ(contents.str(),
+            "1 1 send\n"
+            "1 2 send\n"
+            "1 3 read\n"
+            "1 4 send\n");
+  std::remove(name);
+}
+
+TEST(FaultNetTest, ResetKillsTheConnectionAtItsOrdinalAndKeepsItDead) {
+  NetFaultPlan plan;
+  plan.mode = NetFaultPlan::Mode::kResetAt;
+  plan.at = 3;
+  FaultNet net(plan);
+  FaultNetGuard guard(net);
+  LoopbackPair pair;
+
+  ASSERT_EQ(ops().send(pair.client(), "ab", 2, 0), 2);
+  ASSERT_EQ(ops().send(pair.client(), "cd", 2, 0), 2);
+  errno = 0;
+  EXPECT_EQ(ops().send(pair.client(), "ef", 2, 0), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  // Dead until close: every later op fails the same way, and nothing
+  // more reached the wire.
+  char buffer[8];
+  errno = 0;
+  EXPECT_EQ(ops().read(pair.client(), buffer, sizeof buffer), -1);
+  EXPECT_EQ(errno, ECONNRESET);
+  EXPECT_EQ(net.fired(), 1u);
+  EXPECT_EQ(pair.drain_peer(), "abcd");
+}
+
+TEST(FaultNetTest, GarbleFlipsExactlyOneBitExactlyOnce) {
+  NetFaultPlan plan;
+  plan.mode = NetFaultPlan::Mode::kGarbleAt;
+  plan.at = 2;
+  plan.bit = 5;  // byte 0, 'B' -> 'b'
+  FaultNet net(plan);
+  FaultNetGuard guard(net);
+  LoopbackPair pair;
+
+  ASSERT_EQ(ops().send(pair.client(), "AAAA", 4, 0), 4);
+  ASSERT_EQ(ops().send(pair.client(), "BBBB", 4, 0), 4);
+  ASSERT_EQ(ops().send(pair.client(), "CCCC", 4, 0), 4);
+  EXPECT_EQ(net.fired(), 1u);
+  EXPECT_EQ(pair.drain_peer(), "AAAAbBBBCCCC");
+}
+
+TEST(FaultNetTest, BlackholeSwallowsSendsButNotReads) {
+  NetFaultPlan plan;
+  plan.mode = NetFaultPlan::Mode::kBlackholeAt;
+  plan.at = 2;
+  FaultNet net(plan);
+  FaultNetGuard guard(net);
+  LoopbackPair pair;
+
+  ASSERT_EQ(ops().send(pair.client(), "ok", 2, 0), 2);
+  // From the K-th op on, sends report success but deliver nothing...
+  ASSERT_EQ(ops().send(pair.client(), "lost", 4, 0), 4);
+  ASSERT_EQ(ops().send(pair.client(), "gone", 4, 0), 4);
+  EXPECT_EQ(pair.drain_peer(), "ok");
+  // ...but reads still work: the half-open failure is asymmetric, which
+  // is exactly why only a lease can detect it.
+  ASSERT_EQ(::send(pair.peer(), "ping", 4, 0), 4);
+  char buffer[8] = {};
+  ASSERT_EQ(ops().read(pair.client(), buffer, sizeof buffer), 4);
+  EXPECT_EQ(std::string(buffer, 4), "ping");
+}
+
+TEST(FaultNetTest, ConnectionsRegisteredAfterTheFiringAreExempt) {
+  NetFaultPlan plan;
+  plan.mode = NetFaultPlan::Mode::kResetAt;
+  plan.at = 1;
+  FaultNet net(plan);
+  FaultNetGuard guard(net);
+
+  {
+    LoopbackPair first;
+    errno = 0;
+    EXPECT_EQ(ops().send(first.client(), "x", 1, 0), -1);
+    EXPECT_EQ(errno, ECONNRESET);
+  }
+  // The replacement connection dialed after the one-shot fired must be
+  // exempt, or recovery livelocks on the injector re-killing it.
+  LoopbackPair second;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(ops().send(second.client(), "y", 1, 0), 1);
+  }
+  EXPECT_EQ(net.fired(), 1u);
+  EXPECT_EQ(second.drain_peer(), "yyyy");
+}
+
+TEST(FaultNetTest, ShortSendCutsToSeededPrefixesAWriteLoopHeals) {
+  NetFaultPlan plan;
+  plan.mode = NetFaultPlan::Mode::kShortSend;
+  plan.seed = 11;
+  plan.gap = 2;
+  FaultNet net(plan);
+  FaultNetGuard guard(net);
+  LoopbackPair pair;
+
+  const std::string chunk(64, 'z');
+  std::size_t shortened = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::size_t off = 0;
+    while (off < chunk.size()) {
+      const ssize_t n =
+          ops().send(pair.client(), chunk.data() + off, chunk.size() - off, 0);
+      ASSERT_GT(n, 0);
+      if (static_cast<std::size_t>(n) < chunk.size() - off) {
+        ++shortened;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  // Roughly every `gap`-th send is cut, and the loop always makes
+  // forward progress; the stream reassembles bit-exactly.
+  EXPECT_GE(shortened, 1u);
+  EXPECT_EQ(pair.drain_peer(), std::string(8 * 64, 'z'));
+}
+
+}  // namespace
+}  // namespace qpf::io

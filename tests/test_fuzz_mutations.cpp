@@ -59,9 +59,11 @@ std::vector<std::string> expected_oracles(int bug) {
     case 11:  // arbiter forwards absorbed Paulis to the PEL
       return {"arbiter", "mirror-chp", "mirror-qx"};
     case 12:  // wire-frame decoder skips the body CRC
-      return {"serve-codec"};
+      return {"serve-codec", "net-fault"};
     case 13:  // checkpoint write skips the parent-directory fsync
       return {"io-fault"};
+    case 14:  // server bypasses the per-session idempotency window
+      return {"net-fault"};
     default:
       return {};
   }

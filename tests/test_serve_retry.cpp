@@ -1,0 +1,306 @@
+// End-to-end exactly-once tests for RetryClient against a real qpf_serve
+// reactor under FaultNet schedules: a reset mid-conversation must be
+// healed by the dedup window (byte-identical transcript, no
+// re-execution), a lost close reply must replay from the tombstone, a
+// planted dedup bypass (bug 14) must visibly diverge, leases must park
+// — not evict — the sessions of a silent half-open connection, client
+// heartbeats must keep a lease alive across think time, and
+// connect_with_retry must survive a listener that binds late.  Suite
+// name starts with "Serve" so check_sanitize.sh runs it under TSan.
+#include "serve/retry_client.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/bug_plant.h"
+#include "circuit/error.h"
+#include "io/fault_net.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace qpf::serve {
+namespace {
+
+const char* kProgram =
+    "qubits 2\n"
+    "h q0\n"
+    "cnot q0,q1\n"
+    "measure q0\n"
+    "measure q1\n";
+
+SessionConfig retry_config(const std::string& name) {
+  SessionConfig config;
+  config.name = name;
+  config.seed = 23;
+  config.qubits = 2;
+  config.pauli_frame = true;
+  return config;
+}
+
+RetryOptions fast_retry(std::uint64_t seed) {
+  RetryOptions options;
+  options.seed = seed;
+  options.backoff_base_ms = 1;
+  options.backoff_cap_ms = 20;
+  options.recv_timeout_ms = 2000;
+  return options;
+}
+
+/// RAII server on an ephemeral port with serve() on its own thread.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServeOptions options) : server_(std::move(options)) {
+    server_.start();
+    thread_ = std::thread([this] { server_.serve(); });
+  }
+  ~ServerFixture() {
+    if (thread_.joinable()) {
+      server_.shutdown();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+  [[nodiscard]] Server& server() noexcept { return server_; }
+
+ private:
+  Server server_;
+  std::thread thread_;
+};
+
+/// Revert to the QPF_PLANT_BUG environment default on scope exit.
+struct PlantGuard {
+  explicit PlantGuard(int n) { plant::set_for_testing(n); }
+  ~PlantGuard() { plant::set_for_testing(-1); }
+};
+
+/// The canonical two-submit workload; returns the client transcript.
+std::vector<std::uint8_t> run_workload(std::uint16_t port,
+                                       RetryClient& client) {
+  (void)port;
+  const RetryClient::Result first = client.submit_qasm(kProgram);
+  EXPECT_FALSE(first.error.has_value()) << first.error->message;
+  const RetryClient::Result second = client.submit_qasm(kProgram);
+  EXPECT_FALSE(second.error.has_value()) << second.error->message;
+  const RetryClient::Result closed = client.close();
+  EXPECT_FALSE(closed.error.has_value()) << closed.error->message;
+  return client.transcript();
+}
+
+/// Reference transcript from a fault-free conversation against a fresh
+/// server.  Session ids are assigned per server, so a fresh reference
+/// server and a fresh faulted server produce comparable byte streams.
+std::vector<std::uint8_t> reference_transcript() {
+  ServerFixture fixture{ServeOptions{}};
+  RetryClient client(fixture.port(), retry_config("t"), fast_retry(5));
+  return run_workload(fixture.port(), client);
+}
+
+TEST(ServeRetryTest, FaultFreeConversationNeedsNoRetries) {
+  ServerFixture fixture{ServeOptions{}};
+  RetryClient client(fixture.port(), retry_config("t"), fast_retry(5));
+  const std::vector<std::uint8_t> transcript =
+      run_workload(fixture.port(), client);
+  EXPECT_FALSE(transcript.empty());
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_EQ(transcript, reference_transcript());
+}
+
+TEST(ServeRetryTest, ResetMidConversationReplaysFromTheDedupWindow) {
+  const std::vector<std::uint8_t> reference = reference_transcript();
+
+  // Client op ordinal 6 is the read of the first submit's reply: the
+  // request EXECUTED but the reply died on the wire, so the resent id
+  // must be answered from the recorded reply, not re-run.  The injector
+  // is declared before the fixture so it outlives the reactor thread,
+  // which can still be inside a FaultNet socket op when the guard pops.
+  io::NetFaultPlan plan;
+  plan.mode = io::NetFaultPlan::Mode::kResetAt;
+  plan.at = 6;
+  io::FaultNet net(plan);
+  ServerFixture fixture{ServeOptions{}};
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::vector<std::uint8_t> transcript;
+  {
+    io::FaultNetGuard guard(net);
+    RetryClient client(fixture.port(), retry_config("t"), fast_retry(7));
+    transcript = run_workload(fixture.port(), client);
+    retries = client.retries();
+    reconnects = client.reconnects();
+  }
+  EXPECT_EQ(transcript, reference);
+  EXPECT_EQ(retries, 1u);
+  EXPECT_EQ(reconnects, 1u);
+  const ServeStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.dedup_hits, 1u);
+  EXPECT_EQ(stats.duplicate_requests, 1u);
+}
+
+TEST(ServeRetryTest, PlantedDedupSkipReExecutesAndDiverges) {
+  const std::vector<std::uint8_t> reference = reference_transcript();
+
+  // Bug 14 silently bypasses the idempotency window: the same reset
+  // schedule now re-executes the resent submit, and the divergence must
+  // be visible in the transcript (this is the net-fault fuzz oracle's
+  // catch, pinned here as a unit test).
+  PlantGuard planted(14);
+  io::NetFaultPlan plan;
+  plan.mode = io::NetFaultPlan::Mode::kResetAt;
+  plan.at = 6;
+  io::FaultNet net(plan);
+  ServerFixture fixture{ServeOptions{}};
+  std::vector<std::uint8_t> transcript;
+  {
+    io::FaultNetGuard guard(net);
+    RetryClient client(fixture.port(), retry_config("t"), fast_retry(7));
+    transcript = run_workload(fixture.port(), client);
+  }
+  EXPECT_NE(transcript, reference);
+  EXPECT_EQ(fixture.server().stats().dedup_hits, 0u);
+}
+
+TEST(ServeRetryTest, LostCloseReplyReplaysFromTheTombstone) {
+  const std::vector<std::uint8_t> reference = reference_transcript();
+
+  // Ordinal 10 is the read of the kClosed reply: the close EXECUTED
+  // and evicted the session, so the retried close must be answered by
+  // the close tombstone — never `unknown-session`, never a fresh
+  // session that erases the eviction.
+  io::NetFaultPlan plan;
+  plan.mode = io::NetFaultPlan::Mode::kResetAt;
+  plan.at = 10;
+  io::FaultNet net(plan);
+  ServerFixture fixture{ServeOptions{}};
+  std::vector<std::uint8_t> transcript;
+  {
+    io::FaultNetGuard guard(net);
+    RetryClient client(fixture.port(), retry_config("t"), fast_retry(7));
+    transcript = run_workload(fixture.port(), client);
+  }
+  EXPECT_EQ(transcript, reference);
+  EXPECT_GE(fixture.server().stats().dedup_hits, 1u);
+}
+
+class ServeRetryLeaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()) +
+           ".park";
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+  }
+  void TearDown() override {
+    SessionTable table(1, dir_);
+    (void)std::remove(table.park_path("t").c_str());
+    ::rmdir(dir_.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(ServeRetryLeaseTest, LeaseExpiryParksTheSessionsNotEvicts) {
+  ServeOptions options;
+  options.state_dir = dir_;
+  options.lease_ms = 100;
+  ServerFixture fixture{options};
+
+  {
+    // A plain client that opens a session and then goes silent is
+    // indistinguishable from a blackholed peer: no FIN ever arrives.
+    Client client;
+    client.connect(fixture.port());
+    ASSERT_FALSE(client.hello("qpf-test").error.has_value());
+    ASSERT_FALSE(client.open_session(retry_config("t")).error.has_value());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (fixture.server().stats().lease_expired == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ServeStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.lease_expired, 1u);
+  EXPECT_EQ(stats.sessions_parked, 1u);
+  EXPECT_EQ(stats.sessions_evicted, 0u);
+
+  // A reconnect with resume restores the parked session transparently.
+  SessionConfig resume = retry_config("t");
+  resume.resume = true;
+  RetryClient client(fixture.port(), resume, fast_retry(9));
+  const RetryClient::Result run = client.submit_qasm(kProgram);
+  EXPECT_FALSE(run.error.has_value()) << run.error->message;
+  EXPECT_FALSE(client.close().error.has_value());
+  EXPECT_EQ(fixture.server().stats().sessions_restored, 1u);
+}
+
+TEST_F(ServeRetryLeaseTest, HeartbeatsKeepTheLeaseAliveAcrossThinkTime) {
+  ServeOptions options;
+  options.state_dir = dir_;
+  options.lease_ms = 400;
+  ServerFixture fixture{options};
+
+  RetryOptions retry = fast_retry(9);
+  retry.heartbeat_ms = 50;
+  RetryClient client(fixture.port(), retry_config("t"), retry);
+  ASSERT_FALSE(client.submit_qasm(kProgram).error.has_value());
+  // Think time well past the lease: only the pings keep it alive.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  ASSERT_FALSE(client.submit_qasm(kProgram).error.has_value());
+  ASSERT_FALSE(client.close().error.has_value());
+  EXPECT_EQ(client.reconnects(), 0u);
+  const ServeStats stats = fixture.server().stats();
+  EXPECT_EQ(stats.lease_expired, 0u);
+  EXPECT_EQ(stats.sessions_parked, 0u);
+}
+
+TEST(ServeRetryTest, ConnectRetrySurvivesALateListener) {
+  // Reserve an ephemeral port, release it, and only bind the real
+  // listener after a delay: the first dials are refused and the seeded
+  // backoff must carry the client to the late bind.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ASSERT_EQ(::close(probe), 0);
+
+  // While the port is closed, a tiny budget must surface a typed error.
+  EXPECT_THROW((void)connect_with_retry(port, 3, 40), IoError);
+
+  int listener = -1;
+  std::thread late([&listener, addr]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    (void)::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    (void)::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof addr);
+    (void)::listen(listener, 1);
+  });
+  const int fd = connect_with_retry(port, 3, 5000);
+  EXPECT_GE(fd, 0);
+  late.join();
+  (void)::close(fd);
+  if (listener >= 0) {
+    (void)::close(listener);
+  }
+}
+
+}  // namespace
+}  // namespace qpf::serve

@@ -39,7 +39,11 @@ TOP_LEVEL_METRICS = {
     "bench_ler": [
         (("trials_per_sec",), "higher"),
     ],
-    "qpf-serve-bench-v1": [
+    # v1 and v2 serve reports gate the same four latency/throughput
+    # metrics; the v2 robustness counters (retries, reconnects,
+    # dedup_hits, lease_expirations) are workload descriptions, not
+    # performance, and are deliberately not compared.
+    "qpf-serve-bench": [
         (("requests_per_sec",), "higher"),
         (("sessions_per_sec",), "higher"),
         (("latency_ms", "p50"), "lower"),
@@ -50,14 +54,14 @@ TOP_LEVEL_METRICS = {
 BASELINE_FILES = {
     "bench_micro": "BENCH_micro.json",
     "bench_ler": "BENCH_ler.json",
-    "qpf-serve-bench-v1": "BENCH_serve.json",
+    "qpf-serve-bench": "BENCH_serve.json",
 }
 
 
 def report_kind(report):
     """Identify which bench produced a report, or None."""
-    if report.get("schema") == "qpf-serve-bench-v1":
-        return "qpf-serve-bench-v1"
+    if report.get("schema") in ("qpf-serve-bench-v1", "qpf-serve-bench-v2"):
+        return "qpf-serve-bench"
     name = report.get("name")
     if name in ("bench_micro", "bench_ler"):
         return name

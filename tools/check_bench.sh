@@ -27,8 +27,13 @@ workdir=$(mktemp -d "${TMPDIR:-/tmp}/qpf_bench.XXXXXX")
 # Cleanup always; report any nonzero exit (a crashed bench or a schema
 # failure under set -e) so CTest can't see a green run with a dead
 # child.  Signals re-raise through the standard codes.
+server_pid=""
 cleanup() {
     code=$?
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2> /dev/null; then
+        kill -KILL "$server_pid" 2> /dev/null || true
+        wait "$server_pid" 2> /dev/null || true
+    fi
     rm -rf "$workdir"
     [ "$code" -eq 0 ] || echo "check_bench.sh: FAIL (exit $code)" >&2
 }
@@ -125,4 +130,70 @@ for path, verdict in zip(sys.argv[1:3], ("PASS", "FAIL")):
         assert row["shrunk_gates"] <= max(row["original_gates"], 1), path
 EOF
 
-echo "check_bench.sh: PASS ($count bench reports + fuzz triage validated)"
+# The serve stack's load report (qpf_serve_load --json) is the third
+# machine-readable schema: run a small resilient-client workload against
+# a live server and validate the qpf-serve-bench-v2 key set, including
+# the robustness counters (retries, reconnects, dedup_hits,
+# lease_expirations) that bench_compare.py deliberately does not gate.
+serve="$build_dir/tools/qpf_serve"
+serve_load="$build_dir/tools/qpf_serve_load"
+if [ ! -x "$serve" ] || [ ! -x "$serve_load" ]; then
+    echo "check_bench.sh: $serve / $serve_load not built" >&2
+    exit 1
+fi
+echo "check_bench.sh: qpf_serve_load report schema"
+"$serve" --port=0 > "$workdir/serve.log" 2> "$workdir/serve.err" &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on port \([0-9][0-9]*\)$/\1/p' \
+               "$workdir/serve.log" | head -n 1)
+    [ -n "$port" ] && break
+    if ! kill -0 "$server_pid" 2> /dev/null; then
+        echo "check_bench.sh: qpf_serve died during startup" >&2
+        cat "$workdir/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+if [ -z "$port" ]; then
+    echo "check_bench.sh: qpf_serve never reported its port" >&2
+    exit 1
+fi
+"$serve_load" --port="$port" --sessions=4 --requests=4 --retry --json \
+    > "$workdir/serve-bench.json" 2> "$workdir/serve-load.log" || {
+    status=$?
+    echo "check_bench.sh: qpf_serve_load FAILED (exit $status)" >&2
+    tail -20 "$workdir/serve-load.log" >&2
+    exit "$status"
+}
+kill -TERM "$server_pid" 2> /dev/null || true
+wait "$server_pid" 2> /dev/null || true
+server_pid=""
+python3 - "$workdir/serve-bench.json" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+expected = {"schema", "sessions", "requests_per_session", "poisoned",
+            "sessions_ok", "sessions_evicted", "replies_ok", "replies_error",
+            "retries", "reconnects", "dedup_hits", "lease_expirations",
+            "wall_ms", "latency_ms", "requests_per_sec", "sessions_per_sec"}
+assert set(report) == expected, f"keys {sorted(report)}"
+assert report["schema"] == "qpf-serve-bench-v2", report["schema"]
+for key in ("sessions", "requests_per_session", "poisoned", "sessions_ok",
+            "sessions_evicted", "replies_ok", "replies_error", "retries",
+            "reconnects", "dedup_hits", "lease_expirations"):
+    assert isinstance(report[key], int) and report[key] >= 0, key
+assert report["sessions_ok"] == report["sessions"], "healthy run evicted"
+assert report["replies_error"] == 0, "healthy run saw error replies"
+assert isinstance(report["latency_ms"], dict), "latency_ms"
+assert set(report["latency_ms"]) == {"p50", "p99", "p999"}, \
+    sorted(report["latency_ms"])
+for key, value in report["latency_ms"].items():
+    assert isinstance(value, (int, float)) and value >= 0, key
+for key in ("wall_ms", "requests_per_sec", "sessions_per_sec"):
+    assert isinstance(report[key], (int, float)) and report[key] >= 0, key
+EOF
+
+echo "check_bench.sh: PASS ($count bench reports + fuzz triage + serve report validated)"

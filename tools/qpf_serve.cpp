@@ -60,6 +60,8 @@ int usage(std::ostream& out) {
          "  --idle-evict-ms=N    park sessions idle this long (0=off)\n"
          "  --write-timeout-ms=N drop clients with no write progress\n"
          "                       for this long (default 10000)\n"
+         "  --lease-ms=N         reap half-open connections silent this\n"
+         "                       long; their sessions park (0=off)\n"
          "  --help               this text\n";
   return &out == &std::cerr ? 2 : 0;
 }
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
   // SIGPIPE; every write path checks its return value instead.
   std::signal(SIGPIPE, SIG_IGN);
   qpf::io::install_faultfs_from_environment();
+  qpf::io::install_faultnet_from_environment();
 
   qpf::serve::ServeOptions options;
   try {
@@ -97,6 +100,8 @@ int main(int argc, char** argv) {
         options.idle_evict_ms = std::stoull(value);
       } else if (consume_prefix(arg, "--write-timeout-ms=", value)) {
         options.write_timeout_ms = std::stoull(value);
+      } else if (consume_prefix(arg, "--lease-ms=", value)) {
+        options.lease_ms = std::stoull(value);
       } else {
         std::cerr << "qpf_serve: unknown argument '" << arg << "'\n";
         return usage(std::cerr);
@@ -127,7 +132,9 @@ int main(int argc, char** argv) {
               << " shed=" << stats.requests_shed
               << " evicted=" << stats.sessions_evicted
               << " parked=" << stats.sessions_parked
-              << " restored=" << stats.sessions_restored << "\n";
+              << " restored=" << stats.sessions_restored
+              << " lease_expired=" << stats.lease_expired
+              << " dedup=" << stats.dedup_hits << "\n";
     return 130;
   } catch (const qpf::Error& e) {
     std::cerr << "qpf_serve: error: " << e.what() << "\n";

@@ -34,10 +34,13 @@
 #include "circuit/error.h"
 #include "io/file_ops.h"
 #include "serve/client.h"
+#include "serve/retry_client.h"
 
 namespace {
 
 using qpf::serve::Client;
+using qpf::serve::RetryClient;
+using qpf::serve::RetryOptions;
 using qpf::serve::SessionConfig;
 
 struct LoadOptions {
@@ -49,6 +52,8 @@ struct LoadOptions {
   std::uint64_t hold_ms = 0;      ///< keep connections open before close
   bool resume = false;            ///< open sessions with resume=true
   bool close_sessions = true;
+  bool retry = false;             ///< exactly-once RetryClient (v2)
+  std::uint64_t heartbeat_ms = 0; ///< RetryClient lease heartbeats
   std::string prefix = "tenant";
   std::string transcript_dir;
   bool json = false;
@@ -59,6 +64,8 @@ struct SessionOutcome {
   bool evicted = false;
   std::size_t replies_ok = 0;
   std::size_t replies_error = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
   std::vector<double> latencies_ms;
   std::string failure;
   std::vector<std::uint8_t> transcript;
@@ -176,6 +183,67 @@ void run_session(const LoadOptions& options, std::size_t index,
   outcome.transcript = client.transcript();
 }
 
+/// --retry variant: the exactly-once RetryClient drives the session, so
+/// the run survives FaultNet schedules (resets, stalls, corruption,
+/// blackholes) with a transcript byte-identical to a fault-free run.
+void run_session_retry(const LoadOptions& options, std::size_t index,
+                       SessionOutcome& outcome) {
+  const bool poisoned = index < options.poison;
+  RetryOptions retry;
+  retry.client_name = options.prefix;
+  retry.seed = static_cast<std::uint64_t>(index) + 1;
+  retry.heartbeat_ms = options.heartbeat_ms;
+  RetryClient client(options.port, make_config(options, index), retry);
+  try {
+    for (std::size_t request = 0; request < options.requests; ++request) {
+      const std::string qasm = make_qasm(options.qubits, index, request);
+      const auto t0 = std::chrono::steady_clock::now();
+      const RetryClient::Result r = client.submit_qasm(qasm);
+      const auto t1 = std::chrono::steady_clock::now();
+      outcome.latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      if (r.error.has_value()) {
+        ++outcome.replies_error;
+        if (r.error->code == "supervision" || r.error->code == "evicted") {
+          outcome.evicted = true;
+        }
+      } else {
+        ++outcome.replies_ok;
+      }
+    }
+
+    if (options.hold_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.hold_ms));
+    }
+    if (options.close_sessions && !outcome.evicted) {
+      const RetryClient::Result r = client.close();
+      if (r.error.has_value()) {
+        outcome.failure = "close refused: " + r.error->code;
+        outcome.transcript = client.transcript();
+        outcome.retries = client.retries();
+        outcome.reconnects = client.reconnects();
+        return;
+      }
+    }
+    outcome.ok = poisoned
+                     ? outcome.evicted
+                     : outcome.replies_error == 0 &&
+                           outcome.replies_ok == options.requests;
+    if (!outcome.ok && outcome.failure.empty()) {
+      outcome.failure = poisoned ? "poisoned session was never evicted"
+                                 : "healthy session saw error replies";
+    }
+  } catch (const qpf::Error& e) {
+    outcome.failure = e.what();
+    outcome.ok = options.hold_ms > 0 &&
+                 (poisoned ? outcome.evicted
+                           : outcome.replies_ok == options.requests);
+  }
+  outcome.transcript = client.transcript();
+  outcome.retries = client.retries();
+  outcome.reconnects = client.reconnects();
+}
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) {
     return 0.0;
@@ -207,6 +275,9 @@ int usage(std::ostream& out) {
          "                      (drain tests; server death tolerated)\n"
          "  --resume            open sessions with resume=true\n"
          "  --no-close          leave sessions open (park/drain tests)\n"
+         "  --retry             exactly-once RetryClient (protocol v2:\n"
+         "                      reconnect + resend, dedup-safe)\n"
+         "  --heartbeat-ms=N    RetryClient lease heartbeats (0=off)\n"
          "  --prefix=NAME       session name prefix (default tenant)\n"
          "  --transcript-dir=D  write DIR/<name>.transcript witnesses\n"
          "  --json              emit BENCH_serve.json on stdout\n"
@@ -219,6 +290,7 @@ int usage(std::ostream& out) {
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   qpf::io::install_faultfs_from_environment();
+  qpf::io::install_faultnet_from_environment();
   LoadOptions options;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -232,6 +304,10 @@ int main(int argc, char** argv) {
         options.resume = true;
       } else if (arg == "--no-close") {
         options.close_sessions = false;
+      } else if (arg == "--retry") {
+        options.retry = true;
+      } else if (consume_prefix(arg, "--heartbeat-ms=", value)) {
+        options.heartbeat_ms = std::stoull(value);
       } else if (consume_prefix(arg, "--port=", value)) {
         options.port = static_cast<std::uint16_t>(std::stoul(value));
       } else if (consume_prefix(arg, "--sessions=", value)) {
@@ -272,8 +348,13 @@ int main(int argc, char** argv) {
     std::vector<std::thread> threads;
     threads.reserve(options.sessions);
     for (std::size_t i = 0; i < options.sessions; ++i) {
-      threads.emplace_back(
-          [&options, &outcomes, i] { run_session(options, i, outcomes[i]); });
+      threads.emplace_back([&options, &outcomes, i] {
+        if (options.retry) {
+          run_session_retry(options, i, outcomes[i]);
+        } else {
+          run_session(options, i, outcomes[i]);
+        }
+      });
     }
     for (std::thread& t : threads) {
       t.join();
@@ -302,6 +383,8 @@ int main(int argc, char** argv) {
   std::size_t evicted = 0;
   std::uint64_t replies_ok = 0;
   std::uint64_t replies_error = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
   for (std::size_t i = 0; i < options.sessions; ++i) {
     const SessionOutcome& o = outcomes[i];
     if (o.ok) {
@@ -315,9 +398,26 @@ int main(int argc, char** argv) {
     }
     replies_ok += o.replies_ok;
     replies_error += o.replies_error;
+    retries += o.retries;
+    reconnects += o.reconnects;
     if (i >= options.poison) {
       healthy_latencies.insert(healthy_latencies.end(),
                                o.latencies_ms.begin(), o.latencies_ms.end());
+    }
+  }
+
+  // Server-side exactly-once counters, read over a throwaway v2 stats
+  // connection.  Best-effort: a server that is already gone (drain
+  // drills) just reports zeros.
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t lease_expirations = 0;
+  if (options.retry) {
+    try {
+      const qpf::serve::StatsReply stats =
+          RetryClient::query_stats(options.port);
+      dedup_hits = stats.dedup_hits;
+      lease_expirations = stats.lease_expired;
+    } catch (const qpf::Error&) {
     }
   }
 
@@ -333,7 +433,7 @@ int main(int argc, char** argv) {
 
   if (options.json) {
     std::cout << "{\n"
-              << "  \"schema\": \"qpf-serve-bench-v1\",\n"
+              << "  \"schema\": \"qpf-serve-bench-v2\",\n"
               << "  \"sessions\": " << options.sessions << ",\n"
               << "  \"requests_per_session\": " << options.requests << ",\n"
               << "  \"poisoned\": " << options.poison << ",\n"
@@ -341,6 +441,10 @@ int main(int argc, char** argv) {
               << "  \"sessions_evicted\": " << evicted << ",\n"
               << "  \"replies_ok\": " << replies_ok << ",\n"
               << "  \"replies_error\": " << replies_error << ",\n"
+              << "  \"retries\": " << retries << ",\n"
+              << "  \"reconnects\": " << reconnects << ",\n"
+              << "  \"dedup_hits\": " << dedup_hits << ",\n"
+              << "  \"lease_expirations\": " << lease_expirations << ",\n"
               << "  \"wall_ms\": " << wall_ms << ",\n"
               << "  \"latency_ms\": {\"p50\": " << p50 << ", \"p99\": " << p99
               << ", \"p999\": " << p999 << "},\n"
