@@ -5,14 +5,12 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
-#include <thread>
 
+#include "exec/executor.h"
 #include "journal/run_journal.h"
 #include "stats/summary.h"
 
@@ -147,11 +145,7 @@ std::uint64_t next_trial_seed(std::uint64_t seed) noexcept {
 }
 
 std::size_t resolve_jobs(std::size_t jobs) noexcept {
-  if (jobs != 0) {
-    return jobs;
-  }
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+  return exec::resolve_jobs(jobs);
 }
 
 LerPoint run_ler_point(LerConfig config, std::size_t runs, std::size_t jobs) {
@@ -455,38 +449,31 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
       journal_trial(trial, sample_from_run(run, timed_out));
     }
   } else {
-    // --- Parallel engine (jobs > 1) ---------------------------------
-    // Workers claim trial indices in order from `next`, run each trial
-    // to completion with its deterministic seed-chain seed, and publish
-    // the result into its trial-indexed slot.  The coordinating thread
-    // is the single journal writer: it appends trial i only once trials
-    // 0..i-1 are appended, so the journal byte stream is identical to
-    // the sequential engine's.  On interrupt, workers abandon at the
-    // next window boundary; completed-but-unjournaled trials past the
-    // frontier are discarded (their deterministic re-run on resume
-    // reproduces them exactly), and the frontier trial's partial state
-    // becomes the checkpoint.
-    struct Slot {
+    // --- Parallel engine (jobs > 1): the unified executor -----------
+    // Task i runs trial start_trial + i to completion with its
+    // deterministic seed-chain seed; the executor's sequenced commit
+    // buffer makes this thread the single journal writer, appending
+    // trial i only once trials 0..i-1 are appended, so the journal
+    // byte stream is identical to the sequential engine's.  On
+    // interrupt, tasks abandon at the next window boundary; completed-
+    // but-unjournaled trials past the frontier are discarded (their
+    // deterministic re-run on resume reproduces them exactly), and the
+    // frontier trial's partial state becomes the checkpoint.  Typed
+    // errors escaping a trial rethrow on this thread, lowest trial
+    // first — the executor's contract.
+    //
+    // Trials keep their legacy LCG seed-chain seeds (`seeds[trial]`),
+    // not the executor's splitmix64 task seeds, so journals stay
+    // byte-compatible with every campaign since PR 3.
+    struct TrialOutcome {
       TrialSample sample;
-      std::unique_ptr<LerTrial> partial;
-      bool completed = false;
-      /// A typed error (SupervisionError, unrecovered TransientFault,
-      /// ...) that escaped the trial; rethrown by the coordinator after
-      /// the pool drains so the campaign never silently swallows it.
-      std::exception_ptr error;
+      std::unique_ptr<LerTrial> partial;  ///< set when the trial abandoned
     };
-    std::vector<Slot> slots(options.runs);
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t next = start_trial;
-    std::size_t workers_active = jobs;
-    std::atomic<bool> abandon{false};
-    std::atomic<std::size_t> windows_total{0};
 
-    const auto should_stop = [&]() {
-      if (abandon.load(std::memory_order_relaxed)) {
-        return true;
-      }
+    std::atomic<std::size_t> windows_total{0};
+    exec::RunOptions run_options;
+    run_options.seed = options.config.seed;
+    run_options.stop = [&options, &windows_total]() {
       if (options.stop != nullptr && *options.stop != 0) {
         return true;
       }
@@ -495,29 +482,23 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
                  options.interrupt_after_windows;
     };
 
-    const auto worker = [&]() {
-      for (;;) {
-        std::size_t trial;
-        {
-          std::lock_guard<std::mutex> lock(mutex);
-          if (next >= options.runs || should_stop()) {
-            break;
-          }
-          trial = next++;
-        }
-        LerConfig config = options.config;
-        config.seed = seeds[trial];
-        try {
+    const std::function<exec::TaskResult<TrialOutcome>(
+        const exec::TaskContext&)>
+        task = [&](const exec::TaskContext& ctx) {
+          exec::TaskResult<TrialOutcome> out;
+          const std::size_t trial = start_trial + ctx.index();
+          LerConfig config = options.config;
+          config.seed = seeds[trial];
           auto active = (trial == start_trial && preloaded)
                             ? std::move(preloaded)
                             : std::make_unique<LerTrial>(config);
           const Clock::time_point trial_start = Clock::now();
           bool timed_out = false;
-          bool abandoned = false;
           while (!active->done()) {
-            if (should_stop()) {
-              abandoned = true;
-              break;
+            if (ctx.cancelled()) {
+              out.status = exec::TaskStatus::kAbandoned;
+              out.value.partial = std::move(active);
+              return out;
             }
             if (config.timeout_per_trial_ms != 0 &&
                 elapsed_ms(trial_start) >= config.timeout_per_trial_ms) {
@@ -527,86 +508,31 @@ CampaignResult run_ler_campaign(const CampaignOptions& options) {
             active->step();
             windows_total.fetch_add(1, std::memory_order_relaxed);
           }
-          {
-            std::lock_guard<std::mutex> lock(mutex);
-            Slot& slot = slots[trial];
-            if (abandoned) {
-              abandon.store(true, std::memory_order_relaxed);
-              slot.partial = std::move(active);
-            } else {
-              const LerRun run = active->result();
-              slot.sample = sample_from_run(run, timed_out);
-              slot.completed = true;
-            }
+          out.value.sample = sample_from_run(active->result(), timed_out);
+          return out;
+        };
+
+    const std::function<bool(std::size_t, TrialOutcome&&)> commit =
+        [&](std::size_t index, TrialOutcome&& outcome) {
+          journal_trial(start_trial + index, outcome.sample);
+          return true;
+        };
+
+    const std::function<void(std::size_t, exec::FrontierKind,
+                             TrialOutcome*)>
+        frontier = [&](std::size_t index, exec::FrontierKind kind,
+                       TrialOutcome* partial) {
+          if (durable && kind == exec::FrontierKind::kAbandoned &&
+              partial != nullptr && partial->partial) {
+            write_trial_checkpoint(checkpoint_path, start_trial + index,
+                                   *partial->partial);
           }
-          cv.notify_all();
-          if (abandoned) {
-            break;
-          }
-        } catch (...) {
-          // A thrown error must not kill the process (std::terminate);
-          // park it in the slot, stop the pool, and let the
-          // coordinator rethrow it on the campaign thread.
-          {
-            std::lock_guard<std::mutex> lock(mutex);
-            slots[trial].error = std::current_exception();
-            abandon.store(true, std::memory_order_relaxed);
-          }
-          cv.notify_all();
-          break;
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        --workers_active;
-      }
-      cv.notify_all();
-    };
+        };
 
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t i = 0; i < jobs; ++i) {
-      pool.emplace_back(worker);
-    }
-
-    std::size_t frontier = start_trial;
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      for (;;) {
-        if (frontier < options.runs && slots[frontier].completed) {
-          const TrialSample sample = slots[frontier].sample;
-          const std::size_t trial = frontier;
-          ++frontier;
-          lock.unlock();
-          journal_trial(trial, sample);  // fsync outside the lock
-          lock.lock();
-          continue;
-        }
-        if (workers_active == 0) {
-          break;
-        }
-        cv.wait(lock);
-      }
-    }
-    for (std::thread& thread : pool) {
-      thread.join();
-    }
-
-    // Rethrow the lowest-trial worker error (deterministic choice) on
-    // this thread; completed lower trials are already journaled.
-    for (const Slot& slot : slots) {
-      if (slot.error) {
-        std::rethrow_exception(slot.error);
-      }
-    }
-
-    if (frontier < options.runs && should_stop()) {
-      result.interrupted = true;
-      if (durable && slots[frontier].partial) {
-        write_trial_checkpoint(checkpoint_path, frontier,
-                               *slots[frontier].partial);
-      }
-    }
+    exec::Executor pool(jobs);
+    const exec::RunReport run_report = pool.run_ordered<TrialOutcome>(
+        trials_left, run_options, task, commit, frontier);
+    result.interrupted = run_report.cancelled;
   }
 
   result.trials_completed = samples.size();

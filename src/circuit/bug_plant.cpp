@@ -78,6 +78,10 @@ const char* describe(int n) noexcept {
       return "serve-dedup-skip: the server's per-session idempotency "
              "window (and close tombstones) are silently bypassed, so "
              "retried requests re-execute against the tenant's stack";
+    case 15:
+      return "executor-commit-reorder: the deterministic executor commits "
+             "results in completion-arrival order instead of task-index "
+             "order, so parallel output bytes depend on scheduling";
     default:
       return "?";
   }

@@ -1,9 +1,12 @@
 #include "fuzz/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "circuit/error.h"
+#include "exec/executor.h"
 #include "fuzz/seeds.h"
 #include "fuzz/shrinker.h"
 
@@ -66,6 +69,147 @@ void append_json_string(std::ostream& out, const std::string& s) {
   out << '"';
 }
 
+/// Verdict of one oracle application, with the failure fully prepared
+/// (shrunk, reproducer rendered) when it failed.  Building the failure
+/// next to the oracle run keeps shrinking inside the worker on the
+/// parallel path — shrinking is deterministic, so the committed report
+/// stays byte-identical to the sequential engine's.
+struct OracleRecord {
+  const OracleSpec* spec = nullptr;
+  /// Exclusive oracle: not run yet; the committing thread runs it.
+  bool deferred = false;
+  OracleOutcome outcome;
+  std::optional<FuzzFailure> failure;
+};
+
+OracleRecord apply_oracle(const OracleSpec& spec, const FuzzCase& fc,
+                          std::uint64_t case_seed, std::size_t case_index,
+                          const FuzzOptions& options) {
+  OracleRecord record;
+  record.spec = &spec;
+  const std::uint64_t oracle_seed =
+      derive_seed(case_seed, label_hash(spec.name));
+  const Circuit& consumed = circuit_for(fc, spec.kind);
+  record.outcome = spec.run(consumed, oracle_seed, options.tuning);
+  if (record.outcome.skipped || record.outcome.passed) {
+    return record;
+  }
+
+  FuzzFailure failure;
+  failure.oracle = spec.name;
+  failure.case_index = case_index;
+  failure.case_seed = case_seed;
+  failure.detail = record.outcome.detail;
+  failure.original_gates = consumed.num_operations();
+
+  if (spec.kind != CircuitKind::kNone) {
+    Circuit witness = consumed;
+    if (options.shrink) {
+      const auto still_fails = [&](const Circuit& candidate) {
+        const OracleOutcome o = spec.run(candidate, oracle_seed, options.tuning);
+        return !o.skipped && !o.passed;
+      };
+      const ShrinkResult shrunk =
+          shrink_circuit(consumed, still_fails, options.max_shrink_evaluations);
+      witness = shrunk.circuit;
+      failure.shrink_evaluations = shrunk.evaluations;
+    }
+    failure.shrunk_gates = witness.num_operations();
+    Reproducer rep;
+    rep.oracle = spec.name;
+    rep.case_seed = case_seed;
+    rep.detail = record.outcome.detail;
+    rep.circuit = witness;
+    failure.reproducer = to_text(rep);
+  }
+  record.failure = std::move(failure);
+  return record;
+}
+
+/// Everything one case's worker hands to the committing thread.  The
+/// generated case rides along because deferred (exclusive) oracles run
+/// at commit and still need their consumed circuit.
+struct CaseRecord {
+  std::uint64_t case_seed = 0;
+  FuzzCase fc;
+  std::vector<OracleRecord> records;
+};
+
+/// Fold one oracle record into the report in commit order.  Returns
+/// false when the max_failures cutoff fired — the caller must stop
+/// committing anything further, exactly like the sequential engine's
+/// mid-case return.
+bool commit_record(OracleRecord&& record, FuzzReport& report,
+                   const FuzzOptions& options) {
+  ++report.oracle_runs;
+  if (record.outcome.skipped) {
+    ++report.skips;
+    return true;
+  }
+  if (record.outcome.passed) {
+    ++report.passes;
+    return true;
+  }
+  report.failures.push_back(std::move(*record.failure));
+  return options.max_failures == 0 ||
+         report.failures.size() < options.max_failures;
+}
+
+FuzzReport run_fuzz_parallel(const FuzzOptions& options, std::size_t jobs) {
+  FuzzReport report;
+  report.seed = options.seed;
+  report.cases = options.cases;
+
+  exec::Executor pool(jobs);
+  exec::RunOptions run_options;
+  run_options.seed = options.seed;
+
+  const auto task = [&options](const exec::TaskContext& ctx) {
+    exec::TaskResult<CaseRecord> result;
+    CaseRecord& rec = result.value;
+    const std::size_t index = ctx.index();
+    rec.case_seed = derive_seed(options.seed, index);
+    rec.fc = generate_case(rec.case_seed, options.generator);
+    for (const OracleSpec& spec : all_oracles()) {
+      if (!oracle_enabled(options, spec)) {
+        continue;
+      }
+      if (spec.once_per_run && index != 0) {
+        continue;
+      }
+      if (spec.exclusive) {
+        // Process-global fault backends: only the committing thread
+        // may run these, one at a time, in commit order.
+        OracleRecord deferred;
+        deferred.spec = &spec;
+        deferred.deferred = true;
+        rec.records.push_back(std::move(deferred));
+        continue;
+      }
+      rec.records.push_back(
+          apply_oracle(spec, rec.fc, rec.case_seed, index, options));
+    }
+    return result;
+  };
+
+  const auto commit = [&options, &report](std::size_t index,
+                                          CaseRecord&& rec) {
+    for (OracleRecord& record : rec.records) {
+      if (record.deferred) {
+        record =
+            apply_oracle(*record.spec, rec.fc, rec.case_seed, index, options);
+      }
+      if (!commit_record(std::move(record), report, options)) {
+        return false;  // cutoff: discard every later case, like sequential
+      }
+    }
+    return true;
+  };
+
+  pool.run_ordered<CaseRecord>(options.cases, run_options, task, commit);
+  return report;
+}
+
 }  // namespace
 
 const Circuit& circuit_for(const FuzzCase& fc, CircuitKind kind) {
@@ -85,6 +229,12 @@ const Circuit& circuit_for(const FuzzCase& fc, CircuitKind kind) {
 }
 
 FuzzReport run_fuzz(const FuzzOptions& options) {
+  const std::size_t jobs = std::min(exec::resolve_jobs(options.jobs),
+                                    std::max<std::size_t>(options.cases, 1));
+  if (jobs > 1) {
+    return run_fuzz_parallel(options, jobs);
+  }
+
   FuzzReport report;
   report.seed = options.seed;
   report.cases = options.cases;
@@ -100,52 +250,8 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       if (spec.once_per_run && index != 0) {
         continue;
       }
-      const std::uint64_t oracle_seed =
-          derive_seed(case_seed, label_hash(spec.name));
-      const Circuit& consumed = circuit_for(fc, spec.kind);
-      const OracleOutcome outcome =
-          spec.run(consumed, oracle_seed, options.tuning);
-      ++report.oracle_runs;
-      if (outcome.skipped) {
-        ++report.skips;
-        continue;
-      }
-      if (outcome.passed) {
-        ++report.passes;
-        continue;
-      }
-
-      FuzzFailure failure;
-      failure.oracle = spec.name;
-      failure.case_index = index;
-      failure.case_seed = case_seed;
-      failure.detail = outcome.detail;
-      failure.original_gates = consumed.num_operations();
-
-      if (spec.kind != CircuitKind::kNone) {
-        Circuit witness = consumed;
-        if (options.shrink) {
-          const auto still_fails = [&](const Circuit& candidate) {
-            const OracleOutcome o =
-                spec.run(candidate, oracle_seed, options.tuning);
-            return !o.skipped && !o.passed;
-          };
-          const ShrinkResult shrunk = shrink_circuit(
-              consumed, still_fails, options.max_shrink_evaluations);
-          witness = shrunk.circuit;
-          failure.shrink_evaluations = shrunk.evaluations;
-        }
-        failure.shrunk_gates = witness.num_operations();
-        Reproducer rep;
-        rep.oracle = spec.name;
-        rep.case_seed = case_seed;
-        rep.detail = outcome.detail;
-        rep.circuit = witness;
-        failure.reproducer = to_text(rep);
-      }
-      report.failures.push_back(std::move(failure));
-      if (options.max_failures != 0 &&
-          report.failures.size() >= options.max_failures) {
+      if (!commit_record(apply_oracle(spec, fc, case_seed, index, options),
+                         report, options)) {
         return report;
       }
     }

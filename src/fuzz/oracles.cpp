@@ -17,6 +17,7 @@
 #include "arch/supervisor_layer.h"
 #include "circuit/error.h"
 #include "core/arbiter.h"
+#include "exec/executor.h"
 #include "core/pauli_frame.h"
 #include "fuzz/generator.h"
 #include "fuzz/seeds.h"
@@ -1326,6 +1327,115 @@ OracleOutcome check_net_fault(const Circuit& body, std::uint64_t seed,
   return OracleOutcome::pass();
 }
 
+// --- executor-determinism oracle --------------------------------------
+//
+// The commit contract of qpf::exec::Executor::run_ordered(), checked
+// as a pure function of the seed: the committed (index, value)
+// transcript must equal the splitmix64 seed-chain prediction at any
+// chunk size, and — the part a naive pool gets wrong — even when the
+// completion *arrival* order is adversarial.  The second run forces
+// task 0 to finish last (it spins until every other task has marked
+// completion, a schedule constraint with no wall-clock dependence), so
+// an engine that commits in arrival order (planted bug 15,
+// `executor-commit-reorder`) deterministically emits index 0's result
+// last and fails the transcript comparison.
+
+namespace {
+
+struct ExecTranscript {
+  std::vector<std::pair<std::size_t, std::uint64_t>> committed;
+  bool completed = false;
+};
+
+/// One run_ordered() over `tasks` value-producing tasks.  When
+/// `invert_arrival` is set, task 0 yields until all other tasks have
+/// completed; that requires chunk == 1 (a chunk mate queued behind
+/// task 0 could never run) and at least two pool threads.
+ExecTranscript run_exec_transcript(exec::Executor& pool, std::size_t tasks,
+                                   std::uint64_t base, std::size_t chunk,
+                                   bool invert_arrival) {
+  ExecTranscript out;
+  exec::RunOptions options;
+  options.seed = base;
+  options.chunk = invert_arrival ? 1 : chunk;
+  const exec::RunReport report = pool.run_ordered<std::uint64_t>(
+      tasks, options,
+      [tasks, invert_arrival](const exec::TaskContext& ctx) {
+        if (invert_arrival && ctx.index() == 0 && tasks > 1) {
+          while (ctx.completed() < tasks - 1) {
+            std::this_thread::yield();
+          }
+        }
+        exec::TaskResult<std::uint64_t> result;
+        result.value = exec::splitmix64(ctx.seed());
+        return result;
+      },
+      [&out](std::size_t index, std::uint64_t&& value) {
+        out.committed.emplace_back(index, value);
+        return true;
+      });
+  out.completed = !report.cancelled && report.committed == tasks;
+  return out;
+}
+
+OracleOutcome check_exec_transcript(const ExecTranscript& got,
+                                    std::size_t tasks, std::uint64_t base,
+                                    const char* schedule) {
+  if (!got.completed) {
+    return OracleOutcome::fail(std::string("run (") + schedule +
+                               ") reported cancellation on a run nothing "
+                               "cancelled");
+  }
+  if (got.committed.size() != tasks) {
+    return OracleOutcome::fail(
+        std::string("run (") + schedule + ") committed " +
+        std::to_string(got.committed.size()) + " of " + std::to_string(tasks) +
+        " results");
+  }
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const auto& [index, value] = got.committed[i];
+    if (index != i) {
+      return OracleOutcome::fail(
+          std::string("run (") + schedule + ") committed index " +
+          std::to_string(index) + " at position " + std::to_string(i) +
+          " — commit order is not task-index order");
+    }
+    const std::uint64_t expected = exec::splitmix64(exec::task_seed(base, i));
+    if (value != expected) {
+      return OracleOutcome::fail(
+          std::string("run (") + schedule + ") index " + std::to_string(i) +
+          " produced value " + std::to_string(value) + ", seed chain predicts " +
+          std::to_string(expected));
+    }
+  }
+  return OracleOutcome::pass();
+}
+
+}  // namespace
+
+OracleOutcome check_executor_determinism(std::uint64_t seed) {
+  SplitMix rng(derive_seed(seed, label_hash("executor-determinism")));
+  const std::size_t tasks = 5 + rng.below(8);
+  const std::size_t chunk = 1 + rng.below(3);
+  const std::uint64_t base = rng.next();
+
+  exec::Executor pool(4);
+
+  const ExecTranscript plain =
+      run_exec_transcript(pool, tasks, base, chunk, /*invert_arrival=*/false);
+  if (OracleOutcome verdict = check_exec_transcript(plain, tasks, base,
+                                                    "natural arrival");
+      !verdict.passed) {
+    return verdict;
+  }
+
+  const ExecTranscript inverted =
+      run_exec_transcript(pool, tasks, base, /*chunk=*/1,
+                          /*invert_arrival=*/true);
+  return check_exec_transcript(inverted, tasks, base,
+                               "task 0 forced to finish last");
+}
+
 // --- registry ---------------------------------------------------------
 
 namespace {
@@ -1338,6 +1448,11 @@ OracleOutcome conjugation_adapter(const Circuit&, std::uint64_t,
 OracleOutcome lut_window_adapter(const Circuit&, std::uint64_t seed,
                                  const OracleTuning& tuning) {
   return check_lut_window(seed, tuning);
+}
+
+OracleOutcome executor_determinism_adapter(const Circuit&, std::uint64_t seed,
+                                           const OracleTuning&) {
+  return check_executor_determinism(seed);
 }
 
 }  // namespace
@@ -1357,8 +1472,12 @@ const std::vector<OracleSpec>& all_oracles() {
       {"chaos", CircuitKind::kMeasured, check_chaos_convergence, false},
       {"lut-window", CircuitKind::kNone, lut_window_adapter, false},
       {"serve-codec", CircuitKind::kStream, check_serve_codec, false},
-      {"io-fault", CircuitKind::kUnitary, check_io_fault, false},
-      {"net-fault", CircuitKind::kUnitary, check_net_fault, false},
+      // io-fault and net-fault swap process-global fault backends in;
+      // the parallel engine must never run them concurrently.
+      {"io-fault", CircuitKind::kUnitary, check_io_fault, false, true},
+      {"net-fault", CircuitKind::kUnitary, check_net_fault, false, true},
+      {"executor-determinism", CircuitKind::kNone,
+       executor_determinism_adapter, false},
   };
   return kOracles;
 }

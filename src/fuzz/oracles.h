@@ -59,6 +59,13 @@
 //                 on the wire (the CRC armor must reject it — planted
 //                 bug 12 accepts the damage), and under seeded short
 //                 sends.
+//   executor-determinism — the shared work-stealing executor's commit
+//                 contract: a run_ordered() transcript (committed
+//                 index/value pairs) must equal the seed-chain
+//                 prediction at any chunk size, even when the oracle
+//                 deterministically forces task 0 to *finish last*
+//                 (planted bug 15 commits in arrival order and fails
+//                 exactly that schedule).
 #pragma once
 
 #include <cstdint>
@@ -145,6 +152,7 @@ enum class CircuitKind : std::uint8_t {
 [[nodiscard]] OracleOutcome check_net_fault(const Circuit& body,
                                             std::uint64_t seed,
                                             const OracleTuning& tuning);
+[[nodiscard]] OracleOutcome check_executor_determinism(std::uint64_t seed);
 
 // --- Registry ---------------------------------------------------------
 
@@ -155,6 +163,10 @@ struct OracleSpec {
   OracleOutcome (*run)(const Circuit&, std::uint64_t, const OracleTuning&);
   /// Run once per engine invocation instead of once per case.
   bool once_per_run = false;
+  /// Touches process-global state (fault-injection backends, chdir-like
+  /// ambient fixtures).  The parallel engine runs exclusive oracles on
+  /// the commit thread only, never concurrently with anything.
+  bool exclusive = false;
 };
 
 /// All registered oracles, in deterministic execution order.

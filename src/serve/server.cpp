@@ -125,26 +125,24 @@ void Server::serve() {
   if (listen_fd_ < 0) {
     throw IoError("server", "serve() called before start()");
   }
-  stopping_ = false;
-  for (std::size_t i = 0; i < std::max<std::size_t>(options_.executor_threads,
-                                                    1);
-       ++i) {
-    executors_.emplace_back([this] { executor_main(); });
-  }
+  executor_ = std::make_unique<exec::Executor>(
+      std::max<std::size_t>(options_.executor_threads, 1));
 
   try {
     poll_loop();
   } catch (...) {
     // The reactor died (poll/fcntl IoError).  Retire the executor pool
-    // before the typed error propagates — otherwise the joinable
-    // std::thread members terminate the process in ~Server.
-    stop_executors();
+    // (drain queued session turns, join) before the typed error
+    // propagates.
+    executor_->shutdown();
+    executor_.reset();
     throw;
   }
 
   // Drain finished: every queue is idle and every flushable reply has
-  // been flushed.  Retire the executors, then checkpoint what is left.
-  stop_executors();
+  // been flushed.  Retire the executor, then checkpoint what is left.
+  executor_->shutdown();
+  executor_.reset();
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -157,18 +155,6 @@ void Server::serve() {
     connections_.clear();
     conn_by_fd_.clear();
   }
-}
-
-void Server::stop_executors() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  work_ready_.notify_all();
-  for (std::thread& t : executors_) {
-    t.join();
-  }
-  executors_.clear();
 }
 
 bool Server::all_queues_idle() const {
@@ -721,8 +707,7 @@ void Server::handle_frame(Connection& conn, Frame frame, std::uint64_t now) {
   st.bytes_admitted += frame.payload.size();
   st.pending.push_back(Job{conn.id, std::move(frame)});
   if (!st.running && st.pending.size() == 1) {
-    ready_.push_back(sid);
-    work_ready_.notify_one();
+    schedule_session(sid);
   }
 }
 
@@ -806,38 +791,38 @@ void Server::handle_open_session(Connection& conn, const Frame& frame,
   }
 }
 
-void Server::executor_main() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  while (true) {
-    work_ready_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
-    if (ready_.empty()) {
-      if (stopping_) {
-        return;
-      }
-      continue;
-    }
-    const std::uint64_t sid = ready_.front();
-    ready_.pop_front();
-    ExecState& st = exec_[sid];
-    if (st.pending.empty()) {
-      continue;
-    }
-    Job job = std::move(st.pending.front());
-    st.pending.pop_front();
-    st.running = true;
-    lock.unlock();
+void Server::schedule_session(std::uint64_t session_id) {
+  // Caller holds mutex_; the executor's queue lock nests inside it
+  // (workers take mutex_ only after releasing the queue lock, so the
+  // order is acyclic).  Scheduling happens only on the empty->nonempty
+  // queue transition and on turn re-arm, so at most one turn per
+  // session is ever in flight — the per-session serialization the
+  // fault-isolation contract depends on.
+  executor_->submit([this, session_id] { session_turn(session_id); });
+}
 
-    execute_job(job);
-
-    lock.lock();
-    ExecState& st2 = exec_[sid];
-    st2.running = false;
-    ++stats_.requests_executed;
-    if (!st2.pending.empty()) {
-      ready_.push_back(sid);
-      work_ready_.notify_one();
+void Server::session_turn(std::uint64_t session_id) {
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = exec_.find(session_id);
+    if (it == exec_.end() || it->second.running ||
+        it->second.pending.empty()) {
+      return;  // session retired (closed/evicted) before its turn
     }
-    work_done_.notify_all();
+    job = std::move(it->second.pending.front());
+    it->second.pending.pop_front();
+    it->second.running = true;
+  }
+
+  execute_job(job);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ExecState& st = exec_[session_id];
+  st.running = false;
+  ++stats_.requests_executed;
+  if (!st.pending.empty()) {
+    schedule_session(session_id);
   }
 }
 

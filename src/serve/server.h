@@ -1,9 +1,10 @@
-// qpf_serve core: a poll(2) reactor plus a small executor pool, built
-// so the robustness contract is enforceable by construction:
+// qpf_serve core: a poll(2) reactor plus the shared deterministic
+// executor (qpf::exec::Executor, service mode) running session turns,
+// built so the robustness contract is enforceable by construction:
 //
 //   * ONE state mutex guards the connection map, the session table, and
 //     every per-session queue.  The reactor thread does all socket I/O;
-//     executor threads only run stack requests and append reply bytes
+//     executor workers only run stack requests and append reply bytes
 //     to a connection's TX buffer under the mutex, then poke the wake
 //     pipe.  No lock-free cleverness — the suite must be TSan-clean.
 //
@@ -31,16 +32,15 @@
 //     then return from serve().
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "exec/executor.h"
 #include "serve/session_table.h"
 
 namespace qpf::serve {
@@ -146,10 +146,13 @@ class Server {
   void poll_loop();
   [[nodiscard]] bool all_queues_idle() const;  // caller holds mutex_
 
-  // Executor side.
-  void executor_main();
+  // Executor side: session turns scheduled onto the shared
+  // qpf::exec::Executor (service mode).  One turn is in flight per
+  // session at most (the `running` flag); a turn that leaves work
+  // behind re-arms itself, preserving per-session serialization.
+  void session_turn(std::uint64_t session_id);
+  void schedule_session(std::uint64_t session_id);  // caller holds mutex_
   void execute_job(const Job& job);
-  void stop_executors();  // set stopping_, wake and join the pool
 
   // Shared helpers (caller holds mutex_ unless noted).
   void enqueue_reply(std::uint64_t conn_id, const Frame& reply);
@@ -179,13 +182,10 @@ class Server {
   int wake_pipe_[2] = {-1, -1};
 
   mutable std::mutex mutex_;
-  std::condition_variable work_ready_;   // executors wait here
-  std::condition_variable work_done_;    // drain waits here
   SessionTable table_;
   std::map<std::uint64_t, Connection> connections_;  // by conn id
   std::map<int, std::uint64_t> conn_by_fd_;
   std::map<std::uint64_t, ExecState> exec_;          // by session id
-  std::deque<std::uint64_t> ready_;                  // session ids with work
   // Evicted session ids with the reason code the client should see:
   // "evicted" (supervision escalation) or "io-degraded" (parking the
   // session failed — the state dir is unwritable — so the stack was
@@ -208,9 +208,13 @@ class Server {
   ServeStats stats_;
   std::uint64_t next_conn_id_ = 1;
   bool draining_ = false;
-  bool stopping_ = false;  // executors exit
 
-  std::vector<std::thread> executors_;
+  // The service-mode pool running session turns.  Created by serve(),
+  // drained and destroyed when serve() returns (or its reactor throws).
+  // Lock order: mutex_ may be held while submitting to the executor;
+  // executor workers take mutex_ only with the executor's own queue
+  // lock released, so the order is strictly mutex_ -> executor queue.
+  std::unique_ptr<exec::Executor> executor_;
 };
 
 }  // namespace qpf::serve

@@ -64,6 +64,8 @@ std::vector<std::string> expected_oracles(int bug) {
       return {"io-fault"};
     case 14:  // server bypasses the per-session idempotency window
       return {"net-fault"};
+    case 15:  // executor commits results in arrival order
+      return {"executor-determinism"};
     default:
       return {};
   }

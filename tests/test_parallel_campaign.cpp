@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzz/engine.h"
 #include "ler_common.h"
 
 #include "seed_support.h"
@@ -219,6 +220,92 @@ TEST_F(ParallelCampaignTest, SupervisedChaosStormIsBitIdenticalAcrossJobs) {
   EXPECT_EQ(a.faults_recovered, b.faults_recovered);
   EXPECT_EQ(a.fault_episodes, b.fault_episodes);
   EXPECT_GT(a.faults_recovered, 0u) << "the storm never fired";
+}
+
+TEST_F(ParallelCampaignTest, JournalBytesMatchAcrossTheJobsSweep) {
+  // The executor migration contract, surface by surface: the LER
+  // campaign's journal must be byte-identical at jobs ∈ {1, 2, 7, 16}.
+  CampaignOptions options;
+  options.config = fast_config();
+  options.runs = 5;
+  QPF_ANNOUNCE_SEED(options.config.seed);
+
+  CampaignOptions sequential = options;
+  sequential.state_dir = dir_ + "_seq";
+  sequential.jobs = 1;
+  const CampaignResult reference = run_ler_campaign(sequential);
+  ASSERT_EQ(reference.trials_completed, 5u);
+  const std::string reference_journal =
+      slurp(std::filesystem::path(sequential.state_dir) / "journal.jsonl");
+  ASSERT_FALSE(reference_journal.empty());
+
+  for (const std::size_t jobs : {2u, 7u, 16u}) {
+    CampaignOptions parallel = options;
+    parallel.state_dir = dir_ + "_par";
+    parallel.jobs = jobs;
+    std::filesystem::remove_all(parallel.state_dir);
+    const CampaignResult result = run_ler_campaign(parallel);
+    expect_same_point(result.point, reference.point);
+    EXPECT_EQ(slurp(std::filesystem::path(parallel.state_dir) /
+                    "journal.jsonl"),
+              reference_journal)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST_F(ParallelCampaignTest, ChaosStormMatchesAcrossTheJobsSweep) {
+  // The chaos scenario driver (qpf_chaos) rides run_ler_campaign, so
+  // its surface contract is the campaign's: statistics and recovery
+  // counters identical at jobs ∈ {1, 2, 7, 16}.
+  CampaignOptions options;
+  options.config = fast_config();
+  options.config.chaos.seed = 7;
+  options.config.chaos.min_gap = 400;
+  options.config.chaos.max_gap = 700;
+  options.config.chaos.crash_weight = 1;
+  options.config.supervise = true;
+  options.config.supervisor.max_retries = 10;
+  options.config.supervisor.escalate_after = 1'000'000;
+  options.config.supervisor.rearm_after = 1;
+  options.runs = 4;
+  QPF_ANNOUNCE_SEED(options.config.seed);
+
+  CampaignOptions sequential = options;
+  sequential.jobs = 1;
+  const CampaignResult reference = run_ler_campaign(sequential);
+  ASSERT_EQ(reference.trials_completed, 4u);
+  EXPECT_GT(reference.faults_recovered, 0u) << "the storm never fired";
+
+  for (const std::size_t jobs : {2u, 7u, 16u}) {
+    CampaignOptions parallel = options;
+    parallel.jobs = jobs;
+    const CampaignResult result = run_ler_campaign(parallel);
+    expect_same_point(result.point, reference.point);
+    EXPECT_EQ(result.faults_recovered, reference.faults_recovered)
+        << "jobs=" << jobs;
+    EXPECT_EQ(result.fault_episodes, reference.fault_episodes)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST_F(ParallelCampaignTest, FuzzReportIsByteIdenticalAcrossTheJobsSweep) {
+  // The fuzz engine's --cases fan-out: the JSON triage report is a
+  // pure function of the options, jobs included only for speed.  A
+  // small all-oracle budget keeps this inside the tier-1 gate.
+  fuzz::FuzzOptions options;
+  options.seed = 4242;
+  options.cases = 4;
+  QPF_ANNOUNCE_SEED(options.seed);
+
+  options.jobs = 1;
+  const std::string reference = fuzz::to_json(fuzz::run_fuzz(options));
+  ASSERT_NE(reference.find("\"verdict\": \"PASS\""), std::string::npos);
+
+  for (const std::size_t jobs : {2u, 7u, 16u}) {
+    options.jobs = jobs;
+    EXPECT_EQ(fuzz::to_json(fuzz::run_fuzz(options)), reference)
+        << "jobs=" << jobs;
+  }
 }
 
 TEST_F(ParallelCampaignTest, TimedOutTrialsDoNotBreakParallelAggregation) {

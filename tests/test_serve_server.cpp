@@ -143,6 +143,37 @@ TEST(ServeServerTest, RepliesAreDeterministicAcrossServerInstances) {
   }
 }
 
+TEST(ServeServerTest, ReplyStreamIsByteIdenticalAcrossExecutorWidths) {
+  // The executor-migration contract for the serve surface: session
+  // turns run on the shared qpf::exec::Executor (service mode), and a
+  // single client's reply stream must not depend on how many workers
+  // the pool has.
+  std::vector<std::uint8_t> reference;
+  for (const std::size_t threads : {1u, 2u, 7u, 16u}) {
+    ServeOptions options;
+    options.executor_threads = threads;
+    ServerFixture fixture{std::move(options)};
+    Client client;
+    handshake(client, fixture.port());
+    const Client::Result opened = client.open_session(basic_config("t"));
+    ASSERT_FALSE(opened.error.has_value());
+    const std::uint64_t id = session_id_for("t");
+    for (int i = 0; i < 4; ++i) {
+      const Client::Result run = client.submit_qasm(id, kProgram);
+      ASSERT_FALSE(run.error.has_value());
+    }
+    (void)client.close_session(id);
+    if (threads == 1) {
+      reference = client.transcript();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(client.transcript(), reference)
+          << "executor_threads=" << threads
+          << ": reply bytes depend on pool width";
+    }
+  }
+}
+
 TEST(ServeServerTest, RequestsBeforeHelloArePoisoned) {
   ServerFixture fixture{ServeOptions{}};
   Client client;

@@ -19,6 +19,17 @@ Usage:
                              the repository root, next to tools/)
       [--threshold PCT]      relative regression threshold in percent
                              (default 30)
+      [--against FILE]       explicit baseline report: compare every
+                             FRESH.json against FILE instead of the
+                             committed BENCH_*.json (the two must be
+                             reports of the same kind)
+      [--bless]              when every metric is within threshold,
+                             overwrite the committed baseline with the
+                             fresh report — the regeneration gate used
+                             to re-pin BENCH_ler.json / BENCH_serve.json
+                             after an engine change that must be proven
+                             perf-neutral before the new numbers are
+                             blessed
 
 Exit codes: 0 all metrics within threshold, 1 regression found,
 2 usage / malformed report.
@@ -128,11 +139,18 @@ def main(argv):
                             os.path.abspath(__file__)), os.pardir))
     parser.add_argument("--threshold", type=float, default=30.0,
                         help="regression threshold in percent (default 30)")
+    parser.add_argument("--against", metavar="FILE",
+                        help="explicit baseline report instead of the "
+                             "committed BENCH_*.json")
+    parser.add_argument("--bless", action="store_true",
+                        help="on success, overwrite the committed baseline "
+                             "with the fresh report (regeneration gate)")
     args = parser.parse_args(argv)
     threshold = args.threshold / 100.0
 
     regressions = 0
     compared = 0
+    blessed = []
     for path in args.reports:
         try:
             with open(path) as handle:
@@ -146,7 +164,8 @@ def main(argv):
             print("bench_compare: %s is not a recognised bench report"
                   % path, file=sys.stderr)
             return 2
-        baseline_path = os.path.join(args.baseline_dir, BASELINE_FILES[kind])
+        committed_path = os.path.join(args.baseline_dir, BASELINE_FILES[kind])
+        baseline_path = args.against or committed_path
         try:
             with open(baseline_path) as handle:
                 baseline = json.load(handle)
@@ -154,6 +173,12 @@ def main(argv):
             print("bench_compare: cannot read baseline %s: %s"
                   % (baseline_path, error), file=sys.stderr)
             return 2
+        if args.against and report_kind(baseline) != kind:
+            print("bench_compare: --against %s is a %s report but %s is %s"
+                  % (baseline_path, report_kind(baseline), path, kind),
+                  file=sys.stderr)
+            return 2
+        blessed.append((path, committed_path))
 
         print("%s vs %s:" % (path, os.path.basename(baseline_path)))
         for label, base_value, fresh_value, change, regressed in \
@@ -174,6 +199,14 @@ def main(argv):
         return 1
     print("bench_compare: %d metric(s) within %.0f%% of baseline"
           % (compared, args.threshold))
+    if args.bless:
+        for fresh_path, committed_path in blessed:
+            with open(fresh_path) as handle:
+                body = handle.read()
+            with open(committed_path, "w") as handle:
+                handle.write(body)
+            print("bench_compare: blessed %s <- %s"
+                  % (os.path.basename(committed_path), fresh_path))
     return 0
 
 

@@ -75,12 +75,21 @@ run_config no-qx --no-qx
 run_config no-chaos --no-chaos
 [ -n "$minutes" ] && { echo "check_fuzz.sh: PASS (soak)"; exit 0; }
 
-# 2. Determinism: same seed, byte-identical triage report.
+# 2. Determinism: same seed, byte-identical triage report — including
+#    when the case fan-out runs on the parallel executor (--jobs).
 "$fuzz" --seed=7 --cases=$cases --json > "$workdir/det-a.json" 2> /dev/null
 cmp -s "$workdir/all-7.json" "$workdir/det-a.json" || {
     echo "check_fuzz.sh: triage report not deterministic for seed 7" >&2
     exit 1
 }
+for jobs in 2 8; do
+    "$fuzz" --seed=7 --cases=$cases --jobs=$jobs --json \
+        > "$workdir/det-j$jobs.json" 2> /dev/null
+    cmp -s "$workdir/all-7.json" "$workdir/det-j$jobs.json" || {
+        echo "check_fuzz.sh: triage report diverges at --jobs=$jobs" >&2
+        exit 1
+    }
+done
 
 # 3. Mutation path through the environment variable: plant a bug, the
 #    fuzzer must catch it, shrink it small, and leave a replayable
@@ -123,6 +132,22 @@ for rep in "$repo_root"/tests/corpus/*.qasm; do
 done
 if [ "$corpus_count" -lt 3 ]; then
     echo "check_fuzz.sh: only $corpus_count committed reproducers" >&2
+    exit 1
+fi
+
+# 5. The registry (`qpf_fuzz --list-oracles`) is the source of truth
+#    for the oracle count; TESTING.md must cite the same number so the
+#    docs can never drift stale again.
+actual_oracles=$("$fuzz" --list-oracles | wc -l | tr -d ' ')
+documented=$(tr -s '[:space:]' ' ' < "$repo_root/TESTING.md" \
+    | grep -oE '[0-9]+ independent oracles' | head -1 | cut -d' ' -f1 || true)
+if [ -z "$documented" ]; then
+    echo "check_fuzz.sh: TESTING.md no longer states the oracle count" >&2
+    exit 1
+fi
+if [ "$documented" != "$actual_oracles" ]; then
+    echo "check_fuzz.sh: TESTING.md documents $documented oracles but" \
+         "--list-oracles prints $actual_oracles" >&2
     exit 1
 fi
 

@@ -22,10 +22,10 @@ mode=${QPF_SANITIZE:-ON}
 
 if [ "$mode" = "thread" ]; then
   build_dir=${1:-"$repo_root/build-tsan"}
-  filter=${QPF_SANITIZE_FILTER:-'ParallelCampaign|LerStack|Resume|Supervisor|Chaos|Fuzz|MutationSmoke|CorpusReplay|Serve|IoFault|FaultNet'}
+  filter=${QPF_SANITIZE_FILTER:-'Executor|ParallelCampaign|LerStack|Resume|Supervisor|Chaos|Fuzz|MutationSmoke|CorpusReplay|Serve|IoFault|FaultNet'}
 else
   build_dir=${1:-"$repo_root/build-sanitize"}
-  filter=${QPF_SANITIZE_FILTER:-'Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile|Supervisor|Chaos|Corruption|TimingLayer|Fuzz|MutationSmoke|CorpusReplay|Serve|IoFault|FaultNet'}
+  filter=${QPF_SANITIZE_FILTER:-'Executor|Robustness|ClassicalFault|FrameProtection|ValidatingLayer|LerStack|CliTool|CliCheckpoint|Snapshot|Journal|Resume|CheckpointFile|Supervisor|Chaos|Corruption|TimingLayer|Fuzz|MutationSmoke|CorpusReplay|Serve|IoFault|FaultNet'}
 fi
 
 cmake -B "$build_dir" -S "$repo_root" -DQPF_SANITIZE="$mode"
@@ -39,5 +39,12 @@ else
 fi
 
 "$build_dir/tests/qpf_tests" --gtest_filter="*$(printf '%s' "$filter" | sed 's/|/*:*/g')*"
+
+# Stress the work-stealing executor's scheduling surface: 20 repeats
+# shuffle the thread interleavings under the sanitizer, which is where
+# commit-order and RunState-lifetime races would show up.  Death tests
+# are excluded — fork-under-sanitizer is slow and they race nothing.
+"$build_dir/tests/qpf_tests" --gtest_filter='ExecutorTest.*' \
+  --gtest_repeat=20 --gtest_brief=1
 
 echo "sanitized suites passed ($mode)"

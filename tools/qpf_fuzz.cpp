@@ -54,6 +54,9 @@ int usage(std::ostream& out) {
          "  --minimize         shrink failing circuits (default on)\n"
          "  --no-shrink        report failures without shrinking\n"
          "  --max-failures=N   stop after N failures (default 8, 0=never)\n"
+         "  --jobs=N           worker threads for the case fan-out\n"
+         "                     (default 1, 0=auto); the report is\n"
+         "                     byte-identical for every value\n"
          "  --minutes=M        soak: loop over fresh seeds for ~M minutes\n"
          "  --no-qx            skip state-vector oracles (semantics,\n"
          "                     mirror-qx, backend-diff)\n"
@@ -181,6 +184,8 @@ int main(int argc, char** argv) {
         split_names(value, options.oracles);
       } else if (consume_prefix(arg, "--max-failures=", value)) {
         options.max_failures = std::stoull(value);
+      } else if (consume_prefix(arg, "--jobs=", value)) {
+        options.jobs = std::stoull(value);
       } else if (consume_prefix(arg, "--shots=", value)) {
         options.tuning.shots = std::stoull(value);
       } else if (consume_prefix(arg, "--minutes=", value)) {
